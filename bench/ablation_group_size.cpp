@@ -1,0 +1,40 @@
+// Ablation (paper §3.4): hierarchical-merge group size. The paper
+// "experimented with different group sizes of 2, 4, 8 and 16, and chose a
+// group size of 4 based on average performance."
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mnd;
+  std::cout << "Ablation: hierarchical-merge group size (16 nodes, AMD "
+               "cluster)\n\n";
+
+  const int group_sizes[] = {2, 4, 8, 16};
+  TextTable table({"Graph", "g=2", "g=4", "g=8", "g=16"});
+  std::vector<std::vector<double>> columns(4);
+  for (const auto& name : graph::dataset_names()) {
+    const auto el = bench::load_dataset(name);
+    std::vector<std::string> row{name};
+    for (int i = 0; i < 4; ++i) {
+      auto opts = bench::amd_mnd(16);
+      opts.engine.group_size = group_sizes[i];
+      const auto r = mst::run_mnd_mst(el, opts);
+      row.push_back(TextTable::num(r.total_seconds, 4));
+      columns[static_cast<std::size_t>(i)].push_back(r.total_seconds);
+    }
+    table.add_row(std::move(row));
+  }
+  // Average-performance summary row (geometric mean across graphs).
+  std::vector<std::string> summary{"geomean"};
+  for (const auto& col : columns) {
+    summary.push_back(TextTable::num(geometric_mean(col), 4));
+  }
+  table.add_row(std::move(summary));
+  table.print(std::cout);
+  std::cout << "\nPaper: group size 4 chosen on average performance.\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Ablations of the HyPar runtime strategies (paper §4.3) and of the
+// Pregel+ message-reduction techniques (§2, §5.2):
+//   * diminishing-benefit termination of indComp on/off;
+//   * ring-exchange convergence threshold strict/loose;
+//   * Pregel+ combining (combiner + request-response + mirroring) on/off;
+//   * Pregel+ hash vs locality-preserving range partitioning.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mnd;
+  const char* kGraph = "it-2004";
+  const auto el = bench::load_dataset(kGraph);
+  std::cout << "Runtime-strategy ablations on " << kGraph
+            << " (16 nodes)\n\n";
+
+  {
+    TextTable table({"indComp termination", "total", "comm", "indComp"});
+    for (bool diminishing : {true, false}) {
+      auto opts = bench::amd_mnd(16);
+      opts.engine.thresholds.min_contraction_fraction =
+          diminishing ? 0.02 : 0.0;
+      const auto r = mst::run_mnd_mst(el, opts);
+      table.add_row({diminishing ? "diminishing-benefit (default)"
+                                 : "run to exhaustion",
+                     TextTable::num(r.total_seconds, 4),
+                     TextTable::num(r.comm_seconds, 4),
+                     TextTable::num(r.indcomp_seconds, 4)});
+    }
+    std::cout << "indComp termination threshold (paper 4.3.2):\n";
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  {
+    TextTable table({"merge convergence", "total", "comm", "ring rounds"});
+    struct Case {
+      const char* label;
+      double min_reduction;
+      int max_rounds;
+    };
+    for (const Case& c : {Case{"eager leader merge (no rings)", 1.0, 0},
+                          Case{"default (converge then merge)", 0.15, 3},
+                          Case{"exhaustive ring exchange", 0.0, 12}}) {
+      auto opts = bench::amd_mnd(16);
+      opts.engine.thresholds.min_group_reduction = c.min_reduction;
+      opts.engine.thresholds.max_ring_rounds = c.max_rounds;
+      const auto r = mst::run_mnd_mst(el, opts);
+      int rings = 0;
+      for (const auto& t : r.traces) rings += t.ring_rounds;
+      table.add_row({c.label, TextTable::num(r.total_seconds, 4),
+                     TextTable::num(r.comm_seconds, 4),
+                     std::to_string(rings)});
+    }
+    std::cout << "hierarchical-merge threshold (paper 4.3.4):\n";
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  {
+    TextTable table({"Pregel+ messaging", "total", "comm", "bytes sent MB"});
+    struct Case {
+      const char* label;
+      bool combining;
+      bsp::BspPartitioning part;
+    };
+    for (const Case& c :
+         {Case{"Pregel+ (combining, hash)", true,
+               bsp::BspPartitioning::Hash},
+          Case{"plain Pregel (no combining, hash)", false,
+               bsp::BspPartitioning::Hash},
+          Case{"Pregel+ with range partitioning", true,
+               bsp::BspPartitioning::Range}}) {
+      auto opts = bench::amd_bsp(16);
+      opts.message_combining = c.combining;
+      opts.partitioning = c.part;
+      const auto r = bsp::run_bsp_msf(el, opts);
+      table.add_row({c.label, TextTable::num(r.total_seconds, 4),
+                     TextTable::num(r.comm_seconds, 4),
+                     TextTable::num(r.run.total_bytes_sent() / 1e6, 2)});
+    }
+    std::cout << "BSP baseline messaging techniques:\n";
+    table.print(std::cout);
+  }
+  return 0;
+}

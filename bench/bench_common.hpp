@@ -1,0 +1,68 @@
+// Shared configuration for the paper-reproduction bench binaries.
+//
+// Two platform setups mirror the paper's:
+//  * AMD cluster  — 16x Opteron 8-core nodes, GigE (MPI for MND-MST,
+//                   Hadoop RPC for Pregel+). Used for Table 3, Fig 4/5.
+//  * Cray XC40    — 16x Xeon Ivybridge 12-core + K40 nodes, Aries.
+//                   Used for Fig 6/7/8.
+// All fixed costs are pre-scaled for the ~4000x-smaller stand-in datasets
+// (see NetModel::for_data_scale / GpuModel::for_data_scale).
+//
+// MND_BENCH_SCALE (env, default 1.0) shrinks the stand-ins further for
+// quick runs, e.g. MND_BENCH_SCALE=0.1 ./table3_pregel_comparison.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+#include "bsp/msf.hpp"
+#include "graph/datasets.hpp"
+#include "mst/mnd_mst.hpp"
+
+namespace mnd::bench {
+
+inline constexpr double kDataScale = 4000.0;
+
+inline double scale_from_env() {
+  if (const char* env = std::getenv("MND_BENCH_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0.0 && s <= 1.0) return s;
+  }
+  return 1.0;
+}
+
+inline graph::EdgeList load_dataset(const std::string& name) {
+  return graph::make_dataset(name, scale_from_env());
+}
+
+/// MND-MST on the paper's AMD cluster (CPU-only, MPI over GigE).
+inline mst::MndMstOptions amd_mnd(int nodes) {
+  mst::MndMstOptions opts;
+  opts.num_nodes = nodes;
+  opts.net = sim::NetModel::amd_cluster().for_data_scale(kDataScale);
+  opts.engine.cpu_model = device::CpuModel::amd_opteron_8core();
+  opts.engine.use_gpu = false;
+  return opts;
+}
+
+/// Pregel+ on the same AMD cluster (Hadoop RPC transport).
+inline bsp::BspOptions amd_bsp(int workers) {
+  bsp::BspOptions opts;
+  opts.num_workers = workers;
+  opts.net =
+      sim::NetModel::amd_cluster_hadoop_rpc().for_data_scale(kDataScale);
+  opts.cpu_model = device::CpuModel::pregel_worker_8core();
+  return opts;
+}
+
+/// MND-MST on the paper's Cray XC40 (Xeon + optional K40 per node).
+inline mst::MndMstOptions cray_mnd(int nodes, bool use_gpu) {
+  mst::MndMstOptions opts;
+  opts.num_nodes = nodes;
+  opts.net = sim::NetModel::cray_xc40().for_data_scale(kDataScale);
+  opts.engine.cpu_model = device::CpuModel::xeon_ivybridge_12core();
+  opts.engine.use_gpu = use_gpu;
+  return opts;
+}
+
+}  // namespace mnd::bench

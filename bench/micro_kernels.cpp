@@ -1,0 +1,180 @@
+// google-benchmark micro-kernels: the hot data structures and the §3.5
+// kernel-optimization ablations (hierarchical adjacency processing,
+// batched atomics, stream overlap) expressed through the device models.
+#include <benchmark/benchmark.h>
+
+#include "device/cost_model.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/reference_mst.hpp"
+#include "graph/union_find.hpp"
+#include "mst/comp_graph.hpp"
+#include "mst/local_boruvka.hpp"
+#include "simcluster/cluster.hpp"
+#include "util/flat_hash.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mnd;
+
+// ---- data structures --------------------------------------------------------
+
+void BM_FlatHashMapInsert(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    FlatHashMap<std::uint64_t, std::uint64_t> m(16);
+    Rng rng(1);
+    for (std::size_t i = 0; i < n; ++i) {
+      m.insert_or_assign(rng.next(), i);
+    }
+    benchmark::DoNotOptimize(m.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_FlatHashMapInsert)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_FlatHashMapLookup(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  FlatHashMap<std::uint64_t, std::uint64_t> m(n);
+  Rng rng(2);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys.push_back(rng.next());
+    m.insert_or_assign(keys.back(), i);
+  }
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    for (std::uint64_t k : keys) sum += *m.find(k);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_FlatHashMapLookup)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_UnionFind(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  for (auto _ : state) {
+    graph::UnionFind uf(n);
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      uf.unite(static_cast<graph::VertexId>(rng.next_below(n)),
+               static_cast<graph::VertexId>(rng.next_below(n)));
+    }
+    benchmark::DoNotOptimize(uf.find(0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_UnionFind)->Arg(1 << 14)->Arg(1 << 18);
+
+// ---- graph kernels -----------------------------------------------------------
+
+void BM_KruskalRmat(benchmark::State& state) {
+  const auto el = graph::rmat(static_cast<graph::VertexId>(state.range(0)),
+                              static_cast<std::size_t>(state.range(1)), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::kruskal_mst(el).total_weight);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(el.num_edges()) * state.iterations());
+}
+BENCHMARK(BM_KruskalRmat)->Args({12, 40000})->Args({14, 160000});
+
+void BM_LocalBoruvka(benchmark::State& state) {
+  const auto el = graph::rmat(static_cast<graph::VertexId>(state.range(0)),
+                              static_cast<std::size_t>(state.range(1)), 9);
+  const auto g = graph::Csr::from_edge_list(el);
+  for (auto _ : state) {
+    mst::CompGraph cg;
+    for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+      mst::Component c;
+      c.id = v;
+      for (const auto& arc : g.adjacency(v)) {
+        c.edges.push_back(mst::CEdge{arc.to, arc.w, arc.id});
+      }
+      std::sort(c.edges.begin(), c.edges.end(),
+                [](const mst::CEdge& a, const mst::CEdge& b) {
+                  return graph::lighter(a.w, a.orig, b.w, b.orig);
+                });
+      cg.adopt(std::move(c));
+    }
+    const auto stats = mst::local_boruvka(cg, nullptr);
+    benchmark::DoNotOptimize(stats.contractions);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(el.num_edges()) * state.iterations());
+}
+BENCHMARK(BM_LocalBoruvka)->Args({12, 40000})->Args({14, 160000});
+
+void BM_CollectiveAllreduce(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  sim::ClusterConfig cfg;
+  cfg.num_ranks = ranks;
+  for (auto _ : state) {
+    const auto report = sim::run_cluster(cfg, [](sim::Communicator& comm) {
+      for (int i = 0; i < 16; ++i) {
+        (void)comm.allreduce_sum(static_cast<std::uint64_t>(comm.rank()), 1);
+      }
+    });
+    benchmark::DoNotOptimize(report.makespan);
+  }
+}
+BENCHMARK(BM_CollectiveAllreduce)->Arg(4)->Arg(16);
+
+// ---- §3.5 kernel-optimization ablations (priced on the GPU model) -------------
+
+device::KernelWork skewed_work() {
+  device::KernelWork w;
+  w.active_vertices = 200000;
+  w.edges_scanned = 2000000;
+  w.atomic_updates = 400000;
+  w.max_degree = 500000;  // one hub adjacency dominates
+  return w;
+}
+
+void BM_GpuHierarchicalAdjacency(benchmark::State& state) {
+  device::GpuModel gpu = device::GpuModel::tesla_k40();
+  gpu.hierarchical_adjacency = state.range(0) != 0;
+  double total = 0.0;
+  for (auto _ : state) {
+    total += gpu.kernel_seconds(skewed_work());
+    benchmark::DoNotOptimize(total);
+  }
+  state.counters["virtual_kernel_us"] =
+      gpu.kernel_seconds(skewed_work()) * 1e6;
+}
+BENCHMARK(BM_GpuHierarchicalAdjacency)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("hierarchical");
+
+void BM_GpuAtomicBatching(benchmark::State& state) {
+  device::GpuModel gpu = device::GpuModel::tesla_k40();
+  gpu.batched_atomics = state.range(0) != 0;
+  double total = 0.0;
+  for (auto _ : state) {
+    total += gpu.kernel_seconds(skewed_work());
+    benchmark::DoNotOptimize(total);
+  }
+  state.counters["virtual_kernel_us"] =
+      gpu.kernel_seconds(skewed_work()) * 1e6;
+}
+BENCHMARK(BM_GpuAtomicBatching)->Arg(0)->Arg(1)->ArgName("batched");
+
+void BM_PcieStreamOverlap(benchmark::State& state) {
+  device::PcieModel pcie;
+  pcie.overlap_streams = state.range(0) != 0;
+  double total = 0.0;
+  for (auto _ : state) {
+    total += pcie.kernel_with_transfers(1e-3, 8 << 20, 1 << 20);
+    benchmark::DoNotOptimize(total);
+  }
+  state.counters["virtual_total_us"] =
+      pcie.kernel_with_transfers(1e-3, 8 << 20, 1 << 20) * 1e6;
+}
+BENCHMARK(BM_PcieStreamOverlap)->Arg(0)->Arg(1)->ArgName("overlap");
+
+}  // namespace
+
+BENCHMARK_MAIN();

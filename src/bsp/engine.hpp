@@ -1,0 +1,147 @@
+// Pregel-style BSP worker machinery (the baseline's substrate).
+//
+// Pregel/Pregel+ organize computation into supersteps: every worker
+// processes its vertices, exchanges all messages, and synchronizes before
+// the next superstep. This header provides that skeleton on top of the
+// simulated cluster: all-to-all message exchange (every worker pair
+// communicates every superstep — the BSP overhead the paper contrasts
+// with), per-superstep global synchronization via allreduce, and
+// Pregel+-style request combining (one request per (worker, key) pair,
+// standing in for vertex mirroring / request-response message reduction).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "device/cost_model.hpp"
+#include "simcluster/communicator.hpp"
+#include "util/check.hpp"
+#include "util/flat_hash.hpp"
+
+namespace mnd::bsp {
+
+class BspWorker {
+ public:
+  BspWorker(sim::Communicator& comm, device::CpuModel cpu_model)
+      : comm_(comm), cpu_(cpu_model) {}
+
+  int rank() const { return comm_.rank(); }
+  int workers() const { return comm_.size(); }
+  int supersteps() const { return supersteps_; }
+  sim::Communicator& comm() { return comm_; }
+
+  /// Charges `work` of vertex-program computation to this worker's clock.
+  void charge_compute(const device::KernelWork& work) {
+    comm_.compute(cpu_.kernel_seconds(work), "compute");
+  }
+
+  /// One superstep's message exchange: outbox[r] holds the POD messages
+  /// destined to worker r (outbox[rank()] is delivered locally). Every
+  /// worker sends to every other worker (possibly empty payload) — the
+  /// BSP all-to-all — and the returned inbox is indexed by source worker.
+  template <typename M>
+  std::vector<std::vector<M>> exchange(std::vector<std::vector<M>> outbox) {
+    static_assert(std::is_trivially_copyable_v<M>);
+    const int p = workers();
+    MND_CHECK(static_cast<int>(outbox.size()) == p);
+    std::vector<std::vector<M>> inbox(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      if (r == rank()) continue;
+      sim::Serializer s;
+      s.put_vector(outbox[static_cast<std::size_t>(r)]);
+      comm_.send(r, tag_, s.take());
+    }
+    inbox[static_cast<std::size_t>(rank())] =
+        std::move(outbox[static_cast<std::size_t>(rank())]);
+    for (int r = 0; r < p; ++r) {
+      if (r == rank()) continue;
+      const auto payload = comm_.recv(r, tag_);
+      sim::Deserializer d(payload);
+      inbox[static_cast<std::size_t>(r)] = d.template get_vector<M>();
+    }
+    end_superstep();
+    return inbox;
+  }
+
+  /// Global aggregate + superstep barrier (the master's role in Pregel).
+  std::uint64_t sync_sum(std::uint64_t value) {
+    const std::uint64_t out = comm_.allreduce_sum(value, tag_);
+    return out;
+  }
+
+ private:
+  void end_superstep() { ++supersteps_; }
+
+  sim::Communicator& comm_;
+  device::CpuModel cpu_;
+  int supersteps_ = 0;
+  sim::Tag tag_ = 0xB500;
+};
+
+/// Pregel+-style request-response lookup: "ask the owner of key K for its
+/// current value". Runs in two supersteps (requests, then responses).
+///
+/// `keys` carries one entry per requesting vertex, duplicates included.
+/// A key is *combined* — one request per (worker, key), one response per
+/// distinct key — only when `combine_pred(key)` holds; this models
+/// Pregel+'s techniques, which mirror/combine only vertices above a
+/// degree threshold. Messages for uncombined keys travel per requester
+/// (plain Pregel behaviour), inflating volume accordingly.
+template <typename OwnerFn, typename AnswerFn, typename CombinePred>
+mnd::FlatHashMap<std::uint32_t, std::uint32_t> query_owners(
+    BspWorker& worker, const std::vector<std::uint32_t>& keys,
+    CombinePred&& combine_pred, OwnerFn&& owner_of, AnswerFn&& answer) {
+  struct Reply {
+    std::uint32_t key;
+    std::uint32_t value;
+  };
+  const int p = worker.workers();
+  const int me = worker.rank();
+
+  std::vector<std::vector<std::uint32_t>> requests(
+      static_cast<std::size_t>(p));
+  mnd::FlatHashMap<std::uint32_t, std::uint32_t> result(keys.size());
+  {
+    mnd::FlatHashSet<std::uint32_t> seen(keys.size());
+    for (std::uint32_t key : keys) {
+      const bool fresh = seen.insert(key);
+      if (!fresh && combine_pred(key)) continue;
+      const int owner = owner_of(key);
+      if (owner == me) {
+        if (fresh) result.insert_or_assign(key, answer(key));
+      } else {
+        requests[static_cast<std::size_t>(owner)].push_back(key);
+      }
+    }
+  }
+
+  auto incoming = worker.exchange(std::move(requests));
+
+  std::vector<std::vector<Reply>> replies(static_cast<std::size_t>(p));
+  std::size_t handled = 0;
+  for (int r = 0; r < p; ++r) {
+    if (r == me) continue;
+    mnd::FlatHashSet<std::uint32_t> answered(
+        incoming[static_cast<std::size_t>(r)].size());
+    for (std::uint32_t key : incoming[static_cast<std::size_t>(r)]) {
+      ++handled;
+      if (!answered.insert(key) && combine_pred(key)) continue;
+      replies[static_cast<std::size_t>(r)].push_back(Reply{key, answer(key)});
+    }
+  }
+  auto reply_in = worker.exchange(std::move(replies));
+  for (int r = 0; r < p; ++r) {
+    if (r == me) continue;
+    handled += reply_in[static_cast<std::size_t>(r)].size();
+    for (const Reply& rep : reply_in[static_cast<std::size_t>(r)]) {
+      result.insert_or_assign(rep.key, rep.value);
+    }
+  }
+  // Vertex-program message handling is computation the worker pays for.
+  device::KernelWork work;
+  work.edges_scanned = handled;
+  worker.charge_compute(work);
+  return result;
+}
+
+}  // namespace mnd::bsp

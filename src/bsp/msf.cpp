@@ -1,0 +1,390 @@
+#include "bsp/msf.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "bsp/engine.hpp"
+#include "graph/csr.hpp"
+#include "hypar/partition.hpp"
+#include "util/check.hpp"
+
+namespace mnd::bsp {
+namespace {
+
+using graph::EdgeId;
+using graph::VertexId;
+using graph::Weight;
+
+/// Vertex-to-worker map. Pregel-family systems hash vertices across
+/// workers; the Range mode reuses MND-MST's degree-balanced contiguous
+/// ranges for ablation.
+class VertexMap {
+ public:
+  VertexMap(BspPartitioning mode, const graph::Csr& g, int workers, int me)
+      : mode_(mode), workers_(workers), me_(me) {
+    if (mode_ == BspPartitioning::Range) {
+      range_ = hypar::partition_by_degree(g, workers);
+      lo_ = range_.begin(me);
+      nlocal_ = range_.end(me) - lo_;
+    } else {
+      const VertexId n = g.num_vertices();
+      nlocal_ = n / static_cast<VertexId>(workers) +
+                (static_cast<VertexId>(me) <
+                         n % static_cast<VertexId>(workers)
+                     ? 1
+                     : 0);
+    }
+  }
+
+  int owner(VertexId v) const {
+    return mode_ == BspPartitioning::Hash
+               ? static_cast<int>(v % static_cast<VertexId>(workers_))
+               : range_.owner(v);
+  }
+
+  std::size_t nlocal() const { return nlocal_; }
+
+  VertexId to_global(std::size_t i) const {
+    return mode_ == BspPartitioning::Hash
+               ? static_cast<VertexId>(i) * static_cast<VertexId>(workers_) +
+                     static_cast<VertexId>(me_)
+               : lo_ + static_cast<VertexId>(i);
+  }
+
+  std::size_t to_local(VertexId v) const {
+    MND_DCHECK(owner(v) == me_);
+    return mode_ == BspPartitioning::Hash
+               ? static_cast<std::size_t>(v / static_cast<VertexId>(workers_))
+               : static_cast<std::size_t>(v - lo_);
+  }
+
+ private:
+  BspPartitioning mode_;
+  int workers_;
+  int me_;
+  hypar::Partition1D range_;
+  VertexId lo_ = 0;
+  std::size_t nlocal_ = 0;
+};
+
+struct LocalEdge {
+  VertexId to;
+  VertexId to_comp;
+  Weight w;
+  EdgeId orig;
+};
+
+struct CandMsg {  // vertex -> its component root
+  VertexId comp = graph::kInvalidVertex;
+  VertexId other = graph::kInvalidVertex;
+  Weight w = 0;
+  EdgeId orig = graph::kInvalidEdge;
+};
+
+struct AnnounceMsg {  // root A -> root B: "A merges toward B via orig"
+  VertexId from;
+  VertexId to;
+  EdgeId orig;
+};
+
+struct Choice {
+  VertexId other = graph::kInvalidVertex;
+  Weight w = 0;
+  EdgeId orig = graph::kInvalidEdge;
+  bool valid() const { return orig != graph::kInvalidEdge; }
+};
+
+struct WorkerResult {
+  std::vector<EdgeId> mst_edges;
+  int supersteps = 0;
+  int rounds = 0;
+};
+
+WorkerResult msf_worker(sim::Communicator& comm, const graph::Csr& g,
+                        const BspOptions& opts) {
+  BspWorker worker(comm, opts.cpu_model);
+  const int me = worker.rank();
+  const int p = worker.workers();
+  const bool combining = opts.message_combining;
+  const VertexMap vmap(opts.partitioning, g, p, me);
+  const std::size_t nlocal = vmap.nlocal();
+
+  auto owner_of = [&](std::uint32_t v) { return vmap.owner(v); };
+
+  // Local state: component per vertex + mutable adjacency.
+  std::vector<VertexId> comp(nlocal);
+  std::vector<std::vector<LocalEdge>> edges(nlocal);
+  for (std::size_t i = 0; i < nlocal; ++i) {
+    const VertexId v = vmap.to_global(i);
+    comp[i] = v;
+    auto& adj = edges[i];
+    const auto arcs = g.adjacency(v);
+    adj.reserve(arcs.size());
+    for (const auto& arc : arcs) {
+      adj.push_back(LocalEdge{arc.to, arc.to, arc.w, arc.id});
+    }
+  }
+
+  WorkerResult result;
+
+  for (int round = 0; round < opts.max_rounds; ++round) {
+    // ---- Phase 0: lightest-edge candidates to component roots ----------
+    std::vector<std::vector<CandMsg>> cand_out(static_cast<std::size_t>(p));
+    std::size_t edges_scanned = 0;
+    mnd::FlatHashMap<VertexId, CandMsg> local_combine(nlocal);
+    for (std::size_t i = 0; i < nlocal; ++i) {
+      const VertexId c = comp[i];
+      const LocalEdge* best = nullptr;
+      for (const auto& e : edges[i]) {
+        ++edges_scanned;
+        if (e.to_comp == c) continue;
+        if (best == nullptr ||
+            graph::lighter(e.w, e.orig, best->w, best->orig)) {
+          best = &e;
+        }
+      }
+      if (best == nullptr) continue;
+      const CandMsg msg{c, best->to_comp, best->w, best->orig};
+      if (combining) {
+        CandMsg& slot = local_combine[c];
+        if (slot.orig == graph::kInvalidEdge ||
+            graph::lighter(msg.w, msg.orig, slot.w, slot.orig)) {
+          slot = msg;
+        }
+      } else {
+        cand_out[static_cast<std::size_t>(owner_of(c))].push_back(msg);
+      }
+    }
+    if (combining) {
+      local_combine.for_each([&](const VertexId&, const CandMsg& msg) {
+        cand_out[static_cast<std::size_t>(owner_of(msg.comp))].push_back(msg);
+      });
+    }
+    {
+      device::KernelWork w;
+      w.active_vertices = nlocal;
+      w.edges_scanned = edges_scanned;
+      worker.charge_compute(w);
+    }
+    auto cand_in = worker.exchange(std::move(cand_out));
+
+    // ---- Phase 1: roots choose; announce to the target component -------
+    mnd::FlatHashMap<VertexId, Choice> choice(nlocal);
+    std::size_t cand_handled = 0;
+    for (const auto& batch : cand_in) {
+      for (const CandMsg& msg : batch) {
+        MND_DCHECK(owner_of(msg.comp) == me);
+        ++cand_handled;
+        Choice& slot = choice[msg.comp];
+        if (!slot.valid() ||
+            graph::lighter(msg.w, msg.orig, slot.w, slot.orig)) {
+          slot = Choice{msg.other, msg.w, msg.orig};
+        }
+      }
+    }
+    std::vector<std::vector<AnnounceMsg>> ann_out(static_cast<std::size_t>(p));
+    choice.for_each([&](const VertexId& root, const Choice& ch) {
+      ann_out[static_cast<std::size_t>(owner_of(ch.other))].push_back(
+          AnnounceMsg{root, ch.other, ch.orig});
+    });
+    auto ann_in = worker.exchange(std::move(ann_out));
+
+    // ---- Phase 2: mutual-pair resolution; build merge pointers ---------
+    // chose_me: A -> B entries for owned B (who chose my roots).
+    mnd::FlatHashMap<VertexId, VertexId> chose_me(nlocal);
+    std::size_t ann_handled = 0;
+    for (const auto& batch : ann_in) {
+      for (const AnnounceMsg& msg : batch) {
+        MND_DCHECK(owner_of(msg.to) == me);
+        ++ann_handled;
+        chose_me.insert_or_assign(msg.from, msg.to);
+      }
+    }
+    // ptr entries for every owned live root (comp[x] == x at x's owner).
+    mnd::FlatHashMap<VertexId, VertexId> ptr(nlocal);
+    std::uint64_t chose_count = 0;
+    for (std::size_t i = 0; i < nlocal; ++i) {
+      const VertexId x = vmap.to_global(i);
+      if (comp[i] != x) continue;  // not a live root
+      const Choice* ch = choice.find(x);
+      if (ch == nullptr || !ch->valid()) {
+        ptr.insert_or_assign(x, x);
+        continue;
+      }
+      ++chose_count;
+      const VertexId* back = chose_me.find(ch->other);
+      const bool mutual = back != nullptr && *back == x;
+      if (mutual && x < ch->other) {
+        ptr.insert_or_assign(x, x);  // smaller id of the pair stays root
+        result.mst_edges.push_back(ch->orig);  // pair edge committed once
+      } else {
+        ptr.insert_or_assign(x, ch->other);
+        if (!mutual) result.mst_edges.push_back(ch->orig);
+      }
+    }
+    {
+      device::KernelWork w;
+      w.active_vertices = ptr.size();
+      w.edges_scanned = cand_handled + ann_handled;
+      worker.charge_compute(w);
+    }
+
+    const std::uint64_t total_chose = worker.sync_sum(chose_count);
+    if (total_chose == 0) break;
+    ++result.rounds;
+
+    // ---- Phase 3: pointer jumping over roots ----------------------------
+    for (;;) {
+      std::vector<std::uint32_t> targets;
+      std::vector<VertexId> jumpers;
+      ptr.for_each([&](const VertexId& x, const VertexId& t) {
+        if (t != x) {
+          jumpers.push_back(x);
+          targets.push_back(t);
+        }
+      });
+      std::sort(jumpers.begin(), jumpers.end());
+      std::sort(targets.begin(), targets.end());
+      auto answers = query_owners(
+          worker, targets, [&](std::uint32_t) { return combining; },
+          owner_of, [&](std::uint32_t key) {
+            const VertexId* t = ptr.find(key);
+            MND_CHECK_MSG(t != nullptr, "no ptr entry for root " << key);
+            return *t;
+          });
+      std::uint64_t changed = 0;
+      for (VertexId x : jumpers) {
+        VertexId& t = *ptr.find(x);
+        const std::uint32_t* next = answers.find(t);
+        MND_DCHECK(next != nullptr);
+        if (*next != t) {
+          t = *next;
+          ++changed;
+        }
+      }
+      {
+        device::KernelWork w;
+        w.active_vertices = jumpers.size();
+        worker.charge_compute(w);
+      }
+      if (worker.sync_sum(changed) == 0) break;
+    }
+
+    // ---- Phase 4: vertices refresh their component ids ------------------
+    {
+      std::vector<std::uint32_t> keys;
+      keys.reserve(nlocal);
+      for (std::size_t i = 0; i < nlocal; ++i) keys.push_back(comp[i]);
+      auto answers = query_owners(
+          worker, keys, [&](std::uint32_t) { return combining; }, owner_of,
+          [&](std::uint32_t key) {
+            const VertexId* t = ptr.find(key);
+            MND_CHECK(t != nullptr);
+            return *t;
+          });
+      for (std::size_t i = 0; i < nlocal; ++i) {
+        const std::uint32_t* next = answers.find(comp[i]);
+        MND_DCHECK(next != nullptr);
+        comp[i] = *next;
+      }
+      device::KernelWork w;
+      w.active_vertices = nlocal;
+      worker.charge_compute(w);
+    }
+
+    // ---- Phase 5: refresh neighbor components; prune internal edges -----
+    {
+      std::vector<std::uint32_t> keys;
+      for (const auto& adj : edges) {
+        for (const auto& e : adj) keys.push_back(e.to);
+      }
+      // Pregel+ mirrors only high-degree vertices: requests for a
+      // low-degree neighbor travel per requester, like plain Pregel.
+      auto mirrored = [&](std::uint32_t key) {
+        return combining &&
+               g.degree(key) >=
+                   static_cast<std::size_t>(opts.mirror_degree_threshold);
+      };
+      auto answers = query_owners(worker, keys, mirrored, owner_of,
+                                  [&](std::uint32_t key) {
+                                    return comp[vmap.to_local(key)];
+                                  });
+      std::size_t scanned = 0;
+      for (std::size_t i = 0; i < nlocal; ++i) {
+        auto& adj = edges[i];
+        scanned += adj.size();
+        std::size_t keep = 0;
+        for (auto& e : adj) {
+          const std::uint32_t* c = owner_of(e.to) == me
+                                       ? &comp[vmap.to_local(e.to)]
+                                       : answers.find(e.to);
+          MND_DCHECK(c != nullptr);
+          e.to_comp = *c;
+          if (e.to_comp != comp[i]) adj[keep++] = e;
+        }
+        adj.resize(keep);
+      }
+      device::KernelWork w;
+      w.active_vertices = nlocal;
+      w.edges_scanned = scanned;
+      w.atomic_updates = scanned / 4;
+      worker.charge_compute(w);
+    }
+  }
+
+  result.supersteps = worker.supersteps();
+  return result;
+}
+
+}  // namespace
+
+BspMsfReport run_bsp_msf(const graph::EdgeList& input,
+                         const BspOptions& opts) {
+  MND_CHECK(opts.num_workers >= 1);
+  const graph::Csr csr = graph::Csr::from_edge_list(input);
+
+  sim::ClusterConfig config;
+  config.num_ranks = opts.num_workers;
+  config.net = opts.net;
+
+  BspMsfReport report;
+  std::mutex result_mutex;
+  std::vector<EdgeId> forest;
+  int supersteps = 0;
+  int rounds = 0;
+
+  report.run = sim::run_cluster(config, [&](sim::Communicator& comm) {
+    WorkerResult r = msf_worker(comm, csr, opts);
+    // Collect forest edges at worker 0.
+    sim::Serializer s;
+    s.put_vector(r.mst_edges);
+    auto gathered = comm.gather(s.take(), 0, 0xB5FF);
+    std::lock_guard<std::mutex> lock(result_mutex);
+    supersteps = std::max(supersteps, r.supersteps);
+    rounds = std::max(rounds, r.rounds);
+    if (comm.rank() == 0) {
+      for (const auto& block : gathered) {
+        sim::Deserializer d(block);
+        auto edges = d.get_vector<EdgeId>();
+        forest.insert(forest.end(), edges.begin(), edges.end());
+      }
+      std::sort(forest.begin(), forest.end());
+    }
+  });
+
+  report.forest.edges = std::move(forest);
+  for (EdgeId id : report.forest.edges) {
+    report.forest.total_weight += input.edge(id).w;
+  }
+  report.forest.num_components =
+      input.num_vertices() - report.forest.edges.size();
+  report.supersteps = supersteps;
+  report.rounds = rounds;
+  report.total_seconds = report.run.makespan;
+  const auto phases = report.run.max_phases();
+  report.comm_seconds = phases.get("comm");
+  report.compute_seconds = phases.get("compute");
+  return report;
+}
+
+}  // namespace mnd::bsp

@@ -1,0 +1,74 @@
+// BSP Minimum Spanning Forest — the Pregel+ baseline (paper §5.2).
+//
+// A faithful re-creation of the Boruvka-style MSF computation that
+// Pregel+ (Yan et al., WWW'15) runs: per round,
+//   1. every vertex proposes its lightest inter-component edge to its
+//      component root (with sender-side combining, Pregel's combiner);
+//   2. roots pick the component-wide minimum, announce the merge to the
+//      target component ("conjoined tree" step) and resolve mutual pairs;
+//   3. pointer jumping collapses the merge forest to new roots
+//      (O(log) supersteps of request/response);
+//   4. every vertex refreshes its component id from its old root;
+//   5. every vertex re-asks the owner of each neighbor for its component
+//      id and prunes now-internal edges — the O(E)-message step whose
+//      cost dominates and which Pregel+'s request-response/mirroring
+//      techniques compress (toggle with `message_combining`).
+// Rounds repeat until no component can grow. Every exchange is a global
+// superstep with full synchronization — the BSP behaviour MND-MST's
+// divide-and-conquer is measured against.
+#pragma once
+
+#include "device/cost_model.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/reference_mst.hpp"
+#include "simcluster/cluster.hpp"
+
+namespace mnd::bsp {
+
+/// Vertex-to-worker assignment. Pregel-family systems hash vertices
+/// across workers (`hash(id) mod P`), destroying input locality — one of
+/// the structural reasons their cut fraction and message volume are high.
+/// Range uses the same degree-balanced 1-D ranges as MND-MST (what GPS's
+/// LALP/repartitioning moves toward), for ablation.
+enum class BspPartitioning { Hash, Range };
+
+struct BspOptions {
+  /// Workers == simulated nodes (each models a node's 8 local workers
+  /// through the multicore CPU model, like the paper's 8-per-node setup).
+  int num_workers = 16;
+  BspPartitioning partitioning = BspPartitioning::Hash;
+  /// Pregel+ transports messages over Hadoop RPC; fixed costs are scaled
+  /// for the stand-in datasets (see NetModel::for_data_scale).
+  sim::NetModel net =
+      sim::NetModel::amd_cluster_hadoop_rpc().for_data_scale(4000.0);
+  device::CpuModel cpu_model = device::CpuModel::pregel_worker_8core();
+  /// Pregel+'s message-reduction techniques (combiner + request-response +
+  /// mirroring). Off = plain Pregel/Giraph-style messaging.
+  bool message_combining = true;
+  /// Pregel+ mirrors (and therefore combines messages for) only vertices
+  /// with degree at or above this threshold (Yan et al. report thresholds
+  /// around 100 or more as profitable).
+  int mirror_degree_threshold = 100;
+  int max_rounds = 64;
+};
+
+struct BspMsfReport {
+  graph::MstResult forest;  // assembled on worker 0
+
+  double total_seconds = 0.0;  // virtual makespan
+  double comm_seconds = 0.0;   // max over workers
+  double compute_seconds = 0.0;
+
+  int supersteps = 0;
+  int rounds = 0;
+  sim::RunReport run;
+
+  double communication_fraction() const {
+    return total_seconds <= 0.0 ? 0.0 : comm_seconds / total_seconds;
+  }
+};
+
+/// Runs the BSP MSF end to end on a simulated cluster. Deterministic.
+BspMsfReport run_bsp_msf(const graph::EdgeList& input, const BspOptions& opts);
+
+}  // namespace mnd::bsp

@@ -1,0 +1,106 @@
+#include "device/calibration.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/flat_hash.hpp"
+#include "util/rng.hpp"
+
+namespace mnd::device {
+
+KernelWork boruvka_pass_work(std::size_t vertices, std::size_t edges,
+                             std::size_t max_degree) {
+  KernelWork w;
+  w.active_vertices = vertices;
+  w.edges_scanned = 2 * edges;  // both CSR directions get scanned
+  // One min-edge CAS per vertex plus one parent update per contraction
+  // (about half the vertices contract in a pass).
+  w.atomic_updates = vertices + vertices / 2;
+  w.max_degree = max_degree;
+  return w;
+}
+
+CalibrationResult calibrate_split(const graph::Csr& g, const CpuDevice& cpu,
+                                  const GpuDevice& gpu,
+                                  const CalibrationOptions& opts) {
+  MND_CHECK(opts.num_subgraphs >= 1);
+  MND_CHECK(opts.vertex_fraction > 0.0 && opts.vertex_fraction <= 1.0);
+  const graph::VertexId n = g.num_vertices();
+  CalibrationResult out;
+  if (n == 0) {
+    out.gpu_share = 0.0;
+    return out;
+  }
+
+  const auto sample_size = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(n) *
+                                  opts.vertex_fraction));
+  Rng rng(opts.seed);
+  double ratio_sum = 0.0;
+
+  for (int s = 0; s < opts.num_subgraphs; ++s) {
+    // Random induced subgraph: sample vertices, count the edges among them.
+    FlatHashSet<graph::VertexId> chosen(sample_size);
+    while (chosen.size() < sample_size) {
+      chosen.insert(static_cast<graph::VertexId>(rng.next_below(n)));
+    }
+    std::size_t sub_edges = 0;
+    std::size_t sub_max_degree = 0;
+    chosen.for_each([&](graph::VertexId v) {
+      std::size_t deg = 0;
+      for (const auto& arc : g.adjacency(v)) {
+        if (chosen.contains(arc.to)) {
+          ++deg;
+          if (v < arc.to) ++sub_edges;
+        }
+      }
+      sub_max_degree = std::max(sub_max_degree, deg);
+    });
+
+    // Induced subgraphs keep vertex_fraction of the vertices but only
+    // ~vertex_fraction^2 of the edges. At the paper's billion-edge scale a
+    // 5% subgraph still saturates the GPU; at stand-in scale it would not,
+    // so the sampled edge work is extrapolated by 1/vertex_fraction to
+    // stay representative of a device's real share.
+    const auto scaled_edges = static_cast<std::size_t>(
+        static_cast<double>(sub_edges) / opts.vertex_fraction);
+    const KernelWork work =
+        boruvka_pass_work(chosen.size(), scaled_edges, sub_max_degree);
+    const double cpu_t = cpu.kernel_seconds(work);
+    // The GPU pays transfers for its partition; include them so tiny
+    // subgraphs correctly bias toward the CPU.
+    const std::size_t bytes = chosen.size() * 8 + sub_edges * 16;
+    const double gpu_t = gpu.kernel_with_transfers(work, bytes, bytes / 4);
+    ratio_sum += cpu_t / std::max(gpu_t, 1e-12);
+    // The calibration itself only executes the *actual* subgraph (the
+    // extrapolated work above exists only inside the ratio estimate).
+    const KernelWork real_work =
+        boruvka_pass_work(chosen.size(), sub_edges, sub_max_degree);
+    out.virtual_seconds += cpu.kernel_seconds(real_work) +
+                           gpu.kernel_with_transfers(real_work, bytes / 16,
+                                                     bytes / 64);
+    ++out.subgraphs_used;
+  }
+
+  out.mean_speed_ratio = ratio_sum / static_cast<double>(out.subgraphs_used);
+  // Split edges proportionally to device speed: share = r / (1 + r).
+  out.gpu_share = out.mean_speed_ratio / (1.0 + out.mean_speed_ratio);
+
+  // Respect the GPU memory bound (paper also considers "GPU memory
+  // requirements for the problem"): CSR bytes of the GPU partition must
+  // fit in device memory with slack for worklists.
+  if (gpu.memory_bytes() != kUnlimitedMemory) {
+    const double graph_bytes =
+        static_cast<double>(g.num_arcs()) * 16.0 +
+        static_cast<double>(n) * 8.0;
+    const double budget = static_cast<double>(gpu.memory_bytes()) * 0.8;
+    if (graph_bytes > 0.0) {
+      out.gpu_share = std::min(out.gpu_share, budget / graph_bytes);
+    }
+  }
+  out.gpu_share = std::clamp(out.gpu_share, 0.0, 0.95);
+  return out;
+}
+
+}  // namespace mnd::device

@@ -1,0 +1,45 @@
+// CPU:GPU partition-ratio calibration (paper §4.3.1).
+//
+// The runtime forms 5-10 random induced subgraphs, each with ~5% of the
+// vertices, "executes" each on both devices (here: prices one Boruvka-style
+// pass through each subgraph with both cost models), and averages the
+// performance ratios. The ratio — together with the GPU memory bound —
+// decides how the node's CSR segment is split between the devices.
+#pragma once
+
+#include <cstdint>
+
+#include "device/device.hpp"
+#include "graph/csr.hpp"
+
+namespace mnd::device {
+
+struct CalibrationOptions {
+  int num_subgraphs = 8;         // paper: 5-10
+  double vertex_fraction = 0.05; // paper: 5% of |V|
+  std::uint64_t seed = 42;
+};
+
+struct CalibrationResult {
+  /// Fraction of the node's edges that should go to the GPU, in [0,1].
+  double gpu_share = 0.0;
+  /// Mean of per-subgraph (cpu_time / gpu_time); >1 means GPU is faster.
+  double mean_speed_ratio = 1.0;
+  int subgraphs_used = 0;
+  /// Virtual seconds the calibration itself costs (both devices run every
+  /// subgraph); charged to the rank that calibrates.
+  double virtual_seconds = 0.0;
+};
+
+/// Calibrates using random induced subgraphs of `g`. The GPU share is
+/// capped so the GPU partition (CSR bytes) fits in device memory.
+CalibrationResult calibrate_split(const graph::Csr& g, const CpuDevice& cpu,
+                                  const GpuDevice& gpu,
+                                  const CalibrationOptions& opts = {});
+
+/// Prices one data-driven Boruvka-style pass over an induced subgraph with
+/// `vertices` vertices, `edges` edges and the given max degree.
+KernelWork boruvka_pass_work(std::size_t vertices, std::size_t edges,
+                             std::size_t max_degree);
+
+}  // namespace mnd::device

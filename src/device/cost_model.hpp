@@ -1,0 +1,187 @@
+// Device cost models for the simulated heterogeneous node.
+//
+// The real system ran Boruvka kernels on CPU cores (Galois-style worklists,
+// OpenMP) and on an NVIDIA K40 (CUDA). Neither OpenMP-scale hardware nor a
+// GPU is available here, so kernels execute on the host while *virtual
+// time* is charged according to these models. The models encode the
+// paper's §3.5 kernel-optimization effects so the ablations are measurable:
+//   * hierarchical adjacency-list processing (Merrill et al.): without it a
+//     single GPU thread serially walks a whole adjacency list, so skewed
+//     degrees dominate kernel time;
+//   * batched/hierarchical atomics (Egielski et al.): without them global
+//     atomic collisions serialize updates;
+//   * data-driven worklists: cost scales with *active* vertices, not |V|;
+//   * cudaStream overlap: host<->device transfers can hide under kernels.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+namespace mnd::device {
+
+/// Work performed by one kernel invocation, counted by the algorithm.
+struct KernelWork {
+  std::size_t active_vertices = 0;  // worklist entries processed
+  std::size_t edges_scanned = 0;    // adjacency volume touched
+  std::size_t atomic_updates = 0;   // global atomic ops issued
+  std::size_t max_degree = 0;       // largest adjacency in the worklist
+
+  KernelWork& operator+=(const KernelWork& other) {
+    active_vertices += other.active_vertices;
+    edges_scanned += other.edges_scanned;
+    atomic_updates += other.atomic_updates;
+    max_degree = std::max(max_degree, other.max_degree);
+    return *this;
+  }
+};
+
+/// Multicore CPU (the paper's 8-core Opteron / 12-core Ivybridge node).
+///
+/// The per-item constants are anchored to the paper's measured
+/// throughputs, not to hand-optimized modern kernels: Table 4 implies
+/// ~30ns of node time per edge-operation for the Opteron node (52.6s for
+/// a single-node run over arabic-2005's 1.26B edges at a few passes).
+/// Graph kernels on 2012-era NUMA nodes are random-access bound — a DRAM
+/// miss per edge endpoint — so these values are physical, and keeping them
+/// honest keeps every compute:bytes ratio (network and PCIe) at the
+/// paper's scale.
+struct CpuModel {
+  int threads = 8;
+  double seconds_per_edge = 200.0e-9;   // single-thread scan cost
+  double seconds_per_vertex = 400.0e-9; // worklist pop + min tracking
+  double seconds_per_atomic = 600.0e-9;
+  double parallel_efficiency = 0.80;    // memory-bound scaling loss
+
+  double kernel_seconds(const KernelWork& w) const {
+    const double serial =
+        static_cast<double>(w.edges_scanned) * seconds_per_edge +
+        static_cast<double>(w.active_vertices) * seconds_per_vertex +
+        static_cast<double>(w.atomic_updates) * seconds_per_atomic;
+    const double speedup =
+        1.0 + (static_cast<double>(threads) - 1.0) * parallel_efficiency;
+    return serial / speedup;
+  }
+
+  static CpuModel amd_opteron_8core() { return CpuModel{}; }
+
+  /// A Pregel-style vertex-centric worker on the same 8-core node. The
+  /// per-item constants carry a ~1.5x framework tax over the native
+  /// kernels (vertex-program dispatch, message construction, per-message
+  /// heap traffic); the rest of the compute gap the paper measures
+  /// (Table 3: uk-2007 202s vs 36s of compute) comes from the BSP
+  /// algorithm touching every live edge several times per round.
+  static CpuModel pregel_worker_8core() {
+    CpuModel m;
+    m.threads = 8;
+    m.seconds_per_edge = 300.0e-9;
+    m.seconds_per_vertex = 600.0e-9;
+    m.seconds_per_atomic = 600.0e-9;
+    m.parallel_efficiency = 0.75;
+    return m;
+  }
+  static CpuModel xeon_ivybridge_12core() {
+    CpuModel m;
+    m.threads = 12;
+    m.seconds_per_edge = 140.0e-9;
+    m.seconds_per_vertex = 280.0e-9;
+    m.seconds_per_atomic = 400.0e-9;
+    m.parallel_efficiency = 0.75;
+    return m;
+  }
+};
+
+/// Throughput-oriented accelerator (the paper's Tesla K40).
+///
+/// Like CpuModel, the constants reflect measured irregular-graph-kernel
+/// throughput on the K40 (roughly 1.5-2x a 12-core Ivybridge node for
+/// Boruvka-style kernels — the paper's modest "up to 23%" node-level
+/// gains say the device is *not* an order of magnitude faster here).
+struct GpuModel {
+  double launch_overhead = 8.0e-6;     // per kernel launch
+  double seconds_per_edge = 12.0e-9;   // saturated edge-scan throughput
+  double seconds_per_vertex = 24.0e-9;
+  double seconds_per_atomic = 18.0e-9; // with batched/hierarchical atomics
+  double atomic_collision_factor = 8.0;  // penalty without batching
+  /// Work size at which the device reaches half of peak throughput; small
+  /// worklists underutilize the 2880 cores.
+  double saturation_items = 150000.0;
+  std::size_t memory_bytes = 12ull << 30;  // K40: 12 GB
+  bool hierarchical_adjacency = true;
+  bool batched_atomics = true;
+
+  double occupancy(double items) const {
+    return items / (items + saturation_items);
+  }
+
+  double kernel_seconds(const KernelWork& w) const {
+    double edge_cost =
+        static_cast<double>(w.edges_scanned) * seconds_per_edge;
+    if (!hierarchical_adjacency) {
+      // One thread walks each adjacency serially: a hub vertex's list is
+      // processed at ~1/32 of warp throughput and bounds the kernel.
+      const double serial_tail = static_cast<double>(w.max_degree) *
+                                 seconds_per_edge * 32.0;
+      edge_cost = std::max(edge_cost, serial_tail);
+    }
+    double atomic_cost =
+        static_cast<double>(w.atomic_updates) * seconds_per_atomic;
+    if (!batched_atomics) atomic_cost *= atomic_collision_factor;
+    const double base =
+        edge_cost + atomic_cost +
+        static_cast<double>(w.active_vertices) * seconds_per_vertex;
+    const double items = static_cast<double>(w.active_vertices) +
+                         static_cast<double>(w.edges_scanned);
+    const double occ = std::max(occupancy(items), 1e-3);
+    return launch_overhead + base / occ;
+  }
+
+  static GpuModel tesla_k40() { return GpuModel{}; }
+
+  /// Stand-in datasets are `data_scale` times smaller than the paper's;
+  /// per-launch fixed costs and the occupancy saturation point do not
+  /// shrink with the data, so they are divided out to keep the model's
+  /// behaviour (launch overhead amortization, late-iteration
+  /// underutilization) proportionate. Mirrors NetModel::for_data_scale.
+  GpuModel for_data_scale(double data_scale) const {
+    GpuModel m = *this;
+    m.launch_overhead /= data_scale;
+    m.saturation_items /= data_scale;
+    return m;
+  }
+};
+
+/// Host <-> device link (PCIe gen3-ish), with optional cudaStream overlap.
+struct PcieModel {
+  double latency = 10.0e-6;
+  double seconds_per_byte = 1.0 / 11.0e9;  // ~11 GB/s effective
+  bool overlap_streams = true;
+
+  double transfer_seconds(std::size_t bytes) const {
+    return latency + static_cast<double>(bytes) * seconds_per_byte;
+  }
+
+  /// See GpuModel::for_data_scale — PCIe per-transfer latency is a fixed
+  /// cost that must not dominate at stand-in scale.
+  PcieModel for_data_scale(double data_scale) const {
+    PcieModel m = *this;
+    m.latency /= data_scale;
+    return m;
+  }
+
+  /// Time for a kernel plus its input/output transfers. With streams the
+  /// paper overlaps transfer of data not needed by the running kernel
+  /// (§3.5), modelled as max(); without, the phases serialize.
+  double kernel_with_transfers(double kernel_seconds,
+                               std::size_t bytes_in,
+                               std::size_t bytes_out) const {
+    const double t_in = transfer_seconds(bytes_in);
+    const double t_out = transfer_seconds(bytes_out);
+    if (overlap_streams) {
+      // Launch transfer-in, overlap bulk with kernel, drain results.
+      return std::max(kernel_seconds, t_in) + t_out;
+    }
+    return t_in + kernel_seconds + t_out;
+  }
+};
+
+}  // namespace mnd::device

@@ -1,0 +1,23 @@
+#include "device/device.hpp"
+
+namespace mnd::device {
+namespace {
+
+/// Measures asymptotic throughput by pricing a large synthetic workload.
+double throughput_of(const Device& d) {
+  KernelWork big;
+  big.active_vertices = 1u << 20;
+  big.edges_scanned = 16u << 20;
+  big.atomic_updates = 1u << 18;
+  big.max_degree = 64;
+  const double t = d.kernel_seconds(big);
+  return static_cast<double>(big.edges_scanned) / t;
+}
+
+}  // namespace
+
+double CpuDevice::peak_edges_per_second() const { return throughput_of(*this); }
+
+double GpuDevice::peak_edges_per_second() const { return throughput_of(*this); }
+
+}  // namespace mnd::device

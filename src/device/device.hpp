@@ -1,0 +1,94 @@
+// Device abstraction used by HyPar's indComp: a node drives one CPU device
+// and optionally one GPU device (§3.5, §4.1.2). Devices turn counted kernel
+// work into virtual seconds; the GPU additionally charges host<->device
+// transfer time.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "device/cost_model.hpp"
+
+namespace mnd::device {
+
+enum class DeviceKind { Cpu, Gpu };
+
+class Device {
+ public:
+  virtual ~Device() = default;
+
+  virtual DeviceKind kind() const = 0;
+  virtual std::string name() const = 0;
+
+  /// Virtual seconds to execute one kernel of the given work on this
+  /// device, *excluding* data movement.
+  virtual double kernel_seconds(const KernelWork& work) const = 0;
+
+  /// Virtual seconds for a kernel including staging `bytes_in` to the
+  /// device and `bytes_out` back. CPU devices move nothing.
+  virtual double kernel_with_transfers(const KernelWork& work,
+                                       std::size_t bytes_in,
+                                       std::size_t bytes_out) const = 0;
+
+  /// Relative throughput estimate used for partition-ratio seeds: items/s
+  /// on a large saturated workload.
+  virtual double peak_edges_per_second() const = 0;
+
+  /// Device memory limit (bytes); kUnlimitedMemory when host-backed.
+  virtual std::size_t memory_bytes() const = 0;
+};
+
+inline constexpr std::size_t kUnlimitedMemory = ~std::size_t{0};
+
+class CpuDevice final : public Device {
+ public:
+  explicit CpuDevice(CpuModel model = CpuModel{}) : model_(model) {}
+
+  DeviceKind kind() const override { return DeviceKind::Cpu; }
+  std::string name() const override {
+    return "cpu x" + std::to_string(model_.threads);
+  }
+  double kernel_seconds(const KernelWork& work) const override {
+    return model_.kernel_seconds(work);
+  }
+  double kernel_with_transfers(const KernelWork& work, std::size_t,
+                               std::size_t) const override {
+    return model_.kernel_seconds(work);
+  }
+  double peak_edges_per_second() const override;
+  std::size_t memory_bytes() const override { return kUnlimitedMemory; }
+
+  const CpuModel& model() const { return model_; }
+
+ private:
+  CpuModel model_;
+};
+
+class GpuDevice final : public Device {
+ public:
+  explicit GpuDevice(GpuModel model = GpuModel{},
+                     PcieModel pcie = PcieModel{})
+      : model_(model), pcie_(pcie) {}
+
+  DeviceKind kind() const override { return DeviceKind::Gpu; }
+  std::string name() const override { return "gpu"; }
+  double kernel_seconds(const KernelWork& work) const override {
+    return model_.kernel_seconds(work);
+  }
+  double kernel_with_transfers(const KernelWork& work, std::size_t bytes_in,
+                               std::size_t bytes_out) const override {
+    return pcie_.kernel_with_transfers(model_.kernel_seconds(work), bytes_in,
+                                       bytes_out);
+  }
+  double peak_edges_per_second() const override;
+  std::size_t memory_bytes() const override { return model_.memory_bytes; }
+
+  const GpuModel& model() const { return model_; }
+  const PcieModel& pcie() const { return pcie_; }
+
+ private:
+  GpuModel model_;
+  PcieModel pcie_;
+};
+
+}  // namespace mnd::device

@@ -1,0 +1,65 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace mnd::graph {
+
+Csr Csr::from_edge_list(const EdgeList& el) {
+  Csr g;
+  const VertexId n = el.num_vertices();
+  g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+
+  std::size_t arc_count = 0;
+  for (const auto& e : el.edges()) {
+    if (e.u == e.v) continue;
+    ++g.offsets_[e.u + 1];
+    ++g.offsets_[e.v + 1];
+    arc_count += 2;
+  }
+  for (std::size_t v = 1; v <= n; ++v) g.offsets_[v] += g.offsets_[v - 1];
+  MND_CHECK(g.offsets_[n] == arc_count);
+
+  g.arcs_.resize(arc_count);
+  g.edge_origin_.assign(el.num_edges(),
+                        {kInvalidVertex, static_cast<std::size_t>(-1)});
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& e : el.edges()) {
+    if (e.u == e.v) continue;
+    const std::size_t pos_u = cursor[e.u]++;
+    g.arcs_[pos_u] = Arc{e.v, e.w, e.id};
+    g.edge_origin_[e.id] = {e.u, pos_u};
+    g.arcs_[cursor[e.v]++] = Arc{e.u, e.w, e.id};
+  }
+
+  // Sort each adjacency by (neighbor, weight) for deterministic iteration
+  // and cache-friendly scans.
+  for (VertexId v = 0; v < n; ++v) {
+    auto begin = g.arcs_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]);
+    auto end = g.arcs_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]);
+    std::sort(begin, end, [](const Arc& a, const Arc& b) {
+      if (a.to != b.to) return a.to < b.to;
+      if (a.w != b.w) return a.w < b.w;
+      return a.id < b.id;
+    });
+  }
+  // Sorting invalidated recorded arc positions; rebuild canonical origins.
+  for (VertexId v = 0; v < n; ++v) {
+    for (std::size_t i = g.offsets_[v]; i < g.offsets_[v + 1]; ++i) {
+      const Arc& a = g.arcs_[i];
+      if (v <= a.to) g.edge_origin_[a.id] = {v, i};
+    }
+  }
+  return g;
+}
+
+WeightedEdge Csr::edge(EdgeId id) const {
+  MND_CHECK_MSG(id < edge_origin_.size(), "edge id out of range: " << id);
+  const auto [src, pos] = edge_origin_[id];
+  MND_CHECK_MSG(src != kInvalidVertex, "edge id " << id << " was a self loop");
+  const Arc& a = arcs_[pos];
+  return WeightedEdge{src, a.to, a.w, id};
+}
+
+}  // namespace mnd::graph

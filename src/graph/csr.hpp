@@ -1,0 +1,63 @@
+// Immutable Compressed Sparse Row representation of an undirected graph.
+//
+// Both directions of every undirected edge are stored (so adjacency(v)
+// enumerates every incident edge); the two directions share one EdgeId.
+// This is the layout the paper partitions with 1-D block partitioning and
+// splits between CPU and GPU devices (§3.1).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "graph/types.hpp"
+
+namespace mnd::graph {
+
+class Csr {
+ public:
+  /// One directed arc in the adjacency of some vertex.
+  struct Arc {
+    VertexId to;
+    Weight w;
+    EdgeId id;
+  };
+
+  Csr() = default;
+
+  /// Builds from an undirected edge list (self loops are skipped; parallel
+  /// edges are kept — reduction layers handle multi-edge removal).
+  static Csr from_edge_list(const EdgeList& el);
+
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
+  /// Number of undirected edges (arcs / 2).
+  std::size_t num_edges() const { return arcs_.size() / 2; }
+  std::size_t num_arcs() const { return arcs_.size(); }
+
+  std::span<const Arc> adjacency(VertexId v) const {
+    return std::span<const Arc>(arcs_.data() + offsets_[v],
+                                arcs_.data() + offsets_[v + 1]);
+  }
+
+  std::size_t degree(VertexId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  std::span<const std::size_t> offsets() const { return offsets_; }
+  std::span<const Arc> arcs() const { return arcs_; }
+
+  /// Looks up the undirected endpoints+weight of edge `id`.
+  /// O(1): the builder records one canonical arc position per edge id.
+  WeightedEdge edge(EdgeId id) const;
+
+ private:
+  std::vector<std::size_t> offsets_;  // size V+1
+  std::vector<Arc> arcs_;             // size 2E
+  // For each EdgeId: packed (source vertex, arc index) of its canonical arc.
+  std::vector<std::pair<VertexId, std::size_t>> edge_origin_;
+};
+
+}  // namespace mnd::graph

@@ -1,0 +1,39 @@
+// Registry of the paper's six evaluation graphs, realized as deterministic
+// synthetic stand-ins (~4000x smaller than the originals; see DESIGN.md §2).
+//
+// Each stand-in is generated to match the *regime* that drives MND-MST's
+// behaviour on the original: degree distribution shape, average degree,
+// diameter class, and relative size between the six graphs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+
+namespace mnd::graph {
+
+struct DatasetSpec {
+  std::string name;        // paper's graph name, e.g. "road_usa"
+  std::string family;      // "road" | "web" | "hub-web"
+  // Paper-reported statistics of the original graph (Table 2).
+  double paper_vertices_m;  // millions
+  double paper_edges_b;     // billions
+  double paper_avg_degree;
+  double paper_approx_diameter;
+  std::uint64_t paper_max_degree;
+};
+
+/// Specs for all six graphs in paper order (Table 2 rows).
+const std::vector<DatasetSpec>& paper_datasets();
+
+/// Generates the stand-in for a paper graph name ("road_usa", ...,
+/// "uk-2007"). `scale` in (0,1] shrinks the default stand-in further (tests
+/// use small scales; benches use 1.0). Weights are random in [1, 1e6].
+EdgeList make_dataset(const std::string& name, double scale = 1.0,
+                      std::uint64_t seed = 2018);
+
+/// Names accepted by make_dataset, in paper order.
+std::vector<std::string> dataset_names();
+
+}  // namespace mnd::graph

@@ -1,0 +1,63 @@
+#include "graph/edge_list.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace mnd::graph {
+
+void EdgeList::ensure_vertices(VertexId n) {
+  num_vertices_ = std::max(num_vertices_, n);
+}
+
+EdgeId EdgeList::add_edge(VertexId u, VertexId v, Weight w) {
+  ensure_vertices(std::max(u, v) + 1);
+  const EdgeId id = edges_.size();
+  edges_.push_back(WeightedEdge{u, v, w, id});
+  return id;
+}
+
+void EdgeList::canonicalize(bool drop_parallel) {
+  std::vector<WeightedEdge> kept;
+  kept.reserve(edges_.size());
+  for (const auto& e : edges_) {
+    if (e.u == e.v) continue;
+    WeightedEdge canon = e;
+    if (canon.u > canon.v) std::swap(canon.u, canon.v);
+    kept.push_back(canon);
+  }
+  if (drop_parallel) {
+    std::sort(kept.begin(), kept.end(),
+              [](const WeightedEdge& a, const WeightedEdge& b) {
+                if (a.u != b.u) return a.u < b.u;
+                if (a.v != b.v) return a.v < b.v;
+                return lighter(a, b);
+              });
+    kept.erase(std::unique(kept.begin(), kept.end(),
+                           [](const WeightedEdge& a, const WeightedEdge& b) {
+                             return a.u == b.u && a.v == b.v;
+                           }),
+               kept.end());
+  }
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    kept[i].id = static_cast<EdgeId>(i);
+  }
+  edges_ = std::move(kept);
+}
+
+void EdgeList::randomize_weights(std::uint64_t seed, Weight lo, Weight hi) {
+  MND_CHECK(lo <= hi);
+  Rng rng(seed);
+  for (auto& e : edges_) {
+    e.w = static_cast<Weight>(rng.next_in(lo, hi));
+  }
+}
+
+WeightSum EdgeList::total_weight() const {
+  WeightSum total = 0;
+  for (const auto& e : edges_) total += e.w;
+  return total;
+}
+
+}  // namespace mnd::graph

@@ -1,0 +1,48 @@
+// Mutable edge-list graph representation used during construction and by
+// the reference (single-machine) algorithms.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace mnd::graph {
+
+/// An undirected weighted multigraph stored as a flat list of edges. Each
+/// undirected edge appears once; self loops are permitted at this layer but
+/// canonicalize() can drop them.
+class EdgeList {
+ public:
+  EdgeList() = default;
+  explicit EdgeList(VertexId num_vertices) : num_vertices_(num_vertices) {}
+
+  VertexId num_vertices() const { return num_vertices_; }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  /// Grows the vertex set to cover ids [0, n).
+  void ensure_vertices(VertexId n);
+
+  /// Appends an undirected edge; assigns it the next EdgeId.
+  EdgeId add_edge(VertexId u, VertexId v, Weight w);
+
+  const std::vector<WeightedEdge>& edges() const { return edges_; }
+  const WeightedEdge& edge(EdgeId id) const { return edges_[id]; }
+
+  /// Removes self loops and, when drop_parallel is set, keeps only the
+  /// lightest of each set of parallel edges (ties by id). Edge ids are
+  /// reassigned densely afterwards.
+  void canonicalize(bool drop_parallel = true);
+
+  /// Re-draws all edge weights uniformly in [lo, hi] with the given seed.
+  /// Mirrors the paper's "assigned random weights to the edges".
+  void randomize_weights(std::uint64_t seed, Weight lo, Weight hi);
+
+  WeightSum total_weight() const;
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<WeightedEdge> edges_;
+};
+
+}  // namespace mnd::graph

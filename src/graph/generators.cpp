@@ -1,0 +1,347 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/flat_hash.hpp"
+#include "util/rng.hpp"
+
+namespace mnd::graph {
+namespace {
+
+constexpr Weight kDefaultMaxWeight = 1'000'000;
+
+using VertexPair = std::pair<VertexId, VertexId>;
+
+VertexPair canonical(VertexId u, VertexId v) {
+  return u < v ? VertexPair{u, v} : VertexPair{v, u};
+}
+
+}  // namespace
+
+EdgeList erdos_renyi(VertexId n, std::size_t m, std::uint64_t seed) {
+  MND_CHECK(n >= 2);
+  EdgeList el(n);
+  Rng rng(seed);
+  FlatHashSet<VertexPair> seen(m);
+  std::size_t added = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = m * 20 + 1000;
+  while (added < m && attempts < max_attempts) {
+    ++attempts;
+    const VertexId u = static_cast<VertexId>(rng.next_below(n));
+    const VertexId v = static_cast<VertexId>(rng.next_below(n));
+    if (u == v) continue;
+    if (!seen.insert(canonical(u, v))) continue;
+    el.add_edge(u, v, static_cast<Weight>(rng.next_in(1, kDefaultMaxWeight)));
+    ++added;
+  }
+  return el;
+}
+
+EdgeList rmat(VertexId n_log2, std::size_t m, std::uint64_t seed, double a,
+              double b, double c) {
+  MND_CHECK(n_log2 >= 1 && n_log2 <= 30);
+  const double d = 1.0 - a - b - c;
+  MND_CHECK_MSG(d >= 0.0, "rmat probabilities exceed 1");
+  const VertexId n = VertexId{1} << n_log2;
+  EdgeList el(n);
+  Rng rng(seed);
+  FlatHashSet<VertexPair> seen(m);
+  // R-MAT draws can collide heavily in the dense quadrant; bound attempts.
+  const std::size_t max_attempts = m * 8 + 1000;
+  std::size_t attempts = 0;
+  std::size_t added = 0;
+  while (added < m && attempts < max_attempts) {
+    ++attempts;
+    VertexId u = 0;
+    VertexId v = 0;
+    for (VertexId bit = 0; bit < n_log2; ++bit) {
+      const double r = rng.next_double();
+      // Add ±10% per-level noise to the quadrant probabilities, the usual
+      // trick to avoid grid artifacts in R-MAT.
+      const double noise = 0.9 + 0.2 * rng.next_double();
+      const double aa = a * noise;
+      const double bb = b * noise;
+      const double cc = c * noise;
+      const double total = aa + bb + cc + d * noise;
+      const double x = r * total;
+      u <<= 1;
+      v <<= 1;
+      if (x < aa) {
+        // top-left: no bits set
+      } else if (x < aa + bb) {
+        v |= 1;
+      } else if (x < aa + bb + cc) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u == v) continue;
+    if (!seen.insert(canonical(u, v))) continue;
+    el.add_edge(u, v, static_cast<Weight>(rng.next_in(1, kDefaultMaxWeight)));
+    ++added;
+  }
+  return el;
+}
+
+EdgeList preferential_attachment(VertexId n, unsigned attach,
+                                 std::uint64_t seed) {
+  MND_CHECK(n > attach && attach >= 1);
+  EdgeList el(n);
+  Rng rng(seed);
+  // endpoint pool: every edge contributes both endpoints, so sampling a
+  // uniform pool element is degree-proportional sampling.
+  std::vector<VertexId> pool;
+  pool.reserve(static_cast<std::size_t>(n) * attach * 2);
+  // Seed clique over the first attach+1 vertices.
+  for (VertexId u = 0; u <= attach; ++u) {
+    for (VertexId v = u + 1; v <= attach; ++v) {
+      el.add_edge(u, v, static_cast<Weight>(rng.next_in(1, kDefaultMaxWeight)));
+      pool.push_back(u);
+      pool.push_back(v);
+    }
+  }
+  for (VertexId v = attach + 1; v < n; ++v) {
+    FlatHashSet<VertexId> chosen(attach * 2);
+    unsigned made = 0;
+    std::size_t guard = 0;
+    while (made < attach && guard < 100u * attach) {
+      ++guard;
+      const VertexId target = pool[rng.next_below(pool.size())];
+      if (target == v || !chosen.insert(target)) continue;
+      el.add_edge(v, target,
+                  static_cast<Weight>(rng.next_in(1, kDefaultMaxWeight)));
+      pool.push_back(v);
+      pool.push_back(target);
+      ++made;
+    }
+  }
+  return el;
+}
+
+EdgeList web_graph(const WebGraphParams& params) {
+  MND_CHECK(params.n >= 16);
+  MND_CHECK(params.num_hubs >= 1);
+  MND_CHECK(params.hub_fraction >= 0.0 && params.hub_fraction < 1.0);
+  const VertexId n = params.n;
+  EdgeList el(n);
+  Rng rng(params.seed);
+
+  // Hubs spread across the id range (hubs exist on every "host block").
+  std::vector<VertexId> hubs(static_cast<std::size_t>(params.num_hubs));
+  for (std::size_t h = 0; h < hubs.size(); ++h) {
+    hubs[h] = static_cast<VertexId>(
+        (static_cast<std::uint64_t>(h) * n) / hubs.size() +
+        rng.next_below(std::max<std::uint64_t>(1, n / (4 * hubs.size()))));
+  }
+  // Zipf weights over hubs: hub 0 is the monster (sk-2005-style).
+  std::vector<double> hub_cdf(hubs.size());
+  {
+    double total = 0.0;
+    for (std::size_t h = 0; h < hubs.size(); ++h) {
+      total += 1.0 / static_cast<double>(h + 1);
+      hub_cdf[h] = total;
+    }
+    for (auto& x : hub_cdf) x /= total;
+  }
+  auto pick_hub = [&]() {
+    const double u = rng.next_double();
+    for (std::size_t h = 0; h < hub_cdf.size(); ++h) {
+      if (u <= hub_cdf[h]) return hubs[h];
+    }
+    return hubs.back();
+  };
+  // Crawl-order offset: most links stay within a "host block" of ids
+  // (uniform over the block, so a vertex can have many distinct near
+  // neighbors), with a Pareto tail of long cross-host hops.
+  const std::uint64_t avg_degree =
+      std::max<std::uint64_t>(2, 2 * params.target_edges / n);
+  const std::uint64_t host_block = std::max<std::uint64_t>(16, 3 * avg_degree);
+  auto pick_offset = [&]() {
+    if (rng.next_bool(0.75)) {
+      return 1 + rng.next_below(host_block);  // intra-host link
+    }
+    const double u = std::max(rng.next_double(), 1e-12);
+    const double raw = static_cast<double>(host_block) *
+                       std::pow(u, -1.0 / params.locality_alpha);
+    const double capped = std::min(raw, static_cast<double>(n) / 2.0);
+    return static_cast<std::uint64_t>(capped);
+  };
+
+  FlatHashSet<VertexPair> seen(params.target_edges);
+  const std::size_t per_vertex =
+      std::max<std::size_t>(1, params.target_edges / n);
+  const std::size_t max_attempts = params.target_edges * 12 + 1000;
+  std::size_t attempts = 0;
+  std::size_t added = 0;
+  // Round-robin sources so every vertex gets ~average out-degree, like
+  // bounded crawl out-degrees; in-degree skew comes from the hubs.
+  for (std::size_t round = 0; round < per_vertex + 6 &&
+                              added < params.target_edges &&
+                              attempts < max_attempts;
+       ++round) {
+    for (VertexId v = 0; v < n && added < params.target_edges; ++v) {
+      ++attempts;
+      VertexId target;
+      if (rng.next_bool(params.hub_fraction)) {
+        target = pick_hub();
+      } else {
+        const std::uint64_t off = pick_offset();
+        const bool forward = rng.next_bool(0.5);
+        std::int64_t t = static_cast<std::int64_t>(v) +
+                         (forward ? 1 : -1) * static_cast<std::int64_t>(off);
+        if (t < 0) t += n;
+        if (t >= static_cast<std::int64_t>(n)) t -= n;
+        target = static_cast<VertexId>(t);
+      }
+      if (target == v) continue;
+      if (!seen.insert(canonical(v, target))) continue;
+      el.add_edge(v, target,
+                  static_cast<Weight>(rng.next_in(1, kDefaultMaxWeight)));
+      ++added;
+    }
+  }
+  return el;
+}
+
+EdgeList road_grid(VertexId rows, VertexId cols, double diag_p, double drop_p,
+                   std::uint64_t seed) {
+  MND_CHECK(rows >= 2 && cols >= 2);
+  const VertexId n = rows * cols;
+  EdgeList el(n);
+  Rng rng(seed);
+  auto at = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      const VertexId v = at(r, c);
+      if (c + 1 < cols && !rng.next_bool(drop_p)) {
+        el.add_edge(v, at(r, c + 1),
+                    static_cast<Weight>(rng.next_in(1, kDefaultMaxWeight)));
+      }
+      if (r + 1 < rows && !rng.next_bool(drop_p)) {
+        el.add_edge(v, at(r + 1, c),
+                    static_cast<Weight>(rng.next_in(1, kDefaultMaxWeight)));
+      }
+      if (r + 1 < rows && c + 1 < cols && rng.next_bool(diag_p)) {
+        el.add_edge(v, at(r + 1, c + 1),
+                    static_cast<Weight>(rng.next_in(1, kDefaultMaxWeight)));
+      }
+    }
+  }
+  // Stitch rows together so dropped edges cannot disconnect large chunks:
+  // guarantee a spine along the first column.
+  for (VertexId r = 0; r + 1 < rows; ++r) {
+    el.add_edge(at(r, 0), at(r + 1, 0),
+                static_cast<Weight>(rng.next_in(1, kDefaultMaxWeight)));
+  }
+  el.canonicalize(/*drop_parallel=*/true);
+  return el;
+}
+
+EdgeList relabel_by_bfs(const EdgeList& el) {
+  const VertexId n = el.num_vertices();
+  // Build adjacency (ids only) for the traversal.
+  std::vector<std::vector<VertexId>> adj(n);
+  for (const auto& e : el.edges()) {
+    if (e.u == e.v) continue;
+    adj[e.u].push_back(e.v);
+    adj[e.v].push_back(e.u);
+  }
+  // Start from the highest-degree vertex of each unvisited region, like a
+  // crawl seeded at a hub.
+  std::vector<VertexId> order_of(n, kInvalidVertex);
+  VertexId next_label = 0;
+  std::vector<VertexId> by_degree(n);
+  for (VertexId v = 0; v < n; ++v) by_degree[v] = v;
+  std::sort(by_degree.begin(), by_degree.end(), [&](VertexId a, VertexId b) {
+    if (adj[a].size() != adj[b].size()) return adj[a].size() > adj[b].size();
+    return a < b;
+  });
+  std::vector<VertexId> queue;
+  for (VertexId seed : by_degree) {
+    if (order_of[seed] != kInvalidVertex) continue;
+    order_of[seed] = next_label++;
+    queue.clear();
+    queue.push_back(seed);
+    std::size_t head = 0;
+    while (head < queue.size()) {
+      const VertexId v = queue[head++];
+      for (VertexId w : adj[v]) {
+        if (order_of[w] == kInvalidVertex) {
+          order_of[w] = next_label++;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  EdgeList out(n);
+  for (const auto& e : el.edges()) {
+    out.add_edge(order_of[e.u], order_of[e.v], e.w);
+  }
+  return out;
+}
+
+EdgeList path_graph(VertexId n, std::uint64_t weight_seed) {
+  MND_CHECK(n >= 1);
+  EdgeList el(n);
+  Rng rng(weight_seed);
+  for (VertexId v = 0; v + 1 < n; ++v) {
+    el.add_edge(v, v + 1, static_cast<Weight>(rng.next_in(1, 100)));
+  }
+  return el;
+}
+
+EdgeList cycle_graph(VertexId n, std::uint64_t weight_seed) {
+  MND_CHECK(n >= 3);
+  EdgeList el = path_graph(n, weight_seed);
+  Rng rng(weight_seed + 1);
+  el.add_edge(n - 1, 0, static_cast<Weight>(rng.next_in(1, 100)));
+  return el;
+}
+
+EdgeList star_graph(VertexId leaves, std::uint64_t weight_seed) {
+  MND_CHECK(leaves >= 1);
+  EdgeList el(leaves + 1);
+  Rng rng(weight_seed);
+  for (VertexId leaf = 1; leaf <= leaves; ++leaf) {
+    el.add_edge(0, leaf, static_cast<Weight>(rng.next_in(1, 100)));
+  }
+  return el;
+}
+
+EdgeList complete_graph(VertexId n, std::uint64_t weight_seed) {
+  MND_CHECK(n >= 2);
+  EdgeList el(n);
+  Rng rng(weight_seed);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      el.add_edge(u, v, static_cast<Weight>(rng.next_in(1, 10000)));
+    }
+  }
+  return el;
+}
+
+EdgeList two_cliques_bridge(VertexId clique_size, Weight bridge_weight,
+                            std::uint64_t weight_seed) {
+  MND_CHECK(clique_size >= 2);
+  EdgeList el(clique_size * 2);
+  Rng rng(weight_seed);
+  for (VertexId base : {VertexId{0}, clique_size}) {
+    for (VertexId u = 0; u < clique_size; ++u) {
+      for (VertexId v = u + 1; v < clique_size; ++v) {
+        el.add_edge(base + u, base + v,
+                    static_cast<Weight>(rng.next_in(1, 10000)));
+      }
+    }
+  }
+  el.add_edge(0, clique_size, bridge_weight);
+  return el;
+}
+
+}  // namespace mnd::graph

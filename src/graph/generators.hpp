@@ -1,0 +1,74 @@
+// Deterministic synthetic graph generators.
+//
+// These provide (a) small fixtures for unit tests and (b) the scaled
+// stand-ins for the paper's six evaluation graphs (see datasets.hpp), since
+// the original billion-edge UFL/LAW downloads are not available offline.
+// All generators take explicit seeds and produce identical graphs across
+// runs and platforms.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace mnd::graph {
+
+/// Erdős–Rényi G(n, m): m distinct random edges among n vertices.
+EdgeList erdos_renyi(VertexId n, std::size_t m, std::uint64_t seed);
+
+/// R-MAT (recursive matrix) generator. Probabilities (a,b,c,d) must sum to
+/// ~1; a=0.57,b=0.19,c=0.19,d=0.05 gives web-graph-like degree skew.
+/// Duplicate edges and self loops are dropped, so the realized edge count
+/// can be slightly below `m`.
+EdgeList rmat(VertexId n_log2, std::size_t m, std::uint64_t seed,
+              double a = 0.57, double b = 0.19, double c = 0.19);
+
+/// Preferential-attachment (Barabási–Albert) graph: each new vertex
+/// attaches to `attach` existing vertices chosen proportionally to degree.
+EdgeList preferential_attachment(VertexId n, unsigned attach,
+                                 std::uint64_t seed);
+
+/// Web-crawl-like graph with the two properties that drive the paper's
+/// evaluation: (a) *locality* — vertex ids follow crawl/URL order, so most
+/// links connect nearby ids (offset drawn from a Pareto tail), which is
+/// why contiguous 1-D partitions work on real web graphs (Gemini [21]);
+/// (b) *hub skew* — a fraction of links is redirected to a small set of
+/// hub vertices with Zipf popularity, producing the power-law in-degrees
+/// and huge max degree of web graphs.
+struct WebGraphParams {
+  VertexId n = 1 << 14;
+  std::size_t target_edges = 100000;
+  double locality_alpha = 0.9;  // offset tail P(>k) ~ k^-alpha
+  double hub_fraction = 0.05;   // fraction of links redirected to hubs
+  int num_hubs = 16;
+  std::uint64_t seed = 1;
+};
+EdgeList web_graph(const WebGraphParams& params);
+
+/// Road-network-like graph: a rows×cols 2-D lattice where each node links
+/// to its right/down neighbors; a fraction `diag_p` of cells also get a
+/// diagonal, and a fraction `drop_p` of lattice edges are deleted (keeping
+/// max degree small and diameter ~rows+cols, like road_usa).
+EdgeList road_grid(VertexId rows, VertexId cols, double diag_p, double drop_p,
+                   std::uint64_t seed);
+
+/// Relabels vertices in BFS order (largest-degree start, components
+/// concatenated). Web graphs ship in crawl/URL order, which gives
+/// contiguous 1-D partitions strong locality (the property Gemini [21]
+/// and the paper exploit); raw R-MAT ids have none, so the web stand-ins
+/// are relabeled this way after generation.
+EdgeList relabel_by_bfs(const EdgeList& el);
+
+// --- Small fixtures for unit tests ---------------------------------------
+
+EdgeList path_graph(VertexId n, std::uint64_t weight_seed = 7);
+EdgeList cycle_graph(VertexId n, std::uint64_t weight_seed = 7);
+EdgeList star_graph(VertexId leaves, std::uint64_t weight_seed = 7);
+EdgeList complete_graph(VertexId n, std::uint64_t weight_seed = 7);
+
+/// Two dense cliques joined by exactly one bridge edge — a canonical case
+/// for cut-edge / frozen-component logic.
+EdgeList two_cliques_bridge(VertexId clique_size, Weight bridge_weight,
+                            std::uint64_t weight_seed = 7);
+
+}  // namespace mnd::graph

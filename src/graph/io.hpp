@@ -1,0 +1,40 @@
+// Graph file IO: whitespace text edge lists, DIMACS .gr, and a fast binary
+// format. Used by the examples so downstream users can feed real data.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/edge_list.hpp"
+
+namespace mnd::graph {
+
+/// Text format: one edge per line, "u v w" (w optional, default 1);
+/// '#' or 'c' starts a comment line.
+EdgeList read_edge_list_text(std::istream& in);
+EdgeList read_edge_list_text_file(const std::string& path);
+void write_edge_list_text(const EdgeList& el, std::ostream& out);
+
+/// DIMACS shortest-path format (.gr): "p sp V E" header, "a u v w" arcs
+/// (1-indexed). Arcs are treated as undirected; duplicate (u,v)/(v,u) pairs
+/// collapse to the lighter edge.
+EdgeList read_dimacs(std::istream& in);
+void write_dimacs(const EdgeList& el, std::ostream& out);
+
+/// Matrix Market coordinate format (.mtx) — the format the University of
+/// Florida Sparse Matrix Collection (the paper's graph source) ships.
+/// Supports `pattern` (weight 1), `integer`/`real` (values rounded to
+/// positive integer weights) and `symmetric`/`general` matrices; the
+/// matrix is treated as an undirected graph, self loops dropped and
+/// duplicate entries collapsed to the lighter edge.
+EdgeList read_matrix_market(std::istream& in);
+EdgeList read_matrix_market_file(const std::string& path);
+void write_matrix_market(const EdgeList& el, std::ostream& out);
+
+/// Binary format: magic, counts, then packed (u,v,w) triples.
+void write_binary(const EdgeList& el, std::ostream& out);
+EdgeList read_binary(std::istream& in);
+void write_binary_file(const EdgeList& el, const std::string& path);
+EdgeList read_binary_file(const std::string& path);
+
+}  // namespace mnd::graph

@@ -1,0 +1,157 @@
+#include "graph/reference_mst.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <string>
+
+#include "graph/union_find.hpp"
+#include "util/check.hpp"
+
+namespace mnd::graph {
+
+MstResult kruskal_mst(const EdgeList& el) {
+  std::vector<EdgeId> order(el.num_edges());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+    return lighter(el.edge(a), el.edge(b));
+  });
+
+  MstResult result;
+  UnionFind uf(el.num_vertices());
+  for (EdgeId id : order) {
+    const auto& e = el.edge(id);
+    if (e.u == e.v) continue;
+    if (uf.unite(e.u, e.v)) {
+      result.edges.push_back(id);
+      result.total_weight += e.w;
+    }
+  }
+  std::sort(result.edges.begin(), result.edges.end());
+  result.num_components = el.num_vertices() == 0 ? 0 : uf.num_components();
+  return result;
+}
+
+MstResult prim_mst(const Csr& g) {
+  const VertexId n = g.num_vertices();
+  MstResult result;
+  std::vector<bool> in_tree(n, false);
+
+  // (weight, edge id, vertex) — the (weight,id) order matches `lighter`.
+  struct HeapEntry {
+    Weight w;
+    EdgeId id;
+    VertexId to;
+  };
+  auto heavier = [](const HeapEntry& a, const HeapEntry& b) {
+    if (a.w != b.w) return a.w > b.w;
+    return a.id > b.id;
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, decltype(heavier)>
+      heap(heavier);
+
+  std::size_t components = 0;
+  for (VertexId root = 0; root < n; ++root) {
+    if (in_tree[root]) continue;
+    ++components;
+    in_tree[root] = true;
+    for (const auto& arc : g.adjacency(root)) {
+      heap.push(HeapEntry{arc.w, arc.id, arc.to});
+    }
+    while (!heap.empty()) {
+      const HeapEntry top = heap.top();
+      heap.pop();
+      if (in_tree[top.to]) continue;
+      in_tree[top.to] = true;
+      result.edges.push_back(top.id);
+      result.total_weight += top.w;
+      for (const auto& arc : g.adjacency(top.to)) {
+        if (!in_tree[arc.to]) heap.push(HeapEntry{arc.w, arc.id, arc.to});
+      }
+    }
+  }
+  std::sort(result.edges.begin(), result.edges.end());
+  result.num_components = components;
+  return result;
+}
+
+MstResult boruvka_mst(const Csr& g) {
+  const VertexId n = g.num_vertices();
+  MstResult result;
+  if (n == 0) return result;
+
+  UnionFind uf(n);
+  bool contracted = true;
+  while (contracted) {
+    contracted = false;
+    // Lightest outgoing edge per component root, in the (weight,id) order.
+    std::vector<EdgeId> best(n, kInvalidEdge);
+    std::vector<Weight> best_w(n, kInfiniteWeight);
+    std::vector<VertexId> best_to(n, kInvalidVertex);
+    for (VertexId v = 0; v < n; ++v) {
+      const VertexId cv = uf.find(v);
+      for (const auto& arc : g.adjacency(v)) {
+        const VertexId cu = uf.find(arc.to);
+        if (cu == cv) continue;
+        if (best[cv] == kInvalidEdge ||
+            lighter(arc.w, arc.id, best_w[cv], best[cv])) {
+          best[cv] = arc.id;
+          best_w[cv] = arc.w;
+          best_to[cv] = cu;
+        }
+      }
+    }
+    for (VertexId c = 0; c < n; ++c) {
+      if (best[c] == kInvalidEdge || uf.find(c) != c) continue;
+      const WeightedEdge e = g.edge(best[c]);
+      if (uf.unite(e.u, e.v)) {
+        result.edges.push_back(best[c]);
+        result.total_weight += e.w;
+        contracted = true;
+      }
+    }
+  }
+  std::sort(result.edges.begin(), result.edges.end());
+  result.num_components = uf.num_components();
+  return result;
+}
+
+ForestValidation validate_spanning_forest(
+    const EdgeList& el, const std::vector<EdgeId>& forest_edges) {
+  ForestValidation out;
+  UnionFind uf(el.num_vertices());
+  WeightSum total = 0;
+  std::vector<EdgeId> sorted = forest_edges;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    out.error = "duplicate edge id in forest";
+    return out;
+  }
+  for (EdgeId id : sorted) {
+    if (id >= el.num_edges()) {
+      out.error = "edge id out of range: " + std::to_string(id);
+      return out;
+    }
+    const auto& e = el.edge(id);
+    if (!uf.unite(e.u, e.v)) {
+      out.error = "forest contains a cycle at edge id " + std::to_string(id);
+      return out;
+    }
+    total += e.w;
+  }
+  const MstResult reference = kruskal_mst(el);
+  if (sorted.size() != reference.edges.size()) {
+    out.error = "forest has " + std::to_string(sorted.size()) +
+                " edges, expected " + std::to_string(reference.edges.size());
+    return out;
+  }
+  if (total != reference.total_weight) {
+    out.error = "forest weight " + std::to_string(total) +
+                " != optimal weight " +
+                std::to_string(reference.total_weight);
+    return out;
+  }
+  out.ok = true;
+  return out;
+}
+
+}  // namespace mnd::graph

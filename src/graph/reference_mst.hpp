@@ -1,0 +1,44 @@
+// Exact single-machine MST/MSF algorithms. These are the ground truth that
+// every distributed configuration of MND-MST is validated against.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/types.hpp"
+
+namespace mnd::graph {
+
+struct MstResult {
+  std::vector<EdgeId> edges;  // ids of the chosen forest edges, sorted
+  WeightSum total_weight = 0;
+  std::size_t num_components = 0;  // connected components of the input
+};
+
+/// Kruskal's algorithm over the edge list. O(E log E). Handles disconnected
+/// graphs (produces the minimum spanning forest). Ties broken by EdgeId so
+/// the forest matches the unique (weight,id)-order MST.
+MstResult kruskal_mst(const EdgeList& el);
+
+/// Prim's algorithm with a binary heap, run from every unvisited vertex so
+/// disconnected graphs yield the full forest. O(E log V).
+MstResult prim_mst(const Csr& g);
+
+/// Single-machine Boruvka over the CSR; reference for the distributed code.
+MstResult boruvka_mst(const Csr& g);
+
+/// Validation report for a claimed spanning forest.
+struct ForestValidation {
+  bool ok = false;
+  std::string error;  // empty when ok
+};
+
+/// Checks that `forest_edges` (ids into el) form a forest that spans every
+/// connected component of el and has the exact minimum total weight
+/// (compared against Kruskal).
+ForestValidation validate_spanning_forest(const EdgeList& el,
+                                          const std::vector<EdgeId>& forest_edges);
+
+}  // namespace mnd::graph

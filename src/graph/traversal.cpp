@@ -1,0 +1,125 @@
+#include "graph/traversal.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace mnd::graph {
+
+std::vector<std::uint32_t> bfs_distances(const Csr& g, VertexId source) {
+  MND_CHECK(source < g.num_vertices());
+  std::vector<std::uint32_t> dist(g.num_vertices(), kUnreached);
+  std::deque<VertexId> frontier{source};
+  dist[source] = 0;
+  while (!frontier.empty()) {
+    const VertexId v = frontier.front();
+    frontier.pop_front();
+    for (const auto& arc : g.adjacency(v)) {
+      if (dist[arc.to] == kUnreached) {
+        dist[arc.to] = dist[v] + 1;
+        frontier.push_back(arc.to);
+      }
+    }
+  }
+  return dist;
+}
+
+std::size_t connected_components(const Csr& g, std::vector<VertexId>* labels) {
+  const VertexId n = g.num_vertices();
+  labels->assign(n, kInvalidVertex);
+  std::size_t next_label = 0;
+  std::vector<VertexId> stack;
+  for (VertexId root = 0; root < n; ++root) {
+    if ((*labels)[root] != kInvalidVertex) continue;
+    const VertexId label = static_cast<VertexId>(next_label++);
+    (*labels)[root] = label;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      for (const auto& arc : g.adjacency(v)) {
+        if ((*labels)[arc.to] == kInvalidVertex) {
+          (*labels)[arc.to] = label;
+          stack.push_back(arc.to);
+        }
+      }
+    }
+  }
+  return next_label;
+}
+
+std::uint32_t estimate_diameter(const Csr& g, int sweeps, std::uint64_t seed) {
+  const VertexId n = g.num_vertices();
+  if (n == 0) return 0;
+
+  // Start in the largest component so that small satellite components do
+  // not hide the interesting diameter.
+  std::vector<VertexId> labels;
+  connected_components(g, &labels);
+  std::vector<std::size_t> sizes;
+  for (VertexId v = 0; v < n; ++v) {
+    const std::size_t label = labels[v];
+    if (label >= sizes.size()) sizes.resize(label + 1, 0);
+    ++sizes[label];
+  }
+  const VertexId big = static_cast<VertexId>(
+      std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+
+  Rng rng(seed);
+  VertexId start = kInvalidVertex;
+  for (int tries = 0; tries < 1000; ++tries) {
+    const VertexId cand =
+        static_cast<VertexId>(rng.next_below(n));
+    if (labels[cand] == big) {
+      start = cand;
+      break;
+    }
+  }
+  if (start == kInvalidVertex) {
+    for (VertexId v = 0; v < n; ++v) {
+      if (labels[v] == big) {
+        start = v;
+        break;
+      }
+    }
+  }
+
+  std::uint32_t best = 0;
+  VertexId cursor = start;
+  for (int s = 0; s < sweeps; ++s) {
+    const auto dist = bfs_distances(g, cursor);
+    std::uint32_t far_d = 0;
+    VertexId far_v = cursor;
+    for (VertexId v = 0; v < n; ++v) {
+      if (dist[v] != kUnreached && dist[v] > far_d) {
+        far_d = dist[v];
+        far_v = v;
+      }
+    }
+    best = std::max(best, far_d);
+    if (far_v == cursor) break;
+    cursor = far_v;
+  }
+  return best;
+}
+
+DegreeStats degree_stats(const Csr& g) {
+  DegreeStats stats;
+  const VertexId n = g.num_vertices();
+  if (n == 0) return stats;
+  stats.min = g.degree(0);
+  std::size_t total = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const std::size_t d = g.degree(v);
+    total += d;
+    stats.max = std::max(stats.max, d);
+    stats.min = std::min(stats.min, d);
+    if (d == 0) ++stats.isolated;
+  }
+  stats.average = static_cast<double>(total) / static_cast<double>(n);
+  return stats;
+}
+
+}  // namespace mnd::graph

@@ -1,0 +1,36 @@
+// BFS, connected components and diameter estimation over the CSR.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace mnd::graph {
+
+/// Unweighted BFS distances from `source` (kInvalidVertex-distance encoded
+/// as kUnreached).
+inline constexpr std::uint32_t kUnreached = 0xFFFFFFFFu;
+std::vector<std::uint32_t> bfs_distances(const Csr& g, VertexId source);
+
+/// Labels vertices with component ids in [0, k); returns k.
+std::size_t connected_components(const Csr& g, std::vector<VertexId>* labels);
+
+/// Estimates the diameter of the largest component by iterated double
+/// sweep: BFS from a start vertex, then from the farthest vertex found,
+/// repeated `sweeps` times. A lower bound on the true diameter; tight in
+/// practice for both road-like and web-like graphs.
+std::uint32_t estimate_diameter(const Csr& g, int sweeps = 4,
+                                std::uint64_t seed = 1);
+
+struct DegreeStats {
+  double average = 0.0;
+  std::size_t max = 0;
+  std::size_t min = 0;
+  std::size_t isolated = 0;  // vertices with no incident edges
+};
+
+DegreeStats degree_stats(const Csr& g);
+
+}  // namespace mnd::graph

@@ -1,0 +1,47 @@
+// Fundamental graph value types shared across the repository.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace mnd::graph {
+
+using VertexId = std::uint32_t;
+using EdgeId = std::uint64_t;
+using Weight = std::uint32_t;
+/// Totals of weights; 64-bit so billions of max-weight edges cannot overflow.
+using WeightSum = std::uint64_t;
+
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+inline constexpr Weight kInfiniteWeight = std::numeric_limits<Weight>::max();
+
+/// One undirected weighted edge. `id` identifies the undirected edge (both
+/// CSR directions of the same edge share it) so MST output can be expressed
+/// as a set of original-edge ids.
+struct WeightedEdge {
+  VertexId u = kInvalidVertex;
+  VertexId v = kInvalidVertex;
+  Weight w = 0;
+  EdgeId id = kInvalidEdge;
+
+  friend bool operator==(const WeightedEdge&, const WeightedEdge&) = default;
+};
+
+/// Orders by (weight, id): a strict total order over edges that makes every
+/// "lightest edge" choice unique, which in turn makes the MST unique and all
+/// distributed tie-breaking deterministic. This mirrors the standard
+/// perturbation argument for Boruvka on graphs with duplicate weights.
+inline bool lighter(const WeightedEdge& a, const WeightedEdge& b) {
+  if (a.w != b.w) return a.w < b.w;
+  return a.id < b.id;
+}
+
+/// Same total order expressed on (weight, id) pairs.
+inline bool lighter(Weight wa, EdgeId ida, Weight wb, EdgeId idb) {
+  if (wa != wb) return wa < wb;
+  return ida < idb;
+}
+
+}  // namespace mnd::graph

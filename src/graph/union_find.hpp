@@ -1,0 +1,56 @@
+// Union-find (disjoint set union) with path halving and union by size.
+// Used by reference Kruskal, connectivity checks, and MST validation.
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace mnd::graph {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), VertexId{0});
+  }
+
+  VertexId find(VertexId x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the sets of a and b; returns false if already joined.
+  bool unite(VertexId a, VertexId b) {
+    VertexId ra = find(a);
+    VertexId rb = find(b);
+    if (ra == rb) return false;
+    if (size_[ra] < size_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    return true;
+  }
+
+  bool connected(VertexId a, VertexId b) { return find(a) == find(b); }
+
+  std::size_t component_size(VertexId x) { return size_[find(x)]; }
+
+  /// Number of disjoint sets remaining.
+  std::size_t num_components() {
+    std::size_t roots = 0;
+    for (VertexId v = 0; v < parent_.size(); ++v) {
+      if (find(v) == v) ++roots;
+    }
+    return roots;
+  }
+
+ private:
+  std::vector<VertexId> parent_;
+  std::vector<std::size_t> size_;
+};
+
+}  // namespace mnd::graph

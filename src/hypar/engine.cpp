@@ -1,0 +1,538 @@
+#include "hypar/engine.hpp"
+
+#include <algorithm>
+
+#include "hypar/ghost.hpp"
+#include "util/check.hpp"
+#include "util/flat_hash.hpp"
+#include "util/logging.hpp"
+
+namespace mnd::hypar {
+namespace {
+
+using graph::EdgeId;
+using graph::VertexId;
+using mst::CEdge;
+using mst::CompGraph;
+using mst::Component;
+
+enum : sim::Tag {
+  kTagParentCounts = 0x9000,
+  kTagGroupEdges = 0x9001,
+  kTagSegment = 0x9002,
+  kTagLeaderGather = 0x9003,
+  kTagResultGather = 0x9004,
+  kTagSegBudget = 0x9005,
+  kTagParentQuery = 0x9006,
+  kTagParentReply = 0x9007,
+};
+
+/// Virtual cost of a pure reduction pass (self/multi-edge removal) on the
+/// CPU device: the pass scans `edges_scanned` adjacency entries and
+/// rebuilds hash tables.
+double reduction_seconds(const device::CpuDevice& cpu,
+                         std::size_t edges_scanned,
+                         std::size_t components) {
+  device::KernelWork w;
+  w.active_vertices = components;
+  w.edges_scanned = edges_scanned;
+  w.atomic_updates = components;
+  return cpu.kernel_seconds(w);
+}
+
+/// Self-edge + multi-edge removal over every owned component (§3.3).
+/// Charges "merge" time.
+void reduce_all(sim::Communicator& comm, CompGraph& cg,
+                const device::CpuDevice& cpu) {
+  std::size_t scanned = 0;
+  for (VertexId id : cg.component_ids()) {
+    scanned += mst::clean_adjacency(cg, *cg.find(id));
+  }
+  cg.refresh_accounting();
+  comm.compute(reduction_seconds(cpu, scanned, cg.num_components()), "merge");
+}
+
+/// Ghost parent-id synchronization (§3.3): every rank asks, pairwise, for
+/// the current parent (component id) of each unresolved ghost endpoint in
+/// its edges — the paper's "communication of parent ids of ghost
+/// vertices". Queries for an id are routed to the *lineage
+/// representative* of the id's original range owner: components only move
+/// within their group subtree (ring exchange) or up to leaders, so that
+/// representative holds the id's merge history (or the freshest view of
+/// it; resolution then completes over subsequent syncs, like the paper's
+/// multi-phase exchanges). Collective over `scope`.
+void sync_parents(sim::Communicator& comm, const sim::Group& scope,
+                  CompGraph& cg, const Partition1D& part,
+                  const std::vector<int>& rep) {
+  const int me = comm.rank();
+  const int g = scope.size();
+  if (g <= 1) return;
+
+  // 1. Ghost endpoints this rank needs resolved, bucketed by target.
+  mnd::FlatHashSet<VertexId> needed(cg.num_edges() / 4 + 16);
+  for (VertexId id : cg.component_ids()) {
+    for (const auto& e : cg.find(id)->edges) {
+      const VertexId r = cg.renames().resolve(e.to);
+      if (!cg.owns(r)) needed.insert(r);
+    }
+  }
+  std::vector<std::vector<VertexId>> queries(static_cast<std::size_t>(g));
+  needed.for_each([&](VertexId id) {
+    const int target = rep[static_cast<std::size_t>(part.owner(id))];
+    if (target == me) return;  // local knowledge is already maximal
+    const int pos = scope.rank_of(target);
+    if (pos < 0) return;  // holder outside scope; try again next level
+    queries[static_cast<std::size_t>(pos)].push_back(id);
+  });
+  for (auto& q : queries) std::sort(q.begin(), q.end());
+
+  // 2. Everyone learns per-pair query counts.
+  sim::Serializer counts;
+  {
+    std::vector<std::uint64_t> row(static_cast<std::size_t>(g));
+    for (int i = 0; i < g; ++i) {
+      row[static_cast<std::size_t>(i)] =
+          queries[static_cast<std::size_t>(i)].size();
+    }
+    counts.put_vector(row);
+  }
+  const auto all_counts =
+      comm.group_all_gather(scope, counts.take(), kTagParentCounts);
+  const int my_pos = scope.rank_of(me);
+
+  // 3. Send queries; answer incoming; apply replies.
+  for (int i = 0; i < g; ++i) {
+    if (i == my_pos || queries[static_cast<std::size_t>(i)].empty()) continue;
+    sim::Serializer s;
+    s.put_vector(queries[static_cast<std::size_t>(i)]);
+    comm.send(scope.members[static_cast<std::size_t>(i)], kTagParentQuery,
+              s.take());
+  }
+  for (int i = 0; i < g; ++i) {
+    if (i == my_pos) continue;
+    sim::Deserializer cd(all_counts[static_cast<std::size_t>(i)]);
+    const auto row = cd.get_vector<std::uint64_t>();
+    if (row[static_cast<std::size_t>(my_pos)] == 0) continue;
+    const auto payload =
+        comm.recv(scope.members[static_cast<std::size_t>(i)], kTagParentQuery);
+    sim::Deserializer d(payload);
+    const auto ids = d.get_vector<VertexId>();
+    std::vector<VertexId> reply;  // (id, parent) pairs, flattened
+    for (VertexId id : ids) {
+      const VertexId r = cg.renames().resolve(id);
+      if (r != id) {
+        reply.push_back(id);
+        reply.push_back(r);
+      }
+    }
+    sim::Serializer s;
+    s.put_vector(reply);
+    comm.send(scope.members[static_cast<std::size_t>(i)], kTagParentReply,
+              s.take());
+  }
+  for (int i = 0; i < g; ++i) {
+    if (i == my_pos || queries[static_cast<std::size_t>(i)].empty()) continue;
+    const auto payload =
+        comm.recv(scope.members[static_cast<std::size_t>(i)], kTagParentReply);
+    sim::Deserializer d(payload);
+    const auto pairs = d.get_vector<VertexId>();
+    for (std::size_t at = 0; at + 1 < pairs.size(); at += 2) {
+      cg.renames().add(pairs[at], pairs[at + 1]);
+    }
+  }
+}
+
+/// Runs one indComp invocation across the rank's devices (§3.2, §3.5).
+///
+/// With a GPU, the owned components are 1-D split by the calibrated share;
+/// both device kernels run with the device boundary acting as an
+/// additional border (cross-device edges freeze), and the node's time
+/// advances by max(cpu, gpu+transfers). Components frozen at the device
+/// boundary are handled by the *recursive invocation* of
+/// partition+indComp (§4.3.3): the reduced component set is re-split —
+/// with the split rotated so boundary pairs co-locate — and run again,
+/// keeping the cross-device merging itself device-parallel instead of
+/// serializing it on the host.
+mst::BoruvkaStats indcomp_on_devices(sim::Communicator& comm, CompGraph& cg,
+                                     Kernel& kernel,
+                                     const EngineOptions& opts,
+                                     const device::CpuDevice& cpu,
+                                     const device::GpuDevice* gpu,
+                                     double gpu_share) {
+  mst::BoruvkaOptions bopts;
+  bopts.min_contraction_fraction = opts.thresholds.min_contraction_fraction;
+  bopts.auto_stop_on_time_trend = opts.thresholds.auto_stop_on_time_trend;
+  bopts.trend_device = &cpu;
+
+  if (gpu == nullptr || gpu_share <= 0.0 || cg.num_components() < 4 ||
+      cg.num_edges() < opts.gpu_min_edges) {
+    mst::BoruvkaStats stats = kernel.indComp(cg, nullptr, bopts);
+    comm.compute(stats.priced_seconds(cpu), "indComp");
+    return stats;
+  }
+
+  mst::BoruvkaStats total;
+  constexpr int kMaxDeviceRounds = 6;
+  for (int round = 0; round < kMaxDeviceRounds; ++round) {
+    // 1-D block split of the owned components by edge count, rotated by
+    // half a cycle every round so components frozen at the previous
+    // boundary land inside one device.
+    const std::vector<VertexId> ids = cg.component_ids();
+    if (ids.size() < 4) break;
+    std::size_t total_edges = 0;
+    for (VertexId id : ids) total_edges += cg.find(id)->edges.size();
+    const auto cpu_target = static_cast<std::size_t>(
+        static_cast<double>(total_edges) * (1.0 - gpu_share));
+    const std::size_t offset = (round % 2 == 0) ? 0 : ids.size() / 2;
+    mnd::FlatHashSet<VertexId> cpu_side(ids.size());
+    std::size_t acc = 0;
+    std::size_t gpu_bytes_in = 0;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const VertexId id = ids[(i + offset) % ids.size()];
+      const Component& c = *cg.find(id);
+      if (acc < cpu_target) {
+        cpu_side.insert(id);
+        acc += c.edges.size();
+      } else {
+        gpu_bytes_in += mst::wire_bytes(c);
+      }
+    }
+
+    mst::Participates on_cpu = [&](VertexId id) {
+      return cpu_side.contains(id);
+    };
+    mst::Participates on_gpu = [&](VertexId id) {
+      return !cpu_side.contains(id);
+    };
+
+    mst::BoruvkaOptions gpu_opts = bopts;
+    gpu_opts.trend_device = gpu;
+    const mst::BoruvkaStats cpu_stats = kernel.indComp(cg, on_cpu, bopts);
+    const mst::BoruvkaStats gpu_stats = kernel.indComp(cg, on_gpu, gpu_opts);
+
+    const double t_cpu = cpu_stats.priced_seconds(cpu);
+    const std::size_t gpu_bytes_out =
+        gpu_stats.contractions * sizeof(VertexId) * 2 + 64;
+    // The GPU partition is staged onto the device once per invocation and
+    // stays resident across the recursive rounds (the paper keeps device
+    // data live and overlaps transfers with cudaStream, §3.5); later
+    // rounds only drain the small contraction results.
+    const std::size_t staged = (round == 0) ? gpu_bytes_in : 0;
+    const double t_gpu = gpu->pcie().kernel_with_transfers(
+        gpu_stats.priced_seconds(*gpu), staged, gpu_bytes_out);
+    comm.compute(std::max(t_cpu, t_gpu), "indComp");
+    MND_LOG(Debug) << "rank " << comm.rank() << " devRound " << round
+                   << " comps=" << ids.size() << " t_cpu=" << t_cpu
+                   << " t_gpu=" << t_gpu << " (kernel="
+                   << gpu_stats.priced_seconds(*gpu) << " staged=" << staged
+                   << ") contracted="
+                   << cpu_stats.contractions + gpu_stats.contractions
+                   << " iters=" << cpu_stats.iterations << "/"
+                   << gpu_stats.iterations;
+
+    total.contractions += cpu_stats.contractions + gpu_stats.contractions;
+    total.iterations += std::max(cpu_stats.iterations, gpu_stats.iterations);
+    total.frozen_components =
+        cpu_stats.frozen_components + gpu_stats.frozen_components;
+    for (const auto& w : cpu_stats.per_iteration)
+      total.per_iteration.push_back(w);
+    for (const auto& w : gpu_stats.per_iteration)
+      total.per_iteration.push_back(w);
+
+    // Diminishing benefit at the recursion level (§4.3.2/§4.3.3): when a
+    // re-split round frees only boundary stragglers, stop re-invoking —
+    // the distributed merge phases handle the rest.
+    const std::size_t yielded =
+        cpu_stats.contractions + gpu_stats.contractions;
+    if (yielded < 4 || yielded < ids.size() / 64) break;
+  }
+  // Remaining cross-device stragglers contract in the next CPU indComp
+  // invocation (collaborative merging / postProcess), where the whole
+  // component set participates — no separate host merge pass is needed.
+  return total;
+}
+
+/// Picks a segment of owned components (ascending id) whose wire size
+/// stays within `budget_bytes`; always includes at least one component
+/// when any is owned. Returns the released components.
+std::vector<Component> pick_segment(CompGraph& cg, std::size_t budget_bytes) {
+  std::vector<Component> segment;
+  std::size_t used = 0;
+  for (VertexId id : cg.component_ids()) {
+    const Component& c = *cg.find(id);
+    const std::size_t cost = mst::wire_bytes(c);
+    if (!segment.empty() && used + cost > budget_bytes) break;
+    used += cost;
+    segment.push_back(cg.release(id));
+    if (used >= budget_bytes) break;
+  }
+  return segment;
+}
+
+/// Integrates a received bundle into the rank's component graph. The
+/// absorbed lists double as the merge history: (x -> comp.id) for every
+/// absorbed id, which keeps the receiver's rename knowledge complete for
+/// everything it now owns.
+void integrate_bundle(CompGraph& cg, mst::ComponentBundle bundle) {
+  for (auto& c : bundle.comps) {
+    MND_CHECK_MSG(!cg.owns(c.id),
+                  "received component " << c.id << " already owned");
+    for (VertexId x : c.absorbed) cg.renames().add(x, c.id);
+    cg.adopt(std::move(c));
+  }
+}
+
+/// Leaders of each group-size chunk of the active list.
+std::vector<int> leaders_of(const std::vector<int>& active, int group_size) {
+  std::vector<int> leaders;
+  for (std::size_t i = 0; i < active.size();
+       i += static_cast<std::size_t>(group_size)) {
+    leaders.push_back(active[i]);
+  }
+  return leaders;
+}
+
+sim::Group group_containing(const std::vector<int>& active, int group_size,
+                            int rank) {
+  sim::Group g;
+  for (std::size_t i = 0; i < active.size();
+       i += static_cast<std::size_t>(group_size)) {
+    const std::size_t hi =
+        std::min(active.size(), i + static_cast<std::size_t>(group_size));
+    for (std::size_t j = i; j < hi; ++j) {
+      if (active[j] == rank) {
+        g.members.assign(active.begin() + static_cast<std::ptrdiff_t>(i),
+                         active.begin() + static_cast<std::ptrdiff_t>(hi));
+        return g;
+      }
+    }
+  }
+  return g;  // empty: rank not active
+}
+
+}  // namespace
+
+EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
+                        Kernel& kernel, const EngineOptions& opts) {
+  MND_CHECK(opts.group_size >= 2);
+  MND_CHECK_MSG(opts.excp != ExcpCond::BorderEdge,
+                "EXCPT_BORDER_EDGE is provided by the API but the MST "
+                "pipeline uses EXCPT_BORDER_VERTEX");
+  EngineResult result;
+  const int p = comm.size();
+  const int me = comm.rank();
+  const device::CpuDevice cpu(opts.cpu_model);
+  const device::GpuDevice gpu_dev(opts.gpu_model, opts.pcie_model);
+  const device::GpuDevice* gpu = opts.use_gpu ? &gpu_dev : nullptr;
+
+  // ---- partGraph (§3.1, §4.3.1) -------------------------------------------
+  const Partition1D part = partition_by_degree(g, p);
+  double gpu_share = 0.0;
+  if (gpu != nullptr) {
+    const auto calib = device::calibrate_split(g, cpu, *gpu, opts.calibration);
+    gpu_share = calib.gpu_share;
+    // The calibration subgraphs are independent, so the ranks sample them
+    // in parallel and agree on the averaged ratio.
+    comm.compute(calib.virtual_seconds / p, "partition");
+  }
+  result.trace.gpu_share = gpu_share;
+
+  // Build the local component graph from this rank's CSR rows.
+  CompGraph cg;
+  cg.attach_memory(&comm.memory());
+  const VertexId lo = part.begin(me);
+  const VertexId hi = part.end(me);
+  std::size_t local_arcs = 0;
+  for (VertexId v = lo; v < hi; ++v) {
+    Component c;
+    c.id = v;
+    const auto adj = g.adjacency(v);
+    c.edges.reserve(adj.size());
+    for (const auto& arc : adj) {
+      c.edges.push_back(CEdge{arc.to, arc.w, arc.id});
+    }
+    // Establish the Component edge-order invariant (sorted by (w, orig)).
+    std::sort(c.edges.begin(), c.edges.end(),
+              [](const CEdge& a, const CEdge& b) {
+                return graph::lighter(a.w, a.orig, b.w, b.orig);
+              });
+    local_arcs += adj.size();
+    cg.adopt(std::move(c));
+  }
+  {
+    device::KernelWork build;
+    build.active_vertices = hi - lo;
+    build.edges_scanned = local_arcs;
+    comm.compute(cpu.kernel_seconds(build), "partition");
+  }
+
+  // ---- makeGhostInformation (§3.1) ---------------------------------------
+  const GhostList ghosts = build_ghost_list(g, part, me);
+  result.trace.ghost_edges = ghosts.total_ghost_edges();
+  result.trace.boundary_vertices = ghosts.num_boundary_vertices();
+  exchange_boundary_vertices(comm, ghosts, opts.ghost_phase_entries);
+
+  // Single node: Algorithm 1 still performs indComp within the node (the
+  // CPU/GPU split), then hands the remainder to postProcess.
+  if (p == 1) {
+    const auto stats =
+        indcomp_on_devices(comm, cg, kernel, opts, cpu, gpu, gpu_share);
+    result.trace.components_after_level0 = cg.num_components();
+    result.trace.frozen_after_level0 = stats.frozen_components;
+    reduce_all(comm, cg, cpu);
+  }
+
+  // ---- level loop: indComp + mergeParts + hierarchical merge --------------
+  std::vector<int> active(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) active[static_cast<std::size_t>(r)] = r;
+  // rep[r]: the active rank currently holding rank r's lineage (itself, or
+  // the leader its data merged into). Parent queries for a component id are
+  // routed to rep[original owner of the id].
+  std::vector<int> rep(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) rep[static_cast<std::size_t>(r)] = r;
+  bool first_level = true;
+
+  while (active.size() > 1) {
+    const sim::Group all_active{active};
+    const bool in_active = all_active.contains(me);
+    if (in_active) {
+      ++result.trace.levels_participated;
+      // indComp with EXCPT_BORDER_VERTEX. The GPU serves the first-level
+      // indComp — the bulk of the computation (§5.4: "we utilize the GPUs
+      // only for indComp and possibly for postProcess"); the later
+      // collaborative-merging invocations run on the CPU, whose
+      // unrestricted participation also absorbs any components left
+      // frozen at the device boundary.
+      auto stats = indcomp_on_devices(
+          comm, cg, kernel, opts, cpu, first_level ? gpu : nullptr,
+          gpu_share);
+      if (first_level) {
+        result.trace.components_after_level0 = cg.num_components();
+        result.trace.frozen_after_level0 = stats.frozen_components;
+      }
+
+      // mergeParts: indComp's final iteration already removed self and
+      // multi edges locally; sync ghost parent ids across all active
+      // ranks, then reduce with the refreshed parents (cross-rank
+      // multi-edge removal, §3.3).
+      sync_parents(comm, all_active, cg, part, rep);
+      reduce_all(comm, cg, cpu);
+
+      // Hierarchical group merge (§3.4).
+      const sim::Group group = group_containing(active, opts.group_size, me);
+      MND_CHECK(group.size() >= 1);
+      if (group.size() > 1) {
+        MergeConvergence conv(opts.thresholds);
+        int rounds = 0;
+        for (;;) {
+          const std::uint64_t group_edges = comm.group_allreduce_sum(
+              group, cg.num_edges(), kTagGroupEdges);
+          if (conv.should_merge_to_leader(group_edges, rounds)) break;
+
+          // Segment budget: every member must be able to accommodate one
+          // incoming segment on top of its current data (§3.4).
+          const std::uint64_t min_avail = comm.group_allreduce_min(
+              group, comm.memory().available() == sim::MemTracker::kUnlimited
+                         ? (1ull << 62)
+                         : comm.memory().available(),
+              kTagSegBudget);
+          // Segment ~= 1/(2g) of the rank's data (Rabenseifner-style
+          // segmentation), capped by the group's scarcest memory so the
+          // receiver can always accommodate it.
+          const std::uint64_t data_slice = std::max<std::uint64_t>(
+              cg.bytes() / (2 * static_cast<std::size_t>(group.size())),
+              4096);
+          const std::size_t budget = static_cast<std::size_t>(
+              std::min<std::uint64_t>(min_avail / 2, data_slice));
+
+          // Ring exchange: send one segment left, receive one from right.
+          auto segment = pick_segment(cg, budget);
+          sim::Serializer s;
+          serialize_components(segment, &s);
+          auto incoming = comm.ring_shift(group, kTagSegment, s.take());
+          sim::Deserializer d(incoming);
+          integrate_bundle(cg, mst::deserialize_components(&d));
+          ++rounds;
+          ++result.trace.ring_rounds;
+
+          // Collaborative merging on the new set of components (CPU).
+          (void)indcomp_on_devices(comm, cg, kernel, opts, cpu, nullptr,
+                                   gpu_share);
+          sync_parents(comm, group, cg, part, rep);
+          reduce_all(comm, cg, cpu);
+        }
+
+        // Merge everything in the group to the leader.
+        const int leader = group.members.front();
+        sim::Serializer s;
+        if (me != leader) {
+          std::vector<Component> all;
+          for (VertexId id : cg.component_ids()) all.push_back(cg.release(id));
+          serialize_components(all, &s);
+        } else {
+          mst::serialize_components({}, &s);
+        }
+        auto gathered =
+            comm.group_gather(group, s.take(), leader, kTagLeaderGather);
+        if (me == leader) {
+          for (int i = 0; i < group.size(); ++i) {
+            if (group.members[static_cast<std::size_t>(i)] == me) continue;
+            sim::Deserializer d(gathered[static_cast<std::size_t>(i)]);
+            integrate_bundle(cg, mst::deserialize_components(&d));
+          }
+          // Leader runs independent computations on the merged set (§3.4),
+          // then reduces (CPU; merged data has already shrunk).
+          (void)indcomp_on_devices(comm, cg, kernel, opts, cpu, nullptr,
+                                   gpu_share);
+          reduce_all(comm, cg, cpu);
+        }
+      }
+    }
+    // Non-leaders' data now lives at their group leader; update lineage
+    // representatives before the next level's parent routing.
+    for (int r = 0; r < p; ++r) {
+      const int cur = rep[static_cast<std::size_t>(r)];
+      const sim::Group g_of =
+          group_containing(active, opts.group_size, cur);
+      if (g_of.size() >= 1) rep[static_cast<std::size_t>(r)] = g_of.members.front();
+    }
+    active = leaders_of(active, opts.group_size);
+    first_level = false;
+  }
+
+  // ---- postProcess (§4.1.4) ------------------------------------------------
+  if (me == active.front()) {
+    mst::BoruvkaOptions final_opts;  // run to completion: no thresholds
+    const auto stats = kernel.indComp(cg, nullptr, final_opts);
+    double t = stats.priced_seconds(cpu);
+    if (gpu != nullptr) {
+      // The framework runs postProcess on whichever device is faster for
+      // the remaining (small) data.
+      const double t_gpu = gpu->pcie().kernel_with_transfers(
+          stats.priced_seconds(*gpu), cg.bytes(), cg.bytes() / 8);
+      t = std::min(t, t_gpu);
+    }
+    comm.compute(t, "postProcess");
+    MND_CHECK_MSG(stats.frozen_components == 0,
+                  "postProcess saw frozen components on the final rank");
+  }
+
+  // ---- result collection ----------------------------------------------------
+  sim::Serializer s;
+  std::vector<EdgeId> mine = cg.mst_edges();
+  s.put_vector(mine);
+  auto gathered = comm.gather(s.take(), 0, kTagResultGather);
+  if (me == 0) {
+    for (int r = 0; r < p; ++r) {
+      sim::Deserializer d(gathered[static_cast<std::size_t>(r)]);
+      auto edges = d.get_vector<EdgeId>();
+      result.forest_edges.insert(result.forest_edges.end(), edges.begin(),
+                                 edges.end());
+    }
+    std::sort(result.forest_edges.begin(), result.forest_edges.end());
+  }
+  result.trace.peak_memory_bytes = comm.memory().peak();
+  return result;
+}
+
+}  // namespace mnd::hypar

@@ -1,0 +1,110 @@
+// The HyPar engine: partGraph -> indComp -> mergeParts -> postProcess
+// (paper §4.1, Algorithm 1), generic over the graph kernel.
+//
+// The engine is an SPMD function executed by every rank of the simulated
+// cluster. It owns the full MND pipeline:
+//   1. partGraph      — degree-balanced 1-D partition across ranks; within
+//                       a rank, a calibrated CPU/GPU split (§4.3.1).
+//   2. indComp        — the kernel runs independently per device with the
+//                       EXCPT_BORDER_VERTEX exception; device times are
+//                       charged as max(cpu, gpu+transfers) (§3.2, §3.5).
+//   3. mergeParts     — self/multi-edge removal, ghost parent-id exchange,
+//                       and the hierarchical group merge: ring-based
+//                       segment exchange + collaborative merging until the
+//                       convergence threshold, then merge to the group
+//                       leader (§3.3, §3.4, §4.3.4).
+//   4. postProcess    — final kernel invocation on the last remaining
+//                       rank, on whichever device prices cheaper (§4.1.4).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "device/calibration.hpp"
+#include "device/device.hpp"
+#include "graph/csr.hpp"
+#include "hypar/partition.hpp"
+#include "hypar/runtime.hpp"
+#include "mst/comp_graph.hpp"
+#include "mst/local_boruvka.hpp"
+#include "simcluster/communicator.hpp"
+
+namespace mnd::hypar {
+
+/// Exception conditions for indComp (paper Table 1 / §4.1.2).
+/// BorderVertex freezes a component whose lightest edge leaves the
+/// partition; BorderEdge skips processing of individual cut edges (useful
+/// for kernels like BFS); None runs the kernel unrestricted.
+enum class ExcpCond { None, BorderVertex, BorderEdge };
+
+/// A graph kernel runnable by the engine. Kernels operate on a rank's
+/// component graph, contracting components and recording result edges.
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+  virtual std::string name() const = 0;
+  /// One independent-computation invocation over the participating
+  /// components. Must be deterministic.
+  virtual mst::BoruvkaStats indComp(mst::CompGraph& cg,
+                                    const mst::Participates& participates,
+                                    const mst::BoruvkaOptions& opts) = 0;
+};
+
+struct EngineOptions {
+  int group_size = 4;  // paper chose 4 among {2,4,8,16}
+  RuntimeThresholds thresholds;
+  ExcpCond excp = ExcpCond::BorderVertex;
+
+  device::CpuModel cpu_model = device::CpuModel::amd_opteron_8core();
+  bool use_gpu = false;
+  /// GPU + link models pre-scaled for the ~4000x-smaller stand-in
+  /// datasets (see for_data_scale); pass unscaled models for real data.
+  device::GpuModel gpu_model =
+      device::GpuModel::tesla_k40().for_data_scale(4000.0);
+  device::PcieModel pcie_model = device::PcieModel{}.for_data_scale(4000.0);
+  device::CalibrationOptions calibration;
+  /// Below this many resident edges the GPU is not engaged for an
+  /// indComp invocation — launch/transfer overheads would exceed the
+  /// kernel (the driver-thread cost the paper's runtime avoids paying on
+  /// shrunken data).
+  std::size_t gpu_min_edges = 32768;
+
+  std::size_t ghost_phase_entries = 8192;
+};
+
+/// Per-rank diagnostics filled during the run.
+struct RankTrace {
+  std::size_t boundary_vertices = 0;
+  std::size_t ghost_edges = 0;
+  std::size_t components_after_level0 = 0;
+  std::size_t frozen_after_level0 = 0;
+  int levels_participated = 0;
+  int ring_rounds = 0;
+  double gpu_share = 0.0;
+  std::size_t peak_memory_bytes = 0;
+};
+
+struct EngineResult {
+  /// Forest edges (original edge ids); complete on rank 0, empty elsewhere.
+  std::vector<graph::EdgeId> forest_edges;
+  RankTrace trace;
+};
+
+/// Runs the full pipeline on the calling rank. `g` is the logical input
+/// graph (every rank reads only its own partition's rows, Gemini-style).
+EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
+                        Kernel& kernel, const EngineOptions& opts);
+
+/// The Boruvka MST kernel (the paper's primary application).
+class BoruvkaKernel final : public Kernel {
+ public:
+  std::string name() const override { return "boruvka-mst"; }
+  mst::BoruvkaStats indComp(mst::CompGraph& cg,
+                            const mst::Participates& participates,
+                            const mst::BoruvkaOptions& opts) override {
+    return mst::local_boruvka(cg, participates, opts);
+  }
+};
+
+}  // namespace mnd::hypar

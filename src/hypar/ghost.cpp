@@ -1,0 +1,119 @@
+#include "hypar/ghost.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace mnd::hypar {
+
+namespace {
+constexpr sim::Tag kBoundaryTag = 0x6057u;
+}
+
+std::vector<int> GhostList::neighbor_ranks() const {
+  std::vector<int> ranks;
+  table_.for_each([&](const int& rank, const std::vector<GhostEdge>&) {
+    ranks.push_back(rank);
+  });
+  std::sort(ranks.begin(), ranks.end());
+  return ranks;
+}
+
+std::size_t GhostList::total_ghost_edges() const {
+  std::size_t total = 0;
+  table_.for_each([&](const int&, const std::vector<GhostEdge>& edges) {
+    total += edges.size();
+  });
+  return total;
+}
+
+std::size_t GhostList::num_boundary_vertices() const {
+  mnd::FlatHashSet<graph::VertexId> boundary;
+  table_.for_each([&](const int&, const std::vector<GhostEdge>& edges) {
+    for (const auto& e : edges) boundary.insert(e.boundary);
+  });
+  return boundary.size();
+}
+
+GhostList build_ghost_list(const graph::Csr& g, const Partition1D& part,
+                           int rank) {
+  GhostList out;
+  const graph::VertexId lo = part.begin(rank);
+  const graph::VertexId hi = part.end(rank);
+  for (graph::VertexId v = lo; v < hi; ++v) {
+    for (const auto& arc : g.adjacency(v)) {
+      if (arc.to >= lo && arc.to < hi) continue;
+      const int owner = part.owner(arc.to);
+      out.add(owner, GhostEdge{v, arc.to, arc.w, arc.id});
+    }
+  }
+  return out;
+}
+
+std::size_t exchange_boundary_vertices(sim::Communicator& comm,
+                                       const GhostList& mine,
+                                       std::size_t phase_entries) {
+  MND_CHECK(phase_entries > 0);
+  const int p = comm.size();
+  const int me = comm.rank();
+
+  // Distinct boundary vertices per neighbor, ascending for determinism.
+  std::vector<std::vector<graph::VertexId>> outgoing(
+      static_cast<std::size_t>(p));
+  for (int r : mine.neighbor_ranks()) {
+    const auto* edges = mine.edges_to(r);
+    std::vector<graph::VertexId> verts;
+    verts.reserve(edges->size());
+    for (const auto& e : *edges) verts.push_back(e.boundary);
+    std::sort(verts.begin(), verts.end());
+    verts.erase(std::unique(verts.begin(), verts.end()), verts.end());
+    outgoing[static_cast<std::size_t>(r)] = std::move(verts);
+  }
+
+  // Everyone learns how much to expect from everyone (vector allreduce of
+  // a PxP count matrix flattened to the rows this rank writes).
+  std::vector<std::uint64_t> counts(
+      static_cast<std::size_t>(p) * static_cast<std::size_t>(p), 0);
+  for (int r = 0; r < p; ++r) {
+    counts[static_cast<std::size_t>(me) * static_cast<std::size_t>(p) +
+           static_cast<std::size_t>(r)] =
+        outgoing[static_cast<std::size_t>(r)].size();
+  }
+  counts = comm.allreduce_sum_vec(std::move(counts), kBoundaryTag);
+
+  // Phased pairwise exchange: send all chunks (non-blocking in the
+  // simulator), then drain expected chunks per source in rank order.
+  for (int r = 0; r < p; ++r) {
+    if (r == me) continue;
+    const auto& verts = outgoing[static_cast<std::size_t>(r)];
+    if (verts.empty()) continue;
+    for (std::size_t at = 0; at < verts.size(); at += phase_entries) {
+      const std::size_t take = std::min(phase_entries, verts.size() - at);
+      sim::Serializer s;
+      std::vector<graph::VertexId> chunk(verts.begin() + at,
+                                         verts.begin() + at + take);
+      s.put_vector(chunk);
+      comm.send(r, kBoundaryTag, s.take());
+    }
+  }
+
+  std::size_t learned = 0;
+  for (int r = 0; r < p; ++r) {
+    if (r == me) continue;
+    const std::uint64_t expect =
+        counts[static_cast<std::size_t>(r) * static_cast<std::size_t>(p) +
+               static_cast<std::size_t>(me)];
+    std::size_t got = 0;
+    while (got < expect) {
+      const auto payload = comm.recv(r, kBoundaryTag);
+      sim::Deserializer d(payload);
+      const auto verts = d.get_vector<graph::VertexId>();
+      got += verts.size();
+      learned += verts.size();
+    }
+    MND_CHECK_MSG(got == expect, "boundary phase mismatch from rank " << r);
+  }
+  return learned;
+}
+
+}  // namespace mnd::hypar

@@ -1,0 +1,63 @@
+// Ghost-edge bookkeeping (paper §3.1, §3.3).
+//
+// A ghost edge connects a partition's boundary vertex to a vertex owned by
+// another rank (the ghost vertex). Each rank keeps a hash table — the
+// paper's `ghostList` — indexed by the *owner rank* of the ghost vertex,
+// holding the ghost edges toward that rank. Boundary-vertex information is
+// exchanged in multiple bounded-size phases because the boundary can be
+// large.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "hypar/partition.hpp"
+#include "simcluster/communicator.hpp"
+#include "util/flat_hash.hpp"
+
+namespace mnd::hypar {
+
+struct GhostEdge {
+  graph::VertexId boundary;  // local vertex
+  graph::VertexId ghost;     // remote vertex
+  graph::Weight w;
+  graph::EdgeId orig;
+};
+
+/// ghostList: owner rank -> ghost edges toward that rank.
+class GhostList {
+ public:
+  void add(int owner_rank, GhostEdge e) { table_[owner_rank].push_back(e); }
+
+  const std::vector<GhostEdge>* edges_to(int owner_rank) const {
+    return table_.find(owner_rank);
+  }
+
+  /// Ranks this rank shares cut edges with, ascending.
+  std::vector<int> neighbor_ranks() const;
+
+  std::size_t total_ghost_edges() const;
+  std::size_t num_neighbors() const { return table_.size(); }
+
+  /// Distinct boundary vertices (locals with at least one ghost edge).
+  std::size_t num_boundary_vertices() const;
+
+ private:
+  mnd::FlatHashMap<int, std::vector<GhostEdge>> table_;
+};
+
+/// Scans the rank's CSR rows and builds its ghostList.
+GhostList build_ghost_list(const graph::Csr& g, const Partition1D& part,
+                           int rank);
+
+/// "makeGhostInformation": ranks exchange their boundary-vertex lists with
+/// each neighbor so both sides can index each other's ghosts. Messages are
+/// chunked into phases of `phase_entries` vertices (the paper communicates
+/// boundary vertices "in multiple phases"). Returns the number of remote
+/// boundary vertices learned. Collective over all ranks.
+std::size_t exchange_boundary_vertices(sim::Communicator& comm,
+                                       const GhostList& mine,
+                                       std::size_t phase_entries = 8192);
+
+}  // namespace mnd::hypar

@@ -1,0 +1,82 @@
+#include "hypar/partition.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace mnd::hypar {
+
+Partition1D::Partition1D(std::vector<graph::VertexId> bounds)
+    : bounds_(std::move(bounds)) {
+  MND_CHECK(bounds_.size() >= 2);
+  MND_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+graph::VertexId Partition1D::begin(int part) const {
+  MND_CHECK(part >= 0 && part < parts());
+  return bounds_[static_cast<std::size_t>(part)];
+}
+
+graph::VertexId Partition1D::end(int part) const {
+  MND_CHECK(part >= 0 && part < parts());
+  return bounds_[static_cast<std::size_t>(part) + 1];
+}
+
+int Partition1D::owner(graph::VertexId v) const {
+  MND_CHECK_MSG(v < bounds_.back(), "vertex " << v << " beyond partition");
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), v);
+  return static_cast<int>(it - bounds_.begin()) - 1;
+}
+
+Partition1D partition_by_degree(const graph::Csr& g, int parts) {
+  MND_CHECK(parts >= 1);
+  const graph::VertexId n = g.num_vertices();
+  const std::size_t total_arcs = g.num_arcs();
+  std::vector<graph::VertexId> bounds;
+  bounds.reserve(static_cast<std::size_t>(parts) + 1);
+  bounds.push_back(0);
+
+  // Walk the CSR offsets, cutting whenever the running arc count passes the
+  // next multiple of total/parts. Guarantees monotone bounds; tiny graphs
+  // may leave trailing ranges empty.
+  graph::VertexId v = 0;
+  for (int p = 1; p < parts; ++p) {
+    const std::size_t target =
+        total_arcs * static_cast<std::size_t>(p) /
+        static_cast<std::size_t>(parts);
+    while (v < n && g.offsets()[v + 1] < target) ++v;
+    // Include the vertex that crosses the target in the earlier part when
+    // that keeps balance better.
+    graph::VertexId cut = v;
+    if (cut < n) {
+      const std::size_t before = g.offsets()[cut];
+      const std::size_t after = g.offsets()[cut + 1];
+      if (after - target < target - before) cut = v + 1;
+    }
+    cut = std::max(cut, bounds.back());
+    bounds.push_back(std::min(cut, n));
+    v = bounds.back();
+  }
+  bounds.push_back(n);
+  return Partition1D(std::move(bounds));
+}
+
+graph::VertexId split_range_by_share(const graph::Csr& g,
+                                     graph::VertexId begin,
+                                     graph::VertexId end, double gpu_share) {
+  MND_CHECK(begin <= end);
+  MND_CHECK(gpu_share >= 0.0 && gpu_share <= 1.0);
+  if (begin == end || gpu_share <= 0.0) return end;  // empty GPU side
+  const std::size_t range_arcs = g.offsets()[end] - g.offsets()[begin];
+  const std::size_t cpu_target =
+      static_cast<std::size_t>(static_cast<double>(range_arcs) *
+                               (1.0 - gpu_share));
+  graph::VertexId split = begin;
+  while (split < end &&
+         g.offsets()[split + 1] - g.offsets()[begin] < cpu_target) {
+    ++split;
+  }
+  return split;
+}
+
+}  // namespace mnd::hypar

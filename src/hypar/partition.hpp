@@ -1,0 +1,44 @@
+// Gemini-style 1-D contiguous partitioning (paper §3.1).
+//
+// Vertices are assigned to ranks in contiguous ranges chosen so that the
+// number of edges (CSR arcs) per range is balanced — the paper's
+// degree-based 1D scheme that preserves the natural locality of real-world
+// graph orderings. The same scheme splits a node's range between its CPU
+// and GPU devices according to the calibrated performance ratio.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace mnd::hypar {
+
+class Partition1D {
+ public:
+  Partition1D() = default;
+  explicit Partition1D(std::vector<graph::VertexId> bounds);
+
+  int parts() const { return static_cast<int>(bounds_.size()) - 1; }
+  graph::VertexId begin(int part) const;
+  graph::VertexId end(int part) const;
+  /// Owner rank of a vertex; O(log P).
+  int owner(graph::VertexId v) const;
+  const std::vector<graph::VertexId>& bounds() const { return bounds_; }
+
+ private:
+  std::vector<graph::VertexId> bounds_;  // size parts+1, ascending
+};
+
+/// Splits [0, V) into `parts` contiguous ranges with near-equal total
+/// degree (arc count). Empty ranges are possible for tiny graphs.
+Partition1D partition_by_degree(const graph::Csr& g, int parts);
+
+/// Splits one rank's contiguous range into a CPU range and a GPU range so
+/// that the GPU side holds ~gpu_share of the range's arcs. Returns the
+/// split vertex s: CPU owns [begin, s), GPU owns [s, end).
+graph::VertexId split_range_by_share(const graph::Csr& g,
+                                     graph::VertexId begin,
+                                     graph::VertexId end, double gpu_share);
+
+}  // namespace mnd::hypar

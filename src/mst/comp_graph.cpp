@@ -1,0 +1,197 @@
+#include "mst/comp_graph.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace mnd::mst {
+
+// --- RenameMap --------------------------------------------------------------
+
+void RenameMap::add(VertexId from, VertexId into) {
+  if (from == into) return;
+  if (parent_.contains(from)) {
+    // Both the old and new targets lie on `from`'s true merge chain;
+    // resolution converges either way, so keep the existing entry.
+    return;
+  }
+  parent_.insert_or_assign(from, into);
+}
+
+VertexId RenameMap::resolve(VertexId id) {
+  // Follow with path compression. Chains are finite because the global
+  // "merged into" relation is a forest (a dead id never becomes a target).
+  VertexId cur = id;
+  std::size_t steps = 0;
+  while (const VertexId* next = parent_.find(cur)) {
+    cur = *next;
+    MND_CHECK_MSG(++steps <= parent_.size() + 1,
+                  "rename cycle detected at id " << id);
+  }
+  // Compress: point the whole chain at the final target.
+  VertexId walk = id;
+  while (walk != cur) {
+    VertexId* next = parent_.find(walk);
+    const VertexId tmp = *next;
+    *next = cur;
+    walk = tmp;
+  }
+  return cur;
+}
+
+void RenameMap::merge_from(const RenameMap& other) {
+  other.map_for_each([&](VertexId from, VertexId into) { add(from, into); });
+}
+
+// --- CompGraph ---------------------------------------------------------------
+
+void CompGraph::attach_memory(sim::MemTracker* mem) {
+  MND_CHECK(mem_ == nullptr);
+  mem_ = mem;
+  if (mem_ != nullptr) mem_->charge(bytes_);
+}
+
+Component* CompGraph::find(VertexId id) {
+  const std::size_t* slot = index_.find(id);
+  return slot ? &comps_[*slot] : nullptr;
+}
+
+const Component* CompGraph::find(VertexId id) const {
+  const std::size_t* slot = index_.find(id);
+  return slot ? &comps_[*slot] : nullptr;
+}
+
+void CompGraph::adopt(Component c) {
+  MND_CHECK_MSG(!owns(c.id), "component " << c.id << " already owned");
+  const std::size_t add_bytes = c.bytes();
+  const std::size_t add_edges = c.edges.size();
+  std::size_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    comps_[slot] = std::move(c);
+  } else {
+    slot = comps_.size();
+    comps_.push_back(std::move(c));
+  }
+  index_.insert_or_assign(comps_[slot].id, slot);
+  order_dirty_ = true;
+  edge_count_ += add_edges;
+  recharge(bytes_ + add_bytes);
+}
+
+Component CompGraph::release(VertexId id) {
+  const std::size_t* slot = index_.find(id);
+  MND_CHECK_MSG(slot != nullptr, "releasing unowned component " << id);
+  Component out = std::move(comps_[*slot]);
+  comps_[*slot].id = graph::kInvalidVertex;
+  comps_[*slot].edges.clear();
+  comps_[*slot].edges.shrink_to_fit();
+  free_slots_.push_back(*slot);
+  index_.erase(id);
+  order_dirty_ = true;
+  edge_count_ -= out.edges.size();
+  recharge(bytes_ - out.bytes());
+  return out;
+}
+
+void CompGraph::erase(VertexId id) { (void)release(id); }
+
+std::vector<VertexId> CompGraph::component_ids() const {
+  if (order_dirty_) {
+    auto* self = const_cast<CompGraph*>(this);
+    self->order_.clear();
+    self->order_.reserve(index_.size());
+    index_.for_each([&](const VertexId& id, const std::size_t&) {
+      self->order_.push_back(id);
+    });
+    std::sort(self->order_.begin(), self->order_.end());
+    self->order_dirty_ = false;
+  }
+  return order_;
+}
+
+void CompGraph::refresh_accounting() {
+  std::size_t new_bytes = 0;
+  std::size_t new_edges = 0;
+  for (const auto& c : comps_) {
+    if (c.id == graph::kInvalidVertex) continue;
+    new_bytes += c.bytes();
+    new_edges += c.edges.size();
+  }
+  edge_count_ = new_edges;
+  recharge(new_bytes);
+}
+
+void CompGraph::recharge(std::size_t new_bytes) {
+  if (mem_ != nullptr) {
+    if (new_bytes > bytes_) {
+      mem_->charge(new_bytes - bytes_);
+    } else {
+      mem_->release(bytes_ - new_bytes);
+    }
+  }
+  bytes_ = new_bytes;
+}
+
+// --- Serialization -----------------------------------------------------------
+
+void serialize_components(const std::vector<Component>& comps,
+                          sim::Serializer* s) {
+  s->put<std::uint64_t>(comps.size());
+  for (const auto& c : comps) {
+    s->put<VertexId>(c.id);
+    s->put<std::uint32_t>(c.vertex_count);
+    s->put_vector(c.absorbed);
+    // Entries before scan_head are known self edges; they never ship.
+    s->put<std::uint64_t>(c.edges.size() - c.scan_head);
+    for (std::size_t i = c.scan_head; i < c.edges.size(); ++i) {
+      const CEdge& e = c.edges[i];
+      s->put<VertexId>(e.to);
+      s->put<Weight>(e.w);
+      s->put<EdgeId>(e.orig);
+    }
+  }
+}
+
+ComponentBundle deserialize_components(sim::Deserializer* d) {
+  ComponentBundle out;
+  const auto comp_count = d->get<std::uint64_t>();
+  out.comps.reserve(comp_count);
+  for (std::uint64_t i = 0; i < comp_count; ++i) {
+    Component c;
+    c.id = d->get<VertexId>();
+    c.vertex_count = d->get<std::uint32_t>();
+    c.absorbed = d->get_vector<VertexId>();
+    const auto edge_count = d->get<std::uint64_t>();
+    c.edges.reserve(edge_count);
+    for (std::uint64_t j = 0; j < edge_count; ++j) {
+      CEdge e;
+      e.to = d->get<VertexId>();
+      e.w = d->get<Weight>();
+      e.orig = d->get<EdgeId>();
+      c.edges.push_back(e);
+    }
+    out.comps.push_back(std::move(c));
+  }
+  return out;
+}
+
+bool edges_sorted(const Component& c) {
+  for (std::size_t i = 1; i < c.edges.size(); ++i) {
+    if (graph::lighter(c.edges[i].w, c.edges[i].orig, c.edges[i - 1].w,
+                       c.edges[i - 1].orig)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t wire_bytes(const Component& c) {
+  return sizeof(VertexId) + sizeof(std::uint32_t) + 2 * sizeof(std::uint64_t) +
+         c.absorbed.size() * sizeof(VertexId) +
+         (c.edges.size() - c.scan_head) *
+             (sizeof(VertexId) + sizeof(Weight) + sizeof(EdgeId));
+}
+
+}  // namespace mnd::mst

@@ -1,0 +1,191 @@
+// Component graph: the per-rank state of MND-MST.
+//
+// After any amount of contraction, the distributed algorithm's state is a
+// graph whose vertices are *components* (identified by the original vertex
+// id of their representative) and whose edges are original graph edges
+// relabeled to current component endpoints. A rank owns a disjoint subset
+// of the live components; edges are stored on the owner of their `from`
+// side, with the far endpoint possibly owned elsewhere (a ghost/cut edge).
+//
+// Contractions rename component ids. Renames are recorded in a RenameMap
+// (a union-find-style forest over component ids); rename knowledge travels
+// with component ownership, which maintains the key invariant:
+//
+//   INVARIANT (rename completeness): a rank's rename map contains the full
+//   merge history of every component it owns. Consequently a far endpoint
+//   that resolves to a non-owned id is truly remote — a frozen decision
+//   based on it is always sound (never freezes an edge that is actually
+//   internal, except transiently in the "stale" direction, which only
+//   delays contraction and never corrupts the forest).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "simcluster/mem_tracker.hpp"
+#include "simcluster/message.hpp"
+#include "util/flat_hash.hpp"
+
+namespace mnd::mst {
+
+using graph::EdgeId;
+using graph::VertexId;
+using graph::Weight;
+
+/// One relabeled edge, stored in the adjacency of its owning component.
+struct CEdge {
+  VertexId to = graph::kInvalidVertex;  // far endpoint component id
+  Weight w = 0;
+  EdgeId orig = graph::kInvalidEdge;    // original undirected edge id
+};
+
+/// A live component owned by some rank.
+///
+/// INVARIANT (edge order): `edges` is sorted ascending by (w, orig) — the
+/// global total order on edges. Weights never change, so the order is
+/// stable for the component's lifetime; contraction maintains it by
+/// merging the two sorted lists. The lightest incident edge is therefore
+/// the first entry that does not resolve to a self edge, and Boruvka
+/// iterations only pay for the entries they pop (`scan_head`) — the
+/// paper's data-driven worklist behaviour (§3.5) instead of full rescans.
+struct Component {
+  VertexId id = graph::kInvalidVertex;
+  std::uint32_t vertex_count = 1;  // original vertices absorbed (incl. self)
+  std::vector<CEdge> edges;
+  /// Entries before scan_head are known self edges (already contracted).
+  /// Transient: not serialized; receivers rescan from the front.
+  std::size_t scan_head = 0;
+  /// Live size right after the last dedup pass; multi-edge removal re-runs
+  /// only once the list doubles past it (amortized O(1) per edge).
+  /// Transient.
+  std::size_t last_clean_size = 0;
+  /// Ids of every component (originally: vertex) that merged into this one,
+  /// transitively. This IS the component's merge history in single-level
+  /// form: {x -> id | x in absorbed}. It travels with the component, which
+  /// maintains the rename-completeness invariant at a wire cost
+  /// proportional to the component's content (the paper's "parent ids"),
+  /// instead of shipping whole-rank rename maps.
+  std::vector<VertexId> absorbed;
+
+  std::size_t bytes() const {
+    return sizeof(Component) + edges.size() * sizeof(CEdge) +
+           absorbed.size() * sizeof(VertexId);
+  }
+};
+
+/// Union-find-style forest of "component X merged into component Y"
+/// records. Resolution follows chains with path compression.
+class RenameMap {
+ public:
+  /// Records that `from` was merged into `into`. Overwrites an existing
+  /// entry only with a more-resolved target (both map into the same chain).
+  void add(VertexId from, VertexId into);
+
+  /// Follows the chain from `id` as far as current knowledge allows.
+  VertexId resolve(VertexId id);
+
+  void merge_from(const RenameMap& other);
+
+  std::size_t size() const { return parent_.size(); }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    map_for_each(fn);
+  }
+
+ private:
+  template <typename Fn>
+  void map_for_each(Fn&& fn) const {
+    parent_.for_each(
+        [&](const VertexId& from, const VertexId& into) { fn(from, into); });
+  }
+
+  mnd::FlatHashMap<VertexId, VertexId> parent_;
+};
+
+/// The set of components a rank currently owns, plus its rename knowledge
+/// and the MST edges it has committed. Memory usage is mirrored into a
+/// MemTracker when one is attached, so capacity violations throw.
+class CompGraph {
+ public:
+  CompGraph() = default;
+
+  /// Attaches per-rank memory accounting; charges current footprint.
+  void attach_memory(sim::MemTracker* mem);
+
+  bool owns(VertexId id) const { return index_.contains(id); }
+  Component* find(VertexId id);
+  const Component* find(VertexId id) const;
+
+  /// Takes ownership of a component (id must not already be owned).
+  void adopt(Component c);
+  /// Releases and returns a component (id must be owned).
+  Component release(VertexId id);
+  /// Drops an owned component whose data merged elsewhere.
+  void erase(VertexId id);
+
+  RenameMap& renames() { return renames_; }
+  const RenameMap& renames() const { return renames_; }
+
+  /// Records a committed MST edge (original edge id).
+  void commit_mst_edge(EdgeId id) { mst_edges_.push_back(id); }
+  const std::vector<EdgeId>& mst_edges() const { return mst_edges_; }
+
+  std::size_t num_components() const { return index_.size(); }
+  std::size_t num_edges() const { return edge_count_; }
+
+  /// Owned component ids in ascending order (deterministic iteration).
+  std::vector<VertexId> component_ids() const;
+
+  /// Calls fn(Component&) for every owned component, ascending by id.
+  template <typename Fn>
+  void for_each_component(Fn&& fn) {
+    for (VertexId id : component_ids()) fn(*find(id));
+  }
+
+  /// Approximate resident bytes of components+edges (what MemTracker sees).
+  std::size_t bytes() const { return bytes_; }
+
+  /// Re-syncs byte accounting after in-place edge mutations. Call after
+  /// any pass that edits Component::edges directly.
+  void refresh_accounting();
+
+ private:
+  void recharge(std::size_t new_bytes);
+
+  mnd::FlatHashMap<VertexId, std::size_t> index_;  // id -> slot in comps_
+  std::vector<Component> comps_;                   // slots; freed slots reused
+  std::vector<std::size_t> free_slots_;
+  std::vector<VertexId> order_;  // sorted owned ids (rebuilt lazily)
+  mutable bool order_dirty_ = false;
+  RenameMap renames_;
+  std::vector<EdgeId> mst_edges_;
+  std::size_t edge_count_ = 0;
+  std::size_t bytes_ = 0;
+  sim::MemTracker* mem_ = nullptr;
+
+  friend std::vector<VertexId> sorted_ids_of(const CompGraph&);
+};
+
+// --- Serialization for shipping components between ranks -------------------
+
+/// Packs components with their adjacency and absorbed-id lists. The
+/// absorbed lists carry the merge history, so ownership transfer keeps the
+/// rename-completeness INVARIANT without shipping whole rename maps.
+void serialize_components(const std::vector<Component>& comps,
+                          sim::Serializer* s);
+
+struct ComponentBundle {
+  std::vector<Component> comps;
+};
+
+ComponentBundle deserialize_components(sim::Deserializer* d);
+
+/// Byte footprint of shipping one component (used for segment budgeting).
+std::size_t wire_bytes(const Component& c);
+
+/// True when c.edges satisfies the (w, orig) sort invariant.
+bool edges_sorted(const Component& c);
+
+}  // namespace mnd::mst

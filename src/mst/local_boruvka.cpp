@@ -1,0 +1,369 @@
+#include "mst/local_boruvka.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/flat_hash.hpp"
+
+namespace mnd::mst {
+
+device::KernelWork BoruvkaStats::total_work() const {
+  device::KernelWork total;
+  for (const auto& w : per_iteration) total += w;
+  return total;
+}
+
+double BoruvkaStats::priced_seconds(const device::Device& d) const {
+  double total = 0.0;
+  for (const auto& w : per_iteration) total += d.kernel_seconds(w);
+  return total;
+}
+
+std::size_t clean_adjacency(CompGraph& cg, Component& c) {
+  const std::size_t scanned = c.edges.size();
+  mnd::FlatHashMap<VertexId, CEdge> best(c.edges.size());
+  for (const auto& e : c.edges) {
+    const VertexId target = cg.renames().resolve(e.to);
+    if (target == c.id) continue;  // self edge after contraction
+    CEdge resolved{target, e.w, e.orig};
+    CEdge& slot = best[target];
+    if (slot.orig == graph::kInvalidEdge ||
+        graph::lighter(resolved.w, resolved.orig, slot.w, slot.orig)) {
+      slot = resolved;
+    }
+  }
+  c.edges.clear();
+  c.edges.reserve(best.size());
+  best.for_each([&](const VertexId&, const CEdge& e) { c.edges.push_back(e); });
+  // Restore the (w, orig) sort invariant; deterministic regardless of
+  // hash iteration order because the keys (w, orig) are unique.
+  std::sort(c.edges.begin(), c.edges.end(),
+            [](const CEdge& a, const CEdge& b) {
+              return graph::lighter(a.w, a.orig, b.w, b.orig);
+            });
+  c.scan_head = 0;
+  c.last_clean_size = c.edges.size();
+  return scanned;
+}
+
+namespace {
+
+bool lighter_edge(const CEdge& a, const CEdge& b) {
+  return graph::lighter(a.w, a.orig, b.w, b.orig);
+}
+
+struct Candidate {
+  VertexId to = graph::kInvalidVertex;
+  Weight w = 0;
+  EdgeId orig = graph::kInvalidEdge;
+};
+
+/// Transient per-invocation adjacency of an active component: a lazy
+/// collection of sorted runs (each a former component's sorted edge
+/// vector). Contraction appends the child's runs in O(#runs); the
+/// lightest live edge scans the run fronts, popping known-self entries
+/// once each. Runs are compacted (k-way merged + multi-edge removed) only
+/// when their count grows, giving amortized O(1) structural work per edge
+/// — the data-driven worklist behaviour of §3.5.
+struct RunSet {
+  std::vector<std::vector<CEdge>> runs;
+  std::vector<std::size_t> heads;
+
+  std::size_t live_edges() const {
+    std::size_t total = 0;
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+      total += runs[r].size() - heads[r];
+    }
+    return total;
+  }
+};
+
+constexpr std::size_t kMaxRuns = 16;
+
+class InvocationState {
+ public:
+  explicit InvocationState(CompGraph& cg) : cg_(cg), state_(64) {}
+
+  /// Loads (or returns) the run set of an owned component.
+  RunSet& runs_of(VertexId id) {
+    RunSet& rs = state_[id];
+    if (rs.runs.empty()) {
+      Component& c = *cg_.find(id);
+      if (!c.edges.empty()) {
+        rs.heads.push_back(c.scan_head);
+        rs.runs.push_back(std::move(c.edges));
+        c.edges.clear();
+        c.scan_head = 0;
+      }
+    }
+    return rs;
+  }
+
+  /// Lightest live edge of `id` (nullptr when isolated). Pops self
+  /// entries; `work` is charged for every entry examined.
+  const CEdge* lightest(VertexId id, device::KernelWork* work) {
+    RunSet& rs = runs_of(id);
+    const CEdge* best = nullptr;
+    for (std::size_t r = 0; r < rs.runs.size(); ++r) {
+      auto& run = rs.runs[r];
+      auto& head = rs.heads[r];
+      while (head < run.size()) {
+        CEdge& e = run[head];
+        ++work->edges_scanned;
+        const VertexId target = cg_.renames().resolve(e.to);
+        if (target == id) {
+          ++head;  // contracted away; popped forever
+          continue;
+        }
+        e.to = target;  // memoize
+        break;
+      }
+      if (head < run.size()) {
+        ++work->edges_scanned;
+        if (best == nullptr || lighter_edge(run[head], *best)) {
+          best = &run[head];
+        }
+      }
+    }
+    return best;
+  }
+
+  /// Moves `child`'s runs into `root` (contraction). O(#runs); compacts
+  /// when the run count grows past kMaxRuns.
+  void meld(VertexId root, VertexId child, device::KernelWork* work) {
+    RunSet child_rs = std::move(state_[child]);
+    state_.erase(child);
+    RunSet& rs = runs_of(root);
+    for (std::size_t r = 0; r < child_rs.runs.size(); ++r) {
+      if (child_rs.heads[r] >= child_rs.runs[r].size()) continue;
+      rs.runs.push_back(std::move(child_rs.runs[r]));
+      rs.heads.push_back(child_rs.heads[r]);
+    }
+    if (rs.runs.size() > kMaxRuns) compact(root, rs, work);
+  }
+
+  /// Writes every loaded run set back into its component as one sorted,
+  /// multi-edge-removed vector. Charged.
+  void write_back(device::KernelWork* work) {
+    std::vector<VertexId> ids;
+    state_.for_each(
+        [&](const VertexId& id, const RunSet&) { ids.push_back(id); });
+    std::sort(ids.begin(), ids.end());
+    for (VertexId id : ids) {
+      Component* c = cg_.find(id);
+      if (c == nullptr) continue;  // absorbed during contraction
+      RunSet& rs = *state_.find(id);
+      compact(id, rs, work);
+      if (!rs.runs.empty()) {
+        c->edges = std::move(rs.runs.front());
+        c->scan_head = 0;
+        c->last_clean_size = c->edges.size();
+      }
+    }
+    state_.clear();
+  }
+
+ private:
+  /// Merges all runs into one sorted run with multi-edge removal.
+  void compact(VertexId id, RunSet& rs, device::KernelWork* work) {
+    if (rs.runs.size() <= 1 && rs.runs.size() == rs.heads.size() &&
+        (rs.runs.empty() || rs.heads[0] == 0)) {
+      return;
+    }
+    mnd::FlatHashMap<VertexId, CEdge> best(rs.live_edges());
+    for (std::size_t r = 0; r < rs.runs.size(); ++r) {
+      for (std::size_t i = rs.heads[r]; i < rs.runs[r].size(); ++i) {
+        const CEdge& e = rs.runs[r][i];
+        ++work->edges_scanned;
+        const VertexId target = cg_.renames().resolve(e.to);
+        if (target == id) continue;
+        CEdge resolved{target, e.w, e.orig};
+        CEdge& slot = best[target];
+        if (slot.orig == graph::kInvalidEdge ||
+            lighter_edge(resolved, slot)) {
+          slot = resolved;
+        }
+      }
+    }
+    std::vector<CEdge> merged;
+    merged.reserve(best.size());
+    best.for_each(
+        [&](const VertexId&, const CEdge& e) { merged.push_back(e); });
+    std::sort(merged.begin(), merged.end(), lighter_edge);
+    work->atomic_updates += merged.size();
+    rs.runs.clear();
+    rs.heads.clear();
+    rs.runs.push_back(std::move(merged));
+    rs.heads.push_back(0);
+  }
+
+  CompGraph& cg_;
+  mnd::FlatHashMap<VertexId, RunSet> state_;
+};
+
+/// Follows min-edge pointers to the contraction root of `start`.
+/// The candidate graph is a pseudoforest whose only cycles are mutual
+/// pairs (guaranteed by the strict (weight, id) total order); the root of
+/// a tree is either a component with no candidate or the smaller-id member
+/// of the mutual pair.
+VertexId find_root(VertexId start, CompGraph& cg,
+                   mnd::FlatHashMap<VertexId, Candidate>& cand,
+                   mnd::FlatHashMap<VertexId, VertexId>& root_memo) {
+  std::vector<VertexId> path;
+  VertexId cur = start;
+  VertexId root = graph::kInvalidVertex;
+  for (;;) {
+    if (const VertexId* memo = root_memo.find(cur)) {
+      root = *memo;
+      break;
+    }
+    const Candidate* c = cand.find(cur);
+    if (c == nullptr) {
+      root = cur;  // frozen or isolated component: absorbs the chain
+      break;
+    }
+    // A cached candidate may point at an id that has since merged; the
+    // rename map gives its live owner.
+    const VertexId to = cg.renames().resolve(c->to);
+    MND_DCHECK(to != cur);  // self-stale candidates are erased when dirtied
+    const Candidate* back = cand.find(to);
+    if (back != nullptr && cg.renames().resolve(back->to) == cur) {
+      root = std::min(cur, to);  // mutual pair: smaller id wins
+      break;
+    }
+    path.push_back(cur);
+    cur = to;
+  }
+  root_memo.insert_or_assign(cur, root);
+  for (VertexId v : path) root_memo.insert_or_assign(v, root);
+  return root;
+}
+
+}  // namespace
+
+BoruvkaStats local_boruvka(CompGraph& cg, const Participates& participates,
+                           const BoruvkaOptions& opts) {
+  BoruvkaStats stats;
+  auto takes_part = [&](VertexId id) {
+    return !participates || participates(id);
+  };
+
+  InvocationState inv(cg);
+  // Live candidates: a non-dirty component's lightest edge stays its
+  // lightest (weights are immutable and its adjacency unchanged), so only
+  // dirty components — contraction roots — are rescanned per iteration.
+  mnd::FlatHashMap<VertexId, Candidate> cand(64);
+  mnd::FlatHashSet<VertexId> frozen_set(64);
+
+  std::vector<VertexId> dirty;
+  for (VertexId id : cg.component_ids()) {
+    if (takes_part(id)) dirty.push_back(id);
+  }
+  const std::size_t initially_active = dirty.size();
+
+  double prev_iter_seconds = -1.0;
+  device::KernelWork final_writeback;
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    device::KernelWork work;
+    work.active_vertices = dirty.size();
+
+    // Pass 1: (re)compute candidates for dirty components only.
+    for (VertexId id : dirty) {
+      const CEdge* min_edge = inv.lightest(id, &work);
+      ++work.atomic_updates;  // min-edge CAS
+      if (min_edge == nullptr) continue;  // isolated: finished
+      if (cg.owns(min_edge->to) && takes_part(min_edge->to)) {
+        cand.insert_or_assign(
+            id, Candidate{min_edge->to, min_edge->w, min_edge->orig});
+      } else {
+        frozen_set.insert(id);  // EXCPT_BORDER_VERTEX: cut edge
+      }
+    }
+
+    if (cand.size() == 0) {
+      stats.per_iteration.push_back(work);
+      ++stats.iterations;
+      break;
+    }
+
+    // Pass 2: resolve contraction roots over the candidate pseudoforest.
+    mnd::FlatHashMap<VertexId, VertexId> root_memo(cand.size());
+    std::vector<std::pair<VertexId, VertexId>> merges;  // (comp, root)
+    std::vector<VertexId> with_cand;
+    cand.for_each(
+        [&](const VertexId& id, const Candidate&) { with_cand.push_back(id); });
+    std::sort(with_cand.begin(), with_cand.end());
+    for (VertexId id : with_cand) {
+      const VertexId root = find_root(id, cg, cand, root_memo);
+      if (root != id) merges.emplace_back(id, root);
+    }
+
+    // Pass 3: apply. Each non-root component contributes its lightest edge
+    // to the MST; for the mutual pair both chose the same undirected edge,
+    // and only the non-root side commits it, so it is recorded exactly once.
+    dirty.clear();
+    mnd::FlatHashSet<VertexId> dirty_set(merges.size());
+    std::size_t contracted = 0;
+    for (const auto& [id, root] : merges) {
+      const Candidate* c = cand.find(id);
+      MND_DCHECK(c != nullptr);
+      cg.commit_mst_edge(c->orig);
+      Component moved = cg.release(id);
+      Component& root_comp = *cg.find(root);
+      root_comp.vertex_count += moved.vertex_count;
+      root_comp.absorbed.push_back(id);
+      root_comp.absorbed.insert(root_comp.absorbed.end(),
+                                moved.absorbed.begin(), moved.absorbed.end());
+      cg.renames().add(id, root);
+      inv.meld(root, id, &work);
+      cand.erase(id);
+      frozen_set.erase(id);
+      if (dirty_set.insert(root)) dirty.push_back(root);
+      ++contracted;
+    }
+    // Roots must recompute their lightest edge next iteration.
+    for (VertexId root : dirty) {
+      cand.erase(root);
+      frozen_set.erase(root);
+    }
+    std::sort(dirty.begin(), dirty.end());
+    work.atomic_updates += 2 * contracted;
+    cg.refresh_accounting();
+
+    stats.per_iteration.push_back(work);
+    ++stats.iterations;
+    stats.contractions += contracted;
+
+    if (contracted == 0) break;
+    // Active components this round = the contracted ones plus everything
+    // still live (dirtied roots, cached candidates, frozen).
+    const std::size_t round_active = contracted + dirty.size() + cand.size() +
+                                     frozen_set.size();
+    if (opts.min_contraction_fraction > 0.0 && initially_active > 0 &&
+        static_cast<double>(contracted) <
+            opts.min_contraction_fraction *
+                static_cast<double>(round_active)) {
+      break;  // diminishing benefit: hand over to merging (§4.3.2)
+    }
+    if (opts.auto_stop_on_time_trend && opts.trend_device != nullptr) {
+      const double t = opts.trend_device->kernel_seconds(work);
+      if (prev_iter_seconds >= 0.0 && t > 0.97 * prev_iter_seconds &&
+          iter >= 1) {
+        break;  // execution time stopped decreasing (§4.3.2)
+      }
+      prev_iter_seconds = t;
+    }
+  }
+
+  stats.frozen_components = frozen_set.size();
+  inv.write_back(&final_writeback);
+  if (!stats.per_iteration.empty()) {
+    stats.per_iteration.back() += final_writeback;
+  } else {
+    stats.per_iteration.push_back(final_writeback);
+  }
+  cg.refresh_accounting();
+  return stats;
+}
+
+}  // namespace mnd::mst

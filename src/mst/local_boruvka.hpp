@@ -1,0 +1,63 @@
+// Independent Boruvka computation on a rank's (or device partition's)
+// components — the paper's indComp kernel (§3.2).
+//
+// The exception condition (EXCPT_BORDER_VERTEX) is expressed by the
+// `participates` predicate: a component may only contract along its
+// lightest edge when that edge's far endpoint resolves to a component that
+// is owned locally AND participates. If the lightest edge is a cut edge
+// (leaves the partition/device), the component is *frozen* for this
+// iteration — exactly the paper's rule that keeps independent computations
+// safe: every contracted edge is its component's lightest incident edge
+// under the global (weight, id) total order, hence a safe edge by the cut
+// property.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "device/device.hpp"
+#include "mst/comp_graph.hpp"
+
+namespace mnd::mst {
+
+/// Which components take part in this invocation. Null means "all owned".
+using Participates = std::function<bool(VertexId)>;
+
+struct BoruvkaOptions {
+  /// Diminishing-benefit cut (§4.3.2): stop when the fraction of active
+  /// components that contracted in an iteration falls below this.
+  double min_contraction_fraction = 0.0;
+  /// Automatic stop on the per-iteration execution-time trend (§4.3.2):
+  /// when the modelled iteration time stops decreasing, switch to merging.
+  bool auto_stop_on_time_trend = false;
+  const device::Device* trend_device = nullptr;
+  int max_iterations = std::numeric_limits<int>::max();
+};
+
+struct BoruvkaStats {
+  int iterations = 0;
+  std::size_t contractions = 0;
+  /// Components whose lightest edge was a cut edge in the last iteration.
+  std::size_t frozen_components = 0;
+  /// Per-iteration counted work (one kernel launch each on a GPU).
+  std::vector<device::KernelWork> per_iteration;
+
+  device::KernelWork total_work() const;
+  /// Virtual seconds to run all iterations on `d` (one launch per
+  /// iteration).
+  double priced_seconds(const device::Device& d) const;
+};
+
+/// Runs iterations of Boruvka with the exception condition over the
+/// participating owned components of `cg`, contracting in place, recording
+/// renames and committing MST edges. Deterministic.
+BoruvkaStats local_boruvka(CompGraph& cg, const Participates& participates,
+                           const BoruvkaOptions& opts = {});
+
+/// Cleans one component's adjacency in place: resolves far endpoints,
+/// drops self edges, and keeps only the lightest edge per far component
+/// (multi-edge removal). Returns the number of edges scanned.
+std::size_t clean_adjacency(CompGraph& cg, Component& c);
+
+}  // namespace mnd::mst

@@ -1,0 +1,57 @@
+#include "mst/mnd_mst.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "graph/csr.hpp"
+#include "util/check.hpp"
+
+namespace mnd::mst {
+
+MndMstReport run_mnd_mst(const graph::EdgeList& input,
+                         const MndMstOptions& opts) {
+  MND_CHECK(opts.num_nodes >= 1);
+  const graph::Csr csr = graph::Csr::from_edge_list(input);
+
+  sim::ClusterConfig config;
+  config.num_ranks = opts.num_nodes;
+  config.net = opts.net;
+  config.rank_memory_bytes = opts.node_memory_bytes;
+
+  MndMstReport report;
+  report.traces.resize(static_cast<std::size_t>(opts.num_nodes));
+  std::vector<graph::EdgeId> forest_edges;
+  std::mutex result_mutex;
+
+  hypar::EngineOptions engine_opts = opts.engine;
+  // Single node: no hierarchy; the engine handles p==1 by skipping levels,
+  // but group_size must still satisfy its precondition.
+  engine_opts.group_size = std::max(2, engine_opts.group_size);
+
+  report.run = sim::run_cluster(config, [&](sim::Communicator& comm) {
+    hypar::BoruvkaKernel kernel;
+    hypar::EngineResult r =
+        hypar::run_engine(comm, csr, kernel, engine_opts);
+    std::lock_guard<std::mutex> lock(result_mutex);
+    report.traces[static_cast<std::size_t>(comm.rank())] = r.trace;
+    if (comm.rank() == 0) forest_edges = std::move(r.forest_edges);
+  });
+
+  report.forest.edges = std::move(forest_edges);
+  for (graph::EdgeId id : report.forest.edges) {
+    report.forest.total_weight += input.edge(id).w;
+  }
+  // Forest edges + components partition the vertex set.
+  report.forest.num_components =
+      input.num_vertices() - report.forest.edges.size();
+
+  report.total_seconds = report.run.makespan;
+  const auto phases = report.run.max_phases();
+  report.comm_seconds = phases.get("comm");
+  report.indcomp_seconds = phases.get("indComp");
+  report.merge_seconds = phases.get("merge");
+  report.postprocess_seconds = phases.get("postProcess");
+  return report;
+}
+
+}  // namespace mnd::mst

@@ -1,0 +1,56 @@
+// Public entry point: the multi-node multi-device MST algorithm (MND-MST).
+//
+// run_mnd_mst() stands up a simulated cluster, executes the HyPar engine
+// with the Boruvka kernel on every rank, assembles the minimum spanning
+// forest on rank 0, and reports virtual-time measurements (total time,
+// communication time, per-phase breakdown) in the shape the paper's
+// evaluation uses.
+#pragma once
+
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "graph/reference_mst.hpp"
+#include "hypar/engine.hpp"
+#include "simcluster/cluster.hpp"
+
+namespace mnd::mst {
+
+struct MndMstOptions {
+  /// Number of simulated nodes (MPI ranks). One rank per node, as in the
+  /// paper's CPU(+GPU) runs.
+  int num_nodes = 4;
+  hypar::EngineOptions engine;
+  /// MPI transport on the AMD cluster; fixed costs scaled for the
+  /// stand-in datasets (see NetModel::for_data_scale).
+  sim::NetModel net = sim::NetModel::amd_cluster().for_data_scale(4000.0);
+  /// Per-node memory capacity (bytes); kUnlimited disables the bound.
+  std::size_t node_memory_bytes = sim::MemTracker::kUnlimited;
+};
+
+struct MndMstReport {
+  graph::MstResult forest;  // assembled on rank 0
+
+  // Virtual-time measurements (seconds).
+  double total_seconds = 0.0;  // makespan across ranks
+  double comm_seconds = 0.0;   // max over ranks of comm time
+  double indcomp_seconds = 0.0;     // max over ranks
+  double merge_seconds = 0.0;       // max over ranks
+  double postprocess_seconds = 0.0; // max over ranks
+
+  sim::RunReport run;  // full per-rank detail
+  std::vector<hypar::RankTrace> traces;
+
+  double computation_fraction() const {
+    return total_seconds <= 0.0
+               ? 0.0
+               : (total_seconds - comm_seconds) / total_seconds;
+  }
+};
+
+/// Runs MND-MST end to end on a simulated cluster. Deterministic for a
+/// fixed input and options.
+MndMstReport run_mnd_mst(const graph::EdgeList& input,
+                         const MndMstOptions& opts);
+
+}  // namespace mnd::mst

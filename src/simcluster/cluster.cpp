@@ -1,0 +1,181 @@
+#include "simcluster/cluster.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace mnd::sim {
+
+double RunReport::total_comm_seconds() const {
+  double total = 0.0;
+  for (const auto& s : rank_comm) total += s.comm_seconds;
+  return total;
+}
+
+double RunReport::max_comm_seconds() const {
+  double best = 0.0;
+  for (const auto& s : rank_comm) best = std::max(best, s.comm_seconds);
+  return best;
+}
+
+std::uint64_t RunReport::total_bytes_sent() const {
+  std::uint64_t total = 0;
+  for (const auto& s : rank_comm) total += s.bytes_sent;
+  return total;
+}
+
+PhaseBreakdown RunReport::max_phases() const {
+  PhaseBreakdown out;
+  for (const auto& p : rank_phases) out.merge_max(p);
+  return out;
+}
+
+/// Tag+source matched FIFO queues with blocking take.
+struct Cluster::Mailbox {
+  struct Key {
+    int src;
+    Tag tag;
+    bool operator==(const Key&) const = default;
+  };
+
+  std::mutex mutex;
+  std::condition_variable arrived;
+  // Flat store: the number of distinct (src, tag) pairs alive at once is
+  // small (collectives reuse tags), so linear scan beats hashing here.
+  std::vector<std::pair<Key, std::deque<Message>>> queues;
+  bool poisoned = false;
+
+  void put(Message msg) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      get_queue(Key{msg.src, msg.tag}).push_back(std::move(msg));
+    }
+    arrived.notify_all();
+  }
+
+  Message take(int src, Tag tag) {
+    std::unique_lock<std::mutex> lock(mutex);
+    const Key key{src, tag};
+    for (;;) {
+      if (poisoned) {
+        throw CheckFailure("cluster aborted: a rank threw");
+      }
+      auto* q = find_queue(key);
+      if (q != nullptr && !q->empty()) {
+        Message msg = std::move(q->front());
+        q->pop_front();
+        return msg;
+      }
+      arrived.wait(lock);
+    }
+  }
+
+  void poison() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      poisoned = true;
+    }
+    arrived.notify_all();
+  }
+
+  void reset() {
+    std::lock_guard<std::mutex> lock(mutex);
+    queues.clear();
+    poisoned = false;
+  }
+
+ private:
+  std::deque<Message>* find_queue(const Key& key) {
+    for (auto& [k, q] : queues) {
+      if (k == key) return &q;
+    }
+    return nullptr;
+  }
+  std::deque<Message>& get_queue(const Key& key) {
+    if (auto* q = find_queue(key)) return *q;
+    queues.emplace_back(key, std::deque<Message>{});
+    return queues.back().second;
+  }
+};
+
+Cluster::Cluster(ClusterConfig config) : config_(config) {
+  MND_CHECK_MSG(config_.num_ranks >= 1, "cluster needs at least one rank");
+  mailboxes_.reserve(static_cast<std::size_t>(config_.num_ranks));
+  for (int r = 0; r < config_.num_ranks; ++r) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::deliver(int dst, Message msg) {
+  MND_CHECK_MSG(dst >= 0 && dst < size(), "bad destination rank " << dst);
+  mailboxes_[static_cast<std::size_t>(dst)]->put(std::move(msg));
+}
+
+Message Cluster::take(int dst, int src, Tag tag) {
+  MND_CHECK_MSG(src >= 0 && src < size(), "bad source rank " << src);
+  return mailboxes_[static_cast<std::size_t>(dst)]->take(src, tag);
+}
+
+RunReport Cluster::run(const std::function<void(Communicator&)>& fn) {
+  for (auto& mb : mailboxes_) mb->reset();
+
+  const int n = size();
+  std::vector<std::unique_ptr<Communicator>> comms;
+  comms.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    comms.push_back(std::make_unique<Communicator>(*this, r));
+  }
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  auto body = [&](int r) {
+    try {
+      fn(*comms[static_cast<std::size_t>(r)]);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      // Unblock every rank waiting in recv so the run can unwind.
+      for (auto& mb : mailboxes_) mb->poison();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n - 1));
+  for (int r = 1; r < n; ++r) {
+    threads.emplace_back(body, r);
+  }
+  body(0);
+  for (auto& t : threads) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+
+  RunReport report;
+  report.rank_finish_times.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    auto& c = *comms[static_cast<std::size_t>(r)];
+    report.rank_finish_times.push_back(c.clock().now());
+    report.rank_comm.push_back(c.stats());
+    report.rank_phases.push_back(c.phases());
+    report.rank_peak_memory.push_back(c.memory().peak());
+    report.makespan = std::max(report.makespan, c.clock().now());
+  }
+  return report;
+}
+
+RunReport run_cluster(const ClusterConfig& config,
+                      const std::function<void(Communicator&)>& fn) {
+  Cluster cluster(config);
+  return cluster.run(fn);
+}
+
+}  // namespace mnd::sim

@@ -1,0 +1,78 @@
+// Simulated cluster driver: runs an SPMD function on N rank threads.
+//
+// Each rank gets a Communicator; ranks exchange serialized messages through
+// in-memory mailboxes. Blocking semantics come from real thread blocking;
+// *times* come exclusively from the virtual-clock machinery, so results are
+// deterministic regardless of host scheduling.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "simcluster/communicator.hpp"
+#include "simcluster/message.hpp"
+#include "simcluster/net_model.hpp"
+
+namespace mnd::sim {
+
+struct ClusterConfig {
+  int num_ranks = 1;
+  NetModel net = NetModel::amd_cluster();
+  /// Per-rank memory capacity in bytes (MemTracker::kUnlimited = off).
+  std::size_t rank_memory_bytes = MemTracker::kUnlimited;
+};
+
+/// Result of one SPMD run.
+struct RunReport {
+  /// Virtual completion time of the whole job: max over ranks.
+  double makespan = 0.0;
+  std::vector<double> rank_finish_times;
+  std::vector<CommStats> rank_comm;
+  std::vector<PhaseBreakdown> rank_phases;
+  std::vector<std::size_t> rank_peak_memory;
+
+  double total_comm_seconds() const;
+  double max_comm_seconds() const;
+  std::uint64_t total_bytes_sent() const;
+  /// Max over ranks of (total phase time - comm phases): "useful work".
+  PhaseBreakdown max_phases() const;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  int size() const { return config_.num_ranks; }
+  const NetModel& net() const { return config_.net; }
+  const ClusterConfig& config() const { return config_; }
+
+  /// Runs fn(comm) on every rank (one thread per rank) and returns the
+  /// per-rank reports. Any rank throwing aborts the run and rethrows on the
+  /// caller thread.
+  RunReport run(const std::function<void(Communicator&)>& fn);
+
+  // --- internal API used by Communicator ---------------------------------
+  void deliver(int dst, Message msg);
+  Message take(int dst, int src, Tag tag);
+
+ private:
+  struct Mailbox;
+
+  ClusterConfig config_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+};
+
+/// Convenience: build a cluster, run fn, return the report.
+RunReport run_cluster(const ClusterConfig& config,
+                      const std::function<void(Communicator&)>& fn);
+
+}  // namespace mnd::sim

@@ -1,0 +1,280 @@
+#include "simcluster/communicator.hpp"
+
+#include <algorithm>
+
+#include "simcluster/cluster.hpp"
+#include "util/check.hpp"
+
+namespace mnd::sim {
+
+int Group::rank_of(int world_rank) const {
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (members[i] == world_rank) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Communicator::Communicator(Cluster& cluster, int rank)
+    : cluster_(cluster),
+      rank_(rank),
+      memory_(cluster.config().rank_memory_bytes) {}
+
+int Communicator::size() const { return cluster_.size(); }
+
+const NetModel& Communicator::net() const { return cluster_.net(); }
+
+void Communicator::compute(double seconds, const std::string& phase) {
+  MND_CHECK_MSG(seconds >= 0.0, "negative compute charge for " << phase);
+  clock_.advance(seconds);
+  phases_.add(phase, seconds);
+}
+
+void Communicator::send(int dst, Tag tag, std::vector<std::uint8_t> payload) {
+  MND_CHECK_MSG(dst != rank_, "send to self (rank " << rank_ << ")");
+  const std::size_t bytes = payload.size();
+  Message msg;
+  msg.src = rank_;
+  msg.tag = tag;
+  msg.arrival_time = net().arrival(clock_.now(), bytes);
+  msg.payload = std::move(payload);
+
+  const double occupancy = net().send_occupancy(bytes);
+  clock_.advance(occupancy);
+  stats_.comm_seconds += occupancy;
+  stats_.messages_sent += 1;
+  stats_.bytes_sent += bytes;
+  phases_.add("comm", occupancy);
+
+  cluster_.deliver(dst, std::move(msg));
+}
+
+std::vector<std::uint8_t> Communicator::recv(int src, Tag tag) {
+  MND_CHECK_MSG(src != rank_, "recv from self (rank " << rank_ << ")");
+  Message msg = cluster_.take(rank_, src, tag);
+  const double wait = clock_.join(msg.arrival_time);
+  const double drain = net().recv_occupancy();
+  clock_.advance(drain);
+  stats_.comm_seconds += wait + drain;
+  stats_.wait_seconds += wait;
+  stats_.messages_received += 1;
+  stats_.bytes_received += msg.payload.size();
+  phases_.add("comm", wait + drain);
+  return std::move(msg.payload);
+}
+
+std::vector<std::uint8_t> Communicator::exchange(
+    int peer, Tag tag, std::vector<std::uint8_t> payload) {
+  send(peer, tag, std::move(payload));
+  return recv(peer, tag);
+}
+
+// ---------------------------------------------------------------------------
+// Collectives. World collectives delegate to the group versions with an
+// all-ranks group.
+
+namespace {
+Group world_group(int size) {
+  Group g;
+  g.members.resize(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r) g.members[static_cast<std::size_t>(r)] = r;
+  return g;
+}
+}  // namespace
+
+void Communicator::barrier(Tag tag) { group_barrier(world_group(size()), tag); }
+
+std::uint64_t Communicator::allreduce_sum(std::uint64_t value, Tag tag) {
+  return group_allreduce_sum(world_group(size()), value, tag);
+}
+
+std::uint64_t Communicator::allreduce_max(std::uint64_t value, Tag tag) {
+  auto out = group_allreduce_vec(
+      world_group(size()), {value}, tag,
+      [](std::uint64_t a, std::uint64_t b) { return std::max(a, b); });
+  return out[0];
+}
+
+std::vector<std::uint64_t> Communicator::allreduce_sum_vec(
+    std::vector<std::uint64_t> v, Tag tag) {
+  return group_allreduce_vec(
+      world_group(size()), std::move(v), tag,
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+}
+
+std::vector<std::vector<std::uint8_t>> Communicator::gather(
+    std::vector<std::uint8_t> payload, int root, Tag tag) {
+  return group_gather(world_group(size()), std::move(payload), root, tag);
+}
+
+std::vector<std::vector<std::uint8_t>> Communicator::all_gather(
+    std::vector<std::uint8_t> payload, Tag tag) {
+  return group_all_gather(world_group(size()), std::move(payload), tag);
+}
+
+std::vector<std::uint8_t> Communicator::broadcast(
+    std::vector<std::uint8_t> payload, int root, Tag tag) {
+  // Binomial tree rooted at `root` (MPICH-style).
+  const Group g = world_group(size());
+  const int gsize = g.size();
+  if (gsize == 1) return payload;
+  const int me = rank_;
+  const int vrank = (me - root + gsize) % gsize;
+  auto world_of = [&](int vr) { return (vr + root) % gsize; };
+
+  int mask = 1;
+  while (mask < gsize) {
+    if (vrank & mask) {
+      payload = recv(world_of(vrank - mask), tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < gsize) {
+      send(world_of(vrank + mask), tag, payload);
+    }
+    mask >>= 1;
+  }
+  return payload;
+}
+
+void Communicator::group_barrier(const Group& g, Tag tag) {
+  const int gsize = g.size();
+  const int me = g.rank_of(rank_);
+  MND_CHECK_MSG(me >= 0, "rank " << rank_ << " not in group");
+  if (gsize == 1) return;
+  // Dissemination barrier: log2(g) rounds of token exchange.
+  for (int dist = 1; dist < gsize; dist <<= 1) {
+    const int to = g.members[static_cast<std::size_t>((me + dist) % gsize)];
+    const int from =
+        g.members[static_cast<std::size_t>((me - dist % gsize + gsize) % gsize)];
+    send(to, tag, {});
+    (void)recv(from, tag);
+  }
+}
+
+std::uint64_t Communicator::group_allreduce_sum(const Group& g,
+                                                std::uint64_t value, Tag tag) {
+  auto out = group_allreduce_vec(
+      g, {value}, tag, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  return out[0];
+}
+
+std::uint64_t Communicator::group_allreduce_min(const Group& g,
+                                                std::uint64_t value, Tag tag) {
+  auto out = group_allreduce_vec(
+      g, {value}, tag,
+      [](std::uint64_t a, std::uint64_t b) { return std::min(a, b); });
+  return out[0];
+}
+
+std::vector<std::uint64_t> Communicator::group_allreduce_vec(
+    const Group& g, std::vector<std::uint64_t> value, Tag tag,
+    const std::function<std::uint64_t(std::uint64_t, std::uint64_t)>& op) {
+  const int gsize = g.size();
+  const int me = g.rank_of(rank_);
+  MND_CHECK_MSG(me >= 0, "rank " << rank_ << " not in group");
+  if (gsize == 1) return value;
+
+  auto pack = [](const std::vector<std::uint64_t>& v) {
+    Serializer s;
+    s.put_vector(v);
+    return s.take();
+  };
+  auto unpack = [](const std::vector<std::uint8_t>& bytes) {
+    Deserializer d(bytes);
+    return d.get_vector<std::uint64_t>();
+  };
+  auto combine = [&](std::vector<std::uint64_t>& into,
+                     const std::vector<std::uint64_t>& from) {
+    MND_CHECK(into.size() == from.size());
+    for (std::size_t i = 0; i < into.size(); ++i) {
+      into[i] = op(into[i], from[i]);
+    }
+  };
+
+  // Non-power-of-two: fold the tail ranks into the power-of-two prefix.
+  int p2 = 1;
+  while (p2 * 2 <= gsize) p2 *= 2;
+  const int rem = gsize - p2;
+
+  if (me >= p2) {
+    send(g.members[static_cast<std::size_t>(me - p2)], tag, pack(value));
+    value = unpack(recv(g.members[static_cast<std::size_t>(me - p2)], tag));
+    return value;
+  }
+  if (me < rem) {
+    combine(value,
+            unpack(recv(g.members[static_cast<std::size_t>(me + p2)], tag)));
+  }
+  // Recursive doubling among the first p2 group ranks.
+  for (int dist = 1; dist < p2; dist <<= 1) {
+    const int peer_group = me ^ dist;
+    const int peer = g.members[static_cast<std::size_t>(peer_group)];
+    auto other = unpack(exchange(peer, tag, pack(value)));
+    combine(value, other);
+  }
+  if (me < rem) {
+    send(g.members[static_cast<std::size_t>(me + p2)], tag, pack(value));
+  }
+  return value;
+}
+
+std::vector<std::vector<std::uint8_t>> Communicator::group_gather(
+    const Group& g, std::vector<std::uint8_t> payload, int root_world_rank,
+    Tag tag) {
+  const int me = g.rank_of(rank_);
+  MND_CHECK_MSG(me >= 0, "rank " << rank_ << " not in group");
+  MND_CHECK_MSG(g.contains(root_world_rank), "gather root not in group");
+  std::vector<std::vector<std::uint8_t>> out;
+  if (rank_ == root_world_rank) {
+    out.resize(static_cast<std::size_t>(g.size()));
+    out[static_cast<std::size_t>(me)] = std::move(payload);
+    for (int i = 0; i < g.size(); ++i) {
+      const int src = g.members[static_cast<std::size_t>(i)];
+      if (src == rank_) continue;
+      out[static_cast<std::size_t>(i)] = recv(src, tag);
+    }
+  } else {
+    send(root_world_rank, tag, std::move(payload));
+  }
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> Communicator::group_all_gather(
+    const Group& g, std::vector<std::uint8_t> payload, Tag tag) {
+  const int gsize = g.size();
+  const int me = g.rank_of(rank_);
+  MND_CHECK_MSG(me >= 0, "rank " << rank_ << " not in group");
+  std::vector<std::vector<std::uint8_t>> blocks(
+      static_cast<std::size_t>(gsize));
+  blocks[static_cast<std::size_t>(me)] = std::move(payload);
+  if (gsize == 1) return blocks;
+
+  // Ring all-gather: g-1 steps, each passing one block to the successor.
+  const int right = g.members[static_cast<std::size_t>((me + 1) % gsize)];
+  const int left =
+      g.members[static_cast<std::size_t>((me - 1 + gsize) % gsize)];
+  for (int step = 0; step < gsize - 1; ++step) {
+    const int send_idx = (me - step + gsize * 2) % gsize;
+    const int recv_idx = (me - step - 1 + gsize * 2) % gsize;
+    send(right, tag, blocks[static_cast<std::size_t>(send_idx)]);
+    blocks[static_cast<std::size_t>(recv_idx)] = recv(left, tag);
+  }
+  return blocks;
+}
+
+std::vector<std::uint8_t> Communicator::ring_shift(
+    const Group& g, Tag tag, std::vector<std::uint8_t> payload) {
+  const int gsize = g.size();
+  const int me = g.rank_of(rank_);
+  MND_CHECK_MSG(me >= 0, "rank " << rank_ << " not in group");
+  if (gsize == 1) return payload;
+  const int left = g.members[static_cast<std::size_t>((me - 1 + gsize) % gsize)];
+  const int right = g.members[static_cast<std::size_t>((me + 1) % gsize)];
+  send(left, tag, std::move(payload));
+  return recv(right, tag);
+}
+
+}  // namespace mnd::sim

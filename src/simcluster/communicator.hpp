@@ -1,0 +1,130 @@
+// Rank-facing communication API for the simulated cluster.
+//
+// The interface intentionally mirrors the MPI subset the paper's
+// implementation needs: point-to-point send/recv with tags, barrier,
+// allreduce, broadcast, gather, all-gather, and ring shifts — plus
+// subgroup variants used by the hierarchical merge (§3.4), which operates
+// on groups of active ranks.
+//
+// All collectives are implemented *on top of* point-to-point messages
+// (dissemination barrier, recursive-doubling allreduce, binomial bcast),
+// so their virtual-time costs emerge from the LogGP model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "simcluster/mem_tracker.hpp"
+#include "simcluster/message.hpp"
+#include "simcluster/net_model.hpp"
+#include "simcluster/virtual_clock.hpp"
+
+namespace mnd::sim {
+
+class Cluster;
+
+/// A subset of world ranks acting as a subcommunicator. Ranks are listed in
+/// ascending world order; a rank's "group rank" is its index in `members`.
+struct Group {
+  std::vector<int> members;
+
+  int size() const { return static_cast<int>(members.size()); }
+  int rank_of(int world_rank) const;
+  bool contains(int world_rank) const { return rank_of(world_rank) >= 0; }
+};
+
+/// Per-rank communication statistics (virtual time + volume).
+struct CommStats {
+  double comm_seconds = 0.0;     // injection + drain + wait time
+  double wait_seconds = 0.0;     // portion of comm_seconds spent blocked
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+class Communicator {
+ public:
+  Communicator(Cluster& cluster, int rank);
+
+  int rank() const { return rank_; }
+  int size() const;
+  const NetModel& net() const;
+
+  VirtualClock& clock() { return clock_; }
+  const VirtualClock& clock() const { return clock_; }
+  MemTracker& memory() { return memory_; }
+  CommStats& stats() { return stats_; }
+  const CommStats& stats() const { return stats_; }
+  PhaseBreakdown& phases() { return phases_; }
+  const PhaseBreakdown& phases() const { return phases_; }
+
+  /// Advances this rank's clock by `seconds` of computation, attributed to
+  /// `phase` in the breakdown.
+  void compute(double seconds, const std::string& phase);
+
+  // --- Point-to-point ----------------------------------------------------
+
+  void send(int dst, Tag tag, std::vector<std::uint8_t> payload);
+  /// Blocks until a message with (src, tag) arrives; applies virtual-time
+  /// causality and accounting, and returns the payload.
+  std::vector<std::uint8_t> recv(int src, Tag tag);
+
+  /// send+recv with the same partner; safe against rendezvous deadlock
+  /// because sends are non-blocking in this simulator.
+  std::vector<std::uint8_t> exchange(int peer, Tag tag,
+                                     std::vector<std::uint8_t> payload);
+
+  // --- Collectives over the whole world -----------------------------------
+
+  void barrier(Tag tag);
+  std::uint64_t allreduce_sum(std::uint64_t value, Tag tag);
+  std::uint64_t allreduce_max(std::uint64_t value, Tag tag);
+  /// Element-wise sum of fixed-size vectors across ranks.
+  std::vector<std::uint64_t> allreduce_sum_vec(std::vector<std::uint64_t> v,
+                                               Tag tag);
+  std::vector<std::uint8_t> broadcast(std::vector<std::uint8_t> payload,
+                                      int root, Tag tag);
+  /// Root receives every rank's payload (indexed by rank); non-roots get {}.
+  std::vector<std::vector<std::uint8_t>> gather(
+      std::vector<std::uint8_t> payload, int root, Tag tag);
+  std::vector<std::vector<std::uint8_t>> all_gather(
+      std::vector<std::uint8_t> payload, Tag tag);
+
+  // --- Subgroup collectives (hierarchical merging) -------------------------
+
+  void group_barrier(const Group& g, Tag tag);
+  std::uint64_t group_allreduce_sum(const Group& g, std::uint64_t value,
+                                    Tag tag);
+  std::uint64_t group_allreduce_min(const Group& g, std::uint64_t value,
+                                    Tag tag);
+  std::vector<std::vector<std::uint8_t>> group_all_gather(
+      const Group& g, std::vector<std::uint8_t> payload, Tag tag);
+  std::vector<std::vector<std::uint8_t>> group_gather(
+      const Group& g, std::vector<std::uint8_t> payload, int root_world_rank,
+      Tag tag);
+
+  /// Ring shift within a group: sends `payload` to the left neighbor and
+  /// returns the payload received from the right neighbor
+  /// (P_i -> P_{(i-1) mod g}, receiving from P_{(i+1) mod g}), matching the
+  /// paper's ring-based segment exchange (§3.4).
+  std::vector<std::uint8_t> ring_shift(const Group& g, Tag tag,
+                                       std::vector<std::uint8_t> payload);
+
+ private:
+  // Generic recursive-doubling allreduce on a group with a combiner.
+  std::vector<std::uint64_t> group_allreduce_vec(
+      const Group& g, std::vector<std::uint64_t> value, Tag tag,
+      const std::function<std::uint64_t(std::uint64_t, std::uint64_t)>& op);
+
+  Cluster& cluster_;
+  int rank_;
+  VirtualClock clock_;
+  MemTracker memory_;
+  CommStats stats_;
+  PhaseBreakdown phases_;
+};
+
+}  // namespace mnd::sim

@@ -1,0 +1,73 @@
+// Per-rank memory accounting.
+//
+// The paper's headline merging property is that "the combined results on a
+// node never exceed its memory capacity" (§3.4). We make that checkable:
+// graph/component state held by a rank is charged here, the hierarchical
+// merge consults available() before accepting segments, and exceeding the
+// capacity throws — so the property is an enforced invariant, not a hope.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace mnd::sim {
+
+class MemTracker {
+ public:
+  static constexpr std::size_t kUnlimited =
+      std::numeric_limits<std::size_t>::max();
+
+  explicit MemTracker(std::size_t capacity_bytes = kUnlimited)
+      : capacity_(capacity_bytes) {}
+
+  void charge(std::size_t bytes) {
+    used_ += bytes;
+    peak_ = std::max(peak_, used_);
+    MND_CHECK_MSG(used_ <= capacity_,
+                  "rank memory capacity exceeded: used " << used_ << " of "
+                                                         << capacity_);
+  }
+
+  void release(std::size_t bytes) {
+    MND_CHECK_MSG(bytes <= used_, "releasing more than charged");
+    used_ -= bytes;
+  }
+
+  /// Replaces the current charge for a resizable structure.
+  void recharge(std::size_t old_bytes, std::size_t new_bytes) {
+    release(old_bytes);
+    charge(new_bytes);
+  }
+
+  bool can_fit(std::size_t bytes) const { return used_ + bytes <= capacity_; }
+  std::size_t available() const { return capacity_ - used_; }
+  std::size_t used() const { return used_; }
+  std::size_t peak() const { return peak_; }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::size_t peak_ = 0;
+};
+
+/// RAII charge for a temporary buffer.
+class ScopedCharge {
+ public:
+  ScopedCharge(MemTracker& tracker, std::size_t bytes)
+      : tracker_(tracker), bytes_(bytes) {
+    tracker_.charge(bytes_);
+  }
+  ~ScopedCharge() { tracker_.release(bytes_); }
+  ScopedCharge(const ScopedCharge&) = delete;
+  ScopedCharge& operator=(const ScopedCharge&) = delete;
+
+ private:
+  MemTracker& tracker_;
+  std::size_t bytes_;
+};
+
+}  // namespace mnd::sim

@@ -1,0 +1,112 @@
+// Message payloads and POD serialization for the simulated cluster.
+//
+// Payloads are byte vectors; Serializer/Deserializer pack trivially
+// copyable values and flat vectors. Message sizes feed the network cost
+// model, so everything a rank "sends" must round-trip through these
+// buffers — there is no by-reference cheating between ranks.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace mnd::sim {
+
+using Tag = std::uint32_t;
+
+struct Message {
+  int src = -1;
+  Tag tag = 0;
+  double arrival_time = 0.0;  // virtual time the last byte lands
+  std::vector<std::uint8_t> payload;
+
+  std::size_t size_bytes() const { return payload.size(); }
+};
+
+class Serializer {
+ public:
+  template <typename T>
+  void put(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t at = bytes_.size();
+    bytes_.resize(at + sizeof(T));
+    std::memcpy(bytes_.data() + at, &value, sizeof(T));
+  }
+
+  template <typename T>
+  void put_vector(const std::vector<T>& values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    put<std::uint64_t>(values.size());
+    const std::size_t at = bytes_.size();
+    bytes_.resize(at + values.size() * sizeof(T));
+    if (!values.empty()) {
+      std::memcpy(bytes_.data() + at, values.data(),
+                  values.size() * sizeof(T));
+    }
+  }
+
+  void put_string(const std::string& s) {
+    put<std::uint64_t>(s.size());
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+  }
+
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+  std::size_t size() const { return bytes_.size(); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+class Deserializer {
+ public:
+  explicit Deserializer(const std::vector<std::uint8_t>& bytes)
+      : bytes_(bytes) {}
+  /// The deserializer only references the buffer; passing a temporary
+  /// would dangle. Keep the payload in a named variable.
+  explicit Deserializer(std::vector<std::uint8_t>&&) = delete;
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    MND_CHECK_MSG(pos_ + sizeof(T) <= bytes_.size(),
+                  "deserializer overrun at " << pos_);
+    T value;
+    std::memcpy(&value, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  template <typename T>
+  std::vector<T> get_vector() {
+    const auto count = get<std::uint64_t>();
+    MND_CHECK_MSG(pos_ + count * sizeof(T) <= bytes_.size(),
+                  "deserializer vector overrun");
+    std::vector<T> values(count);
+    if (count > 0) {
+      std::memcpy(values.data(), bytes_.data() + pos_, count * sizeof(T));
+    }
+    pos_ += count * sizeof(T);
+    return values;
+  }
+
+  std::string get_string() {
+    const auto count = get<std::uint64_t>();
+    MND_CHECK(pos_ + count <= bytes_.size());
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), count);
+    pos_ += count;
+    return s;
+  }
+
+  bool exhausted() const { return pos_ == bytes_.size(); }
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace mnd::sim

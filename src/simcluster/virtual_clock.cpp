@@ -1,0 +1,50 @@
+#include "simcluster/virtual_clock.hpp"
+
+#include <algorithm>
+
+namespace mnd::sim {
+
+void PhaseBreakdown::add(const std::string& phase, double seconds) {
+  for (auto& [name, total] : entries_) {
+    if (name == phase) {
+      total += seconds;
+      return;
+    }
+  }
+  entries_.emplace_back(phase, seconds);
+}
+
+double PhaseBreakdown::get(const std::string& phase) const {
+  for (const auto& [name, total] : entries_) {
+    if (name == phase) return total;
+  }
+  return 0.0;
+}
+
+double PhaseBreakdown::total() const {
+  double sum = 0.0;
+  for (const auto& [name, total] : entries_) sum += total;
+  return sum;
+}
+
+void PhaseBreakdown::merge_max(const PhaseBreakdown& other) {
+  for (const auto& [name, total] : other.entries_) {
+    bool found = false;
+    for (auto& [mine, value] : entries_) {
+      if (mine == name) {
+        value = std::max(value, total);
+        found = true;
+        break;
+      }
+    }
+    if (!found) entries_.emplace_back(name, total);
+  }
+}
+
+void PhaseBreakdown::merge_sum(const PhaseBreakdown& other) {
+  for (const auto& [name, total] : other.entries_) {
+    add(name, total);
+  }
+}
+
+}  // namespace mnd::sim

@@ -1,0 +1,63 @@
+// Per-rank virtual clock.
+//
+// Every rank in the simulated cluster advances a private clock measured in
+// *virtual seconds*. Compute phases advance it by model-derived costs
+// (device cost models, see src/device/); communication advances it through
+// message timestamps so that causality holds: a receive never completes
+// before the matching send's completion time. Wall-clock thread scheduling
+// never feeds into these values, which makes all experiment timings
+// deterministic on any host.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace mnd::sim {
+
+class VirtualClock {
+ public:
+  double now() const { return now_; }
+
+  /// Advances by `seconds` of local work/overhead.
+  void advance(double seconds) {
+    MND_DCHECK(seconds >= 0.0);
+    now_ += seconds;
+  }
+
+  /// Joins an event that completes at absolute time `t` (e.g. a message
+  /// arrival): the clock moves to max(now, t). Returns the wait time
+  /// (t - now before the jump, clamped at 0) so callers can account idle
+  /// time as communication wait.
+  double join(double t) {
+    if (t <= now_) return 0.0;
+    const double wait = t - now_;
+    now_ = t;
+    return wait;
+  }
+
+ private:
+  double now_ = 0.0;
+};
+
+/// Named time buckets: how much virtual time a rank spent per phase
+/// ("indComp", "comm", "merge", "postProcess", ...). Used to regenerate the
+/// paper's phase-breakdown figures (Fig. 5, Fig. 7).
+class PhaseBreakdown {
+ public:
+  void add(const std::string& phase, double seconds);
+  double get(const std::string& phase) const;
+  double total() const;
+  /// Phases in first-use order.
+  const std::vector<std::pair<std::string, double>>& entries() const {
+    return entries_;
+  }
+  void merge_max(const PhaseBreakdown& other);  // per-phase max across ranks
+  void merge_sum(const PhaseBreakdown& other);
+
+ private:
+  std::vector<std::pair<std::string, double>> entries_;
+};
+
+}  // namespace mnd::sim

@@ -1,0 +1,56 @@
+// Lightweight runtime checking macros.
+//
+// MND_CHECK is always on (release included): the simulator relies on these
+// invariants for correctness, and the cost is negligible next to graph work.
+// MND_DCHECK compiles away in NDEBUG builds and is used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mnd {
+
+/// Thrown by MND_CHECK on failure; tests catch it to assert invariants fire.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+}  // namespace detail
+
+}  // namespace mnd
+
+#define MND_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr))                                                     \
+      ::mnd::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define MND_CHECK_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      std::ostringstream os_;                                        \
+      os_ << msg;                                                    \
+      ::mnd::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                  os_.str());                        \
+    }                                                                \
+  } while (0)
+
+#ifdef NDEBUG
+#define MND_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define MND_DCHECK(expr) MND_CHECK(expr)
+#endif

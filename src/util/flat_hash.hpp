@@ -1,0 +1,220 @@
+// Open-addressing hash map with linear probing and power-of-two capacity.
+//
+// This is the hash table behind the paper's two per-rank tables:
+//   * ghostList      — ghost edges indexed by owner-processor id (§3.1)
+//   * min-edge table — lightest edge per component pair (§3.3)
+// Requirements there are insert/find/update of POD-ish values at graph
+// scale; std::unordered_map's node allocations dominate at that scale, so we
+// use a flat table. Keys must be hashable via mnd::HashOf and comparable
+// with ==. Erase is supported with tombstones.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace mnd {
+
+/// Default hasher: mixes std::hash output so that sequential integer keys
+/// (vertex/component ids) spread across buckets.
+template <typename K>
+struct HashOf {
+  std::uint64_t operator()(const K& key) const {
+    return mix64(static_cast<std::uint64_t>(std::hash<K>{}(key)));
+  }
+};
+
+/// Hash for pair keys (component-pair -> lightest edge).
+template <typename A, typename B>
+struct HashOf<std::pair<A, B>> {
+  std::uint64_t operator()(const std::pair<A, B>& key) const {
+    std::uint64_t h1 = HashOf<A>{}(key.first);
+    std::uint64_t h2 = HashOf<B>{}(key.second);
+    return mix64(h1 ^ (h2 + 0x9E3779B97F4A7C15ULL + (h1 << 6) + (h1 >> 2)));
+  }
+};
+
+template <typename K, typename V, typename Hash = HashOf<K>>
+class FlatHashMap {
+  enum class SlotState : std::uint8_t { Empty = 0, Full = 1, Tombstone = 2 };
+
+  struct Slot {
+    K key;
+    V value;
+  };
+
+ public:
+  explicit FlatHashMap(std::size_t initial_capacity = 16) {
+    std::size_t cap = 16;
+    while (cap < initial_capacity * 2) cap <<= 1;
+    slots_.resize(cap);
+    states_.assign(cap, SlotState::Empty);
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() {
+    states_.assign(states_.size(), SlotState::Empty);
+    size_ = 0;
+    used_ = 0;
+  }
+
+  /// Inserts or overwrites. Returns true if the key was newly inserted.
+  bool insert_or_assign(const K& key, V value) {
+    maybe_grow();
+    std::size_t idx = find_slot_for_insert(key);
+    bool fresh = states_[idx] != SlotState::Full;
+    if (fresh) {
+      if (states_[idx] == SlotState::Empty) ++used_;
+      states_[idx] = SlotState::Full;
+      slots_[idx].key = key;
+      ++size_;
+    }
+    slots_[idx].value = std::move(value);
+    return fresh;
+  }
+
+  /// Returns the value for key, default-constructing it if absent.
+  V& operator[](const K& key) {
+    maybe_grow();
+    std::size_t idx = find_slot_for_insert(key);
+    if (states_[idx] != SlotState::Full) {
+      if (states_[idx] == SlotState::Empty) ++used_;
+      states_[idx] = SlotState::Full;
+      slots_[idx].key = key;
+      slots_[idx].value = V{};
+      ++size_;
+    }
+    return slots_[idx].value;
+  }
+
+  V* find(const K& key) {
+    std::size_t idx;
+    return find_index(key, &idx) ? &slots_[idx].value : nullptr;
+  }
+
+  const V* find(const K& key) const {
+    std::size_t idx;
+    return find_index(key, &idx) ? &slots_[idx].value : nullptr;
+  }
+
+  bool contains(const K& key) const {
+    std::size_t idx;
+    return find_index(key, &idx);
+  }
+
+  bool erase(const K& key) {
+    std::size_t idx;
+    if (!find_index(key, &idx)) return false;
+    states_[idx] = SlotState::Tombstone;
+    --size_;
+    return true;
+  }
+
+  /// Calls fn(key, value) for every live entry. Order is unspecified.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (states_[i] == SlotState::Full) fn(slots_[i].key, slots_[i].value);
+    }
+  }
+
+  template <typename Fn>
+  void for_each_mutable(Fn&& fn) {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (states_[i] == SlotState::Full) fn(slots_[i].key, slots_[i].value);
+    }
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  bool find_index(const K& key, std::size_t* out) const {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t idx = Hash{}(key)&mask;
+    for (std::size_t probes = 0; probes <= mask; ++probes) {
+      if (states_[idx] == SlotState::Empty) return false;
+      if (states_[idx] == SlotState::Full && slots_[idx].key == key) {
+        *out = idx;
+        return true;
+      }
+      idx = (idx + 1) & mask;
+    }
+    return false;
+  }
+
+  /// Slot where key lives, or the first reusable slot on its probe path.
+  std::size_t find_slot_for_insert(const K& key) const {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t idx = Hash{}(key)&mask;
+    std::size_t first_tombstone = slots_.size();
+    for (std::size_t probes = 0; probes <= mask; ++probes) {
+      if (states_[idx] == SlotState::Full) {
+        if (slots_[idx].key == key) return idx;
+      } else if (states_[idx] == SlotState::Tombstone) {
+        if (first_tombstone == slots_.size()) first_tombstone = idx;
+      } else {  // Empty: key is absent.
+        return first_tombstone != slots_.size() ? first_tombstone : idx;
+      }
+      idx = (idx + 1) & mask;
+    }
+    MND_CHECK_MSG(first_tombstone != slots_.size(),
+                  "FlatHashMap probe wrapped with no free slot");
+    return first_tombstone;
+  }
+
+  void maybe_grow() {
+    // Grow at 70% occupancy counting tombstones, so probe chains stay short.
+    if ((used_ + 1) * 10 < slots_.size() * 7) return;
+    std::vector<Slot> old_slots = std::move(slots_);
+    std::vector<SlotState> old_states = std::move(states_);
+    std::size_t new_cap = old_slots.size() * 2;
+    // If growth is driven purely by tombstones, rehashing in place (same
+    // capacity) would suffice, but doubling keeps the logic simple.
+    slots_.assign(new_cap, Slot{});
+    states_.assign(new_cap, SlotState::Empty);
+    size_ = 0;
+    used_ = 0;
+    for (std::size_t i = 0; i < old_slots.size(); ++i) {
+      if (old_states[i] == SlotState::Full) {
+        insert_or_assign(old_slots[i].key, std::move(old_slots[i].value));
+      }
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<SlotState> states_;
+  std::size_t size_ = 0;  // live entries
+  std::size_t used_ = 0;  // live + tombstones
+};
+
+/// Set built on the map with empty values.
+template <typename K, typename Hash = HashOf<K>>
+class FlatHashSet {
+ public:
+  explicit FlatHashSet(std::size_t initial_capacity = 16)
+      : map_(initial_capacity) {}
+
+  bool insert(const K& key) { return map_.insert_or_assign(key, Unit{}); }
+  bool contains(const K& key) const { return map_.contains(key); }
+  bool erase(const K& key) { return map_.erase(key); }
+  std::size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+  void clear() { map_.clear(); }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    map_.for_each([&](const K& key, const Unit&) { fn(key); });
+  }
+
+ private:
+  struct Unit {};
+  FlatHashMap<K, Unit, Hash> map_;
+};
+
+}  // namespace mnd

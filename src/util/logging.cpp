@@ -1,0 +1,81 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace mnd {
+namespace {
+
+std::atomic<int>& level_storage() {
+  static std::atomic<int> level{[] {
+    if (const char* env = std::getenv("MND_LOG_LEVEL")) {
+      return static_cast<int>(parse_log_level(env));
+    }
+    return static_cast<int>(LogLevel::Warn);
+  }()};
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info:  return "INFO";
+    case LogLevel::Warn:  return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off:   return "OFF";
+  }
+  return "?";
+}
+
+std::mutex& output_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(level_storage().load()); }
+
+void set_log_level(LogLevel level) {
+  level_storage().store(static_cast<int>(level));
+}
+
+LogLevel parse_log_level(std::string_view name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) lower.push_back(static_cast<char>(std::tolower(c)));
+  if (lower == "trace") return LogLevel::Trace;
+  if (lower == "debug") return LogLevel::Debug;
+  if (lower == "info") return LogLevel::Info;
+  if (lower == "warn" || lower == "warning") return LogLevel::Warn;
+  if (lower == "error") return LogLevel::Error;
+  if (lower == "off" || lower == "none") return LogLevel::Off;
+  return LogLevel::Info;
+}
+
+namespace detail {
+
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= level_storage().load();
+}
+
+LogLine::LogLine(LogLevel level, const char* file, int line) : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << level_name(level_) << " " << base << ":" << line << "] ";
+}
+
+LogLine::~LogLine() {
+  std::lock_guard<std::mutex> lock(output_mutex());
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+}
+
+}  // namespace detail
+}  // namespace mnd

@@ -1,0 +1,49 @@
+// Minimal leveled logger. Thread-safe; writes to stderr.
+//
+// Usage:
+//   MND_LOG(Info) << "partitioned " << n << " vertices";
+// Level is process-global and settable via set_log_level() or the
+// MND_LOG_LEVEL environment variable (trace|debug|info|warn|error|off).
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace mnd {
+
+enum class LogLevel : int { Trace = 0, Debug, Info, Warn, Error, Off };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+/// Parses a level name ("info", "Warn", ...); returns Info on unknown input.
+LogLevel parse_log_level(std::string_view name);
+
+namespace detail {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line);
+  ~LogLine();
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+bool log_enabled(LogLevel level);
+
+}  // namespace detail
+}  // namespace mnd
+
+#define MND_LOG(level)                                                \
+  if (::mnd::detail::log_enabled(::mnd::LogLevel::level))             \
+  ::mnd::detail::LogLine(::mnd::LogLevel::level, __FILE__, __LINE__)

@@ -1,0 +1,54 @@
+// Deterministic, splittable random number generation.
+//
+// All stochastic pieces of the repo (graph generators, weight assignment,
+// partition-ratio calibration subgraphs) draw from Rng seeded explicitly, so
+// every experiment is reproducible bit-for-bit. Rng is xoshiro256**; seeds
+// are expanded with SplitMix64 per the xoshiro authors' recommendation.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace mnd {
+
+/// SplitMix64 step; used for seed expansion and cheap stateless hashing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Stateless 64-bit mix (Stafford variant 13); good avalanche behaviour.
+std::uint64_t mix64(std::uint64_t x);
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  std::uint64_t next();
+  std::uint64_t operator()() { return next(); }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  /// Uniform integer in [0, bound). bound must be nonzero.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// True with probability p.
+  bool next_bool(double p);
+
+  /// Derives an independent stream; split(i) != split(j) for i != j.
+  Rng split(std::uint64_t stream) const;
+
+ private:
+  std::uint64_t state_[4];
+  std::uint64_t seed_;
+};
+
+}  // namespace mnd

@@ -1,0 +1,74 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace mnd {
+
+void StatAccumulator::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void StatAccumulator::merge(const StatAccumulator& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
+double StatAccumulator::mean() const {
+  return count_ == 0 ? 0.0 : mean_;
+}
+
+double StatAccumulator::variance() const {
+  return count_ == 0 ? 0.0 : m2_ / static_cast<double>(count_);
+}
+
+double StatAccumulator::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> sample, double p) {
+  MND_CHECK(!sample.empty());
+  MND_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(sample.begin(), sample.end());
+  if (sample.size() == 1) return sample[0];
+  const double rank = p / 100.0 * static_cast<double>(sample.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sample.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sample[lo] * (1.0 - frac) + sample[hi] * frac;
+}
+
+double geometric_mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) {
+    MND_CHECK(v > 0.0);
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace mnd

@@ -1,0 +1,40 @@
+// Streaming statistics accumulator and small helpers used by benches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mnd {
+
+/// Welford-style running mean/variance plus min/max/sum.
+class StatAccumulator {
+ public:
+  void add(double x);
+  void merge(const StatAccumulator& other);
+
+  std::size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const;
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact percentile over a sample (copies + sorts; fine at bench scale).
+/// p in [0,100]; linear interpolation between order statistics.
+double percentile(std::vector<double> sample, double p);
+
+/// Geometric mean of positive values; returns 0 for an empty input.
+double geometric_mean(const std::vector<double>& values);
+
+}  // namespace mnd

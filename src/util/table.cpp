@@ -1,0 +1,66 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace mnd {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  MND_CHECK_MSG(cells.size() == header_.size(),
+                "row width " << cells.size() << " != header width "
+                             << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << " " << std::left << std::setw(static_cast<int>(widths[c]))
+         << row[c] << " |";
+    }
+    os << "\n";
+  };
+  auto print_rule = [&] {
+    os << "+";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << std::string(widths[c] + 2, '-') << "+";
+    }
+    os << "\n";
+  };
+  print_rule();
+  print_row(header_);
+  print_rule();
+  for (const auto& row : rows_) print_row(row);
+  print_rule();
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace mnd

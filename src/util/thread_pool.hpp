@@ -1,0 +1,57 @@
+// Fixed-size thread pool with a parallel_for convenience.
+//
+// Used by the CpuDevice to model the paper's OpenMP processingThreads and by
+// graph construction. Tasks must not throw; exceptions escaping a task
+// terminate (same contract as OpenMP regions).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mnd {
+
+class ThreadPool {
+ public:
+  /// threads == 0 means hardware_concurrency() (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues a task; wait_idle() blocks until all enqueued tasks finish.
+  void submit(std::function<void()> task);
+  void wait_idle();
+
+  /// Runs fn(i) for i in [begin, end), split into contiguous chunks across
+  /// the pool (plus the calling thread). Blocks until complete.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Runs fn(chunk_begin, chunk_end) over contiguous ranges. Blocks.
+  void parallel_for_chunks(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Process-wide pool for code that has no natural owner for one.
+ThreadPool& global_pool();
+
+}  // namespace mnd

@@ -1,0 +1,175 @@
+// Unit tests for the BSP worker machinery: all-to-all exchange,
+// superstep accounting, request-response lookups with combining /
+// mirroring, and partitioning modes.
+#include <gtest/gtest.h>
+
+#include "bsp/engine.hpp"
+#include "bsp/msf.hpp"
+#include "graph/generators.hpp"
+#include "simcluster/cluster.hpp"
+
+namespace mnd::bsp {
+namespace {
+
+sim::ClusterConfig cluster_of(int ranks) {
+  sim::ClusterConfig cfg;
+  cfg.num_ranks = ranks;
+  return cfg;
+}
+
+TEST(BspWorkerTest, ExchangeRoutesMessages) {
+  sim::run_cluster(cluster_of(3), [](sim::Communicator& comm) {
+    BspWorker worker(comm, device::CpuModel{});
+    // Each worker sends its rank*10+dst to every destination.
+    std::vector<std::vector<int>> outbox(3);
+    for (int dst = 0; dst < 3; ++dst) {
+      outbox[static_cast<std::size_t>(dst)].push_back(
+          worker.rank() * 10 + dst);
+    }
+    const auto inbox = worker.exchange(std::move(outbox));
+    for (int src = 0; src < 3; ++src) {
+      ASSERT_EQ(inbox[static_cast<std::size_t>(src)].size(), 1u);
+      EXPECT_EQ(inbox[static_cast<std::size_t>(src)][0],
+                src * 10 + worker.rank());
+    }
+    EXPECT_EQ(worker.supersteps(), 1);
+  });
+}
+
+TEST(BspWorkerTest, EmptyPayloadsStillSynchronize) {
+  sim::run_cluster(cluster_of(4), [](sim::Communicator& comm) {
+    BspWorker worker(comm, device::CpuModel{});
+    for (int step = 0; step < 5; ++step) {
+      std::vector<std::vector<int>> outbox(4);  // all empty
+      const auto inbox = worker.exchange(std::move(outbox));
+      for (const auto& batch : inbox) EXPECT_TRUE(batch.empty());
+    }
+    EXPECT_EQ(worker.supersteps(), 5);
+  });
+}
+
+TEST(BspWorkerTest, SyncSumAggregatesGlobally) {
+  sim::run_cluster(cluster_of(5), [](sim::Communicator& comm) {
+    BspWorker worker(comm, device::CpuModel{});
+    const auto total =
+        worker.sync_sum(static_cast<std::uint64_t>(comm.rank() + 1));
+    EXPECT_EQ(total, 15u);
+  });
+}
+
+TEST(BspWorkerTest, ChargeComputeAdvancesClock) {
+  sim::run_cluster(cluster_of(1), [](sim::Communicator& comm) {
+    BspWorker worker(comm, device::CpuModel{});
+    device::KernelWork w;
+    w.edges_scanned = 1000000;
+    worker.charge_compute(w);
+    EXPECT_GT(comm.clock().now(), 0.0);
+    EXPECT_GT(comm.phases().get("compute"), 0.0);
+  });
+}
+
+TEST(QueryOwnersTest, AnswersLocalAndRemoteKeys) {
+  sim::run_cluster(cluster_of(4), [](sim::Communicator& comm) {
+    BspWorker worker(comm, device::CpuModel{});
+    auto owner_of = [](std::uint32_t key) {
+      return static_cast<int>(key % 4);
+    };
+    // Every worker asks for keys 0..19; the owner answers key*3.
+    std::vector<std::uint32_t> keys;
+    for (std::uint32_t k = 0; k < 20; ++k) keys.push_back(k);
+    auto answers = query_owners(
+        worker, keys, [](std::uint32_t) { return true; }, owner_of,
+        [](std::uint32_t key) { return key * 3; });
+    for (std::uint32_t k = 0; k < 20; ++k) {
+      ASSERT_NE(answers.find(k), nullptr) << k;
+      EXPECT_EQ(*answers.find(k), k * 3);
+    }
+  });
+}
+
+TEST(QueryOwnersTest, CombiningDeduplicatesVolume) {
+  // The same key requested many times: with combining one request
+  // travels; without, all of them do.
+  for (bool combining : {true, false}) {
+    std::uint64_t bytes = 0;
+    sim::run_cluster(cluster_of(2), [&](sim::Communicator& comm) {
+      BspWorker worker(comm, device::CpuModel{});
+      std::vector<std::uint32_t> keys(100, 1u);  // all ask for key 1
+      auto answers = query_owners(
+          worker, keys, [&](std::uint32_t) { return combining; },
+          [](std::uint32_t key) { return static_cast<int>(key % 2); },
+          [](std::uint32_t key) { return key + 7; });
+      EXPECT_EQ(*answers.find(1u), 8u);
+      if (comm.rank() == 0) bytes = comm.stats().bytes_sent;
+    });
+    if (combining) {
+      EXPECT_LT(bytes, 200u);
+    } else {
+      EXPECT_GT(bytes, 400u);  // 100 requests travel
+    }
+  }
+}
+
+TEST(QueryOwnersTest, MirroringThresholdIsPerKey) {
+  // Keys below the "degree threshold" travel per requester; keys above
+  // are combined — mixed in one call.
+  sim::run_cluster(cluster_of(2), [](sim::Communicator& comm) {
+    BspWorker worker(comm, device::CpuModel{});
+    std::vector<std::uint32_t> keys;
+    for (int i = 0; i < 50; ++i) {
+      keys.push_back(1);  // "low-degree": not combined
+      keys.push_back(3);  // "high-degree": combined
+    }
+    auto answers = query_owners(
+        worker, keys, [](std::uint32_t key) { return key == 3; },
+        [](std::uint32_t key) { return static_cast<int>(key % 2); },
+        [](std::uint32_t key) { return key * 2; });
+    EXPECT_EQ(*answers.find(1u), 2u);
+    EXPECT_EQ(*answers.find(3u), 6u);
+  });
+}
+
+TEST(BspOptionsTest, RangePartitioningMatchesHashResults) {
+  const auto el = graph::erdos_renyi(300, 1200, 55);
+  BspOptions hash;
+  hash.num_workers = 4;
+  hash.partitioning = BspPartitioning::Hash;
+  BspOptions range;
+  range.num_workers = 4;
+  range.partitioning = BspPartitioning::Range;
+  const auto a = run_bsp_msf(el, hash);
+  const auto b = run_bsp_msf(el, range);
+  EXPECT_EQ(a.forest.edges, b.forest.edges);
+  // Locality-preserving ranges move fewer bytes on this graph family.
+  EXPECT_NE(a.run.total_bytes_sent(), b.run.total_bytes_sent());
+}
+
+TEST(BspOptionsTest, HashPartitioningCostsMoreOnLocalGraphs) {
+  graph::WebGraphParams p;
+  p.n = 2048;
+  p.target_edges = 16000;
+  p.seed = 77;
+  const auto el = graph::web_graph(p);
+  BspOptions hash;
+  hash.num_workers = 8;
+  hash.partitioning = BspPartitioning::Hash;
+  BspOptions range = hash;
+  range.partitioning = BspPartitioning::Range;
+  const auto a = run_bsp_msf(el, hash);
+  const auto b = run_bsp_msf(el, range);
+  EXPECT_GT(a.run.total_bytes_sent(), b.run.total_bytes_sent());
+}
+
+TEST(BspDeterminismTest, RepeatRunsAreBitIdentical) {
+  const auto el = graph::rmat(9, 3000, 21);
+  BspOptions opts;
+  opts.num_workers = 8;
+  const auto a = run_bsp_msf(el, opts);
+  const auto b = run_bsp_msf(el, opts);
+  EXPECT_EQ(a.forest.edges, b.forest.edges);
+  EXPECT_DOUBLE_EQ(a.total_seconds, b.total_seconds);
+  EXPECT_EQ(a.supersteps, b.supersteps);
+}
+
+}  // namespace
+}  // namespace mnd::bsp

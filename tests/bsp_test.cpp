@@ -1,0 +1,98 @@
+// Tests for the Pregel+-style BSP MSF baseline.
+#include <gtest/gtest.h>
+
+#include "bsp/msf.hpp"
+#include "graph/generators.hpp"
+#include "graph/reference_mst.hpp"
+#include "mst/mnd_mst.hpp"
+
+namespace mnd {
+namespace {
+
+using graph::EdgeList;
+
+void expect_optimal(const EdgeList& el, const bsp::BspMsfReport& report) {
+  const auto validation =
+      graph::validate_spanning_forest(el, report.forest.edges);
+  EXPECT_TRUE(validation.ok) << validation.error;
+}
+
+TEST(BspMsfTest, SingleWorkerPath) {
+  const EdgeList el = graph::path_graph(40);
+  bsp::BspOptions opts;
+  opts.num_workers = 1;
+  const auto report = bsp::run_bsp_msf(el, opts);
+  expect_optimal(el, report);
+}
+
+TEST(BspMsfTest, FourWorkersErdosRenyi) {
+  const EdgeList el = graph::erdos_renyi(400, 1600, 3);
+  bsp::BspOptions opts;
+  opts.num_workers = 4;
+  const auto report = bsp::run_bsp_msf(el, opts);
+  expect_optimal(el, report);
+  EXPECT_GT(report.rounds, 0);
+  EXPECT_GT(report.supersteps, report.rounds);
+}
+
+TEST(BspMsfTest, SixteenWorkersRmat) {
+  const EdgeList el = graph::rmat(10, 6000, 11);
+  bsp::BspOptions opts;
+  opts.num_workers = 16;
+  const auto report = bsp::run_bsp_msf(el, opts);
+  expect_optimal(el, report);
+}
+
+TEST(BspMsfTest, DisconnectedGraph) {
+  EdgeList el(60);
+  // Three separate paths.
+  for (graph::VertexId base : {0u, 20u, 40u}) {
+    for (graph::VertexId i = 0; i + 1 < 20; ++i) {
+      el.add_edge(base + i, base + i + 1, (i * 7 + base) % 100 + 1);
+    }
+  }
+  bsp::BspOptions opts;
+  opts.num_workers = 4;
+  const auto report = bsp::run_bsp_msf(el, opts);
+  expect_optimal(el, report);
+  EXPECT_EQ(report.forest.num_components, 3u);
+}
+
+TEST(BspMsfTest, CombiningReducesTraffic) {
+  const EdgeList el = graph::rmat(10, 8000, 5);
+  bsp::BspOptions opts;
+  opts.num_workers = 8;
+  opts.message_combining = true;
+  const auto with = bsp::run_bsp_msf(el, opts);
+  opts.message_combining = false;
+  const auto without = bsp::run_bsp_msf(el, opts);
+  expect_optimal(el, with);
+  expect_optimal(el, without);
+  EXPECT_LT(with.run.total_bytes_sent(), without.run.total_bytes_sent());
+}
+
+TEST(BspMsfTest, AgreesWithMndMst) {
+  const EdgeList el = graph::erdos_renyi(600, 2400, 17);
+  bsp::BspOptions bopts;
+  bopts.num_workers = 8;
+  const auto bsp_report = bsp::run_bsp_msf(el, bopts);
+  mst::MndMstOptions mopts;
+  mopts.num_nodes = 8;
+  const auto mnd_report = mst::run_mnd_mst(el, mopts);
+  EXPECT_EQ(bsp_report.forest.total_weight, mnd_report.forest.total_weight);
+  EXPECT_EQ(bsp_report.forest.edges, mnd_report.forest.edges);
+}
+
+TEST(BspMsfTest, CommDominatesAtScale) {
+  // The headline BSP behaviour (paper Fig. 5): most of the time goes to
+  // communication at 16 workers.
+  const EdgeList el = graph::rmat(11, 20000, 9);
+  bsp::BspOptions opts;
+  opts.num_workers = 16;
+  const auto report = bsp::run_bsp_msf(el, opts);
+  expect_optimal(el, report);
+  EXPECT_GT(report.communication_fraction(), 0.5);
+}
+
+}  // namespace
+}  // namespace mnd

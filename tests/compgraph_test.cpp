@@ -1,0 +1,187 @@
+// Tests for the component graph: rename maps, ownership, serialization,
+// memory accounting.
+#include <gtest/gtest.h>
+
+#include "mst/comp_graph.hpp"
+#include "util/check.hpp"
+
+namespace mnd::mst {
+namespace {
+
+Component make_comp(VertexId id, std::vector<CEdge> edges = {}) {
+  Component c;
+  c.id = id;
+  c.edges = std::move(edges);
+  return c;
+}
+
+// ---- RenameMap ---------------------------------------------------------------
+
+TEST(RenameMapTest, ResolveFollowsChain) {
+  RenameMap m;
+  m.add(1, 2);
+  m.add(2, 5);
+  m.add(5, 9);
+  EXPECT_EQ(m.resolve(1), 9u);
+  EXPECT_EQ(m.resolve(2), 9u);
+  EXPECT_EQ(m.resolve(9), 9u);
+  EXPECT_EQ(m.resolve(42), 42u);
+}
+
+TEST(RenameMapTest, SelfRenameIgnored) {
+  RenameMap m;
+  m.add(3, 3);
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(RenameMapTest, ExistingEntryKept) {
+  RenameMap m;
+  m.add(1, 2);
+  m.add(2, 7);
+  m.add(1, 7);  // snapshot-compressed duplicate; chain already resolves
+  EXPECT_EQ(m.resolve(1), 7u);
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(RenameMapTest, PathCompressionKeepsAnswers) {
+  RenameMap m;
+  for (VertexId i = 0; i < 100; ++i) m.add(i, i + 1);
+  EXPECT_EQ(m.resolve(0), 100u);
+  EXPECT_EQ(m.resolve(50), 100u);  // after compression
+  EXPECT_EQ(m.resolve(0), 100u);
+}
+
+TEST(RenameMapTest, MergeFrom) {
+  RenameMap a;
+  a.add(1, 2);
+  RenameMap b;
+  b.add(2, 3);
+  a.merge_from(b);
+  EXPECT_EQ(a.resolve(1), 3u);
+}
+
+// ---- CompGraph -----------------------------------------------------------------
+
+TEST(CompGraphTest, AdoptFindRelease) {
+  CompGraph cg;
+  cg.adopt(make_comp(5, {CEdge{7, 10, 0}}));
+  EXPECT_TRUE(cg.owns(5));
+  EXPECT_FALSE(cg.owns(7));
+  EXPECT_EQ(cg.num_components(), 1u);
+  EXPECT_EQ(cg.num_edges(), 1u);
+  const Component out = cg.release(5);
+  EXPECT_EQ(out.id, 5u);
+  EXPECT_FALSE(cg.owns(5));
+  EXPECT_EQ(cg.num_edges(), 0u);
+}
+
+TEST(CompGraphTest, DoubleAdoptThrows) {
+  CompGraph cg;
+  cg.adopt(make_comp(1));
+  EXPECT_THROW(cg.adopt(make_comp(1)), CheckFailure);
+}
+
+TEST(CompGraphTest, ReleaseUnownedThrows) {
+  CompGraph cg;
+  EXPECT_THROW(cg.release(3), CheckFailure);
+}
+
+TEST(CompGraphTest, ComponentIdsSorted) {
+  CompGraph cg;
+  for (VertexId id : {9u, 1u, 5u, 3u}) cg.adopt(make_comp(id));
+  EXPECT_EQ(cg.component_ids(), (std::vector<VertexId>{1, 3, 5, 9}));
+  cg.erase(5);
+  EXPECT_EQ(cg.component_ids(), (std::vector<VertexId>{1, 3, 9}));
+}
+
+TEST(CompGraphTest, SlotReuseAfterRelease) {
+  CompGraph cg;
+  for (VertexId id = 0; id < 100; ++id) cg.adopt(make_comp(id));
+  for (VertexId id = 0; id < 100; id += 2) cg.erase(id);
+  for (VertexId id = 100; id < 150; ++id) cg.adopt(make_comp(id));
+  EXPECT_EQ(cg.num_components(), 100u);
+  EXPECT_TRUE(cg.owns(149));
+  EXPECT_FALSE(cg.owns(2));
+}
+
+TEST(CompGraphTest, MemoryAccountingTracksAdoptRelease) {
+  sim::MemTracker mem(1 << 20);
+  CompGraph cg;
+  cg.attach_memory(&mem);
+  EXPECT_EQ(mem.used(), 0u);
+  cg.adopt(make_comp(1, {CEdge{2, 5, 0}, CEdge{3, 6, 1}}));
+  const std::size_t after_adopt = mem.used();
+  EXPECT_GT(after_adopt, 0u);
+  cg.erase(1);
+  EXPECT_EQ(mem.used(), 0u);
+  EXPECT_EQ(mem.peak(), after_adopt);
+}
+
+TEST(CompGraphTest, MemoryCapacityEnforced) {
+  sim::MemTracker mem(200);
+  CompGraph cg;
+  cg.attach_memory(&mem);
+  Component big = make_comp(1);
+  big.edges.resize(1000);
+  EXPECT_THROW(cg.adopt(std::move(big)), CheckFailure);
+}
+
+TEST(CompGraphTest, RefreshAccountingAfterInPlaceEdit) {
+  sim::MemTracker mem;
+  CompGraph cg;
+  cg.attach_memory(&mem);
+  cg.adopt(make_comp(1, {CEdge{2, 5, 0}, CEdge{3, 6, 1}}));
+  cg.find(1)->edges.clear();
+  cg.refresh_accounting();
+  EXPECT_EQ(cg.num_edges(), 0u);
+}
+
+TEST(CompGraphTest, MstEdgeCommitAccumulates) {
+  CompGraph cg;
+  cg.commit_mst_edge(10);
+  cg.commit_mst_edge(20);
+  EXPECT_EQ(cg.mst_edges(), (std::vector<graph::EdgeId>{10, 20}));
+}
+
+// ---- serialization ----------------------------------------------------------------
+
+TEST(CompSerializationTest, RoundTrip) {
+  Component a = make_comp(3, {CEdge{9, 4, 7}, CEdge{11, 2, 8}});
+  a.vertex_count = 4;
+  a.absorbed = {1, 2, 6};
+  Component b = make_comp(12);
+  sim::Serializer s;
+  serialize_components({a, b}, &s);
+  const auto bytes = s.take();
+  sim::Deserializer d(bytes);
+  const ComponentBundle bundle = deserialize_components(&d);
+  ASSERT_EQ(bundle.comps.size(), 2u);
+  EXPECT_EQ(bundle.comps[0].id, 3u);
+  EXPECT_EQ(bundle.comps[0].vertex_count, 4u);
+  EXPECT_EQ(bundle.comps[0].absorbed, (std::vector<VertexId>{1, 2, 6}));
+  ASSERT_EQ(bundle.comps[0].edges.size(), 2u);
+  EXPECT_EQ(bundle.comps[0].edges[1].to, 11u);
+  EXPECT_EQ(bundle.comps[0].edges[1].orig, 8u);
+  EXPECT_EQ(bundle.comps[1].id, 12u);
+  EXPECT_TRUE(d.exhausted());
+}
+
+TEST(CompSerializationTest, WireBytesMatchesSerializedSize) {
+  Component a = make_comp(3, {CEdge{9, 4, 7}});
+  a.absorbed = {1, 2};
+  sim::Serializer s;
+  serialize_components({a}, &s);
+  // Total = 8-byte count header + per-component wire bytes.
+  EXPECT_EQ(s.size(), sizeof(std::uint64_t) + wire_bytes(a));
+}
+
+TEST(CompSerializationTest, EmptyBundle) {
+  sim::Serializer s;
+  serialize_components({}, &s);
+  const auto bytes = s.take();
+  sim::Deserializer d(bytes);
+  EXPECT_TRUE(deserialize_components(&d).comps.empty());
+}
+
+}  // namespace
+}  // namespace mnd::mst

@@ -1,0 +1,239 @@
+// Tests for the device cost models and CPU:GPU calibration.
+#include <gtest/gtest.h>
+
+#include "device/calibration.hpp"
+#include "device/device.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+
+namespace mnd::device {
+namespace {
+
+KernelWork make_work(std::size_t vertices, std::size_t edges,
+                     std::size_t atomics = 0, std::size_t max_deg = 8) {
+  KernelWork w;
+  w.active_vertices = vertices;
+  w.edges_scanned = edges;
+  w.atomic_updates = atomics;
+  w.max_degree = max_deg;
+  return w;
+}
+
+// ---- CPU model ---------------------------------------------------------------
+
+TEST(CpuModelTest, TimeScalesWithWork) {
+  const CpuModel cpu;
+  const double t1 = cpu.kernel_seconds(make_work(1000, 10000));
+  const double t2 = cpu.kernel_seconds(make_work(2000, 20000));
+  EXPECT_NEAR(t2, 2.0 * t1, 1e-12);
+}
+
+TEST(CpuModelTest, MoreThreadsFaster) {
+  CpuModel one;
+  one.threads = 1;
+  CpuModel eight;
+  eight.threads = 8;
+  const auto w = make_work(1000, 100000);
+  EXPECT_GT(one.kernel_seconds(w), eight.kernel_seconds(w) * 4);
+}
+
+TEST(CpuModelTest, PregelWorkerIsSlowerPerItem) {
+  // ~1.5x framework tax over the native kernels.
+  const auto w = make_work(1000, 100000, 1000);
+  EXPECT_GT(CpuModel::pregel_worker_8core().kernel_seconds(w),
+            CpuModel::amd_opteron_8core().kernel_seconds(w) * 1.2);
+}
+
+// ---- GPU model ---------------------------------------------------------------
+
+TEST(GpuModelTest, LaunchOverheadDominatesTinyKernels) {
+  const GpuModel gpu;
+  const double t = gpu.kernel_seconds(make_work(1, 1));
+  EXPECT_GE(t, gpu.launch_overhead);
+  EXPECT_LT(t, gpu.launch_overhead * 10);
+}
+
+TEST(GpuModelTest, SaturatedThroughputBeatsCpu) {
+  const GpuModel gpu;
+  const CpuModel cpu;
+  const auto big = make_work(1 << 20, 16 << 20, 1 << 16, 64);
+  EXPECT_LT(gpu.kernel_seconds(big), cpu.kernel_seconds(big));
+}
+
+TEST(GpuModelTest, SmallKernelsFavorCpu) {
+  const GpuModel gpu;
+  const CpuModel cpu;
+  const auto tiny = make_work(100, 800, 50, 16);
+  EXPECT_GT(gpu.kernel_seconds(tiny), cpu.kernel_seconds(tiny));
+}
+
+TEST(GpuModelTest, OccupancyMonotone) {
+  const GpuModel gpu;
+  EXPECT_LT(gpu.occupancy(1000), gpu.occupancy(100000));
+  EXPECT_LT(gpu.occupancy(1e9), 1.0);
+}
+
+TEST(GpuModelTest, HierarchicalAdjacencyHelpsSkewedGraphs) {
+  GpuModel with;
+  with.hierarchical_adjacency = true;
+  GpuModel without;
+  without.hierarchical_adjacency = false;
+  // A hub adjacency much larger than the average.
+  const auto skewed = make_work(100000, 400000, 0, /*max_deg=*/100000);
+  EXPECT_LT(with.kernel_seconds(skewed), without.kernel_seconds(skewed));
+  // On uniform-degree work the optimization is neutral.
+  const auto uniform = make_work(100000, 400000, 0, /*max_deg=*/8);
+  EXPECT_DOUBLE_EQ(with.kernel_seconds(uniform),
+                   without.kernel_seconds(uniform));
+}
+
+TEST(GpuModelTest, AtomicBatchingHelps) {
+  GpuModel with;
+  with.batched_atomics = true;
+  GpuModel without;
+  without.batched_atomics = false;
+  const auto atomic_heavy = make_work(100000, 200000, 150000, 32);
+  EXPECT_LT(with.kernel_seconds(atomic_heavy),
+            without.kernel_seconds(atomic_heavy));
+}
+
+// ---- PCIe model ----------------------------------------------------------------
+
+TEST(PcieModelTest, TransferScalesWithBytes) {
+  const PcieModel pcie;
+  EXPECT_GT(pcie.transfer_seconds(100 << 20),
+            pcie.transfer_seconds(1 << 20) * 50);
+}
+
+TEST(PcieModelTest, StreamOverlapHidesTransfers) {
+  PcieModel overlap;
+  overlap.overlap_streams = true;
+  PcieModel serial;
+  serial.overlap_streams = false;
+  const double kernel = 1e-3;
+  const std::size_t bytes = 4 << 20;
+  EXPECT_LT(overlap.kernel_with_transfers(kernel, bytes, bytes / 8),
+            serial.kernel_with_transfers(kernel, bytes, bytes / 8));
+}
+
+TEST(PcieModelTest, OverlapBoundedByMax) {
+  PcieModel pcie;
+  pcie.overlap_streams = true;
+  const double kernel = 1e-3;
+  const std::size_t bytes_in = 1 << 20;
+  const double t = pcie.kernel_with_transfers(kernel, bytes_in, 0);
+  EXPECT_GE(t, kernel);
+  EXPECT_GE(t, pcie.transfer_seconds(bytes_in));
+}
+
+// ---- device wrappers --------------------------------------------------------------
+
+TEST(DeviceTest, KindsAndNames) {
+  const CpuDevice cpu;
+  const GpuDevice gpu;
+  EXPECT_EQ(cpu.kind(), DeviceKind::Cpu);
+  EXPECT_EQ(gpu.kind(), DeviceKind::Gpu);
+  EXPECT_NE(cpu.name().find("cpu"), std::string::npos);
+  EXPECT_EQ(cpu.memory_bytes(), kUnlimitedMemory);
+  EXPECT_EQ(gpu.memory_bytes(), 12ull << 30);
+}
+
+TEST(DeviceTest, GpuPeakExceedsCpuPeak) {
+  const CpuDevice cpu;
+  const GpuDevice gpu;
+  EXPECT_GT(gpu.peak_edges_per_second(), cpu.peak_edges_per_second());
+}
+
+TEST(DeviceTest, CpuIgnoresTransferBytes) {
+  const CpuDevice cpu;
+  const auto w = make_work(1000, 10000);
+  EXPECT_DOUBLE_EQ(cpu.kernel_with_transfers(w, 1 << 30, 1 << 30),
+                   cpu.kernel_seconds(w));
+}
+
+TEST(DeviceTest, GpuChargesTransfers) {
+  const GpuDevice gpu;
+  const auto w = make_work(1000, 10000);
+  EXPECT_GT(gpu.kernel_with_transfers(w, 64 << 20, 1 << 20),
+            gpu.kernel_seconds(w));
+}
+
+// ---- calibration --------------------------------------------------------------------
+
+TEST(CalibrationTest, LargeGraphGivesGpuMeaningfulShare) {
+  const auto el = graph::rmat(13, 80000, 5);
+  const auto csr = graph::Csr::from_edge_list(el);
+  const CpuDevice cpu;
+  // Stand-in-scaled GPU model, as the engine defaults use.
+  const GpuDevice gpu(GpuModel::tesla_k40().for_data_scale(4000.0),
+                      PcieModel{}.for_data_scale(4000.0));
+  const auto result = calibrate_split(csr, cpu, gpu);
+  EXPECT_EQ(result.subgraphs_used, 8);
+  EXPECT_GT(result.gpu_share, 0.25);
+  EXPECT_LE(result.gpu_share, 0.95);
+  EXPECT_GT(result.virtual_seconds, 0.0);
+}
+
+TEST(GpuModelTest, DataScaleShrinksFixedCosts) {
+  const GpuModel base = GpuModel::tesla_k40();
+  const GpuModel scaled = base.for_data_scale(100.0);
+  EXPECT_DOUBLE_EQ(scaled.launch_overhead, base.launch_overhead / 100.0);
+  EXPECT_DOUBLE_EQ(scaled.saturation_items, base.saturation_items / 100.0);
+  // Throughput constants unchanged.
+  EXPECT_DOUBLE_EQ(scaled.seconds_per_edge, base.seconds_per_edge);
+}
+
+TEST(CalibrationTest, TinyGraphLimitsGpuShare) {
+  const auto el = graph::path_graph(64);
+  const auto csr = graph::Csr::from_edge_list(el);
+  const CpuDevice cpu;
+  const GpuDevice gpu;
+  const auto tiny = calibrate_split(csr, cpu, gpu);
+  const auto big_el = graph::rmat(13, 120000, 6);
+  const auto big = calibrate_split(graph::Csr::from_edge_list(big_el), cpu,
+                                   gpu);
+  // Launch overhead + transfers make the GPU less attractive on tiny work.
+  EXPECT_LT(tiny.gpu_share, big.gpu_share);
+}
+
+TEST(CalibrationTest, GpuMemoryBoundCapsShare) {
+  const auto el = graph::rmat(12, 60000, 7);
+  const auto csr = graph::Csr::from_edge_list(el);
+  const CpuDevice cpu;
+  GpuModel small_mem;
+  small_mem.memory_bytes = 256 * 1024;  // tiny device memory
+  const GpuDevice gpu(small_mem);
+  const auto result = calibrate_split(csr, cpu, gpu);
+  // CSR is ~ (60000*2*16 + ...) bytes; 80% of 256KB caps the share low.
+  EXPECT_LT(result.gpu_share, 0.2);
+}
+
+TEST(CalibrationTest, Deterministic) {
+  const auto el = graph::rmat(11, 30000, 9);
+  const auto csr = graph::Csr::from_edge_list(el);
+  const CpuDevice cpu;
+  const GpuDevice gpu;
+  const auto a = calibrate_split(csr, cpu, gpu);
+  const auto b = calibrate_split(csr, cpu, gpu);
+  EXPECT_DOUBLE_EQ(a.gpu_share, b.gpu_share);
+}
+
+TEST(CalibrationTest, RespectsOptions) {
+  const auto el = graph::rmat(11, 30000, 9);
+  const auto csr = graph::Csr::from_edge_list(el);
+  CalibrationOptions opts;
+  opts.num_subgraphs = 5;  // paper: 5-10 subgraphs of 5% vertices
+  opts.vertex_fraction = 0.05;
+  const auto result = calibrate_split(csr, CpuDevice{}, GpuDevice{}, opts);
+  EXPECT_EQ(result.subgraphs_used, 5);
+}
+
+TEST(CalibrationTest, BoruvkaPassWorkCountsBothDirections) {
+  const auto w = boruvka_pass_work(100, 500, 30);
+  EXPECT_EQ(w.active_vertices, 100u);
+  EXPECT_EQ(w.edges_scanned, 1000u);
+  EXPECT_EQ(w.max_degree, 30u);
+}
+
+}  // namespace
+}  // namespace mnd::device

@@ -1,0 +1,423 @@
+// Unit tests for src/graph: edge list, CSR, generators, IO, traversal,
+// dataset stand-ins.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/csr.hpp"
+#include "graph/datasets.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/traversal.hpp"
+#include "util/check.hpp"
+
+namespace mnd::graph {
+namespace {
+
+// ---- EdgeList ---------------------------------------------------------------
+
+TEST(EdgeListTest, AddEdgeGrowsVertices) {
+  EdgeList el;
+  el.add_edge(3, 7, 5);
+  EXPECT_EQ(el.num_vertices(), 8u);
+  EXPECT_EQ(el.num_edges(), 1u);
+  EXPECT_EQ(el.edge(0).w, 5u);
+}
+
+TEST(EdgeListTest, CanonicalizeDropsSelfLoops) {
+  EdgeList el(4);
+  el.add_edge(0, 0, 1);
+  el.add_edge(1, 2, 2);
+  el.canonicalize();
+  EXPECT_EQ(el.num_edges(), 1u);
+  EXPECT_EQ(el.edge(0).u, 1u);
+}
+
+TEST(EdgeListTest, CanonicalizeKeepsLightestParallel) {
+  EdgeList el(3);
+  el.add_edge(0, 1, 9);
+  el.add_edge(1, 0, 4);  // same undirected edge, lighter
+  el.add_edge(1, 2, 7);
+  el.canonicalize();
+  EXPECT_EQ(el.num_edges(), 2u);
+  EXPECT_EQ(el.edge(0).w, 4u);
+}
+
+TEST(EdgeListTest, CanonicalizeReassignsDenseIds) {
+  EdgeList el(5);
+  el.add_edge(0, 0, 1);
+  el.add_edge(0, 1, 1);
+  el.add_edge(2, 3, 1);
+  el.canonicalize();
+  for (std::size_t i = 0; i < el.num_edges(); ++i) {
+    EXPECT_EQ(el.edge(i).id, i);
+  }
+}
+
+TEST(EdgeListTest, RandomizeWeightsDeterministic) {
+  EdgeList a = path_graph(50);
+  EdgeList b = path_graph(50);
+  a.randomize_weights(99, 1, 1000);
+  b.randomize_weights(99, 1, 1000);
+  EXPECT_EQ(a.total_weight(), b.total_weight());
+  a.randomize_weights(100, 1, 1000);
+  EXPECT_NE(a.total_weight(), b.total_weight());
+}
+
+// ---- CSR ---------------------------------------------------------------------
+
+TEST(CsrTest, BothDirectionsPresent) {
+  EdgeList el(3);
+  el.add_edge(0, 1, 5);
+  el.add_edge(1, 2, 7);
+  const Csr g = Csr::from_edge_list(el);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.num_arcs(), 4u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.adjacency(0).size(), 1u);
+  EXPECT_EQ(g.adjacency(0)[0].to, 1u);
+  EXPECT_EQ(g.adjacency(0)[0].w, 5u);
+}
+
+TEST(CsrTest, SharedEdgeIds) {
+  EdgeList el(2);
+  const EdgeId id = el.add_edge(0, 1, 3);
+  const Csr g = Csr::from_edge_list(el);
+  EXPECT_EQ(g.adjacency(0)[0].id, id);
+  EXPECT_EQ(g.adjacency(1)[0].id, id);
+}
+
+TEST(CsrTest, EdgeLookupRoundTrip) {
+  const EdgeList el = erdos_renyi(100, 400, 5);
+  const Csr g = Csr::from_edge_list(el);
+  for (std::size_t i = 0; i < el.num_edges(); ++i) {
+    const WeightedEdge orig = el.edge(i);
+    const WeightedEdge got = g.edge(i);
+    EXPECT_EQ(got.w, orig.w);
+    EXPECT_EQ(got.id, orig.id);
+    const bool same = (got.u == orig.u && got.v == orig.v) ||
+                      (got.u == orig.v && got.v == orig.u);
+    EXPECT_TRUE(same);
+  }
+}
+
+TEST(CsrTest, SkipsSelfLoops) {
+  EdgeList el(2);
+  el.add_edge(0, 0, 1);
+  el.add_edge(0, 1, 2);
+  const Csr g = Csr::from_edge_list(el);
+  EXPECT_EQ(g.num_arcs(), 2u);
+}
+
+TEST(CsrTest, AdjacencySortedByNeighbor) {
+  const EdgeList el = erdos_renyi(50, 300, 8);
+  const Csr g = Csr::from_edge_list(el);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto adj = g.adjacency(v);
+    for (std::size_t i = 1; i < adj.size(); ++i) {
+      EXPECT_LE(adj[i - 1].to, adj[i].to);
+    }
+  }
+}
+
+TEST(CsrTest, EmptyGraph) {
+  EdgeList el(0);
+  const Csr g = Csr::from_edge_list(el);
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+// ---- generators -----------------------------------------------------------------
+
+TEST(GeneratorsTest, ErdosRenyiMeetsTarget) {
+  const EdgeList el = erdos_renyi(200, 900, 1);
+  EXPECT_EQ(el.num_edges(), 900u);
+  EXPECT_EQ(el.num_vertices(), 200u);
+  for (const auto& e : el.edges()) EXPECT_NE(e.u, e.v);
+}
+
+TEST(GeneratorsTest, ErdosRenyiDeterministic) {
+  const EdgeList a = erdos_renyi(100, 300, 5);
+  const EdgeList b = erdos_renyi(100, 300, 5);
+  EXPECT_EQ(a.edges(), b.edges());
+}
+
+TEST(GeneratorsTest, RmatSkewedDegrees) {
+  const EdgeList el = rmat(12, 30000, 3);
+  const Csr g = Csr::from_edge_list(el);
+  const DegreeStats stats = degree_stats(g);
+  EXPECT_GT(stats.max, static_cast<std::size_t>(stats.average * 10));
+}
+
+TEST(GeneratorsTest, WebGraphLocality) {
+  WebGraphParams p;
+  p.n = 1 << 13;
+  p.target_edges = 80000;
+  p.seed = 4;
+  const EdgeList el = web_graph(p);
+  EXPECT_GT(el.num_edges(), 70000u);
+  // Most edges should connect nearby ids.
+  std::size_t near = 0;
+  for (const auto& e : el.edges()) {
+    const auto d = e.u > e.v ? e.u - e.v : e.v - e.u;
+    if (d < p.n / 16) ++near;
+  }
+  EXPECT_GT(static_cast<double>(near) / static_cast<double>(el.num_edges()),
+            0.6);
+}
+
+TEST(GeneratorsTest, WebGraphHubSkew) {
+  WebGraphParams p;
+  p.n = 1 << 12;
+  p.target_edges = 40000;
+  p.hub_fraction = 0.2;
+  p.num_hubs = 8;
+  p.seed = 6;
+  const Csr g = Csr::from_edge_list(web_graph(p));
+  const DegreeStats stats = degree_stats(g);
+  EXPECT_GT(stats.max, 500u);
+}
+
+TEST(GeneratorsTest, RoadGridShape) {
+  const EdgeList el = road_grid(30, 20, 0.05, 0.1, 9);
+  const Csr g = Csr::from_edge_list(el);
+  EXPECT_EQ(g.num_vertices(), 600u);
+  const DegreeStats stats = degree_stats(g);
+  EXPECT_LE(stats.max, 8u);
+  EXPECT_GT(estimate_diameter(g), 20u);
+}
+
+TEST(GeneratorsTest, FixtureShapes) {
+  EXPECT_EQ(path_graph(10).num_edges(), 9u);
+  EXPECT_EQ(cycle_graph(10).num_edges(), 10u);
+  EXPECT_EQ(star_graph(6).num_edges(), 6u);
+  EXPECT_EQ(complete_graph(6).num_edges(), 15u);
+  const EdgeList tc = two_cliques_bridge(5, 3);
+  EXPECT_EQ(tc.num_edges(), 2u * 10u + 1u);
+  EXPECT_EQ(tc.num_vertices(), 10u);
+}
+
+TEST(GeneratorsTest, PreferentialAttachmentDegrees) {
+  const EdgeList el = preferential_attachment(500, 3, 12);
+  const Csr g = Csr::from_edge_list(el);
+  const DegreeStats stats = degree_stats(g);
+  EXPECT_GE(stats.max, 20u);  // hubs emerge
+  EXPECT_EQ(stats.isolated, 0u);
+}
+
+TEST(GeneratorsTest, RelabelByBfsPreservesStructure) {
+  const EdgeList el = erdos_renyi(300, 1000, 3);
+  const EdgeList relabeled = relabel_by_bfs(el);
+  EXPECT_EQ(relabeled.num_vertices(), el.num_vertices());
+  EXPECT_EQ(relabeled.num_edges(), el.num_edges());
+  // Connectivity structure is preserved (component count equal).
+  std::vector<VertexId> l1;
+  std::vector<VertexId> l2;
+  EXPECT_EQ(connected_components(Csr::from_edge_list(el), &l1),
+            connected_components(Csr::from_edge_list(relabeled), &l2));
+}
+
+// ---- traversal -------------------------------------------------------------------
+
+TEST(TraversalTest, BfsDistancesOnPath) {
+  const Csr g = Csr::from_edge_list(path_graph(6));
+  const auto dist = bfs_distances(g, 0);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(dist[v], v);
+}
+
+TEST(TraversalTest, BfsUnreachable) {
+  EdgeList el(4);
+  el.add_edge(0, 1, 1);
+  el.add_edge(2, 3, 1);
+  const Csr g = Csr::from_edge_list(el);
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], kUnreached);
+}
+
+TEST(TraversalTest, ConnectedComponentsCount) {
+  EdgeList el(9);
+  el.add_edge(0, 1, 1);
+  el.add_edge(1, 2, 1);
+  el.add_edge(3, 4, 1);
+  // 5..8 isolated
+  const Csr g = Csr::from_edge_list(el);
+  std::vector<VertexId> labels;
+  EXPECT_EQ(connected_components(g, &labels), 6u);
+  EXPECT_EQ(labels[0], labels[2]);
+  EXPECT_NE(labels[0], labels[3]);
+}
+
+TEST(TraversalTest, DiameterOfPath) {
+  const Csr g = Csr::from_edge_list(path_graph(40));
+  EXPECT_EQ(estimate_diameter(g), 39u);
+}
+
+TEST(TraversalTest, DegreeStats) {
+  const Csr g = Csr::from_edge_list(star_graph(5));
+  const DegreeStats stats = degree_stats(g);
+  EXPECT_EQ(stats.max, 5u);
+  EXPECT_EQ(stats.min, 1u);
+  EXPECT_NEAR(stats.average, 10.0 / 6.0, 1e-9);
+  EXPECT_EQ(stats.isolated, 0u);
+}
+
+// ---- IO ----------------------------------------------------------------------------
+
+TEST(IoTest, TextRoundTrip) {
+  const EdgeList el = erdos_renyi(40, 100, 2);
+  std::stringstream ss;
+  write_edge_list_text(el, ss);
+  const EdgeList back = read_edge_list_text(ss);
+  EXPECT_EQ(back.num_edges(), el.num_edges());
+  EXPECT_EQ(back.total_weight(), el.total_weight());
+}
+
+TEST(IoTest, TextCommentsAndDefaults) {
+  std::stringstream ss("# comment\nc another\n0 1\n1 2 9\n");
+  const EdgeList el = read_edge_list_text(ss);
+  EXPECT_EQ(el.num_edges(), 2u);
+  EXPECT_EQ(el.edge(0).w, 1u);  // default weight
+  EXPECT_EQ(el.edge(1).w, 9u);
+}
+
+TEST(IoTest, DimacsRoundTrip) {
+  EdgeList el(5);
+  el.add_edge(0, 1, 10);
+  el.add_edge(2, 4, 20);
+  std::stringstream ss;
+  write_dimacs(el, ss);
+  const EdgeList back = read_dimacs(ss);
+  EXPECT_EQ(back.num_vertices(), 5u);
+  EXPECT_EQ(back.num_edges(), 2u);
+  EXPECT_EQ(back.total_weight(), 30u);
+}
+
+TEST(IoTest, BinaryRoundTrip) {
+  const EdgeList el = rmat(8, 500, 7);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(el, ss);
+  const EdgeList back = read_binary(ss);
+  EXPECT_EQ(back.num_vertices(), el.num_vertices());
+  EXPECT_EQ(back.edges(), el.edges());
+}
+
+TEST(IoTest, BinaryRejectsBadMagic) {
+  std::stringstream ss("not-a-graph-file-at-all");
+  EXPECT_THROW(read_binary(ss), CheckFailure);
+}
+
+// ---- datasets ------------------------------------------------------------------------
+
+TEST(DatasetsTest, AllNamesGenerate) {
+  for (const auto& name : dataset_names()) {
+    const EdgeList el = make_dataset(name, 0.02);
+    EXPECT_GT(el.num_vertices(), 0u) << name;
+    EXPECT_GT(el.num_edges(), 0u) << name;
+  }
+}
+
+TEST(DatasetsTest, SpecsMatchPaperTable2Order) {
+  const auto& specs = paper_datasets();
+  ASSERT_EQ(specs.size(), 6u);
+  EXPECT_EQ(specs[0].name, "road_usa");
+  EXPECT_EQ(specs[5].name, "uk-2007");
+  EXPECT_NEAR(specs[5].paper_edges_b, 6.60, 1e-9);
+}
+
+TEST(DatasetsTest, Deterministic) {
+  const EdgeList a = make_dataset("arabic-2005", 0.05, 77);
+  const EdgeList b = make_dataset("arabic-2005", 0.05, 77);
+  EXPECT_EQ(a.edges(), b.edges());
+}
+
+TEST(DatasetsTest, RoadFamilyHasRoadShape) {
+  const EdgeList el = make_dataset("road_usa", 0.2);
+  const Csr g = Csr::from_edge_list(el);
+  const DegreeStats stats = degree_stats(g);
+  EXPECT_LE(stats.max, 9u);  // paper: max degree 9
+  EXPECT_LT(stats.average, 4.0);
+}
+
+TEST(DatasetsTest, WebFamiliesAreSkewed) {
+  const Csr g = Csr::from_edge_list(make_dataset("sk-2005", 0.1));
+  const DegreeStats stats = degree_stats(g);
+  EXPECT_GT(stats.max, static_cast<std::size_t>(stats.average * 5));
+}
+
+TEST(DatasetsTest, UnknownNameThrows) {
+  EXPECT_THROW(make_dataset("no-such-graph"), CheckFailure);
+}
+
+TEST(DatasetsTest, RejectsBadScale) {
+  EXPECT_THROW(make_dataset("road_usa", 0.0), CheckFailure);
+  EXPECT_THROW(make_dataset("road_usa", 1.5), CheckFailure);
+}
+
+}  // namespace
+}  // namespace mnd::graph
+
+// Appended: Matrix Market IO (the UFL Sparse Matrix Collection format).
+namespace mnd::graph {
+namespace {
+
+TEST(IoTest, MatrixMarketRoundTrip) {
+  const EdgeList el = erdos_renyi(50, 200, 9);
+  std::stringstream ss;
+  write_matrix_market(el, ss);
+  const EdgeList back = read_matrix_market(ss);
+  EXPECT_EQ(back.num_vertices(), el.num_vertices());
+  EXPECT_EQ(back.num_edges(), el.num_edges());
+  EXPECT_EQ(back.total_weight(), el.total_weight());
+}
+
+TEST(IoTest, MatrixMarketPatternField) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "% a comment\n"
+      "4 4 3\n"
+      "2 1\n"
+      "3 1\n"
+      "4 3\n");
+  const EdgeList el = read_matrix_market(ss);
+  EXPECT_EQ(el.num_vertices(), 4u);
+  EXPECT_EQ(el.num_edges(), 3u);
+  for (const auto& e : el.edges()) EXPECT_EQ(e.w, 1u);
+}
+
+TEST(IoTest, MatrixMarketRealValuesClamped) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 3 3\n"
+      "1 2 -5.7\n"
+      "2 3 0.0\n"
+      "1 3 42.9\n");
+  const EdgeList el = read_matrix_market(ss);
+  ASSERT_EQ(el.num_edges(), 3u);
+  // magnitudes kept, zero clamped to 1
+  WeightSum total = el.total_weight();
+  EXPECT_EQ(total, 5u + 1u + 42u);
+}
+
+TEST(IoTest, MatrixMarketSelfLoopsAndDuplicatesCollapse) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "3 3 4\n"
+      "1 1 9\n"
+      "1 2 7\n"
+      "2 1 3\n"
+      "2 3 4\n");
+  const EdgeList el = read_matrix_market(ss);
+  EXPECT_EQ(el.num_edges(), 2u);  // loop dropped, duplicate collapsed
+  EXPECT_EQ(el.total_weight(), 3u + 4u);
+}
+
+TEST(IoTest, MatrixMarketRejectsGarbage) {
+  std::stringstream ss("this is not a matrix\n1 2 3\n");
+  EXPECT_THROW(read_matrix_market(ss), CheckFailure);
+}
+
+}  // namespace
+}  // namespace mnd::graph

@@ -1,0 +1,265 @@
+// Tests for the HyPar framework layer: partitioning, ghost lists, runtime
+// thresholds, and the engine on small clusters.
+#include <gtest/gtest.h>
+
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/reference_mst.hpp"
+#include "hypar/engine.hpp"
+#include "hypar/ghost.hpp"
+#include "hypar/partition.hpp"
+#include "hypar/runtime.hpp"
+#include "simcluster/cluster.hpp"
+#include "util/check.hpp"
+
+namespace mnd::hypar {
+namespace {
+
+using graph::Csr;
+using graph::EdgeList;
+using graph::VertexId;
+
+// ---- Partition1D -------------------------------------------------------------
+
+TEST(PartitionTest, CoversAllVertices) {
+  const Csr g = Csr::from_edge_list(graph::erdos_renyi(100, 400, 2));
+  const Partition1D part = partition_by_degree(g, 4);
+  EXPECT_EQ(part.parts(), 4);
+  EXPECT_EQ(part.begin(0), 0u);
+  EXPECT_EQ(part.end(3), 100u);
+  for (int p = 0; p + 1 < 4; ++p) {
+    EXPECT_EQ(part.end(p), part.begin(p + 1));
+  }
+}
+
+TEST(PartitionTest, OwnerConsistentWithRanges) {
+  const Csr g = Csr::from_edge_list(graph::rmat(9, 2000, 3));
+  const Partition1D part = partition_by_degree(g, 7);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const int o = part.owner(v);
+    EXPECT_GE(v, part.begin(o));
+    EXPECT_LT(v, part.end(o));
+  }
+}
+
+TEST(PartitionTest, BalancesArcsNotVertices) {
+  // A graph where vertex 0 holds half the arcs: degree-based partitioning
+  // must give rank 0 far fewer vertices than an equal-vertex split.
+  EdgeList el = graph::star_graph(1000);
+  for (VertexId v = 1; v + 1 <= 1000; ++v) el.add_edge(v, v + 1, 1);
+  const Csr g = Csr::from_edge_list(el);
+  const Partition1D part = partition_by_degree(g, 2);
+  EXPECT_LT(part.end(0) - part.begin(0), 450u);
+  // Arc counts are within 2x of each other.
+  const std::size_t arcs0 = g.offsets()[part.end(0)] - g.offsets()[0];
+  const std::size_t arcs1 = g.num_arcs() - arcs0;
+  EXPECT_LT(arcs0, 2 * arcs1 + g.num_arcs() / 4);
+}
+
+TEST(PartitionTest, SinglePart) {
+  const Csr g = Csr::from_edge_list(graph::path_graph(10));
+  const Partition1D part = partition_by_degree(g, 1);
+  EXPECT_EQ(part.parts(), 1);
+  EXPECT_EQ(part.owner(9), 0);
+}
+
+TEST(PartitionTest, MorePartsThanVertices) {
+  const Csr g = Csr::from_edge_list(graph::path_graph(3));
+  const Partition1D part = partition_by_degree(g, 8);
+  EXPECT_EQ(part.parts(), 8);
+  // All vertices covered; some ranges empty.
+  int nonempty = 0;
+  for (int p = 0; p < 8; ++p) {
+    if (part.end(p) > part.begin(p)) ++nonempty;
+  }
+  EXPECT_LE(nonempty, 3);
+}
+
+TEST(PartitionTest, DeviceSplitByShare) {
+  const Csr g = Csr::from_edge_list(graph::erdos_renyi(100, 500, 5));
+  const VertexId mid = split_range_by_share(g, 0, 100, 0.5);
+  const std::size_t arcs_cpu = g.offsets()[mid] - g.offsets()[0];
+  EXPECT_NEAR(static_cast<double>(arcs_cpu) / g.num_arcs(), 0.5, 0.1);
+  EXPECT_EQ(split_range_by_share(g, 0, 100, 0.0), 100u);  // all CPU
+  EXPECT_EQ(split_range_by_share(g, 20, 20, 0.5), 20u);   // empty range
+}
+
+// ---- GhostList ------------------------------------------------------------------
+
+TEST(GhostTest, BuildsGhostEdgesPerNeighbor) {
+  // Path 0-1-2-3-4-5, split as [0,3) and [3,6): one cut edge (2,3).
+  const Csr g = Csr::from_edge_list(graph::path_graph(6));
+  const Partition1D part({0, 3, 6});
+  const GhostList g0 = build_ghost_list(g, part, 0);
+  const GhostList g1 = build_ghost_list(g, part, 1);
+  EXPECT_EQ(g0.total_ghost_edges(), 1u);
+  EXPECT_EQ(g1.total_ghost_edges(), 1u);
+  EXPECT_EQ(g0.neighbor_ranks(), std::vector<int>{1});
+  ASSERT_NE(g0.edges_to(1), nullptr);
+  EXPECT_EQ((*g0.edges_to(1))[0].boundary, 2u);
+  EXPECT_EQ((*g0.edges_to(1))[0].ghost, 3u);
+  EXPECT_EQ(g0.num_boundary_vertices(), 1u);
+}
+
+TEST(GhostTest, NoGhostsWithinOnePartition) {
+  const Csr g = Csr::from_edge_list(graph::complete_graph(8));
+  const Partition1D part({0, 8});
+  EXPECT_EQ(build_ghost_list(g, part, 0).total_ghost_edges(), 0u);
+}
+
+TEST(GhostTest, BoundaryExchangeCountsMatch) {
+  const Csr g = Csr::from_edge_list(graph::erdos_renyi(64, 400, 9));
+  sim::ClusterConfig cfg;
+  cfg.num_ranks = 4;
+  sim::run_cluster(cfg, [&](sim::Communicator& comm) {
+    const Partition1D part = partition_by_degree(g, 4);
+    const GhostList mine = build_ghost_list(g, part, comm.rank());
+    // Phased exchange with a tiny phase size exercises chunking.
+    const std::size_t learned =
+        exchange_boundary_vertices(comm, mine, /*phase_entries=*/8);
+    // What I learn is the set of remote boundary vertices adjacent to me,
+    // which equals my distinct ghost vertices.
+    mnd::FlatHashSet<VertexId> ghosts;
+    for (int r : mine.neighbor_ranks()) {
+      for (const auto& e : *mine.edges_to(r)) ghosts.insert(e.ghost);
+    }
+    EXPECT_EQ(learned, ghosts.size());
+  });
+}
+
+// ---- runtime thresholds -------------------------------------------------------------
+
+TEST(RuntimeTest, MergeConvergenceOnSmallData) {
+  RuntimeThresholds t;
+  t.group_merge_edge_threshold = 100;
+  MergeConvergence conv(t);
+  EXPECT_TRUE(conv.should_merge_to_leader(50, 0));
+}
+
+TEST(RuntimeTest, MergeConvergenceOnStalling) {
+  RuntimeThresholds t;
+  t.group_merge_edge_threshold = 10;
+  t.min_group_reduction = 0.10;
+  MergeConvergence conv(t);
+  EXPECT_FALSE(conv.should_merge_to_leader(1000, 0));
+  EXPECT_FALSE(conv.should_merge_to_leader(500, 1));   // halved: keep going
+  EXPECT_TRUE(conv.should_merge_to_leader(480, 2));    // only 4% reduction
+}
+
+TEST(RuntimeTest, MergeConvergenceOnRoundCap) {
+  RuntimeThresholds t;
+  t.group_merge_edge_threshold = 1;
+  t.min_group_reduction = 0.0;
+  t.max_ring_rounds = 3;
+  MergeConvergence conv(t);
+  EXPECT_FALSE(conv.should_merge_to_leader(1000, 0));
+  EXPECT_TRUE(conv.should_merge_to_leader(900, 3));
+}
+
+// ---- engine ---------------------------------------------------------------------------
+
+void expect_engine_optimal(const EdgeList& el, int ranks,
+                           EngineOptions opts = {}) {
+  const Csr g = Csr::from_edge_list(el);
+  sim::ClusterConfig cfg;
+  cfg.num_ranks = ranks;
+  std::vector<graph::EdgeId> forest;
+  sim::run_cluster(cfg, [&](sim::Communicator& comm) {
+    BoruvkaKernel kernel;
+    auto result = run_engine(comm, g, kernel, opts);
+    if (comm.rank() == 0) forest = std::move(result.forest_edges);
+  });
+  const auto validation = graph::validate_spanning_forest(el, forest);
+  EXPECT_TRUE(validation.ok) << validation.error;
+}
+
+TEST(EngineTest, GroupSizeTwo) {
+  EngineOptions opts;
+  opts.group_size = 2;
+  expect_engine_optimal(graph::erdos_renyi(300, 1200, 21), 8, opts);
+}
+
+TEST(EngineTest, GroupSizeEight) {
+  EngineOptions opts;
+  opts.group_size = 8;
+  expect_engine_optimal(graph::erdos_renyi(300, 1200, 21), 8, opts);
+}
+
+TEST(EngineTest, GroupSizeLargerThanRanks) {
+  EngineOptions opts;
+  opts.group_size = 16;
+  expect_engine_optimal(graph::erdos_renyi(200, 800, 23), 3, opts);
+}
+
+TEST(EngineTest, NonPowerOfTwoRanks) {
+  expect_engine_optimal(graph::rmat(9, 3000, 25), 5);
+  expect_engine_optimal(graph::rmat(9, 3000, 25), 7);
+  expect_engine_optimal(graph::rmat(9, 3000, 25), 13);
+}
+
+TEST(EngineTest, RejectsBorderEdgeExceptionForMst) {
+  EngineOptions opts;
+  opts.excp = ExcpCond::BorderEdge;
+  const Csr g = Csr::from_edge_list(graph::path_graph(8));
+  sim::ClusterConfig cfg;
+  cfg.num_ranks = 2;
+  EXPECT_THROW(sim::run_cluster(cfg,
+                                [&](sim::Communicator& comm) {
+                                  BoruvkaKernel kernel;
+                                  (void)run_engine(comm, g, kernel, opts);
+                                }),
+               CheckFailure);
+}
+
+TEST(EngineTest, TraceIsPopulated) {
+  const EdgeList el = graph::erdos_renyi(400, 1600, 29);
+  const Csr g = Csr::from_edge_list(el);
+  sim::ClusterConfig cfg;
+  cfg.num_ranks = 4;
+  sim::run_cluster(cfg, [&](sim::Communicator& comm) {
+    BoruvkaKernel kernel;
+    const auto result = run_engine(comm, g, kernel, {});
+    EXPECT_GT(result.trace.levels_participated, 0);
+    EXPECT_GT(result.trace.ghost_edges, 0u);
+    EXPECT_GT(result.trace.boundary_vertices, 0u);
+    EXPECT_GT(result.trace.components_after_level0, 0u);
+    EXPECT_GT(result.trace.peak_memory_bytes, 0u);
+  });
+}
+
+TEST(EngineTest, MemoryBoundRespectedDuringMerge) {
+  // PROPERTY (paper §3.4): merged data on a rank never exceeds capacity.
+  // Give each rank a capacity comfortably above its share; the run must
+  // complete without tripping the tracker, proving intermediate merges
+  // stayed within bounds.
+  const EdgeList el = graph::erdos_renyi(600, 3000, 31);
+  const Csr g = Csr::from_edge_list(el);
+  sim::ClusterConfig cfg;
+  cfg.num_ranks = 8;
+  cfg.rank_memory_bytes = 2 << 20;  // 2 MB per rank; plenty but finite
+  std::vector<graph::EdgeId> forest;
+  sim::run_cluster(cfg, [&](sim::Communicator& comm) {
+    BoruvkaKernel kernel;
+    auto result = run_engine(comm, g, kernel, {});
+    EXPECT_LE(result.trace.peak_memory_bytes, cfg.rank_memory_bytes);
+    if (comm.rank() == 0) forest = std::move(result.forest_edges);
+  });
+  EXPECT_TRUE(graph::validate_spanning_forest(el, forest).ok);
+}
+
+TEST(EngineTest, ImpossibleMemoryBoundThrows) {
+  const EdgeList el = graph::erdos_renyi(500, 4000, 33);
+  const Csr g = Csr::from_edge_list(el);
+  sim::ClusterConfig cfg;
+  cfg.num_ranks = 2;
+  cfg.rank_memory_bytes = 512;  // cannot even hold the partition
+  EXPECT_THROW(sim::run_cluster(cfg,
+                                [&](sim::Communicator& comm) {
+                                  BoruvkaKernel kernel;
+                                  (void)run_engine(comm, g, kernel, {});
+                                }),
+               CheckFailure);
+}
+
+}  // namespace
+}  // namespace mnd::hypar

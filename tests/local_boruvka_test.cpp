@@ -1,0 +1,236 @@
+// Tests for the indComp kernel: Boruvka with the border-vertex exception.
+// Includes the safe-edge property check (every contracted edge is the
+// lightest incident edge of some component under the (w,id) order).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/reference_mst.hpp"
+#include "mst/comp_graph.hpp"
+#include "mst/local_boruvka.hpp"
+#include "util/flat_hash.hpp"
+
+namespace mnd::mst {
+namespace {
+
+using graph::Csr;
+using graph::EdgeList;
+
+/// Loads every vertex of `el` as a single-vertex component of cg,
+/// establishing the Component edge-order invariant.
+void load_all(CompGraph& cg, const EdgeList& el) {
+  const Csr g = Csr::from_edge_list(el);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    Component c;
+    c.id = v;
+    for (const auto& arc : g.adjacency(v)) {
+      c.edges.push_back(CEdge{arc.to, arc.w, arc.id});
+    }
+    std::sort(c.edges.begin(), c.edges.end(),
+              [](const CEdge& a, const CEdge& b) {
+                return graph::lighter(a.w, a.orig, b.w, b.orig);
+              });
+    cg.adopt(std::move(c));
+  }
+}
+
+TEST(LocalBoruvkaTest, CompletesMstWhenAllOwned) {
+  const EdgeList el = graph::erdos_renyi(200, 800, 4);
+  CompGraph cg;
+  load_all(cg, el);
+  const BoruvkaStats stats = local_boruvka(cg, nullptr);
+  // Connected or not, the forest must match Kruskal exactly.
+  const auto ref = graph::kruskal_mst(el);
+  std::vector<graph::EdgeId> got = cg.mst_edges();
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, ref.edges);
+  EXPECT_EQ(cg.num_components(), ref.num_components);
+  EXPECT_EQ(stats.frozen_components, 0u);
+  EXPECT_GT(stats.iterations, 0);
+}
+
+TEST(LocalBoruvkaTest, PathContractsToOneComponent) {
+  const EdgeList el = graph::path_graph(64);
+  CompGraph cg;
+  load_all(cg, el);
+  local_boruvka(cg, nullptr);
+  EXPECT_EQ(cg.num_components(), 1u);
+  EXPECT_EQ(cg.mst_edges().size(), 63u);
+  // The surviving component absorbed everything.
+  const VertexId root = cg.component_ids()[0];
+  EXPECT_EQ(cg.find(root)->vertex_count, 64u);
+  EXPECT_EQ(cg.find(root)->absorbed.size(), 63u);
+}
+
+TEST(LocalBoruvkaTest, BorderExceptionFreezesCutComponents) {
+  // Two cliques joined by a light bridge; the right clique is "remote".
+  const EdgeList el = graph::two_cliques_bridge(8, /*bridge_weight=*/1);
+  CompGraph cg;
+  load_all(cg, el);
+  // Only the left clique participates; vertices 8..15 are border targets.
+  // Remove the right clique's components to simulate remote ownership.
+  for (VertexId v = 8; v < 16; ++v) cg.erase(v);
+  const BoruvkaStats stats =
+      local_boruvka(cg, [](VertexId id) { return id < 8; });
+  // The bridge endpoint's component must freeze once its lightest edge is
+  // the (remote) bridge; everything else inside the clique contracts.
+  EXPECT_EQ(cg.num_components(), 1u);
+  EXPECT_EQ(stats.frozen_components, 1u);
+  EXPECT_EQ(cg.mst_edges().size(), 7u);  // left clique spanning tree only
+}
+
+TEST(LocalBoruvkaTest, SafeEdgeProperty) {
+  // PROPERTY (paper §3.2): every edge contracted by indComp is the
+  // lightest incident edge of one of the two components it merged, under
+  // the strict (weight, id) order — i.e. a safe edge by the cut property.
+  const EdgeList el = graph::erdos_renyi(60, 240, 11);
+  const auto ref = graph::kruskal_mst(el);
+  CompGraph cg;
+  load_all(cg, el);
+  BoruvkaOptions opts;
+  opts.max_iterations = 1;  // examine a single round
+  local_boruvka(cg, nullptr, opts);
+  for (graph::EdgeId committed : cg.mst_edges()) {
+    EXPECT_TRUE(std::binary_search(ref.edges.begin(), ref.edges.end(),
+                                   committed))
+        << "edge " << committed << " is not in the unique MST";
+  }
+}
+
+TEST(LocalBoruvkaTest, PartitionedHalvesFreezeOnlyAtBoundary) {
+  const EdgeList el = graph::path_graph(32);
+  CompGraph cg;
+  load_all(cg, el);
+  // Run on the lower half only.
+  const BoruvkaStats stats =
+      local_boruvka(cg, [](VertexId id) { return id < 16; });
+  // The lower half contracts into one component; its only outgoing edge
+  // (15,16) is a cut edge. Upper-half components are untouched.
+  std::size_t lower = 0;
+  std::size_t upper = 0;
+  for (VertexId id : cg.component_ids()) {
+    (id < 16 ? lower : upper) += 1;
+  }
+  EXPECT_EQ(lower, 1u);
+  EXPECT_EQ(upper, 16u);
+  EXPECT_EQ(stats.frozen_components, 1u);
+}
+
+TEST(LocalBoruvkaTest, MutualPairEdgeCommittedOnce) {
+  // A single edge: both endpoints pick it (mutual pair).
+  EdgeList el(2);
+  el.add_edge(0, 1, 5);
+  CompGraph cg;
+  load_all(cg, el);
+  local_boruvka(cg, nullptr);
+  EXPECT_EQ(cg.mst_edges().size(), 1u);
+  EXPECT_EQ(cg.num_components(), 1u);
+  // Smaller id wins the root.
+  EXPECT_TRUE(cg.owns(0));
+}
+
+TEST(LocalBoruvkaTest, IsolatedComponentsRemain) {
+  EdgeList el(5);
+  el.add_edge(0, 1, 2);
+  // vertices 2,3,4 isolated
+  CompGraph cg;
+  load_all(cg, el);
+  local_boruvka(cg, nullptr);
+  EXPECT_EQ(cg.num_components(), 4u);
+  EXPECT_TRUE(cg.mst_edges().size() == 1u);
+}
+
+TEST(LocalBoruvkaTest, MaxIterationsRespected) {
+  const EdgeList el = graph::path_graph(256);
+  CompGraph cg;
+  load_all(cg, el);
+  BoruvkaOptions opts;
+  opts.max_iterations = 2;
+  const BoruvkaStats stats = local_boruvka(cg, nullptr, opts);
+  EXPECT_LE(stats.iterations, 2);
+  EXPECT_GT(cg.num_components(), 1u);  // not finished yet
+  // Resuming finishes the job and the result is still exact.
+  local_boruvka(cg, nullptr);
+  EXPECT_EQ(cg.num_components(), 1u);
+  std::vector<graph::EdgeId> got = cg.mst_edges();
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, graph::kruskal_mst(el).edges);
+}
+
+TEST(LocalBoruvkaTest, DiminishingBenefitStopsEarly) {
+  const EdgeList el = graph::path_graph(1024);
+  CompGraph cg1;
+  load_all(cg1, el);
+  BoruvkaOptions high_cut;
+  high_cut.min_contraction_fraction = 0.9;  // path halves comps per iter
+  const BoruvkaStats s1 = local_boruvka(cg1, nullptr, high_cut);
+  CompGraph cg2;
+  load_all(cg2, el);
+  const BoruvkaStats s2 = local_boruvka(cg2, nullptr);
+  EXPECT_LT(s1.iterations, s2.iterations);
+}
+
+TEST(LocalBoruvkaTest, WorkCountersPopulated) {
+  const EdgeList el = graph::erdos_renyi(100, 500, 6);
+  CompGraph cg;
+  load_all(cg, el);
+  const BoruvkaStats stats = local_boruvka(cg, nullptr);
+  const auto total = stats.total_work();
+  EXPECT_GT(total.active_vertices, 0u);
+  EXPECT_GT(total.edges_scanned, 0u);
+  EXPECT_GT(total.atomic_updates, 0u);
+  EXPECT_EQ(stats.per_iteration.size(),
+            static_cast<std::size_t>(stats.iterations));
+  const device::CpuDevice cpu;
+  EXPECT_GT(stats.priced_seconds(cpu), 0.0);
+}
+
+TEST(LocalBoruvkaTest, CleanAdjacencyRemovesSelfAndMultiEdges) {
+  CompGraph cg;
+  Component c;
+  c.id = 1;
+  // Self edge after rename (5 -> 1), plus parallel edges to component 2.
+  cg.renames().add(5, 1);
+  c.edges = {CEdge{5, 9, 0}, CEdge{2, 7, 1}, CEdge{2, 3, 2}, CEdge{2, 7, 3}};
+  cg.adopt(std::move(c));
+  const std::size_t scanned = clean_adjacency(cg, *cg.find(1));
+  EXPECT_EQ(scanned, 4u);
+  const auto& edges = cg.find(1)->edges;
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].to, 2u);
+  EXPECT_EQ(edges[0].w, 3u);   // lightest multi-edge kept
+  EXPECT_EQ(edges[0].orig, 2u);
+}
+
+TEST(LocalBoruvkaTest, TwoDevicePartitionThenMergeMatchesReference) {
+  // Simulates the intra-node CPU/GPU split: run the two halves with the
+  // device boundary as a border, then a merge pass over everything.
+  const EdgeList el = graph::erdos_renyi(120, 480, 13);
+  CompGraph cg;
+  load_all(cg, el);
+  local_boruvka(cg, [](VertexId id) { return id < 60; });
+  local_boruvka(cg, [](VertexId id) { return id >= 60; });
+  local_boruvka(cg, nullptr);  // device merge
+  std::vector<graph::EdgeId> got = cg.mst_edges();
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, graph::kruskal_mst(el).edges);
+}
+
+TEST(LocalBoruvkaTest, AbsorbedListsCarryFullHistory) {
+  const EdgeList el = graph::path_graph(16);
+  CompGraph cg;
+  load_all(cg, el);
+  local_boruvka(cg, nullptr);
+  const VertexId root = cg.component_ids()[0];
+  const Component& c = *cg.find(root);
+  // absorbed + root = all vertices.
+  mnd::FlatHashSet<VertexId> ids;
+  ids.insert(root);
+  for (VertexId x : c.absorbed) EXPECT_TRUE(ids.insert(x)) << x;
+  EXPECT_EQ(ids.size(), 16u);
+}
+
+}  // namespace
+}  // namespace mnd::mst

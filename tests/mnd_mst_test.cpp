@@ -1,0 +1,91 @@
+// Integration tests: full MND-MST runs validated against exact Kruskal.
+#include <gtest/gtest.h>
+
+#include "graph/datasets.hpp"
+#include "graph/generators.hpp"
+#include "graph/reference_mst.hpp"
+#include "mst/mnd_mst.hpp"
+
+namespace mnd {
+namespace {
+
+using graph::EdgeList;
+
+void expect_optimal(const EdgeList& el, const mst::MndMstReport& report) {
+  const auto validation =
+      graph::validate_spanning_forest(el, report.forest.edges);
+  EXPECT_TRUE(validation.ok) << validation.error;
+}
+
+mst::MndMstOptions base_options(int nodes) {
+  mst::MndMstOptions opts;
+  opts.num_nodes = nodes;
+  return opts;
+}
+
+TEST(MndMstTest, SingleNodePath) {
+  const EdgeList el = graph::path_graph(50);
+  const auto report = mst::run_mnd_mst(el, base_options(1));
+  expect_optimal(el, report);
+  EXPECT_EQ(report.forest.edges.size(), 49u);
+}
+
+TEST(MndMstTest, TwoNodesPath) {
+  const EdgeList el = graph::path_graph(64);
+  const auto report = mst::run_mnd_mst(el, base_options(2));
+  expect_optimal(el, report);
+}
+
+TEST(MndMstTest, FourNodesErdosRenyi) {
+  const EdgeList el = graph::erdos_renyi(500, 2000, 7);
+  const auto report = mst::run_mnd_mst(el, base_options(4));
+  expect_optimal(el, report);
+}
+
+TEST(MndMstTest, SixteenNodesRmat) {
+  const EdgeList el = graph::rmat(10, 6000, 11);
+  const auto report = mst::run_mnd_mst(el, base_options(16));
+  expect_optimal(el, report);
+}
+
+TEST(MndMstTest, DisconnectedGraph) {
+  // Two cliques with NO bridge: spanning forest with 2 components.
+  EdgeList el = graph::two_cliques_bridge(20, 1);
+  // Remove the bridge by rebuilding without the final edge.
+  EdgeList no_bridge(el.num_vertices());
+  for (const auto& e : el.edges()) {
+    if (!((e.u == 0 && e.v == 20))) no_bridge.add_edge(e.u, e.v, e.w);
+  }
+  const auto report = mst::run_mnd_mst(no_bridge, base_options(4));
+  expect_optimal(no_bridge, report);
+  EXPECT_EQ(report.forest.num_components, 2u);
+}
+
+TEST(MndMstTest, GpuModeMatchesCpuResult) {
+  const EdgeList el = graph::rmat(11, 12000, 3);
+  auto opts = base_options(4);
+  const auto cpu_report = mst::run_mnd_mst(el, opts);
+  opts.engine.use_gpu = true;
+  const auto gpu_report = mst::run_mnd_mst(el, opts);
+  expect_optimal(el, cpu_report);
+  expect_optimal(el, gpu_report);
+  EXPECT_EQ(cpu_report.forest.total_weight, gpu_report.forest.total_weight);
+}
+
+TEST(MndMstTest, DeterministicAcrossRuns) {
+  const EdgeList el = graph::rmat(10, 5000, 5);
+  const auto a = mst::run_mnd_mst(el, base_options(8));
+  const auto b = mst::run_mnd_mst(el, base_options(8));
+  EXPECT_EQ(a.forest.edges, b.forest.edges);
+  EXPECT_DOUBLE_EQ(a.total_seconds, b.total_seconds);
+  EXPECT_DOUBLE_EQ(a.comm_seconds, b.comm_seconds);
+}
+
+TEST(MndMstTest, RoadDatasetStandInSmallScale) {
+  const EdgeList el = graph::make_dataset("road_usa", 0.05);
+  const auto report = mst::run_mnd_mst(el, base_options(4));
+  expect_optimal(el, report);
+}
+
+}  // namespace
+}  // namespace mnd

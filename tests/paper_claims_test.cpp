@@ -1,0 +1,130 @@
+// Headline-claim regression tests: the paper's qualitative results,
+// asserted at reduced scale so the whole suite stays fast. If a model or
+// algorithm change breaks one of the reproduced shapes, these fail before
+// the bench harness would show it.
+#include <gtest/gtest.h>
+
+#include "bsp/msf.hpp"
+#include "graph/datasets.hpp"
+#include "mst/mnd_mst.hpp"
+#include "simcluster/net_model.hpp"
+
+namespace mnd {
+namespace {
+
+constexpr double kScale = 0.25;  // quarter-size stand-ins
+constexpr double kDataScale = 4000.0;
+
+mst::MndMstOptions amd_mnd(int nodes) {
+  mst::MndMstOptions o;
+  o.num_nodes = nodes;
+  o.net = sim::NetModel::amd_cluster().for_data_scale(kDataScale);
+  o.engine.cpu_model = device::CpuModel::amd_opteron_8core();
+  return o;
+}
+
+bsp::BspOptions amd_bsp(int workers) {
+  bsp::BspOptions o;
+  o.num_workers = workers;
+  o.net = sim::NetModel::amd_cluster_hadoop_rpc().for_data_scale(kDataScale);
+  o.cpu_model = device::CpuModel::pregel_worker_8core();
+  return o;
+}
+
+mst::MndMstOptions cray_mnd(int nodes, bool gpu) {
+  mst::MndMstOptions o;
+  o.num_nodes = nodes;
+  o.net = sim::NetModel::cray_xc40().for_data_scale(kDataScale);
+  o.engine.cpu_model = device::CpuModel::xeon_ivybridge_12core();
+  o.engine.use_gpu = gpu;
+  return o;
+}
+
+// Paper §5.2 / Table 3: MND-MST beats Pregel+ on web graphs...
+TEST(PaperClaims, MndBeatsPregelOnWebGraphs) {
+  const auto el = graph::make_dataset("it-2004", kScale);
+  const auto bsp_r = bsp::run_bsp_msf(el, amd_bsp(16));
+  const auto mnd_r = mst::run_mnd_mst(el, amd_mnd(16));
+  EXPECT_LT(mnd_r.total_seconds, bsp_r.total_seconds * 0.6)
+      << "expected >=40% improvement";
+  // ...and cuts communication by a large factor.
+  EXPECT_LT(mnd_r.comm_seconds, bsp_r.comm_seconds * 0.5);
+}
+
+// Paper §5.2: gsh-2015-tpd shows the smallest improvement of the six.
+TEST(PaperClaims, GshIsTheWorstCaseForMnd) {
+  auto ratio = [&](const std::string& name) {
+    const auto el = graph::make_dataset(name, kScale);
+    const auto b = bsp::run_bsp_msf(el, amd_bsp(16));
+    const auto m = mst::run_mnd_mst(el, amd_mnd(16));
+    return b.total_seconds / m.total_seconds;  // MND speedup
+  };
+  const double gsh = ratio("gsh-2015-tpd");
+  EXPECT_LT(gsh, ratio("arabic-2005"));
+  EXPECT_LT(gsh, ratio("uk-2007"));
+}
+
+// Paper Fig. 5: Pregel+ is communication-bound; MND-MST is compute-bound.
+TEST(PaperClaims, CommunicationFractionInversion) {
+  const auto el = graph::make_dataset("arabic-2005", kScale);
+  const auto b = bsp::run_bsp_msf(el, amd_bsp(16));
+  const auto m = mst::run_mnd_mst(el, amd_mnd(16));
+  EXPECT_GT(b.communication_fraction(), 0.5);
+  EXPECT_GT(m.computation_fraction(), 0.5);
+}
+
+// Paper Fig. 4: single-node MND-MST completes faster than Pregel+ on 16
+// nodes (arabic-2005).
+TEST(PaperClaims, SingleNodeMndBeatsSixteenNodePregel) {
+  const auto el = graph::make_dataset("arabic-2005", kScale);
+  const auto mnd1 = mst::run_mnd_mst(el, amd_mnd(1));
+  const auto bsp16 = bsp::run_bsp_msf(el, amd_bsp(16));
+  EXPECT_LT(mnd1.total_seconds, bsp16.total_seconds);
+}
+
+// Paper Fig. 6: large graphs scale to 16 nodes.
+TEST(PaperClaims, LargeGraphsScale) {
+  const auto el = graph::make_dataset("uk-2007", kScale);
+  const auto t4 = mst::run_mnd_mst(el, cray_mnd(4, false)).total_seconds;
+  const auto t16 = mst::run_mnd_mst(el, cray_mnd(16, false)).total_seconds;
+  EXPECT_LT(t16, t4);  // still improving at 16 nodes
+}
+
+// Paper Fig. 7: indComp dominates the large web graphs.
+TEST(PaperClaims, IndCompDominatesLargeGraphs) {
+  const auto el = graph::make_dataset("uk-2007", kScale);
+  const auto r = mst::run_mnd_mst(el, cray_mnd(8, false));
+  EXPECT_GT(r.indcomp_seconds, 0.5 * r.total_seconds);
+}
+
+// Paper Fig. 8: the GPU helps on a single node and the benefit decays
+// with node count.
+TEST(PaperClaims, GpuBenefitDecaysWithNodes) {
+  const auto el = graph::make_dataset("uk-2007", kScale);
+  auto improvement = [&](int nodes) {
+    const auto cpu = mst::run_mnd_mst(el, cray_mnd(nodes, false));
+    const auto gpu = mst::run_mnd_mst(el, cray_mnd(nodes, true));
+    return 1.0 - gpu.total_seconds / cpu.total_seconds;
+  };
+  const double at1 = improvement(1);
+  const double at16 = improvement(16);
+  EXPECT_GT(at1, 0.10);  // a real benefit on one node
+  EXPECT_LT(at16, at1);  // decaying with scale
+}
+
+// Paper §3.4: the hierarchical merge respects a finite per-node memory
+// capacity end to end.
+TEST(PaperClaims, HierarchicalMergeRespectsMemoryBound) {
+  const auto el = graph::make_dataset("arabic-2005", 0.1);
+  auto opts = amd_mnd(16);
+  opts.node_memory_bytes = 6u << 20;  // finite but sufficient
+  const auto r = mst::run_mnd_mst(el, opts);
+  for (const auto& peak : r.run.rank_peak_memory) {
+    EXPECT_LE(peak, opts.node_memory_bytes);
+  }
+  EXPECT_EQ(r.forest.num_components,
+            el.num_vertices() - r.forest.edges.size());
+}
+
+}  // namespace
+}  // namespace mnd

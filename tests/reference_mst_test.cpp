@@ -1,0 +1,207 @@
+// Tests for the exact reference MST algorithms, including cross-algorithm
+// property checks (Kruskal == Prim == Boruvka on the unique (w,id)-MST).
+#include <gtest/gtest.h>
+
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/reference_mst.hpp"
+#include "graph/union_find.hpp"
+#include "util/rng.hpp"
+
+namespace mnd::graph {
+namespace {
+
+TEST(UnionFindTest, Basics) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_components(), 5u);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_TRUE(uf.connected(0, 1));
+  EXPECT_FALSE(uf.connected(0, 2));
+  EXPECT_EQ(uf.component_size(1), 2u);
+  EXPECT_EQ(uf.num_components(), 4u);
+}
+
+TEST(UnionFindTest, ChainsCompress) {
+  UnionFind uf(1000);
+  for (VertexId v = 0; v + 1 < 1000; ++v) uf.unite(v, v + 1);
+  EXPECT_EQ(uf.num_components(), 1u);
+  EXPECT_TRUE(uf.connected(0, 999));
+}
+
+TEST(KruskalTest, PathGraph) {
+  const EdgeList el = path_graph(10);
+  const MstResult r = kruskal_mst(el);
+  EXPECT_EQ(r.edges.size(), 9u);
+  EXPECT_EQ(r.total_weight, el.total_weight());
+  EXPECT_EQ(r.num_components, 1u);
+}
+
+TEST(KruskalTest, DisconnectedForest) {
+  EdgeList el(6);
+  el.add_edge(0, 1, 5);
+  el.add_edge(1, 2, 2);
+  el.add_edge(0, 2, 9);  // cycle edge, heaviest: excluded
+  el.add_edge(4, 5, 1);
+  const MstResult r = kruskal_mst(el);
+  EXPECT_EQ(r.edges.size(), 3u);
+  EXPECT_EQ(r.total_weight, 8u);
+  EXPECT_EQ(r.num_components, 3u);  // {0,1,2}, {3}, {4,5}
+}
+
+TEST(KruskalTest, TieBreakById) {
+  // Two parallel edges with equal weight: the earlier id must win.
+  EdgeList el(2);
+  const EdgeId first = el.add_edge(0, 1, 7);
+  el.add_edge(0, 1, 7);
+  const MstResult r = kruskal_mst(el);
+  ASSERT_EQ(r.edges.size(), 1u);
+  EXPECT_EQ(r.edges[0], first);
+}
+
+TEST(KruskalTest, EmptyGraph) {
+  EdgeList el(0);
+  const MstResult r = kruskal_mst(el);
+  EXPECT_TRUE(r.edges.empty());
+  EXPECT_EQ(r.num_components, 0u);
+}
+
+TEST(KruskalTest, IsolatedVerticesOnly) {
+  EdgeList el(5);
+  const MstResult r = kruskal_mst(el);
+  EXPECT_TRUE(r.edges.empty());
+  EXPECT_EQ(r.num_components, 5u);
+}
+
+TEST(PrimTest, MatchesKruskalOnRandomGraphs) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const EdgeList el = erdos_renyi(200, 800, seed);
+    const Csr g = Csr::from_edge_list(el);
+    const MstResult k = kruskal_mst(el);
+    const MstResult p = prim_mst(g);
+    EXPECT_EQ(p.total_weight, k.total_weight) << "seed " << seed;
+    EXPECT_EQ(p.edges.size(), k.edges.size());
+    EXPECT_EQ(p.num_components, k.num_components);
+  }
+}
+
+TEST(PrimTest, ExactEdgeSetMatchesKruskal) {
+  // With the strict (w,id) order the MST is unique, so the edge *sets*
+  // must be identical, not just the weights.
+  const EdgeList el = erdos_renyi(150, 600, 42);
+  const Csr g = Csr::from_edge_list(el);
+  EXPECT_EQ(prim_mst(g).edges, kruskal_mst(el).edges);
+}
+
+TEST(BoruvkaTest, MatchesKruskalOnRandomGraphs) {
+  for (std::uint64_t seed = 10; seed < 18; ++seed) {
+    const EdgeList el = erdos_renyi(200, 700, seed);
+    const Csr g = Csr::from_edge_list(el);
+    EXPECT_EQ(boruvka_mst(g).edges, kruskal_mst(el).edges) << seed;
+  }
+}
+
+TEST(BoruvkaTest, PowerLawGraph) {
+  const EdgeList el = rmat(10, 5000, 77);
+  const Csr g = Csr::from_edge_list(el);
+  EXPECT_EQ(boruvka_mst(g).total_weight, kruskal_mst(el).total_weight);
+}
+
+TEST(BoruvkaTest, DuplicateWeights) {
+  // All weights equal: correctness must come from id tie-breaking.
+  EdgeList el(50);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const auto u = static_cast<VertexId>(rng.next_below(50));
+    const auto v = static_cast<VertexId>(rng.next_below(50));
+    if (u != v) el.add_edge(u, v, 7);
+  }
+  const Csr g = Csr::from_edge_list(el);
+  EXPECT_EQ(boruvka_mst(g).edges, kruskal_mst(el).edges);
+}
+
+TEST(ValidationTest, AcceptsOptimalForest) {
+  const EdgeList el = erdos_renyi(100, 300, 3);
+  const MstResult k = kruskal_mst(el);
+  EXPECT_TRUE(validate_spanning_forest(el, k.edges).ok);
+}
+
+TEST(ValidationTest, RejectsCycle) {
+  EdgeList el(3);
+  el.add_edge(0, 1, 1);
+  el.add_edge(1, 2, 1);
+  el.add_edge(0, 2, 1);
+  const auto v = validate_spanning_forest(el, {0, 1, 2});
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("cycle"), std::string::npos);
+}
+
+TEST(ValidationTest, RejectsNonSpanning) {
+  const EdgeList el = path_graph(5);
+  const auto v = validate_spanning_forest(el, {0, 1});  // missing 2 edges
+  EXPECT_FALSE(v.ok);
+}
+
+TEST(ValidationTest, RejectsSuboptimal) {
+  EdgeList el(3);
+  el.add_edge(0, 1, 1);
+  el.add_edge(1, 2, 1);
+  el.add_edge(0, 2, 100);
+  const auto v = validate_spanning_forest(el, {0, 2});  // uses heavy edge
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("weight"), std::string::npos);
+}
+
+TEST(ValidationTest, RejectsDuplicates) {
+  const EdgeList el = path_graph(5);
+  EXPECT_FALSE(validate_spanning_forest(el, {0, 0, 1, 2}).ok);
+}
+
+TEST(ValidationTest, RejectsOutOfRangeId) {
+  const EdgeList el = path_graph(3);
+  EXPECT_FALSE(validate_spanning_forest(el, {99}).ok);
+}
+
+// Parameterized cross-check across graph families.
+struct FamilyCase {
+  const char* name;
+  EdgeList (*make)(std::uint64_t seed);
+};
+
+EdgeList make_er(std::uint64_t s) { return erdos_renyi(300, 1500, s); }
+EdgeList make_rmat(std::uint64_t s) { return rmat(9, 3000, s); }
+EdgeList make_road(std::uint64_t s) {
+  return road_grid(20, 18, 0.05, 0.1, s);
+}
+EdgeList make_web(std::uint64_t s) {
+  WebGraphParams p;
+  p.n = 512;
+  p.target_edges = 4000;
+  p.seed = s;
+  return web_graph(p);
+}
+
+class MstFamilyTest : public ::testing::TestWithParam<FamilyCase> {};
+
+TEST_P(MstFamilyTest, AllThreeAlgorithmsAgree) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const EdgeList el = GetParam().make(seed);
+    const Csr g = Csr::from_edge_list(el);
+    const MstResult k = kruskal_mst(el);
+    EXPECT_EQ(prim_mst(g).edges, k.edges);
+    EXPECT_EQ(boruvka_mst(g).edges, k.edges);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, MstFamilyTest,
+    ::testing::Values(FamilyCase{"erdos", &make_er},
+                      FamilyCase{"rmat", &make_rmat},
+                      FamilyCase{"road", &make_road},
+                      FamilyCase{"web", &make_web}),
+    [](const ::testing::TestParamInfo<FamilyCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace mnd::graph

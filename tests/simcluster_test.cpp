@@ -1,0 +1,422 @@
+// Tests for the simulated cluster: messaging, collectives, virtual-time
+// causality, determinism, memory accounting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "simcluster/cluster.hpp"
+#include "simcluster/communicator.hpp"
+#include "simcluster/mem_tracker.hpp"
+#include "simcluster/message.hpp"
+#include "util/check.hpp"
+
+namespace mnd::sim {
+namespace {
+
+ClusterConfig config_of(int ranks) {
+  ClusterConfig c;
+  c.num_ranks = ranks;
+  return c;
+}
+
+// ---- serialization -----------------------------------------------------------
+
+TEST(SerializationTest, PodRoundTrip) {
+  Serializer s;
+  s.put<std::uint32_t>(7);
+  s.put<double>(3.5);
+  s.put_string("hello");
+  s.put_vector(std::vector<std::uint64_t>{1, 2, 3});
+  const auto bytes = s.take();
+  Deserializer d(bytes);
+  EXPECT_EQ(d.get<std::uint32_t>(), 7u);
+  EXPECT_DOUBLE_EQ(d.get<double>(), 3.5);
+  EXPECT_EQ(d.get_string(), "hello");
+  EXPECT_EQ(d.get_vector<std::uint64_t>(),
+            (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_TRUE(d.exhausted());
+}
+
+TEST(SerializationTest, OverrunThrows) {
+  Serializer s;
+  s.put<std::uint16_t>(1);
+  const auto bytes = s.take();
+  Deserializer d(bytes);
+  EXPECT_THROW(d.get<std::uint64_t>(), CheckFailure);
+}
+
+TEST(SerializationTest, EmptyVector) {
+  Serializer s;
+  s.put_vector(std::vector<int>{});
+  const auto bytes = s.take();
+  Deserializer d(bytes);
+  EXPECT_TRUE(d.get_vector<int>().empty());
+}
+
+// ---- point to point ------------------------------------------------------------
+
+TEST(ClusterTest, SendRecvDeliversPayload) {
+  run_cluster(config_of(2), [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      Serializer s;
+      s.put<int>(42);
+      comm.send(1, 5, s.take());
+    } else {
+      const auto payload = comm.recv(0, 5);
+      Deserializer d(payload);
+      EXPECT_EQ(d.get<int>(), 42);
+    }
+  });
+}
+
+TEST(ClusterTest, TagMatching) {
+  run_cluster(config_of(2), [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      Serializer s1;
+      s1.put<int>(1);
+      Serializer s2;
+      s2.put<int>(2);
+      comm.send(1, /*tag=*/100, s1.take());
+      comm.send(1, /*tag=*/200, s2.take());
+    } else {
+      // Receive in reverse tag order; matching must be per (src, tag).
+      const auto p2 = comm.recv(0, 200);
+      Deserializer d2(p2);
+      EXPECT_EQ(d2.get<int>(), 2);
+      const auto p1 = comm.recv(0, 100);
+      Deserializer d1(p1);
+      EXPECT_EQ(d1.get<int>(), 1);
+    }
+  });
+}
+
+TEST(ClusterTest, FifoPerTag) {
+  run_cluster(config_of(2), [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 10; ++i) {
+        Serializer s;
+        s.put<int>(i);
+        comm.send(1, 9, s.take());
+      }
+    } else {
+      for (int i = 0; i < 10; ++i) {
+        const auto payload = comm.recv(0, 9);
+        Deserializer d(payload);
+        EXPECT_EQ(d.get<int>(), i);
+      }
+    }
+  });
+}
+
+TEST(ClusterTest, ExchangeIsSymmetric) {
+  run_cluster(config_of(2), [](Communicator& comm) {
+    Serializer s;
+    s.put<int>(comm.rank());
+    const auto got = comm.exchange(1 - comm.rank(), 3, s.take());
+    Deserializer d(got);
+    EXPECT_EQ(d.get<int>(), 1 - comm.rank());
+  });
+}
+
+// ---- virtual time ----------------------------------------------------------------
+
+TEST(ClusterTest, RecvRespectsCausality) {
+  // Rank 0 computes 1s then sends; rank 1 receives immediately. The
+  // receive cannot complete before the send's arrival time.
+  const RunReport report = run_cluster(config_of(2), [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.compute(1.0, "work");
+      comm.send(1, 1, std::vector<std::uint8_t>(1000, 0));
+    } else {
+      (void)comm.recv(0, 1);
+      EXPECT_GT(comm.clock().now(), 1.0);
+    }
+  });
+  EXPECT_GT(report.makespan, 1.0);
+  // Rank 1 spent most of its time waiting.
+  EXPECT_GT(report.rank_comm[1].wait_seconds, 0.9);
+}
+
+TEST(ClusterTest, ComputeChargesPhases) {
+  const RunReport report = run_cluster(config_of(1), [](Communicator& comm) {
+    comm.compute(0.25, "indComp");
+    comm.compute(0.50, "indComp");
+    comm.compute(0.125, "merge");
+  });
+  EXPECT_DOUBLE_EQ(report.rank_phases[0].get("indComp"), 0.75);
+  EXPECT_DOUBLE_EQ(report.rank_phases[0].get("merge"), 0.125);
+  EXPECT_DOUBLE_EQ(report.makespan, 0.875);
+}
+
+TEST(ClusterTest, VirtualTimeDeterministicAcrossRuns) {
+  auto body = [](Communicator& comm) {
+    // Irregular compute so clocks differ across ranks.
+    comm.compute(0.01 * (comm.rank() + 1), "work");
+    const std::uint64_t total =
+        comm.allreduce_sum(static_cast<std::uint64_t>(comm.rank()), 8);
+    EXPECT_EQ(total, 6u);  // 0+1+2+3
+    comm.barrier(9);
+  };
+  const RunReport a = run_cluster(config_of(4), body);
+  const RunReport b = run_cluster(config_of(4), body);
+  ASSERT_EQ(a.rank_finish_times.size(), b.rank_finish_times.size());
+  for (std::size_t i = 0; i < a.rank_finish_times.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.rank_finish_times[i], b.rank_finish_times[i]);
+  }
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+}
+
+TEST(ClusterTest, SendOccupancyScalesWithBytes) {
+  ClusterConfig cfg = config_of(2);
+  cfg.net.gap_per_byte = 1e-6;
+  cfg.net.overhead = 0.0;
+  const RunReport report = run_cluster(cfg, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 1, std::vector<std::uint8_t>(1000, 0));
+    } else {
+      (void)comm.recv(0, 1);
+    }
+  });
+  EXPECT_NEAR(report.rank_comm[0].comm_seconds, 1e-3, 1e-9);
+}
+
+// ---- collectives -------------------------------------------------------------------
+
+class CollectiveTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveTest, AllreduceSum) {
+  const int p = GetParam();
+  run_cluster(config_of(p), [p](Communicator& comm) {
+    const auto total = comm.allreduce_sum(
+        static_cast<std::uint64_t>(comm.rank() + 1), 1);
+    EXPECT_EQ(total, static_cast<std::uint64_t>(p) * (p + 1) / 2);
+  });
+}
+
+TEST_P(CollectiveTest, AllreduceMax) {
+  const int p = GetParam();
+  run_cluster(config_of(p), [p](Communicator& comm) {
+    const auto m = comm.allreduce_max(
+        static_cast<std::uint64_t>(comm.rank() * 10), 2);
+    EXPECT_EQ(m, static_cast<std::uint64_t>(p - 1) * 10);
+  });
+}
+
+TEST_P(CollectiveTest, AllreduceVector) {
+  const int p = GetParam();
+  run_cluster(config_of(p), [p](Communicator& comm) {
+    std::vector<std::uint64_t> v{1, static_cast<std::uint64_t>(comm.rank())};
+    const auto out = comm.allreduce_sum_vec(std::move(v), 3);
+    EXPECT_EQ(out[0], static_cast<std::uint64_t>(p));
+    EXPECT_EQ(out[1], static_cast<std::uint64_t>(p) * (p - 1) / 2);
+  });
+}
+
+TEST_P(CollectiveTest, BroadcastFromEveryRoot) {
+  const int p = GetParam();
+  for (int root = 0; root < p; ++root) {
+    run_cluster(config_of(p), [root](Communicator& comm) {
+      Serializer s;
+      if (comm.rank() == root) s.put<int>(123 + root);
+      auto out = comm.broadcast(s.take(), root, 4);
+      Deserializer d(out);
+      EXPECT_EQ(d.get<int>(), 123 + root);
+    });
+  }
+}
+
+TEST_P(CollectiveTest, GatherCollectsInRankOrder) {
+  const int p = GetParam();
+  run_cluster(config_of(p), [p](Communicator& comm) {
+    Serializer s;
+    s.put<int>(comm.rank() * 2);
+    auto out = comm.gather(s.take(), 0, 5);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(out.size(), static_cast<std::size_t>(p));
+      for (int r = 0; r < p; ++r) {
+        Deserializer d(out[static_cast<std::size_t>(r)]);
+        EXPECT_EQ(d.get<int>(), r * 2);
+      }
+    } else {
+      EXPECT_TRUE(out.empty());
+    }
+  });
+}
+
+TEST_P(CollectiveTest, AllGather) {
+  const int p = GetParam();
+  run_cluster(config_of(p), [p](Communicator& comm) {
+    Serializer s;
+    s.put<int>(100 + comm.rank());
+    auto out = comm.all_gather(s.take(), 6);
+    ASSERT_EQ(out.size(), static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      Deserializer d(out[static_cast<std::size_t>(r)]);
+      EXPECT_EQ(d.get<int>(), 100 + r);
+    }
+  });
+}
+
+TEST_P(CollectiveTest, Barrier) {
+  const int p = GetParam();
+  run_cluster(config_of(p), [](Communicator& comm) {
+    comm.compute(0.001 * comm.rank(), "w");
+    comm.barrier(7);
+    // After a barrier, every clock is at least the slowest pre-barrier
+    // clock (dissemination guarantees transitive dependence).
+    EXPECT_GE(comm.clock().now(), 0.001 * (comm.size() - 1));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CollectiveTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 16));
+
+// ---- subgroup collectives ------------------------------------------------------------
+
+TEST(GroupTest, RankOfAndContains) {
+  Group g{{2, 5, 9}};
+  EXPECT_EQ(g.rank_of(5), 1);
+  EXPECT_EQ(g.rank_of(3), -1);
+  EXPECT_TRUE(g.contains(9));
+  EXPECT_FALSE(g.contains(0));
+}
+
+TEST(GroupTest, SubgroupAllreduceIgnoresOutsiders) {
+  run_cluster(config_of(6), [](Communicator& comm) {
+    const Group g{{1, 3, 5}};
+    if (g.contains(comm.rank())) {
+      const auto total = comm.group_allreduce_sum(g, 10, 11);
+      EXPECT_EQ(total, 30u);
+    }
+  });
+}
+
+TEST(GroupTest, SubgroupMin) {
+  run_cluster(config_of(4), [](Communicator& comm) {
+    const Group g{{0, 1, 2, 3}};
+    const auto m = comm.group_allreduce_min(
+        g, static_cast<std::uint64_t>(100 - comm.rank()), 12);
+    EXPECT_EQ(m, 97u);
+  });
+}
+
+TEST(GroupTest, RingShiftMovesPayloadLeft) {
+  run_cluster(config_of(4), [](Communicator& comm) {
+    const Group g{{0, 1, 2, 3}};
+    Serializer s;
+    s.put<int>(comm.rank());
+    auto got = comm.ring_shift(g, 13, s.take());
+    Deserializer d(got);
+    // I receive from my right neighbor (rank+1 mod 4).
+    EXPECT_EQ(d.get<int>(), (comm.rank() + 1) % 4);
+  });
+}
+
+TEST(GroupTest, RingShiftSingleMember) {
+  run_cluster(config_of(2), [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      const Group g{{0}};
+      Serializer s;
+      s.put<int>(77);
+      auto got = comm.ring_shift(g, 14, s.take());
+      Deserializer d(got);
+      EXPECT_EQ(d.get<int>(), 77);
+    }
+  });
+}
+
+TEST(GroupTest, TwoGroupsProceedIndependently) {
+  run_cluster(config_of(4), [](Communicator& comm) {
+    const Group mine = comm.rank() < 2 ? Group{{0, 1}} : Group{{2, 3}};
+    for (int i = 0; i < 5; ++i) {
+      const auto total = comm.group_allreduce_sum(mine, 1, 15);
+      EXPECT_EQ(total, 2u);
+    }
+  });
+}
+
+// ---- error propagation ------------------------------------------------------------------
+
+TEST(ClusterTest, RankExceptionPropagatesAndUnblocksOthers) {
+  EXPECT_THROW(
+      run_cluster(config_of(3),
+                  [](Communicator& comm) {
+                    if (comm.rank() == 0) {
+                      throw std::runtime_error("rank 0 died");
+                    }
+                    // Other ranks block forever on a message that will
+                    // never come; poisoning must unblock them.
+                    (void)comm.recv(0, 99);
+                  }),
+      std::runtime_error);
+}
+
+// ---- memory tracker ----------------------------------------------------------------------
+
+TEST(MemTrackerTest, ChargesAndPeaks) {
+  MemTracker mem(1000);
+  mem.charge(400);
+  mem.charge(300);
+  EXPECT_EQ(mem.used(), 700u);
+  EXPECT_EQ(mem.peak(), 700u);
+  mem.release(500);
+  EXPECT_EQ(mem.used(), 200u);
+  EXPECT_EQ(mem.peak(), 700u);
+  EXPECT_EQ(mem.available(), 800u);
+  EXPECT_TRUE(mem.can_fit(800));
+  EXPECT_FALSE(mem.can_fit(801));
+}
+
+TEST(MemTrackerTest, CapacityViolationThrows) {
+  MemTracker mem(100);
+  mem.charge(90);
+  EXPECT_THROW(mem.charge(20), CheckFailure);
+}
+
+TEST(MemTrackerTest, OverReleaseThrows) {
+  MemTracker mem(100);
+  mem.charge(10);
+  EXPECT_THROW(mem.release(20), CheckFailure);
+}
+
+TEST(MemTrackerTest, ScopedCharge) {
+  MemTracker mem(100);
+  {
+    ScopedCharge charge(mem, 60);
+    EXPECT_EQ(mem.used(), 60u);
+  }
+  EXPECT_EQ(mem.used(), 0u);
+}
+
+TEST(MemTrackerTest, ClusterConfiguredCapacity) {
+  ClusterConfig cfg = config_of(2);
+  cfg.rank_memory_bytes = 512;
+  EXPECT_THROW(run_cluster(cfg,
+                           [](Communicator& comm) {
+                             comm.memory().charge(1024);
+                           }),
+               CheckFailure);
+}
+
+// ---- phase breakdown ------------------------------------------------------------------------
+
+TEST(PhaseBreakdownTest, MergeMaxAndSum) {
+  PhaseBreakdown a;
+  a.add("x", 1.0);
+  a.add("y", 2.0);
+  PhaseBreakdown b;
+  b.add("x", 3.0);
+  b.add("z", 0.5);
+  PhaseBreakdown max = a;
+  max.merge_max(b);
+  EXPECT_DOUBLE_EQ(max.get("x"), 3.0);
+  EXPECT_DOUBLE_EQ(max.get("y"), 2.0);
+  EXPECT_DOUBLE_EQ(max.get("z"), 0.5);
+  PhaseBreakdown sum = a;
+  sum.merge_sum(b);
+  EXPECT_DOUBLE_EQ(sum.get("x"), 4.0);
+  EXPECT_DOUBLE_EQ(sum.total(), 6.5);
+}
+
+}  // namespace
+}  // namespace mnd::sim

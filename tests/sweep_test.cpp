@@ -1,0 +1,156 @@
+// Parameterized correctness sweeps: the full MND-MST pipeline across the
+// cross product of graph family x rank count x group size x device mix,
+// every configuration validated against exact Kruskal. These are the
+// repository's broadest property tests: "any way you deploy it, the
+// forest is exactly the minimum spanning forest".
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "graph/datasets.hpp"
+#include "graph/generators.hpp"
+#include "graph/reference_mst.hpp"
+#include "bsp/msf.hpp"
+#include "mst/mnd_mst.hpp"
+
+namespace mnd {
+namespace {
+
+using graph::EdgeList;
+
+struct GraphCase {
+  const char* name;
+  EdgeList (*make)();
+};
+
+EdgeList sweep_er() { return graph::erdos_renyi(400, 1600, 101); }
+EdgeList sweep_rmat() { return graph::rmat(9, 4000, 103); }
+EdgeList sweep_web() {
+  graph::WebGraphParams p;
+  p.n = 1024;
+  p.target_edges = 8000;
+  p.hub_fraction = 0.1;
+  p.seed = 105;
+  return graph::web_graph(p);
+}
+EdgeList sweep_road() { return graph::road_grid(24, 20, 0.05, 0.2, 107); }
+EdgeList sweep_disconnected() {
+  // Two disjoint communities plus isolated vertices.
+  EdgeList el(700);
+  const EdgeList a = graph::erdos_renyi(300, 900, 109);
+  for (const auto& e : a.edges()) el.add_edge(e.u, e.v, e.w);
+  const EdgeList b = graph::erdos_renyi(300, 900, 111);
+  for (const auto& e : b.edges()) el.add_edge(300 + e.u, 300 + e.v, e.w);
+  return el;
+}
+EdgeList sweep_uniform_weights() {
+  // Every weight identical: correctness rests entirely on id tie-breaks.
+  EdgeList el = graph::erdos_renyi(300, 1500, 113);
+  EdgeList flat(el.num_vertices());
+  for (const auto& e : el.edges()) flat.add_edge(e.u, e.v, 5);
+  return flat;
+}
+
+using SweepParam = std::tuple<GraphCase, int /*ranks*/, int /*group*/,
+                              bool /*gpu*/>;
+
+class MndSweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(MndSweepTest, ForestIsExactMst) {
+  const auto& [graph_case, ranks, group, gpu] = GetParam();
+  const EdgeList el = graph_case.make();
+  mst::MndMstOptions opts;
+  opts.num_nodes = ranks;
+  opts.engine.group_size = group;
+  opts.engine.use_gpu = gpu;
+  const auto report = mst::run_mnd_mst(el, opts);
+  const auto validation =
+      graph::validate_spanning_forest(el, report.forest.edges);
+  EXPECT_TRUE(validation.ok) << validation.error;
+  // Sanity on the report.
+  EXPECT_GT(report.total_seconds, 0.0);
+  EXPECT_GE(report.total_seconds, report.comm_seconds);
+}
+
+std::string sweep_name(const ::testing::TestParamInfo<SweepParam>& info) {
+  const auto& [g, ranks, group, gpu] = info.param;
+  std::string name = g.name;
+  name += "_r" + std::to_string(ranks) + "_g" + std::to_string(group);
+  name += gpu ? "_gpu" : "_cpu";
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, MndSweepTest,
+    ::testing::Combine(
+        ::testing::Values(GraphCase{"er", &sweep_er},
+                          GraphCase{"rmat", &sweep_rmat},
+                          GraphCase{"web", &sweep_web},
+                          GraphCase{"road", &sweep_road},
+                          GraphCase{"disconnected", &sweep_disconnected},
+                          GraphCase{"flatweights", &sweep_uniform_weights}),
+        ::testing::Values(1, 2, 3, 5, 8, 16),
+        ::testing::Values(2, 4, 8),
+        ::testing::Values(false, true)),
+    sweep_name);
+
+// --- BSP / MND agreement sweep ----------------------------------------------
+
+using AgreeParam = std::tuple<GraphCase, int /*workers*/>;
+
+class AgreementSweepTest : public ::testing::TestWithParam<AgreeParam> {};
+
+TEST_P(AgreementSweepTest, BspAndMndProduceTheSameForest) {
+  const auto& [graph_case, workers] = GetParam();
+  const EdgeList el = graph_case.make();
+  bsp::BspOptions bopts;
+  bopts.num_workers = workers;
+  const auto bsp_report = bsp::run_bsp_msf(el, bopts);
+  mst::MndMstOptions mopts;
+  mopts.num_nodes = workers;
+  const auto mnd_report = mst::run_mnd_mst(el, mopts);
+  // The (weight, id) order makes the MST unique, so the edge *sets* match.
+  EXPECT_EQ(bsp_report.forest.edges, mnd_report.forest.edges);
+  EXPECT_TRUE(graph::validate_spanning_forest(el, bsp_report.forest.edges).ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, AgreementSweepTest,
+    ::testing::Combine(
+        ::testing::Values(GraphCase{"er", &sweep_er},
+                          GraphCase{"web", &sweep_web},
+                          GraphCase{"road", &sweep_road},
+                          GraphCase{"disconnected", &sweep_disconnected},
+                          GraphCase{"flatweights", &sweep_uniform_weights}),
+        ::testing::Values(1, 4, 7, 16)),
+    [](const ::testing::TestParamInfo<AgreeParam>& info) {
+      return std::string(std::get<0>(info.param).name) + "_w" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// --- dataset stand-in sweep ----------------------------------------------------
+
+class DatasetSweepTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DatasetSweepTest, StandInRunsExactlyAtSmallScale) {
+  const auto el = graph::make_dataset(GetParam(), 0.03);
+  mst::MndMstOptions opts;
+  opts.num_nodes = 8;
+  const auto report = mst::run_mnd_mst(el, opts);
+  const auto validation =
+      graph::validate_spanning_forest(el, report.forest.edges);
+  EXPECT_TRUE(validation.ok) << validation.error;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSix, DatasetSweepTest,
+                         ::testing::ValuesIn(graph::dataset_names()),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           std::string n = i.param;
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace mnd

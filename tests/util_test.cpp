@@ -1,0 +1,377 @@
+// Unit tests for src/util: check macros, logging, rng, flat hash,
+// thread pool, stats, table printer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/flat_hash.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace mnd {
+namespace {
+
+// ---- check macros -----------------------------------------------------------
+
+TEST(CheckTest, PassingCheckDoesNothing) {
+  EXPECT_NO_THROW(MND_CHECK(1 + 1 == 2));
+}
+
+TEST(CheckTest, FailingCheckThrowsCheckFailure) {
+  EXPECT_THROW(MND_CHECK(false), CheckFailure);
+}
+
+TEST(CheckTest, MessageIsIncluded) {
+  try {
+    MND_CHECK_MSG(false, "value was " << 42);
+    FAIL() << "should have thrown";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("value was 42"), std::string::npos);
+  }
+}
+
+// ---- logging ----------------------------------------------------------------
+
+TEST(LoggingTest, ParseLevels) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::Trace);
+  EXPECT_EQ(parse_log_level("DEBUG"), LogLevel::Debug);
+  EXPECT_EQ(parse_log_level("Info"), LogLevel::Info);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::Warn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::Error);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::Off);
+  EXPECT_EQ(parse_log_level("bogus"), LogLevel::Info);
+}
+
+TEST(LoggingTest, SetAndGetLevel) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+  set_log_level(before);
+}
+
+// ---- rng --------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBelowCoversAllResidues) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextInInclusiveBounds) {
+  Rng rng(11);
+  bool hit_lo = false;
+  bool hit_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto x = rng.next_in(3, 5);
+    EXPECT_GE(x, 3u);
+    EXPECT_LE(x, 5u);
+    hit_lo |= (x == 3);
+    hit_hi |= (x == 5);
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoolRoughlyMatchesP) {
+  Rng rng(15);
+  int heads = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) heads += rng.next_bool(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.25, 0.02);
+}
+
+TEST(RngTest, SplitProducesIndependentStreams) {
+  Rng base(42);
+  Rng s1 = base.split(1);
+  Rng s2 = base.split(2);
+  EXPECT_NE(s1.next(), s2.next());
+  // Splitting again with the same stream id reproduces the stream.
+  Rng s1_again = base.split(1);
+  Rng s1_fresh = base.split(1);
+  EXPECT_EQ(s1_again.next(), s1_fresh.next());
+}
+
+TEST(RngTest, Mix64Avalanche) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int total_flips = 0;
+  for (int bit = 0; bit < 64; ++bit) {
+    const std::uint64_t a = mix64(0x1234567890ABCDEFULL);
+    const std::uint64_t b = mix64(0x1234567890ABCDEFULL ^ (1ULL << bit));
+    total_flips += __builtin_popcountll(a ^ b);
+  }
+  const double avg = total_flips / 64.0;
+  EXPECT_GT(avg, 24.0);
+  EXPECT_LT(avg, 40.0);
+}
+
+// ---- flat hash ---------------------------------------------------------------
+
+TEST(FlatHashTest, InsertFind) {
+  FlatHashMap<int, int> m;
+  EXPECT_TRUE(m.insert_or_assign(1, 10));
+  EXPECT_FALSE(m.insert_or_assign(1, 20));  // overwrite, not fresh
+  EXPECT_EQ(*m.find(1), 20);
+  EXPECT_EQ(m.find(2), nullptr);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatHashTest, OperatorBracketDefaultConstructs) {
+  FlatHashMap<int, int> m;
+  EXPECT_EQ(m[5], 0);
+  m[5] = 7;
+  EXPECT_EQ(m[5], 7);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatHashTest, EraseAndTombstoneReuse) {
+  FlatHashMap<int, int> m;
+  for (int i = 0; i < 100; ++i) m.insert_or_assign(i, i);
+  for (int i = 0; i < 100; i += 2) EXPECT_TRUE(m.erase(i));
+  EXPECT_EQ(m.size(), 50u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(m.contains(i), i % 2 == 1) << i;
+  }
+  // Reinsert over tombstones.
+  for (int i = 0; i < 100; i += 2) m.insert_or_assign(i, -i);
+  EXPECT_EQ(m.size(), 100u);
+  EXPECT_EQ(*m.find(10), -10);
+}
+
+TEST(FlatHashTest, GrowthPreservesEntries) {
+  FlatHashMap<std::uint64_t, std::uint64_t> m(4);
+  const std::size_t n = 10000;
+  for (std::uint64_t i = 0; i < n; ++i) m.insert_or_assign(i * 7919, i);
+  EXPECT_EQ(m.size(), n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ASSERT_NE(m.find(i * 7919), nullptr) << i;
+    EXPECT_EQ(*m.find(i * 7919), i);
+  }
+}
+
+TEST(FlatHashTest, ForEachVisitsAllOnce) {
+  FlatHashMap<int, int> m;
+  for (int i = 0; i < 500; ++i) m.insert_or_assign(i, 2 * i);
+  std::set<int> keys;
+  m.for_each([&](const int& k, const int& v) {
+    EXPECT_EQ(v, 2 * k);
+    EXPECT_TRUE(keys.insert(k).second);
+  });
+  EXPECT_EQ(keys.size(), 500u);
+}
+
+TEST(FlatHashTest, PairKeys) {
+  FlatHashMap<std::pair<std::uint32_t, std::uint32_t>, int> m;
+  m.insert_or_assign({1, 2}, 12);
+  m.insert_or_assign({2, 1}, 21);
+  EXPECT_EQ(*m.find({1, 2}), 12);
+  EXPECT_EQ(*m.find({2, 1}), 21);
+}
+
+TEST(FlatHashTest, SetSemantics) {
+  FlatHashSet<int> s;
+  EXPECT_TRUE(s.insert(3));
+  EXPECT_FALSE(s.insert(3));
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_FALSE(s.contains(4));
+  EXPECT_TRUE(s.erase(3));
+  EXPECT_FALSE(s.erase(3));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(FlatHashTest, ClearResets) {
+  FlatHashMap<int, int> m;
+  for (int i = 0; i < 64; ++i) m.insert_or_assign(i, i);
+  m.clear();
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_FALSE(m.contains(5));
+  m.insert_or_assign(5, 5);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+// ---- thread pool --------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ParallelForChunksPartition) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.parallel_for_chunks(0, 103, [&](std::size_t lo, std::size_t hi) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(lo, hi);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  std::size_t expect = 0;
+  for (const auto& [lo, hi] : chunks) {
+    EXPECT_EQ(lo, expect);
+    EXPECT_GT(hi, lo);
+    expect = hi;
+  }
+  EXPECT_EQ(expect, 103u);
+}
+
+// ---- stats ---------------------------------------------------------------------
+
+TEST(StatsTest, AccumulatorBasics) {
+  StatAccumulator acc;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 4u);
+  EXPECT_DOUBLE_EQ(acc.sum(), 10.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+  EXPECT_NEAR(acc.variance(), 1.25, 1e-12);
+}
+
+TEST(StatsTest, MergeMatchesCombined) {
+  StatAccumulator a;
+  StatAccumulator b;
+  StatAccumulator all;
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.next_double() * 10;
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(StatsTest, EmptyAccumulator) {
+  StatAccumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(StatsTest, Percentile) {
+  std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 5.5);
+}
+
+TEST(StatsTest, PercentileSingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({42.0}, 73.0), 42.0);
+}
+
+TEST(StatsTest, GeometricMean) {
+  EXPECT_DOUBLE_EQ(geometric_mean({}), 0.0);
+  EXPECT_NEAR(geometric_mean({2.0, 8.0}), 4.0, 1e-12);
+  EXPECT_NEAR(geometric_mean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+}
+
+// ---- table ----------------------------------------------------------------------
+
+TEST(TableTest, PrintsHeaderAndRows) {
+  TextTable t({"Graph", "Time"});
+  t.add_row({"road_usa", "21.56"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("Graph"), std::string::npos);
+  EXPECT_NE(out.find("road_usa"), std::string::npos);
+  EXPECT_NE(out.find("21.56"), std::string::npos);
+}
+
+TEST(TableTest, RejectsWrongWidth) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckFailure);
+}
+
+TEST(TableTest, NumFormatting) {
+  EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::num(1.5, 0), "2");
+}
+
+// ---- timer -----------------------------------------------------------------------
+
+TEST(TimerTest, MeasuresElapsed) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(t.seconds(), 0.005);
+  t.reset();
+  EXPECT_LT(t.seconds(), 0.5);
+}
+
+TEST(TimerTest, ScopedTimerAccumulates) {
+  double sink = 0.0;
+  {
+    ScopedTimer st(&sink);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GT(sink, 0.0);
+}
+
+}  // namespace
+}  // namespace mnd
