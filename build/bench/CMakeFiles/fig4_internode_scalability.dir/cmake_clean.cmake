@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_internode_scalability.dir/fig4_internode_scalability.cpp.o"
+  "CMakeFiles/fig4_internode_scalability.dir/fig4_internode_scalability.cpp.o.d"
+  "fig4_internode_scalability"
+  "fig4_internode_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_internode_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

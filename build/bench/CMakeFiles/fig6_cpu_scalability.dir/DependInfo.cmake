@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig6_cpu_scalability.cpp" "bench/CMakeFiles/fig6_cpu_scalability.dir/fig6_cpu_scalability.cpp.o" "gcc" "bench/CMakeFiles/fig6_cpu_scalability.dir/fig6_cpu_scalability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mst/CMakeFiles/mnd_mst.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypar/CMakeFiles/mnd_hypar.dir/DependInfo.cmake"
+  "/root/repo/build/src/mst/CMakeFiles/mnd_mstcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/bsp/CMakeFiles/mnd_bsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/mnd_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcluster/CMakeFiles/mnd_simcluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mnd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mnd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypar_components.dir/hypar_components.cpp.o"
+  "CMakeFiles/hypar_components.dir/hypar_components.cpp.o.d"
+  "hypar_components"
+  "hypar_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypar_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

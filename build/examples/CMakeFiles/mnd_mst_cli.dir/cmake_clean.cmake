@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnd_mst_cli.dir/mnd_mst_cli.cpp.o"
+  "CMakeFiles/mnd_mst_cli.dir/mnd_mst_cli.cpp.o.d"
+  "mnd_mst_cli"
+  "mnd_mst_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnd_mst_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/road_network_mst.dir/road_network_mst.cpp.o"
+  "CMakeFiles/road_network_mst.dir/road_network_mst.cpp.o.d"
+  "road_network_mst"
+  "road_network_mst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/road_network_mst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_network_mst.dir/social_network_mst.cpp.o"
+  "CMakeFiles/social_network_mst.dir/social_network_mst.cpp.o.d"
+  "social_network_mst"
+  "social_network_mst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_network_mst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

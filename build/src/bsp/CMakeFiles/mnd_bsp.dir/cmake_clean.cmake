@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnd_bsp.dir/msf.cpp.o"
+  "CMakeFiles/mnd_bsp.dir/msf.cpp.o.d"
+  "libmnd_bsp.a"
+  "libmnd_bsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnd_bsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/calibration.cpp" "src/device/CMakeFiles/mnd_device.dir/calibration.cpp.o" "gcc" "src/device/CMakeFiles/mnd_device.dir/calibration.cpp.o.d"
+  "/root/repo/src/device/device.cpp" "src/device/CMakeFiles/mnd_device.dir/device.cpp.o" "gcc" "src/device/CMakeFiles/mnd_device.dir/device.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mnd_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mnd_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnd_device.dir/calibration.cpp.o"
+  "CMakeFiles/mnd_device.dir/calibration.cpp.o.d"
+  "CMakeFiles/mnd_device.dir/device.cpp.o"
+  "CMakeFiles/mnd_device.dir/device.cpp.o.d"
+  "libmnd_device.a"
+  "libmnd_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnd_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

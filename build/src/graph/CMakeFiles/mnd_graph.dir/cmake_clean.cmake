@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnd_graph.dir/csr.cpp.o"
+  "CMakeFiles/mnd_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/mnd_graph.dir/datasets.cpp.o"
+  "CMakeFiles/mnd_graph.dir/datasets.cpp.o.d"
+  "CMakeFiles/mnd_graph.dir/edge_list.cpp.o"
+  "CMakeFiles/mnd_graph.dir/edge_list.cpp.o.d"
+  "CMakeFiles/mnd_graph.dir/generators.cpp.o"
+  "CMakeFiles/mnd_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/mnd_graph.dir/io.cpp.o"
+  "CMakeFiles/mnd_graph.dir/io.cpp.o.d"
+  "CMakeFiles/mnd_graph.dir/reference_mst.cpp.o"
+  "CMakeFiles/mnd_graph.dir/reference_mst.cpp.o.d"
+  "CMakeFiles/mnd_graph.dir/traversal.cpp.o"
+  "CMakeFiles/mnd_graph.dir/traversal.cpp.o.d"
+  "libmnd_graph.a"
+  "libmnd_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnd_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnd_hypar.dir/engine.cpp.o"
+  "CMakeFiles/mnd_hypar.dir/engine.cpp.o.d"
+  "CMakeFiles/mnd_hypar.dir/ghost.cpp.o"
+  "CMakeFiles/mnd_hypar.dir/ghost.cpp.o.d"
+  "CMakeFiles/mnd_hypar.dir/partition.cpp.o"
+  "CMakeFiles/mnd_hypar.dir/partition.cpp.o.d"
+  "libmnd_hypar.a"
+  "libmnd_hypar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnd_hypar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

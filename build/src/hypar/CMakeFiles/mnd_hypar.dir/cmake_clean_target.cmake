@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmnd_hypar.a"
+)

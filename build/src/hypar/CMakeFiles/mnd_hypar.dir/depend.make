@@ -1,0 +1,2 @@
+# Empty dependencies file for mnd_hypar.
+# This may be replaced when dependencies are built.

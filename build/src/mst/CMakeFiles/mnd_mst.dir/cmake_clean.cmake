@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnd_mst.dir/mnd_mst.cpp.o"
+  "CMakeFiles/mnd_mst.dir/mnd_mst.cpp.o.d"
+  "libmnd_mst.a"
+  "libmnd_mst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnd_mst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnd_mstcore.dir/comp_graph.cpp.o"
+  "CMakeFiles/mnd_mstcore.dir/comp_graph.cpp.o.d"
+  "CMakeFiles/mnd_mstcore.dir/local_boruvka.cpp.o"
+  "CMakeFiles/mnd_mstcore.dir/local_boruvka.cpp.o.d"
+  "libmnd_mstcore.a"
+  "libmnd_mstcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnd_mstcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

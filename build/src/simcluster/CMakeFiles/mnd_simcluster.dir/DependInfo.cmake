@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simcluster/cluster.cpp" "src/simcluster/CMakeFiles/mnd_simcluster.dir/cluster.cpp.o" "gcc" "src/simcluster/CMakeFiles/mnd_simcluster.dir/cluster.cpp.o.d"
+  "/root/repo/src/simcluster/communicator.cpp" "src/simcluster/CMakeFiles/mnd_simcluster.dir/communicator.cpp.o" "gcc" "src/simcluster/CMakeFiles/mnd_simcluster.dir/communicator.cpp.o.d"
+  "/root/repo/src/simcluster/virtual_clock.cpp" "src/simcluster/CMakeFiles/mnd_simcluster.dir/virtual_clock.cpp.o" "gcc" "src/simcluster/CMakeFiles/mnd_simcluster.dir/virtual_clock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mnd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

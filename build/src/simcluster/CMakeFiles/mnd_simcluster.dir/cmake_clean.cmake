@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnd_simcluster.dir/cluster.cpp.o"
+  "CMakeFiles/mnd_simcluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/mnd_simcluster.dir/communicator.cpp.o"
+  "CMakeFiles/mnd_simcluster.dir/communicator.cpp.o.d"
+  "CMakeFiles/mnd_simcluster.dir/virtual_clock.cpp.o"
+  "CMakeFiles/mnd_simcluster.dir/virtual_clock.cpp.o.d"
+  "libmnd_simcluster.a"
+  "libmnd_simcluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnd_simcluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

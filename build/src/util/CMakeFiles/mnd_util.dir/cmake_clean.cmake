@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnd_util.dir/logging.cpp.o"
+  "CMakeFiles/mnd_util.dir/logging.cpp.o.d"
+  "CMakeFiles/mnd_util.dir/rng.cpp.o"
+  "CMakeFiles/mnd_util.dir/rng.cpp.o.d"
+  "CMakeFiles/mnd_util.dir/stats.cpp.o"
+  "CMakeFiles/mnd_util.dir/stats.cpp.o.d"
+  "CMakeFiles/mnd_util.dir/table.cpp.o"
+  "CMakeFiles/mnd_util.dir/table.cpp.o.d"
+  "CMakeFiles/mnd_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/mnd_util.dir/thread_pool.cpp.o.d"
+  "libmnd_util.a"
+  "libmnd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_boruvka.dir/local_boruvka_test.cpp.o"
+  "CMakeFiles/test_boruvka.dir/local_boruvka_test.cpp.o.d"
+  "test_boruvka"
+  "test_boruvka.pdb"
+  "test_boruvka[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_boruvka.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

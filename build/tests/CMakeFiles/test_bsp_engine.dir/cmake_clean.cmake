@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bsp_engine.dir/bsp_engine_test.cpp.o"
+  "CMakeFiles/test_bsp_engine.dir/bsp_engine_test.cpp.o.d"
+  "test_bsp_engine"
+  "test_bsp_engine.pdb"
+  "test_bsp_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bsp_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compgraph.dir/compgraph_test.cpp.o"
+  "CMakeFiles/test_compgraph.dir/compgraph_test.cpp.o.d"
+  "test_compgraph"
+  "test_compgraph.pdb"
+  "test_compgraph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

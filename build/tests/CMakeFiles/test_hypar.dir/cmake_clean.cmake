@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hypar.dir/hypar_test.cpp.o"
+  "CMakeFiles/test_hypar.dir/hypar_test.cpp.o.d"
+  "test_hypar"
+  "test_hypar.pdb"
+  "test_hypar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hypar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mnd_mst.dir/mnd_mst_test.cpp.o"
+  "CMakeFiles/test_mnd_mst.dir/mnd_mst_test.cpp.o.d"
+  "test_mnd_mst"
+  "test_mnd_mst.pdb"
+  "test_mnd_mst[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mnd_mst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

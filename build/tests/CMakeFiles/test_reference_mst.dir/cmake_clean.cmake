@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reference_mst.dir/reference_mst_test.cpp.o"
+  "CMakeFiles/test_reference_mst.dir/reference_mst_test.cpp.o.d"
+  "test_reference_mst"
+  "test_reference_mst.pdb"
+  "test_reference_mst[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reference_mst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

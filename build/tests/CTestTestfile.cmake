@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_reference_mst[1]_include.cmake")
+include("/root/repo/build/tests/test_simcluster[1]_include.cmake")
+include("/root/repo/build/tests/test_device[1]_include.cmake")
+include("/root/repo/build/tests/test_compgraph[1]_include.cmake")
+include("/root/repo/build/tests/test_boruvka[1]_include.cmake")
+include("/root/repo/build/tests/test_hypar[1]_include.cmake")
+include("/root/repo/build/tests/test_mnd_mst[1]_include.cmake")
+include("/root/repo/build/tests/test_bsp[1]_include.cmake")
+include("/root/repo/build/tests/test_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_bsp_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_paper_claims[1]_include.cmake")
