@@ -10,14 +10,20 @@
 //
 // MND_BENCH_SCALE (env, default 1.0) shrinks the stand-ins further for
 // quick runs, e.g. MND_BENCH_SCALE=0.1 ./table3_pregel_comparison.
+// MND_METRICS_OUT (env, unset by default) names a directory; when set, the
+// bench binaries drop one metrics JSON per measured run into it (google-
+// benchmark owns argv, so this rides an env var rather than a flag).
 #pragma once
 
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 
 #include "bsp/msf.hpp"
 #include "graph/datasets.hpp"
 #include "mst/mnd_mst.hpp"
+#include "obs/export.hpp"
 
 namespace mnd::bench {
 
@@ -35,6 +41,13 @@ inline graph::EdgeList load_dataset(const std::string& name) {
   return graph::make_dataset(name, scale_from_env());
 }
 
+/// True when MND_METRICS_OUT asks for per-run metrics dumps; the option
+/// factories below then enable metrics collection on every run.
+inline bool metrics_requested() {
+  const char* dir = std::getenv("MND_METRICS_OUT");
+  return dir != nullptr && *dir != '\0';
+}
+
 /// MND-MST on the paper's AMD cluster (CPU-only, MPI over GigE).
 inline mst::MndMstOptions amd_mnd(int nodes) {
   mst::MndMstOptions opts;
@@ -42,6 +55,7 @@ inline mst::MndMstOptions amd_mnd(int nodes) {
   opts.net = sim::NetModel::amd_cluster().for_data_scale(kDataScale);
   opts.engine.cpu_model = device::CpuModel::amd_opteron_8core();
   opts.engine.use_gpu = false;
+  opts.collect_metrics = metrics_requested();
   return opts;
 }
 
@@ -52,7 +66,24 @@ inline bsp::BspOptions amd_bsp(int workers) {
   opts.net =
       sim::NetModel::amd_cluster_hadoop_rpc().for_data_scale(kDataScale);
   opts.cpu_model = device::CpuModel::pregel_worker_8core();
+  opts.collect_metrics = metrics_requested();
   return opts;
+}
+
+/// When MND_METRICS_OUT is set, writes `$MND_METRICS_OUT/<name>.json` with
+/// the run's per-rank + merged metrics. `name` should be filesystem-safe
+/// (the callers pass "<bench>_<dataset>_<nodes>"-style names).
+inline void emit_metrics_json(const std::string& name,
+                              const sim::RunReport& run) {
+  const char* dir = std::getenv("MND_METRICS_OUT");
+  if (dir == nullptr || *dir == '\0') return;
+  const std::string path = std::string(dir) + "/" + name + ".json";
+  std::ofstream out(path);
+  if (!out.good()) {
+    std::fprintf(stderr, "MND_METRICS_OUT: cannot write %s\n", path.c_str());
+    return;
+  }
+  obs::write_metrics_json(out, run.rank_metrics);
 }
 
 /// MND-MST on the paper's Cray XC40 (Xeon + optional K40 per node).
@@ -62,6 +93,7 @@ inline mst::MndMstOptions cray_mnd(int nodes, bool use_gpu) {
   opts.net = sim::NetModel::cray_xc40().for_data_scale(kDataScale);
   opts.engine.cpu_model = device::CpuModel::xeon_ivybridge_12core();
   opts.engine.use_gpu = use_gpu;
+  opts.collect_metrics = metrics_requested();
   return opts;
 }
 

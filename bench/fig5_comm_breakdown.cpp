@@ -21,6 +21,12 @@ int main() {
     for (int nodes : {4, 8, 16}) {
       const auto bsp = bsp::run_bsp_msf(el, bench::amd_bsp(nodes));
       const auto mnd = mst::run_mnd_mst(el, bench::amd_mnd(nodes));
+      bench::emit_metrics_json(
+          "fig5_bsp_" + std::string(name) + "_" + std::to_string(nodes),
+          bsp.run);
+      bench::emit_metrics_json(
+          "fig5_mnd_" + std::string(name) + "_" + std::to_string(nodes),
+          mnd.run);
       const double bsp_comp = bsp.total_seconds - bsp.comm_seconds;
       const double mnd_comp = mnd.total_seconds - mnd.comm_seconds;
       table.add_row(

@@ -19,6 +19,8 @@ int main() {
                      "total", "indComp %"});
     for (int nodes : {1, 4, 8, 16}) {
       const auto r = mst::run_mnd_mst(el, bench::cray_mnd(nodes, false));
+      bench::emit_metrics_json(
+          "fig7_" + std::string(name) + "_" + std::to_string(nodes), r.run);
       const double ind_pct =
           r.total_seconds > 0 ? 100.0 * r.indcomp_seconds / r.total_seconds
                               : 0.0;

@@ -36,6 +36,8 @@ int main() {
 
     const auto bsp_report = bsp::run_bsp_msf(el, bench::amd_bsp(16));
     const auto mnd_report = mst::run_mnd_mst(el, bench::amd_mnd(16));
+    bench::emit_metrics_json("table3_bsp_" + name, bsp_report.run);
+    bench::emit_metrics_json("table3_mnd_" + name, mnd_report.run);
 
     // Both systems must produce the exact minimum spanning forest.
     MND_CHECK_MSG(

@@ -1,6 +1,6 @@
 // Command-line driver: run MND-MST on a graph file.
 //
-//   mnd_mst_cli <graph-file> [options]
+//   mnd_mst_cli <graph-file|rmat:SCALE,EDGES,SEED> [options]
 //
 //   --format text|dimacs|mtx|binary   input format (default: by extension)
 //   --nodes N                         simulated nodes (default 4)
@@ -9,24 +9,54 @@
 //   --random-weights SEED             re-draw weights in [1, 1e6] (the
 //                                     paper's protocol for its inputs)
 //   --out FILE                        write the forest as "u v w" lines
+//   --trace-out FILE                  record per-rank spans and write a
+//                                     Chrome trace_event JSON (load in
+//                                     Perfetto / chrome://tracing)
+//   --metrics-out FILE                write per-rank + merged metrics JSON
 //   --validate                        check against exact Kruskal
 //
+// Options accept both "--flag VALUE" and "--flag=VALUE". The pseudo-path
+// "rmat:SCALE,EDGES,SEED" generates a 2^SCALE-vertex R-MAT graph instead of
+// reading a file.
+//
 // Example:
-//   ./mnd_mst_cli roads.mtx --nodes 8 --gpu --validate --out forest.txt
+//   ./mnd_mst_cli rmat:14,131072,1 --nodes 8 --gpu --trace-out trace.json
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
+#include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/reference_mst.hpp"
 #include "mst/mnd_mst.hpp"
+#include "obs/export.hpp"
 
 namespace {
 
 using namespace mnd;
 
+/// Parses "rmat:SCALE,EDGES,SEED" (EDGES and SEED optional: default
+/// 8 edges/vertex, seed 1).
+graph::EdgeList generate_rmat(const std::string& spec) {
+  const std::string body = spec.substr(5);
+  unsigned scale = 0;
+  unsigned long long edges = 0, seed = 1;
+  const int got = std::sscanf(body.c_str(), "%u,%llu,%llu", &scale, &edges,
+                              &seed);
+  MND_CHECK_MSG(got >= 1 && scale >= 1 && scale <= 26,
+                "bad rmat spec \"" << spec
+                                   << "\" (want rmat:SCALE[,EDGES[,SEED]])");
+  if (got < 2) edges = 8ull << scale;
+  graph::EdgeList el =
+      graph::rmat(static_cast<graph::VertexId>(scale), edges, seed);
+  el.randomize_weights(seed, 1, 1'000'000);
+  return el;
+}
+
 graph::EdgeList load(const std::string& path, std::string format) {
+  if (path.rfind("rmat:", 0) == 0) return generate_rmat(path);
   if (format.empty()) {
     const auto dot = path.rfind('.');
     const std::string ext = dot == std::string::npos ? "" : path.substr(dot);
@@ -52,10 +82,13 @@ graph::EdgeList load(const std::string& path, std::string format) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: mnd_mst_cli <graph-file> [--format text|dimacs|mtx|"
-               "binary] [--nodes N]\n"
+               "usage: mnd_mst_cli <graph-file|rmat:SCALE,EDGES,SEED>\n"
+               "                   [--format text|dimacs|mtx|binary] "
+               "[--nodes N]\n"
                "                   [--group G] [--gpu] [--random-weights "
-               "SEED] [--out FILE] [--validate]\n");
+               "SEED] [--out FILE]\n"
+               "                   [--trace-out FILE] [--metrics-out FILE] "
+               "[--validate]\n");
   return 2;
 }
 
@@ -66,19 +99,34 @@ int main(int argc, char** argv) {
   const std::string path = argv[1];
   std::string format;
   std::string out_path;
+  std::string trace_path;
+  std::string metrics_path;
   mst::MndMstOptions options;
   bool validate = false;
   bool randomize = false;
   std::uint64_t weight_seed = 0;
 
+  // Split "--flag=VALUE" into "--flag" "VALUE" so both styles work.
+  std::vector<std::string> args;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
+      args.push_back(arg.substr(0, eq));
+      args.push_back(arg.substr(eq + 1));
+    } else {
+      args.push_back(arg);
+    }
+  }
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
     auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
+      if (i + 1 >= args.size()) {
         std::fprintf(stderr, "missing value for %s\n", arg.c_str());
         std::exit(usage());
       }
-      return argv[++i];
+      return args[++i].c_str();
     };
     if (arg == "--format") {
       format = next();
@@ -93,6 +141,12 @@ int main(int argc, char** argv) {
       weight_seed = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (arg == "--out") {
       out_path = next();
+    } else if (arg == "--trace-out") {
+      trace_path = next();
+      options.collect_traces = true;
+    } else if (arg == "--metrics-out") {
+      metrics_path = next();
+      options.collect_metrics = true;
     } else if (arg == "--validate") {
       validate = true;
     } else {
@@ -122,6 +176,27 @@ int main(int argc, char** argv) {
               report.total_seconds, report.comm_seconds,
               report.indcomp_seconds, report.merge_seconds,
               report.postprocess_seconds);
+
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out.good()) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    obs::write_chrome_trace(out, report.run.rank_traces);
+    std::printf("Chrome trace written to %s (open in Perfetto or "
+                "chrome://tracing)\n",
+                trace_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out.good()) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+      return 1;
+    }
+    obs::write_metrics_json(out, report.run.rank_metrics);
+    std::printf("metrics written to %s\n", metrics_path.c_str());
+  }
 
   if (validate) {
     const auto v = graph::validate_spanning_forest(el, report.forest.edges);

@@ -44,12 +44,17 @@ class BspWorker {
     static_assert(std::is_trivially_copyable_v<M>);
     const int p = workers();
     MND_CHECK(static_cast<int>(outbox.size()) == p);
+    obs::Span span(comm_.tracer(), "superstep", obs::SpanCat::Superstep);
+    span.note("index", static_cast<std::uint64_t>(supersteps_));
     std::vector<std::vector<M>> inbox(static_cast<std::size_t>(p));
+    std::uint64_t bytes_out = 0;
     for (int r = 0; r < p; ++r) {
       if (r == rank()) continue;
       sim::Serializer s;
       s.put_vector(outbox[static_cast<std::size_t>(r)]);
-      comm_.send(r, tag_, s.take());
+      auto payload = s.take();
+      bytes_out += payload.size();
+      comm_.send(r, tag_, std::move(payload));
     }
     inbox[static_cast<std::size_t>(rank())] =
         std::move(outbox[static_cast<std::size_t>(rank())]);
@@ -59,12 +64,15 @@ class BspWorker {
       sim::Deserializer d(payload);
       inbox[static_cast<std::size_t>(r)] = d.template get_vector<M>();
     }
+    span.note("bytes_sent", bytes_out);
+    span.finish();
     end_superstep();
     return inbox;
   }
 
   /// Global aggregate + superstep barrier (the master's role in Pregel).
   std::uint64_t sync_sum(std::uint64_t value) {
+    obs::Span span(comm_.tracer(), "bsp:sync", obs::SpanCat::Comm);
     const std::uint64_t out = comm_.allreduce_sum(value, tag_);
     return out;
   }

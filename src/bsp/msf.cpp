@@ -128,6 +128,8 @@ WorkerResult msf_worker(sim::Communicator& comm, const graph::Csr& g,
   WorkerResult result;
 
   for (int round = 0; round < opts.max_rounds; ++round) {
+    obs::Span round_span(comm.tracer(), "bsp:round", obs::SpanCat::Phase);
+    round_span.note("round", static_cast<std::uint64_t>(round));
     // ---- Phase 0: lightest-edge candidates to component roots ----------
     std::vector<std::vector<CandMsg>> cand_out(static_cast<std::size_t>(p));
     std::size_t edges_scanned = 0;
@@ -333,6 +335,12 @@ WorkerResult msf_worker(sim::Communicator& comm, const graph::Csr& g,
   }
 
   result.supersteps = worker.supersteps();
+  if (comm.metrics_enabled()) {
+    comm.metrics().add_counter("bsp.supersteps",
+                               static_cast<std::uint64_t>(result.supersteps));
+    comm.metrics().add_counter("bsp.rounds",
+                               static_cast<std::uint64_t>(result.rounds));
+  }
   return result;
 }
 
@@ -346,6 +354,8 @@ BspMsfReport run_bsp_msf(const graph::EdgeList& input,
   sim::ClusterConfig config;
   config.num_ranks = opts.num_workers;
   config.net = opts.net;
+  config.collect_traces = opts.collect_traces;
+  config.collect_metrics = opts.collect_metrics;
 
   BspMsfReport report;
   std::mutex result_mutex;

@@ -50,6 +50,10 @@ struct BspOptions {
   /// around 100 or more as profitable).
   int mirror_degree_threshold = 100;
   int max_rounds = 64;
+  /// Record per-worker spans + metrics (ClusterConfig::collect_traces).
+  bool collect_traces = false;
+  /// Record metrics without span traces (ClusterConfig::collect_metrics).
+  bool collect_metrics = false;
 };
 
 struct BspMsfReport {

@@ -20,4 +20,16 @@ double CpuDevice::peak_edges_per_second() const { return throughput_of(*this); }
 
 double GpuDevice::peak_edges_per_second() const { return throughput_of(*this); }
 
+InvocationTrace GpuDevice::priced_invocation(double kernel_seconds,
+                                             std::size_t bytes_in,
+                                             std::size_t bytes_out) const {
+  InvocationTrace t;
+  t.kernel_seconds = kernel_seconds;
+  t.transfer_in_seconds = pcie_.transfer_seconds(bytes_in);
+  t.transfer_out_seconds = pcie_.transfer_seconds(bytes_out);
+  t.total_seconds =
+      pcie_.kernel_with_transfers(kernel_seconds, bytes_in, bytes_out);
+  return t;
+}
+
 }  // namespace mnd::device

@@ -40,6 +40,19 @@ class Device {
 
 inline constexpr std::size_t kUnlimitedMemory = ~std::size_t{0};
 
+/// Model-derived timing detail of one device invocation, split out for the
+/// tracing layer: the engine charges `total_seconds` to the rank clock and
+/// records the kernel/transfer components as spans on the device's trace
+/// track.
+struct InvocationTrace {
+  double kernel_seconds = 0.0;
+  double transfer_in_seconds = 0.0;
+  double transfer_out_seconds = 0.0;
+  /// End-to-end time with the link's overlap policy applied; equals
+  /// kernel_with_transfers for the same inputs.
+  double total_seconds = 0.0;
+};
+
 class CpuDevice final : public Device {
  public:
   explicit CpuDevice(CpuModel model = CpuModel{}) : model_(model) {}
@@ -85,6 +98,12 @@ class GpuDevice final : public Device {
 
   const GpuModel& model() const { return model_; }
   const PcieModel& pcie() const { return pcie_; }
+
+  /// Prices a kernel of `kernel_seconds` plus its transfers, keeping the
+  /// per-stage times visible for trace spans.
+  InvocationTrace priced_invocation(double kernel_seconds,
+                                    std::size_t bytes_in,
+                                    std::size_t bytes_out) const;
 
  private:
   GpuModel model_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "hypar/ghost.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/flat_hash.hpp"
 #include "util/logging.hpp"
@@ -167,7 +168,20 @@ mst::BoruvkaStats indcomp_on_devices(sim::Communicator& comm, CompGraph& cg,
   if (gpu == nullptr || gpu_share <= 0.0 || cg.num_components() < 4 ||
       cg.num_edges() < opts.gpu_min_edges) {
     mst::BoruvkaStats stats = kernel.indComp(cg, nullptr, bopts);
-    comm.compute(stats.priced_seconds(cpu), "indComp");
+    const double t = stats.priced_seconds(cpu);
+    if (obs::Tracer* tr = comm.tracer()) {
+      const int tid = tr->track(cpu.name());
+      const double now = comm.clock().now();
+      const auto id =
+          tr->record("kernel:indComp", obs::SpanCat::Kernel, tid, now, now + t);
+      tr->annotate(id, "iterations",
+                   static_cast<std::uint64_t>(stats.iterations));
+      tr->annotate(id, "contractions",
+                   static_cast<std::uint64_t>(stats.contractions));
+      tr->annotate(id, "frozen",
+                   static_cast<std::uint64_t>(stats.frozen_components));
+    }
+    comm.compute(t, "indComp");
     return stats;
   }
 
@@ -218,8 +232,41 @@ mst::BoruvkaStats indcomp_on_devices(sim::Communicator& comm, CompGraph& cg,
     // data live and overlaps transfers with cudaStream, §3.5); later
     // rounds only drain the small contraction results.
     const std::size_t staged = (round == 0) ? gpu_bytes_in : 0;
-    const double t_gpu = gpu->pcie().kernel_with_transfers(
+    const device::InvocationTrace gpu_inv = gpu->priced_invocation(
         gpu_stats.priced_seconds(*gpu), staged, gpu_bytes_out);
+    const double t_gpu = gpu_inv.total_seconds;
+    if (obs::Tracer* tr = comm.tracer()) {
+      const double now = comm.clock().now();
+      const int cpu_tid = tr->track(cpu.name());
+      const auto cid = tr->record("kernel:indComp", obs::SpanCat::Kernel,
+                                  cpu_tid, now, now + t_cpu);
+      tr->annotate(cid, "round", static_cast<std::uint64_t>(round));
+      tr->annotate(cid, "contractions",
+                   static_cast<std::uint64_t>(cpu_stats.contractions));
+      const int gpu_tid = tr->track(gpu->name());
+      // With stream overlap the kernel runs concurrently with staging;
+      // without, it starts after the inbound transfer. The drain always
+      // trails: total = (overlapped or serialized prefix) + transfer_out.
+      const double k_begin = gpu->pcie().overlap_streams
+                                 ? now
+                                 : now + gpu_inv.transfer_in_seconds;
+      if (staged > 0) {
+        const auto sid =
+            tr->record("xfer:stage", obs::SpanCat::Transfer, gpu_tid, now,
+                       now + gpu_inv.transfer_in_seconds);
+        tr->annotate(sid, "bytes", static_cast<std::uint64_t>(staged));
+      }
+      const auto gid = tr->record("kernel:indComp", obs::SpanCat::Kernel,
+                                  gpu_tid, k_begin,
+                                  k_begin + gpu_inv.kernel_seconds);
+      tr->annotate(gid, "round", static_cast<std::uint64_t>(round));
+      tr->annotate(gid, "contractions",
+                   static_cast<std::uint64_t>(gpu_stats.contractions));
+      const auto did = tr->record(
+          "xfer:drain", obs::SpanCat::Transfer, gpu_tid,
+          now + t_gpu - gpu_inv.transfer_out_seconds, now + t_gpu);
+      tr->annotate(did, "bytes", static_cast<std::uint64_t>(gpu_bytes_out));
+    }
     comm.compute(std::max(t_cpu, t_gpu), "indComp");
     MND_LOG(Debug) << "rank " << comm.rank() << " devRound " << round
                    << " comps=" << ids.size() << " t_cpu=" << t_cpu
@@ -324,8 +371,10 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
   const device::CpuDevice cpu(opts.cpu_model);
   const device::GpuDevice gpu_dev(opts.gpu_model, opts.pcie_model);
   const device::GpuDevice* gpu = opts.use_gpu ? &gpu_dev : nullptr;
+  obs::Tracer* const tr = comm.tracer();
 
   // ---- partGraph (§3.1, §4.3.1) -------------------------------------------
+  obs::Span part_span(tr, "partGraph", obs::SpanCat::Phase);
   const Partition1D part = partition_by_degree(g, p);
   double gpu_share = 0.0;
   if (gpu != nullptr) {
@@ -365,21 +414,46 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
     build.edges_scanned = local_arcs;
     comm.compute(cpu.kernel_seconds(build), "partition");
   }
+  part_span.note("local_vertices", static_cast<std::uint64_t>(hi - lo));
+  part_span.note("local_edges", static_cast<std::uint64_t>(local_arcs));
+  part_span.note("gpu_share", gpu_share);
+  part_span.finish();
 
   // ---- makeGhostInformation (§3.1) ---------------------------------------
+  obs::Span ghost_span(tr, "makeGhost", obs::SpanCat::Phase);
   const GhostList ghosts = build_ghost_list(g, part, me);
   result.trace.ghost_edges = ghosts.total_ghost_edges();
   result.trace.boundary_vertices = ghosts.num_boundary_vertices();
   exchange_boundary_vertices(comm, ghosts, opts.ghost_phase_entries);
+  ghost_span.note("ghost_edges",
+                  static_cast<std::uint64_t>(result.trace.ghost_edges));
+  ghost_span.note("boundary_vertices",
+                  static_cast<std::uint64_t>(result.trace.boundary_vertices));
+  ghost_span.finish();
 
   // Single node: Algorithm 1 still performs indComp within the node (the
   // CPU/GPU split), then hands the remainder to postProcess.
   if (p == 1) {
+    obs::Span ic_span(tr, "indComp", obs::SpanCat::Phase);
+    ic_span.note("level", std::uint64_t{0});
     const auto stats =
         indcomp_on_devices(comm, cg, kernel, opts, cpu, gpu, gpu_share);
     result.trace.components_after_level0 = cg.num_components();
     result.trace.frozen_after_level0 = stats.frozen_components;
+    ic_span.note("components",
+                 static_cast<std::uint64_t>(cg.num_components()));
+    ic_span.note("frozen",
+                 static_cast<std::uint64_t>(stats.frozen_components));
+    ic_span.finish();
+    obs::Span mp_span(tr, "mergeParts", obs::SpanCat::Phase);
+    mp_span.note("level", std::uint64_t{0});
     reduce_all(comm, cg, cpu);
+    mp_span.finish();
+    LevelTrace lvl;
+    lvl.components = cg.num_components();
+    lvl.frozen = stats.frozen_components;
+    lvl.edges = cg.num_edges();
+    result.trace.levels.push_back(lvl);
   }
 
   // ---- level loop: indComp + mergeParts + hierarchical merge --------------
@@ -396,16 +470,27 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
     const sim::Group all_active{active};
     const bool in_active = all_active.contains(me);
     if (in_active) {
+      const int level = result.trace.levels_participated;
       ++result.trace.levels_participated;
+      LevelTrace lvl;
       // indComp with EXCPT_BORDER_VERTEX. The GPU serves the first-level
       // indComp — the bulk of the computation (§5.4: "we utilize the GPUs
       // only for indComp and possibly for postProcess"); the later
       // collaborative-merging invocations run on the CPU, whose
       // unrestricted participation also absorbs any components left
       // frozen at the device boundary.
+      obs::Span ic_span(tr, "indComp", obs::SpanCat::Phase);
+      ic_span.note("level", static_cast<std::uint64_t>(level));
       auto stats = indcomp_on_devices(
           comm, cg, kernel, opts, cpu, first_level ? gpu : nullptr,
           gpu_share);
+      lvl.components = cg.num_components();
+      lvl.frozen = stats.frozen_components;
+      ic_span.note("components", static_cast<std::uint64_t>(lvl.components));
+      ic_span.note("frozen", static_cast<std::uint64_t>(lvl.frozen));
+      ic_span.note("contractions",
+                   static_cast<std::uint64_t>(stats.contractions));
+      ic_span.finish();
       if (first_level) {
         result.trace.components_after_level0 = cg.num_components();
         result.trace.frozen_after_level0 = stats.frozen_components;
@@ -415,6 +500,8 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
       // multi edges locally; sync ghost parent ids across all active
       // ranks, then reduce with the refreshed parents (cross-rank
       // multi-edge removal, §3.3).
+      obs::Span mp_span(tr, "mergeParts", obs::SpanCat::Phase);
+      mp_span.note("level", static_cast<std::uint64_t>(level));
       sync_parents(comm, all_active, cg, part, rep);
       reduce_all(comm, cg, cpu);
 
@@ -446,14 +533,24 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
               std::min<std::uint64_t>(min_avail / 2, data_slice));
 
           // Ring exchange: send one segment left, receive one from right.
+          obs::Span ring_span(tr, "ringRound", obs::SpanCat::Ring);
+          ring_span.note("round", static_cast<std::uint64_t>(rounds));
+          ring_span.note("budget_bytes", static_cast<std::uint64_t>(budget));
           auto segment = pick_segment(cg, budget);
           sim::Serializer s;
           serialize_components(segment, &s);
-          auto incoming = comm.ring_shift(group, kTagSegment, s.take());
+          auto outgoing = s.take();
+          ring_span.note("sent_bytes",
+                         static_cast<std::uint64_t>(outgoing.size()));
+          auto incoming =
+              comm.ring_shift(group, kTagSegment, std::move(outgoing));
+          ring_span.note("received_bytes",
+                         static_cast<std::uint64_t>(incoming.size()));
           sim::Deserializer d(incoming);
           integrate_bundle(cg, mst::deserialize_components(&d));
           ++rounds;
           ++result.trace.ring_rounds;
+          ++lvl.ring_rounds;
 
           // Collaborative merging on the new set of components (CPU).
           (void)indcomp_on_devices(comm, cg, kernel, opts, cpu, nullptr,
@@ -464,6 +561,8 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
 
         // Merge everything in the group to the leader.
         const int leader = group.members.front();
+        obs::Span lm_span(tr, "leaderMerge", obs::SpanCat::Comm);
+        lm_span.note("leader", static_cast<std::uint64_t>(leader));
         sim::Serializer s;
         if (me != leader) {
           std::vector<Component> all;
@@ -486,7 +585,11 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
                                    gpu_share);
           reduce_all(comm, cg, cpu);
         }
+        lm_span.finish();
       }
+      lvl.edges = cg.num_edges();
+      result.trace.levels.push_back(lvl);
+      mp_span.finish();
     }
     // Non-leaders' data now lives at their group leader; update lineage
     // representatives before the next level's parent routing.
@@ -502,22 +605,39 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
 
   // ---- postProcess (§4.1.4) ------------------------------------------------
   if (me == active.front()) {
+    obs::Span pp_span(tr, "postProcess", obs::SpanCat::Phase);
     mst::BoruvkaOptions final_opts;  // run to completion: no thresholds
     const auto stats = kernel.indComp(cg, nullptr, final_opts);
     double t = stats.priced_seconds(cpu);
+    std::string dev_track = cpu.name();
     if (gpu != nullptr) {
       // The framework runs postProcess on whichever device is faster for
       // the remaining (small) data.
       const double t_gpu = gpu->pcie().kernel_with_transfers(
           stats.priced_seconds(*gpu), cg.bytes(), cg.bytes() / 8);
-      t = std::min(t, t_gpu);
+      if (t_gpu < t) {
+        t = t_gpu;
+        dev_track = gpu->name();
+      }
+    }
+    if (tr != nullptr) {
+      const double now = comm.clock().now();
+      const auto kid = tr->record("kernel:postProcess", obs::SpanCat::Kernel,
+                                  tr->track(dev_track), now, now + t);
+      tr->annotate(kid, "iterations",
+                   static_cast<std::uint64_t>(stats.iterations));
+      tr->annotate(kid, "contractions",
+                   static_cast<std::uint64_t>(stats.contractions));
     }
     comm.compute(t, "postProcess");
+    pp_span.note("device", dev_track);
+    pp_span.note("components", static_cast<std::uint64_t>(cg.num_components()));
     MND_CHECK_MSG(stats.frozen_components == 0,
                   "postProcess saw frozen components on the final rank");
   }
 
   // ---- result collection ----------------------------------------------------
+  obs::Span collect_span(tr, "collectResults", obs::SpanCat::Comm);
   sim::Serializer s;
   std::vector<EdgeId> mine = cg.mst_edges();
   s.put_vector(mine);
@@ -531,7 +651,33 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
     }
     std::sort(result.forest_edges.begin(), result.forest_edges.end());
   }
+  collect_span.note("forest_edges",
+                    static_cast<std::uint64_t>(result.forest_edges.size()));
+  collect_span.finish();
   result.trace.peak_memory_bytes = comm.memory().peak();
+
+  // Coarse per-run metrics: one registry write per name, once per run.
+  if (comm.metrics_enabled()) {
+    obs::MetricsRegistry& m = comm.metrics();
+    m.set_gauge("hypar.gpu_share", gpu_share);
+    m.add_counter("hypar.ghost_edges", result.trace.ghost_edges);
+    m.add_counter("hypar.boundary_vertices", result.trace.boundary_vertices);
+    m.add_counter(
+        "hypar.levels_participated",
+        static_cast<std::uint64_t>(result.trace.levels_participated));
+    m.add_counter("hypar.ring_rounds",
+                  static_cast<std::uint64_t>(result.trace.ring_rounds));
+    for (std::size_t k = 0; k < result.trace.levels.size(); ++k) {
+      const LevelTrace& lvl = result.trace.levels[k];
+      const std::string prefix = "hypar.level." + std::to_string(k) + ".";
+      m.set_gauge(prefix + "components",
+                  static_cast<double>(lvl.components));
+      m.set_gauge(prefix + "frozen", static_cast<double>(lvl.frozen));
+      m.set_gauge(prefix + "edges", static_cast<double>(lvl.edges));
+      m.observe("hypar.components_per_level",
+                static_cast<double>(lvl.components));
+    }
+  }
   return result;
 }
 

@@ -73,6 +73,15 @@ struct EngineOptions {
   std::size_t ghost_phase_entries = 8192;
 };
 
+/// Per-level convergence snapshot: how the hierarchical merge shrinks this
+/// rank's data level by level (observable convergence, Fig. 4/7 tuning).
+struct LevelTrace {
+  std::size_t components = 0;  // resident after the level's indComp+reduce
+  std::size_t frozen = 0;      // frozen by the level's first indComp
+  std::size_t edges = 0;       // resident edges after the level
+  int ring_rounds = 0;         // ring exchanges this rank ran at the level
+};
+
 /// Per-rank diagnostics filled during the run.
 struct RankTrace {
   std::size_t boundary_vertices = 0;
@@ -83,6 +92,9 @@ struct RankTrace {
   int ring_rounds = 0;
   double gpu_share = 0.0;
   std::size_t peak_memory_bytes = 0;
+  /// One entry per level this rank participated in (levels[0] mirrors the
+  /// *_after_level0 scalars).
+  std::vector<LevelTrace> levels;
 };
 
 struct EngineResult {

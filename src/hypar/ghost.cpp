@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace mnd::hypar {
@@ -72,6 +73,8 @@ std::size_t exchange_boundary_vertices(sim::Communicator& comm,
 
   // Everyone learns how much to expect from everyone (vector allreduce of
   // a PxP count matrix flattened to the rows this rank writes).
+  obs::Tracer* const tr = comm.tracer();
+  obs::Span counts_span(tr, "ghost:counts", obs::SpanCat::Ghost);
   std::vector<std::uint64_t> counts(
       static_cast<std::size_t>(p) * static_cast<std::size_t>(p), 0);
   for (int r = 0; r < p; ++r) {
@@ -80,9 +83,13 @@ std::size_t exchange_boundary_vertices(sim::Communicator& comm,
         outgoing[static_cast<std::size_t>(r)].size();
   }
   counts = comm.allreduce_sum_vec(std::move(counts), kBoundaryTag);
+  counts_span.finish();
 
   // Phased pairwise exchange: send all chunks (non-blocking in the
   // simulator), then drain expected chunks per source in rank order.
+  obs::Span xchg_span(tr, "ghost:exchange", obs::SpanCat::Ghost);
+  xchg_span.note("phase_entries", static_cast<std::uint64_t>(phase_entries));
+  std::size_t chunks_sent = 0;
   for (int r = 0; r < p; ++r) {
     if (r == me) continue;
     const auto& verts = outgoing[static_cast<std::size_t>(r)];
@@ -94,10 +101,12 @@ std::size_t exchange_boundary_vertices(sim::Communicator& comm,
                                          verts.begin() + at + take);
       s.put_vector(chunk);
       comm.send(r, kBoundaryTag, s.take());
+      ++chunks_sent;
     }
   }
 
   std::size_t learned = 0;
+  std::size_t chunks_received = 0;
   for (int r = 0; r < p; ++r) {
     if (r == me) continue;
     const std::uint64_t expect =
@@ -110,9 +119,14 @@ std::size_t exchange_boundary_vertices(sim::Communicator& comm,
       const auto verts = d.get_vector<graph::VertexId>();
       got += verts.size();
       learned += verts.size();
+      ++chunks_received;
     }
     MND_CHECK_MSG(got == expect, "boundary phase mismatch from rank " << r);
   }
+  xchg_span.note("chunks_sent", static_cast<std::uint64_t>(chunks_sent));
+  xchg_span.note("chunks_received",
+                 static_cast<std::uint64_t>(chunks_received));
+  xchg_span.note("entries_learned", static_cast<std::uint64_t>(learned));
   return learned;
 }
 

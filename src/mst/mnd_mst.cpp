@@ -17,6 +17,8 @@ MndMstReport run_mnd_mst(const graph::EdgeList& input,
   config.num_ranks = opts.num_nodes;
   config.net = opts.net;
   config.rank_memory_bytes = opts.node_memory_bytes;
+  config.collect_traces = opts.collect_traces;
+  config.collect_metrics = opts.collect_metrics;
 
   MndMstReport report;
   report.traces.resize(static_cast<std::size_t>(opts.num_nodes));

@@ -26,6 +26,11 @@ struct MndMstOptions {
   sim::NetModel net = sim::NetModel::amd_cluster().for_data_scale(4000.0);
   /// Per-node memory capacity (bytes); kUnlimited disables the bound.
   std::size_t node_memory_bytes = sim::MemTracker::kUnlimited;
+  /// Record per-rank spans + metrics (ClusterConfig::collect_traces);
+  /// results land in MndMstReport::run.rank_traces / rank_metrics.
+  bool collect_traces = false;
+  /// Record metrics without span traces (ClusterConfig::collect_metrics).
+  bool collect_metrics = false;
 };
 
 struct MndMstReport {

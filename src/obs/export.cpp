@@ -1,0 +1,142 @@
+#include "obs/export.hpp"
+
+#include <iomanip>
+#include <limits>
+#include <ostream>
+
+#include "obs/json.hpp"
+
+namespace mnd::obs {
+namespace {
+
+void write_number(std::ostream& out, double v) {
+  out << std::setprecision(std::numeric_limits<double>::max_digits10) << v;
+}
+
+void write_args(std::ostream& out, const SpanRecord& span) {
+  out << "\"args\":{";
+  bool first = true;
+  auto key = [&](const std::string& k) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json_escape(k) << "\":";
+  };
+  for (const Annotation& a : span.args) {
+    key(a.key);
+    switch (a.kind) {
+      case Annotation::Kind::Int: out << a.int_value; break;
+      case Annotation::Kind::Float: write_number(out, a.float_value); break;
+      case Annotation::Kind::Text:
+        out << '"' << json_escape(a.text_value) << '"';
+        break;
+    }
+  }
+  key("wall_us");
+  write_number(out, span.wall_begin_us);
+  key("wall_dur_us");
+  write_number(out, span.wall_end_us - span.wall_begin_us);
+  key("depth");
+  out << span.depth;
+  out << '}';
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<RankTraceData>& ranks) {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto event = [&]() -> std::ostream& {
+    if (!first) out << ',';
+    first = false;
+    out << "\n{";
+    return out;
+  };
+  for (const RankTraceData& rank : ranks) {
+    event() << "\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << rank.rank
+            << ",\"tid\":0,\"args\":{\"name\":\"rank " << rank.rank << "\"}}";
+    event() << "\"ph\":\"M\",\"name\":\"process_sort_index\",\"pid\":"
+            << rank.rank << ",\"tid\":0,\"args\":{\"sort_index\":" << rank.rank
+            << "}}";
+    for (std::size_t t = 0; t < rank.track_names.size(); ++t) {
+      event() << "\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << rank.rank
+              << ",\"tid\":" << t << ",\"args\":{\"name\":\""
+              << json_escape(rank.track_names[t]) << "\"}}";
+    }
+    for (const SpanRecord& span : rank.spans) {
+      event() << "\"ph\":\"X\",\"name\":\"" << json_escape(span.name)
+              << "\",\"cat\":\"" << cat_name(span.cat)
+              << "\",\"pid\":" << rank.rank << ",\"tid\":" << span.track
+              << ",\"ts\":";
+      write_number(out, span.vt_begin * 1e6);
+      out << ",\"dur\":";
+      write_number(out, span.vt_seconds() * 1e6);
+      out << ',';
+      write_args(out, span);
+      out << '}';
+    }
+  }
+  out << "\n]}\n";
+}
+
+MetricsRegistry merged_metrics(const std::vector<MetricsRegistry>& per_rank) {
+  MetricsRegistry merged;
+  for (const MetricsRegistry& r : per_rank) merged.merge(r);
+  return merged;
+}
+
+namespace {
+
+void write_registry(std::ostream& out, const MetricsRegistry& reg) {
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : reg.counters()) {
+    if (!first) out << ',';
+    first = false;
+    out << "\n  \"" << json_escape(name) << "\":" << value;
+  }
+  out << "},\n\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : reg.gauges()) {
+    if (!first) out << ',';
+    first = false;
+    out << "\n  \"" << json_escape(name) << "\":";
+    write_number(out, value);
+  }
+  out << "},\n\"histograms\":{";
+  first = true;
+  for (const auto& [name, acc] : reg.histograms()) {
+    if (!first) out << ',';
+    first = false;
+    out << "\n  \"" << json_escape(name) << "\":{\"count\":" << acc.count()
+        << ",\"sum\":";
+    write_number(out, acc.sum());
+    out << ",\"mean\":";
+    write_number(out, acc.mean());
+    out << ",\"min\":";
+    write_number(out, acc.min());
+    out << ",\"max\":";
+    write_number(out, acc.max());
+    out << ",\"stddev\":";
+    write_number(out, acc.stddev());
+    out << '}';
+  }
+  out << "}}";
+}
+
+}  // namespace
+
+void write_metrics_json(std::ostream& out,
+                        const std::vector<MetricsRegistry>& per_rank) {
+  out << "{\"ranks\":[";
+  for (std::size_t r = 0; r < per_rank.size(); ++r) {
+    if (r > 0) out << ',';
+    out << '\n';
+    write_registry(out, per_rank[r]);
+  }
+  out << "\n],\n\"merged\":";
+  write_registry(out, merged_metrics(per_rank));
+  out << "}\n";
+}
+
+}  // namespace mnd::obs

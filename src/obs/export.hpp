@@ -1,0 +1,29 @@
+// Exporters for the observability layer.
+//
+//  * write_chrome_trace — Chrome trace_event JSON ("JSON Object Format"),
+//    loadable in chrome://tracing and Perfetto. One trace process per rank,
+//    one thread per track (main + one per device). Timestamps are VIRTUAL
+//    time in microseconds — the timeline every experiment figure uses —
+//    with host wall-clock stamps preserved as span args.
+//  * write_metrics_json — flat metrics JSON for the bench harness: one
+//    object per rank (counters/gauges/histograms) plus the rank-0 merge.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace mnd::obs {
+
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<RankTraceData>& ranks);
+
+/// Counters sum, gauges max, histograms merge — the rank-0 reduction.
+MetricsRegistry merged_metrics(const std::vector<MetricsRegistry>& per_rank);
+
+void write_metrics_json(std::ostream& out,
+                        const std::vector<MetricsRegistry>& per_rank);
+
+}  // namespace mnd::obs

@@ -1,0 +1,264 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace mnd::obs {
+
+const JsonValue* JsonValue::get(std::string_view key) const {
+  if (type != Type::Object) return nullptr;
+  for (const auto& [k, v] : members) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    MND_CHECK_MSG(at_ >= text_.size(),
+                  "trailing garbage in JSON at byte " << at_);
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (at_ < text_.size() &&
+           (text_[at_] == ' ' || text_[at_] == '\t' || text_[at_] == '\n' ||
+            text_[at_] == '\r')) {
+      ++at_;
+    }
+  }
+
+  char peek() {
+    MND_CHECK_MSG(at_ < text_.size(), "unexpected end of JSON");
+    return text_[at_];
+  }
+
+  void expect(char c) {
+    MND_CHECK_MSG(at_ < text_.size() && text_[at_] == c,
+                  "expected '" << c << "' at byte " << at_);
+    ++at_;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      JsonValue v;
+      v.type = JsonValue::Type::String;
+      v.string_value = parse_string();
+      return v;
+    }
+    if (c == 't' || c == 'f') return parse_bool();
+    if (c == 'n') {
+      literal("null");
+      return JsonValue{};
+    }
+    return parse_number();
+  }
+
+  JsonValue parse_object() {
+    JsonValue v;
+    v.type = JsonValue::Type::Object;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++at_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.members.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++at_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    JsonValue v;
+    v.type = JsonValue::Type::Array;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++at_;
+      return v;
+    }
+    for (;;) {
+      v.elements.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++at_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue parse_bool() {
+    JsonValue v;
+    v.type = JsonValue::Type::Bool;
+    if (peek() == 't') {
+      literal("true");
+      v.bool_value = true;
+    } else {
+      literal("false");
+      v.bool_value = false;
+    }
+    return v;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = at_;
+    if (at_ < text_.size() && text_[at_] == '-') ++at_;
+    auto digits = [&] {
+      const std::size_t before = at_;
+      while (at_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[at_]))) {
+        ++at_;
+      }
+      MND_CHECK_MSG(at_ > before, "malformed JSON number at byte " << start);
+    };
+    digits();
+    if (at_ < text_.size() && text_[at_] == '.') {
+      ++at_;
+      digits();
+    }
+    if (at_ < text_.size() && (text_[at_] == 'e' || text_[at_] == 'E')) {
+      ++at_;
+      if (at_ < text_.size() && (text_[at_] == '+' || text_[at_] == '-')) {
+        ++at_;
+      }
+      digits();
+    }
+    JsonValue v;
+    v.type = JsonValue::Type::Number;
+    v.number_value =
+        std::strtod(std::string(text_.substr(start, at_ - start)).c_str(),
+                    nullptr);
+    return v;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      MND_CHECK_MSG(at_ < text_.size(), "unterminated JSON string");
+      const char c = text_[at_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      MND_CHECK_MSG(at_ < text_.size(), "unterminated JSON escape");
+      const char esc = text_[at_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          MND_CHECK_MSG(at_ + 4 <= text_.size(), "truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[at_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              MND_CHECK_MSG(false, "bad hex digit in \\u escape");
+            }
+          }
+          // UTF-8 encode (no surrogate-pair recombination; the exporters
+          // never emit non-BMP text).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          MND_CHECK_MSG(false, "bad JSON escape '\\" << esc << "'");
+      }
+    }
+  }
+
+  void literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      MND_CHECK_MSG(at_ < text_.size() && text_[at_] == *p,
+                    "bad JSON literal, expected \"" << word << "\"");
+      ++at_;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t at_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace mnd::obs

@@ -1,0 +1,45 @@
+// Minimal JSON value + recursive-descent parser.
+//
+// Exists so the exporters' output can be parsed back and validated (the
+// Chrome-trace round-trip tests) without an external dependency. Supports
+// the full JSON grammar the exporters emit: objects, arrays, strings with
+// \uXXXX escapes, numbers, booleans, null. Throws CheckFailure on
+// malformed input with a byte offset.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mnd::obs {
+
+class JsonValue {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Type type = Type::Null;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> elements;                            // Array
+  std::vector<std::pair<std::string, JsonValue>> members;     // Object
+
+  bool is_null() const { return type == Type::Null; }
+  bool is_object() const { return type == Type::Object; }
+  bool is_array() const { return type == Type::Array; }
+  bool is_string() const { return type == Type::String; }
+  bool is_number() const { return type == Type::Number; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* get(std::string_view key) const;
+};
+
+/// Parses a complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected). Throws CheckFailure on malformed input.
+JsonValue parse_json(std::string_view text);
+
+/// Escapes a string for embedding between JSON double quotes.
+std::string json_escape(std::string_view s);
+
+}  // namespace mnd::obs

@@ -1,0 +1,57 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace mnd::obs {
+
+void MetricsRegistry::add_counter(const std::string& name,
+                                  std::uint64_t delta) {
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::set_gauge(const std::string& name, double value) {
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::observe(const std::string& name, double sample) {
+  histograms_[name].add(sample);
+}
+
+std::uint64_t MetricsRegistry::counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+bool MetricsRegistry::has_gauge(const std::string& name) const {
+  return gauges_.find(name) != gauges_.end();
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+const StatAccumulator* MetricsRegistry::histogram(
+    const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) {
+    counters_[name] += value;
+  }
+  for (const auto& [name, value] : other.gauges_) {
+    const auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+      gauges_.emplace(name, value);
+    } else {
+      it->second = std::max(it->second, value);
+    }
+  }
+  for (const auto& [name, acc] : other.histograms_) {
+    histograms_[name].merge(acc);
+  }
+}
+
+}  // namespace mnd::obs

@@ -1,0 +1,61 @@
+// Named metrics: counters, gauges, and histograms with per-rank scoping.
+//
+// Every rank owns one MetricsRegistry (held by its Communicator); engine
+// code records coarse-grained events against it by name. Naming scheme is
+// dotted lowercase, subsystem first: "comm.bytes_sent",
+// "comm.peer.3.bytes_sent", "hypar.ring_rounds", "hypar.level.0.components",
+// "bsp.supersteps". After a run the per-rank registries are merged on the
+// driver (the simulated rank 0's role): counters sum, gauges keep the max
+// across ranks, histograms merge their moments (StatAccumulator).
+//
+// Hot paths (per-message accounting) do NOT go through the registry — they
+// use plain struct counters (CommStats) and are folded into the registry
+// once per run. The registry's string lookups are for per-phase/per-level
+// granularity.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/stats.hpp"
+
+namespace mnd::obs {
+
+class MetricsRegistry {
+ public:
+  void add_counter(const std::string& name, std::uint64_t delta);
+  void set_gauge(const std::string& name, double value);
+  void observe(const std::string& name, double sample);
+
+  /// 0 when the counter was never touched.
+  std::uint64_t counter(const std::string& name) const;
+  bool has_gauge(const std::string& name) const;
+  /// 0.0 when the gauge was never set.
+  double gauge(const std::string& name) const;
+  /// nullptr when the histogram was never observed.
+  const StatAccumulator* histogram(const std::string& name) const;
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// Rank-0 aggregation: counters sum, gauges max, histograms merge.
+  void merge(const MetricsRegistry& other);
+
+  // Sorted-by-name iteration for deterministic export.
+  const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, double>& gauges() const { return gauges_; }
+  const std::map<std::string, StatAccumulator>& histograms() const {
+    return histograms_;
+  }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, StatAccumulator> histograms_;
+};
+
+}  // namespace mnd::obs

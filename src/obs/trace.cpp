@@ -1,0 +1,149 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+
+#include "util/check.hpp"
+
+namespace mnd::obs {
+
+const char* cat_name(SpanCat cat) {
+  switch (cat) {
+    case SpanCat::Phase: return "phase";
+    case SpanCat::Comm: return "comm";
+    case SpanCat::Kernel: return "kernel";
+    case SpanCat::Transfer: return "transfer";
+    case SpanCat::Ring: return "ring";
+    case SpanCat::Ghost: return "ghost";
+    case SpanCat::Superstep: return "superstep";
+    case SpanCat::Misc: return "misc";
+  }
+  return "?";
+}
+
+namespace {
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+Tracer::Tracer(int rank, std::function<double()> virtual_now)
+    : rank_(rank), virtual_now_(std::move(virtual_now)) {
+  MND_CHECK(virtual_now_ != nullptr);
+  wall_epoch_ns_ = steady_ns();
+}
+
+double Tracer::wall_us_now() const {
+  return static_cast<double>(steady_ns() - wall_epoch_ns_) * 1e-3;
+}
+
+int Tracer::track(const std::string& name) {
+  for (std::size_t i = 0; i < track_names_.size(); ++i) {
+    if (track_names_[i] == name) return static_cast<int>(i);
+  }
+  track_names_.push_back(name);
+  open_stacks_.emplace_back();
+  return static_cast<int>(track_names_.size() - 1);
+}
+
+Tracer::SpanId Tracer::begin(std::string name, SpanCat cat, int track) {
+  MND_CHECK_MSG(track >= 0 &&
+                    track < static_cast<int>(track_names_.size()),
+                "unknown trace track " << track);
+  auto& stack = open_stacks_[static_cast<std::size_t>(track)];
+  SpanRecord rec;
+  rec.name = std::move(name);
+  rec.cat = cat;
+  rec.track = track;
+  rec.depth = static_cast<int>(stack.size());
+  rec.vt_begin = virtual_now_();
+  rec.wall_begin_us = wall_us_now();
+  const SpanId id = spans_.size();
+  spans_.push_back(std::move(rec));
+  stack.push_back(id);
+  return id;
+}
+
+void Tracer::end(SpanId id) {
+  MND_CHECK_MSG(id < spans_.size(), "end of unknown span " << id);
+  SpanRecord& rec = spans_[id];
+  auto& stack = open_stacks_[static_cast<std::size_t>(rec.track)];
+  MND_CHECK_MSG(!stack.empty() && stack.back() == id,
+                "span \"" << rec.name << "\" ended out of LIFO order on track "
+                          << rec.track);
+  stack.pop_back();
+  rec.vt_end = virtual_now_();
+  rec.wall_end_us = wall_us_now();
+  MND_CHECK_MSG(rec.vt_end >= rec.vt_begin,
+                "span \"" << rec.name << "\" ends before it begins");
+}
+
+void Tracer::annotate(SpanId id, std::string key, std::uint64_t value) {
+  MND_CHECK(id < spans_.size());
+  Annotation a;
+  a.key = std::move(key);
+  a.kind = Annotation::Kind::Int;
+  a.int_value = value;
+  spans_[id].args.push_back(std::move(a));
+}
+
+void Tracer::annotate(SpanId id, std::string key, double value) {
+  MND_CHECK(id < spans_.size());
+  Annotation a;
+  a.key = std::move(key);
+  a.kind = Annotation::Kind::Float;
+  a.float_value = value;
+  spans_[id].args.push_back(std::move(a));
+}
+
+void Tracer::annotate(SpanId id, std::string key, std::string value) {
+  MND_CHECK(id < spans_.size());
+  Annotation a;
+  a.key = std::move(key);
+  a.kind = Annotation::Kind::Text;
+  a.text_value = std::move(value);
+  spans_[id].args.push_back(std::move(a));
+}
+
+Tracer::SpanId Tracer::record(std::string name, SpanCat cat, int track,
+                              double vt_begin, double vt_end) {
+  MND_CHECK_MSG(track >= 0 &&
+                    track < static_cast<int>(track_names_.size()),
+                "unknown trace track " << track);
+  MND_CHECK_MSG(vt_end >= vt_begin, "recorded span ends before it begins");
+  SpanRecord rec;
+  rec.name = std::move(name);
+  rec.cat = cat;
+  rec.track = track;
+  rec.depth =
+      static_cast<int>(open_stacks_[static_cast<std::size_t>(track)].size());
+  rec.vt_begin = vt_begin;
+  rec.vt_end = vt_end;
+  rec.wall_begin_us = rec.wall_end_us = wall_us_now();
+  const SpanId id = spans_.size();
+  spans_.push_back(std::move(rec));
+  return id;
+}
+
+void Tracer::instant(std::string name, SpanCat cat, int track) {
+  const double now = virtual_now_();
+  (void)record(std::move(name), cat, track, now, now);
+}
+
+std::size_t Tracer::open_spans() const {
+  std::size_t open = 0;
+  for (const auto& stack : open_stacks_) open += stack.size();
+  return open;
+}
+
+RankTraceData Tracer::snapshot() const {
+  RankTraceData data;
+  data.rank = rank_;
+  data.track_names = track_names_;
+  data.spans = spans_;
+  return data;
+}
+
+}  // namespace mnd::obs

@@ -1,0 +1,163 @@
+// Virtual-time tracing: hierarchical spans per rank.
+//
+// A Tracer records spans — named intervals stamped with BOTH the rank's
+// virtual clock (the timeline every experiment result is expressed in) and
+// the host wall clock (for debugging the simulator itself). Spans nest
+// per track: a rank's main track carries the pipeline phases (partGraph,
+// indComp, mergeParts, postProcess) with ring rounds and ghost-exchange
+// phases nested inside; device tracks carry model-derived kernel and
+// transfer spans. Typed key-value annotations (edges processed, components
+// frozen, bytes moved, ...) attach to any span.
+//
+// The disabled fast path is a null Tracer pointer: every instrumentation
+// site costs one pointer test. Communicator hands out its tracer (nullptr
+// unless ClusterConfig::collect_traces), so engine code instruments
+// unconditionally via the Span RAII guard.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mnd::obs {
+
+/// Span categories, exported as the Chrome-trace "cat" field.
+enum class SpanCat { Phase, Comm, Kernel, Transfer, Ring, Ghost, Superstep, Misc };
+const char* cat_name(SpanCat cat);
+
+/// Typed key-value annotation attached to a span.
+struct Annotation {
+  enum class Kind { Int, Float, Text };
+  std::string key;
+  Kind kind = Kind::Int;
+  std::uint64_t int_value = 0;
+  double float_value = 0.0;
+  std::string text_value;
+};
+
+struct SpanRecord {
+  std::string name;
+  SpanCat cat = SpanCat::Misc;
+  int track = 0;  // index into RankTraceData::track_names
+  int depth = 0;  // nesting depth within the track (0 = top level)
+  double vt_begin = 0.0;  // virtual seconds
+  double vt_end = 0.0;
+  double wall_begin_us = 0.0;  // host microseconds since tracer creation
+  double wall_end_us = 0.0;
+  std::vector<Annotation> args;
+
+  double vt_seconds() const { return vt_end - vt_begin; }
+};
+
+/// Everything one rank recorded. One Chrome-trace process per rank, one
+/// thread per track.
+struct RankTraceData {
+  int rank = 0;
+  std::vector<std::string> track_names;
+  std::vector<SpanRecord> spans;  // in begin order
+};
+
+class Tracer {
+ public:
+  using SpanId = std::size_t;
+  static constexpr SpanId kInvalidSpan = ~std::size_t{0};
+  static constexpr int kMainTrack = 0;
+
+  /// `virtual_now` reads the owning rank's virtual clock; it must outlive
+  /// the tracer.
+  Tracer(int rank, std::function<double()> virtual_now);
+
+  int rank() const { return rank_; }
+
+  /// Finds or creates a named track (device timeline) and returns its id.
+  /// Track 0 always exists as "main".
+  int track(const std::string& name);
+
+  SpanId begin(std::string name, SpanCat cat, int track = kMainTrack);
+  /// Closes a span. Spans must close LIFO within their track.
+  void end(SpanId id);
+
+  void annotate(SpanId id, std::string key, std::uint64_t value);
+  void annotate(SpanId id, std::string key, double value);
+  void annotate(SpanId id, std::string key, std::string value);
+
+  /// Records an already-closed span with explicit virtual times: used for
+  /// model-derived device work whose duration never moves the rank clock
+  /// directly (the rank advances by max over devices).
+  SpanId record(std::string name, SpanCat cat, int track, double vt_begin,
+                double vt_end);
+
+  /// Zero-duration marker event.
+  void instant(std::string name, SpanCat cat, int track = kMainTrack);
+
+  std::size_t open_spans() const;
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+
+  /// Copies out the recorded data (spans in begin order).
+  RankTraceData snapshot() const;
+
+ private:
+  double wall_us_now() const;
+
+  int rank_;
+  std::function<double()> virtual_now_;
+  std::vector<std::string> track_names_{"main"};
+  std::vector<std::vector<SpanId>> open_stacks_{{}};  // per track, LIFO
+  std::vector<SpanRecord> spans_;
+  std::uint64_t wall_epoch_ns_ = 0;
+};
+
+/// RAII span guard tolerating a null tracer (the disabled fast path).
+class Span {
+ public:
+  Span() = default;
+  Span(Tracer* tracer, std::string name, SpanCat cat,
+       int track = Tracer::kMainTrack) {
+    if (tracer != nullptr) {
+      tracer_ = tracer;
+      id_ = tracer->begin(std::move(name), cat, track);
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept {
+    finish();
+    tracer_ = other.tracer_;
+    id_ = other.id_;
+    other.tracer_ = nullptr;
+    other.id_ = Tracer::kInvalidSpan;
+    return *this;
+  }
+  ~Span() { finish(); }
+
+  explicit operator bool() const { return tracer_ != nullptr; }
+
+  void note(std::string key, std::uint64_t value) {
+    if (tracer_ != nullptr) tracer_->annotate(id_, std::move(key), value);
+  }
+  void note(std::string key, double value) {
+    if (tracer_ != nullptr) tracer_->annotate(id_, std::move(key), value);
+  }
+  void note(std::string key, std::string value) {
+    if (tracer_ != nullptr) {
+      tracer_->annotate(id_, std::move(key), std::move(value));
+    }
+  }
+
+  void finish() {
+    if (tracer_ != nullptr) {
+      tracer_->end(id_);
+      tracer_ = nullptr;
+      id_ = Tracer::kInvalidSpan;
+    }
+  }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  Tracer::SpanId id_ = Tracer::kInvalidSpan;
+};
+
+}  // namespace mnd::obs

@@ -35,6 +35,12 @@ PhaseBreakdown RunReport::max_phases() const {
   return out;
 }
 
+obs::MetricsRegistry RunReport::merged_metrics() const {
+  obs::MetricsRegistry merged;
+  for (const auto& m : rank_metrics) merged.merge(m);
+  return merged;
+}
+
 /// Tag+source matched FIFO queues with blocking take.
 struct Cluster::Mailbox {
   struct Key {
@@ -131,12 +137,14 @@ RunReport Cluster::run(const std::function<void(Communicator&)>& fn) {
   comms.reserve(static_cast<std::size_t>(n));
   for (int r = 0; r < n; ++r) {
     comms.push_back(std::make_unique<Communicator>(*this, r));
+    if (config_.collect_traces) comms.back()->enable_tracing();
   }
 
   std::mutex error_mutex;
   std::exception_ptr first_error;
 
   auto body = [&](int r) {
+    set_thread_log_rank(r);
     try {
       fn(*comms[static_cast<std::size_t>(r)]);
     } catch (...) {
@@ -147,6 +155,7 @@ RunReport Cluster::run(const std::function<void(Communicator&)>& fn) {
       // Unblock every rank waiting in recv so the run can unwind.
       for (auto& mb : mailboxes_) mb->poison();
     }
+    set_thread_log_rank(-1);  // rank 0 runs on the caller's thread
   };
 
   std::vector<std::thread> threads;
@@ -163,10 +172,19 @@ RunReport Cluster::run(const std::function<void(Communicator&)>& fn) {
   report.rank_finish_times.reserve(static_cast<std::size_t>(n));
   for (int r = 0; r < n; ++r) {
     auto& c = *comms[static_cast<std::size_t>(r)];
+    if (config_.collect_traces || config_.collect_metrics) {
+      c.fold_stats_into_metrics();
+    }
     report.rank_finish_times.push_back(c.clock().now());
     report.rank_comm.push_back(c.stats());
     report.rank_phases.push_back(c.phases());
     report.rank_peak_memory.push_back(c.memory().peak());
+    report.rank_metrics.push_back(c.metrics());
+    if (c.tracer() != nullptr) {
+      MND_CHECK_MSG(c.tracer()->open_spans() == 0,
+                    "rank " << r << " finished with unclosed trace spans");
+      report.rank_traces.push_back(c.tracer()->snapshot());
+    }
     report.makespan = std::max(report.makespan, c.clock().now());
   }
   return report;

@@ -26,6 +26,15 @@ struct ClusterConfig {
   NetModel net = NetModel::amd_cluster();
   /// Per-rank memory capacity in bytes (MemTracker::kUnlimited = off).
   std::size_t rank_memory_bytes = MemTracker::kUnlimited;
+  /// Records per-rank span traces (obs::Tracer) during the run. Off by
+  /// default: the disabled path costs one null-pointer test per
+  /// instrumentation site.
+  bool collect_traces = false;
+  /// Folds comm/phase/memory stats into per-rank MetricsRegistry at run
+  /// end (RunReport::rank_metrics). Implied by collect_traces. Off by
+  /// default: the fold builds string-keyed metric rows per peer, which a
+  /// microbenchmark-scale run would pay on every iteration.
+  bool collect_metrics = false;
 };
 
 /// Result of one SPMD run.
@@ -36,12 +45,21 @@ struct RunReport {
   std::vector<CommStats> rank_comm;
   std::vector<PhaseBreakdown> rank_phases;
   std::vector<std::size_t> rank_peak_memory;
+  /// Per-rank metrics registries. Engine-recorded metrics are always
+  /// present; comm/phase/memory stats are folded in at run end only when
+  /// ClusterConfig::collect_traces or ::collect_metrics is set.
+  std::vector<obs::MetricsRegistry> rank_metrics;
+  /// Per-rank span traces; empty unless ClusterConfig::collect_traces.
+  std::vector<obs::RankTraceData> rank_traces;
 
   double total_comm_seconds() const;
   double max_comm_seconds() const;
   std::uint64_t total_bytes_sent() const;
   /// Max over ranks of (total phase time - comm phases): "useful work".
   PhaseBreakdown max_phases() const;
+  /// Rank-0 reduction of rank_metrics (counters sum, gauges max,
+  /// histograms merge).
+  obs::MetricsRegistry merged_metrics() const;
 };
 
 class Cluster {

@@ -17,9 +17,46 @@ int Group::rank_of(int world_rank) const {
 Communicator::Communicator(Cluster& cluster, int rank)
     : cluster_(cluster),
       rank_(rank),
-      memory_(cluster.config().rank_memory_bytes) {}
+      memory_(cluster.config().rank_memory_bytes) {
+  stats_.per_peer.resize(static_cast<std::size_t>(cluster.size()));
+}
+
+void Communicator::enable_tracing() {
+  if (tracer_ != nullptr) return;
+  tracer_ = std::make_unique<obs::Tracer>(
+      rank_, [clock = &clock_] { return clock->now(); });
+}
+
+void Communicator::fold_stats_into_metrics() {
+  metrics_.add_counter("comm.messages_sent", stats_.messages_sent);
+  metrics_.add_counter("comm.bytes_sent", stats_.bytes_sent);
+  metrics_.add_counter("comm.messages_received", stats_.messages_received);
+  metrics_.add_counter("comm.bytes_received", stats_.bytes_received);
+  metrics_.set_gauge("comm.seconds", stats_.comm_seconds);
+  metrics_.set_gauge("comm.wait_seconds", stats_.wait_seconds);
+  for (std::size_t r = 0; r < stats_.per_peer.size(); ++r) {
+    const PeerCommStats& p = stats_.per_peer[r];
+    if (p.messages_sent == 0 && p.messages_received == 0) continue;
+    const std::string prefix = "comm.peer." + std::to_string(r) + ".";
+    metrics_.add_counter(prefix + "messages_sent", p.messages_sent);
+    metrics_.add_counter(prefix + "bytes_sent", p.bytes_sent);
+    metrics_.add_counter(prefix + "messages_received", p.messages_received);
+    metrics_.add_counter(prefix + "bytes_received", p.bytes_received);
+    metrics_.set_gauge(prefix + "wait_seconds", p.wait_seconds);
+  }
+  for (const auto& [phase, seconds] : phases_.entries()) {
+    metrics_.set_gauge("phase." + phase + ".seconds", seconds);
+  }
+  metrics_.set_gauge("time.finish_seconds", clock_.now());
+  metrics_.set_gauge("mem.peak_bytes",
+                     static_cast<double>(memory_.peak()));
+}
 
 int Communicator::size() const { return cluster_.size(); }
+
+bool Communicator::metrics_enabled() const {
+  return cluster_.config().collect_traces || cluster_.config().collect_metrics;
+}
 
 const NetModel& Communicator::net() const { return cluster_.net(); }
 
@@ -43,6 +80,9 @@ void Communicator::send(int dst, Tag tag, std::vector<std::uint8_t> payload) {
   stats_.comm_seconds += occupancy;
   stats_.messages_sent += 1;
   stats_.bytes_sent += bytes;
+  PeerCommStats& peer = stats_.per_peer[static_cast<std::size_t>(dst)];
+  peer.messages_sent += 1;
+  peer.bytes_sent += bytes;
   phases_.add("comm", occupancy);
 
   cluster_.deliver(dst, std::move(msg));
@@ -58,6 +98,10 @@ std::vector<std::uint8_t> Communicator::recv(int src, Tag tag) {
   stats_.wait_seconds += wait;
   stats_.messages_received += 1;
   stats_.bytes_received += msg.payload.size();
+  PeerCommStats& peer = stats_.per_peer[static_cast<std::size_t>(src)];
+  peer.messages_received += 1;
+  peer.bytes_received += msg.payload.size();
+  peer.wait_seconds += wait;
   phases_.add("comm", wait + drain);
   return std::move(msg.payload);
 }

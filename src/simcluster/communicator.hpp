@@ -13,9 +13,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "simcluster/mem_tracker.hpp"
 #include "simcluster/message.hpp"
 #include "simcluster/net_model.hpp"
@@ -35,6 +38,15 @@ struct Group {
   bool contains(int world_rank) const { return rank_of(world_rank) >= 0; }
 };
 
+/// Per-peer communication counters (one row per remote rank).
+struct PeerCommStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_received = 0;
+  double wait_seconds = 0.0;  // virtual time blocked on this peer's sends
+};
+
 /// Per-rank communication statistics (virtual time + volume).
 struct CommStats {
   double comm_seconds = 0.0;     // injection + drain + wait time
@@ -43,6 +55,8 @@ struct CommStats {
   std::uint64_t bytes_sent = 0;
   std::uint64_t messages_received = 0;
   std::uint64_t bytes_received = 0;
+  /// Indexed by peer world rank (the self row stays zero).
+  std::vector<PeerCommStats> per_peer;
 };
 
 class Communicator {
@@ -60,6 +74,24 @@ class Communicator {
   const CommStats& stats() const { return stats_; }
   PhaseBreakdown& phases() { return phases_; }
   const PhaseBreakdown& phases() const { return phases_; }
+
+  /// Null unless the cluster was configured with collect_traces; engine
+  /// code instruments unconditionally through obs::Span, which tolerates
+  /// the null (disabled) tracer.
+  obs::Tracer* tracer() { return tracer_.get(); }
+  /// Creates this rank's tracer, bound to its virtual clock.
+  void enable_tracing();
+
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  /// True when this run will fold/report metrics (ClusterConfig::
+  /// collect_traces or ::collect_metrics). Engine code uses this to skip
+  /// building string-keyed metric rows nobody will read.
+  bool metrics_enabled() const;
+  /// Folds CommStats / PhaseBreakdown / memory into the registry under the
+  /// "comm.", "comm.peer.<r>.", "phase." and "mem." namespaces. Called once
+  /// at the end of a cluster run.
+  void fold_stats_into_metrics();
 
   /// Advances this rank's clock by `seconds` of computation, attributed to
   /// `phase` in the breakdown.
@@ -125,6 +157,8 @@ class Communicator {
   MemTracker memory_;
   CommStats stats_;
   PhaseBreakdown phases_;
+  std::unique_ptr<obs::Tracer> tracer_;
+  obs::MetricsRegistry metrics_;
 };
 
 }  // namespace mnd::sim

@@ -18,12 +18,28 @@ namespace mnd::sim {
 
 class VirtualClock {
  public:
+  /// Trace hook: observes every clock movement. `on_advance` fires for
+  /// local work charges, `on_wait` for the blocked portion of a join
+  /// (message-arrival causality). Null by default — the hook costs one
+  /// pointer test when tracing is off.
+  class Listener {
+   public:
+    virtual ~Listener() = default;
+    virtual void on_advance(double now, double seconds) = 0;
+    virtual void on_wait(double now, double waited) = 0;
+  };
+
   double now() const { return now_; }
+
+  void set_listener(Listener* listener) { listener_ = listener; }
 
   /// Advances by `seconds` of local work/overhead.
   void advance(double seconds) {
     MND_DCHECK(seconds >= 0.0);
     now_ += seconds;
+    if (listener_ != nullptr && seconds > 0.0) {
+      listener_->on_advance(now_, seconds);
+    }
   }
 
   /// Joins an event that completes at absolute time `t` (e.g. a message
@@ -34,11 +50,13 @@ class VirtualClock {
     if (t <= now_) return 0.0;
     const double wait = t - now_;
     now_ = t;
+    if (listener_ != nullptr) listener_->on_wait(now_, wait);
     return wait;
   }
 
  private:
   double now_ = 0.0;
+  Listener* listener_ = nullptr;
 };
 
 /// Named time buckets: how much virtual time a rank spent per phase

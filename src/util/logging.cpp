@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <string>
 
 namespace mnd {
@@ -37,6 +38,8 @@ std::mutex& output_mutex() {
   return m;
 }
 
+thread_local int t_log_rank = -1;
+
 }  // namespace
 
 LogLevel log_level() { return static_cast<LogLevel>(level_storage().load()); }
@@ -55,8 +58,19 @@ LogLevel parse_log_level(std::string_view name) {
   if (lower == "warn" || lower == "warning") return LogLevel::Warn;
   if (lower == "error") return LogLevel::Error;
   if (lower == "off" || lower == "none") return LogLevel::Off;
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true)) {
+    std::fprintf(stderr,
+                 "[WARN logging] unknown log level \"%.*s\" — defaulting to "
+                 "info (expected trace|debug|info|warn|error|off)\n",
+                 static_cast<int>(name.size()), name.data());
+  }
   return LogLevel::Info;
 }
+
+void set_thread_log_rank(int rank) { t_log_rank = rank; }
+
+int thread_log_rank() { return t_log_rank; }
 
 namespace detail {
 
@@ -69,7 +83,23 @@ LogLine::LogLine(LogLevel level, const char* file, int line) : level_(level) {
   for (const char* p = file; *p; ++p) {
     if (*p == '/') base = p + 1;
   }
-  stream_ << "[" << level_name(level_) << " " << base << ":" << line << "] ";
+  const auto now = std::chrono::system_clock::now();
+  const auto since_epoch = now.time_since_epoch();
+  const auto secs =
+      std::chrono::duration_cast<std::chrono::seconds>(since_epoch);
+  const auto millis =
+      std::chrono::duration_cast<std::chrono::milliseconds>(since_epoch) -
+      std::chrono::duration_cast<std::chrono::milliseconds>(secs);
+  const std::time_t t = std::chrono::system_clock::to_time_t(now);
+  std::tm tm_buf{};
+  localtime_r(&t, &tm_buf);
+  char stamp[16];
+  std::snprintf(stamp, sizeof(stamp), "%02d:%02d:%02d.%03d", tm_buf.tm_hour,
+                tm_buf.tm_min, tm_buf.tm_sec,
+                static_cast<int>(millis.count()));
+  stream_ << "[" << stamp << " " << level_name(level_);
+  if (t_log_rank >= 0) stream_ << " r" << t_log_rank;
+  stream_ << " " << base << ":" << line << "] ";
 }
 
 LogLine::~LogLine() {

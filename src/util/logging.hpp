@@ -4,6 +4,11 @@
 //   MND_LOG(Info) << "partitioned " << n << " vertices";
 // Level is process-global and settable via set_log_level() or the
 // MND_LOG_LEVEL environment variable (trace|debug|info|warn|error|off).
+//
+// Lines carry a wall-clock timestamp and, when the calling thread belongs
+// to a simulated rank (set_thread_log_rank), an "rN" marker so interleaved
+// multi-rank output stays attributable:
+//   [12:34:56.789 DEBUG r3 engine.cpp:224] rank 3 devRound 0 ...
 #pragma once
 
 #include <mutex>
@@ -16,8 +21,15 @@ enum class LogLevel : int { Trace = 0, Debug, Info, Warn, Error, Off };
 
 LogLevel log_level();
 void set_log_level(LogLevel level);
-/// Parses a level name ("info", "Warn", ...); returns Info on unknown input.
+/// Parses a level name ("info", "Warn", ...). Unknown names map to Info
+/// with a one-time stderr warning naming the bad value.
 LogLevel parse_log_level(std::string_view name);
+
+/// Tags the calling thread's log lines with a simulated rank (-1 = none).
+/// The cluster driver sets this on every rank thread for the duration of a
+/// run.
+void set_thread_log_rank(int rank);
+int thread_log_rank();
 
 namespace detail {
 

@@ -5,6 +5,7 @@
 #include "graph/generators.hpp"
 #include "graph/reference_mst.hpp"
 #include "mst/mnd_mst.hpp"
+#include "obs/trace.hpp"
 
 namespace mnd {
 namespace {
@@ -85,6 +86,39 @@ TEST(MndMstTest, RoadDatasetStandInSmallScale) {
   const EdgeList el = graph::make_dataset("road_usa", 0.05);
   const auto report = mst::run_mnd_mst(el, base_options(4));
   expect_optimal(el, report);
+}
+
+// The depth-0 main-track spans tile a rank's timeline: partGraph,
+// makeGhost, per-level indComp/mergeParts, postProcess, collectResults are
+// consecutive and every clock-advancing operation happens inside one of
+// them, so their durations must sum to the rank's finish time.
+TEST(MndMstTest, PhaseSpansCoverTotalTime) {
+  const EdgeList el = graph::rmat(11, 16384, 9);
+  auto opts = base_options(4);
+  opts.collect_traces = true;
+  const auto report = mst::run_mnd_mst(el, opts);
+  ASSERT_EQ(report.run.rank_traces.size(), 4u);
+
+  for (std::size_t r = 0; r < report.run.rank_traces.size(); ++r) {
+    const auto& trace = report.run.rank_traces[r];
+    double covered = 0.0;
+    bool saw_indcomp = false;
+    double prev_end = 0.0;
+    for (const auto& s : trace.spans) {
+      if (s.track != obs::Tracer::kMainTrack || s.depth != 0) continue;
+      // Consecutive: each top-level span starts where the previous ended.
+      EXPECT_GE(s.vt_begin, prev_end - 1e-12)
+          << "rank " << r << " span " << s.name;
+      prev_end = s.vt_end;
+      covered += s.vt_seconds();
+      if (s.name == "indComp") saw_indcomp = true;
+    }
+    EXPECT_TRUE(saw_indcomp) << "rank " << r;
+    const double total = report.run.rank_finish_times[r];
+    ASSERT_GT(total, 0.0);
+    EXPECT_NEAR(covered, total, 0.01 * total)
+        << "rank " << r << ": top-level spans must cover the timeline";
+  }
 }
 
 }  // namespace

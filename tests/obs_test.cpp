@@ -1,0 +1,379 @@
+// Observability layer: tracer spans, metrics registry + merge, JSON
+// parser, and exporter round trips.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bsp/msf.hpp"
+#include "graph/generators.hpp"
+#include "mst/mnd_mst.hpp"
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "simcluster/cluster.hpp"
+#include "simcluster/virtual_clock.hpp"
+#include "util/check.hpp"
+
+namespace mnd {
+namespace {
+
+// ---- Tracer --------------------------------------------------------------
+
+TEST(TracerTest, SpansNestAndStampVirtualTime) {
+  double vt = 0.0;
+  obs::Tracer tr(3, [&] { return vt; });
+  EXPECT_EQ(tr.rank(), 3);
+
+  const auto outer = tr.begin("phase", obs::SpanCat::Phase);
+  vt = 1.0;
+  const auto inner = tr.begin("round", obs::SpanCat::Ring);
+  vt = 2.5;
+  tr.end(inner);
+  vt = 4.0;
+  tr.end(outer);
+
+  ASSERT_EQ(tr.spans().size(), 2u);
+  const obs::SpanRecord& o = tr.spans()[0];
+  const obs::SpanRecord& i = tr.spans()[1];
+  EXPECT_EQ(o.name, "phase");
+  EXPECT_EQ(o.depth, 0);
+  EXPECT_DOUBLE_EQ(o.vt_begin, 0.0);
+  EXPECT_DOUBLE_EQ(o.vt_end, 4.0);
+  EXPECT_EQ(i.name, "round");
+  EXPECT_EQ(i.depth, 1);
+  EXPECT_DOUBLE_EQ(i.vt_begin, 1.0);
+  EXPECT_DOUBLE_EQ(i.vt_end, 2.5);
+  EXPECT_DOUBLE_EQ(i.vt_seconds(), 1.5);
+  EXPECT_EQ(tr.open_spans(), 0u);
+}
+
+TEST(TracerTest, OutOfOrderEndThrows) {
+  double vt = 0.0;
+  obs::Tracer tr(0, [&] { return vt; });
+  const auto a = tr.begin("a", obs::SpanCat::Misc);
+  (void)tr.begin("b", obs::SpanCat::Misc);
+  EXPECT_THROW(tr.end(a), CheckFailure);
+}
+
+TEST(TracerTest, TracksAreIndependentStacks) {
+  double vt = 0.0;
+  obs::Tracer tr(0, [&] { return vt; });
+  const int dev = tr.track("gpu");
+  EXPECT_NE(dev, obs::Tracer::kMainTrack);
+  EXPECT_EQ(tr.track("gpu"), dev);  // find-or-create is idempotent
+
+  const auto main_span = tr.begin("phase", obs::SpanCat::Phase);
+  const auto dev_span = tr.begin("kernel", obs::SpanCat::Kernel, dev);
+  // Closing the main-track span first is fine: LIFO is per track.
+  tr.end(main_span);
+  tr.end(dev_span);
+  EXPECT_EQ(tr.spans()[1].track, dev);
+  EXPECT_EQ(tr.spans()[1].depth, 0);
+}
+
+TEST(TracerTest, RecordBackdatesClosedSpans) {
+  double vt = 10.0;
+  obs::Tracer tr(0, [&] { return vt; });
+  const auto id = tr.record("kernel", obs::SpanCat::Kernel,
+                            tr.track("gpu"), 2.0, 3.5);
+  tr.annotate(id, "bytes", std::uint64_t{128});
+  const obs::SpanRecord& s = tr.spans()[0];
+  EXPECT_DOUBLE_EQ(s.vt_begin, 2.0);
+  EXPECT_DOUBLE_EQ(s.vt_end, 3.5);
+  ASSERT_EQ(s.args.size(), 1u);
+  EXPECT_EQ(s.args[0].key, "bytes");
+  EXPECT_EQ(s.args[0].int_value, 128u);
+  EXPECT_THROW(tr.record("bad", obs::SpanCat::Kernel, 0, 3.0, 2.0),
+               CheckFailure);
+}
+
+TEST(TracerTest, NullSpanGuardIsANoOp) {
+  obs::Span span(nullptr, "phase", obs::SpanCat::Phase);
+  EXPECT_FALSE(static_cast<bool>(span));
+  span.note("key", std::uint64_t{1});
+  span.note("f", 2.0);
+  span.note("s", std::string("x"));
+  span.finish();  // must not crash
+}
+
+TEST(TracerTest, SpanGuardMoveTransfersOwnership) {
+  double vt = 0.0;
+  obs::Tracer tr(0, [&] { return vt; });
+  {
+    obs::Span a(&tr, "phase", obs::SpanCat::Phase);
+    obs::Span b = std::move(a);
+    EXPECT_FALSE(static_cast<bool>(a));
+    EXPECT_TRUE(static_cast<bool>(b));
+  }
+  EXPECT_EQ(tr.open_spans(), 0u);
+  EXPECT_EQ(tr.spans().size(), 1u);
+}
+
+// ---- VirtualClock listener ----------------------------------------------
+
+TEST(VirtualClockTest, ListenerObservesAdvancesAndWaits) {
+  struct Recorder : sim::VirtualClock::Listener {
+    double advanced = 0.0;
+    double waited = 0.0;
+    void on_advance(double, double seconds) override { advanced += seconds; }
+    void on_wait(double, double w) override { waited += w; }
+  };
+  sim::VirtualClock clock;
+  Recorder rec;
+  clock.set_listener(&rec);
+  clock.advance(1.5);
+  clock.advance(0.0);  // zero-length advances don't fire the hook
+  EXPECT_DOUBLE_EQ(clock.join(3.0), 1.5);
+  EXPECT_DOUBLE_EQ(clock.join(2.0), 0.0);  // past events don't wait
+  EXPECT_DOUBLE_EQ(rec.advanced, 1.5);
+  EXPECT_DOUBLE_EQ(rec.waited, 1.5);
+}
+
+// ---- MetricsRegistry -----------------------------------------------------
+
+TEST(MetricsTest, CountersGaugesHistograms) {
+  obs::MetricsRegistry m;
+  EXPECT_TRUE(m.empty());
+  m.add_counter("c", 2);
+  m.add_counter("c", 3);
+  m.set_gauge("g", 1.5);
+  m.observe("h", 1.0);
+  m.observe("h", 3.0);
+  EXPECT_EQ(m.counter("c"), 5u);
+  EXPECT_EQ(m.counter("absent"), 0u);
+  EXPECT_TRUE(m.has_gauge("g"));
+  EXPECT_FALSE(m.has_gauge("absent"));
+  EXPECT_DOUBLE_EQ(m.gauge("g"), 1.5);
+  ASSERT_NE(m.histogram("h"), nullptr);
+  EXPECT_EQ(m.histogram("h")->count(), 2u);
+  EXPECT_DOUBLE_EQ(m.histogram("h")->mean(), 2.0);
+  EXPECT_EQ(m.histogram("absent"), nullptr);
+}
+
+TEST(MetricsTest, MergeSumsCountersMaxesGaugesMergesHistograms) {
+  obs::MetricsRegistry a, b;
+  a.add_counter("c", 1);
+  b.add_counter("c", 2);
+  b.add_counter("only_b", 7);
+  a.set_gauge("g", 3.0);
+  b.set_gauge("g", 2.0);
+  a.observe("h", 1.0);
+  b.observe("h", 5.0);
+
+  a.merge(b);
+  EXPECT_EQ(a.counter("c"), 3u);
+  EXPECT_EQ(a.counter("only_b"), 7u);
+  EXPECT_DOUBLE_EQ(a.gauge("g"), 3.0);  // max wins
+  EXPECT_EQ(a.histogram("h")->count(), 2u);
+  EXPECT_DOUBLE_EQ(a.histogram("h")->max(), 5.0);
+}
+
+TEST(MetricsTest, PerRankRegistriesMergeAcrossClusterRun) {
+  sim::ClusterConfig config;
+  config.num_ranks = 4;
+  config.collect_metrics = true;
+  const auto report = sim::run_cluster(config, [](sim::Communicator& comm) {
+    comm.metrics().add_counter("test.events",
+                               static_cast<std::uint64_t>(comm.rank() + 1));
+    comm.metrics().set_gauge("test.rank", static_cast<double>(comm.rank()));
+    comm.compute(1e-6, "indComp");
+    comm.barrier(0x7E57);
+  });
+  ASSERT_EQ(report.rank_metrics.size(), 4u);
+  const auto merged = report.merged_metrics();
+  EXPECT_EQ(merged.counter("test.events"), 10u);  // 1+2+3+4
+  EXPECT_DOUBLE_EQ(merged.gauge("test.rank"), 3.0);
+  // fold_stats_into_metrics ran: the barrier sent messages.
+  EXPECT_GT(merged.counter("comm.messages_sent"), 0u);
+  EXPECT_TRUE(merged.has_gauge("phase.indComp.seconds"));
+}
+
+// ---- JSON parser ---------------------------------------------------------
+
+TEST(JsonTest, ParsesScalarsContainersAndEscapes) {
+  const auto v = obs::parse_json(
+      R"({"a": [1, -2.5e2, true, false, null], "s": "x\nA\"", "o": {}})");
+  ASSERT_TRUE(v.is_object());
+  const auto* a = v.get("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->elements.size(), 5u);
+  EXPECT_DOUBLE_EQ(a->elements[0].number_value, 1.0);
+  EXPECT_DOUBLE_EQ(a->elements[1].number_value, -250.0);
+  EXPECT_TRUE(a->elements[2].bool_value);
+  EXPECT_TRUE(a->elements[4].is_null());
+  const auto* s = v.get("s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->string_value, "x\nA\"");
+  EXPECT_EQ(v.get("missing"), nullptr);
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_THROW(obs::parse_json(""), CheckFailure);
+  EXPECT_THROW(obs::parse_json("{"), CheckFailure);
+  EXPECT_THROW(obs::parse_json("[1,]"), CheckFailure);
+  EXPECT_THROW(obs::parse_json("{\"a\" 1}"), CheckFailure);
+  EXPECT_THROW(obs::parse_json("nul"), CheckFailure);
+  EXPECT_THROW(obs::parse_json("{} trailing"), CheckFailure);
+  EXPECT_THROW(obs::parse_json("\"unterminated"), CheckFailure);
+}
+
+TEST(JsonTest, EscapeRoundTrips) {
+  const std::string raw = "tab\there \"quoted\" back\\slash\x01";
+  const auto v = obs::parse_json("\"" + obs::json_escape(raw) + "\"");
+  EXPECT_EQ(v.string_value, raw);
+}
+
+// ---- Exporter round trips ------------------------------------------------
+
+mst::MndMstReport traced_run(int nodes) {
+  const graph::EdgeList el = graph::rmat(10, 8192, 42);
+  mst::MndMstOptions opts;
+  opts.num_nodes = nodes;
+  opts.collect_traces = true;
+  return mst::run_mnd_mst(el, opts);
+}
+
+TEST(ExportTest, ChromeTraceRoundTripsThroughParser) {
+  const auto report = traced_run(4);
+  ASSERT_EQ(report.run.rank_traces.size(), 4u);
+
+  std::ostringstream out;
+  obs::write_chrome_trace(out, report.run.rank_traces);
+  const auto doc = obs::parse_json(out.str());
+
+  ASSERT_TRUE(doc.is_object());
+  const auto* unit = doc.get("displayTimeUnit");
+  ASSERT_NE(unit, nullptr);
+  EXPECT_EQ(unit->string_value, "ms");
+  const auto* events = doc.get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_FALSE(events->elements.empty());
+
+  // Every rank's main track must carry the Algorithm 1 phases; postProcess
+  // runs on the final remaining rank only.
+  std::vector<bool> has_part(4), has_ind(4), has_merge(4), has_meta(4);
+  bool any_post = false;
+  for (const auto& e : events->elements) {
+    ASSERT_TRUE(e.is_object());
+    const auto* ph = e.get("ph");
+    const auto* name = e.get("name");
+    const auto* pid = e.get("pid");
+    ASSERT_NE(ph, nullptr);
+    ASSERT_NE(name, nullptr);
+    ASSERT_NE(pid, nullptr);
+    const int rank = static_cast<int>(pid->number_value);
+    ASSERT_GE(rank, 0);
+    ASSERT_LT(rank, 4);
+    if (ph->string_value == "M") {
+      if (name->string_value == "thread_name") has_meta[rank] = true;
+      continue;
+    }
+    ASSERT_EQ(ph->string_value, "X");
+    const auto* ts = e.get("ts");
+    const auto* dur = e.get("dur");
+    ASSERT_NE(ts, nullptr);
+    ASSERT_NE(dur, nullptr);
+    EXPECT_GE(dur->number_value, 0.0);
+    if (name->string_value == "partGraph") has_part[rank] = true;
+    if (name->string_value == "indComp") has_ind[rank] = true;
+    if (name->string_value == "mergeParts") has_merge[rank] = true;
+    if (name->string_value == "postProcess") any_post = true;
+  }
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_TRUE(has_part[r]) << "rank " << r;
+    EXPECT_TRUE(has_ind[r]) << "rank " << r;
+    EXPECT_TRUE(has_merge[r]) << "rank " << r;
+    EXPECT_TRUE(has_meta[r]) << "rank " << r;
+  }
+  EXPECT_TRUE(any_post);
+}
+
+TEST(ExportTest, MetricsJsonRoundTripsThroughParser) {
+  const auto report = traced_run(4);
+  std::ostringstream out;
+  obs::write_metrics_json(out, report.run.rank_metrics);
+  const auto doc = obs::parse_json(out.str());
+
+  const auto* ranks = doc.get("ranks");
+  ASSERT_NE(ranks, nullptr);
+  ASSERT_TRUE(ranks->is_array());
+  ASSERT_EQ(ranks->elements.size(), 4u);
+  const auto* merged = doc.get("merged");
+  ASSERT_NE(merged, nullptr);
+  const auto* counters = merged->get("counters");
+  ASSERT_NE(counters, nullptr);
+  const auto* sent = counters->get("comm.bytes_sent");
+  ASSERT_NE(sent, nullptr);
+  EXPECT_GT(sent->number_value, 0.0);
+  const auto* gauges = merged->get("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_NE(gauges->get("hypar.level.0.components"), nullptr);
+  // Merged comm totals equal the sum over ranks.
+  double rank_sum = 0.0;
+  for (const auto& r : ranks->elements) {
+    const auto* c = r.get("counters");
+    ASSERT_NE(c, nullptr);
+    const auto* b = c->get("comm.bytes_sent");
+    ASSERT_NE(b, nullptr);
+    rank_sum += b->number_value;
+  }
+  EXPECT_DOUBLE_EQ(rank_sum, sent->number_value);
+}
+
+TEST(ExportTest, TracingDoesNotPerturbVirtualTime) {
+  const graph::EdgeList el = graph::rmat(10, 8192, 42);
+  mst::MndMstOptions plain;
+  plain.num_nodes = 4;
+  mst::MndMstOptions traced = plain;
+  traced.collect_traces = true;
+  const auto a = mst::run_mnd_mst(el, plain);
+  const auto b = mst::run_mnd_mst(el, traced);
+  EXPECT_DOUBLE_EQ(a.total_seconds, b.total_seconds);
+  EXPECT_DOUBLE_EQ(a.comm_seconds, b.comm_seconds);
+  EXPECT_EQ(a.forest.edges, b.forest.edges);
+  EXPECT_TRUE(a.run.rank_traces.empty());
+  EXPECT_FALSE(b.run.rank_traces.empty());
+}
+
+TEST(ExportTest, CommCountersMatchRawStats) {
+  const auto report = traced_run(4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    const auto& stats = report.run.rank_comm[r];
+    const auto& m = report.run.rank_metrics[r];
+    EXPECT_EQ(m.counter("comm.messages_sent"), stats.messages_sent);
+    EXPECT_EQ(m.counter("comm.bytes_sent"), stats.bytes_sent);
+    EXPECT_EQ(m.counter("comm.messages_received"), stats.messages_received);
+    // Per-peer rows sum to the rank totals.
+    std::uint64_t peer_sent = 0;
+    for (std::size_t p = 0; p < stats.per_peer.size(); ++p) {
+      peer_sent += stats.per_peer[p].messages_sent;
+      EXPECT_EQ(m.counter("comm.peer." + std::to_string(p) +
+                          ".messages_sent"),
+                stats.per_peer[p].messages_sent);
+    }
+    EXPECT_EQ(peer_sent, stats.messages_sent);
+  }
+}
+
+TEST(ExportTest, BspSuperstepsTracedAndCounted) {
+  const graph::EdgeList el = graph::rmat(9, 4096, 7);
+  bsp::BspOptions opts;
+  opts.num_workers = 4;
+  opts.collect_traces = true;
+  const auto report = bsp::run_bsp_msf(el, opts);
+  ASSERT_EQ(report.run.rank_traces.size(), 4u);
+  const auto merged = report.run.merged_metrics();
+  EXPECT_GT(merged.counter("bsp.supersteps"), 0u);
+  EXPECT_GT(merged.counter("bsp.rounds"), 0u);
+  bool saw_superstep = false;
+  for (const auto& s : report.run.rank_traces[0].spans) {
+    if (s.name == "superstep") saw_superstep = true;
+  }
+  EXPECT_TRUE(saw_superstep);
+}
+
+}  // namespace
+}  // namespace mnd
