@@ -93,10 +93,7 @@ void BM_LocalBoruvka(benchmark::State& state) {
       for (const auto& arc : g.adjacency(v)) {
         c.edges.push_back(mst::CEdge{arc.to, arc.w, arc.id});
       }
-      std::sort(c.edges.begin(), c.edges.end(),
-                [](const mst::CEdge& a, const mst::CEdge& b) {
-                  return graph::lighter(a.w, a.orig, b.w, b.orig);
-                });
+      std::sort(c.edges.begin(), c.edges.end(), graph::EdgeLess{});
       cg.adopt(std::move(c));
     }
     const auto stats = mst::local_boruvka(cg, nullptr);

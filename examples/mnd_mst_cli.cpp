@@ -13,7 +13,10 @@
 //                                     Chrome trace_event JSON (load in
 //                                     Perfetto / chrome://tracing)
 //   --metrics-out FILE                write per-rank + merged metrics JSON
-//   --validate                        check against exact Kruskal
+//   --validate                        run the phase-boundary invariant
+//                                     validators during the run and check
+//                                     the result against exact Kruskal
+//                                     (MND_VALIDATE=1 also enables them)
 //
 // Options accept both "--flag VALUE" and "--flag=VALUE". The pseudo-path
 // "rmat:SCALE,EDGES,SEED" generates a 2^SCALE-vertex R-MAT graph instead of
@@ -155,6 +158,8 @@ int main(int argc, char** argv) {
     }
   }
 
+  options.validate = validate;
+
   graph::EdgeList el;
   try {
     el = load(path, format);
@@ -198,13 +203,22 @@ int main(int argc, char** argv) {
     std::printf("metrics written to %s\n", metrics_path.c_str());
   }
 
-  if (validate) {
+  if (validate || !report.validation.ok()) {
+    if (!report.validation.ok()) {
+      for (const auto& f : report.validation.failures()) {
+        std::printf("VALIDATION FAILED [%s]: %s\n", f.check.c_str(),
+                    f.detail.c_str());
+      }
+      return 1;
+    }
     const auto v = graph::validate_spanning_forest(el, report.forest.edges);
     if (!v.ok) {
       std::printf("VALIDATION FAILED: %s\n", v.error.c_str());
       return 1;
     }
-    std::printf("validated against exact Kruskal\n");
+    std::printf("validated: %zu invariant check(s) passed, forest matches "
+                "exact Kruskal\n",
+                report.validation.checks_run());
   }
   if (!out_path.empty()) {
     std::ofstream out(out_path);

@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
   std::vector<graph::EdgeId> forest = report.forest.edges;
   std::sort(forest.begin(), forest.end(),
             [&](graph::EdgeId a, graph::EdgeId b) {
-              return graph::lighter(network.edge(a), network.edge(b));
+              return graph::edge_less(network.edge(a), network.edge(b));
             });
   const std::size_t keep =
       forest.size() > k - 1 ? forest.size() - (k - 1) : 0;

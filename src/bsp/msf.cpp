@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <mutex>
+#include <sstream>
 
 #include "bsp/engine.hpp"
 #include "graph/csr.hpp"
@@ -101,7 +102,7 @@ struct WorkerResult {
 };
 
 WorkerResult msf_worker(sim::Communicator& comm, const graph::Csr& g,
-                        const BspOptions& opts) {
+                        const BspOptions& opts, validate::Report* vrep) {
   BspWorker worker(comm, opts.cpu_model);
   const int me = worker.rank();
   const int p = worker.workers();
@@ -141,16 +142,39 @@ WorkerResult msf_worker(sim::Communicator& comm, const graph::Csr& g,
         ++edges_scanned;
         if (e.to_comp == c) continue;
         if (best == nullptr ||
-            graph::lighter(e.w, e.orig, best->w, best->orig)) {
+            graph::edge_less(e.w, e.orig, best->w, best->orig)) {
           best = &e;
         }
       }
       if (best == nullptr) continue;
+      if (vrep != nullptr) {
+        // Differential recheck: scanning the adjacency in reverse order
+        // must select the same edge. A disagreement means the (weight,
+        // id) tie-break is not a total order over this list — the bug
+        // class that makes the two engines pick different forests.
+        vrep->count_check("lightest_edge");
+        const LocalEdge* rev = nullptr;
+        for (auto it = edges[i].rbegin(); it != edges[i].rend(); ++it) {
+          if (it->to_comp == c) continue;
+          if (rev == nullptr ||
+              graph::edge_less(it->w, it->orig, rev->w, rev->orig)) {
+            rev = &*it;
+          }
+        }
+        if (rev == nullptr || rev->orig != best->orig) {
+          std::ostringstream os;
+          os << "worker " << me << " round " << round << " vertex "
+             << vmap.to_global(i) << ": forward scan picked edge "
+             << best->orig << ", reverse scan picked "
+             << (rev == nullptr ? graph::kInvalidEdge : rev->orig);
+          vrep->fail("lightest_edge", os.str());
+        }
+      }
       const CandMsg msg{c, best->to_comp, best->w, best->orig};
       if (combining) {
         CandMsg& slot = local_combine[c];
         if (slot.orig == graph::kInvalidEdge ||
-            graph::lighter(msg.w, msg.orig, slot.w, slot.orig)) {
+            graph::edge_less(msg.w, msg.orig, slot.w, slot.orig)) {
           slot = msg;
         }
       } else {
@@ -179,7 +203,7 @@ WorkerResult msf_worker(sim::Communicator& comm, const graph::Csr& g,
         ++cand_handled;
         Choice& slot = choice[msg.comp];
         if (!slot.valid() ||
-            graph::lighter(msg.w, msg.orig, slot.w, slot.orig)) {
+            graph::edge_less(msg.w, msg.orig, slot.w, slot.orig)) {
           slot = Choice{msg.other, msg.w, msg.orig};
         }
       }
@@ -362,9 +386,15 @@ BspMsfReport run_bsp_msf(const graph::EdgeList& input,
   std::vector<EdgeId> forest;
   int supersteps = 0;
   int rounds = 0;
+  const bool validating = validate::enabled(opts.validate);
 
   report.run = sim::run_cluster(config, [&](sim::Communicator& comm) {
-    WorkerResult r = msf_worker(comm, csr, opts);
+    validate::Report local_report;
+    if (validating && comm.metrics_enabled()) {
+      local_report.attach_metrics(&comm.metrics());
+    }
+    WorkerResult r =
+        msf_worker(comm, csr, opts, validating ? &local_report : nullptr);
     // Collect forest edges at worker 0.
     sim::Serializer s;
     s.put_vector(r.mst_edges);
@@ -372,6 +402,7 @@ BspMsfReport run_bsp_msf(const graph::EdgeList& input,
     std::lock_guard<std::mutex> lock(result_mutex);
     supersteps = std::max(supersteps, r.supersteps);
     rounds = std::max(rounds, r.rounds);
+    report.validation.merge_from(local_report);
     if (comm.rank() == 0) {
       for (const auto& block : gathered) {
         sim::Deserializer d(block);
@@ -388,6 +419,9 @@ BspMsfReport run_bsp_msf(const graph::EdgeList& input,
   }
   report.forest.num_components =
       input.num_vertices() - report.forest.edges.size();
+  if (validating) {
+    validate::check_forest(input, report.forest.edges, &report.validation);
+  }
   report.supersteps = supersteps;
   report.rounds = rounds;
   report.total_seconds = report.run.makespan;

@@ -22,6 +22,7 @@
 #include "graph/edge_list.hpp"
 #include "graph/reference_mst.hpp"
 #include "simcluster/cluster.hpp"
+#include "validate/invariants.hpp"
 
 namespace mnd::bsp {
 
@@ -54,6 +55,9 @@ struct BspOptions {
   bool collect_traces = false;
   /// Record metrics without span traces (ClusterConfig::collect_metrics).
   bool collect_metrics = false;
+  /// Run per-round lightest-edge rechecks on every worker and the final
+  /// forest checks on the assembled result (also MND_VALIDATE=1).
+  bool validate = false;
 };
 
 struct BspMsfReport {
@@ -66,6 +70,9 @@ struct BspMsfReport {
   int supersteps = 0;
   int rounds = 0;
   sim::RunReport run;
+  /// Merged validator outcomes across all workers plus the final forest
+  /// checks; empty (ok) unless validation was enabled.
+  validate::Report validation;
 
   double communication_fraction() const {
     return total_seconds <= 0.0 ? 0.0 : comm_seconds / total_seconds;

@@ -32,7 +32,7 @@ void EdgeList::canonicalize(bool drop_parallel) {
               [](const WeightedEdge& a, const WeightedEdge& b) {
                 if (a.u != b.u) return a.u < b.u;
                 if (a.v != b.v) return a.v < b.v;
-                return lighter(a, b);
+                return edge_less(a, b);
               });
     kept.erase(std::unique(kept.begin(), kept.end(),
                            [](const WeightedEdge& a, const WeightedEdge& b) {

@@ -13,7 +13,7 @@ MstResult kruskal_mst(const EdgeList& el) {
   std::vector<EdgeId> order(el.num_edges());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
-    return lighter(el.edge(a), el.edge(b));
+    return edge_less(el.edge(a), el.edge(b));
   });
 
   MstResult result;
@@ -36,7 +36,7 @@ MstResult prim_mst(const Csr& g) {
   MstResult result;
   std::vector<bool> in_tree(n, false);
 
-  // (weight, edge id, vertex) — the (weight,id) order matches `lighter`.
+  // (weight, edge id, vertex) — the (weight,id) order matches `edge_less`.
   struct HeapEntry {
     Weight w;
     EdgeId id;
@@ -93,7 +93,7 @@ MstResult boruvka_mst(const Csr& g) {
         const VertexId cu = uf.find(arc.to);
         if (cu == cv) continue;
         if (best[cv] == kInvalidEdge ||
-            lighter(arc.w, arc.id, best_w[cv], best[cv])) {
+            edge_less(arc.w, arc.id, best_w[cv], best[cv])) {
           best[cv] = arc.id;
           best_w[cv] = arc.w;
           best_to[cv] = cu;

@@ -1,6 +1,7 @@
 // Fundamental graph value types shared across the repository.
 #pragma once
 
+#include <concepts>
 #include <cstdint>
 #include <limits>
 
@@ -33,15 +34,35 @@ struct WeightedEdge {
 /// "lightest edge" choice unique, which in turn makes the MST unique and all
 /// distributed tie-breaking deterministic. This mirrors the standard
 /// perturbation argument for Boruvka on graphs with duplicate weights.
-inline bool lighter(const WeightedEdge& a, const WeightedEdge& b) {
-  if (a.w != b.w) return a.w < b.w;
-  return a.id < b.id;
-}
-
-/// Same total order expressed on (weight, id) pairs.
-inline bool lighter(Weight wa, EdgeId ida, Weight wb, EdgeId idb) {
+///
+/// This is THE tie-breaking rule: every engine, kernel, and validator must
+/// compare edges through edge_less so they cannot diverge on ties.
+inline bool edge_less(Weight wa, EdgeId ida, Weight wb, EdgeId idb) {
   if (wa != wb) return wa < wb;
   return ida < idb;
 }
+
+inline bool edge_less(const WeightedEdge& a, const WeightedEdge& b) {
+  return edge_less(a.w, a.id, b.w, b.id);
+}
+
+/// Same order for any edge-like record carrying the original undirected
+/// edge id as `orig` (mst::CEdge, ghost edges, wire formats).
+template <typename E>
+  requires requires(const E& e) {
+    { e.w } -> std::convertible_to<Weight>;
+    { e.orig } -> std::convertible_to<EdgeId>;
+  }
+inline bool edge_less(const E& a, const E& b) {
+  return edge_less(a.w, a.orig, b.w, b.orig);
+}
+
+/// Function object over edge_less, for std::sort and friends.
+struct EdgeLess {
+  template <typename A, typename B>
+  bool operator()(const A& a, const B& b) const {
+    return edge_less(a, b);
+  }
+};
 
 }  // namespace mnd::graph

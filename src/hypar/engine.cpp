@@ -7,6 +7,7 @@
 #include "util/check.hpp"
 #include "util/flat_hash.hpp"
 #include "util/logging.hpp"
+#include "validate/invariants.hpp"
 
 namespace mnd::hypar {
 namespace {
@@ -159,15 +160,22 @@ mst::BoruvkaStats indcomp_on_devices(sim::Communicator& comm, CompGraph& cg,
                                      const EngineOptions& opts,
                                      const device::CpuDevice& cpu,
                                      const device::GpuDevice* gpu,
-                                     double gpu_share) {
+                                     double gpu_share, int level,
+                                     validate::Report* vrep) {
   mst::BoruvkaOptions bopts;
   bopts.min_contraction_fraction = opts.thresholds.min_contraction_fraction;
   bopts.auto_stop_on_time_trend = opts.thresholds.auto_stop_on_time_trend;
   bopts.trend_device = &cpu;
+  bopts.collect_frozen_ids = vrep != nullptr;
+  bopts.fault = opts.fault;
 
   if (gpu == nullptr || gpu_share <= 0.0 || cg.num_components() < 4 ||
       cg.num_edges() < opts.gpu_min_edges) {
     mst::BoruvkaStats stats = kernel.indComp(cg, nullptr, bopts);
+    if (vrep != nullptr) {
+      validate::check_frozen_justified(cg, stats.frozen_ids, nullptr,
+                                       comm.rank(), level, vrep);
+    }
     const double t = stats.priced_seconds(cpu);
     if (obs::Tracer* tr = comm.tracer()) {
       const int tid = tr->track(cpu.name());
@@ -223,6 +231,14 @@ mst::BoruvkaStats indcomp_on_devices(sim::Communicator& comm, CompGraph& cg,
     gpu_opts.trend_device = gpu;
     const mst::BoruvkaStats cpu_stats = kernel.indComp(cg, on_cpu, bopts);
     const mst::BoruvkaStats gpu_stats = kernel.indComp(cg, on_gpu, gpu_opts);
+    if (vrep != nullptr) {
+      // The device boundary acts as a border: frozen components must be
+      // justified by a far endpoint on the other device or another rank.
+      validate::check_frozen_justified(cg, cpu_stats.frozen_ids, on_cpu,
+                                       comm.rank(), level, vrep);
+      validate::check_frozen_justified(cg, gpu_stats.frozen_ids, on_gpu,
+                                       comm.rank(), level, vrep);
+    }
 
     const double t_cpu = cpu_stats.priced_seconds(cpu);
     const std::size_t gpu_bytes_out =
@@ -372,6 +388,11 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
   const device::GpuDevice gpu_dev(opts.gpu_model, opts.pcie_model);
   const device::GpuDevice* gpu = opts.use_gpu ? &gpu_dev : nullptr;
   obs::Tracer* const tr = comm.tracer();
+  validate::Report* vrep = nullptr;
+  if (validate::enabled(opts.validate)) {
+    result.validation.attach_metrics(&comm.metrics());
+    vrep = &result.validation;
+  }
 
   // ---- partGraph (§3.1, §4.3.1) -------------------------------------------
   obs::Span part_span(tr, "partGraph", obs::SpanCat::Phase);
@@ -401,10 +422,7 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
       c.edges.push_back(CEdge{arc.to, arc.w, arc.id});
     }
     // Establish the Component edge-order invariant (sorted by (w, orig)).
-    std::sort(c.edges.begin(), c.edges.end(),
-              [](const CEdge& a, const CEdge& b) {
-                return graph::lighter(a.w, a.orig, b.w, b.orig);
-              });
+    std::sort(c.edges.begin(), c.edges.end(), graph::EdgeLess{});
     local_arcs += adj.size();
     cg.adopt(std::move(c));
   }
@@ -425,6 +443,26 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
   result.trace.ghost_edges = ghosts.total_ghost_edges();
   result.trace.boundary_vertices = ghosts.num_boundary_vertices();
   exchange_boundary_vertices(comm, ghosts, opts.ghost_phase_entries);
+  if (vrep != nullptr) {
+    // Ghost-list symmetry (collective): A's ghost endpoints owned by B
+    // must mirror B's boundary set toward A.
+    std::vector<std::vector<VertexId>> ghosts_by(static_cast<std::size_t>(p));
+    std::vector<std::vector<VertexId>> boundary_by(
+        static_cast<std::size_t>(p));
+    for (int r : ghosts.neighbor_ranks()) {
+      auto& gl = ghosts_by[static_cast<std::size_t>(r)];
+      auto& bl = boundary_by[static_cast<std::size_t>(r)];
+      for (const GhostEdge& e : *ghosts.edges_to(r)) {
+        gl.push_back(e.ghost);
+        bl.push_back(e.boundary);
+      }
+      for (auto* v : {&gl, &bl}) {
+        std::sort(v->begin(), v->end());
+        v->erase(std::unique(v->begin(), v->end()), v->end());
+      }
+    }
+    validate::check_ghost_symmetry(comm, ghosts_by, boundary_by, vrep);
+  }
   ghost_span.note("ghost_edges",
                   static_cast<std::uint64_t>(result.trace.ghost_edges));
   ghost_span.note("boundary_vertices",
@@ -437,7 +475,11 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
     obs::Span ic_span(tr, "indComp", obs::SpanCat::Phase);
     ic_span.note("level", std::uint64_t{0});
     const auto stats =
-        indcomp_on_devices(comm, cg, kernel, opts, cpu, gpu, gpu_share);
+        indcomp_on_devices(comm, cg, kernel, opts, cpu, gpu, gpu_share,
+                           /*level=*/0, vrep);
+    if (vrep != nullptr) {
+      validate::check_components(cg, me, 0, /*after_merge=*/false, vrep);
+    }
     result.trace.components_after_level0 = cg.num_components();
     result.trace.frozen_after_level0 = stats.frozen_components;
     ic_span.note("components",
@@ -448,6 +490,9 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
     obs::Span mp_span(tr, "mergeParts", obs::SpanCat::Phase);
     mp_span.note("level", std::uint64_t{0});
     reduce_all(comm, cg, cpu);
+    if (vrep != nullptr) {
+      validate::check_components(cg, me, 0, /*after_merge=*/true, vrep);
+    }
     mp_span.finish();
     LevelTrace lvl;
     lvl.components = cg.num_components();
@@ -483,7 +528,11 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
       ic_span.note("level", static_cast<std::uint64_t>(level));
       auto stats = indcomp_on_devices(
           comm, cg, kernel, opts, cpu, first_level ? gpu : nullptr,
-          gpu_share);
+          gpu_share, level, vrep);
+      if (vrep != nullptr) {
+        validate::check_components(cg, me, level, /*after_merge=*/false,
+                                   vrep);
+      }
       lvl.components = cg.num_components();
       lvl.frozen = stats.frozen_components;
       ic_span.note("components", static_cast<std::uint64_t>(lvl.components));
@@ -504,6 +553,10 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
       mp_span.note("level", static_cast<std::uint64_t>(level));
       sync_parents(comm, all_active, cg, part, rep);
       reduce_all(comm, cg, cpu);
+      if (vrep != nullptr) {
+        validate::check_components(cg, me, level, /*after_merge=*/true,
+                                   vrep);
+      }
 
       // Hierarchical group merge (§3.4).
       const sim::Group group = group_containing(active, opts.group_size, me);
@@ -554,9 +607,13 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
 
           // Collaborative merging on the new set of components (CPU).
           (void)indcomp_on_devices(comm, cg, kernel, opts, cpu, nullptr,
-                                   gpu_share);
+                                   gpu_share, level, vrep);
           sync_parents(comm, group, cg, part, rep);
           reduce_all(comm, cg, cpu);
+          if (vrep != nullptr) {
+            validate::check_components(cg, me, level, /*after_merge=*/true,
+                                       vrep);
+          }
         }
 
         // Merge everything in the group to the leader.
@@ -582,8 +639,12 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
           // Leader runs independent computations on the merged set (§3.4),
           // then reduces (CPU; merged data has already shrunk).
           (void)indcomp_on_devices(comm, cg, kernel, opts, cpu, nullptr,
-                                   gpu_share);
+                                   gpu_share, level, vrep);
           reduce_all(comm, cg, cpu);
+          if (vrep != nullptr) {
+            validate::check_components(cg, me, level, /*after_merge=*/true,
+                                       vrep);
+          }
         }
         lm_span.finish();
       }

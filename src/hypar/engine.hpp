@@ -29,6 +29,7 @@
 #include "mst/comp_graph.hpp"
 #include "mst/local_boruvka.hpp"
 #include "simcluster/communicator.hpp"
+#include "validate/invariants.hpp"
 
 namespace mnd::hypar {
 
@@ -71,6 +72,14 @@ struct EngineOptions {
   std::size_t gpu_min_edges = 32768;
 
   std::size_t ghost_phase_entries = 8192;
+
+  /// Run the phase-boundary validators (src/validate) during the run;
+  /// MND_VALIDATE=1 in the environment enables them as well. All ranks
+  /// see the same value (the ghost-symmetry check is collective).
+  bool validate = false;
+  /// Test-only fault injection forwarded to the kernel so validator
+  /// negative tests can prove the checks fire. Leave at kNone.
+  mst::BoruvkaOptions::Fault fault = mst::BoruvkaOptions::Fault::kNone;
 };
 
 /// Per-level convergence snapshot: how the hierarchical merge shrinks this
@@ -101,6 +110,8 @@ struct EngineResult {
   /// Forest edges (original edge ids); complete on rank 0, empty elsewhere.
   std::vector<graph::EdgeId> forest_edges;
   RankTrace trace;
+  /// This rank's validator outcomes; empty unless validation ran.
+  validate::Report validation;
 };
 
 /// Runs the full pipeline on the calling rank. `g` is the logical input

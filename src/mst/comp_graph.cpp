@@ -179,8 +179,7 @@ ComponentBundle deserialize_components(sim::Deserializer* d) {
 
 bool edges_sorted(const Component& c) {
   for (std::size_t i = 1; i < c.edges.size(); ++i) {
-    if (graph::lighter(c.edges[i].w, c.edges[i].orig, c.edges[i - 1].w,
-                       c.edges[i - 1].orig)) {
+    if (graph::edge_less(c.edges[i], c.edges[i - 1])) {
       return false;
     }
   }

@@ -28,7 +28,7 @@ std::size_t clean_adjacency(CompGraph& cg, Component& c) {
     CEdge resolved{target, e.w, e.orig};
     CEdge& slot = best[target];
     if (slot.orig == graph::kInvalidEdge ||
-        graph::lighter(resolved.w, resolved.orig, slot.w, slot.orig)) {
+        graph::edge_less(resolved, slot)) {
       slot = resolved;
     }
   }
@@ -37,10 +37,7 @@ std::size_t clean_adjacency(CompGraph& cg, Component& c) {
   best.for_each([&](const VertexId&, const CEdge& e) { c.edges.push_back(e); });
   // Restore the (w, orig) sort invariant; deterministic regardless of
   // hash iteration order because the keys (w, orig) are unique.
-  std::sort(c.edges.begin(), c.edges.end(),
-            [](const CEdge& a, const CEdge& b) {
-              return graph::lighter(a.w, a.orig, b.w, b.orig);
-            });
+  std::sort(c.edges.begin(), c.edges.end(), graph::EdgeLess{});
   c.scan_head = 0;
   c.last_clean_size = c.edges.size();
   return scanned;
@@ -49,7 +46,7 @@ std::size_t clean_adjacency(CompGraph& cg, Component& c) {
 namespace {
 
 bool lighter_edge(const CEdge& a, const CEdge& b) {
-  return graph::lighter(a.w, a.orig, b.w, b.orig);
+  return graph::edge_less(a, b);
 }
 
 struct Candidate {
@@ -123,6 +120,26 @@ class InvocationState {
         if (best == nullptr || lighter_edge(run[head], *best)) {
           best = &run[head];
         }
+      }
+    }
+    return best;
+  }
+
+  /// Lightest live edge whose resolved target satisfies `internal` — the
+  /// kSkipBorderFreeze fault path only. Scans every live entry (no
+  /// popping: entries lighter than the result stay valid cut edges).
+  const CEdge* lightest_internal(VertexId id,
+                                 const std::function<bool(VertexId)>& internal,
+                                 device::KernelWork* work) {
+    RunSet& rs = runs_of(id);
+    const CEdge* best = nullptr;
+    for (std::size_t r = 0; r < rs.runs.size(); ++r) {
+      for (std::size_t i = rs.heads[r]; i < rs.runs[r].size(); ++i) {
+        CEdge& e = rs.runs[r][i];
+        ++work->edges_scanned;
+        const VertexId target = cg_.renames().resolve(e.to);
+        if (target == id || !internal(target)) continue;
+        if (best == nullptr || lighter_edge(e, *best)) best = &e;
       }
     }
     return best;
@@ -275,9 +292,22 @@ BoruvkaStats local_boruvka(CompGraph& cg, const Participates& participates,
       if (cg.owns(min_edge->to) && takes_part(min_edge->to)) {
         cand.insert_or_assign(
             id, Candidate{min_edge->to, min_edge->w, min_edge->orig});
-      } else {
-        frozen_set.insert(id);  // EXCPT_BORDER_VERTEX: cut edge
+        continue;
       }
+      if (opts.fault == BoruvkaOptions::Fault::kSkipBorderFreeze) {
+        // Fault injection (validator negative tests): ignore the border
+        // exception and contract along the lightest internal edge, which
+        // is NOT the component's lightest incident edge — an unsafe merge.
+        const CEdge* alt = inv.lightest_internal(
+            id,
+            [&](VertexId t) { return cg.owns(t) && takes_part(t); },
+            &work);
+        if (alt != nullptr) {
+          cand.insert_or_assign(id, Candidate{alt->to, alt->w, alt->orig});
+          continue;
+        }
+      }
+      frozen_set.insert(id);  // EXCPT_BORDER_VERTEX: cut edge
     }
 
     if (cand.size() == 0) {
@@ -356,6 +386,12 @@ BoruvkaStats local_boruvka(CompGraph& cg, const Participates& participates,
   }
 
   stats.frozen_components = frozen_set.size();
+  if (opts.collect_frozen_ids) {
+    stats.frozen_ids.reserve(frozen_set.size());
+    frozen_set.for_each(
+        [&](const VertexId& id) { stats.frozen_ids.push_back(id); });
+    std::sort(stats.frozen_ids.begin(), stats.frozen_ids.end());
+  }
   inv.write_back(&final_writeback);
   if (!stats.per_iteration.empty()) {
     stats.per_iteration.back() += final_writeback;

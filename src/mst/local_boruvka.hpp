@@ -33,6 +33,18 @@ struct BoruvkaOptions {
   bool auto_stop_on_time_trend = false;
   const device::Device* trend_device = nullptr;
   int max_iterations = std::numeric_limits<int>::max();
+  /// Record the identities of frozen components in
+  /// BoruvkaStats::frozen_ids (validators need them; off by default to
+  /// keep the hot path lean).
+  bool collect_frozen_ids = false;
+
+  /// Fault injection for validator negative tests ONLY. kSkipBorderFreeze
+  /// disables the EXCPT_BORDER_VERTEX exception: a component whose
+  /// lightest edge is a cut edge contracts along its lightest *internal*
+  /// edge instead — an unsafe merge that violates the cut property and
+  /// must be caught by the validate:: layer.
+  enum class Fault { kNone, kSkipBorderFreeze };
+  Fault fault = Fault::kNone;
 };
 
 struct BoruvkaStats {
@@ -40,6 +52,9 @@ struct BoruvkaStats {
   std::size_t contractions = 0;
   /// Components whose lightest edge was a cut edge in the last iteration.
   std::size_t frozen_components = 0;
+  /// Their identities, ascending; filled only when
+  /// BoruvkaOptions::collect_frozen_ids is set.
+  std::vector<VertexId> frozen_ids;
   /// Per-iteration counted work (one kernel launch each on a GPU).
   std::vector<device::KernelWork> per_iteration;
 

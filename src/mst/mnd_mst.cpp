@@ -29,6 +29,8 @@ MndMstReport run_mnd_mst(const graph::EdgeList& input,
   // Single node: no hierarchy; the engine handles p==1 by skipping levels,
   // but group_size must still satisfy its precondition.
   engine_opts.group_size = std::max(2, engine_opts.group_size);
+  const bool validating = validate::enabled(opts.validate || opts.engine.validate);
+  engine_opts.validate = validating;
 
   report.run = sim::run_cluster(config, [&](sim::Communicator& comm) {
     hypar::BoruvkaKernel kernel;
@@ -36,6 +38,7 @@ MndMstReport run_mnd_mst(const graph::EdgeList& input,
         hypar::run_engine(comm, csr, kernel, engine_opts);
     std::lock_guard<std::mutex> lock(result_mutex);
     report.traces[static_cast<std::size_t>(comm.rank())] = r.trace;
+    report.validation.merge_from(r.validation);
     if (comm.rank() == 0) forest_edges = std::move(r.forest_edges);
   });
 
@@ -46,6 +49,10 @@ MndMstReport run_mnd_mst(const graph::EdgeList& input,
   // Forest edges + components partition the vertex set.
   report.forest.num_components =
       input.num_vertices() - report.forest.edges.size();
+
+  if (validating) {
+    validate::check_forest(input, report.forest.edges, &report.validation);
+  }
 
   report.total_seconds = report.run.makespan;
   const auto phases = report.run.max_phases();

@@ -31,6 +31,9 @@ struct MndMstOptions {
   bool collect_traces = false;
   /// Record metrics without span traces (ClusterConfig::collect_metrics).
   bool collect_metrics = false;
+  /// Run the phase-boundary validators on every rank and the final
+  /// forest checks on the assembled result (also MND_VALIDATE=1).
+  bool validate = false;
 };
 
 struct MndMstReport {
@@ -45,6 +48,9 @@ struct MndMstReport {
 
   sim::RunReport run;  // full per-rank detail
   std::vector<hypar::RankTrace> traces;
+  /// Merged validator outcomes across all ranks plus the final forest
+  /// checks; empty (ok) unless validation was enabled.
+  validate::Report validation;
 
   double computation_fraction() const {
     return total_seconds <= 0.0

@@ -1,8 +1,11 @@
 #include "obs/export.hpp"
 
+#include <cstddef>
 #include <iomanip>
 #include <limits>
 #include <ostream>
+#include <string>
+#include <vector>
 
 #include "obs/json.hpp"
 

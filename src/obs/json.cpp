@@ -3,6 +3,8 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <utility>
 
 #include "util/check.hpp"
 

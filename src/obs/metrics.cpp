@@ -1,6 +1,8 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <string>
 
 namespace mnd::obs {
 

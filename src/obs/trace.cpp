@@ -1,6 +1,11 @@
 #include "obs/trace.hpp"
 
 #include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
 
 #include "util/check.hpp"
 

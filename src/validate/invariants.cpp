@@ -1,0 +1,312 @@
+#include "validate/invariants.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "graph/reference_mst.hpp"
+#include "graph/union_find.hpp"
+#include "util/flat_hash.hpp"
+#include "util/logging.hpp"
+
+namespace mnd::validate {
+namespace {
+
+using graph::EdgeId;
+using graph::VertexId;
+
+constexpr sim::Tag kTagGhostSymmetry = 0x9100;
+
+/// Detailed failures recorded per check before summarizing; keeps a broken
+/// run's report readable instead of one line per edge.
+constexpr std::size_t kMaxDetailedFailures = 16;
+
+std::string edge_context(const mst::CEdge& e) {
+  std::ostringstream os;
+  os << "(to=" << e.to << " w=" << e.w << " orig=" << e.orig << ")";
+  return os.str();
+}
+
+}  // namespace
+
+void Report::fail(const std::string& check, const std::string& detail) {
+  MND_LOG(Error) << "validate: " << check << " FAILED: " << detail;
+  if (metrics_ != nullptr) metrics_->add_counter("validate.fail." + check, 1);
+  failures_.push_back(Failure{check, detail});
+}
+
+void Report::count_check(const std::string& check) {
+  ++checks_run_;
+  if (metrics_ != nullptr) {
+    metrics_->add_counter("validate.checks", 1);
+    metrics_->add_counter("validate.run." + check, 1);
+  }
+}
+
+bool Report::failed(const std::string& check) const {
+  for (const Failure& f : failures_) {
+    if (f.check == check) return true;
+  }
+  return false;
+}
+
+void Report::merge_from(const Report& other) {
+  failures_.insert(failures_.end(), other.failures_.begin(),
+                   other.failures_.end());
+  checks_run_ += other.checks_run_;
+}
+
+bool enabled(bool option_flag) {
+  if (option_flag) return true;
+  const char* env = std::getenv("MND_VALIDATE");
+  return env != nullptr && env[0] != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
+}
+
+void check_components(mst::CompGraph& cg, int rank, int level,
+                      bool after_merge, Report* report) {
+  report->count_check(after_merge ? "merge_uniqueness"
+                                  : "component_structure");
+  std::size_t suppressed = 0;
+  auto fail = [&](const std::string& check, VertexId id,
+                  const std::string& what) {
+    if (report->failures().size() >= kMaxDetailedFailures) {
+      ++suppressed;
+      return;
+    }
+    std::ostringstream os;
+    os << "rank " << rank << " level " << level << " component " << id
+       << ": " << what;
+    report->fail(check, os.str());
+  };
+
+  for (VertexId id : cg.component_ids()) {
+    mst::Component& c = *cg.find(id);
+    if (!mst::edges_sorted(c)) {
+      fail("component_structure", id, "edges violate the (w, orig) order");
+    }
+    if (c.scan_head > c.edges.size()) {
+      fail("component_structure", id, "scan_head past the edge list");
+    }
+    if (c.vertex_count != c.absorbed.size() + 1) {
+      std::ostringstream os;
+      os << "vertex_count " << c.vertex_count << " != 1 + |absorbed| "
+         << c.absorbed.size();
+      fail("component_structure", id, os.str());
+    }
+    for (VertexId x : c.absorbed) {
+      if (cg.renames().resolve(x) != id) {
+        std::ostringstream os;
+        os << "absorbed id " << x << " resolves to "
+           << cg.renames().resolve(x) << ", not its owner";
+        fail("component_structure", id, os.str());
+        break;  // one rename break is enough context per component
+      }
+    }
+    if (!after_merge) continue;
+
+    // Post-mergeParts: resolved targets are non-self and unique, and for
+    // locally-owned pairs both sides kept the same lightest edge.
+    mnd::FlatHashSet<VertexId> seen(c.edges.size());
+    for (std::size_t i = c.scan_head; i < c.edges.size(); ++i) {
+      const mst::CEdge& e = c.edges[i];
+      const VertexId target = cg.renames().resolve(e.to);
+      if (target == id) {
+        fail("merge_uniqueness", id, "self edge survived " + edge_context(e));
+        continue;
+      }
+      if (!seen.insert(target)) {
+        std::ostringstream os;
+        os << "multiple edges to component " << target << ", second is "
+           << edge_context(e);
+        fail("merge_uniqueness", id, os.str());
+        continue;
+      }
+      const mst::Component* far = cg.find(target);
+      if (far == nullptr || target < id) continue;  // remote, or checked once
+      bool mirrored = false;
+      for (std::size_t j = far->scan_head; j < far->edges.size(); ++j) {
+        const mst::CEdge& back = far->edges[j];
+        if (cg.renames().resolve(back.to) != id) continue;
+        mirrored = back.w == e.w && back.orig == e.orig;
+        break;  // sorted: the first live edge back is the lightest
+      }
+      if (!mirrored) {
+        std::ostringstream os;
+        os << "lightest edge to owned component " << target << " "
+           << edge_context(e) << " is not mirrored on the far side";
+        fail("merge_uniqueness", id, os.str());
+      }
+    }
+  }
+  if (suppressed > 0) {
+    std::ostringstream os;
+    os << "rank " << rank << " level " << level << ": " << suppressed
+       << " further component failures suppressed";
+    report->fail(after_merge ? "merge_uniqueness" : "component_structure",
+                 os.str());
+  }
+}
+
+void check_frozen_justified(mst::CompGraph& cg,
+                            const std::vector<VertexId>& frozen_ids,
+                            const mst::Participates& participates, int rank,
+                            int level, Report* report) {
+  report->count_check("frozen_justified");
+  for (VertexId id : frozen_ids) {
+    std::ostringstream ctx;
+    ctx << "rank " << rank << " level " << level << " frozen component "
+        << id << ": ";
+    mst::Component* c = cg.find(id);
+    if (c == nullptr) {
+      report->fail("frozen_justified",
+                   ctx.str() + "no longer owned by the freezing rank");
+      continue;
+    }
+    const mst::CEdge* lightest = nullptr;
+    VertexId target = graph::kInvalidVertex;
+    for (std::size_t i = c->scan_head; i < c->edges.size(); ++i) {
+      const VertexId t = cg.renames().resolve(c->edges[i].to);
+      if (t == id) continue;  // contracted-away entry, not yet popped
+      lightest = &c->edges[i];
+      target = t;
+      break;  // sort invariant: first live entry is the lightest
+    }
+    if (lightest == nullptr) {
+      report->fail("frozen_justified",
+                   ctx.str() + "frozen but isolated (no live edge)");
+      continue;
+    }
+    const bool cut_edge =
+        !cg.owns(target) || (participates && !participates(target));
+    if (!cut_edge) {
+      report->fail("frozen_justified",
+                   ctx.str() + "lightest live edge " +
+                       edge_context(*lightest) +
+                       " stays inside the partition — the freeze was "
+                       "unjustified (or a contraction was missed)");
+    }
+  }
+}
+
+void check_ghost_symmetry(
+    sim::Communicator& comm,
+    const std::vector<std::vector<VertexId>>& ghosts_by_owner,
+    const std::vector<std::vector<VertexId>>& boundary_by_owner,
+    Report* report) {
+  report->count_check("ghost_symmetry");
+  const int p = comm.size();
+  const int me = comm.rank();
+  MND_CHECK(static_cast<int>(ghosts_by_owner.size()) == p);
+  MND_CHECK(static_cast<int>(boundary_by_owner.size()) == p);
+
+  for (int peer = 0; peer < p; ++peer) {
+    if (peer == me) continue;
+    // Send my ghost endpoints owned by `peer`; receive the peer's ghost
+    // endpoints owned by me, which must equal my boundary toward it.
+    sim::Serializer s;
+    s.put_vector(ghosts_by_owner[static_cast<std::size_t>(peer)]);
+    const auto payload = comm.exchange(peer, kTagGhostSymmetry, s.take());
+    sim::Deserializer d(payload);
+    const auto theirs = d.get_vector<VertexId>();
+    const auto& mine = boundary_by_owner[static_cast<std::size_t>(peer)];
+    if (theirs == mine) continue;
+
+    std::ostringstream os;
+    os << "rank " << me << " <-> rank " << peer << ": peer sees "
+       << theirs.size() << " ghost endpoint(s) here, local boundary has "
+       << mine.size();
+    const std::size_t n = std::min(theirs.size(), mine.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (theirs[i] != mine[i]) {
+        os << "; first mismatch at entry " << i << " (peer " << theirs[i]
+           << " vs local " << mine[i] << ")";
+        break;
+      }
+    }
+    report->fail("ghost_symmetry", os.str());
+  }
+}
+
+void check_forest(const graph::EdgeList& el, const std::vector<EdgeId>& forest,
+                  Report* report) {
+  // 1. Structure: valid ids, no duplicates, acyclic (union-find).
+  report->count_check("forest_acyclic");
+  graph::UnionFind uf(el.num_vertices());
+  mnd::FlatHashSet<EdgeId> ids(forest.size());
+  bool structure_ok = true;
+  for (EdgeId id : forest) {
+    std::ostringstream os;
+    if (id >= el.num_edges()) {
+      os << "edge id " << id << " out of range (graph has " << el.num_edges()
+         << " edges)";
+      report->fail("forest_acyclic", os.str());
+      structure_ok = false;
+      continue;
+    }
+    const graph::WeightedEdge& e = el.edge(id);
+    if (!ids.insert(id)) {
+      os << "edge id " << id << " (" << e.u << "-" << e.v
+         << " w=" << e.w << ") appears twice in the forest";
+      report->fail("forest_acyclic", os.str());
+      structure_ok = false;
+      continue;
+    }
+    if (!uf.unite(e.u, e.v)) {
+      os << "edge id " << id << " (" << e.u << "-" << e.v << " w=" << e.w
+         << ") closes a cycle";
+      report->fail("forest_acyclic", os.str());
+      structure_ok = false;
+    }
+  }
+
+  // 2. Cut property. Under the strict edge_less total order the MSF is
+  // unique, so "every contracted edge is the lightest edge across some
+  // cut" is equivalent to "the forest is a subset of the Kruskal-replay
+  // forest"; spanning then makes the sets equal. Reporting per edge keeps
+  // the rank/level-free context actionable: the named edge is one for
+  // which a strictly lighter crossing edge exists.
+  report->count_check("cut_property");
+  report->count_check("total_weight");
+  const graph::MstResult reference = graph::kruskal_mst(el);
+  mnd::FlatHashSet<EdgeId> optimal(reference.edges.size());
+  for (EdgeId id : reference.edges) optimal.insert(id);
+  std::size_t wrong = 0;
+  graph::WeightSum total = 0;
+  for (EdgeId id : forest) {
+    if (id >= el.num_edges()) continue;  // already reported above
+    total += el.edge(id).w;
+    if (optimal.contains(id)) continue;
+    if (++wrong <= kMaxDetailedFailures) {
+      const graph::WeightedEdge& e = el.edge(id);
+      std::ostringstream os;
+      os << "contracted edge id " << id << " (" << e.u << "-" << e.v
+         << " w=" << e.w << ") is not in the unique MSF — a strictly "
+         << "lighter edge (under the (w, id) order) crosses every cut "
+         << "this edge spans";
+      report->fail("cut_property", os.str());
+    }
+  }
+  if (wrong > kMaxDetailedFailures) {
+    std::ostringstream os;
+    os << (wrong - kMaxDetailedFailures)
+       << " further cut-property violations suppressed";
+    report->fail("cut_property", os.str());
+  }
+  if (structure_ok && wrong == 0 && forest.size() != reference.edges.size()) {
+    std::ostringstream os;
+    os << "forest has " << forest.size() << " edges but the MSF needs "
+       << reference.edges.size() << " — some component was never joined";
+    report->fail("cut_property", os.str());
+  }
+
+  // 3. Total weight against the exact reference.
+  if (total != reference.total_weight) {
+    std::ostringstream os;
+    os << "forest weight " << total << " != reference MSF weight "
+       << reference.total_weight;
+    report->fail("total_weight", os.str());
+  }
+}
+
+}  // namespace mnd::validate

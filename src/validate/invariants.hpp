@@ -1,0 +1,136 @@
+// Phase-boundary invariant validators (enabled via --validate or the
+// MND_VALIDATE=1 environment variable).
+//
+// The distributed pipeline's correctness rests on a handful of invariants
+// that the end-to-end tests only observe indirectly through the final
+// forest weight. The validators below check them directly at the phase
+// boundaries where they must hold, in the spirit of Sanders & Schimek
+// ("Engineering Massively Parallel MST Algorithms", arXiv:2302.12199):
+// invariant checks plus randomized differential testing against a
+// sequential reference.
+//
+//   check                  invariant                            paper ref
+//   ---------------------  -----------------------------------  ---------
+//   component_structure    (w, orig) edge-sort order,           §3.2
+//                          vertex_count == |absorbed|+1,
+//                          absorbed ids resolve to the owner
+//   merge_uniqueness       after mergeParts: no self edges, at  §3.3
+//                          most one (the lightest) edge per
+//                          component pair, both sides agree
+//   frozen_justified       a frozen component's lightest live   §4.1.2
+//                          edge really is a cut edge
+//                          (EXCPT_BORDER_VERTEX)
+//   ghost_symmetry         rank A's ghost endpoints owned by B  §3.1
+//                          mirror B's boundary set toward A
+//   forest_acyclic         collected forest has no duplicate    §2
+//                          ids and no cycles (union-find)
+//   cut_property           every contracted edge is the         §3.2, §2
+//                          (w, id)-lightest edge across some
+//                          cut — equivalently the forest is a
+//                          subset of the unique MSF (Kruskal
+//                          replay under the edge_less order)
+//   total_weight           forest weight equals the exact       §5
+//                          reference_mst weight
+//
+// Failures are recorded (never thrown) so one broken invariant cannot
+// hide the others; each failure carries rank/level/edge context, is
+// logged at Error level, and bumps "validate.fail.<check>" in the
+// attached obs metrics registry.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "graph/types.hpp"
+#include "mst/comp_graph.hpp"
+#include "mst/local_boruvka.hpp"
+#include "obs/metrics.hpp"
+#include "simcluster/communicator.hpp"
+
+namespace mnd::validate {
+
+struct Failure {
+  std::string check;   // e.g. "cut_property"
+  std::string detail;  // rank/level/edge context, human-readable
+};
+
+/// Collects validator outcomes for one scope (a rank during a run, or the
+/// final forest on the driver).
+class Report {
+ public:
+  /// Mirrors subsequent failures into `metrics` ("validate.fail.<check>"
+  /// counters, plus "validate.checks" per check invocation). May be null.
+  void attach_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  /// Records one failure: logs at Error level, bumps the metric counter,
+  /// and keeps the detail for callers to assert on.
+  void fail(const std::string& check, const std::string& detail);
+
+  /// Notes that one check invocation ran (even when it passes), so tests
+  /// can tell "validation was on and clean" from "validation never ran".
+  void count_check(const std::string& check);
+
+  bool ok() const { return failures_.empty(); }
+  const std::vector<Failure>& failures() const { return failures_; }
+  std::size_t checks_run() const { return checks_run_; }
+
+  /// True when at least one failure of `check` was recorded.
+  bool failed(const std::string& check) const;
+
+  /// Folds another report (e.g. a rank's) into this one. Metric counters
+  /// are not re-applied — each rank already reported into its own registry.
+  void merge_from(const Report& other);
+
+ private:
+  std::vector<Failure> failures_;
+  std::size_t checks_run_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;
+};
+
+/// True when phase-boundary validation should run: the explicit option, or
+/// MND_VALIDATE set to anything but "" or "0" in the environment.
+bool enabled(bool option_flag);
+
+// --- Per-rank checks over the component graph ------------------------------
+
+/// Structural invariants of every owned component. With `after_merge` the
+/// post-mergeParts guarantees are added: no self edges, at most one edge
+/// per resolved far component, and — when the far component is owned
+/// locally — both sides kept the same lightest (w, orig) edge.
+/// `cg` is non-const only because resolution path-compresses.
+void check_components(mst::CompGraph& cg, int rank, int level,
+                      bool after_merge, Report* report);
+
+/// EXCPT_BORDER_VERTEX justification: each component frozen by an indComp
+/// invocation must have a lightest live edge whose far endpoint is not
+/// owned, or does not participate in the invocation (device boundary).
+/// `participates` is the predicate the invocation ran with (null = all).
+void check_frozen_justified(mst::CompGraph& cg,
+                            const std::vector<graph::VertexId>& frozen_ids,
+                            const mst::Participates& participates, int rank,
+                            int level, Report* report);
+
+// --- Collective checks ------------------------------------------------------
+
+/// Ghost-list symmetry (collective over all ranks; every rank must call
+/// this with validation enabled). `ghosts_by_owner[r]` holds the sorted
+/// distinct far endpoints owned by rank r that this rank's cut edges
+/// reach; `boundary_by_owner[r]` holds the sorted distinct local boundary
+/// vertices with at least one cut edge toward r. Symmetry means rank A's
+/// ghost set toward B equals B's boundary set toward A, for every pair.
+void check_ghost_symmetry(
+    sim::Communicator& comm,
+    const std::vector<std::vector<graph::VertexId>>& ghosts_by_owner,
+    const std::vector<std::vector<graph::VertexId>>& boundary_by_owner,
+    Report* report);
+
+// --- Whole-forest checks (driver side, after collection) --------------------
+
+/// Runs forest_acyclic, cut_property (Kruskal replay under the edge_less
+/// total order: the collected forest must be exactly the unique MSF), and
+/// total_weight against the exact reference.
+void check_forest(const graph::EdgeList& el,
+                  const std::vector<graph::EdgeId>& forest, Report* report);
+
+}  // namespace mnd::validate

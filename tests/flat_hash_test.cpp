@@ -1,0 +1,235 @@
+// Edge-case coverage for mnd::FlatHashMap / FlatHashSet — the open-
+// addressing tables behind the ghost list and the min-edge table — and for
+// graph::UnionFind under adversarial union/find orders. These structures
+// sit under every phase of both engines; a probing bug here surfaces as a
+// wrong MST three layers up.
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/union_find.hpp"
+#include "util/flat_hash.hpp"
+
+namespace mnd {
+namespace {
+
+TEST(FlatHashMap, ZeroKeyIsARegularKey) {
+  // Slot emptiness is tracked out-of-band, so key 0 (a real vertex id)
+  // must behave like any other key.
+  FlatHashMap<std::uint32_t, int> m;
+  EXPECT_EQ(m.find(0u), nullptr);
+  EXPECT_FALSE(m.contains(0u));
+  m[0u] = 41;
+  EXPECT_TRUE(m.contains(0u));
+  EXPECT_EQ(*m.find(0u), 41);
+  m.insert_or_assign(0u, 42);
+  EXPECT_EQ(*m.find(0u), 42);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_TRUE(m.erase(0u));
+  EXPECT_FALSE(m.contains(0u));
+  EXPECT_EQ(m.size(), 0u);
+  // Reinsert after erase: the tombstone must not mask the key.
+  m[0u] = 7;
+  EXPECT_EQ(*m.find(0u), 7);
+}
+
+TEST(FlatHashMap, EraseInterleavedWithGrowth) {
+  // Grow the table while tombstones are present: rehash must drop the
+  // tombstones and preserve exactly the live entries.
+  FlatHashMap<std::uint32_t, std::uint32_t> m(4);
+  std::unordered_map<std::uint32_t, std::uint32_t> ref;
+  for (std::uint32_t k = 0; k < 4096; ++k) {
+    m.insert_or_assign(k, k * 3u);
+    ref[k] = k * 3u;
+    if (k % 3 == 0) {  // erase a third of the keys as we go
+      EXPECT_TRUE(m.erase(k));
+      ref.erase(k);
+    }
+  }
+  EXPECT_EQ(m.size(), ref.size());
+  for (const auto& [k, v] : ref) {
+    const auto* got = m.find(k);
+    ASSERT_NE(got, nullptr) << "lost key " << k;
+    EXPECT_EQ(*got, v);
+  }
+  std::size_t visited = 0;
+  m.for_each([&](const std::uint32_t& k, const std::uint32_t& v) {
+    ++visited;
+    auto it = ref.find(k);
+    ASSERT_NE(it, ref.end()) << "ghost key " << k;
+    EXPECT_EQ(it->second, v);
+  });
+  EXPECT_EQ(visited, ref.size());
+}
+
+TEST(FlatHashMap, TombstoneReuseKeepsCapacityBounded) {
+  // Cycling insert/erase over a fixed key set must reuse tombstoned
+  // slots on the probe path instead of growing forever.
+  FlatHashMap<std::uint32_t, int> m(64);
+  for (std::uint32_t k = 0; k < 48; ++k) m.insert_or_assign(k, 0);
+  const std::size_t cap_before = m.capacity();
+  for (int cycle = 0; cycle < 10000; ++cycle) {
+    const std::uint32_t k = static_cast<std::uint32_t>(cycle % 48);
+    EXPECT_TRUE(m.erase(k));
+    EXPECT_FALSE(m.insert_or_assign(k, cycle) == false);
+    EXPECT_EQ(*m.find(k), cycle);
+  }
+  EXPECT_EQ(m.size(), 48u);
+  EXPECT_EQ(m.capacity(), cap_before)
+      << "tombstones were not reused on reinsertion";
+}
+
+TEST(FlatHashMap, RandomizedDifferentialAgainstStdMap) {
+  std::mt19937 rng(0xC0FFEE);
+  FlatHashMap<std::uint64_t, std::uint64_t> m;
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  std::uniform_int_distribution<std::uint64_t> key_dist(0, 511);
+  for (int op = 0; op < 100000; ++op) {
+    const std::uint64_t k = key_dist(rng);
+    switch (rng() % 4) {
+      case 0:
+        EXPECT_EQ(m.insert_or_assign(k, k + 1), ref.insert_or_assign(k, k + 1).second);
+        break;
+      case 1:
+        m[k] += 1;
+        ref[k] += 1;
+        break;
+      case 2:
+        EXPECT_EQ(m.erase(k), ref.erase(k) > 0);
+        break;
+      default: {
+        const auto* got = m.find(k);
+        const auto it = ref.find(k);
+        ASSERT_EQ(got != nullptr, it != ref.end()) << "key " << k;
+        if (got != nullptr) {
+          EXPECT_EQ(*got, it->second);
+        }
+      }
+    }
+    ASSERT_EQ(m.size(), ref.size());
+  }
+}
+
+TEST(FlatHashMap, ClearResetsTombstones) {
+  FlatHashMap<std::uint32_t, int> m(8);
+  for (std::uint32_t k = 0; k < 8; ++k) m.insert_or_assign(k, 1);
+  for (std::uint32_t k = 0; k < 8; ++k) m.erase(k);
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  for (std::uint32_t k = 0; k < 8; ++k) {
+    EXPECT_FALSE(m.contains(k));
+    m.insert_or_assign(k, 2);
+  }
+  EXPECT_EQ(m.size(), 8u);
+}
+
+TEST(FlatHashSet, InsertEraseContains) {
+  FlatHashSet<std::uint32_t> s;
+  EXPECT_TRUE(s.insert(0u));
+  EXPECT_FALSE(s.insert(0u));
+  EXPECT_TRUE(s.insert(1u));
+  EXPECT_TRUE(s.contains(0u));
+  EXPECT_TRUE(s.erase(0u));
+  EXPECT_FALSE(s.erase(0u));
+  EXPECT_FALSE(s.contains(0u));
+  EXPECT_TRUE(s.contains(1u));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// UnionFind under adversarial orders.
+// ---------------------------------------------------------------------------
+
+// Naive reference: label propagation to a canonical representative.
+class NaiveDsu {
+ public:
+  explicit NaiveDsu(std::size_t n) : label_(n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      label_[i] = static_cast<graph::VertexId>(i);
+    }
+  }
+  void unite(graph::VertexId a, graph::VertexId b) {
+    const graph::VertexId la = label_[a], lb = label_[b];
+    if (la == lb) return;
+    for (auto& l : label_) {
+      if (l == lb) l = la;
+    }
+  }
+  bool connected(graph::VertexId a, graph::VertexId b) const {
+    return label_[a] == label_[b];
+  }
+
+ private:
+  std::vector<graph::VertexId> label_;
+};
+
+TEST(UnionFind, LongChainThenFindFromDeepEnd) {
+  // Build a maximal-depth chain (always unite a fresh singleton into the
+  // growing set), then query from the deep end: path halving must resolve
+  // every vertex to one root and keep answers consistent.
+  constexpr std::size_t kN = 1 << 14;
+  graph::UnionFind uf(kN);
+  for (graph::VertexId v = 1; v < kN; ++v) uf.unite(v - 1, v);
+  const graph::VertexId root = uf.find(kN - 1);
+  for (graph::VertexId v = 0; v < kN; ++v) {
+    EXPECT_EQ(uf.find(v), root);
+  }
+  EXPECT_EQ(uf.num_components(), 1u);
+  EXPECT_EQ(uf.component_size(0), kN);
+}
+
+TEST(UnionFind, AdversarialOrdersMatchNaiveReference) {
+  // Same union sequence applied in several orders (sequential, reversed,
+  // seeded shuffles, interleaved with finds) must yield the same
+  // partition as the naive reference.
+  constexpr std::size_t kN = 256;
+  std::vector<std::pair<graph::VertexId, graph::VertexId>> unions;
+  std::mt19937 rng(2026);
+  std::uniform_int_distribution<graph::VertexId> v_dist(0, kN - 1);
+  for (int i = 0; i < 300; ++i) unions.emplace_back(v_dist(rng), v_dist(rng));
+
+  for (int order = 0; order < 6; ++order) {
+    auto seq = unions;
+    if (order == 1) {
+      std::reverse(seq.begin(), seq.end());
+    } else if (order >= 2) {
+      std::mt19937 shuffle_rng(static_cast<std::uint32_t>(order));
+      std::shuffle(seq.begin(), seq.end(), shuffle_rng);
+    }
+    graph::UnionFind uf(kN);
+    NaiveDsu ref(kN);
+    std::size_t i = 0;
+    for (const auto& [a, b] : seq) {
+      const bool fresh = !ref.connected(a, b);
+      ref.unite(a, b);
+      EXPECT_EQ(uf.unite(a, b), fresh);
+      // Interleave finds so path halving rewrites parents mid-sequence.
+      if (++i % 7 == 0) uf.find(v_dist(rng));
+    }
+    for (graph::VertexId a = 0; a < kN; ++a) {
+      for (graph::VertexId b = a + 1; b < kN; b += 17) {
+        ASSERT_EQ(uf.connected(a, b), ref.connected(a, b))
+            << "order " << order << ": vertices " << a << "," << b;
+      }
+    }
+  }
+}
+
+TEST(UnionFind, UniteReturnsFalseOnlyWhenJoined) {
+  graph::UnionFind uf(4);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.unite(2, 3));
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_EQ(uf.num_components(), 2u);
+  EXPECT_TRUE(uf.unite(0, 3));
+  EXPECT_FALSE(uf.unite(2, 1));
+  EXPECT_EQ(uf.num_components(), 1u);
+}
+
+}  // namespace
+}  // namespace mnd

@@ -1,0 +1,203 @@
+// Differential fuzzing: sweep seeded random graphs through BOTH engines
+// (HyPar MND-MST and the BSP baseline) with the phase-boundary validators
+// enabled, and diff every result against exact Kruskal. The sweep varies
+// the axes that stress distinct failure modes:
+//   * scale / density      — contraction depth, merge-tree height
+//   * weight range         — narrow ranges force ties, exercising the
+//                            (weight, id) total order everywhere
+//   * rank / worker count  — partition boundaries, ghost symmetry, ring
+//                            merge schedules
+//   * CPU/GPU split        — the device-split indComp path and its
+//                            frozen-component accounting
+// Plus a negative test: an engine mutant that skips the
+// EXCPT_BORDER_VERTEX freeze must be caught by the cut-property validator.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bsp/msf.hpp"
+#include "graph/generators.hpp"
+#include "graph/reference_mst.hpp"
+#include "mst/mnd_mst.hpp"
+#include "validate/invariants.hpp"
+
+namespace mnd {
+namespace {
+
+struct FuzzConfig {
+  graph::VertexId vertices;
+  std::size_t edges;
+  std::uint64_t seed;
+  graph::Weight weight_lo;
+  graph::Weight weight_hi;  // lo==hi-1 etc. force heavy tie-breaking
+  int ranks;
+  bool gpu;
+};
+
+std::string describe(const FuzzConfig& c) {
+  return "n=" + std::to_string(c.vertices) + " m=" + std::to_string(c.edges) +
+         " seed=" + std::to_string(c.seed) + " w=[" +
+         std::to_string(c.weight_lo) + "," + std::to_string(c.weight_hi) +
+         "] ranks=" + std::to_string(c.ranks) + (c.gpu ? " gpu" : " cpu");
+}
+
+graph::EdgeList make_graph(const FuzzConfig& c) {
+  graph::EdgeList el = graph::erdos_renyi(c.vertices, c.edges, c.seed);
+  el.randomize_weights(c.seed * 7919 + 13, c.weight_lo, c.weight_hi);
+  return el;
+}
+
+/// The sweep grid: 3 scales x 2 densities x 3 weight ranges x 4 rank
+/// counts x 2 device splits = 144 configs; the HyPar engine runs all of
+/// them and BSP the CPU half, so 216 validated engine runs total.
+std::vector<FuzzConfig> sweep_grid() {
+  std::vector<FuzzConfig> configs;
+  std::uint64_t seed = 1;
+  for (graph::VertexId n : {64u, 192u, 512u}) {
+    for (double density : {1.5, 4.0}) {
+      for (auto [lo, hi] : {std::pair<graph::Weight, graph::Weight>{1, 3},
+                            {1, 64},
+                            {1, 1'000'000}}) {
+        for (int ranks : {2, 3, 5, 8}) {
+          for (bool gpu : {false, true}) {
+            FuzzConfig c;
+            c.vertices = n;
+            c.edges = static_cast<std::size_t>(density * n);
+            c.seed = seed++;
+            c.weight_lo = lo;
+            c.weight_hi = hi;
+            c.ranks = ranks;
+            c.gpu = gpu;
+            configs.push_back(c);
+          }
+        }
+      }
+    }
+  }
+  return configs;
+}
+
+TEST(FuzzDifferential, HyparEngineMatchesKruskalAcrossSweep) {
+  for (const FuzzConfig& c : sweep_grid()) {
+    SCOPED_TRACE(describe(c));
+    const graph::EdgeList el = make_graph(c);
+    const graph::MstResult ref = graph::kruskal_mst(el);
+
+    mst::MndMstOptions opts;
+    opts.num_nodes = c.ranks;
+    opts.validate = true;
+    opts.engine.use_gpu = c.gpu;
+    if (c.gpu) opts.engine.gpu_min_edges = 0;  // engage the split even tiny
+    const mst::MndMstReport report = mst::run_mnd_mst(el, opts);
+
+    EXPECT_EQ(report.forest.total_weight, ref.total_weight);
+    EXPECT_EQ(report.forest.edges.size(), ref.edges.size());
+    EXPECT_TRUE(report.validation.ok())
+        << report.validation.failures().front().check << ": "
+        << report.validation.failures().front().detail;
+    EXPECT_GT(report.validation.checks_run(), 0u);
+  }
+}
+
+TEST(FuzzDifferential, BspEngineMatchesKruskalAcrossSweep) {
+  for (const FuzzConfig& c : sweep_grid()) {
+    if (c.gpu) continue;  // the BSP baseline is CPU-only by construction
+    SCOPED_TRACE(describe(c));
+    const graph::EdgeList el = make_graph(c);
+    const graph::MstResult ref = graph::kruskal_mst(el);
+
+    bsp::BspOptions opts;
+    opts.num_workers = c.ranks;
+    opts.validate = true;
+    // Alternate the partitioning and combining axes by seed so both code
+    // paths stay covered without doubling the sweep.
+    opts.partitioning = (c.seed % 2 == 0) ? bsp::BspPartitioning::Hash
+                                          : bsp::BspPartitioning::Range;
+    opts.message_combining = c.seed % 3 != 0;
+    const bsp::BspMsfReport report = bsp::run_bsp_msf(el, opts);
+
+    EXPECT_EQ(report.forest.total_weight, ref.total_weight);
+    EXPECT_EQ(report.forest.edges.size(), ref.edges.size());
+    EXPECT_TRUE(report.validation.ok())
+        << report.validation.failures().front().check << ": "
+        << report.validation.failures().front().detail;
+    EXPECT_GT(report.validation.checks_run(), 0u);
+  }
+}
+
+TEST(FuzzDifferential, BothEnginesAgreeOnTieHeavyGraphs) {
+  // All-equal weights: the forest is determined purely by the id
+  // tie-break, so both engines must produce the exact same edge set.
+  for (std::uint64_t seed : {11u, 12u, 13u, 14u, 15u}) {
+    FuzzConfig c{256, 1024, seed, 5, 5, 4, false};
+    SCOPED_TRACE(describe(c));
+    const graph::EdgeList el = make_graph(c);
+
+    mst::MndMstOptions hopts;
+    hopts.num_nodes = c.ranks;
+    hopts.validate = true;
+    const auto hreport = mst::run_mnd_mst(el, hopts);
+
+    bsp::BspOptions bopts;
+    bopts.num_workers = c.ranks;
+    bopts.validate = true;
+    const auto breport = bsp::run_bsp_msf(el, bopts);
+
+    EXPECT_TRUE(hreport.validation.ok());
+    EXPECT_TRUE(breport.validation.ok());
+    EXPECT_EQ(hreport.forest.edges, breport.forest.edges)
+        << "engines disagree under pure id tie-breaking";
+  }
+}
+
+TEST(FuzzDifferential, SkipBorderFreezeMutantIsCaughtByCutProperty) {
+  // Negative control: disable the EXCPT_BORDER_VERTEX freeze (the paper's
+  // §3.2 safety rule). Components whose lightest edge is a cut edge then
+  // contract along a heavier internal edge — a cut-property violation the
+  // validator must flag. Swept over several graphs so the conclusion does
+  // not hinge on one partition layout.
+  int caught = 0;
+  for (std::uint64_t seed : {21u, 22u, 23u, 24u}) {
+    FuzzConfig c{128, 512, seed, 1, 1'000'000, 4, false};
+    SCOPED_TRACE(describe(c));
+    const graph::EdgeList el = make_graph(c);
+    const graph::MstResult ref = graph::kruskal_mst(el);
+
+    mst::MndMstOptions opts;
+    opts.num_nodes = c.ranks;
+    opts.validate = true;
+    opts.engine.fault = mst::BoruvkaOptions::Fault::kSkipBorderFreeze;
+    const mst::MndMstReport report = mst::run_mnd_mst(el, opts);
+
+    if (report.validation.failed("cut_property")) ++caught;
+    // The mutant commits non-MSF edges, so the weight must drift too —
+    // and the validator's weight check must agree with the direct diff.
+    if (report.forest.total_weight != ref.total_weight) {
+      EXPECT_TRUE(report.validation.failed("cut_property") ||
+                  report.validation.failed("total_weight"));
+    }
+  }
+  EXPECT_GT(caught, 0)
+      << "skip-border-freeze mutant was never flagged by cut_property";
+}
+
+TEST(FuzzDifferential, ValidatorsCleanOnUnmutatedEngine) {
+  // Control for the negative test: identical sweep, no fault injected.
+  for (std::uint64_t seed : {21u, 22u, 23u, 24u}) {
+    FuzzConfig c{128, 512, seed, 1, 1'000'000, 4, false};
+    SCOPED_TRACE(describe(c));
+    const graph::EdgeList el = make_graph(c);
+    mst::MndMstOptions opts;
+    opts.num_nodes = c.ranks;
+    opts.validate = true;
+    const mst::MndMstReport report = mst::run_mnd_mst(el, opts);
+    EXPECT_TRUE(report.validation.ok());
+    EXPECT_EQ(report.forest.total_weight,
+              graph::kruskal_mst(el).total_weight);
+  }
+}
+
+}  // namespace
+}  // namespace mnd

@@ -28,10 +28,7 @@ void load_all(CompGraph& cg, const EdgeList& el) {
     for (const auto& arc : g.adjacency(v)) {
       c.edges.push_back(CEdge{arc.to, arc.w, arc.id});
     }
-    std::sort(c.edges.begin(), c.edges.end(),
-              [](const CEdge& a, const CEdge& b) {
-                return graph::lighter(a.w, a.orig, b.w, b.orig);
-              });
+    std::sort(c.edges.begin(), c.edges.end(), graph::EdgeLess{});
     cg.adopt(std::move(c));
   }
 }

@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Custom lint for the MND-MST codebase.
+
+Checks clang-tidy can't express, tied to this repo's invariants:
+
+1. Virtual-time purity: code under src/simcluster, src/hypar, src/bsp
+   must not read wall-clock time (std::chrono::system_clock, time(),
+   gettimeofday, clock_gettime, steady_clock outside the sanctioned
+   timer) or use unseeded C randomness (rand(), srand(), random()).
+   The simulated cluster's determinism and virtual-time accounting both
+   break silently if real time leaks in.
+
+2. Logging discipline: no std::cout / std::cerr / printf-family output
+   anywhere in src/ except src/util/logging.* — everything else goes
+   through MND_LOG so ranks don't interleave and tests can capture it.
+
+3. Include-what-you-use (lite) for the obs layer: files in src/obs that
+   name common std symbols must include the owning header directly.
+
+4. Every header in src/ starts its code with #pragma once.
+
+Exit status: 0 clean, 1 violations (printed one per line as
+path:line: [rule] message).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+VIRTUAL_TIME_DIRS = ("simcluster", "hypar", "bsp")
+
+# rule 1: (regex, message). Matched against comment-stripped lines.
+WALL_CLOCK_PATTERNS = [
+    (re.compile(r"\bsystem_clock\b"),
+     "wall-clock read in virtual-time code (use the Communicator's "
+     "virtual clock)"),
+    (re.compile(r"\bsteady_clock\b"),
+     "real-time clock in virtual-time code (use the Communicator's "
+     "virtual clock)"),
+    (re.compile(r"\bhigh_resolution_clock\b"),
+     "real-time clock in virtual-time code"),
+    (re.compile(r"(?<![\w:])time\s*\(\s*(?:NULL|nullptr|0|&)"),
+     "time() read in virtual-time code"),
+    (re.compile(r"\bgettimeofday\s*\("), "gettimeofday in virtual-time code"),
+    (re.compile(r"\bclock_gettime\s*\("), "clock_gettime in virtual-time code"),
+    (re.compile(r"(?<![\w:.])s?rand\s*\("),
+     "unseeded C randomness (use a seeded std::mt19937)"),
+    (re.compile(r"(?<![\w:.])random\s*\(\s*\)"),
+     "unseeded C randomness (use a seeded std::mt19937)"),
+    (re.compile(r"\brandom_device\b"),
+     "nondeterministic seed source (pass seeds explicitly)"),
+]
+
+# rule 2
+STDOUT_PATTERNS = [
+    (re.compile(r"\bstd::cout\b"), "std::cout bypasses src/util/logging"),
+    (re.compile(r"\bstd::cerr\b"), "std::cerr bypasses src/util/logging"),
+    (re.compile(r"(?<![\w:])f?printf\s*\("),
+     "printf-family output bypasses src/util/logging"),
+    (re.compile(r"(?<![\w:])puts\s*\("), "puts bypasses src/util/logging"),
+]
+STDOUT_EXEMPT = ("util/logging.hpp", "util/logging.cpp")
+
+# rule 3: std symbol -> owning header, for src/obs only.
+IWYU_SYMBOLS = {
+    "std::string": "<string>",
+    "std::vector": "<vector>",
+    "std::ostream": "<ostream>",
+    "std::uint64_t": "<cstdint>",
+    "std::uint32_t": "<cstdint>",
+    "std::int64_t": "<cstdint>",
+    "std::size_t": "<cstddef>",
+    "std::mutex": "<mutex>",
+    "std::unordered_map": "<unordered_map>",
+    "std::sort": "<algorithm>",
+    "std::move": "<utility>",
+    "std::function": "<functional>",
+}
+# <cstdint> etc. may arrive via these umbrella includes too; <iosfwd> is
+# the sanctioned provider for streams that are only referenced.
+IWYU_PROVIDERS = {
+    "<cstddef>": {"<cstddef>", "<cstdio>", "<cstdint>", "<string>",
+                  "<vector>"},
+    "<ostream>": {"<ostream>", "<iosfwd>"},
+}
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments and string/char literals, preserving line structure."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            j = text.find("\n", i)
+            i = n if j == -1 else j
+        elif ch == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            end = n if j == -1 else j + 2
+            out.append("\n" * text.count("\n", i, end))
+            i = end
+        elif ch in "\"'":
+            quote = ch
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote:
+                    break
+                j += 1
+            i = min(j + 1, n)
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def lint_file(path: Path, violations: list[str]) -> None:
+    rel = path.relative_to(REPO).as_posix()
+    raw = path.read_text(encoding="utf-8")
+    code = strip_comments_and_strings(raw)
+    lines = code.splitlines()
+
+    def report(lineno: int, rule: str, msg: str) -> None:
+        violations.append(f"{rel}:{lineno}: [{rule}] {msg}")
+
+    in_virtual_time = any(
+        rel.startswith(f"src/{d}/") for d in VIRTUAL_TIME_DIRS)
+    stdout_exempt = any(rel.endswith(e) for e in STDOUT_EXEMPT)
+
+    for idx, line in enumerate(lines, start=1):
+        if in_virtual_time:
+            for pat, msg in WALL_CLOCK_PATTERNS:
+                if pat.search(line):
+                    report(idx, "virtual-time", msg)
+        if not stdout_exempt:
+            for pat, msg in STDOUT_PATTERNS:
+                if pat.search(line):
+                    report(idx, "logging", msg)
+
+    if path.suffix == ".hpp":
+        for idx, line in enumerate(raw.splitlines(), start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("//"):
+                continue
+            if stripped != "#pragma once":
+                report(idx, "pragma-once",
+                       "header must open with #pragma once (after the "
+                       "file comment)")
+            break
+
+    if rel.startswith("src/obs/"):
+        includes = set(re.findall(r'#include\s+(<[^>]+>|"[^"]+")', raw))
+        for symbol, header in IWYU_SYMBOLS.items():
+            if not re.search(re.escape(symbol) + r"\b", code):
+                continue
+            providers = IWYU_PROVIDERS.get(header, {header})
+            if includes & providers:
+                continue
+            lineno = next((i for i, l in enumerate(code.splitlines(), 1)
+                           if symbol in l), 1)
+            report(lineno, "iwyu",
+                   f"uses {symbol} but does not include {header}")
+
+
+def main() -> int:
+    violations: list[str] = []
+    files = sorted(
+        p for p in SRC.rglob("*")
+        if p.suffix in (".hpp", ".cpp") and p.is_file())
+    if not files:
+        print("lint: no sources found under src/", file=sys.stderr)
+        return 1
+    for path in files:
+        lint_file(path, violations)
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"lint: {len(violations)} violation(s) in {len(files)} files")
+        return 1
+    print(f"lint: OK ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
