@@ -1,0 +1,371 @@
+// Wall-clock baseline for the intra-rank threaded hot paths (PR 3).
+//
+// Measures four-plus kernels at 1/2/4/8 threads on seeded R-MAT inputs:
+//   * lightest_edge_selection — mst::min_edges_per_component
+//   * multi_edge_removal      — mst::clean_all on a Boruvka-coarsened graph
+//   * canonicalize            — graph::EdgeList::canonicalize (chunked sort)
+//   * csr_build               — graph::Csr::from_edge_list
+//   * partition_scan          — hypar::partition_by_degree (64 parts)
+//
+// Two numbers per (kernel, threads) cell:
+//   * wallclock_seconds — real elapsed time of the call on this host.
+//   * modeled_seconds   — the parallel_chunks regions are re-run serially
+//     under ScopedChunkTiming and their per-chunk durations are greedily
+//     list-scheduled onto T virtual workers; modeled = serial elapsed
+//     minus the chunks' serial time plus each region's scheduled makespan.
+//     This is the same virtual-time philosophy the simulated cluster
+//     applies to ranks, extended to intra-rank threads: CI hosts (often 1-2
+//     cores) cannot exhibit an 8-thread speedup in elapsed time, but the
+//     chunk grid and per-chunk work are host-independent, so the modeled
+//     makespan is reproducible anywhere. "speedup" in the JSON is the
+//     modeled ratio vs threads=1.
+//
+// Every run's output is checksummed and compared against the threads=1
+// result — the bench doubles as an end-to-end determinism check.
+//
+// Usage: wallclock_hotpaths [output.json]   (default: BENCH_pr3.json)
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "device/device.hpp"
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/generators.hpp"
+#include "hypar/partition.hpp"
+#include "mst/comp_graph.hpp"
+#include "mst/local_boruvka.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace mnd;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 4, 8};
+constexpr int kWallclockReps = 2;
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  return h ^ (v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2));
+}
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Greedy list-schedule of the region's chunks onto `workers` identical
+/// workers, in chunk order (the order parallel_chunks submits them).
+double region_makespan(const std::vector<double>& chunks,
+                       std::size_t workers) {
+  std::vector<double> load(std::max<std::size_t>(1, workers), 0.0);
+  for (double c : chunks) {
+    *std::min_element(load.begin(), load.end()) += c;
+  }
+  return *std::max_element(load.begin(), load.end());
+}
+
+struct Measurement {
+  std::size_t threads = 1;
+  double wallclock_seconds = 0.0;
+  double modeled_seconds = 0.0;
+  std::uint64_t checksum = 0;
+};
+
+/// A kernel under test: run(threads) performs any per-run setup (copies),
+/// then times ONLY the hot call and returns (elapsed, output checksum).
+struct Kernel {
+  std::string name;
+  std::function<std::pair<double, std::uint64_t>(std::size_t)> run;
+};
+
+Measurement measure(const Kernel& k, std::size_t threads) {
+  Measurement m;
+  m.threads = threads;
+  m.wallclock_seconds = 1e300;
+  for (int rep = 0; rep < kWallclockReps; ++rep) {
+    const auto [elapsed, sum] = k.run(threads);
+    m.wallclock_seconds = std::min(m.wallclock_seconds, elapsed);
+    if (rep == 0) {
+      m.checksum = sum;
+    } else {
+      MND_CHECK_MSG(sum == m.checksum,
+                    k.name << ": nondeterministic output across reps");
+    }
+  }
+  // Modeled pass: chunks run serially and are timed; schedule them onto
+  // `threads` virtual workers.
+  ChunkTimeLog log;
+  double serial_elapsed = 0.0;
+  {
+    ScopedChunkTiming timing(&log);
+    const auto [elapsed, sum] = k.run(threads);
+    serial_elapsed = elapsed;
+    MND_CHECK_MSG(sum == m.checksum,
+                  k.name << ": modeled pass changed the output");
+  }
+  double chunk_total = 0.0, scheduled = 0.0;
+  for (const auto& region : log.regions) {
+    for (double c : region.chunk_seconds) chunk_total += c;
+    scheduled += region_makespan(region.chunk_seconds, threads);
+  }
+  m.modeled_seconds =
+      std::max(1e-9, serial_elapsed - chunk_total + scheduled);
+  return m;
+}
+
+mst::CompGraph build_comp_graph(const graph::Csr& g) {
+  mst::CompGraph cg;
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    mst::Component c;
+    c.id = v;
+    const auto adj = g.adjacency(v);
+    c.edges.reserve(adj.size());
+    for (const auto& arc : adj) {
+      c.edges.push_back(mst::CEdge{arc.to, arc.w, arc.id});
+    }
+    std::sort(c.edges.begin(), c.edges.end(), graph::EdgeLess{});
+    cg.adopt(std::move(c));
+  }
+  return cg;
+}
+
+std::uint64_t checksum_comp_graph(const mst::CompGraph& cg) {
+  std::uint64_t h = cg.num_components();
+  for (graph::VertexId id : cg.component_ids()) {
+    const mst::Component* c = cg.find(id);
+    h = mix(h, id);
+    for (const auto& e : c->edges) {
+      h = mix(h, e.to);
+      h = mix(h, e.w);
+      h = mix(h, e.orig);
+    }
+  }
+  return h;
+}
+
+struct Input {
+  std::string name;
+  unsigned scale;
+  graph::EdgeList raw;        // as generated (self loops, duplicates)
+  graph::EdgeList canonical;  // canonicalized once at threads=1
+  graph::Csr csr;
+  mst::CompGraph fresh;       // one component per vertex
+  mst::CompGraph coarse;      // ~512 merged groups, pre-multi-edge-removal
+};
+
+/// The merge phase's input state, built directly: vertices grouped into
+/// ~512 contracted components (renames recorded, adjacencies concatenated
+/// and re-sorted, endpoints stale) so clean_all has its real job to do —
+/// resolving far endpoints, dropping intra-group self edges, and deduping
+/// parallel edges per far group.
+mst::CompGraph build_grouped(const graph::Csr& g, unsigned scale) {
+  const unsigned group_shift = scale > 9 ? scale - 9 : 0;
+  mst::CompGraph cg;
+  const graph::VertexId n = g.num_vertices();
+  for (graph::VertexId rep = 0; rep < n;
+       rep += graph::VertexId(1) << group_shift) {
+    mst::Component c;
+    c.id = rep;
+    const graph::VertexId end =
+        std::min<graph::VertexId>(n, rep + (graph::VertexId(1) << group_shift));
+    for (graph::VertexId v = rep; v < end; ++v) {
+      for (const auto& arc : g.adjacency(v)) {
+        c.edges.push_back(mst::CEdge{arc.to, arc.w, arc.id});
+      }
+    }
+    std::sort(c.edges.begin(), c.edges.end(), graph::EdgeLess{});
+    c.vertex_count = end - rep;
+    cg.adopt(std::move(c));
+    for (graph::VertexId v = rep + 1; v < end; ++v) {
+      cg.renames().add(v, rep);
+    }
+  }
+  return cg;
+}
+
+Input make_input(const std::string& name, unsigned scale) {
+  Input in;
+  in.name = name;
+  in.scale = scale;
+  const unsigned long long edges = 8ull << scale;
+  in.raw = graph::rmat(static_cast<graph::VertexId>(scale), edges, 7);
+  in.raw.randomize_weights(7, 1, 1'000'000);
+  in.canonical = in.raw;
+  in.canonical.canonicalize(true, 1);
+  in.csr = graph::Csr::from_edge_list(in.canonical, 1);
+  in.fresh = build_comp_graph(in.csr);
+  in.coarse = build_grouped(in.csr, scale);
+  return in;
+}
+
+std::vector<Kernel> kernels_for(const Input& in) {
+  std::vector<Kernel> ks;
+  ks.push_back(
+      {"lightest_edge_selection", [&in](std::size_t threads) {
+         const std::vector<graph::VertexId> ids = in.fresh.component_ids();
+         device::KernelWork work;
+         const auto t0 = Clock::now();
+         const std::vector<mst::CEdge> mins =
+             mst::min_edges_per_component(in.fresh, ids, threads, &work);
+         const double elapsed = seconds_since(t0);
+         std::uint64_t h = mix(work.edges_scanned, work.atomic_updates);
+         for (const auto& e : mins) {
+           h = mix(h, e.to);
+           h = mix(h, e.w);
+           h = mix(h, e.orig);
+         }
+         return std::make_pair(elapsed, h);
+       }});
+  ks.push_back({"multi_edge_removal", [&in](std::size_t threads) {
+                  mst::CompGraph cg = in.coarse;  // setup copy, untimed
+                  const auto t0 = Clock::now();
+                  const std::size_t scanned = mst::clean_all(cg, threads);
+                  const double elapsed = seconds_since(t0);
+                  return std::make_pair(elapsed,
+                                        mix(scanned,
+                                            checksum_comp_graph(cg)));
+                }});
+  ks.push_back({"canonicalize", [&in](std::size_t threads) {
+                  graph::EdgeList el = in.raw;  // setup copy, untimed
+                  const auto t0 = Clock::now();
+                  el.canonicalize(true, threads);
+                  const double elapsed = seconds_since(t0);
+                  std::uint64_t h = el.num_edges();
+                  for (const auto& e : el.edges()) {
+                    h = mix(h, e.u);
+                    h = mix(h, e.v);
+                    h = mix(h, e.w);
+                  }
+                  return std::make_pair(elapsed, h);
+                }});
+  ks.push_back({"csr_build", [&in](std::size_t threads) {
+                  const auto t0 = Clock::now();
+                  const graph::Csr csr =
+                      graph::Csr::from_edge_list(in.canonical, threads);
+                  const double elapsed = seconds_since(t0);
+                  std::uint64_t h = csr.num_arcs();
+                  for (std::size_t off : csr.offsets()) h = mix(h, off);
+                  for (const auto& a : csr.arcs()) {
+                    h = mix(h, a.to);
+                    h = mix(h, a.w);
+                    h = mix(h, a.id);
+                  }
+                  return std::make_pair(elapsed, h);
+                }});
+  ks.push_back({"partition_scan", [&in](std::size_t threads) {
+                  const auto t0 = Clock::now();
+                  const hypar::Partition1D part =
+                      hypar::partition_by_degree(in.csr, 64, threads);
+                  const double elapsed = seconds_since(t0);
+                  std::uint64_t h = part.bounds().size();
+                  for (graph::VertexId b : part.bounds()) h = mix(h, b);
+                  return std::make_pair(elapsed, h);
+                }});
+  return ks;
+}
+
+struct KernelRow {
+  std::string kernel;
+  std::string input;
+  bool largest = false;
+  std::vector<Measurement> cells;
+};
+
+void write_json(std::FILE* out, const std::vector<Input>& inputs,
+                const std::vector<KernelRow>& rows) {
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"wallclock_hotpaths\",\n");
+  std::fprintf(out, "  \"host_cores\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(
+      out,
+      "  \"mode\": \"speedup = modeled makespan ratio vs threads=1: "
+      "parallel_chunks regions are timed per chunk and greedily scheduled "
+      "onto T virtual workers (host-independent; real wall-clock cannot "
+      "show parallel speedup when host_cores < threads)\",\n");
+  std::fprintf(out, "  \"thread_counts\": [1, 2, 4, 8],\n");
+  std::fprintf(out, "  \"inputs\": [\n");
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"generator\": "
+                 "\"rmat:%u,%llu,7 + randomize_weights(7, 1, 1e6)\", "
+                 "\"vertices\": %u, \"edges\": %zu}%s\n",
+                 inputs[i].name.c_str(), inputs[i].scale,
+                 8ull << inputs[i].scale, inputs[i].canonical.num_vertices(),
+                 inputs[i].canonical.num_edges(),
+                 i + 1 < inputs.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"results\": [\n");
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const KernelRow& row = rows[r];
+    const double base_wall = row.cells.front().wallclock_seconds;
+    const double base_model = row.cells.front().modeled_seconds;
+    std::fprintf(out,
+                 "    {\"kernel\": \"%s\", \"input\": \"%s\", "
+                 "\"largest_input\": %s, \"measurements\": [\n",
+                 row.kernel.c_str(), row.input.c_str(),
+                 row.largest ? "true" : "false");
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      const Measurement& m = row.cells[c];
+      std::fprintf(out,
+                   "      {\"threads\": %zu, \"wallclock_seconds\": %.9f, "
+                   "\"modeled_seconds\": %.9f, \"speedup\": %.3f, "
+                   "\"speedup_wallclock\": %.3f}%s\n",
+                   m.threads, m.wallclock_seconds, m.modeled_seconds,
+                   base_model / m.modeled_seconds,
+                   base_wall / std::max(1e-12, m.wallclock_seconds),
+                   c + 1 < row.cells.size() ? "," : "");
+    }
+    std::fprintf(out, "    ]}%s\n", r + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_pr3.json";
+
+  std::vector<Input> inputs;
+  inputs.push_back(make_input("rmat16", 16));
+  inputs.push_back(make_input("rmat18", 18));
+
+  std::vector<KernelRow> rows;
+  for (const Input& in : inputs) {
+    for (const Kernel& k : kernels_for(in)) {
+      KernelRow row;
+      row.kernel = k.name;
+      row.input = in.name;
+      row.largest = in.scale == inputs.back().scale;
+      for (std::size_t threads : kThreadCounts) {
+        const Measurement m = measure(k, threads);
+        MND_CHECK_MSG(row.cells.empty() ||
+                          m.checksum == row.cells.front().checksum,
+                      k.name << " on " << in.name << ": threads=" << threads
+                             << " output differs from threads=1");
+        row.cells.push_back(m);
+        std::printf("%-14s %-24s threads=%zu  wall %.4fs  modeled %.4fs\n",
+                    in.name.c_str(), k.name.c_str(), threads,
+                    m.wallclock_seconds, m.modeled_seconds);
+        std::fflush(stdout);
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  write_json(out, inputs, rows);
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

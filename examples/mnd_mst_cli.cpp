@@ -5,6 +5,11 @@
 //   --format text|dimacs|mtx|binary   input format (default: by extension)
 //   --nodes N                         simulated nodes (default 4)
 //   --group G                         hierarchical-merge group size (4)
+//   --threads N                       shared-memory threads per rank for
+//                                     the hot paths (default: MND_THREADS,
+//                                     else hardware concurrency); any value
+//                                     yields the identical forest and
+//                                     virtual-time results
 //   --gpu                             enable the CPU+GPU device split
 //   --random-weights SEED             re-draw weights in [1, 1e6] (the
 //                                     paper's protocol for its inputs)
@@ -88,8 +93,9 @@ int usage() {
                "usage: mnd_mst_cli <graph-file|rmat:SCALE,EDGES,SEED>\n"
                "                   [--format text|dimacs|mtx|binary] "
                "[--nodes N]\n"
-               "                   [--group G] [--gpu] [--random-weights "
-               "SEED] [--out FILE]\n"
+               "                   [--group G] [--threads N] [--gpu] "
+               "[--random-weights SEED]\n"
+               "                   [--out FILE]\n"
                "                   [--trace-out FILE] [--metrics-out FILE] "
                "[--validate]\n");
   return 2;
@@ -137,6 +143,8 @@ int main(int argc, char** argv) {
       options.num_nodes = std::atoi(next());
     } else if (arg == "--group") {
       options.engine.group_size = std::atoi(next());
+    } else if (arg == "--threads") {
+      options.threads = static_cast<std::size_t>(std::atoll(next()));
     } else if (arg == "--gpu") {
       options.engine.use_gpu = true;
     } else if (arg == "--random-weights") {

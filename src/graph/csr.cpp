@@ -1,56 +1,141 @@
 #include "graph/csr.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mnd::graph {
+namespace {
 
-Csr Csr::from_edge_list(const EdgeList& el) {
+bool arc_order(const Csr::Arc& a, const Csr::Arc& b) {
+  if (a.to != b.to) return a.to < b.to;
+  if (a.w != b.w) return a.w < b.w;
+  return a.id < b.id;
+}
+
+}  // namespace
+
+Csr Csr::from_edge_list(const EdgeList& el, std::size_t threads) {
   Csr g;
   const VertexId n = el.num_vertices();
   g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
 
-  std::size_t arc_count = 0;
-  for (const auto& e : el.edges()) {
-    if (e.u == e.v) continue;
-    ++g.offsets_[e.u + 1];
-    ++g.offsets_[e.v + 1];
-    arc_count += 2;
-  }
-  for (std::size_t v = 1; v <= n; ++v) g.offsets_[v] += g.offsets_[v - 1];
-  MND_CHECK(g.offsets_[n] == arc_count);
-
-  g.arcs_.resize(arc_count);
-  g.edge_origin_.assign(el.num_edges(),
-                        {kInvalidVertex, static_cast<std::size_t>(-1)});
-  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
-  for (const auto& e : el.edges()) {
-    if (e.u == e.v) continue;
-    const std::size_t pos_u = cursor[e.u]++;
-    g.arcs_[pos_u] = Arc{e.v, e.w, e.id};
-    g.edge_origin_[e.id] = {e.u, pos_u};
-    g.arcs_[cursor[e.v]++] = Arc{e.u, e.w, e.id};
-  }
-
-  // Sort each adjacency by (neighbor, weight) for deterministic iteration
-  // and cache-friendly scans.
-  for (VertexId v = 0; v < n; ++v) {
-    auto begin = g.arcs_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]);
-    auto end = g.arcs_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]);
-    std::sort(begin, end, [](const Arc& a, const Arc& b) {
-      if (a.to != b.to) return a.to < b.to;
-      if (a.w != b.w) return a.w < b.w;
-      return a.id < b.id;
-    });
-  }
-  // Sorting invalidated recorded arc positions; rebuild canonical origins.
-  for (VertexId v = 0; v < n; ++v) {
-    for (std::size_t i = g.offsets_[v]; i < g.offsets_[v + 1]; ++i) {
-      const Arc& a = g.arcs_[i];
-      if (v <= a.to) g.edge_origin_[a.id] = {v, i};
+  if (threads <= 1) {
+    std::size_t arc_count = 0;
+    for (const auto& e : el.edges()) {
+      if (e.u == e.v) continue;
+      ++g.offsets_[e.u + 1];
+      ++g.offsets_[e.v + 1];
+      arc_count += 2;
     }
+    for (std::size_t v = 1; v <= n; ++v) g.offsets_[v] += g.offsets_[v - 1];
+    MND_CHECK(g.offsets_[n] == arc_count);
+
+    g.arcs_.resize(arc_count);
+    g.edge_origin_.assign(el.num_edges(),
+                          {kInvalidVertex, static_cast<std::size_t>(-1)});
+    std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+    for (const auto& e : el.edges()) {
+      if (e.u == e.v) continue;
+      const std::size_t pos_u = cursor[e.u]++;
+      g.arcs_[pos_u] = Arc{e.v, e.w, e.id};
+      g.edge_origin_[e.id] = {e.u, pos_u};
+      g.arcs_[cursor[e.v]++] = Arc{e.u, e.w, e.id};
+    }
+
+    // Sort each adjacency by (neighbor, weight) for deterministic iteration
+    // and cache-friendly scans.
+    for (VertexId v = 0; v < n; ++v) {
+      auto begin = g.arcs_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]);
+      auto end =
+          g.arcs_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]);
+      std::sort(begin, end, arc_order);
+    }
+    // Sorting invalidated recorded arc positions; rebuild canonical origins.
+    for (VertexId v = 0; v < n; ++v) {
+      for (std::size_t i = g.offsets_[v]; i < g.offsets_[v + 1]; ++i) {
+        const Arc& a = g.arcs_[i];
+        if (v <= a.to) g.edge_origin_[a.id] = {v, i};
+      }
+    }
+    return g;
   }
+
+  // Parallel build. Arc placement within an adjacency is racy-in-order but
+  // the per-adjacency sort below is over a total order, so the final layout
+  // is the same one the serial path produces.
+  ThreadPool& pool = global_pool();
+  const std::size_t m = el.num_edges();
+  std::vector<std::atomic<std::size_t>> counts(
+      static_cast<std::size_t>(n) + 1);
+  std::atomic<std::size_t> arc_count{0};
+  pool.parallel_chunks(0, m, threads,
+                       [&](std::size_t, std::size_t lo, std::size_t hi) {
+                         std::size_t local_arcs = 0;
+                         for (std::size_t i = lo; i < hi; ++i) {
+                           const auto& e = el.edges()[i];
+                           if (e.u == e.v) continue;
+                           counts[e.u + 1].fetch_add(
+                               1, std::memory_order_relaxed);
+                           counts[e.v + 1].fetch_add(
+                               1, std::memory_order_relaxed);
+                           local_arcs += 2;
+                         }
+                         arc_count.fetch_add(local_arcs,
+                                             std::memory_order_relaxed);
+                       });
+  for (std::size_t v = 1; v <= n; ++v) {
+    g.offsets_[v] = g.offsets_[v - 1] + counts[v].load();
+  }
+  MND_CHECK(g.offsets_[n] == arc_count.load());
+
+  g.arcs_.resize(arc_count.load());
+  g.edge_origin_.assign(m, {kInvalidVertex, static_cast<std::size_t>(-1)});
+  std::vector<std::atomic<std::size_t>> cursor(n);
+  for (VertexId v = 0; v < n; ++v) cursor[v].store(g.offsets_[v]);
+  pool.parallel_chunks(
+      0, m, threads, [&](std::size_t, std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const auto& e = el.edges()[i];
+          if (e.u == e.v) continue;
+          g.arcs_[cursor[e.u].fetch_add(1, std::memory_order_relaxed)] =
+              Arc{e.v, e.w, e.id};
+          g.arcs_[cursor[e.v].fetch_add(1, std::memory_order_relaxed)] =
+              Arc{e.u, e.w, e.id};
+        }
+      });
+
+  // Balance adjacency sorting by arc mass, not vertex count — R-MAT hubs
+  // concentrate most arcs in a few low-id vertices.
+  std::vector<std::size_t> degrees(n);
+  for (VertexId v = 0; v < n; ++v) degrees[v] = g.degree(v);
+  const std::size_t parts =
+      ThreadPool::chunk_count(static_cast<std::size_t>(n), threads);
+  const auto bounds = balanced_chunk_bounds(degrees, parts);
+  pool.parallel_chunks(
+      0, parts, parts, [&](std::size_t, std::size_t lo, std::size_t hi) {
+        for (std::size_t p = lo; p < hi; ++p) {
+          for (std::size_t v = bounds[p]; v < bounds[p + 1]; ++v) {
+            std::sort(
+                g.arcs_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]),
+                g.arcs_.begin() +
+                    static_cast<std::ptrdiff_t>(g.offsets_[v + 1]),
+                arc_order);
+          }
+          // Exactly one arc per edge id satisfies v <= a.to, so origin
+          // writes are race-free across chunks.
+          for (std::size_t v = bounds[p]; v < bounds[p + 1]; ++v) {
+            for (std::size_t i = g.offsets_[v]; i < g.offsets_[v + 1]; ++i) {
+              const Arc& a = g.arcs_[i];
+              if (v <= a.to) {
+                g.edge_origin_[a.id] = {static_cast<VertexId>(v), i};
+              }
+            }
+          }
+        }
+      });
   return g;
 }
 

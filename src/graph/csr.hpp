@@ -28,7 +28,10 @@ class Csr {
 
   /// Builds from an undirected edge list (self loops are skipped; parallel
   /// edges are kept — reduction layers handle multi-edge removal).
-  static Csr from_edge_list(const EdgeList& el);
+  /// `threads > 1` builds with an atomic histogram + atomic-cursor fill and
+  /// parallel per-adjacency sorts; the (to, w, id) adjacency order is total,
+  /// so the resulting structure is identical for every thread count.
+  static Csr from_edge_list(const EdgeList& el, std::size_t threads = 1);
 
   VertexId num_vertices() const {
     return static_cast<VertexId>(offsets_.empty() ? 0 : offsets_.size() - 1);

@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "util/check.hpp"
+#include "util/parallel_sort.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mnd::graph {
 
@@ -18,7 +20,7 @@ EdgeId EdgeList::add_edge(VertexId u, VertexId v, Weight w) {
   return id;
 }
 
-void EdgeList::canonicalize(bool drop_parallel) {
+void EdgeList::canonicalize(bool drop_parallel, std::size_t threads) {
   std::vector<WeightedEdge> kept;
   kept.reserve(edges_.size());
   for (const auto& e : edges_) {
@@ -28,12 +30,14 @@ void EdgeList::canonicalize(bool drop_parallel) {
     kept.push_back(canon);
   }
   if (drop_parallel) {
-    std::sort(kept.begin(), kept.end(),
-              [](const WeightedEdge& a, const WeightedEdge& b) {
-                if (a.u != b.u) return a.u < b.u;
-                if (a.v != b.v) return a.v < b.v;
-                return edge_less(a, b);
-              });
+    // Total order: ties within (u, v) fall through to edge_less, which
+    // breaks on the unique id — so serial and chunked sorts agree exactly.
+    parallel_sort(global_pool(), threads, kept,
+                  [](const WeightedEdge& a, const WeightedEdge& b) {
+                    if (a.u != b.u) return a.u < b.u;
+                    if (a.v != b.v) return a.v < b.v;
+                    return edge_less(a, b);
+                  });
     kept.erase(std::unique(kept.begin(), kept.end(),
                            [](const WeightedEdge& a, const WeightedEdge& b) {
                              return a.u == b.u && a.v == b.v;

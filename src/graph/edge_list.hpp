@@ -31,8 +31,10 @@ class EdgeList {
 
   /// Removes self loops and, when drop_parallel is set, keeps only the
   /// lightest of each set of parallel edges (ties by id). Edge ids are
-  /// reassigned densely afterwards.
-  void canonicalize(bool drop_parallel = true);
+  /// reassigned densely afterwards. `threads > 1` sorts with a chunked
+  /// parallel sort; the (u, v, edge_less) order is total, so the result is
+  /// identical for every thread count.
+  void canonicalize(bool drop_parallel = true, std::size_t threads = 1);
 
   /// Re-draws all edge weights uniformly in [lo, hi] with the given seed.
   /// Mirrors the paper's "assigned random weights to the edges".

@@ -7,6 +7,7 @@
 #include "util/check.hpp"
 #include "util/flat_hash.hpp"
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 #include "validate/invariants.hpp"
 
 namespace mnd::hypar {
@@ -43,14 +44,12 @@ double reduction_seconds(const device::CpuDevice& cpu,
 }
 
 /// Self-edge + multi-edge removal over every owned component (§3.3).
-/// Charges "merge" time.
+/// Charges "merge" time. Runs component- or shard-parallel with
+/// `threads`; the scanned-edge total (and hence the charged virtual time)
+/// is thread-count independent.
 void reduce_all(sim::Communicator& comm, CompGraph& cg,
-                const device::CpuDevice& cpu) {
-  std::size_t scanned = 0;
-  for (VertexId id : cg.component_ids()) {
-    scanned += mst::clean_adjacency(cg, *cg.find(id));
-  }
-  cg.refresh_accounting();
+                const device::CpuDevice& cpu, std::size_t threads) {
+  const std::size_t scanned = mst::clean_all(cg, threads);
   comm.compute(reduction_seconds(cpu, scanned, cg.num_components()), "merge");
 }
 
@@ -160,18 +159,23 @@ mst::BoruvkaStats indcomp_on_devices(sim::Communicator& comm, CompGraph& cg,
                                      const EngineOptions& opts,
                                      const device::CpuDevice& cpu,
                                      const device::GpuDevice* gpu,
-                                     double gpu_share, int level,
-                                     validate::Report* vrep) {
+                                     double gpu_share, std::size_t threads,
+                                     int level, validate::Report* vrep) {
   mst::BoruvkaOptions bopts;
   bopts.min_contraction_fraction = opts.thresholds.min_contraction_fraction;
   bopts.auto_stop_on_time_trend = opts.thresholds.auto_stop_on_time_trend;
   bopts.trend_device = &cpu;
   bopts.collect_frozen_ids = vrep != nullptr;
   bopts.fault = opts.fault;
+  bopts.threads = threads;
+  bopts.max_runs = opts.max_runs;
 
   if (gpu == nullptr || gpu_share <= 0.0 || cg.num_components() < 4 ||
       cg.num_edges() < opts.gpu_min_edges) {
     mst::BoruvkaStats stats = kernel.indComp(cg, nullptr, bopts);
+    if (comm.metrics_enabled()) {
+      comm.metrics().add_counter("boruvka.compactions", stats.compactions);
+    }
     if (vrep != nullptr) {
       validate::check_frozen_justified(cg, stats.frozen_ids, nullptr,
                                        comm.rank(), level, vrep);
@@ -294,6 +298,7 @@ mst::BoruvkaStats indcomp_on_devices(sim::Communicator& comm, CompGraph& cg,
                    << gpu_stats.iterations;
 
     total.contractions += cpu_stats.contractions + gpu_stats.contractions;
+    total.compactions += cpu_stats.compactions + gpu_stats.compactions;
     total.iterations += std::max(cpu_stats.iterations, gpu_stats.iterations);
     total.frozen_components =
         cpu_stats.frozen_components + gpu_stats.frozen_components;
@@ -312,6 +317,9 @@ mst::BoruvkaStats indcomp_on_devices(sim::Communicator& comm, CompGraph& cg,
   // Remaining cross-device stragglers contract in the next CPU indComp
   // invocation (collaborative merging / postProcess), where the whole
   // component set participates — no separate host merge pass is needed.
+  if (comm.metrics_enabled()) {
+    comm.metrics().add_counter("boruvka.compactions", total.compactions);
+  }
   return total;
 }
 
@@ -387,6 +395,8 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
   const device::CpuDevice cpu(opts.cpu_model);
   const device::GpuDevice gpu_dev(opts.gpu_model, opts.pcie_model);
   const device::GpuDevice* gpu = opts.use_gpu ? &gpu_dev : nullptr;
+  const std::size_t threads =
+      opts.threads != 0 ? opts.threads : default_thread_count();
   obs::Tracer* const tr = comm.tracer();
   validate::Report* vrep = nullptr;
   if (validate::enabled(opts.validate)) {
@@ -396,7 +406,7 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
 
   // ---- partGraph (§3.1, §4.3.1) -------------------------------------------
   obs::Span part_span(tr, "partGraph", obs::SpanCat::Phase);
-  const Partition1D part = partition_by_degree(g, p);
+  const Partition1D part = partition_by_degree(g, p, threads);
   double gpu_share = 0.0;
   if (gpu != nullptr) {
     const auto calib = device::calibrate_split(g, cpu, *gpu, opts.calibration);
@@ -412,8 +422,9 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
   cg.attach_memory(&comm.memory());
   const VertexId lo = part.begin(me);
   const VertexId hi = part.end(me);
+  const std::size_t range = hi - lo;
   std::size_t local_arcs = 0;
-  for (VertexId v = lo; v < hi; ++v) {
+  const auto build_component = [&g](VertexId v) {
     Component c;
     c.id = v;
     const auto adj = g.adjacency(v);
@@ -423,8 +434,37 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
     }
     // Establish the Component edge-order invariant (sorted by (w, orig)).
     std::sort(c.edges.begin(), c.edges.end(), graph::EdgeLess{});
-    local_arcs += adj.size();
-    cg.adopt(std::move(c));
+    return c;
+  };
+  if (threads > 1 && range >= 2) {
+    // Build vertex-parallel (chunks balanced by degree mass), adopt in
+    // ascending order — identical component graph to the serial loop.
+    std::vector<Component> built(range);
+    std::vector<std::size_t> weights(range);
+    for (std::size_t i = 0; i < range; ++i) {
+      weights[i] = g.degree(lo + static_cast<VertexId>(i));
+    }
+    const std::size_t parts_n = mnd::ThreadPool::chunk_count(range, threads);
+    const auto bounds = mnd::balanced_chunk_bounds(weights, parts_n);
+    mnd::global_pool().parallel_chunks(
+        0, parts_n, parts_n,
+        [&](std::size_t, std::size_t blo, std::size_t bhi) {
+          for (std::size_t p2 = blo; p2 < bhi; ++p2) {
+            for (std::size_t i = bounds[p2]; i < bounds[p2 + 1]; ++i) {
+              built[i] = build_component(lo + static_cast<VertexId>(i));
+            }
+          }
+        });
+    for (auto& c : built) {
+      local_arcs += c.edges.size();
+      cg.adopt(std::move(c));
+    }
+  } else {
+    for (VertexId v = lo; v < hi; ++v) {
+      Component c = build_component(v);
+      local_arcs += c.edges.size();
+      cg.adopt(std::move(c));
+    }
   }
   {
     device::KernelWork build;
@@ -476,7 +516,7 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
     ic_span.note("level", std::uint64_t{0});
     const auto stats =
         indcomp_on_devices(comm, cg, kernel, opts, cpu, gpu, gpu_share,
-                           /*level=*/0, vrep);
+                           threads, /*level=*/0, vrep);
     if (vrep != nullptr) {
       validate::check_components(cg, me, 0, /*after_merge=*/false, vrep);
     }
@@ -489,7 +529,7 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
     ic_span.finish();
     obs::Span mp_span(tr, "mergeParts", obs::SpanCat::Phase);
     mp_span.note("level", std::uint64_t{0});
-    reduce_all(comm, cg, cpu);
+    reduce_all(comm, cg, cpu, threads);
     if (vrep != nullptr) {
       validate::check_components(cg, me, 0, /*after_merge=*/true, vrep);
     }
@@ -528,7 +568,7 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
       ic_span.note("level", static_cast<std::uint64_t>(level));
       auto stats = indcomp_on_devices(
           comm, cg, kernel, opts, cpu, first_level ? gpu : nullptr,
-          gpu_share, level, vrep);
+          gpu_share, threads, level, vrep);
       if (vrep != nullptr) {
         validate::check_components(cg, me, level, /*after_merge=*/false,
                                    vrep);
@@ -552,7 +592,7 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
       obs::Span mp_span(tr, "mergeParts", obs::SpanCat::Phase);
       mp_span.note("level", static_cast<std::uint64_t>(level));
       sync_parents(comm, all_active, cg, part, rep);
-      reduce_all(comm, cg, cpu);
+      reduce_all(comm, cg, cpu, threads);
       if (vrep != nullptr) {
         validate::check_components(cg, me, level, /*after_merge=*/true,
                                    vrep);
@@ -607,9 +647,9 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
 
           // Collaborative merging on the new set of components (CPU).
           (void)indcomp_on_devices(comm, cg, kernel, opts, cpu, nullptr,
-                                   gpu_share, level, vrep);
+                                   gpu_share, threads, level, vrep);
           sync_parents(comm, group, cg, part, rep);
-          reduce_all(comm, cg, cpu);
+          reduce_all(comm, cg, cpu, threads);
           if (vrep != nullptr) {
             validate::check_components(cg, me, level, /*after_merge=*/true,
                                        vrep);
@@ -639,8 +679,8 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
           // Leader runs independent computations on the merged set (§3.4),
           // then reduces (CPU; merged data has already shrunk).
           (void)indcomp_on_devices(comm, cg, kernel, opts, cpu, nullptr,
-                                   gpu_share, level, vrep);
-          reduce_all(comm, cg, cpu);
+                                   gpu_share, threads, level, vrep);
+          reduce_all(comm, cg, cpu, threads);
           if (vrep != nullptr) {
             validate::check_components(cg, me, level, /*after_merge=*/true,
                                        vrep);
@@ -668,7 +708,12 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
   if (me == active.front()) {
     obs::Span pp_span(tr, "postProcess", obs::SpanCat::Phase);
     mst::BoruvkaOptions final_opts;  // run to completion: no thresholds
+    final_opts.threads = threads;
+    final_opts.max_runs = opts.max_runs;
     const auto stats = kernel.indComp(cg, nullptr, final_opts);
+    if (comm.metrics_enabled()) {
+      comm.metrics().add_counter("boruvka.compactions", stats.compactions);
+    }
     double t = stats.priced_seconds(cpu);
     std::string dev_track = cpu.name();
     if (gpu != nullptr) {

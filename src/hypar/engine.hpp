@@ -73,6 +73,15 @@ struct EngineOptions {
 
   std::size_t ghost_phase_entries = 8192;
 
+  /// Shared-memory threads for the per-rank hot paths (pass-1 scans, run
+  /// compaction, multi-edge removal, partitioning). 0 resolves to
+  /// util default_thread_count() (MND_THREADS, else hardware
+  /// concurrency). Any value yields the identical forest and identical
+  /// priced virtual-time results; only host wall-clock changes.
+  std::size_t threads = 0;
+  /// RunSet compaction threshold forwarded to BoruvkaOptions::max_runs.
+  std::size_t max_runs = 16;
+
   /// Run the phase-boundary validators (src/validate) during the run;
   /// MND_VALIDATE=1 in the environment enables them as well. All ranks
   /// see the same value (the ghost-symmetry check is collective).

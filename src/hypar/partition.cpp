@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mnd::hypar {
 
@@ -28,7 +29,8 @@ int Partition1D::owner(graph::VertexId v) const {
   return static_cast<int>(it - bounds_.begin()) - 1;
 }
 
-Partition1D partition_by_degree(const graph::Csr& g, int parts) {
+Partition1D partition_by_degree(const graph::Csr& g, int parts,
+                                std::size_t threads) {
   MND_CHECK(parts >= 1);
   const graph::VertexId n = g.num_vertices();
   const std::size_t total_arcs = g.num_arcs();
@@ -39,12 +41,38 @@ Partition1D partition_by_degree(const graph::Csr& g, int parts) {
   // Walk the CSR offsets, cutting whenever the running arc count passes the
   // next multiple of total/parts. Guarantees monotone bounds; tiny graphs
   // may leave trailing ranges empty.
-  graph::VertexId v = 0;
+  //
+  // The parallel path finds each part's crossing vertex with an independent
+  // lower_bound over the (sorted) offsets. For every target t, the serial
+  // walk's stopping vertex is max(first v with offsets[v+1] >= t, previous
+  // bound), so replaying the dependent clamp serially over the precomputed
+  // crossings reproduces the walk exactly.
+  std::vector<graph::VertexId> crossing(static_cast<std::size_t>(parts), 0);
+  const auto find_crossing = [&](int p) {
+    const std::size_t target = total_arcs * static_cast<std::size_t>(p) /
+                               static_cast<std::size_t>(parts);
+    const auto first = g.offsets().begin() + 1;
+    const auto it = std::lower_bound(first, g.offsets().end(), target);
+    return static_cast<graph::VertexId>(it - first);
+  };
+  if (threads <= 1) {
+    for (int p = 1; p < parts; ++p) {
+      crossing[static_cast<std::size_t>(p)] = find_crossing(p);
+    }
+  } else {
+    global_pool().parallel_chunks(
+        1, static_cast<std::size_t>(parts), threads,
+        [&](std::size_t, std::size_t lo, std::size_t hi) {
+          for (std::size_t p = lo; p < hi; ++p) {
+            crossing[p] = find_crossing(static_cast<int>(p));
+          }
+        });
+  }
   for (int p = 1; p < parts; ++p) {
-    const std::size_t target =
-        total_arcs * static_cast<std::size_t>(p) /
-        static_cast<std::size_t>(parts);
-    while (v < n && g.offsets()[v + 1] < target) ++v;
+    const std::size_t target = total_arcs * static_cast<std::size_t>(p) /
+                               static_cast<std::size_t>(parts);
+    const graph::VertexId v =
+        std::max(crossing[static_cast<std::size_t>(p)], bounds.back());
     // Include the vertex that crosses the target in the earlier part when
     // that keeps balance better.
     graph::VertexId cut = v;
@@ -55,7 +83,6 @@ Partition1D partition_by_degree(const graph::Csr& g, int parts) {
     }
     cut = std::max(cut, bounds.back());
     bounds.push_back(std::min(cut, n));
-    v = bounds.back();
   }
   bounds.push_back(n);
   return Partition1D(std::move(bounds));

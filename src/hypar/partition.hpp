@@ -32,7 +32,11 @@ class Partition1D {
 
 /// Splits [0, V) into `parts` contiguous ranges with near-equal total
 /// degree (arc count). Empty ranges are possible for tiny graphs.
-Partition1D partition_by_degree(const graph::Csr& g, int parts);
+/// `threads > 1` computes the per-part offset targets with parallel binary
+/// searches instead of one serial walk over the offsets; the resulting
+/// bounds are identical for every thread count.
+Partition1D partition_by_degree(const graph::Csr& g, int parts,
+                                std::size_t threads = 1);
 
 /// Splits one rank's contiguous range into a CPU range and a GPU range so
 /// that the GPU side holds ~gpu_share of the range's arcs. Returns the

@@ -39,6 +39,17 @@ VertexId RenameMap::resolve(VertexId id) {
   return cur;
 }
 
+VertexId RenameMap::lookup(VertexId id) const {
+  VertexId cur = id;
+  std::size_t steps = 0;
+  while (const VertexId* next = parent_.find(cur)) {
+    cur = *next;
+    MND_CHECK_MSG(++steps <= parent_.size() + 1,
+                  "rename cycle detected at id " << id);
+  }
+  return cur;
+}
+
 void RenameMap::merge_from(const RenameMap& other) {
   other.map_for_each([&](VertexId from, VertexId into) { add(from, into); });
 }

@@ -85,6 +85,12 @@ class RenameMap {
   /// Follows the chain from `id` as far as current knowledge allows.
   VertexId resolve(VertexId id);
 
+  /// resolve() without path compression: same result, no mutation. The
+  /// threaded kernels resolve through this during parallel regions (the
+  /// compressing resolve() would race on the parent map); chains are then
+  /// compressed by the next serial resolve() of the same id.
+  VertexId lookup(VertexId id) const;
+
   void merge_from(const RenameMap& other);
 
   std::size_t size() const { return parent_.size(); }

@@ -1,11 +1,93 @@
 #include "mst/local_boruvka.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/check.hpp"
 #include "util/flat_hash.hpp"
+#include "util/parallel_sort.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mnd::mst {
+
+namespace {
+
+bool lighter_edge(const CEdge& a, const CEdge& b) {
+  return graph::edge_less(a, b);
+}
+
+/// Below this many edges the per-chunk shard maps cost more than the scan.
+constexpr std::size_t kParallelEdgeGrain = 4096;
+/// Minimum dirty-component count before pass 1 goes component-parallel.
+constexpr std::size_t kPass1CompGrain = 256;
+
+/// Keeps the lighter of `slot` and `e` (empty slots always lose).
+void keep_lighter(CEdge& slot, const CEdge& e) {
+  if (slot.orig == graph::kInvalidEdge || lighter_edge(e, slot)) slot = e;
+}
+
+/// Shared body of the threaded multi-edge removal: resolves `edges`
+/// chunk-parallel into per-chunk shard maps (read-only rename lookups),
+/// merges the shards in chunk order — the min over (w, orig) is
+/// order-independent, so any merge order yields the same map — and
+/// rebuilds `edges` sorted by the (w, orig) total order.
+std::size_t clean_edges_parallel(std::vector<CEdge>& edges, VertexId self,
+                                 const RenameMap& renames,
+                                 std::size_t threads) {
+  const std::size_t scanned = edges.size();
+  ThreadPool& pool = global_pool();
+  const std::size_t parts = ThreadPool::chunk_count(scanned, threads);
+  std::vector<mnd::FlatHashMap<VertexId, CEdge>> shards;
+  shards.reserve(parts);
+  for (std::size_t p = 0; p < parts; ++p) {
+    shards.emplace_back(scanned / parts + 1);
+  }
+  pool.parallel_chunks(
+      0, scanned, threads,
+      [&](std::size_t part, std::size_t lo, std::size_t hi) {
+        auto& shard = shards[part];
+        for (std::size_t i = lo; i < hi; ++i) {
+          const CEdge& e = edges[i];
+          const VertexId target = renames.lookup(e.to);
+          if (target == self) continue;
+          keep_lighter(shard[target], CEdge{target, e.w, e.orig});
+        }
+      });
+  std::size_t distinct = 0;
+  for (const auto& shard : shards) distinct += shard.size();
+  mnd::FlatHashMap<VertexId, CEdge> best(distinct);
+  for (auto& shard : shards) {
+    shard.for_each(
+        [&](const VertexId& target, const CEdge& e) {
+          keep_lighter(best[target], e);
+        });
+  }
+  edges.clear();
+  edges.reserve(best.size());
+  best.for_each([&](const VertexId&, const CEdge& e) { edges.push_back(e); });
+  parallel_sort(pool, threads, edges, graph::EdgeLess{});
+  return scanned;
+}
+
+/// Serial clean against a read-only rename map (no path compression) —
+/// the per-component body of the component-parallel clean_all loop.
+std::size_t clean_edges_readonly(std::vector<CEdge>& edges, VertexId self,
+                                 const RenameMap& renames) {
+  const std::size_t scanned = edges.size();
+  mnd::FlatHashMap<VertexId, CEdge> best(edges.size());
+  for (const auto& e : edges) {
+    const VertexId target = renames.lookup(e.to);
+    if (target == self) continue;
+    keep_lighter(best[target], CEdge{target, e.w, e.orig});
+  }
+  edges.clear();
+  edges.reserve(best.size());
+  best.for_each([&](const VertexId&, const CEdge& e) { edges.push_back(e); });
+  std::sort(edges.begin(), edges.end(), graph::EdgeLess{});
+  return scanned;
+}
+
+}  // namespace
 
 device::KernelWork BoruvkaStats::total_work() const {
   device::KernelWork total;
@@ -19,7 +101,15 @@ double BoruvkaStats::priced_seconds(const device::Device& d) const {
   return total;
 }
 
-std::size_t clean_adjacency(CompGraph& cg, Component& c) {
+std::size_t clean_adjacency(CompGraph& cg, Component& c,
+                            std::size_t threads) {
+  if (threads > 1 && c.edges.size() >= kParallelEdgeGrain) {
+    const std::size_t scanned =
+        clean_edges_parallel(c.edges, c.id, cg.renames(), threads);
+    c.scan_head = 0;
+    c.last_clean_size = c.edges.size();
+    return scanned;
+  }
   const std::size_t scanned = c.edges.size();
   mnd::FlatHashMap<VertexId, CEdge> best(c.edges.size());
   for (const auto& e : c.edges) {
@@ -43,11 +133,102 @@ std::size_t clean_adjacency(CompGraph& cg, Component& c) {
   return scanned;
 }
 
-namespace {
-
-bool lighter_edge(const CEdge& a, const CEdge& b) {
-  return graph::edge_less(a, b);
+std::size_t clean_all(CompGraph& cg, std::size_t threads) {
+  const std::vector<VertexId> ids = cg.component_ids();
+  std::size_t scanned = 0;
+  if (threads <= 1 || ids.empty()) {
+    for (VertexId id : ids) scanned += clean_adjacency(cg, *cg.find(id));
+  } else if (ids.size() >= 2 * threads) {
+    // Many components: go component-parallel, balancing chunks by edge
+    // mass (component sizes are heavily skewed after contraction). Rename
+    // lookups are read-only inside the region.
+    std::vector<std::size_t> weights(ids.size());
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      weights[i] = cg.find(ids[i])->edges.size();
+    }
+    const std::size_t parts = ThreadPool::chunk_count(ids.size(), threads);
+    const auto bounds = balanced_chunk_bounds(weights, parts);
+    std::vector<std::size_t> chunk_scanned(parts, 0);
+    const RenameMap& renames = cg.renames();
+    global_pool().parallel_chunks(
+        0, parts, parts, [&](std::size_t, std::size_t lo, std::size_t hi) {
+          for (std::size_t p = lo; p < hi; ++p) {
+            for (std::size_t i = bounds[p]; i < bounds[p + 1]; ++i) {
+              Component& c = *cg.find(ids[i]);
+              chunk_scanned[p] +=
+                  clean_edges_readonly(c.edges, c.id, renames);
+              c.scan_head = 0;
+              c.last_clean_size = c.edges.size();
+            }
+          }
+        });
+    for (std::size_t s : chunk_scanned) scanned += s;
+  } else {
+    // Few (large) components: shard within each adjacency instead.
+    for (VertexId id : ids) {
+      scanned += clean_adjacency(cg, *cg.find(id), threads);
+    }
+  }
+  cg.refresh_accounting();
+  return scanned;
 }
+
+std::vector<CEdge> min_edges_per_component(const CompGraph& cg,
+                                           const std::vector<VertexId>& ids,
+                                           std::size_t threads,
+                                           device::KernelWork* work) {
+  std::vector<CEdge> result(ids.size());
+  const RenameMap& renames = cg.renames();
+  const auto scan_one = [&](VertexId id, device::KernelWork* wk) {
+    const Component* c = cg.find(id);
+    MND_CHECK_MSG(c != nullptr, "component " << id << " not owned");
+    CEdge best;  // orig == kInvalidEdge marks "isolated"
+    for (const auto& e : c->edges) {
+      if (wk != nullptr) ++wk->edges_scanned;
+      const VertexId target = renames.lookup(e.to);
+      if (target == id) continue;
+      keep_lighter(best, CEdge{target, e.w, e.orig});
+    }
+    if (wk != nullptr) ++wk->atomic_updates;
+    return best;
+  };
+  if (threads <= 1 || ids.size() < 2) {
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      result[i] = scan_one(ids[i], work);
+    }
+    if (work != nullptr) work->active_vertices += ids.size();
+    return result;
+  }
+  // The degree gather is itself a hot serial prefix at this scale (one
+  // hash find per id); chunk it too — writes are disjoint per index.
+  std::vector<std::size_t> weights(ids.size());
+  global_pool().parallel_chunks(
+      0, ids.size(), threads,
+      [&](std::size_t, std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const Component* c = cg.find(ids[i]);
+          weights[i] = c != nullptr ? c->edges.size() : 0;
+        }
+      });
+  const std::size_t parts = ThreadPool::chunk_count(ids.size(), threads);
+  const auto bounds = balanced_chunk_bounds(weights, parts);
+  std::vector<device::KernelWork> chunk_work(parts);
+  global_pool().parallel_chunks(
+      0, parts, parts, [&](std::size_t, std::size_t lo, std::size_t hi) {
+        for (std::size_t p = lo; p < hi; ++p) {
+          for (std::size_t i = bounds[p]; i < bounds[p + 1]; ++i) {
+            result[i] = scan_one(ids[i], &chunk_work[p]);
+          }
+        }
+      });
+  if (work != nullptr) {
+    for (const auto& wk : chunk_work) *work += wk;
+    work->active_vertices += ids.size();
+  }
+  return result;
+}
+
+namespace {
 
 struct Candidate {
   VertexId to = graph::kInvalidVertex;
@@ -75,11 +256,11 @@ struct RunSet {
   }
 };
 
-constexpr std::size_t kMaxRuns = 16;
-
 class InvocationState {
  public:
-  explicit InvocationState(CompGraph& cg) : cg_(cg), state_(64) {}
+  InvocationState(CompGraph& cg, std::size_t max_runs, std::size_t threads)
+      : cg_(cg), state_(64), max_runs_(std::max<std::size_t>(1, max_runs)),
+        threads_(threads) {}
 
   /// Loads (or returns) the run set of an owned component.
   RunSet& runs_of(VertexId id) {
@@ -96,33 +277,34 @@ class InvocationState {
     return rs;
   }
 
+  /// Pre-loads `id` so the read-only accessors below can be used from a
+  /// parallel region (loading inserts into the state map, which must not
+  /// grow concurrently).
+  void ensure_loaded(VertexId id) { (void)runs_of(id); }
+
+  std::size_t live_edges_of(VertexId id) {
+    const RunSet* rs = state_.find(id);
+    return rs != nullptr ? rs->live_edges() : 0;
+  }
+
   /// Lightest live edge of `id` (nullptr when isolated). Pops self
   /// entries; `work` is charged for every entry examined.
   const CEdge* lightest(VertexId id, device::KernelWork* work) {
-    RunSet& rs = runs_of(id);
-    const CEdge* best = nullptr;
-    for (std::size_t r = 0; r < rs.runs.size(); ++r) {
-      auto& run = rs.runs[r];
-      auto& head = rs.heads[r];
-      while (head < run.size()) {
-        CEdge& e = run[head];
-        ++work->edges_scanned;
-        const VertexId target = cg_.renames().resolve(e.to);
-        if (target == id) {
-          ++head;  // contracted away; popped forever
-          continue;
-        }
-        e.to = target;  // memoize
-        break;
-      }
-      if (head < run.size()) {
-        ++work->edges_scanned;
-        if (best == nullptr || lighter_edge(run[head], *best)) {
-          best = &run[head];
-        }
-      }
-    }
-    return best;
+    return lightest_impl(
+        runs_of(id), id,
+        [this](VertexId v) { return cg_.renames().resolve(v); }, work);
+  }
+
+  /// lightest() for parallel pass 1: requires ensure_loaded(id) first and
+  /// resolves without compressing the shared rename map. Mutates only this
+  /// id's run set (head pops + memoization), so distinct ids are safe to
+  /// scan concurrently. Identical edge result and identical work charge.
+  const CEdge* lightest_readonly(VertexId id, device::KernelWork* work) {
+    RunSet* rs = state_.find(id);
+    MND_DCHECK(rs != nullptr);
+    return lightest_impl(
+        *rs, id, [this](VertexId v) { return cg_.renames().lookup(v); },
+        work);
   }
 
   /// Lightest live edge whose resolved target satisfies `internal` — the
@@ -146,7 +328,7 @@ class InvocationState {
   }
 
   /// Moves `child`'s runs into `root` (contraction). O(#runs); compacts
-  /// when the run count grows past kMaxRuns.
+  /// when the run count grows past max_runs.
   void meld(VertexId root, VertexId child, device::KernelWork* work) {
     RunSet child_rs = std::move(state_[child]);
     state_.erase(child);
@@ -156,7 +338,7 @@ class InvocationState {
       rs.runs.push_back(std::move(child_rs.runs[r]));
       rs.heads.push_back(child_rs.heads[r]);
     }
-    if (rs.runs.size() > kMaxRuns) compact(root, rs, work);
+    if (rs.runs.size() > max_runs_) compact(root, rs, work);
   }
 
   /// Writes every loaded run set back into its component as one sorted,
@@ -180,11 +362,52 @@ class InvocationState {
     state_.clear();
   }
 
+  std::size_t compactions() const { return compactions_; }
+
  private:
-  /// Merges all runs into one sorted run with multi-edge removal.
+  template <typename ResolveFn>
+  static const CEdge* lightest_impl(RunSet& rs, VertexId id,
+                                    ResolveFn&& resolve,
+                                    device::KernelWork* work) {
+    const CEdge* best = nullptr;
+    for (std::size_t r = 0; r < rs.runs.size(); ++r) {
+      auto& run = rs.runs[r];
+      auto& head = rs.heads[r];
+      while (head < run.size()) {
+        CEdge& e = run[head];
+        ++work->edges_scanned;
+        const VertexId target = resolve(e.to);
+        if (target == id) {
+          ++head;  // contracted away; popped forever
+          continue;
+        }
+        e.to = target;  // memoize
+        break;
+      }
+      if (head < run.size()) {
+        ++work->edges_scanned;
+        if (best == nullptr || lighter_edge(run[head], *best)) {
+          best = &run[head];
+        }
+      }
+    }
+    return best;
+  }
+
+  /// Merges all runs into one sorted run with multi-edge removal. With
+  /// threads, each run resolves into its own shard map concurrently, the
+  /// shards merge in run order (min is order-independent), and the merged
+  /// vector sorts with the chunked parallel sort — same output, charged
+  /// identically.
   void compact(VertexId id, RunSet& rs, device::KernelWork* work) {
     if (rs.runs.size() <= 1 && rs.runs.size() == rs.heads.size() &&
         (rs.runs.empty() || rs.heads[0] == 0)) {
+      return;
+    }
+    ++compactions_;
+    if (threads_ > 1 && rs.live_edges() >= kParallelEdgeGrain &&
+        rs.runs.size() > 1) {
+      compact_parallel(id, rs, work);
       return;
     }
     mnd::FlatHashMap<VertexId, CEdge> best(rs.live_edges());
@@ -214,8 +437,55 @@ class InvocationState {
     rs.heads.push_back(0);
   }
 
+  void compact_parallel(VertexId id, RunSet& rs, device::KernelWork* work) {
+    const std::size_t nruns = rs.runs.size();
+    const RenameMap& renames = cg_.renames();
+    std::vector<mnd::FlatHashMap<VertexId, CEdge>> shards;
+    shards.reserve(nruns);
+    for (std::size_t r = 0; r < nruns; ++r) {
+      shards.emplace_back(rs.runs[r].size() - rs.heads[r] + 1);
+    }
+    std::vector<std::size_t> chunk_scanned(nruns, 0);
+    global_pool().parallel_chunks(
+        0, nruns, threads_,
+        [&](std::size_t, std::size_t lo, std::size_t hi) {
+          for (std::size_t r = lo; r < hi; ++r) {
+            auto& shard = shards[r];
+            for (std::size_t i = rs.heads[r]; i < rs.runs[r].size(); ++i) {
+              const CEdge& e = rs.runs[r][i];
+              ++chunk_scanned[r];
+              const VertexId target = renames.lookup(e.to);
+              if (target == id) continue;
+              keep_lighter(shard[target], CEdge{target, e.w, e.orig});
+            }
+          }
+        });
+    for (std::size_t s : chunk_scanned) work->edges_scanned += s;
+    std::size_t distinct = 0;
+    for (const auto& shard : shards) distinct += shard.size();
+    mnd::FlatHashMap<VertexId, CEdge> best(distinct);
+    for (auto& shard : shards) {
+      shard.for_each([&](const VertexId& target, const CEdge& e) {
+        keep_lighter(best[target], e);
+      });
+    }
+    std::vector<CEdge> merged;
+    merged.reserve(best.size());
+    best.for_each(
+        [&](const VertexId&, const CEdge& e) { merged.push_back(e); });
+    parallel_sort(global_pool(), threads_, merged, lighter_edge);
+    work->atomic_updates += merged.size();
+    rs.runs.clear();
+    rs.heads.clear();
+    rs.runs.push_back(std::move(merged));
+    rs.heads.push_back(0);
+  }
+
   CompGraph& cg_;
   mnd::FlatHashMap<VertexId, RunSet> state_;
+  std::size_t max_runs_;
+  std::size_t threads_;
+  std::size_t compactions_ = 0;
 };
 
 /// Follows min-edge pointers to the contraction root of `start`.
@@ -265,7 +535,7 @@ BoruvkaStats local_boruvka(CompGraph& cg, const Participates& participates,
     return !participates || participates(id);
   };
 
-  InvocationState inv(cg);
+  InvocationState inv(cg, opts.max_runs, opts.threads);
   // Live candidates: a non-dirty component's lightest edge stays its
   // lightest (weights are immutable and its adjacency unchanged), so only
   // dirty components — contraction roots — are rescanned per iteration.
@@ -285,29 +555,79 @@ BoruvkaStats local_boruvka(CompGraph& cg, const Participates& participates,
     work.active_vertices = dirty.size();
 
     // Pass 1: (re)compute candidates for dirty components only.
-    for (VertexId id : dirty) {
-      const CEdge* min_edge = inv.lightest(id, &work);
-      ++work.atomic_updates;  // min-edge CAS
-      if (min_edge == nullptr) continue;  // isolated: finished
-      if (cg.owns(min_edge->to) && takes_part(min_edge->to)) {
-        cand.insert_or_assign(
-            id, Candidate{min_edge->to, min_edge->w, min_edge->orig});
-        continue;
-      }
-      if (opts.fault == BoruvkaOptions::Fault::kSkipBorderFreeze) {
-        // Fault injection (validator negative tests): ignore the border
-        // exception and contract along the lightest internal edge, which
-        // is NOT the component's lightest incident edge — an unsafe merge.
-        const CEdge* alt = inv.lightest_internal(
-            id,
-            [&](VertexId t) { return cg.owns(t) && takes_part(t); },
-            &work);
-        if (alt != nullptr) {
-          cand.insert_or_assign(id, Candidate{alt->to, alt->w, alt->orig});
+    const bool parallel_pass1 = opts.threads > 1 &&
+                                opts.fault == BoruvkaOptions::Fault::kNone &&
+                                dirty.size() >= kPass1CompGrain;
+    if (!parallel_pass1) {
+      for (VertexId id : dirty) {
+        const CEdge* min_edge = inv.lightest(id, &work);
+        ++work.atomic_updates;  // min-edge CAS
+        if (min_edge == nullptr) continue;  // isolated: finished
+        if (cg.owns(min_edge->to) && takes_part(min_edge->to)) {
+          cand.insert_or_assign(
+              id, Candidate{min_edge->to, min_edge->w, min_edge->orig});
           continue;
         }
+        if (opts.fault == BoruvkaOptions::Fault::kSkipBorderFreeze) {
+          // Fault injection (validator negative tests): ignore the border
+          // exception and contract along the lightest internal edge, which
+          // is NOT the component's lightest incident edge — an unsafe merge.
+          const CEdge* alt = inv.lightest_internal(
+              id,
+              [&](VertexId t) { return cg.owns(t) && takes_part(t); },
+              &work);
+          if (alt != nullptr) {
+            cand.insert_or_assign(id, Candidate{alt->to, alt->w, alt->orig});
+            continue;
+          }
+        }
+        frozen_set.insert(id);  // EXCPT_BORDER_VERTEX: cut edge
       }
-      frozen_set.insert(id);  // EXCPT_BORDER_VERTEX: cut edge
+    } else {
+      // Parallel pass 1. Loading run sets mutates shared maps, so it
+      // happens serially up front; the chunked scans then only touch
+      // their own components' run sets and resolve through the
+      // non-compressing lookup. The apply step below replays the serial
+      // decision logic in dirty order, so candidates, freezes, and work
+      // charges match the serial pass exactly.
+      for (VertexId id : dirty) inv.ensure_loaded(id);
+      struct Pass1Result {
+        CEdge edge;
+        bool has = false;
+      };
+      std::vector<Pass1Result> found(dirty.size());
+      std::vector<std::size_t> weights(dirty.size());
+      for (std::size_t i = 0; i < dirty.size(); ++i) {
+        weights[i] = inv.live_edges_of(dirty[i]);
+      }
+      const std::size_t parts =
+          ThreadPool::chunk_count(dirty.size(), opts.threads);
+      const auto bounds = balanced_chunk_bounds(weights, parts);
+      std::vector<device::KernelWork> chunk_work(parts);
+      global_pool().parallel_chunks(
+          0, parts, parts,
+          [&](std::size_t, std::size_t lo, std::size_t hi) {
+            for (std::size_t p = lo; p < hi; ++p) {
+              for (std::size_t i = bounds[p]; i < bounds[p + 1]; ++i) {
+                const CEdge* min_edge =
+                    inv.lightest_readonly(dirty[i], &chunk_work[p]);
+                if (min_edge != nullptr) found[i] = {*min_edge, true};
+              }
+            }
+          });
+      for (const auto& wk : chunk_work) work += wk;
+      for (std::size_t i = 0; i < dirty.size(); ++i) {
+        const VertexId id = dirty[i];
+        ++work.atomic_updates;  // min-edge CAS
+        if (!found[i].has) continue;  // isolated: finished
+        const CEdge& min_edge = found[i].edge;
+        if (cg.owns(min_edge.to) && takes_part(min_edge.to)) {
+          cand.insert_or_assign(
+              id, Candidate{min_edge.to, min_edge.w, min_edge.orig});
+          continue;
+        }
+        frozen_set.insert(id);  // EXCPT_BORDER_VERTEX: cut edge
+      }
     }
 
     if (cand.size() == 0) {
@@ -398,6 +718,7 @@ BoruvkaStats local_boruvka(CompGraph& cg, const Participates& participates,
   } else {
     stats.per_iteration.push_back(final_writeback);
   }
+  stats.compactions = inv.compactions();
   cg.refresh_accounting();
   return stats;
 }

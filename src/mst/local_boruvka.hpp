@@ -45,11 +45,26 @@ struct BoruvkaOptions {
   /// must be caught by the validate:: layer.
   enum class Fault { kNone, kSkipBorderFreeze };
   Fault fault = Fault::kNone;
+
+  /// Shared-memory threads for the hot paths (pass-1 lightest-edge scans
+  /// and run compaction). 1 = the original serial code paths. Any value
+  /// produces the identical forest, stats, and KernelWork totals — the
+  /// parallel paths are deterministic reductions over the same total
+  /// order.
+  std::size_t threads = 1;
+  /// RunSet compaction threshold: a component's runs are k-way merged and
+  /// multi-edge-removed once contraction accumulates more than this many
+  /// runs. Smaller = more dedup work, larger = longer scan fronts.
+  std::size_t max_runs = 16;
 };
 
 struct BoruvkaStats {
   int iterations = 0;
   std::size_t contractions = 0;
+  /// RunSet compactions performed (meld overflow past max_runs plus the
+  /// final write-back merges). Exposed as the boruvka.compactions metric
+  /// so benches can correlate the max_runs knob with wall-clock time.
+  std::size_t compactions = 0;
   /// Components whose lightest edge was a cut edge in the last iteration.
   std::size_t frozen_components = 0;
   /// Their identities, ascending; filled only when
@@ -73,6 +88,29 @@ BoruvkaStats local_boruvka(CompGraph& cg, const Participates& participates,
 /// Cleans one component's adjacency in place: resolves far endpoints,
 /// drops self edges, and keeps only the lightest edge per far component
 /// (multi-edge removal). Returns the number of edges scanned.
-std::size_t clean_adjacency(CompGraph& cg, Component& c);
+/// `threads > 1` shards the resolution into per-chunk hash maps merged
+/// deterministically and sorts with a chunked parallel sort; the result is
+/// identical for every thread count.
+std::size_t clean_adjacency(CompGraph& cg, Component& c,
+                            std::size_t threads = 1);
+
+/// Cleans every owned component (the merge phase's multi-edge removal)
+/// and refreshes byte accounting. With many small components the loop
+/// runs component-parallel (balanced by edge counts); with few large ones
+/// each clean shards internally. Returns total edges scanned.
+std::size_t clean_all(CompGraph& cg, std::size_t threads = 1);
+
+/// Lightest incident non-self edge of each listed component, scanning the
+/// full adjacency (no mutation; far endpoints resolved through the rename
+/// map). result[i] corresponds to ids[i]; an isolated component yields
+/// orig == graph::kInvalidEdge. This is the dense min-edge-reduction
+/// primitive of parallel Boruvka formulations (cf. pbbsbench's
+/// minSpanningForest); the in-engine pass 1 instead scans lazy sorted-run
+/// fronts, which is cheaper but irreducibly pointer-chasing. Charges
+/// `work` one edges_scanned per entry and one atomic_update per id.
+std::vector<CEdge> min_edges_per_component(const CompGraph& cg,
+                                           const std::vector<VertexId>& ids,
+                                           std::size_t threads = 1,
+                                           device::KernelWork* work = nullptr);
 
 }  // namespace mnd::mst

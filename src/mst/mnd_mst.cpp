@@ -5,13 +5,17 @@
 
 #include "graph/csr.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mnd::mst {
 
 MndMstReport run_mnd_mst(const graph::EdgeList& input,
                          const MndMstOptions& opts) {
   MND_CHECK(opts.num_nodes >= 1);
-  const graph::Csr csr = graph::Csr::from_edge_list(input);
+  const std::size_t threads =
+      opts.threads != 0 ? opts.threads : opts.engine.threads;
+  const graph::Csr csr = graph::Csr::from_edge_list(
+      input, threads != 0 ? threads : default_thread_count());
 
   sim::ClusterConfig config;
   config.num_ranks = opts.num_nodes;
@@ -31,6 +35,7 @@ MndMstReport run_mnd_mst(const graph::EdgeList& input,
   engine_opts.group_size = std::max(2, engine_opts.group_size);
   const bool validating = validate::enabled(opts.validate || opts.engine.validate);
   engine_opts.validate = validating;
+  if (threads != 0) engine_opts.threads = threads;
 
   report.run = sim::run_cluster(config, [&](sim::Communicator& comm) {
     hypar::BoruvkaKernel kernel;

@@ -34,6 +34,12 @@ struct MndMstOptions {
   /// Run the phase-boundary validators on every rank and the final
   /// forest checks on the assembled result (also MND_VALIDATE=1).
   bool validate = false;
+  /// Shared-memory threads per rank for the hot paths (CSR build, pass-1
+  /// scans, compaction, multi-edge removal, partitioning). 0 resolves to
+  /// MND_THREADS, else hardware concurrency. The forest and all
+  /// virtual-time results are identical for every value; only host
+  /// wall-clock changes. Overrides engine.threads when nonzero.
+  std::size_t threads = 0;
 };
 
 struct MndMstReport {

@@ -1,0 +1,77 @@
+// Chunked parallel sort: per-chunk std::sort followed by log2(parts)
+// rounds of pairwise std::inplace_merge.
+//
+// Every call site in this codebase sorts with a strict TOTAL order (ties
+// broken by a unique edge id), so the result is the unique sorted
+// permutation — identical to a serial std::sort for any thread count.
+// Callers that only have a weak order must not use this with threads > 1.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace mnd {
+
+/// Below this size the merge bookkeeping costs more than it saves.
+inline constexpr std::size_t kParallelSortGrain = 1 << 13;
+
+template <typename Iter, typename Less>
+void parallel_sort(ThreadPool& pool, std::size_t threads, Iter first,
+                   Iter last, Less less) {
+  const std::size_t n =
+      static_cast<std::size_t>(std::distance(first, last));
+  if (threads <= 1 || n < 2 * kParallelSortGrain) {
+    std::sort(first, last, less);
+    return;
+  }
+  const std::size_t parts = std::min(threads, n / kParallelSortGrain);
+  if (parts <= 1) {
+    std::sort(first, last, less);
+    return;
+  }
+  // Fixed equal-size grid (function of n and parts only).
+  std::vector<std::size_t> bounds(parts + 1);
+  for (std::size_t p = 0; p <= parts; ++p) bounds[p] = p * n / parts;
+  pool.parallel_chunks(0, parts, parts,
+                       [&](std::size_t, std::size_t lo, std::size_t hi) {
+                         for (std::size_t p = lo; p < hi; ++p) {
+                           std::sort(first + static_cast<std::ptrdiff_t>(
+                                                 bounds[p]),
+                                     first + static_cast<std::ptrdiff_t>(
+                                                 bounds[p + 1]),
+                                     less);
+                         }
+                       });
+  // Pairwise merge rounds; merges within a round touch disjoint ranges.
+  for (std::size_t width = 1; width < parts; width *= 2) {
+    std::vector<std::size_t> starts;
+    for (std::size_t p = 0; p + width < parts; p += 2 * width) {
+      starts.push_back(p);
+    }
+    if (starts.empty()) continue;
+    pool.parallel_chunks(
+        0, starts.size(), starts.size(),
+        [&](std::size_t, std::size_t lo, std::size_t hi) {
+          for (std::size_t j = lo; j < hi; ++j) {
+            const std::size_t p = starts[j];
+            const std::size_t mid = bounds[p + width];
+            const std::size_t end = bounds[std::min(p + 2 * width, parts)];
+            std::inplace_merge(
+                first + static_cast<std::ptrdiff_t>(bounds[p]),
+                first + static_cast<std::ptrdiff_t>(mid),
+                first + static_cast<std::ptrdiff_t>(end), less);
+          }
+        });
+  }
+}
+
+template <typename T, typename Less>
+void parallel_sort(ThreadPool& pool, std::size_t threads, std::vector<T>& v,
+                   Less less) {
+  parallel_sort(pool, threads, v.begin(), v.end(), less);
+}
+
+}  // namespace mnd

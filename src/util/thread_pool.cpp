@@ -1,13 +1,26 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <latch>
+#include <string>
 
 namespace mnd {
+namespace {
+
+// Set while a pool worker is executing a task. A parallel_chunks call made
+// from inside a task must not block on a latch served by the same pool
+// (every worker could be inside such a call at once), so it runs inline.
+thread_local bool t_in_worker = false;
+
+// Active timing sink for this thread; see ScopedChunkTiming.
+thread_local ChunkTimeLog* t_chunk_log = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
-  if (threads == 0) {
-    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  }
+  if (threads == 0) threads = default_thread_count();
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -38,6 +51,7 @@ void ThreadPool::wait_idle() {
 }
 
 void ThreadPool::worker_loop() {
+  t_in_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -65,28 +79,106 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
 void ThreadPool::parallel_for_chunks(
     std::size_t begin, std::size_t end,
     const std::function<void(std::size_t, std::size_t)>& fn) {
-  if (begin >= end) return;
+  parallel_chunks(begin, end, thread_count() + 1,
+                  [&fn](std::size_t, std::size_t lo, std::size_t hi) {
+                    fn(lo, hi);
+                  });
+}
+
+std::size_t ThreadPool::chunk_count(std::size_t n, std::size_t max_parts) {
+  return std::min(n, std::max<std::size_t>(1, max_parts));
+}
+
+void ThreadPool::parallel_chunks(
+    std::size_t begin, std::size_t end, std::size_t max_parts,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (end <= begin) return;
   const std::size_t n = end - begin;
-  const std::size_t parts = std::min(n, thread_count() + 1);
-  if (parts <= 1) {
-    fn(begin, end);
+  const std::size_t parts = chunk_count(n, max_parts);
+  // Equal-count grid; boundary p is begin + p*n/parts, so the grid is a
+  // pure function of (n, parts) and chunks differ in size by at most one.
+  const auto bound = [begin, n, parts](std::size_t p) {
+    return begin + p * n / parts;
+  };
+  if (t_chunk_log != nullptr) {
+    // Measured mode: serial, in order, one timed region per call.
+    ChunkTimeLog::Region region;
+    region.chunk_seconds.reserve(parts);
+    for (std::size_t p = 0; p < parts; ++p) {
+      const auto t0 = std::chrono::steady_clock::now();
+      fn(p, bound(p), bound(p + 1));
+      const auto t1 = std::chrono::steady_clock::now();
+      region.chunk_seconds.push_back(
+          std::chrono::duration<double>(t1 - t0).count());
+    }
+    t_chunk_log->regions.push_back(std::move(region));
     return;
   }
-  const std::size_t chunk = (n + parts - 1) / parts;
-  // The calling thread takes the first chunk so small loops pay no queueing.
-  for (std::size_t p = 1; p < parts; ++p) {
-    const std::size_t lo = begin + p * chunk;
-    const std::size_t hi = std::min(end, lo + chunk);
-    if (lo >= hi) break;
-    submit([lo, hi, &fn] { fn(lo, hi); });
+  if (parts <= 1 || t_in_worker) {
+    for (std::size_t p = 0; p < parts; ++p) fn(p, bound(p), bound(p + 1));
+    return;
   }
-  fn(begin, std::min(end, begin + chunk));
-  wait_idle();
+  // Per-call latch rather than wait_idle(): concurrent callers (one per
+  // simulated rank) must not block on each other's submitted work.
+  std::latch done(static_cast<std::ptrdiff_t>(parts - 1));
+  for (std::size_t p = 1; p < parts; ++p) {
+    submit([&fn, &bound, &done, p] {
+      fn(p, bound(p), bound(p + 1));
+      done.count_down();
+    });
+  }
+  fn(0, bound(0), bound(1));
+  done.wait();
 }
 
 ThreadPool& global_pool() {
-  static ThreadPool pool;
+  static ThreadPool pool(default_thread_count());
   return pool;
+}
+
+std::size_t parse_thread_count(const char* text) {
+  if (text == nullptr || *text == '\0') return 0;
+  char* rest = nullptr;
+  const long value = std::strtol(text, &rest, 10);
+  if (rest == nullptr || *rest != '\0' || value <= 0) return 0;
+  return static_cast<std::size_t>(value);
+}
+
+std::size_t default_thread_count() {
+  static const std::size_t cached = [] {
+    const std::size_t from_env = parse_thread_count(std::getenv("MND_THREADS"));
+    if (from_env != 0) return from_env;
+    return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }();
+  return cached;
+}
+
+ScopedChunkTiming::ScopedChunkTiming(ChunkTimeLog* log) : prev_(t_chunk_log) {
+  t_chunk_log = log;
+}
+
+ScopedChunkTiming::~ScopedChunkTiming() { t_chunk_log = prev_; }
+
+std::vector<std::size_t> balanced_chunk_bounds(
+    const std::vector<std::size_t>& weights, std::size_t parts) {
+  parts = std::max<std::size_t>(1, parts);
+  std::vector<std::size_t> prefix(weights.size() + 1, 0);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    prefix[i + 1] = prefix[i] + weights[i];
+  }
+  const std::size_t total = prefix.back();
+  std::vector<std::size_t> bounds(parts + 1, 0);
+  for (std::size_t p = 1; p < parts; ++p) {
+    // First index whose prefix reaches p/parts of the total mass; clamped
+    // so bounds stay ascending even with zero-weight runs.
+    const std::size_t target = total * p / parts;
+    const auto it = std::lower_bound(prefix.begin(), prefix.end(), target);
+    bounds[p] = std::max<std::size_t>(
+        bounds[p - 1], static_cast<std::size_t>(it - prefix.begin()));
+    bounds[p] = std::min(bounds[p], weights.size());
+  }
+  bounds[parts] = weights.size();
+  return bounds;
 }
 
 }  // namespace mnd

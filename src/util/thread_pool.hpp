@@ -1,8 +1,15 @@
-// Fixed-size thread pool with a parallel_for convenience.
+// Fixed-size thread pool with deterministic chunked parallel loops.
 //
-// Used by the CpuDevice to model the paper's OpenMP processingThreads and by
-// graph construction. Tasks must not throw; exceptions escaping a task
-// terminate (same contract as OpenMP regions).
+// Used by the per-rank shared-memory kernels (lightest-edge selection,
+// multi-edge removal, sorts, CSR construction) and by the CpuDevice to
+// model the paper's OpenMP processingThreads. Tasks must not throw;
+// exceptions escaping a task terminate (same contract as OpenMP regions).
+//
+// Determinism contract: every parallel entry point here produces results
+// that are a pure function of the inputs — never of the worker count, the
+// scheduling order, or the host machine. parallel_chunks() fixes the chunk
+// grid from (n, max_parts) alone, so callers can keep per-chunk scratch
+// indexed by chunk id and merge it in chunk order.
 #pragma once
 
 #include <condition_variable>
@@ -15,9 +22,24 @@
 
 namespace mnd {
 
+/// Per-chunk wall-clock timings of parallel_chunks regions, recorded when a
+/// ScopedChunkTiming is active on the calling thread. One Region per
+/// parallel_chunks call (a barrier region); chunk_seconds[i] is the
+/// measured serial duration of chunk i. The bench harness schedules these
+/// onto T virtual workers to model the makespan a T-core machine would see
+/// — the same virtual-time philosophy the simulated cluster applies to
+/// ranks, extended to intra-rank threads (the growth container is often
+/// single-core, where elapsed-time speedups cannot be observed directly).
+struct ChunkTimeLog {
+  struct Region {
+    std::vector<double> chunk_seconds;
+  };
+  std::vector<Region> regions;
+};
+
 class ThreadPool {
  public:
-  /// threads == 0 means hardware_concurrency() (at least 1).
+  /// threads == 0 means default_thread_count() (at least 1).
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();
   ThreadPool(const ThreadPool&) = delete;
@@ -39,6 +61,28 @@ class ThreadPool {
       std::size_t begin, std::size_t end,
       const std::function<void(std::size_t, std::size_t)>& fn);
 
+  /// Deterministic chunked loop: splits [begin, end) into exactly
+  /// chunk_count(end - begin, max_parts) contiguous chunks and runs
+  /// fn(part, chunk_begin, chunk_end) for each, part in [0, parts).
+  ///
+  /// * The grid depends only on (n, max_parts) — NOT on the pool size —
+  ///   so per-chunk scratch and merge order are reproducible everywhere.
+  /// * Blocks on a per-call latch: concurrent callers on different
+  ///   threads never wait on each other's work (unlike wait_idle()).
+  /// * Called from inside a pool worker, runs inline serially (nested
+  ///   parallelism would deadlock the latch when all workers block).
+  /// * Empty or reversed ranges (end <= begin) are a no-op; max_parts is
+  ///   clamped to at least 1 and never exceeds the item count.
+  /// * With an active ScopedChunkTiming on this thread, chunks run
+  ///   serially in order and their durations are appended as one region.
+  void parallel_chunks(
+      std::size_t begin, std::size_t end, std::size_t max_parts,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+  /// Number of chunks parallel_chunks(b, b + n, max_parts, ...) will use:
+  /// min(n, max(1, max_parts)). Pure; use it to size per-chunk scratch.
+  static std::size_t chunk_count(std::size_t n, std::size_t max_parts);
+
  private:
   void worker_loop();
 
@@ -51,7 +95,44 @@ class ThreadPool {
   bool stopping_ = false;
 };
 
-/// Process-wide pool for code that has no natural owner for one.
+/// Process-wide pool for code that has no natural owner for one. Sized by
+/// default_thread_count() at first use (so MND_THREADS, read once, can
+/// override it before any parallel code runs).
 ThreadPool& global_pool();
+
+/// Resolution of the `threads == 0` knobs (MndMstOptions::threads and
+/// friends): the MND_THREADS environment variable when it parses to a
+/// positive integer, else std::thread::hardware_concurrency(), and always
+/// at least 1. The environment is read once and cached.
+std::size_t default_thread_count();
+
+/// Parses an MND_THREADS-style value: returns 0 (meaning "not set / use
+/// hardware") unless `text` is a positive integer. Exposed for tests.
+std::size_t parse_thread_count(const char* text);
+
+/// RAII: while alive, parallel_chunks calls made on this thread run
+/// serially and append per-chunk timings to `log`. Used by the wall-clock
+/// bench to model parallel makespans on hosts with fewer cores than the
+/// requested thread count. Nesting restores the previous log on exit.
+class ScopedChunkTiming {
+ public:
+  explicit ScopedChunkTiming(ChunkTimeLog* log);
+  ~ScopedChunkTiming();
+  ScopedChunkTiming(const ScopedChunkTiming&) = delete;
+  ScopedChunkTiming& operator=(const ScopedChunkTiming&) = delete;
+
+ private:
+  ChunkTimeLog* prev_;
+};
+
+/// Chunk boundaries over items with the given weights such that each of
+/// the `parts` contiguous ranges carries roughly equal total weight
+/// (prefix-sum targets, one binary search per boundary). Returns parts + 1
+/// ascending indices starting at 0 and ending at weights.size().
+/// Deterministic; used to balance skewed per-component edge counts across
+/// chunks (R-MAT hubs cluster at low ids, so equal-count chunks can carry
+/// wildly unequal work).
+std::vector<std::size_t> balanced_chunk_bounds(
+    const std::vector<std::size_t>& weights, std::size_t parts);
 
 }  // namespace mnd

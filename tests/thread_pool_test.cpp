@@ -1,0 +1,225 @@
+// Edge cases and concurrency behavior of util::ThreadPool, plus the
+// deterministic parallel_chunks grid the threaded kernels depend on.
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace mnd {
+namespace {
+
+TEST(ThreadPoolChunks, EmptyRangeIsNoOp) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_chunks(7, 7, 4,
+                       [&](std::size_t, std::size_t, std::size_t) {
+                         called = true;
+                       });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolChunks, ReversedRangeIsNoOp) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_chunks(10, 3, 4,
+                       [&](std::size_t, std::size_t, std::size_t) {
+                         called = true;
+                       });
+  EXPECT_FALSE(called);
+  pool.parallel_for_chunks(10, 3,
+                           [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolChunks, MorePartsThanItems) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_chunks(0, 3, 16, [&](std::size_t, std::size_t lo,
+                                     std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolChunks, MoreThreadsThanItemsInForChunks) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for_chunks(0, 3, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolChunks, CoversRangeExactlyOnceWithDisjointChunks) {
+  ThreadPool pool(4);
+  const std::size_t n = 1013;
+  std::vector<std::atomic<int>> hits(n);
+  std::mutex mu;
+  std::set<std::size_t> parts_seen;
+  pool.parallel_chunks(0, n, 7, [&](std::size_t part, std::size_t lo,
+                                    std::size_t hi) {
+    EXPECT_LT(lo, hi);
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      EXPECT_TRUE(parts_seen.insert(part).second);
+    }
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  EXPECT_EQ(parts_seen.size(), ThreadPool::chunk_count(n, 7));
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolChunks, ChunkCountIsPure) {
+  EXPECT_EQ(ThreadPool::chunk_count(0, 8), 0u);
+  EXPECT_EQ(ThreadPool::chunk_count(5, 8), 5u);
+  EXPECT_EQ(ThreadPool::chunk_count(100, 8), 8u);
+  EXPECT_EQ(ThreadPool::chunk_count(100, 0), 1u);
+  EXPECT_EQ(ThreadPool::chunk_count(1, 1), 1u);
+}
+
+TEST(ThreadPoolChunks, GridIndependentOfPoolSize) {
+  // Same (n, max_parts) must yield the same chunk boundaries on pools of
+  // any size — kernels index per-chunk scratch by part id.
+  const std::size_t n = 777;
+  const std::size_t max_parts = 6;
+  auto boundaries = [&](std::size_t pool_size) {
+    ThreadPool pool(pool_size);
+    std::mutex mu;
+    std::vector<std::pair<std::size_t, std::size_t>> out(
+        ThreadPool::chunk_count(n, max_parts));
+    pool.parallel_chunks(0, n, max_parts,
+                         [&](std::size_t part, std::size_t lo,
+                             std::size_t hi) {
+                           std::lock_guard<std::mutex> lock(mu);
+                           out[part] = {lo, hi};
+                         });
+    return out;
+  };
+  EXPECT_EQ(boundaries(1), boundaries(4));
+  EXPECT_EQ(boundaries(2), boundaries(8));
+}
+
+TEST(ThreadPoolChunks, NestedCallFromWorkerRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_hits{0};
+  // Outer parallel region saturates the pool; each chunk starts a nested
+  // region, which must complete inline instead of deadlocking.
+  pool.parallel_chunks(0, 8, 8, [&](std::size_t, std::size_t, std::size_t) {
+    pool.parallel_chunks(0, 4, 4,
+                         [&](std::size_t, std::size_t lo, std::size_t hi) {
+                           inner_hits.fetch_add(static_cast<int>(hi - lo));
+                         });
+  });
+  EXPECT_EQ(inner_hits.load(), 8 * 4);
+}
+
+TEST(ThreadPoolChunks, ConcurrentCallersDoNotCoupleOnLatch) {
+  // Two external threads drive parallel_chunks on a shared pool at the
+  // same time, as simulated ranks do. Both must finish with full coverage.
+  ThreadPool pool(3);
+  std::atomic<int> a{0};
+  std::atomic<int> b{0};
+  std::thread ta([&] {
+    for (int r = 0; r < 50; ++r) {
+      pool.parallel_chunks(0, 64, 4,
+                           [&](std::size_t, std::size_t lo, std::size_t hi) {
+                             a.fetch_add(static_cast<int>(hi - lo));
+                           });
+    }
+  });
+  std::thread tb([&] {
+    for (int r = 0; r < 50; ++r) {
+      pool.parallel_chunks(0, 64, 4,
+                           [&](std::size_t, std::size_t lo, std::size_t hi) {
+                             b.fetch_add(static_cast<int>(hi - lo));
+                           });
+    }
+  });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(a.load(), 50 * 64);
+  EXPECT_EQ(b.load(), 50 * 64);
+}
+
+TEST(ThreadPoolTasks, DrainsAllSubmittedTasksAndStaysReusable) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), (round + 1) * 100);
+  }
+}
+
+TEST(ThreadPoolTiming, ScopedChunkTimingRecordsOneRegionPerCall) {
+  ThreadPool pool(4);
+  ChunkTimeLog log;
+  {
+    ScopedChunkTiming timing(&log);
+    pool.parallel_chunks(0, 100, 4,
+                         [](std::size_t, std::size_t, std::size_t) {});
+    pool.parallel_chunks(0, 10, 2,
+                         [](std::size_t, std::size_t, std::size_t) {});
+  }
+  ASSERT_EQ(log.regions.size(), 2u);
+  EXPECT_EQ(log.regions[0].chunk_seconds.size(), 4u);
+  EXPECT_EQ(log.regions[1].chunk_seconds.size(), 2u);
+  for (const auto& region : log.regions) {
+    for (double s : region.chunk_seconds) EXPECT_GE(s, 0.0);
+  }
+  // Outside the scope, timing is off again.
+  pool.parallel_chunks(0, 10, 2,
+                       [](std::size_t, std::size_t, std::size_t) {});
+  EXPECT_EQ(log.regions.size(), 2u);
+}
+
+TEST(ThreadPoolConfig, ParseThreadCount) {
+  EXPECT_EQ(parse_thread_count(nullptr), 0u);
+  EXPECT_EQ(parse_thread_count(""), 0u);
+  EXPECT_EQ(parse_thread_count("0"), 0u);
+  EXPECT_EQ(parse_thread_count("-3"), 0u);
+  EXPECT_EQ(parse_thread_count("abc"), 0u);
+  EXPECT_EQ(parse_thread_count("4x"), 0u);
+  EXPECT_EQ(parse_thread_count("1"), 1u);
+  EXPECT_EQ(parse_thread_count("8"), 8u);
+}
+
+TEST(ThreadPoolConfig, DefaultThreadCountIsPositiveAndStable) {
+  const std::size_t first = default_thread_count();
+  EXPECT_GE(first, 1u);
+  EXPECT_EQ(default_thread_count(), first);
+  EXPECT_GE(global_pool().thread_count(), 1u);
+}
+
+TEST(ThreadPoolBalance, BalancedBoundsSplitWeightEvenly) {
+  std::vector<std::size_t> weights = {100, 1, 1, 1, 1, 1, 1, 94};
+  const auto bounds = balanced_chunk_bounds(weights, 2);
+  ASSERT_EQ(bounds.size(), 3u);
+  EXPECT_EQ(bounds.front(), 0u);
+  EXPECT_EQ(bounds.back(), weights.size());
+  // The heavy head lands alone in chunk 0 instead of a 4/4 count split.
+  EXPECT_EQ(bounds[1], 1u);
+}
+
+TEST(ThreadPoolBalance, BalancedBoundsAreMonotoneAndCoverAllItems) {
+  std::vector<std::size_t> weights = {0, 0, 5, 0, 0, 0, 9, 0, 2, 0};
+  for (std::size_t parts : {1u, 2u, 3u, 7u, 20u}) {
+    const auto bounds = balanced_chunk_bounds(weights, parts);
+    ASSERT_EQ(bounds.size(), parts + 1);
+    EXPECT_EQ(bounds.front(), 0u);
+    EXPECT_EQ(bounds.back(), weights.size());
+    for (std::size_t p = 0; p < parts; ++p) EXPECT_LE(bounds[p], bounds[p + 1]);
+  }
+  EXPECT_EQ(balanced_chunk_bounds({}, 4).back(), 0u);
+}
+
+}  // namespace
+}  // namespace mnd

@@ -1,0 +1,327 @@
+// Determinism fuzz of the threaded hot paths: every kernel and the full
+// MND-MST pipeline must produce byte-identical results for every thread
+// count. Runs under TSan in CI, so the parallel code paths are exercised
+// with race detection on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "device/cost_model.hpp"
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/generators.hpp"
+#include "hypar/partition.hpp"
+#include "mst/comp_graph.hpp"
+#include "mst/local_boruvka.hpp"
+#include "mst/mnd_mst.hpp"
+#include "util/parallel_sort.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mnd {
+namespace {
+
+constexpr std::size_t kParallelThreads = 8;
+
+graph::EdgeList rmat_input(unsigned scale, std::uint64_t seed) {
+  graph::EdgeList el =
+      graph::rmat(static_cast<graph::VertexId>(scale), 8ull << scale, seed);
+  el.randomize_weights(seed, 1, 1'000'000);
+  return el;
+}
+
+/// One component per vertex, edges sorted by the (w, orig) invariant.
+mst::CompGraph comp_graph_of(const graph::Csr& g) {
+  mst::CompGraph cg;
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    mst::Component c;
+    c.id = v;
+    for (const auto& arc : g.adjacency(v)) {
+      c.edges.push_back(mst::CEdge{arc.to, arc.w, arc.id});
+    }
+    std::sort(c.edges.begin(), c.edges.end(), graph::EdgeLess{});
+    cg.adopt(std::move(c));
+  }
+  return cg;
+}
+
+/// Merge-phase state: vertices grouped into contracted components with
+/// stale endpoints and parallel edges, renames recorded (what clean_all
+/// receives after a hierarchical merge round).
+mst::CompGraph grouped_comp_graph(const graph::Csr& g,
+                                  graph::VertexId group) {
+  mst::CompGraph cg;
+  const graph::VertexId n = g.num_vertices();
+  for (graph::VertexId rep = 0; rep < n; rep += group) {
+    mst::Component c;
+    c.id = rep;
+    const graph::VertexId end = std::min<graph::VertexId>(n, rep + group);
+    for (graph::VertexId v = rep; v < end; ++v) {
+      for (const auto& arc : g.adjacency(v)) {
+        c.edges.push_back(mst::CEdge{arc.to, arc.w, arc.id});
+      }
+    }
+    std::sort(c.edges.begin(), c.edges.end(), graph::EdgeLess{});
+    c.vertex_count = end - rep;
+    cg.adopt(std::move(c));
+    for (graph::VertexId v = rep + 1; v < end; ++v) {
+      cg.renames().add(v, rep);
+    }
+  }
+  return cg;
+}
+
+bool same_edges(const std::vector<mst::CEdge>& a,
+                const std::vector<mst::CEdge>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].to != b[i].to || a[i].w != b[i].w || a[i].orig != b[i].orig) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// --- Full pipeline ---------------------------------------------------------
+
+TEST(ThreadsDeterminism, MndMstForestIdenticalAcrossThreadCounts) {
+  int configs = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    for (const int nodes : {2, 4}) {
+      const unsigned scale = 9 + static_cast<unsigned>(seed % 2);
+      const graph::EdgeList el = rmat_input(scale, seed);
+
+      mst::MndMstOptions base;
+      base.num_nodes = nodes;
+      base.engine.group_size = (seed % 3 == 0) ? 2 : 4;
+      base.engine.use_gpu = (seed % 2 == 1);
+
+      mst::MndMstOptions serial = base;
+      serial.threads = 1;
+      mst::MndMstOptions parallel = base;
+      parallel.threads = kParallelThreads;
+
+      const auto a = mst::run_mnd_mst(el, serial);
+      const auto b = mst::run_mnd_mst(el, parallel);
+      ++configs;
+
+      ASSERT_EQ(a.forest.edges, b.forest.edges)
+          << "seed=" << seed << " nodes=" << nodes << " scale=" << scale;
+      EXPECT_EQ(a.forest.total_weight, b.forest.total_weight);
+      EXPECT_EQ(a.forest.num_components, b.forest.num_components);
+      // Priced virtual time comes from KernelWork counters, which the
+      // threaded paths must preserve exactly — so even the doubles match.
+      EXPECT_EQ(a.total_seconds, b.total_seconds)
+          << "seed=" << seed << " nodes=" << nodes;
+      EXPECT_EQ(a.comm_seconds, b.comm_seconds);
+      EXPECT_EQ(a.indcomp_seconds, b.indcomp_seconds);
+      EXPECT_EQ(a.merge_seconds, b.merge_seconds);
+      EXPECT_EQ(a.postprocess_seconds, b.postprocess_seconds);
+    }
+  }
+  EXPECT_GE(configs, 20);
+}
+
+// --- Kernel-level equality -------------------------------------------------
+
+TEST(ThreadsDeterminism, CanonicalizeMatchesSerial) {
+  for (std::uint64_t seed : {3u, 11u}) {
+    const graph::EdgeList base = rmat_input(12, seed);  // dups + self loops
+    graph::EdgeList serial = base;
+    serial.canonicalize(true, 1);
+    for (const std::size_t threads : {2u, 5u, 8u}) {
+      graph::EdgeList parallel = base;
+      parallel.canonicalize(true, threads);
+      ASSERT_EQ(serial.num_edges(), parallel.num_edges());
+      for (std::size_t i = 0; i < serial.num_edges(); ++i) {
+        const auto& a = serial.edges()[i];
+        const auto& b = parallel.edges()[i];
+        ASSERT_TRUE(a.u == b.u && a.v == b.v && a.w == b.w && a.id == b.id)
+            << "edge " << i << " differs at threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(ThreadsDeterminism, CsrBuildMatchesSerial) {
+  graph::EdgeList el = rmat_input(12, 5);
+  el.canonicalize(false, 1);  // keep parallel edges: CSR must too
+  const graph::Csr serial = graph::Csr::from_edge_list(el, 1);
+  for (const std::size_t threads : {2u, 8u}) {
+    const graph::Csr parallel = graph::Csr::from_edge_list(el, threads);
+    ASSERT_EQ(serial.num_arcs(), parallel.num_arcs());
+    ASSERT_TRUE(std::equal(serial.offsets().begin(), serial.offsets().end(),
+                           parallel.offsets().begin()));
+    for (std::size_t i = 0; i < serial.num_arcs(); ++i) {
+      const auto& a = serial.arcs()[i];
+      const auto& b = parallel.arcs()[i];
+      ASSERT_TRUE(a.to == b.to && a.w == b.w && a.id == b.id)
+          << "arc " << i << " differs at threads=" << threads;
+    }
+    for (graph::EdgeId id = 0; id < serial.num_edges(); ++id) {
+      const auto ea = serial.edge(id);
+      const auto eb = parallel.edge(id);
+      ASSERT_TRUE(ea.u == eb.u && ea.v == eb.v && ea.w == eb.w);
+    }
+  }
+}
+
+TEST(ThreadsDeterminism, PartitionMatchesNaiveWalkReference) {
+  graph::EdgeList el = rmat_input(12, 9);
+  el.canonicalize(true, 1);
+  const graph::Csr g = graph::Csr::from_edge_list(el, 1);
+  for (const int parts : {1, 3, 8, 64}) {
+    // The pre-refactor serial walk: advance until the running arc count
+    // crosses the part's target, with the same cut adjustment.
+    std::vector<graph::VertexId> expect;
+    expect.push_back(0);
+    const graph::VertexId n = g.num_vertices();
+    for (int p = 1; p < parts; ++p) {
+      const std::size_t target = g.num_arcs() * static_cast<std::size_t>(p) /
+                                 static_cast<std::size_t>(parts);
+      graph::VertexId v = expect.back();
+      while (v < n && g.offsets()[v + 1] < target) ++v;
+      graph::VertexId cut = v;
+      if (cut < n) {
+        const std::size_t before = g.offsets()[cut];
+        const std::size_t after = g.offsets()[cut + 1];
+        if (after - target < target - before) cut = v + 1;
+      }
+      cut = std::max(cut, expect.back());
+      expect.push_back(std::min(cut, n));
+    }
+    expect.push_back(n);
+    for (const std::size_t threads : {1u, 8u}) {
+      const hypar::Partition1D part =
+          hypar::partition_by_degree(g, parts, threads);
+      ASSERT_EQ(part.bounds(), expect)
+          << "parts=" << parts << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ThreadsDeterminism, CleanAllMatchesSerial) {
+  graph::EdgeList el = rmat_input(12, 13);
+  el.canonicalize(true, 1);
+  const graph::Csr g = graph::Csr::from_edge_list(el, 1);
+  // Few large components (shards within adjacencies) and many small ones
+  // (component-parallel): both parallel branches must match serial.
+  for (const graph::VertexId group : {512u, 8u}) {
+    mst::CompGraph serial = grouped_comp_graph(g, group);
+    const std::size_t scanned1 = mst::clean_all(serial, 1);
+    for (const std::size_t threads : {2u, 8u}) {
+      mst::CompGraph parallel = grouped_comp_graph(g, group);
+      const std::size_t scannedT = mst::clean_all(parallel, threads);
+      EXPECT_EQ(scanned1, scannedT);
+      ASSERT_EQ(serial.component_ids(), parallel.component_ids());
+      ASSERT_EQ(serial.num_edges(), parallel.num_edges());
+      for (graph::VertexId id : serial.component_ids()) {
+        ASSERT_TRUE(
+            same_edges(serial.find(id)->edges, parallel.find(id)->edges))
+            << "component " << id << " differs (group=" << group
+            << ", threads=" << threads << ")";
+      }
+    }
+  }
+}
+
+TEST(ThreadsDeterminism, MinEdgesPerComponentMatchesSerial) {
+  graph::EdgeList el = rmat_input(12, 17);
+  el.canonicalize(true, 1);
+  const graph::Csr g = graph::Csr::from_edge_list(el, 1);
+  const mst::CompGraph cg = comp_graph_of(g);
+  const std::vector<graph::VertexId> ids = cg.component_ids();
+  device::KernelWork work1;
+  const auto serial = mst::min_edges_per_component(cg, ids, 1, &work1);
+  for (const std::size_t threads : {2u, 8u}) {
+    device::KernelWork workT;
+    const auto parallel =
+        mst::min_edges_per_component(cg, ids, threads, &workT);
+    ASSERT_TRUE(same_edges(serial, parallel)) << "threads=" << threads;
+    EXPECT_EQ(work1.edges_scanned, workT.edges_scanned);
+    EXPECT_EQ(work1.atomic_updates, workT.atomic_updates);
+    EXPECT_EQ(work1.active_vertices, workT.active_vertices);
+  }
+}
+
+TEST(ThreadsDeterminism, LocalBoruvkaMatchesSerial) {
+  for (const std::uint64_t seed : {2ull, 21ull}) {
+    graph::EdgeList el = rmat_input(11, seed);
+    el.canonicalize(true, 1);
+    const graph::Csr g = graph::Csr::from_edge_list(el, 1);
+    mst::BoruvkaOptions serial_opts;
+    serial_opts.threads = 1;
+    mst::CompGraph a = comp_graph_of(g);
+    const auto sa = mst::local_boruvka(a, nullptr, serial_opts);
+    for (const std::size_t threads : {2u, 8u}) {
+      mst::BoruvkaOptions opts;
+      opts.threads = threads;
+      mst::CompGraph b = comp_graph_of(g);
+      const auto sb = mst::local_boruvka(b, nullptr, opts);
+      ASSERT_EQ(a.mst_edges(), b.mst_edges()) << "threads=" << threads;
+      EXPECT_EQ(sa.iterations, sb.iterations);
+      EXPECT_EQ(sa.contractions, sb.contractions);
+      EXPECT_EQ(sa.frozen_components, sb.frozen_components);
+      ASSERT_EQ(sa.per_iteration.size(), sb.per_iteration.size());
+      for (std::size_t i = 0; i < sa.per_iteration.size(); ++i) {
+        EXPECT_EQ(sa.per_iteration[i].active_vertices,
+                  sb.per_iteration[i].active_vertices);
+        EXPECT_EQ(sa.per_iteration[i].edges_scanned,
+                  sb.per_iteration[i].edges_scanned);
+        EXPECT_EQ(sa.per_iteration[i].atomic_updates,
+                  sb.per_iteration[i].atomic_updates);
+      }
+    }
+  }
+}
+
+TEST(ThreadsDeterminism, MaxRunsKnobPreservesForestAndCountsCompactions) {
+  graph::EdgeList el = rmat_input(11, 7);
+  el.canonicalize(true, 1);
+  const graph::Csr g = graph::Csr::from_edge_list(el, 1);
+  std::vector<graph::EdgeId> reference;
+  std::size_t compactions_small = 0, compactions_large = 0;
+  for (const std::size_t max_runs : {1u, 2u, 16u, 64u}) {
+    for (const std::size_t threads : {1u, 8u}) {
+      mst::BoruvkaOptions opts;
+      opts.max_runs = max_runs;
+      opts.threads = threads;
+      mst::CompGraph cg = comp_graph_of(g);
+      const auto stats = mst::local_boruvka(cg, nullptr, opts);
+      if (reference.empty()) reference = cg.mst_edges();
+      ASSERT_EQ(reference, cg.mst_edges())
+          << "max_runs=" << max_runs << " threads=" << threads;
+      if (max_runs == 2) compactions_small = stats.compactions;
+      if (max_runs == 64) compactions_large = stats.compactions;
+    }
+  }
+  // A tighter threshold compacts at least as often.
+  EXPECT_GE(compactions_small, compactions_large);
+  EXPECT_GT(compactions_small, 0u);
+}
+
+TEST(ThreadsDeterminism, ParallelSortMatchesStdSort) {
+  Rng rng(99);
+  // Crosses the serial-fallback threshold (2 * kParallelSortGrain) and
+  // exercises duplicate keys broken by the unique id.
+  for (const std::size_t n : {std::size_t{1000}, std::size_t{40000}}) {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> base(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      base[i] = {static_cast<std::uint32_t>(rng.next_in(0, 50)),
+                 static_cast<std::uint32_t>(i)};
+    }
+    auto expect = base;
+    std::sort(expect.begin(), expect.end());
+    for (const std::size_t threads : {1u, 2u, 3u, 8u}) {
+      auto got = base;
+      parallel_sort(global_pool(), threads, got,
+                    [](const auto& a, const auto& b) { return a < b; });
+      ASSERT_EQ(expect, got) << "n=" << n << " threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mnd

@@ -19,6 +19,12 @@ Checks clang-tidy can't express, tied to this repo's invariants:
 
 4. Every header in src/ starts its code with #pragma once.
 
+5. Threading discipline: no raw thread spawns (std::thread, std::jthread,
+   pthread_create, std::async) outside src/util/thread_pool.* and the
+   simulated cluster's rank launcher. All intra-rank parallelism must go
+   through util::ThreadPool so the deterministic chunk grid, the nested-
+   call inlining, and the TSan CI coverage apply to it.
+
 Exit status: 0 clean, 1 violations (printed one per line as
 path:line: [rule] message).
 """
@@ -65,6 +71,24 @@ STDOUT_PATTERNS = [
     (re.compile(r"(?<![\w:])puts\s*\("), "puts bypasses src/util/logging"),
 ]
 STDOUT_EXEMPT = ("util/logging.hpp", "util/logging.cpp")
+
+# rule 5: raw thread spawns. \b keeps std::this_thread from matching.
+THREAD_SPAWN_PATTERNS = [
+    (re.compile(r"\bstd::thread\b"),
+     "raw std::thread (route parallelism through util::ThreadPool)"),
+    (re.compile(r"\bstd::jthread\b"),
+     "raw std::jthread (route parallelism through util::ThreadPool)"),
+    (re.compile(r"\bpthread_create\s*\("),
+     "pthread_create (route parallelism through util::ThreadPool)"),
+    (re.compile(r"\bstd::async\s*\("),
+     "std::async spawns unmanaged threads (use util::ThreadPool)"),
+]
+THREAD_SPAWN_EXEMPT = (
+    "src/util/thread_pool.hpp",
+    "src/util/thread_pool.cpp",
+    # The rank threads ARE the simulated cluster, not intra-rank work.
+    "src/simcluster/cluster.cpp",
+)
 
 # rule 3: std symbol -> owning header, for src/obs only.
 IWYU_SYMBOLS = {
@@ -134,6 +158,7 @@ def lint_file(path: Path, violations: list[str]) -> None:
     in_virtual_time = any(
         rel.startswith(f"src/{d}/") for d in VIRTUAL_TIME_DIRS)
     stdout_exempt = any(rel.endswith(e) for e in STDOUT_EXEMPT)
+    thread_exempt = rel in THREAD_SPAWN_EXEMPT
 
     for idx, line in enumerate(lines, start=1):
         if in_virtual_time:
@@ -144,6 +169,10 @@ def lint_file(path: Path, violations: list[str]) -> None:
             for pat, msg in STDOUT_PATTERNS:
                 if pat.search(line):
                     report(idx, "logging", msg)
+        if not thread_exempt:
+            for pat, msg in THREAD_SPAWN_PATTERNS:
+                if pat.search(line):
+                    report(idx, "threading", msg)
 
     if path.suffix == ".hpp":
         for idx, line in enumerate(raw.splitlines(), start=1):
