@@ -22,6 +22,15 @@
 //                                     validators during the run and check
 //                                     the result against exact Kruskal
 //                                     (MND_VALIDATE=1 also enables them)
+//   --faults SPEC                     seeded fault-injection plan for the
+//                                     simulated cluster (MND_FAULTS also
+//                                     sets it). SPEC is comma-separated:
+//                                     seed=N, drop=P, delay=P:SECONDS,
+//                                     dup=P, stall=RANK@ATxDURATION,
+//                                     crash=RANK@CUT, retry=SECONDS,
+//                                     detect=SECONDS. The forest is
+//                                     unchanged for any plan that leaves
+//                                     one surviving rank.
 //
 // Options accept both "--flag VALUE" and "--flag=VALUE". The pseudo-path
 // "rmat:SCALE,EDGES,SEED" generates a 2^SCALE-vertex R-MAT graph instead of
@@ -97,7 +106,9 @@ int usage() {
                "[--random-weights SEED]\n"
                "                   [--out FILE]\n"
                "                   [--trace-out FILE] [--metrics-out FILE] "
-               "[--validate]\n");
+               "[--validate]\n"
+               "                   [--faults SPEC]   (e.g. "
+               "--faults seed=7,drop=0.01,crash=2@1)\n");
   return 2;
 }
 
@@ -160,6 +171,8 @@ int main(int argc, char** argv) {
       options.collect_metrics = true;
     } else if (arg == "--validate") {
       validate = true;
+    } else if (arg == "--faults") {
+      options.faults = sim::FaultPlan::parse(next());
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return usage();
@@ -167,6 +180,7 @@ int main(int argc, char** argv) {
   }
 
   options.validate = validate;
+  if (!options.faults.active()) options.faults = sim::FaultPlan::from_env();
 
   graph::EdgeList el;
   try {

@@ -28,6 +28,7 @@ enum : sim::Tag {
   kTagSegBudget = 0x9005,
   kTagParentQuery = 0x9006,
   kTagParentReply = 0x9007,
+  kTagHeartbeat = 0x9008,
 };
 
 /// Virtual cost of a pure reduction pass (self/multi-edge removal) on the
@@ -381,6 +382,55 @@ sim::Group group_containing(const std::vector<int>& active, int group_size,
   return g;  // empty: rank not active
 }
 
+/// Serializes a rank's full recoverable state for the checkpoint store:
+/// owned components (ascending id), the complete rename map (sorted pairs,
+/// so replayed runs produce byte-identical checkpoints), and the committed
+/// forest edges. Together these are exactly what an adopter needs to take
+/// over the rank's partition without violating the rename-completeness
+/// invariant.
+std::vector<std::uint8_t> serialize_checkpoint(CompGraph& cg) {
+  sim::Serializer s;
+  std::vector<Component> comps;
+  for (VertexId id : cg.component_ids()) comps.push_back(*cg.find(id));
+  serialize_components(comps, &s);
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  pairs.reserve(cg.renames().size());
+  cg.renames().for_each(
+      [&](VertexId from, VertexId into) { pairs.emplace_back(from, into); });
+  std::sort(pairs.begin(), pairs.end());
+  std::vector<VertexId> flat;
+  flat.reserve(pairs.size() * 2);
+  for (const auto& [from, into] : pairs) {
+    flat.push_back(from);
+    flat.push_back(into);
+  }
+  s.put_vector(flat);
+  s.put_vector(cg.mst_edges());
+  return s.take();
+}
+
+/// Integrates a dead rank's checkpoint into the adopter's component graph.
+/// Returns the adopted component ids (for the post-recovery validator).
+std::vector<VertexId> restore_checkpoint(CompGraph& cg,
+                                         const std::vector<std::uint8_t>& blob) {
+  sim::Deserializer d(blob);
+  mst::ComponentBundle bundle = mst::deserialize_components(&d);
+  // Rename knowledge first: adopted components' far endpoints may resolve
+  // through chains only the dead rank had seen.
+  const auto flat = d.get_vector<VertexId>();
+  for (std::size_t i = 0; i + 1 < flat.size(); i += 2) {
+    cg.renames().add(flat[i], flat[i + 1]);
+  }
+  std::vector<VertexId> adopted;
+  adopted.reserve(bundle.comps.size());
+  for (const auto& c : bundle.comps) adopted.push_back(c.id);
+  integrate_bundle(cg, std::move(bundle));
+  // The dead rank's committed forest edges move to the adopter — forest
+  // edges live on the committing rank, crashed or not.
+  for (EdgeId e : d.get_vector<EdgeId>()) cg.commit_mst_edge(e);
+  return adopted;
+}
+
 }  // namespace
 
 EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
@@ -402,6 +452,22 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
   if (validate::enabled(opts.validate)) {
     result.validation.attach_metrics(&comm.metrics());
     vrep = &result.validation;
+  }
+
+  // Fault tolerance (DESIGN.md §5c): with an active FaultPlan the engine
+  // runs a checkpoint/heartbeat cut at every hierarchical-merge level
+  // boundary, so scheduled crashes always find a durable, consistent
+  // recovery point.
+  const sim::FaultPlan* const fplan = comm.fault_plan();
+  if (fplan != nullptr) {
+    int crashing = 0;
+    for (const sim::CrashEvent& c : fplan->crashes) {
+      if (c.rank >= 0 && c.rank < p) ++crashing;
+    }
+    MND_CHECK_MSG(crashing < p,
+                  "fault plan crashes all " << p
+                                            << " ranks; at least one must "
+                                               "survive to hold the forest");
   }
 
   // ---- partGraph (§3.1, §4.3.1) -------------------------------------------
@@ -551,7 +617,116 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
   for (int r = 0; r < p; ++r) rep[static_cast<std::size_t>(r)] = r;
   bool first_level = true;
 
+  // live[r]: ranks every survivor believes alive. Heartbeat outcomes are
+  // deterministic (a rank either sent before its fail-stop point or it
+  // did not), so all survivors hold identical live/active/rep views
+  // without any agreement protocol.
+  std::vector<bool> live(static_cast<std::size_t>(p), true);
+  int cut = 0;
+
+  // One checkpoint/heartbeat/recovery round at a phase boundary. Returns
+  // false when this rank's scheduled crash fires here: it has written its
+  // final checkpoint and marked itself dead, and must return immediately.
+  const auto run_cut = [&](bool final_cut) -> bool {
+    obs::Span cut_span(tr, "faultCut", obs::SpanCat::Phase);
+    cut_span.note("cut", static_cast<std::uint64_t>(cut));
+    // 1. Durable checkpoint. Crashes are fail-stop at phase boundaries,
+    //    quantized *after* the write: the level's in-flight work since the
+    //    previous cut is what a real failure would lose, and the adopter
+    //    recomputes it over the adopted partition.
+    comm.checkpoint_write(cut, serialize_checkpoint(cg));
+
+    // 2. Scheduled crash. At the final cut every not-yet-fired crash
+    //    event triggers ("crash eventually" for cuts past the last level).
+    const int my_crash = fplan->crash_cut(me);
+    if (my_crash == cut || (final_cut && my_crash >= cut)) {
+      MND_LOG(Info) << "rank " << me << " crashing at cut " << cut
+                    << " (fail-stop after checkpoint)";
+      cut_span.note("crashed", std::uint64_t{1});
+      cut_span.finish();
+      comm.mark_self_dead();
+      result.crashed = true;
+      return false;
+    }
+
+    // 3. Heartbeat round among believed-live peers. A crashed peer never
+    //    sent one, so recv_or_fail drains its queue and reports the death
+    //    (charging the failure-detection timeout).
+    for (int r = 0; r < p; ++r) {
+      if (r == me || !live[static_cast<std::size_t>(r)]) continue;
+      comm.send(r, kTagHeartbeat, {});
+    }
+    std::vector<int> died;
+    for (int r = 0; r < p; ++r) {
+      if (r == me || !live[static_cast<std::size_t>(r)]) continue;
+      if (!comm.recv_or_fail(r, kTagHeartbeat).has_value()) died.push_back(r);
+    }
+
+    // 4. Membership reformation + adoption, in ascending dead-rank order
+    //    (identical on every survivor). All casualties are marked dead
+    //    *before* any adopter is chosen — when several ranks die at the
+    //    same cut, a same-cut casualty must never be picked as an adopter
+    //    (it would silently drop the checkpoint it was assigned). The
+    //    adopter is the lowest live rank currently outside `active` — it
+    //    slots into the dead rank's position, preserving every group's
+    //    shape — falling back to the lowest live active rank when all
+    //    survivors are active.
+    for (const int d : died) live[static_cast<std::size_t>(d)] = false;
+    for (const int d : died) {
+      int adopter = -1;
+      for (int r = 0; r < p; ++r) {
+        if (live[static_cast<std::size_t>(r)] &&
+            std::find(active.begin(), active.end(), r) == active.end()) {
+          adopter = r;
+          break;
+        }
+      }
+      const bool adopter_was_spare = adopter != -1;
+      if (adopter == -1) {
+        for (int r = 0; r < p; ++r) {
+          if (r != d && live[static_cast<std::size_t>(r)] &&
+              std::find(active.begin(), active.end(), r) != active.end()) {
+            adopter = r;
+            break;
+          }
+        }
+      }
+      MND_CHECK_MSG(adopter >= 0, "no surviving rank can adopt rank " << d);
+      const auto slot = std::find(active.begin(), active.end(), d);
+      if (slot != active.end()) {
+        if (adopter_was_spare) {
+          *slot = adopter;  // group shapes unchanged
+        } else {
+          active.erase(slot);
+        }
+      }
+      for (int r = 0; r < p; ++r) {
+        if (rep[static_cast<std::size_t>(r)] == d) {
+          rep[static_cast<std::size_t>(r)] = adopter;
+        }
+      }
+      if (me == adopter) {
+        MND_LOG(Info) << "rank " << me << " adopting crashed rank " << d
+                      << " at cut " << cut;
+        const auto adopted =
+            restore_checkpoint(cg, comm.checkpoint_read(cut, d));
+        comm.stats().recoveries += 1;
+        cut_span.note("adopted_rank", static_cast<std::uint64_t>(d));
+        cut_span.note("adopted_components",
+                      static_cast<std::uint64_t>(adopted.size()));
+        if (vrep != nullptr) {
+          validate::check_recovery(cg, adopted, me, d, cut, vrep);
+        }
+      }
+    }
+    cut_span.finish();
+    ++cut;
+    return true;
+  };
+
   while (active.size() > 1) {
+    if (fplan != nullptr && !run_cut(/*final_cut=*/false)) return result;
+    if (active.size() <= 1) break;  // recovery shrank the active set
     const sim::Group all_active{active};
     const bool in_active = all_active.contains(me);
     if (in_active) {
@@ -704,6 +879,11 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
     first_level = false;
   }
 
+  // Final cut before postProcess: catches crash events scheduled at or
+  // past the last level boundary, so "crash eventually" plans resolve
+  // while at least one rank still holds every component.
+  if (fplan != nullptr && !run_cut(/*final_cut=*/true)) return result;
+
   // ---- postProcess (§4.1.4) ------------------------------------------------
   if (me == active.front()) {
     obs::Span pp_span(tr, "postProcess", obs::SpanCat::Phase);
@@ -747,15 +927,32 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
   sim::Serializer s;
   std::vector<EdgeId> mine = cg.mst_edges();
   s.put_vector(mine);
-  auto gathered = comm.gather(s.take(), 0, kTagResultGather);
-  if (me == 0) {
+  // Fault-free: a world gather to rank 0. Under a FaultPlan, the gather
+  // group is the surviving ranks and the root is the lowest one (crashed
+  // ranks returned early and cannot participate).
+  sim::Group live_group;
+  if (fplan != nullptr) {
     for (int r = 0; r < p; ++r) {
-      sim::Deserializer d(gathered[static_cast<std::size_t>(r)]);
+      if (live[static_cast<std::size_t>(r)]) live_group.members.push_back(r);
+    }
+  } else {
+    live_group.members.resize(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      live_group.members[static_cast<std::size_t>(r)] = r;
+    }
+  }
+  const int collect_root = live_group.members.front();
+  auto gathered =
+      comm.group_gather(live_group, s.take(), collect_root, kTagResultGather);
+  if (me == collect_root) {
+    for (int i = 0; i < live_group.size(); ++i) {
+      sim::Deserializer d(gathered[static_cast<std::size_t>(i)]);
       auto edges = d.get_vector<EdgeId>();
       result.forest_edges.insert(result.forest_edges.end(), edges.begin(),
                                  edges.end());
     }
     std::sort(result.forest_edges.begin(), result.forest_edges.end());
+    result.holds_forest = true;
   }
   collect_span.note("forest_edges",
                     static_cast<std::uint64_t>(result.forest_edges.size()));

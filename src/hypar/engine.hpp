@@ -116,8 +116,17 @@ struct RankTrace {
 };
 
 struct EngineResult {
-  /// Forest edges (original edge ids); complete on rank 0, empty elsewhere.
+  /// Forest edges (original edge ids); complete on the rank with
+  /// `holds_forest` (rank 0 in a fault-free run), empty elsewhere.
   std::vector<graph::EdgeId> forest_edges;
+  /// True on exactly one rank per run: the collection root. Fault-free
+  /// that is rank 0; under a FaultPlan with crashes it is the lowest
+  /// surviving rank.
+  bool holds_forest = false;
+  /// True when this rank was killed by a scheduled CrashEvent: it wrote
+  /// its final checkpoint, marked itself dead, and returned early —
+  /// forest_edges/validation are empty and the trace is partial.
+  bool crashed = false;
   RankTrace trace;
   /// This rank's validator outcomes; empty unless validation ran.
   validate::Report validation;

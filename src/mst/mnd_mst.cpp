@@ -23,6 +23,7 @@ MndMstReport run_mnd_mst(const graph::EdgeList& input,
   config.rank_memory_bytes = opts.node_memory_bytes;
   config.collect_traces = opts.collect_traces;
   config.collect_metrics = opts.collect_metrics;
+  config.faults = opts.faults;
 
   MndMstReport report;
   report.traces.resize(static_cast<std::size_t>(opts.num_nodes));
@@ -44,7 +45,9 @@ MndMstReport run_mnd_mst(const graph::EdgeList& input,
     std::lock_guard<std::mutex> lock(result_mutex);
     report.traces[static_cast<std::size_t>(comm.rank())] = r.trace;
     report.validation.merge_from(r.validation);
-    if (comm.rank() == 0) forest_edges = std::move(r.forest_edges);
+    // Exactly one rank per run holds the forest: rank 0 fault-free, the
+    // lowest surviving rank under a FaultPlan with crashes.
+    if (r.holds_forest) forest_edges = std::move(r.forest_edges);
   });
 
   report.forest.edges = std::move(forest_edges);

@@ -40,6 +40,11 @@ struct MndMstOptions {
   /// virtual-time results are identical for every value; only host
   /// wall-clock changes. Overrides engine.threads when nonzero.
   std::size_t threads = 0;
+  /// Seeded fault-injection plan (CLI --faults / env MND_FAULTS; see
+  /// simcluster/fault.hpp). Inactive by default. The forest is identical
+  /// to the fault-free run for any plan that leaves one surviving rank;
+  /// only virtual times and fault.* counters change.
+  sim::FaultPlan faults;
 };
 
 struct MndMstReport {

@@ -64,7 +64,7 @@ struct Cluster::Mailbox {
     arrived.notify_all();
   }
 
-  Message take(int src, Tag tag) {
+  Message take(int src, Tag tag, const std::atomic<bool>* src_dead) {
     std::unique_lock<std::mutex> lock(mutex);
     const Key key{src, tag};
     for (;;) {
@@ -76,6 +76,15 @@ struct Cluster::Mailbox {
         Message msg = std::move(q->front());
         q->pop_front();
         return msg;
+      }
+      // In-flight messages drain first; only an empty queue from a dead
+      // source yields a tombstone, so a rank's final sends still land.
+      if (src_dead != nullptr && src_dead->load(std::memory_order_acquire)) {
+        Message tomb;
+        tomb.src = src;
+        tomb.tag = tag;
+        tomb.tombstone = true;
+        return tomb;
       }
       arrived.wait(lock);
     }
@@ -95,6 +104,9 @@ struct Cluster::Mailbox {
     poisoned = false;
   }
 
+  /// Wakes blocked takers so they re-check dead flags.
+  void notify() { arrived.notify_all(); }
+
  private:
   std::deque<Message>* find_queue(const Key& key) {
     for (auto& [k, q] : queues) {
@@ -112,8 +124,10 @@ struct Cluster::Mailbox {
 Cluster::Cluster(ClusterConfig config) : config_(config) {
   MND_CHECK_MSG(config_.num_ranks >= 1, "cluster needs at least one rank");
   mailboxes_.reserve(static_cast<std::size_t>(config_.num_ranks));
+  dead_.reserve(static_cast<std::size_t>(config_.num_ranks));
   for (int r = 0; r < config_.num_ranks; ++r) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
+    dead_.push_back(std::make_unique<std::atomic<bool>>(false));
   }
 }
 
@@ -126,11 +140,57 @@ void Cluster::deliver(int dst, Message msg) {
 
 Message Cluster::take(int dst, int src, Tag tag) {
   MND_CHECK_MSG(src >= 0 && src < size(), "bad source rank " << src);
-  return mailboxes_[static_cast<std::size_t>(dst)]->take(src, tag);
+  const std::atomic<bool>* src_dead =
+      config_.faults.active() ? dead_[static_cast<std::size_t>(src)].get()
+                              : nullptr;
+  return mailboxes_[static_cast<std::size_t>(dst)]->take(src, tag, src_dead);
+}
+
+void Cluster::mark_dead(int rank) {
+  MND_CHECK_MSG(rank >= 0 && rank < size(), "bad rank " << rank);
+  dead_[static_cast<std::size_t>(rank)]->store(true,
+                                               std::memory_order_release);
+  for (auto& mb : mailboxes_) mb->notify();
+}
+
+bool Cluster::is_dead(int rank) const {
+  MND_CHECK_MSG(rank >= 0 && rank < size(), "bad rank " << rank);
+  return dead_[static_cast<std::size_t>(rank)]->load(
+      std::memory_order_acquire);
+}
+
+void Cluster::checkpoint_put(int cut, int rank,
+                             std::vector<std::uint8_t> blob) {
+  MND_CHECK_MSG(cut >= 0 && rank >= 0 && rank < size(),
+                "bad checkpoint key (" << cut << ", " << rank << ")");
+  const std::uint64_t key = (static_cast<std::uint64_t>(cut) << 32) |
+                            static_cast<std::uint32_t>(rank);
+  std::lock_guard<std::mutex> lock(checkpoint_mutex_);
+  for (const auto& [k, unused] : checkpoints_) {
+    MND_CHECK_MSG(k != key, "checkpoint (" << cut << ", " << rank
+                                           << ") written twice");
+  }
+  checkpoints_.emplace_back(key, std::move(blob));
+}
+
+const std::vector<std::uint8_t>* Cluster::checkpoint_get(int cut,
+                                                         int rank) const {
+  const std::uint64_t key = (static_cast<std::uint64_t>(cut) << 32) |
+                            static_cast<std::uint32_t>(rank);
+  std::lock_guard<std::mutex> lock(checkpoint_mutex_);
+  for (const auto& [k, blob] : checkpoints_) {
+    if (k == key) return &blob;
+  }
+  return nullptr;
 }
 
 RunReport Cluster::run(const std::function<void(Communicator&)>& fn) {
   for (auto& mb : mailboxes_) mb->reset();
+  for (auto& d : dead_) d->store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(checkpoint_mutex_);
+    checkpoints_.clear();
+  }
 
   const int n = size();
   std::vector<std::unique_ptr<Communicator>> comms;

@@ -6,16 +6,20 @@
 // deterministic regardless of host scheduling.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "simcluster/communicator.hpp"
+#include "simcluster/fault.hpp"
 #include "simcluster/message.hpp"
 #include "simcluster/net_model.hpp"
 
@@ -35,6 +39,11 @@ struct ClusterConfig {
   /// default: the fold builds string-keyed metric rows per peer, which a
   /// microbenchmark-scale run would pay on every iteration.
   bool collect_metrics = false;
+  /// Seeded fault-injection plan (inactive by default). When active, the
+  /// Communicator switches to the reliable transport (retry/backoff,
+  /// duplicate suppression) and engines may consult it for stalls and
+  /// crash events. See simcluster/fault.hpp.
+  FaultPlan faults;
 };
 
 /// Result of one SPMD run.
@@ -82,11 +91,29 @@ class Cluster {
   void deliver(int dst, Message msg);
   Message take(int dst, int src, Tag tag);
 
+  // --- fault-injection support --------------------------------------------
+  /// Declares `rank` permanently failed: queued messages from it still
+  /// drain, but once a queue empties, take() returns a tombstone instead
+  /// of blocking. Wakes every rank blocked in recv.
+  void mark_dead(int rank);
+  bool is_dead(int rank) const;
+
+  /// Reliable checkpoint store, simulating a parallel FS that survives
+  /// rank crashes. Keyed by (cut, rank); writing twice to a key is a
+  /// protocol bug.
+  void checkpoint_put(int cut, int rank, std::vector<std::uint8_t> blob);
+  /// nullptr when no checkpoint exists for (cut, rank).
+  const std::vector<std::uint8_t>* checkpoint_get(int cut, int rank) const;
+
  private:
   struct Mailbox;
 
   ClusterConfig config_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::unique_ptr<std::atomic<bool>>> dead_;
+  mutable std::mutex checkpoint_mutex_;
+  std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>>
+      checkpoints_;  // key = (cut << 32) | rank
 };
 
 /// Convenience: build a cluster, run fn, return the report.

@@ -14,11 +14,23 @@ int Group::rank_of(int world_rank) const {
   return -1;
 }
 
+namespace {
+std::uint64_t stream_key(int peer, Tag tag) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(peer))
+          << 32) |
+         static_cast<std::uint64_t>(tag);
+}
+}  // namespace
+
 Communicator::Communicator(Cluster& cluster, int rank)
     : cluster_(cluster),
       rank_(rank),
       memory_(cluster.config().rank_memory_bytes) {
   stats_.per_peer.resize(static_cast<std::size_t>(cluster.size()));
+  if (cluster.config().faults.active()) {
+    fault_ = &cluster.config().faults;
+    stalls_ = fault_->stalls_for(rank_);
+  }
 }
 
 void Communicator::enable_tracing() {
@@ -50,6 +62,21 @@ void Communicator::fold_stats_into_metrics() {
   metrics_.set_gauge("time.finish_seconds", clock_.now());
   metrics_.set_gauge("mem.peak_bytes",
                      static_cast<double>(memory_.peak()));
+  if (fault_ != nullptr) {
+    metrics_.add_counter("fault.retransmissions", stats_.retransmissions);
+    metrics_.set_gauge("fault.retry_backoff_seconds",
+                       stats_.retry_backoff_seconds);
+    metrics_.add_counter("fault.duplicates_dropped",
+                         stats_.duplicates_dropped);
+    metrics_.add_counter("fault.tombstones", stats_.tombstones);
+    metrics_.set_gauge("fault.failure_detect_seconds",
+                       stats_.failure_detect_seconds);
+    metrics_.set_gauge("fault.stall_seconds", stats_.stall_seconds);
+    metrics_.add_counter("fault.checkpoint_bytes", stats_.checkpoint_bytes);
+    metrics_.set_gauge("fault.checkpoint_seconds",
+                       stats_.checkpoint_seconds);
+    metrics_.add_counter("fault.recoveries", stats_.recoveries);
+  }
 }
 
 int Communicator::size() const { return cluster_.size(); }
@@ -64,6 +91,34 @@ void Communicator::compute(double seconds, const std::string& phase) {
   MND_CHECK_MSG(seconds >= 0.0, "negative compute charge for " << phase);
   clock_.advance(seconds);
   phases_.add(phase, seconds);
+  if (next_stall_ < stalls_.size()) poll_stalls();
+}
+
+void Communicator::poll_stalls() {
+  // Stalls fire when this rank's own clock first reaches at_seconds; they
+  // depend only on virtual time, so replay is deterministic.
+  while (next_stall_ < stalls_.size() &&
+         stalls_[next_stall_].at_seconds <= clock_.now()) {
+    const double duration = stalls_[next_stall_].duration_seconds;
+    clock_.advance(duration);
+    stats_.stall_seconds += duration;
+    phases_.add("fault.stall", duration);
+    ++next_stall_;
+  }
+}
+
+double Communicator::retry_base_seconds() const {
+  if (fault_->retry_timeout_seconds > 0.0) {
+    return fault_->retry_timeout_seconds;
+  }
+  return 4.0 * (net().latency + net().overhead);
+}
+
+double Communicator::detect_seconds() const {
+  if (fault_->detect_timeout_seconds > 0.0) {
+    return fault_->detect_timeout_seconds;
+  }
+  return 32.0 * (net().latency + net().overhead);
 }
 
 void Communicator::send(int dst, Tag tag, std::vector<std::uint8_t> payload) {
@@ -72,7 +127,36 @@ void Communicator::send(int dst, Tag tag, std::vector<std::uint8_t> payload) {
   Message msg;
   msg.src = rank_;
   msg.tag = tag;
-  msg.arrival_time = net().arrival(clock_.now(), bytes);
+
+  bool duplicate = false;
+  if (fault_ != nullptr && fault_->message_faults()) {
+    const std::uint64_t seq = send_seq_[stream_key(dst, tag)]++;
+    msg.seq = seq;
+    // Reliable transport: each dropped attempt costs the wire occupancy
+    // plus an exponential ack-timeout backoff before the retransmission.
+    // The ack itself is modeled as free piggybacked data, so a fault-free
+    // run's message flow and timing are untouched.
+    const double base = retry_base_seconds();
+    int attempt = 0;
+    while (attempt < fault_->max_retries &&
+           fault_->drops(rank_, dst, tag, seq, attempt)) {
+      const double occupancy = net().send_occupancy(bytes);
+      const double backoff = fault_->backoff_seconds(base, attempt);
+      clock_.advance(occupancy + backoff);
+      stats_.comm_seconds += occupancy + backoff;
+      stats_.retransmissions += 1;
+      stats_.retry_backoff_seconds += backoff;
+      phases_.add("comm", occupancy + backoff);
+      ++attempt;
+    }
+    msg.arrival_time = net().arrival(clock_.now(), bytes);
+    if (fault_->delays(rank_, dst, tag, seq)) {
+      msg.arrival_time += fault_->delay_seconds;
+    }
+    duplicate = fault_->duplicates(rank_, dst, tag, seq);
+  } else {
+    msg.arrival_time = net().arrival(clock_.now(), bytes);
+  }
   msg.payload = std::move(payload);
 
   const double occupancy = net().send_occupancy(bytes);
@@ -85,12 +169,47 @@ void Communicator::send(int dst, Tag tag, std::vector<std::uint8_t> payload) {
   peer.bytes_sent += bytes;
   phases_.add("comm", occupancy);
 
-  cluster_.deliver(dst, std::move(msg));
+  if (duplicate) {
+    // Network-level duplication: a second identical copy materializes at
+    // the same arrival time, at no extra sender cost. FIFO order keeps it
+    // right behind the original, so the receiver's seq check catches it.
+    Message copy = msg;
+    copy.duplicate = true;
+    cluster_.deliver(dst, std::move(msg));
+    cluster_.deliver(dst, std::move(copy));
+  } else {
+    cluster_.deliver(dst, std::move(msg));
+  }
+}
+
+Message Communicator::take_deduped(int src, Tag tag) {
+  MND_CHECK_MSG(src != rank_, "recv from self (rank " << rank_ << ")");
+  for (;;) {
+    Message msg = cluster_.take(rank_, src, tag);
+    if (msg.tombstone) return msg;
+    if (fault_ != nullptr && fault_->message_faults()) {
+      std::uint64_t& expected = recv_expected_[stream_key(src, tag)];
+      if (msg.seq < expected) {
+        // Stale copy: pay the drain cost, discard, and keep waiting.
+        const double drain = net().recv_occupancy();
+        clock_.advance(drain);
+        stats_.comm_seconds += drain;
+        stats_.duplicates_dropped += 1;
+        phases_.add("comm", drain);
+        continue;
+      }
+      expected = msg.seq + 1;
+    }
+    return msg;
+  }
 }
 
 std::vector<std::uint8_t> Communicator::recv(int src, Tag tag) {
-  MND_CHECK_MSG(src != rank_, "recv from self (rank " << rank_ << ")");
-  Message msg = cluster_.take(rank_, src, tag);
+  Message msg = take_deduped(src, tag);
+  MND_CHECK_MSG(!msg.tombstone, "rank " << rank_ << " recv(" << src << ", tag "
+                                        << tag
+                                        << "): peer died; only recv_or_fail"
+                                           " tolerates dead peers");
   const double wait = clock_.join(msg.arrival_time);
   const double drain = net().recv_occupancy();
   clock_.advance(drain);
@@ -104,6 +223,68 @@ std::vector<std::uint8_t> Communicator::recv(int src, Tag tag) {
   peer.wait_seconds += wait;
   phases_.add("comm", wait + drain);
   return std::move(msg.payload);
+}
+
+std::optional<std::vector<std::uint8_t>> Communicator::recv_or_fail(int src,
+                                                                    Tag tag) {
+  Message msg = take_deduped(src, tag);
+  if (msg.tombstone) {
+    // Model a heartbeat timeout: concluding a peer is dead costs real
+    // (virtual) time, so recovery shows up in the makespan.
+    const double timeout = detect_seconds();
+    clock_.advance(timeout);
+    stats_.comm_seconds += timeout;
+    stats_.tombstones += 1;
+    stats_.failure_detect_seconds += timeout;
+    phases_.add("comm", timeout);
+    return std::nullopt;
+  }
+  const double wait = clock_.join(msg.arrival_time);
+  const double drain = net().recv_occupancy();
+  clock_.advance(drain);
+  stats_.comm_seconds += wait + drain;
+  stats_.wait_seconds += wait;
+  stats_.messages_received += 1;
+  stats_.bytes_received += msg.payload.size();
+  PeerCommStats& peer = stats_.per_peer[static_cast<std::size_t>(src)];
+  peer.messages_received += 1;
+  peer.bytes_received += msg.payload.size();
+  peer.wait_seconds += wait;
+  phases_.add("comm", wait + drain);
+  return std::move(msg.payload);
+}
+
+void Communicator::mark_self_dead() { cluster_.mark_dead(rank_); }
+
+bool Communicator::peer_dead(int world_rank) const {
+  return cluster_.is_dead(world_rank);
+}
+
+void Communicator::checkpoint_write(int cut, std::vector<std::uint8_t> blob) {
+  MND_CHECK_MSG(fault_ != nullptr, "checkpointing needs an active FaultPlan");
+  const double cost =
+      fault_->checkpoint_latency_seconds +
+      static_cast<double>(blob.size()) * fault_->checkpoint_seconds_per_byte;
+  clock_.advance(cost);
+  stats_.checkpoint_bytes += blob.size();
+  stats_.checkpoint_seconds += cost;
+  phases_.add("checkpoint", cost);
+  cluster_.checkpoint_put(cut, rank_, std::move(blob));
+}
+
+const std::vector<std::uint8_t>& Communicator::checkpoint_read(int cut,
+                                                               int rank) {
+  MND_CHECK_MSG(fault_ != nullptr, "checkpointing needs an active FaultPlan");
+  const std::vector<std::uint8_t>* blob = cluster_.checkpoint_get(cut, rank);
+  MND_CHECK_MSG(blob != nullptr, "no checkpoint for (cut " << cut << ", rank "
+                                                           << rank << ")");
+  const double cost =
+      fault_->checkpoint_latency_seconds +
+      static_cast<double>(blob->size()) * fault_->checkpoint_seconds_per_byte;
+  clock_.advance(cost);
+  stats_.checkpoint_seconds += cost;
+  phases_.add("checkpoint", cost);
+  return *blob;
 }
 
 std::vector<std::uint8_t> Communicator::exchange(

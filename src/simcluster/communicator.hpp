@@ -14,15 +14,18 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "simcluster/fault.hpp"
 #include "simcluster/mem_tracker.hpp"
 #include "simcluster/message.hpp"
 #include "simcluster/net_model.hpp"
 #include "simcluster/virtual_clock.hpp"
+#include "util/flat_hash.hpp"
 
 namespace mnd::sim {
 
@@ -57,6 +60,17 @@ struct CommStats {
   std::uint64_t bytes_received = 0;
   /// Indexed by peer world rank (the self row stays zero).
   std::vector<PeerCommStats> per_peer;
+
+  // Fault-injection counters; all zero when no FaultPlan is active.
+  std::uint64_t retransmissions = 0;       // dropped send attempts redone
+  double retry_backoff_seconds = 0.0;      // ack-timeout time paid on drops
+  std::uint64_t duplicates_dropped = 0;    // injected dups discarded on recv
+  std::uint64_t tombstones = 0;            // dead-peer notifications seen
+  double failure_detect_seconds = 0.0;     // time charged detecting deaths
+  double stall_seconds = 0.0;              // injected straggler time
+  std::uint64_t checkpoint_bytes = 0;      // bytes written to the ckpt store
+  double checkpoint_seconds = 0.0;         // time writing/reading ckpts
+  std::uint64_t recoveries = 0;            // crashed partitions adopted
 };
 
 class Communicator {
@@ -101,8 +115,37 @@ class Communicator {
 
   void send(int dst, Tag tag, std::vector<std::uint8_t> payload);
   /// Blocks until a message with (src, tag) arrives; applies virtual-time
-  /// causality and accounting, and returns the payload.
+  /// causality and accounting, and returns the payload. Under an active
+  /// FaultPlan, injected duplicates are silently discarded (their drain
+  /// cost is still paid); receiving a tombstone (dead peer) here is a
+  /// protocol bug and fails loudly — use recv_or_fail where a peer is
+  /// allowed to die.
   std::vector<std::uint8_t> recv(int src, Tag tag);
+
+  /// recv that tolerates a crashed peer: returns nullopt (charging the
+  /// failure-detection timeout) when `src` is dead and its queue has
+  /// drained. The tombstone cut is deterministic: queued messages always
+  /// win over the death notification.
+  std::optional<std::vector<std::uint8_t>> recv_or_fail(int src, Tag tag);
+
+  // --- Fault-injection support --------------------------------------------
+
+  /// The active fault plan, or nullptr when the run is fault-free.
+  const FaultPlan* fault_plan() const { return fault_; }
+  /// Declares this rank crashed (mailboxes start returning tombstones for
+  /// it once drained). The caller must return from the rank function
+  /// promptly and touch no further collectives.
+  void mark_self_dead();
+  /// True when `world_rank` has crashed.
+  bool peer_dead(int world_rank) const;
+
+  /// Writes this rank's checkpoint blob for cut `cut` to the reliable
+  /// store, charging latency + bytes/bandwidth virtual time to the
+  /// "checkpoint" phase.
+  void checkpoint_write(int cut, std::vector<std::uint8_t> blob);
+  /// Reads rank `rank`'s checkpoint for cut `cut` (must exist), charging
+  /// the same cost model.
+  const std::vector<std::uint8_t>& checkpoint_read(int cut, int rank);
 
   /// send+recv with the same partner; safe against rendezvous deadlock
   /// because sends are non-blocking in this simulator.
@@ -151,6 +194,16 @@ class Communicator {
       const Group& g, std::vector<std::uint64_t> value, Tag tag,
       const std::function<std::uint64_t(std::uint64_t, std::uint64_t)>& op);
 
+  // Shared take/dedup/accounting behind recv and recv_or_fail. Returns a
+  // tombstone message untouched; the caller decides whether that is fatal.
+  Message take_deduped(int src, Tag tag);
+  // Base ack timeout / failure-detection timeout with auto defaults
+  // derived from the network model.
+  double retry_base_seconds() const;
+  double detect_seconds() const;
+  // Fires scheduled stalls whose virtual time has been reached.
+  void poll_stalls();
+
   Cluster& cluster_;
   int rank_;
   VirtualClock clock_;
@@ -159,6 +212,16 @@ class Communicator {
   PhaseBreakdown phases_;
   std::unique_ptr<obs::Tracer> tracer_;
   obs::MetricsRegistry metrics_;
+
+  // Fault-injection state (unused on the fault-free path).
+  const FaultPlan* fault_ = nullptr;
+  std::vector<StallEvent> stalls_;   // this rank's stalls, by at_seconds
+  std::size_t next_stall_ = 0;
+  // Transport sequence numbers: key = (peer << 32) | tag. send_seq_ counts
+  // the (this -> dst, tag) stream; recv_expected_ holds the next expected
+  // seq per (src, tag) stream, for duplicate suppression.
+  FlatHashMap<std::uint64_t, std::uint64_t> send_seq_;
+  FlatHashMap<std::uint64_t, std::uint64_t> recv_expected_;
 };
 
 }  // namespace mnd::sim

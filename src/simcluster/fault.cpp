@@ -1,0 +1,197 @@
+#include "simcluster/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace mnd::sim {
+
+namespace {
+
+// Distinct salts keep the drop / delay / dup decision streams independent
+// even though they hash the same message identity.
+constexpr std::uint64_t kDropSalt = 0xD20BD20BD20BD20BULL;
+constexpr std::uint64_t kDelaySalt = 0xDE1A4DE1A4DE1A40ULL;
+constexpr std::uint64_t kDupSalt = 0xD0B1ED0B1ED0B1E0ULL;
+
+std::uint64_t message_key(std::uint64_t seed, int src, int dst, Tag tag,
+                          std::uint64_t seq, std::uint64_t salt) {
+  std::uint64_t h = mix64(seed ^ salt);
+  h = mix64(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+                 << 32 |
+                 static_cast<std::uint32_t>(dst)));
+  h = mix64(h ^ static_cast<std::uint64_t>(tag));
+  h = mix64(h ^ seq);
+  return h;
+}
+
+bool draw(std::uint64_t key, double prob) {
+  if (prob <= 0.0) return false;
+  if (prob >= 1.0) return true;
+  // key is uniform in [0, 2^64); compare against prob * 2^64.
+  const double scaled = prob * 18446744073709551616.0;  // 2^64
+  return static_cast<double>(key) < scaled;
+}
+
+double parse_double(const std::string& text, const std::string& token) {
+  std::size_t used = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  MND_CHECK_MSG(used == text.size() && !text.empty(),
+                "bad number '" << text << "' in fault token '" << token
+                               << "'");
+  return value;
+}
+
+long parse_long(const std::string& text, const std::string& token) {
+  std::size_t used = 0;
+  long value = 0;
+  try {
+    value = std::stol(text, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  MND_CHECK_MSG(used == text.size() && !text.empty(),
+                "bad integer '" << text << "' in fault token '" << token
+                                << "'");
+  return value;
+}
+
+}  // namespace
+
+bool FaultPlan::drops(int src, int dst, Tag tag, std::uint64_t seq,
+                      int attempt) const {
+  const std::uint64_t key = mix64(
+      message_key(seed, src, dst, tag, seq, kDropSalt) ^
+      static_cast<std::uint64_t>(attempt));
+  return draw(key, drop_prob);
+}
+
+bool FaultPlan::delays(int src, int dst, Tag tag, std::uint64_t seq) const {
+  return draw(message_key(seed, src, dst, tag, seq, kDelaySalt), delay_prob);
+}
+
+bool FaultPlan::duplicates(int src, int dst, Tag tag,
+                           std::uint64_t seq) const {
+  return draw(message_key(seed, src, dst, tag, seq, kDupSalt), dup_prob);
+}
+
+double FaultPlan::backoff_seconds(double base_timeout, int attempt) const {
+  return base_timeout * std::ldexp(1.0, std::min(attempt, 30));
+}
+
+int FaultPlan::crash_cut(int rank) const {
+  for (const CrashEvent& c : crashes) {
+    if (c.rank == rank) return c.cut;
+  }
+  return -1;
+}
+
+std::vector<StallEvent> FaultPlan::stalls_for(int rank) const {
+  std::vector<StallEvent> mine;
+  for (const StallEvent& s : stalls) {
+    if (s.rank == rank) mine.push_back(s);
+  }
+  std::stable_sort(mine.begin(), mine.end(),
+                   [](const StallEvent& a, const StallEvent& b) {
+                     return a.at_seconds < b.at_seconds;
+                   });
+  return mine;
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::stringstream stream(spec);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    // Trim surrounding whitespace so "drop=0.1, dup=0.2" parses.
+    const auto first = token.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    const auto last = token.find_last_not_of(" \t");
+    token = token.substr(first, last - first + 1);
+
+    const auto eq = token.find('=');
+    MND_CHECK_MSG(eq != std::string::npos && eq > 0 && eq + 1 < token.size(),
+                  "fault token '" << token << "' is not key=value");
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+
+    if (key == "seed") {
+      plan.seed = static_cast<std::uint64_t>(parse_long(value, token));
+    } else if (key == "drop") {
+      plan.drop_prob = parse_double(value, token);
+    } else if (key == "dup") {
+      plan.dup_prob = parse_double(value, token);
+    } else if (key == "delay") {
+      const auto colon = value.find(':');
+      MND_CHECK_MSG(colon != std::string::npos,
+                    "delay token '" << token << "' needs PROB:SECONDS");
+      plan.delay_prob = parse_double(value.substr(0, colon), token);
+      plan.delay_seconds = parse_double(value.substr(colon + 1), token);
+    } else if (key == "stall") {
+      const auto at = value.find('@');
+      MND_CHECK_MSG(at != std::string::npos,
+                    "stall token '" << token << "' needs RANK@ATxDURATION");
+      const auto x = value.find('x', at + 1);
+      MND_CHECK_MSG(x != std::string::npos,
+                    "stall token '" << token << "' needs RANK@ATxDURATION");
+      StallEvent stall;
+      stall.rank = static_cast<int>(parse_long(value.substr(0, at), token));
+      stall.at_seconds =
+          parse_double(value.substr(at + 1, x - at - 1), token);
+      stall.duration_seconds = parse_double(value.substr(x + 1), token);
+      MND_CHECK_MSG(stall.rank >= 0 && stall.duration_seconds >= 0.0,
+                    "stall token '" << token << "' out of range");
+      plan.stalls.push_back(stall);
+    } else if (key == "crash") {
+      const auto at = value.find('@');
+      MND_CHECK_MSG(at != std::string::npos,
+                    "crash token '" << token << "' needs RANK@CUT");
+      CrashEvent crash;
+      crash.rank = static_cast<int>(parse_long(value.substr(0, at), token));
+      crash.cut = static_cast<int>(parse_long(value.substr(at + 1), token));
+      MND_CHECK_MSG(crash.rank >= 0 && crash.cut >= 0,
+                    "crash token '" << token << "' out of range");
+      plan.crashes.push_back(crash);
+    } else if (key == "retry") {
+      plan.retry_timeout_seconds = parse_double(value, token);
+    } else if (key == "detect") {
+      plan.detect_timeout_seconds = parse_double(value, token);
+    } else {
+      MND_CHECK_MSG(false, "unknown fault key '" << key << "' in '" << token
+                                                 << "'");
+    }
+  }
+  MND_CHECK_MSG(plan.drop_prob >= 0.0 && plan.drop_prob < 1.0,
+                "drop probability must be in [0, 1)");
+  MND_CHECK_MSG(plan.delay_prob >= 0.0 && plan.delay_prob <= 1.0 &&
+                    plan.delay_seconds >= 0.0,
+                "delay must have prob in [0, 1] and seconds >= 0");
+  MND_CHECK_MSG(plan.dup_prob >= 0.0 && plan.dup_prob <= 1.0,
+                "dup probability must be in [0, 1]");
+  // A rank may crash only once.
+  for (std::size_t i = 0; i < plan.crashes.size(); ++i) {
+    for (std::size_t j = i + 1; j < plan.crashes.size(); ++j) {
+      MND_CHECK_MSG(plan.crashes[i].rank != plan.crashes[j].rank,
+                    "rank " << plan.crashes[i].rank
+                            << " has more than one crash event");
+    }
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::from_env() {
+  const char* spec = std::getenv("MND_FAULTS");
+  if (spec == nullptr || spec[0] == '\0') return FaultPlan{};
+  return parse(spec);
+}
+
+}  // namespace mnd::sim

@@ -1,0 +1,114 @@
+// Seeded, deterministic fault injection for the simulated cluster.
+//
+// A FaultPlan describes which faults a run should experience: message
+// drops, delivery delays, duplication, transient rank stalls (stragglers),
+// and permanent rank crashes. Every per-message decision is a pure hash of
+// (plan seed, src, dst, tag, sequence number, attempt) — never a shared
+// RNG stream — so the injected faults are identical on every run and on
+// every host regardless of thread scheduling. Crashes are quantized to the
+// engine's checkpoint cuts (level boundaries), where a consistent recovery
+// point exists; stalls fire when a rank's virtual clock crosses the
+// scheduled time.
+//
+// The transport reacts to message faults below the application: dropped
+// sends are retransmitted after an exponential ack-timeout backoff (paid
+// in virtual time), duplicates are discarded by receiver-side sequence
+// tracking, and delays simply shift a message's arrival time. The
+// application therefore always sees reliable delivery; faults show up as
+// virtual-time cost and in the fault.* counters, not as lost data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simcluster/message.hpp"
+
+namespace mnd::sim {
+
+/// A transient straggler: `rank` loses `duration_seconds` of progress when
+/// its virtual clock first reaches `at_seconds`.
+struct StallEvent {
+  int rank = -1;
+  double at_seconds = 0.0;
+  double duration_seconds = 0.0;
+};
+
+/// A permanent rank failure, taking effect at checkpoint cut `cut` (cut c
+/// is the entry of hierarchical-merge level c; cuts past the last level
+/// fire at the final pre-postProcess cut).
+struct CrashEvent {
+  int rank = -1;
+  int cut = 0;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+
+  /// Per-transmission-attempt drop probability (each retransmission draws
+  /// independently).
+  double drop_prob = 0.0;
+  /// Probability a delivered message is delayed by `delay_seconds`.
+  double delay_prob = 0.0;
+  double delay_seconds = 0.0;
+  /// Probability a delivered message arrives twice (receiver dedups).
+  double dup_prob = 0.0;
+
+  /// Retransmission ceiling: after this many dropped attempts the link is
+  /// declared reliable and the message goes through (keeps worst cases
+  /// bounded; with drop_prob < 1 the hash draws terminate long before).
+  int max_retries = 16;
+  /// Base ack timeout before the first retransmission; each further retry
+  /// doubles it. 0 = auto: 4 * (net latency + overhead).
+  double retry_timeout_seconds = 0.0;
+  /// Virtual time a rank charges to conclude a peer is dead (heartbeat
+  /// timeout). 0 = auto: 32 * (net latency + overhead).
+  double detect_timeout_seconds = 0.0;
+
+  /// Checkpoint-store cost model (simulating a reliable parallel FS).
+  double checkpoint_seconds_per_byte = 1.0 / 2.0e9;
+  double checkpoint_latency_seconds = 1e-6;
+
+  std::vector<StallEvent> stalls;
+  std::vector<CrashEvent> crashes;
+
+  /// True when any fault is configured; an inactive plan leaves the
+  /// transport on its original (fault-free) code paths.
+  bool active() const {
+    return drop_prob > 0.0 || delay_prob > 0.0 || dup_prob > 0.0 ||
+           !stalls.empty() || !crashes.empty();
+  }
+  /// True when per-message faults are configured (reliability layer on).
+  bool message_faults() const {
+    return drop_prob > 0.0 || delay_prob > 0.0 || dup_prob > 0.0;
+  }
+
+  // --- Deterministic per-message decisions --------------------------------
+  bool drops(int src, int dst, Tag tag, std::uint64_t seq, int attempt) const;
+  bool delays(int src, int dst, Tag tag, std::uint64_t seq) const;
+  bool duplicates(int src, int dst, Tag tag, std::uint64_t seq) const;
+
+  /// Backoff before retransmission number `attempt` (0-based):
+  /// base * 2^attempt.
+  double backoff_seconds(double base_timeout, int attempt) const;
+
+  /// The cut at which `rank` crashes, or -1 if it never does.
+  int crash_cut(int rank) const;
+
+  /// Stalls scheduled for `rank`, ascending by at_seconds.
+  std::vector<StallEvent> stalls_for(int rank) const;
+
+  /// Parses a fault spec, e.g.
+  ///   "seed=42,drop=0.01,delay=0.05:0.0005,dup=0.01,stall=2@0.001x0.004,
+  ///    crash=3@1,crash=5@2"
+  /// Keys: seed=N, drop=P, delay=P:SECONDS, dup=P, stall=RANK@ATxDURATION,
+  /// crash=RANK@CUT, retry=SECONDS, detect=SECONDS. Repeatable: stall,
+  /// crash. Throws CheckFailure on malformed specs.
+  static FaultPlan parse(const std::string& spec);
+
+  /// parse(MND_FAULTS) when the variable is set and non-empty; otherwise
+  /// an inactive plan.
+  static FaultPlan from_env();
+};
+
+}  // namespace mnd::sim

@@ -22,6 +22,15 @@ struct Message {
   int src = -1;
   Tag tag = 0;
   double arrival_time = 0.0;  // virtual time the last byte lands
+  /// Transport sequence number within the (src, dst, tag) stream; used by
+  /// the fault-injection reliability layer to discard duplicates.
+  std::uint64_t seq = 0;
+  /// Marks an injected duplicate delivery (receiver discards it).
+  bool duplicate = false;
+  /// Marks a synthetic "peer is dead" notification: delivered by the
+  /// mailbox when the source rank crashed and its queue drained. Carries
+  /// no payload.
+  bool tombstone = false;
   std::vector<std::uint8_t> payload;
 
   std::size_t size_bytes() const { return payload.size(); }

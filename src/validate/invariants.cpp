@@ -189,6 +189,62 @@ void check_frozen_justified(mst::CompGraph& cg,
   }
 }
 
+void check_recovery(mst::CompGraph& cg,
+                    const std::vector<VertexId>& adopted_ids, int rank,
+                    int dead_rank, int cut, Report* report) {
+  report->count_check("recovery_adoption");
+  std::size_t suppressed = 0;
+  auto fail = [&](const std::string& what) {
+    if (report->failures().size() >= kMaxDetailedFailures) {
+      ++suppressed;
+      return;
+    }
+    std::ostringstream os;
+    os << "rank " << rank << " adopting crashed rank " << dead_rank
+       << " at cut " << cut << ": " << what;
+    report->fail("recovery_adoption", os.str());
+  };
+
+  for (VertexId id : adopted_ids) {
+    mst::Component* c = cg.find(id);
+    if (c == nullptr) {
+      std::ostringstream os;
+      os << "adopted component " << id << " is not owned after restore";
+      fail(os.str());
+      continue;
+    }
+    if (!mst::edges_sorted(*c)) {
+      std::ostringstream os;
+      os << "adopted component " << id << " violates the (w, orig) order";
+      fail(os.str());
+    }
+    for (VertexId x : c->absorbed) {
+      if (cg.renames().resolve(x) != id) {
+        std::ostringstream os;
+        os << "adopted component " << id << ": absorbed id " << x
+           << " resolves to " << cg.renames().resolve(x)
+           << " — the checkpoint's rename history did not integrate";
+        fail(os.str());
+        break;
+      }
+    }
+  }
+
+  // The adopter's forest list now includes the dead rank's committed
+  // edges; a duplicate would double-count an edge in the final gather.
+  std::vector<EdgeId> sorted = cg.mst_edges();
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    fail("combined committed-forest list contains a duplicate edge id");
+  }
+  if (suppressed > 0) {
+    std::ostringstream os;
+    os << "rank " << rank << " adopting crashed rank " << dead_rank << ": "
+       << suppressed << " further adoption failures suppressed";
+    report->fail("recovery_adoption", os.str());
+  }
+}
+
 void check_ghost_symmetry(
     sim::Communicator& comm,
     const std::vector<std::vector<VertexId>>& ghosts_by_owner,

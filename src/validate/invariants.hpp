@@ -111,6 +111,17 @@ void check_frozen_justified(mst::CompGraph& cg,
                             const mst::Participates& participates, int rank,
                             int level, Report* report);
 
+/// Post-recovery adoption check (crash recovery, DESIGN.md §5c): after a
+/// survivor integrates a crashed rank's checkpoint, every adopted
+/// component must be owned, keep the (w, orig) edge order, and have its
+/// absorbed ids resolve to it (rename completeness extended to the
+/// adopted lineage); the combined committed-forest list must stay
+/// duplicate-free. `adopted_ids` are the component ids taken from the
+/// dead rank's checkpoint.
+void check_recovery(mst::CompGraph& cg,
+                    const std::vector<graph::VertexId>& adopted_ids, int rank,
+                    int dead_rank, int cut, Report* report);
+
 // --- Collective checks ------------------------------------------------------
 
 /// Ghost-list symmetry (collective over all ranks; every rank must call

@@ -1,0 +1,298 @@
+// Fault injection & recovery: the seeded FaultPlan, the reliable
+// transport built on it, and the engine's checkpoint/heartbeat/adoption
+// protocol. The central contract under test is the recovery guarantee:
+// for ANY plan that leaves at least one surviving rank, the final forest
+// is byte-identical to the fault-free run — faults may only change
+// virtual times and fault.* counters.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/reference_mst.hpp"
+#include "mst/mnd_mst.hpp"
+#include "simcluster/fault.hpp"
+#include "util/check.hpp"
+
+namespace mnd {
+namespace {
+
+using sim::FaultPlan;
+
+// --- FaultPlan::parse ------------------------------------------------------
+
+TEST(FaultPlanTest, ParseFullSpec) {
+  const FaultPlan p = FaultPlan::parse(
+      "seed=42, drop=0.01, delay=0.05:0.0005, dup=0.02, "
+      "stall=2@0.001x0.004, crash=3@1, crash=5@2, retry=0.002, "
+      "detect=0.01");
+  EXPECT_EQ(p.seed, 42u);
+  EXPECT_DOUBLE_EQ(p.drop_prob, 0.01);
+  EXPECT_DOUBLE_EQ(p.delay_prob, 0.05);
+  EXPECT_DOUBLE_EQ(p.delay_seconds, 0.0005);
+  EXPECT_DOUBLE_EQ(p.dup_prob, 0.02);
+  EXPECT_DOUBLE_EQ(p.retry_timeout_seconds, 0.002);
+  EXPECT_DOUBLE_EQ(p.detect_timeout_seconds, 0.01);
+  ASSERT_EQ(p.stalls.size(), 1u);
+  EXPECT_EQ(p.stalls[0].rank, 2);
+  EXPECT_DOUBLE_EQ(p.stalls[0].at_seconds, 0.001);
+  EXPECT_DOUBLE_EQ(p.stalls[0].duration_seconds, 0.004);
+  ASSERT_EQ(p.crashes.size(), 2u);
+  EXPECT_EQ(p.crash_cut(3), 1);
+  EXPECT_EQ(p.crash_cut(5), 2);
+  EXPECT_EQ(p.crash_cut(0), -1);
+  EXPECT_TRUE(p.active());
+  EXPECT_TRUE(p.message_faults());
+}
+
+TEST(FaultPlanTest, ParseCrashOnlyPlanHasNoMessageFaults) {
+  const FaultPlan p = FaultPlan::parse("crash=1@0");
+  EXPECT_TRUE(p.active());
+  EXPECT_FALSE(p.message_faults());
+}
+
+TEST(FaultPlanTest, DefaultPlanIsInactive) {
+  const FaultPlan p;
+  EXPECT_FALSE(p.active());
+  EXPECT_FALSE(p.message_faults());
+}
+
+TEST(FaultPlanTest, ParseRejectsMalformedSpecs) {
+  EXPECT_THROW(FaultPlan::parse("bogus=1"), CheckFailure);
+  EXPECT_THROW(FaultPlan::parse("drop=1.0"), CheckFailure);   // must be < 1
+  EXPECT_THROW(FaultPlan::parse("drop=-0.1"), CheckFailure);
+  EXPECT_THROW(FaultPlan::parse("drop=abc"), CheckFailure);
+  EXPECT_THROW(FaultPlan::parse("delay=0.1"), CheckFailure);  // needs :SECONDS
+  EXPECT_THROW(FaultPlan::parse("stall=2@0.001"), CheckFailure);
+  EXPECT_THROW(FaultPlan::parse("crash=3"), CheckFailure);
+  EXPECT_THROW(FaultPlan::parse("crash=1@0,crash=1@2"), CheckFailure);
+  EXPECT_THROW(FaultPlan::parse("seed="), CheckFailure);
+  EXPECT_THROW(FaultPlan::parse("drop"), CheckFailure);
+}
+
+TEST(FaultPlanTest, StallsForFiltersAndSorts) {
+  const FaultPlan p = FaultPlan::parse(
+      "stall=1@0.002x0.001,stall=1@0.001x0.003,stall=2@0.005x0.001");
+  const auto s1 = p.stalls_for(1);
+  ASSERT_EQ(s1.size(), 2u);
+  EXPECT_DOUBLE_EQ(s1[0].at_seconds, 0.001);  // ascending by at_seconds
+  EXPECT_DOUBLE_EQ(s1[1].at_seconds, 0.002);
+  EXPECT_EQ(p.stalls_for(2).size(), 1u);
+  EXPECT_TRUE(p.stalls_for(0).empty());
+}
+
+// --- Deterministic decision streams ---------------------------------------
+
+TEST(FaultPlanTest, DecisionsAreDeterministicAndSeedDependent) {
+  FaultPlan a = FaultPlan::parse("seed=7,drop=0.3,delay=0.3:0.001,dup=0.3");
+  FaultPlan b = a;
+  FaultPlan other = a;
+  other.seed = 8;
+
+  int drop_diffs = 0, delay_diffs = 0, dup_diffs = 0;
+  for (std::uint64_t seq = 0; seq < 256; ++seq) {
+    const int src = static_cast<int>(seq % 4);
+    const int dst = static_cast<int>((seq / 4) % 4);
+    const sim::Tag tag = static_cast<sim::Tag>(seq % 5);
+    // Same plan -> identical decisions, call after call.
+    EXPECT_EQ(a.drops(src, dst, tag, seq, 0), b.drops(src, dst, tag, seq, 0));
+    EXPECT_EQ(a.delays(src, dst, tag, seq), b.delays(src, dst, tag, seq));
+    EXPECT_EQ(a.duplicates(src, dst, tag, seq),
+              b.duplicates(src, dst, tag, seq));
+    // Different seed -> a different (not necessarily disjoint) stream.
+    drop_diffs += a.drops(src, dst, tag, seq, 0) !=
+                  other.drops(src, dst, tag, seq, 0);
+    delay_diffs += a.delays(src, dst, tag, seq) !=
+                   other.delays(src, dst, tag, seq);
+    dup_diffs += a.duplicates(src, dst, tag, seq) !=
+                 other.duplicates(src, dst, tag, seq);
+  }
+  EXPECT_GT(drop_diffs, 0);
+  EXPECT_GT(delay_diffs, 0);
+  EXPECT_GT(dup_diffs, 0);
+}
+
+TEST(FaultPlanTest, DropRateTracksProbability) {
+  const FaultPlan p = FaultPlan::parse("seed=3,drop=0.25");
+  int dropped = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    dropped += p.drops(0, 1, sim::Tag{1}, static_cast<std::uint64_t>(i), 0);
+  }
+  const double rate = static_cast<double>(dropped) / n;
+  EXPECT_NEAR(rate, 0.25, 0.03);
+}
+
+TEST(FaultPlanTest, RetransmissionAttemptsDrawIndependently) {
+  // With drop=0.5, attempt 0 and attempt 1 of the same message must not
+  // always agree — each transmission attempt is its own draw.
+  const FaultPlan p = FaultPlan::parse("seed=5,drop=0.5");
+  int diffs = 0;
+  for (std::uint64_t seq = 0; seq < 128; ++seq) {
+    diffs += p.drops(0, 1, sim::Tag{1}, seq, 0) !=
+             p.drops(0, 1, sim::Tag{1}, seq, 1);
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+TEST(FaultPlanTest, BackoffDoublesPerAttempt) {
+  const FaultPlan p;
+  EXPECT_DOUBLE_EQ(p.backoff_seconds(0.001, 0), 0.001);
+  EXPECT_DOUBLE_EQ(p.backoff_seconds(0.001, 1), 0.002);
+  EXPECT_DOUBLE_EQ(p.backoff_seconds(0.001, 3), 0.008);
+}
+
+// --- End-to-end recovery guarantee ----------------------------------------
+
+mst::MndMstReport run_with(const graph::EdgeList& el, int nodes,
+                           const std::string& faults, bool gpu = false) {
+  mst::MndMstOptions opts;
+  opts.num_nodes = nodes;
+  opts.validate = true;
+  opts.engine.use_gpu = gpu;
+  if (!faults.empty()) opts.faults = FaultPlan::parse(faults);
+  return mst::run_mnd_mst(el, opts);
+}
+
+void expect_same_forest(const mst::MndMstReport& faulty,
+                        const mst::MndMstReport& clean) {
+  EXPECT_TRUE(faulty.validation.ok())
+      << faulty.validation.failures().front().check << ": "
+      << faulty.validation.failures().front().detail;
+  EXPECT_EQ(faulty.forest.edges, clean.forest.edges)
+      << "fault injection changed the forest";
+  EXPECT_EQ(faulty.forest.total_weight, clean.forest.total_weight);
+}
+
+TEST(FaultRecoveryTest, MessageFaultsLeaveForestIdentical) {
+  const graph::EdgeList el = graph::rmat(10, 6000, 11);
+  const auto clean = run_with(el, 4, "");
+  const auto faulty =
+      run_with(el, 4, "seed=9,drop=0.05,delay=0.1:0.0002,dup=0.05");
+  expect_same_forest(faulty, clean);
+  // Reliability layer paid for the injected faults in virtual time.
+  std::uint64_t retrans = 0, dups = 0;
+  for (const auto& s : faulty.run.rank_comm) {
+    retrans += s.retransmissions;
+    dups += s.duplicates_dropped;
+  }
+  EXPECT_GT(retrans, 0u);
+  EXPECT_GT(dups, 0u);
+  EXPECT_GT(faulty.total_seconds, clean.total_seconds);
+}
+
+TEST(FaultRecoveryTest, StallDelaysOneRankOnly) {
+  const graph::EdgeList el = graph::rmat(10, 6000, 11);
+  const auto clean = run_with(el, 4, "");
+  const auto faulty = run_with(el, 4, "stall=2@0.0001x0.005");
+  expect_same_forest(faulty, clean);
+  double stalled = 0.0;
+  for (const auto& s : faulty.run.rank_comm) stalled += s.stall_seconds;
+  EXPECT_DOUBLE_EQ(stalled, 0.005);
+  EXPECT_GE(faulty.total_seconds, clean.total_seconds + 0.004);
+}
+
+TEST(FaultRecoveryTest, SingleCrashIsAdoptedBySurvivor) {
+  const graph::EdgeList el = graph::rmat(10, 6000, 11);
+  const auto clean = run_with(el, 4, "");
+  const auto faulty = run_with(el, 4, "crash=2@1");
+  expect_same_forest(faulty, clean);
+  std::uint64_t recoveries = 0;
+  for (const auto& s : faulty.run.rank_comm) {
+    recoveries += s.recoveries;
+    EXPECT_EQ(s.checkpoint_bytes > 0, true);
+  }
+  EXPECT_EQ(recoveries, 1u);
+}
+
+TEST(FaultRecoveryTest, RankZeroCrashMovesCollectionRoot) {
+  // Rank 0 is the fault-free collection root; its death must hand the
+  // forest to the lowest survivor without losing edges.
+  const graph::EdgeList el = graph::rmat(10, 6000, 11);
+  const auto clean = run_with(el, 4, "");
+  expect_same_forest(run_with(el, 4, "crash=0@0"), clean);
+  expect_same_forest(run_with(el, 4, "crash=0@99"), clean);  // final cut
+}
+
+TEST(FaultRecoveryTest, CascadeCrashesSameCut) {
+  // Regression: several ranks dying at the SAME cut. Adopter selection
+  // must never pick a same-cut casualty (it would silently drop the
+  // checkpoint assigned to it). crash cuts 1 and 2 both fire at the final
+  // cut of a 4-rank group-of-4 run, which has exactly cuts 0 and 1.
+  const graph::EdgeList el = graph::rmat(10, 6000, 11);
+  const auto clean = run_with(el, 4, "");
+  const auto faulty = run_with(el, 4, "crash=1@0,crash=2@1,crash=3@2");
+  expect_same_forest(faulty, clean);
+  std::uint64_t recoveries = 0;
+  for (const auto& s : faulty.run.rank_comm) recoveries += s.recoveries;
+  EXPECT_EQ(recoveries, 3u);
+}
+
+TEST(FaultRecoveryTest, AllButOneCrashTwoRanks) {
+  const graph::EdgeList el = graph::erdos_renyi(300, 1200, 5);
+  const auto clean = run_with(el, 2, "");
+  expect_same_forest(run_with(el, 2, "crash=1@0"), clean);
+  expect_same_forest(run_with(el, 2, "crash=0@0"), clean);
+}
+
+TEST(FaultRecoveryTest, EverythingAtOnceGpu) {
+  // The kitchen sink: message faults + straggler + two crashes on the
+  // 8-rank GPU configuration. Forest must still match the clean run.
+  const graph::EdgeList el = graph::rmat(11, 12000, 3);
+  const auto clean = run_with(el, 8, "", /*gpu=*/true);
+  const auto faulty = run_with(
+      el, 8,
+      "seed=7,drop=0.02,delay=0.05:0.0002,dup=0.02,stall=3@0.001x0.004,"
+      "crash=2@1,crash=5@2",
+      /*gpu=*/true);
+  expect_same_forest(faulty, clean);
+}
+
+TEST(FaultRecoveryTest, ReplayIsDeterministic) {
+  // Same plan, same graph -> identical forest AND identical virtual-time
+  // results, run after run (the whole point of hash-based decisions).
+  const graph::EdgeList el = graph::rmat(10, 6000, 11);
+  const std::string spec =
+      "seed=13,drop=0.03,delay=0.05:0.0003,dup=0.03,crash=1@1";
+  const auto a = run_with(el, 4, spec);
+  const auto b = run_with(el, 4, spec);
+  EXPECT_EQ(a.forest.edges, b.forest.edges);
+  EXPECT_DOUBLE_EQ(a.total_seconds, b.total_seconds);
+  EXPECT_DOUBLE_EQ(a.comm_seconds, b.comm_seconds);
+  ASSERT_EQ(a.run.rank_comm.size(), b.run.rank_comm.size());
+  for (std::size_t r = 0; r < a.run.rank_comm.size(); ++r) {
+    EXPECT_EQ(a.run.rank_comm[r].retransmissions,
+              b.run.rank_comm[r].retransmissions);
+    EXPECT_DOUBLE_EQ(a.run.rank_comm[r].retry_backoff_seconds,
+                     b.run.rank_comm[r].retry_backoff_seconds);
+  }
+}
+
+TEST(FaultRecoveryTest, InactivePlanIsByteIdenticalToNoPlan) {
+  // seed-only spec configures no faults: the transport must stay on its
+  // original code paths, bit-for-bit.
+  const graph::EdgeList el = graph::rmat(10, 6000, 11);
+  const auto clean = run_with(el, 4, "");
+  const auto seeded = run_with(el, 4, "seed=99");
+  EXPECT_EQ(clean.forest.edges, seeded.forest.edges);
+  EXPECT_DOUBLE_EQ(clean.total_seconds, seeded.total_seconds);
+  EXPECT_DOUBLE_EQ(clean.comm_seconds, seeded.comm_seconds);
+}
+
+TEST(FaultRecoveryTest, FaultMetricsAreExported) {
+  const graph::EdgeList el = graph::rmat(10, 6000, 11);
+  mst::MndMstOptions opts;
+  opts.num_nodes = 4;
+  opts.collect_metrics = true;
+  opts.faults = FaultPlan::parse("seed=9,drop=0.05,crash=2@1");
+  const auto report = mst::run_mnd_mst(el, opts);
+  const auto merged = report.run.merged_metrics();
+  EXPECT_GT(merged.counter("fault.retransmissions"), 0u);
+  EXPECT_EQ(merged.counter("fault.recoveries"), 1u);
+  EXPECT_GT(merged.counter("fault.checkpoint_bytes"), 0u);
+}
+
+}  // namespace
+}  // namespace mnd

@@ -21,6 +21,7 @@
 #include "graph/generators.hpp"
 #include "graph/reference_mst.hpp"
 #include "mst/mnd_mst.hpp"
+#include "simcluster/fault.hpp"
 #include "validate/invariants.hpp"
 
 namespace mnd {
@@ -181,6 +182,41 @@ TEST(FuzzDifferential, SkipBorderFreezeMutantIsCaughtByCutProperty) {
   }
   EXPECT_GT(caught, 0)
       << "skip-border-freeze mutant was never flagged by cut_property";
+}
+
+TEST(FuzzDifferential, FaultInjectedRunsMatchFaultFreeAcrossSweep) {
+  // Fault-injection sweep: a slice of the main grid re-run under several
+  // seeded FaultPlans (message faults, a straggler, crashes incl. rank 0
+  // and multiple deaths at one cut). The recovery guarantee under test:
+  // any plan leaving >= 1 survivor yields the exact fault-free forest.
+  const char* kPlans[] = {
+      "seed=11,drop=0.08,dup=0.08",
+      "seed=12,delay=0.2:0.0004,stall=1@0.0005x0.002",
+      "seed=13,crash=0@0",
+      "seed=14,drop=0.03,crash=1@1,crash=2@2",
+  };
+  std::size_t slice = 0;
+  for (const FuzzConfig& c : sweep_grid()) {
+    if (slice++ % 9 != 0) continue;  // every 9th config: 16 graphs x 4 plans
+    const graph::EdgeList el = make_graph(c);
+    mst::MndMstOptions opts;
+    opts.num_nodes = c.ranks;
+    opts.validate = true;
+    opts.engine.use_gpu = c.gpu;
+    if (c.gpu) opts.engine.gpu_min_edges = 0;
+    const mst::MndMstReport clean = mst::run_mnd_mst(el, opts);
+
+    for (const char* plan : kPlans) {
+      SCOPED_TRACE(describe(c) + " faults=" + plan);
+      opts.faults = sim::FaultPlan::parse(plan);
+      const mst::MndMstReport faulty = mst::run_mnd_mst(el, opts);
+      EXPECT_TRUE(faulty.validation.ok())
+          << faulty.validation.failures().front().check << ": "
+          << faulty.validation.failures().front().detail;
+      EXPECT_EQ(faulty.forest.edges, clean.forest.edges)
+          << "fault injection changed the forest";
+    }
+  }
 }
 
 TEST(FuzzDifferential, ValidatorsCleanOnUnmutatedEngine) {

@@ -1,0 +1,87 @@
+// NetModel: the LogGP cost arithmetic the whole simulated cluster prices
+// communication with, and the three hardware presets the experiments use.
+#include <gtest/gtest.h>
+
+#include "simcluster/net_model.hpp"
+
+namespace mnd::sim {
+namespace {
+
+TEST(NetModelTest, SendOccupancyIsOverheadPlusGap) {
+  NetModel m;
+  m.overhead = 3e-6;
+  m.gap_per_byte = 2e-9;
+  EXPECT_DOUBLE_EQ(m.send_occupancy(0), 3e-6);
+  EXPECT_DOUBLE_EQ(m.send_occupancy(1000), 3e-6 + 1000 * 2e-9);
+}
+
+TEST(NetModelTest, ArrivalIsLatencyPlusBandwidthTerm) {
+  NetModel m;
+  m.latency = 10e-6;
+  m.overhead = 2e-6;
+  m.seconds_per_byte = 1e-9;
+  // sent at t: arrives at t + o + L + b*G.
+  EXPECT_DOUBLE_EQ(m.arrival(0.5, 0), 0.5 + 2e-6 + 10e-6);
+  EXPECT_DOUBLE_EQ(m.arrival(0.5, 4096), 0.5 + 2e-6 + 10e-6 + 4096 * 1e-9);
+  // Arrival is affine in send time: shifting the send shifts the arrival.
+  EXPECT_DOUBLE_EQ(m.arrival(1.5, 4096) - m.arrival(0.5, 4096), 1.0);
+}
+
+TEST(NetModelTest, RecvOccupancyIsOverheadOnly) {
+  NetModel m;
+  m.overhead = 7e-6;
+  EXPECT_DOUBLE_EQ(m.recv_occupancy(), 7e-6);
+}
+
+TEST(NetModelTest, ForDataScaleShrinksOnlyFixedCosts) {
+  const NetModel base = NetModel::amd_cluster();
+  const NetModel scaled = base.for_data_scale(4000.0);
+  EXPECT_DOUBLE_EQ(scaled.latency, base.latency / 4000.0);
+  EXPECT_DOUBLE_EQ(scaled.overhead, base.overhead / 4000.0);
+  // Byte-proportional costs shrink with the data itself — untouched.
+  EXPECT_DOUBLE_EQ(scaled.gap_per_byte, base.gap_per_byte);
+  EXPECT_DOUBLE_EQ(scaled.seconds_per_byte, base.seconds_per_byte);
+}
+
+TEST(NetModelTest, AmdClusterPreset) {
+  const NetModel m = NetModel::amd_cluster();
+  EXPECT_DOUBLE_EQ(m.latency, 50e-6);
+  EXPECT_DOUBLE_EQ(m.overhead, 5e-6);
+  EXPECT_DOUBLE_EQ(m.seconds_per_byte, 1.0 / 118.0e6);
+  EXPECT_DOUBLE_EQ(m.gap_per_byte, m.seconds_per_byte);
+}
+
+TEST(NetModelTest, HadoopRpcIsStrictlySlowerThanMpiOnSameWires) {
+  // Same cluster, heavier messaging layer: every cost component of the
+  // Pregel+ (Hadoop RPC) view must dominate the MPI view — this gap is
+  // part of what the paper measures.
+  const NetModel mpi = NetModel::amd_cluster();
+  const NetModel rpc = NetModel::amd_cluster_hadoop_rpc();
+  EXPECT_GT(rpc.latency, mpi.latency);
+  EXPECT_GT(rpc.overhead, mpi.overhead);
+  EXPECT_GT(rpc.seconds_per_byte, mpi.seconds_per_byte);
+  EXPECT_GT(rpc.arrival(0.0, 1 << 20), mpi.arrival(0.0, 1 << 20));
+}
+
+TEST(NetModelTest, CrayXc40IsFastestPreset) {
+  const NetModel cray = NetModel::cray_xc40();
+  const NetModel amd = NetModel::amd_cluster();
+  EXPECT_DOUBLE_EQ(cray.latency, 2e-6);
+  EXPECT_DOUBLE_EQ(cray.overhead, 1e-6);
+  EXPECT_DOUBLE_EQ(cray.seconds_per_byte, 1.0 / 8.0e9);
+  EXPECT_LT(cray.arrival(0.0, 1 << 20), amd.arrival(0.0, 1 << 20));
+  EXPECT_LT(cray.send_occupancy(1 << 20), amd.send_occupancy(1 << 20));
+}
+
+TEST(NetModelTest, LargeMessagesAreBandwidthBoundSmallLatencyBound) {
+  const NetModel m = NetModel::amd_cluster();
+  // 1 MiB at ~118 MB/s: the byte term dwarfs L+o.
+  const double big = m.arrival(0.0, 1 << 20);
+  EXPECT_GT((1 << 20) * m.seconds_per_byte / big, 0.99);
+  // 8 bytes: fixed costs dominate.
+  const double small = m.arrival(0.0, 8);
+  EXPECT_GT((m.latency + m.overhead) / small, 0.99);
+}
+
+}  // namespace
+}  // namespace mnd::sim

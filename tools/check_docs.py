@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Documentation consistency checks for the MND-MST repo.
+
+Two checks, both hermetic (no build needed):
+
+1. Markdown links: every relative link target in the repo's *.md files
+   must exist on disk. External (http/https/mailto) links and pure
+   anchors are skipped; `path#anchor` is checked for the path part.
+
+2. CLI flag surface: the flags accepted by examples/mnd_mst_cli.cpp
+   (parsed from its argument loop), the flags advertised by its usage()
+   text, and the flags documented in README.md's configuration table
+   must all be the same set. Catches stale help text and undocumented
+   flags without running the binary.
+
+Exit status: 0 clean, 1 violations (printed one per line as
+path:line: [rule] message).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+SKIP_DIRS = {"build", "build-tsan", "build-asan", "build-tidy", ".git"}
+
+# [text](target) — stop at the first ')' so "[a](b) [c](d)" yields two.
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+CLI_SOURCE = REPO / "examples" / "mnd_mst_cli.cpp"
+README = REPO / "README.md"
+
+
+def markdown_files() -> list[Path]:
+    files = []
+    for path in REPO.rglob("*.md"):
+        parts = set(path.relative_to(REPO).parts)
+        if parts & SKIP_DIRS:
+            continue
+        files.append(path)
+    return sorted(files)
+
+
+def check_markdown_links(errors: list[str]) -> None:
+    for path in markdown_files():
+        for lineno, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1):
+            for target in MD_LINK.findall(line):
+                if re.match(r"^[a-z]+:", target):  # http:, https:, mailto:
+                    continue
+                if target.startswith("#"):  # in-page anchor
+                    continue
+                file_part = target.split("#", 1)[0]
+                resolved = (path.parent / file_part).resolve()
+                if not resolved.exists():
+                    rel = path.relative_to(REPO)
+                    errors.append(f"{rel}:{lineno}: [md-link] broken link "
+                                  f"target \"{target}\"")
+
+
+def cli_parser_flags(source: str) -> set[str]:
+    """Flags the argument loop actually accepts (arg == "--flag")."""
+    return set(re.findall(r'arg == "(--[a-z-]+)"', source))
+
+
+def cli_usage_flags(source: str) -> set[str]:
+    """Flags named in the usage() string literals."""
+    match = re.search(r"int usage\(\)\s*\{(.*?)\n\}", source, re.DOTALL)
+    if match is None:
+        return set()
+    return set(re.findall(r"--[a-z][a-z-]*", match.group(1)))
+
+
+def readme_table_flags(text: str) -> set[str]:
+    """Flags in the first column of README's CLI-flag table."""
+    flags = set()
+    for line in text.splitlines():
+        m = re.match(r"\|\s*`(--[a-z-]+)", line)
+        if m:
+            flags.add(m.group(1))
+    return flags
+
+
+def check_cli_flags(errors: list[str]) -> None:
+    source = CLI_SOURCE.read_text(encoding="utf-8")
+    readme = README.read_text(encoding="utf-8")
+    parser = cli_parser_flags(source)
+    usage = cli_usage_flags(source)
+    table = readme_table_flags(readme)
+
+    cli_rel = CLI_SOURCE.relative_to(REPO)
+    readme_rel = README.relative_to(REPO)
+    if not parser:
+        errors.append(f"{cli_rel}:1: [cli-flags] found no flags in the "
+                      "argument loop (parser changed shape?)")
+        return
+    if not table:
+        errors.append(f"{readme_rel}:1: [cli-flags] found no CLI-flag table "
+                      "(expected rows like \"| `--nodes N` | ... |\")")
+        return
+
+    for flag in sorted(parser - usage):
+        errors.append(f"{cli_rel}:1: [cli-flags] {flag} is accepted but "
+                      "missing from usage()")
+    for flag in sorted(usage - parser):
+        errors.append(f"{cli_rel}:1: [cli-flags] usage() advertises {flag} "
+                      "but the parser rejects it")
+    for flag in sorted(parser - table):
+        errors.append(f"{readme_rel}:1: [cli-flags] {flag} is accepted but "
+                      "missing from README's configuration table")
+    for flag in sorted(table - parser):
+        errors.append(f"{readme_rel}:1: [cli-flags] README documents {flag} "
+                      "but the CLI does not accept it")
+
+
+def main() -> int:
+    errors: list[str] = []
+    check_markdown_links(errors)
+    check_cli_flags(errors)
+    for error in errors:
+        print(error)
+    if errors:
+        print(f"check_docs: {len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    n_md = len(markdown_files())
+    print(f"check_docs: OK ({n_md} markdown files, CLI flag surface "
+          "consistent)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
