@@ -104,8 +104,15 @@ struct Cluster::Mailbox {
     poisoned = false;
   }
 
-  /// Wakes blocked takers so they re-check dead flags.
-  void notify() { arrived.notify_all(); }
+  /// Wakes blocked takers so they re-check dead flags. The empty critical
+  /// section is load-bearing: it orders the caller's flag store against any
+  /// taker's predicate check, so the store cannot slip between a taker
+  /// seeing the flag false and entering arrived.wait (a lost wakeup that
+  /// would hang recv_or_fail forever — the dead rank never sends again).
+  void notify() {
+    { std::lock_guard<std::mutex> lock(mutex); }
+    arrived.notify_all();
+  }
 
  private:
   std::deque<Message>* find_queue(const Key& key) {
@@ -123,6 +130,19 @@ struct Cluster::Mailbox {
 
 Cluster::Cluster(ClusterConfig config) : config_(config) {
   MND_CHECK_MSG(config_.num_ranks >= 1, "cluster needs at least one rank");
+  // Fault-plan ranks are only checkable once the cluster size is known.
+  // Reject out-of-range events loudly: silently injecting nothing would
+  // make a typo'd plan look fault-tolerant without testing anything.
+  for (const StallEvent& s : config_.faults.stalls) {
+    MND_CHECK_MSG(s.rank >= 0 && s.rank < config_.num_ranks,
+                  "stall rank " << s.rank << " out of range for a "
+                                << config_.num_ranks << "-rank cluster");
+  }
+  for (const CrashEvent& c : config_.faults.crashes) {
+    MND_CHECK_MSG(c.rank >= 0 && c.rank < config_.num_ranks,
+                  "crash rank " << c.rank << " out of range for a "
+                                << config_.num_ranks << "-rank cluster");
+  }
   mailboxes_.reserve(static_cast<std::size_t>(config_.num_ranks));
   dead_.reserve(static_cast<std::size_t>(config_.num_ranks));
   for (int r = 0; r < config_.num_ranks; ++r) {
@@ -173,15 +193,19 @@ void Cluster::checkpoint_put(int cut, int rank,
   checkpoints_.emplace_back(key, std::move(blob));
 }
 
-const std::vector<std::uint8_t>* Cluster::checkpoint_get(int cut,
-                                                         int rank) const {
+std::optional<std::vector<std::uint8_t>> Cluster::checkpoint_get(
+    int cut, int rank) const {
   const std::uint64_t key = (static_cast<std::uint64_t>(cut) << 32) |
                             static_cast<std::uint32_t>(rank);
   std::lock_guard<std::mutex> lock(checkpoint_mutex_);
   for (const auto& [k, blob] : checkpoints_) {
-    if (k == key) return &blob;
+    // Copied out under the lock: a rank that raced ahead to the next cut
+    // (its merge group need not include this reader) can checkpoint_put
+    // concurrently, and the emplace_back may reallocate checkpoints_ —
+    // a reference into the store would dangle mid-read.
+    if (k == key) return blob;
   }
-  return nullptr;
+  return std::nullopt;
 }
 
 RunReport Cluster::run(const std::function<void(Communicator&)>& fn) {

@@ -14,6 +14,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -102,8 +103,12 @@ class Cluster {
   /// rank crashes. Keyed by (cut, rank); writing twice to a key is a
   /// protocol bug.
   void checkpoint_put(int cut, int rank, std::vector<std::uint8_t> blob);
-  /// nullptr when no checkpoint exists for (cut, rank).
-  const std::vector<std::uint8_t>* checkpoint_get(int cut, int rank) const;
+  /// A copy of the blob, or nullopt when no checkpoint exists for
+  /// (cut, rank). Returned by value: the store grows concurrently (a rank
+  /// can race ahead and write the next cut while an adopter reads this
+  /// one), so references into it are not stable.
+  std::optional<std::vector<std::uint8_t>> checkpoint_get(int cut,
+                                                          int rank) const;
 
  private:
   struct Mailbox;

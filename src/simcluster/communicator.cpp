@@ -89,9 +89,19 @@ const NetModel& Communicator::net() const { return cluster_.net(); }
 
 void Communicator::compute(double seconds, const std::string& phase) {
   MND_CHECK_MSG(seconds >= 0.0, "negative compute charge for " << phase);
-  clock_.advance(seconds);
+  advance_clock(seconds);
   phases_.add(phase, seconds);
+}
+
+void Communicator::advance_clock(double seconds) {
+  clock_.advance(seconds);
   if (next_stall_ < stalls_.size()) poll_stalls();
+}
+
+double Communicator::join_clock(double arrival_time) {
+  const double wait = clock_.join(arrival_time);
+  if (next_stall_ < stalls_.size()) poll_stalls();
+  return wait;
 }
 
 void Communicator::poll_stalls() {
@@ -142,7 +152,7 @@ void Communicator::send(int dst, Tag tag, std::vector<std::uint8_t> payload) {
            fault_->drops(rank_, dst, tag, seq, attempt)) {
       const double occupancy = net().send_occupancy(bytes);
       const double backoff = fault_->backoff_seconds(base, attempt);
-      clock_.advance(occupancy + backoff);
+      advance_clock(occupancy + backoff);
       stats_.comm_seconds += occupancy + backoff;
       stats_.retransmissions += 1;
       stats_.retry_backoff_seconds += backoff;
@@ -160,7 +170,7 @@ void Communicator::send(int dst, Tag tag, std::vector<std::uint8_t> payload) {
   msg.payload = std::move(payload);
 
   const double occupancy = net().send_occupancy(bytes);
-  clock_.advance(occupancy);
+  advance_clock(occupancy);
   stats_.comm_seconds += occupancy;
   stats_.messages_sent += 1;
   stats_.bytes_sent += bytes;
@@ -192,7 +202,7 @@ Message Communicator::take_deduped(int src, Tag tag) {
       if (msg.seq < expected) {
         // Stale copy: pay the drain cost, discard, and keep waiting.
         const double drain = net().recv_occupancy();
-        clock_.advance(drain);
+        advance_clock(drain);
         stats_.comm_seconds += drain;
         stats_.duplicates_dropped += 1;
         phases_.add("comm", drain);
@@ -210,9 +220,9 @@ std::vector<std::uint8_t> Communicator::recv(int src, Tag tag) {
                                         << tag
                                         << "): peer died; only recv_or_fail"
                                            " tolerates dead peers");
-  const double wait = clock_.join(msg.arrival_time);
+  const double wait = join_clock(msg.arrival_time);
   const double drain = net().recv_occupancy();
-  clock_.advance(drain);
+  advance_clock(drain);
   stats_.comm_seconds += wait + drain;
   stats_.wait_seconds += wait;
   stats_.messages_received += 1;
@@ -232,16 +242,16 @@ std::optional<std::vector<std::uint8_t>> Communicator::recv_or_fail(int src,
     // Model a heartbeat timeout: concluding a peer is dead costs real
     // (virtual) time, so recovery shows up in the makespan.
     const double timeout = detect_seconds();
-    clock_.advance(timeout);
+    advance_clock(timeout);
     stats_.comm_seconds += timeout;
     stats_.tombstones += 1;
     stats_.failure_detect_seconds += timeout;
     phases_.add("comm", timeout);
     return std::nullopt;
   }
-  const double wait = clock_.join(msg.arrival_time);
+  const double wait = join_clock(msg.arrival_time);
   const double drain = net().recv_occupancy();
-  clock_.advance(drain);
+  advance_clock(drain);
   stats_.comm_seconds += wait + drain;
   stats_.wait_seconds += wait;
   stats_.messages_received += 1;
@@ -265,26 +275,26 @@ void Communicator::checkpoint_write(int cut, std::vector<std::uint8_t> blob) {
   const double cost =
       fault_->checkpoint_latency_seconds +
       static_cast<double>(blob.size()) * fault_->checkpoint_seconds_per_byte;
-  clock_.advance(cost);
+  advance_clock(cost);
   stats_.checkpoint_bytes += blob.size();
   stats_.checkpoint_seconds += cost;
   phases_.add("checkpoint", cost);
   cluster_.checkpoint_put(cut, rank_, std::move(blob));
 }
 
-const std::vector<std::uint8_t>& Communicator::checkpoint_read(int cut,
-                                                               int rank) {
+std::vector<std::uint8_t> Communicator::checkpoint_read(int cut, int rank) {
   MND_CHECK_MSG(fault_ != nullptr, "checkpointing needs an active FaultPlan");
-  const std::vector<std::uint8_t>* blob = cluster_.checkpoint_get(cut, rank);
-  MND_CHECK_MSG(blob != nullptr, "no checkpoint for (cut " << cut << ", rank "
-                                                           << rank << ")");
+  std::optional<std::vector<std::uint8_t>> blob =
+      cluster_.checkpoint_get(cut, rank);
+  MND_CHECK_MSG(blob.has_value(), "no checkpoint for (cut "
+                                      << cut << ", rank " << rank << ")");
   const double cost =
       fault_->checkpoint_latency_seconds +
       static_cast<double>(blob->size()) * fault_->checkpoint_seconds_per_byte;
-  clock_.advance(cost);
+  advance_clock(cost);
   stats_.checkpoint_seconds += cost;
   phases_.add("checkpoint", cost);
-  return *blob;
+  return std::move(*blob);
 }
 
 std::vector<std::uint8_t> Communicator::exchange(

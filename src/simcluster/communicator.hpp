@@ -144,8 +144,9 @@ class Communicator {
   /// "checkpoint" phase.
   void checkpoint_write(int cut, std::vector<std::uint8_t> blob);
   /// Reads rank `rank`'s checkpoint for cut `cut` (must exist), charging
-  /// the same cost model.
-  const std::vector<std::uint8_t>& checkpoint_read(int cut, int rank);
+  /// the same cost model. Returns a copy: the store may grow concurrently,
+  /// so references into it are not stable.
+  std::vector<std::uint8_t> checkpoint_read(int cut, int rank);
 
   /// send+recv with the same partner; safe against rendezvous deadlock
   /// because sends are non-blocking in this simulator.
@@ -203,6 +204,12 @@ class Communicator {
   double detect_seconds() const;
   // Fires scheduled stalls whose virtual time has been reached.
   void poll_stalls();
+  // All virtual-time progress funnels through these two so a scheduled
+  // stall fires at whichever advance first crosses its at_seconds —
+  // compute, comm, checkpoint, or backoff alike. Direct clock_ access
+  // would let a stall slip past its scheduled time (or never fire).
+  void advance_clock(double seconds);
+  double join_clock(double arrival_time);
 
   Cluster& cluster_;
   int rank_;

@@ -281,6 +281,14 @@ TEST(FaultRecoveryTest, InactivePlanIsByteIdenticalToNoPlan) {
   EXPECT_DOUBLE_EQ(clean.comm_seconds, seeded.comm_seconds);
 }
 
+TEST(FaultRecoveryTest, OutOfRangeFaultRanksAreRejected) {
+  // crash=2 on a 2-rank run is a typo, not a no-op: it must fail at
+  // cluster construction instead of making the run look fault-tolerant.
+  const graph::EdgeList el = graph::erdos_renyi(100, 300, 3);
+  EXPECT_THROW(run_with(el, 2, "crash=2@0"), CheckFailure);
+  EXPECT_THROW(run_with(el, 2, "stall=7@0.001x0.001"), CheckFailure);
+}
+
 TEST(FaultRecoveryTest, FaultMetricsAreExported) {
   const graph::EdgeList el = graph::rmat(10, 6000, 11);
   mst::MndMstOptions opts;

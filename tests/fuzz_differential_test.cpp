@@ -189,15 +189,19 @@ TEST(FuzzDifferential, FaultInjectedRunsMatchFaultFreeAcrossSweep) {
   // seeded FaultPlans (message faults, a straggler, crashes incl. rank 0
   // and multiple deaths at one cut). The recovery guarantee under test:
   // any plan leaving >= 1 survivor yields the exact fault-free forest.
-  const char* kPlans[] = {
-      "seed=11,drop=0.08,dup=0.08",
-      "seed=12,delay=0.2:0.0004,stall=1@0.0005x0.002",
-      "seed=13,crash=0@0",
-      "seed=14,drop=0.03,crash=1@1,crash=2@2",
-  };
   std::size_t slice = 0;
   for (const FuzzConfig& c : sweep_grid()) {
     if (slice++ % 9 != 0) continue;  // every 9th config: 16 graphs x 4 plans
+    // Fault ranks must exist in the cluster (validated at construction),
+    // so the multi-death plan adapts to the config's rank count — and
+    // still leaves a survivor.
+    const std::vector<std::string> plans = {
+        "seed=11,drop=0.08,dup=0.08",
+        "seed=12,delay=0.2:0.0004,stall=1@0.0005x0.002",
+        "seed=13,crash=0@0",
+        c.ranks > 2 ? "seed=14,drop=0.03,crash=1@1,crash=2@2"
+                    : "seed=14,drop=0.03,crash=1@1",
+    };
     const graph::EdgeList el = make_graph(c);
     mst::MndMstOptions opts;
     opts.num_nodes = c.ranks;
@@ -206,7 +210,7 @@ TEST(FuzzDifferential, FaultInjectedRunsMatchFaultFreeAcrossSweep) {
     if (c.gpu) opts.engine.gpu_min_edges = 0;
     const mst::MndMstReport clean = mst::run_mnd_mst(el, opts);
 
-    for (const char* plan : kPlans) {
+    for (const std::string& plan : plans) {
       SCOPED_TRACE(describe(c) + " faults=" + plan);
       opts.faults = sim::FaultPlan::parse(plan);
       const mst::MndMstReport faulty = mst::run_mnd_mst(el, opts);

@@ -180,6 +180,53 @@ TEST(ClusterTest, SendOccupancyScalesWithBytes) {
   EXPECT_NEAR(report.rank_comm[0].comm_seconds, 1e-3, 1e-9);
 }
 
+// ---- fault support -----------------------------------------------------------------
+
+TEST(ClusterTest, RejectsOutOfRangeFaultRanks) {
+  // A typo'd rank must fail loudly at construction, not silently inject
+  // nothing (which would make the run look fault-tolerant untested).
+  ClusterConfig stall_cfg = config_of(2);
+  stall_cfg.faults = FaultPlan::parse("stall=2@0.001x0.001");
+  EXPECT_THROW(Cluster{stall_cfg}, CheckFailure);
+  ClusterConfig crash_cfg = config_of(2);
+  crash_cfg.faults = FaultPlan::parse("crash=2@0");
+  EXPECT_THROW(Cluster{crash_cfg}, CheckFailure);
+}
+
+TEST(ClusterTest, CheckpointStoreRoundTrip) {
+  ClusterConfig cfg = config_of(2);
+  cfg.faults = FaultPlan::parse("crash=1@0");
+  Cluster cluster(cfg);
+  EXPECT_FALSE(cluster.checkpoint_get(0, 0).has_value());
+  cluster.checkpoint_put(0, 0, {1, 2, 3});
+  const auto blob = cluster.checkpoint_get(0, 0);
+  ASSERT_TRUE(blob.has_value());
+  EXPECT_EQ(*blob, (std::vector<std::uint8_t>{1, 2, 3}));
+  // Double-writing a (cut, rank) key is a protocol bug.
+  EXPECT_THROW(cluster.checkpoint_put(0, 0, {4}), CheckFailure);
+}
+
+TEST(ClusterTest, StallFiresDuringCommOnlyAdvance) {
+  // Regression: stalls used to be polled only from compute(). A rank whose
+  // clock crosses at_seconds inside recv (arrival join + drain) and never
+  // computes again must still serve the stall.
+  ClusterConfig cfg = config_of(2);
+  cfg.faults = FaultPlan::parse("stall=1@0.5x0.25");
+  const RunReport report = run_cluster(cfg, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.compute(1.0, "work");
+      comm.send(1, 1, std::vector<std::uint8_t>(64, 0));
+    } else {
+      // Rank 1's clock only ever moves inside recv: the join to the
+      // message's ~1.0s arrival crosses the stall scheduled at 0.5s.
+      (void)comm.recv(0, 1);
+      EXPECT_GT(comm.clock().now(), 1.25);
+    }
+  });
+  EXPECT_DOUBLE_EQ(report.rank_comm[1].stall_seconds, 0.25);
+  EXPECT_DOUBLE_EQ(report.rank_phases[1].get("fault.stall"), 0.25);
+}
+
 // ---- collectives -------------------------------------------------------------------
 
 class CollectiveTest : public ::testing::TestWithParam<int> {};
