@@ -6,6 +6,9 @@
 //   * canonicalize            — graph::EdgeList::canonicalize (chunked sort)
 //   * csr_build               — graph::Csr::from_edge_list
 //   * partition_scan          — hypar::partition_by_degree (64 parts)
+//   * wire_serialize          — mst::prune_for_wire + compact
+//                               serialize_components (the sender-side
+//                               payload path, PR 5)
 //
 // Two numbers per (kernel, threads) cell:
 //   * wallclock_seconds — real elapsed time of the call on this host.
@@ -39,6 +42,7 @@
 #include "hypar/partition.hpp"
 #include "mst/comp_graph.hpp"
 #include "mst/local_boruvka.hpp"
+#include "simcluster/message.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -254,6 +258,27 @@ std::vector<Kernel> kernels_for(const Input& in) {
                     h = mix(h, a.to);
                     h = mix(h, a.w);
                     h = mix(h, a.id);
+                  }
+                  return std::make_pair(elapsed, h);
+                }});
+  ks.push_back({"wire_serialize", [&in](std::size_t threads) {
+                  std::vector<mst::Component> comps;  // setup copy, untimed
+                  for (graph::VertexId id : in.coarse.component_ids()) {
+                    comps.push_back(*in.coarse.find(id));
+                  }
+                  const auto t0 = Clock::now();
+                  const mst::PruneStats stats = mst::prune_for_wire(
+                      comps, in.coarse.renames(), threads);
+                  sim::Serializer s;
+                  mst::serialize_components(comps, &s,
+                                            sim::WireFormat::kCompact);
+                  const double elapsed = seconds_since(t0);
+                  const auto bytes = s.take();
+                  std::uint64_t h = mix(stats.edges_scanned,
+                                        stats.edges_removed);
+                  h = mix(h, bytes.size());
+                  for (std::size_t i = 0; i < bytes.size(); i += 64) {
+                    h = mix(h, bytes[i]);
                   }
                   return std::make_pair(elapsed, h);
                 }});

@@ -1,0 +1,281 @@
+// PR 5 communication-volume bench: sender-side pruning + compact wire
+// codec, measured two ways and self-gating.
+//
+//  1. Codec microbench — encode/decode wall-clock and payload bytes for
+//     raw vs compact framing on an engine-shaped component bundle (an
+//     R-MAT graph contracted into ~256 components, then pruned).
+//  2. Figure-5 rows — arabic-2005 and it-2004 at 4/8/16 nodes, the full
+//     engine under --wire=raw and --wire=compact. Reports virtual times
+//     plus the merged comm.bytes_raw / comm.bytes_wire counters.
+//
+// Gates (exit 1 on violation) mirror the PR's acceptance criteria:
+//  * forests byte-identical between wire modes on every row;
+//  * compact never slower than raw in total virtual seconds, and no
+//    merge-phase regression;
+//  * >= 30% reduction in total exchanged bytes (compact bytes on the
+//    wire vs the pre-codec fixed-width baseline) on every fig5 row.
+//
+// Usage: wire_codec [output.json]   (default: BENCH_pr5.json)
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "mst/comp_graph.hpp"
+#include "simcluster/message.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using namespace mnd;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// An engine-shaped bundle: R-MAT contracted into ~`groups` components
+/// (concatenated adjacencies, recorded renames), then pruned exactly the
+/// way the engine prunes before serializing a segment.
+std::vector<mst::Component> make_bundle(unsigned scale, unsigned groups) {
+  graph::EdgeList el = graph::rmat(static_cast<graph::VertexId>(scale),
+                                   8ull << scale, 7);
+  el.randomize_weights(7, 1, 1'000'000);
+  el.canonicalize(true, 1);
+  const graph::Csr g = graph::Csr::from_edge_list(el, 1);
+  const graph::VertexId n = g.num_vertices();
+  const graph::VertexId step = std::max<graph::VertexId>(1, n / groups);
+  mst::RenameMap renames;
+  std::vector<mst::Component> comps;
+  for (graph::VertexId rep = 0; rep < n; rep += step) {
+    mst::Component c;
+    c.id = rep;
+    const graph::VertexId end = std::min<graph::VertexId>(n, rep + step);
+    for (graph::VertexId v = rep; v < end; ++v) {
+      for (const auto& arc : g.adjacency(v)) {
+        c.edges.push_back(mst::CEdge{arc.to, arc.w, arc.id});
+      }
+      if (v != rep) renames.add(v, rep);
+    }
+    std::sort(c.edges.begin(), c.edges.end(), graph::EdgeLess{});
+    c.vertex_count = end - rep;
+    comps.push_back(std::move(c));
+  }
+  mst::prune_for_wire(comps, renames);
+  return comps;
+}
+
+struct CodecCell {
+  std::size_t bytes = 0;
+  double encode_seconds = 0.0;
+  double decode_seconds = 0.0;
+};
+
+CodecCell measure_codec(const std::vector<mst::Component>& comps,
+                        sim::WireFormat fmt) {
+  constexpr int kReps = 5;
+  CodecCell cell;
+  cell.encode_seconds = 1e300;
+  cell.decode_seconds = 1e300;
+  std::vector<std::uint8_t> bytes;
+  for (int rep = 0; rep < kReps; ++rep) {
+    sim::Serializer s;
+    const auto t0 = Clock::now();
+    mst::serialize_components(comps, &s, fmt);
+    cell.encode_seconds = std::min(cell.encode_seconds, seconds_since(t0));
+    bytes = s.take();
+    const auto t1 = Clock::now();
+    sim::Deserializer d(bytes);
+    const auto bundle = mst::deserialize_components(&d);
+    cell.decode_seconds = std::min(cell.decode_seconds, seconds_since(t1));
+    MND_CHECK_MSG(bundle.comps.size() == comps.size() && d.exhausted(),
+                  "codec round-trip lost components");
+  }
+  cell.bytes = bytes.size();
+  return cell;
+}
+
+struct Fig5Row {
+  std::string dataset;
+  int nodes = 0;
+  double raw_total = 0.0, compact_total = 0.0;
+  double raw_merge = 0.0, compact_merge = 0.0;
+  double raw_comm = 0.0, compact_comm = 0.0;
+  std::uint64_t bytes_baseline = 0;  // pre-prune fixed-width accounting
+  std::uint64_t bytes_raw_mode = 0;  // sent under --wire=raw (pruned)
+  std::uint64_t bytes_compact = 0;   // sent under --wire=compact
+  bool forests_match = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_pr5.json";
+  bool ok = true;
+
+  // --- codec microbench ------------------------------------------------------
+  const std::vector<mst::Component> bundle = make_bundle(16, 256);
+  std::size_t bundle_edges = 0;
+  for (const auto& c : bundle) bundle_edges += c.edges.size();
+  const CodecCell raw_cell = measure_codec(bundle, sim::WireFormat::kRaw);
+  const CodecCell compact_cell =
+      measure_codec(bundle, sim::WireFormat::kCompact);
+  const double codec_ratio = static_cast<double>(compact_cell.bytes) /
+                             static_cast<double>(raw_cell.bytes);
+  std::printf("codec microbench: %zu comps, %zu edges\n", bundle.size(),
+              bundle_edges);
+  std::printf("  raw     %9zu bytes  encode %.4fs  decode %.4fs\n",
+              raw_cell.bytes, raw_cell.encode_seconds,
+              raw_cell.decode_seconds);
+  std::printf("  compact %9zu bytes  encode %.4fs  decode %.4fs  (%.1f%% "
+              "of raw)\n",
+              compact_cell.bytes, compact_cell.encode_seconds,
+              compact_cell.decode_seconds, 100.0 * codec_ratio);
+  if (codec_ratio > 0.7) {
+    std::printf("GATE FAILED: compact codec saves only %.1f%% (< 30%%)\n",
+                100.0 * (1.0 - codec_ratio));
+    ok = false;
+  }
+
+  // --- fig5 rows, both wire modes -------------------------------------------
+  std::vector<Fig5Row> rows;
+  for (const char* name : {"arabic-2005", "it-2004"}) {
+    const auto el = bench::load_dataset(name);
+    for (int nodes : {4, 8, 16}) {
+      Fig5Row row;
+      row.dataset = name;
+      row.nodes = nodes;
+
+      auto opts = bench::amd_mnd(nodes);
+      opts.collect_metrics = true;
+      opts.engine.wire = sim::WireFormat::kRaw;
+      const auto raw = mst::run_mnd_mst(el, opts);
+      bench::emit_metrics_json("wire_raw_" + std::string(name) + "_" +
+                                   std::to_string(nodes),
+                               raw.run);
+      opts.engine.wire = sim::WireFormat::kCompact;
+      const auto compact = mst::run_mnd_mst(el, opts);
+      bench::emit_metrics_json("wire_compact_" + std::string(name) + "_" +
+                                   std::to_string(nodes),
+                               compact.run);
+
+      const auto raw_m = raw.run.merged_metrics();
+      const auto compact_m = compact.run.merged_metrics();
+      row.raw_total = raw.total_seconds;
+      row.compact_total = compact.total_seconds;
+      row.raw_merge = raw.merge_seconds;
+      row.compact_merge = compact.merge_seconds;
+      row.raw_comm = raw.comm_seconds;
+      row.compact_comm = compact.comm_seconds;
+      row.bytes_baseline = compact_m.counter("comm.bytes_raw");
+      row.bytes_raw_mode = raw_m.counter("comm.bytes_wire");
+      row.bytes_compact = compact_m.counter("comm.bytes_wire");
+      row.forests_match = raw.forest.edges == compact.forest.edges;
+
+      const double reduction =
+          row.bytes_baseline == 0
+              ? 0.0
+              : 1.0 - static_cast<double>(row.bytes_compact) /
+                          static_cast<double>(row.bytes_baseline);
+      std::printf("%-12s nodes=%-2d  total raw %.4fs compact %.4fs | merge "
+                  "raw %.4fs compact %.4fs | bytes %llu -> %llu (-%.1f%%)\n",
+                  name, nodes, row.raw_total, row.compact_total,
+                  row.raw_merge, row.compact_merge,
+                  static_cast<unsigned long long>(row.bytes_baseline),
+                  static_cast<unsigned long long>(row.bytes_compact),
+                  100.0 * reduction);
+
+      if (!row.forests_match) {
+        std::printf("GATE FAILED: %s nodes=%d forests differ between wire "
+                    "modes\n",
+                    name, nodes);
+        ok = false;
+      }
+      if (row.compact_total > row.raw_total * (1.0 + 1e-9)) {
+        std::printf("GATE FAILED: %s nodes=%d compact total %.6fs > raw "
+                    "%.6fs\n",
+                    name, nodes, row.compact_total, row.raw_total);
+        ok = false;
+      }
+      if (row.compact_merge > row.raw_merge * (1.0 + 1e-9)) {
+        std::printf("GATE FAILED: %s nodes=%d compact merge %.6fs > raw "
+                    "%.6fs\n",
+                    name, nodes, row.compact_merge, row.raw_merge);
+        ok = false;
+      }
+      if (reduction < 0.30) {
+        std::printf("GATE FAILED: %s nodes=%d byte reduction %.1f%% < 30%%\n",
+                    name, nodes, 100.0 * reduction);
+        ok = false;
+      }
+      rows.push_back(row);
+    }
+  }
+
+  // --- JSON ------------------------------------------------------------------
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"wire_codec\",\n");
+  std::fprintf(out,
+               "  \"gates\": \"forests identical across wire modes; compact "
+               "<= raw in total and merge virtual seconds; >= 30%% byte "
+               "reduction vs the pre-codec fixed-width baseline\",\n");
+  std::fprintf(out,
+               "  \"codec_microbench\": {\"components\": %zu, \"edges\": "
+               "%zu,\n",
+               bundle.size(), bundle_edges);
+  std::fprintf(out,
+               "    \"raw\": {\"bytes\": %zu, \"encode_seconds\": %.9f, "
+               "\"decode_seconds\": %.9f},\n",
+               raw_cell.bytes, raw_cell.encode_seconds,
+               raw_cell.decode_seconds);
+  std::fprintf(out,
+               "    \"compact\": {\"bytes\": %zu, \"encode_seconds\": %.9f, "
+               "\"decode_seconds\": %.9f},\n",
+               compact_cell.bytes, compact_cell.encode_seconds,
+               compact_cell.decode_seconds);
+  std::fprintf(out, "    \"compact_vs_raw_bytes\": %.4f},\n", codec_ratio);
+  std::fprintf(out, "  \"fig5_rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Fig5Row& r = rows[i];
+    const double reduction =
+        r.bytes_baseline == 0
+            ? 0.0
+            : 1.0 - static_cast<double>(r.bytes_compact) /
+                        static_cast<double>(r.bytes_baseline);
+    std::fprintf(
+        out,
+        "    {\"dataset\": \"%s\", \"nodes\": %d,\n"
+        "     \"total_seconds\": {\"raw\": %.9f, \"compact\": %.9f},\n"
+        "     \"merge_seconds\": {\"raw\": %.9f, \"compact\": %.9f},\n"
+        "     \"comm_seconds\": {\"raw\": %.9f, \"compact\": %.9f},\n"
+        "     \"exchanged_bytes\": {\"baseline_fixed_width\": %llu, "
+        "\"raw_mode\": %llu, \"compact_mode\": %llu},\n"
+        "     \"byte_reduction_vs_baseline\": %.4f, "
+        "\"forests_match\": %s}%s\n",
+        r.dataset.c_str(), r.nodes, r.raw_total, r.compact_total,
+        r.raw_merge, r.compact_merge, r.raw_comm, r.compact_comm,
+        static_cast<unsigned long long>(r.bytes_baseline),
+        static_cast<unsigned long long>(r.bytes_raw_mode),
+        static_cast<unsigned long long>(r.bytes_compact), reduction,
+        r.forests_match ? "true" : "false", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"gates_passed\": %s\n}\n",
+               ok ? "true" : "false");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  if (!ok) {
+    std::printf("wire_codec: GATES FAILED\n");
+    return 1;
+  }
+  std::printf("wire_codec: all gates passed\n");
+  return 0;
+}

@@ -22,6 +22,11 @@
 //                                     validators during the run and check
 //                                     the result against exact Kruskal
 //                                     (MND_VALIDATE=1 also enables them)
+//   --wire raw|compact                wire encoding for every transport
+//                                     payload (default: MND_WIRE, else
+//                                     compact). compact delta/varint-packs
+//                                     payloads (DESIGN.md §5d); the forest
+//                                     is byte-identical in both modes
 //   --faults SPEC                     seeded fault-injection plan for the
 //                                     simulated cluster (MND_FAULTS also
 //                                     sets it). SPEC is comma-separated:
@@ -107,6 +112,7 @@ int usage() {
                "                   [--out FILE]\n"
                "                   [--trace-out FILE] [--metrics-out FILE] "
                "[--validate]\n"
+               "                   [--wire raw|compact]\n"
                "                   [--faults SPEC]   (e.g. "
                "--faults seed=7,drop=0.01,crash=2@1)\n");
   return 2;
@@ -171,6 +177,17 @@ int main(int argc, char** argv) {
       options.collect_metrics = true;
     } else if (arg == "--validate") {
       validate = true;
+    } else if (arg == "--wire") {
+      const std::string mode = next();
+      if (mode == "raw") {
+        options.engine.wire = sim::WireFormat::kRaw;
+      } else if (mode == "compact") {
+        options.engine.wire = sim::WireFormat::kCompact;
+      } else {
+        std::fprintf(stderr, "--wire must be raw or compact, got %s\n",
+                     mode.c_str());
+        return usage();
+      }
     } else if (arg == "--faults") {
       options.faults = sim::FaultPlan::parse(next());
     } else {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "hypar/ghost.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/flat_hash.hpp"
@@ -65,10 +66,15 @@ void reduce_all(sim::Communicator& comm, CompGraph& cg,
 /// multi-phase exchanges). Collective over `scope`.
 void sync_parents(sim::Communicator& comm, const sim::Group& scope,
                   CompGraph& cg, const Partition1D& part,
-                  const std::vector<int>& rep) {
+                  const std::vector<int>& rep, sim::WireFormat wire) {
   const int me = comm.rank();
   const int g = scope.size();
   if (g <= 1) return;
+  std::uint64_t bytes_raw = 0;
+  std::uint64_t bytes_wire = 0;
+  const auto framed_raw_bytes = [](std::size_t n, std::size_t elem) {
+    return static_cast<std::uint64_t>(1 + sizeof(std::uint64_t) + n * elem);
+  };
 
   // 1. Ghost endpoints this rank needs resolved, bucketed by target.
   mnd::FlatHashSet<VertexId> needed(cg.num_edges() / 4 + 16);
@@ -96,29 +102,36 @@ void sync_parents(sim::Communicator& comm, const sim::Group& scope,
       row[static_cast<std::size_t>(i)] =
           queries[static_cast<std::size_t>(i)].size();
     }
-    counts.put_vector(row);
+    counts.put_id_vector(row, wire);
+    bytes_raw += framed_raw_bytes(row.size(), sizeof(std::uint64_t));
+    bytes_wire += counts.size();
   }
   const auto all_counts =
       comm.group_all_gather(scope, counts.take(), kTagParentCounts);
   const int my_pos = scope.rank_of(me);
 
-  // 3. Send queries; answer incoming; apply replies.
+  // 3. Send queries; answer incoming; apply replies. Queries are sorted
+  // ascending and reply pairs are sorted by id, so the compact framing's
+  // delta chains stay short.
   for (int i = 0; i < g; ++i) {
     if (i == my_pos || queries[static_cast<std::size_t>(i)].empty()) continue;
     sim::Serializer s;
-    s.put_vector(queries[static_cast<std::size_t>(i)]);
+    s.put_id_vector(queries[static_cast<std::size_t>(i)], wire);
+    bytes_raw += framed_raw_bytes(queries[static_cast<std::size_t>(i)].size(),
+                                  sizeof(VertexId));
+    bytes_wire += s.size();
     comm.send(scope.members[static_cast<std::size_t>(i)], kTagParentQuery,
               s.take());
   }
   for (int i = 0; i < g; ++i) {
     if (i == my_pos) continue;
     sim::Deserializer cd(all_counts[static_cast<std::size_t>(i)]);
-    const auto row = cd.get_vector<std::uint64_t>();
+    const auto row = cd.get_id_vector<std::uint64_t>();
     if (row[static_cast<std::size_t>(my_pos)] == 0) continue;
     const auto payload =
         comm.recv(scope.members[static_cast<std::size_t>(i)], kTagParentQuery);
     sim::Deserializer d(payload);
-    const auto ids = d.get_vector<VertexId>();
+    const auto ids = d.get_id_vector<VertexId>();
     std::vector<VertexId> reply;  // (id, parent) pairs, flattened
     for (VertexId id : ids) {
       const VertexId r = cg.renames().resolve(id);
@@ -128,7 +141,9 @@ void sync_parents(sim::Communicator& comm, const sim::Group& scope,
       }
     }
     sim::Serializer s;
-    s.put_vector(reply);
+    s.put_id_vector(reply, wire);
+    bytes_raw += framed_raw_bytes(reply.size(), sizeof(VertexId));
+    bytes_wire += s.size();
     comm.send(scope.members[static_cast<std::size_t>(i)], kTagParentReply,
               s.take());
   }
@@ -137,10 +152,13 @@ void sync_parents(sim::Communicator& comm, const sim::Group& scope,
     const auto payload =
         comm.recv(scope.members[static_cast<std::size_t>(i)], kTagParentReply);
     sim::Deserializer d(payload);
-    const auto pairs = d.get_vector<VertexId>();
+    const auto pairs = d.get_id_vector<VertexId>();
     for (std::size_t at = 0; at + 1 < pairs.size(); at += 2) {
       cg.renames().add(pairs[at], pairs[at + 1]);
     }
+  }
+  if (comm.metrics_enabled()) {
+    obs::record_wire_bytes(comm.metrics(), "parents", bytes_raw, bytes_wire);
   }
 }
 
@@ -324,21 +342,36 @@ mst::BoruvkaStats indcomp_on_devices(sim::Communicator& comm, CompGraph& cg,
   return total;
 }
 
-/// Picks a segment of owned components (ascending id) whose wire size
-/// stays within `budget_bytes`; always includes at least one component
-/// when any is owned. Returns the released components.
-std::vector<Component> pick_segment(CompGraph& cg, std::size_t budget_bytes) {
-  std::vector<Component> segment;
-  std::size_t used = 0;
+/// A ring segment picked under a byte budget: the released components
+/// plus the exact predicted payload size under the active wire format.
+struct Segment {
+  std::vector<Component> comps;
+  std::size_t predicted_bytes = 0;
+};
+
+/// Picks a segment of owned components (ascending id) whose *encoded*
+/// wire size — bundle header included — stays within `budget_bytes`;
+/// always includes at least one component when any is owned. Budgeting in
+/// encoded bytes matters under the compact codec: sizing against the raw
+/// layout would pack segments to a fraction of the budget. Sender-side
+/// pruning after the pick can only shrink the payload, so
+/// `predicted_bytes` is an upper bound on the serialized size.
+Segment pick_segment(CompGraph& cg, std::size_t budget_bytes,
+                     sim::WireFormat fmt) {
+  Segment out;
+  // The component count is unknown until the pick completes; reserve the
+  // raw header (an upper bound on the compact varint header) up front.
+  std::size_t used = mst::wire_header_bytes(0, sim::WireFormat::kRaw);
   for (VertexId id : cg.component_ids()) {
     const Component& c = *cg.find(id);
-    const std::size_t cost = mst::wire_bytes(c);
-    if (!segment.empty() && used + cost > budget_bytes) break;
+    const std::size_t cost = mst::wire_bytes(c, fmt);
+    if (!out.comps.empty() && used + cost > budget_bytes) break;
     used += cost;
-    segment.push_back(cg.release(id));
+    out.comps.push_back(cg.release(id));
     if (used >= budget_bytes) break;
   }
-  return segment;
+  out.predicted_bytes = used;
+  return out;
 }
 
 /// Integrates a received bundle into the rank's component graph. The
@@ -388,11 +421,29 @@ sim::Group group_containing(const std::vector<int>& active, int group_size,
 /// forest edges. Together these are exactly what an adopter needs to take
 /// over the rank's partition without violating the rename-completeness
 /// invariant.
-std::vector<std::uint8_t> serialize_checkpoint(CompGraph& cg) {
+std::vector<std::uint8_t> serialize_checkpoint(sim::Communicator& comm,
+                                               CompGraph& cg,
+                                               sim::WireFormat wire,
+                                               std::size_t threads,
+                                               const device::CpuDevice& cpu) {
   sim::Serializer s;
   std::vector<Component> comps;
   for (VertexId id : cg.component_ids()) comps.push_back(*cg.find(id));
-  serialize_components(comps, &s);
+  std::uint64_t bytes_raw =
+      mst::wire_header_bytes(comps.size(), sim::WireFormat::kRaw);
+  for (const Component& c : comps) bytes_raw += mst::wire_bytes(c);
+  // Sender-side multi-edge pruning before the cut is written: the adopter
+  // restores the reduced adjacency the receiver-side reduction would have
+  // produced anyway, at a fraction of the checkpoint-store bytes. Already
+  // clean components are skipped, so the scan is priced only when it did
+  // real work.
+  const mst::PruneStats pruned =
+      mst::prune_for_wire(comps, cg.renames(), threads);
+  if (pruned.edges_scanned > 0) {
+    comm.compute(reduction_seconds(cpu, pruned.edges_scanned, comps.size()),
+                 "merge");
+  }
+  serialize_components(comps, &s, wire);
   std::vector<std::pair<VertexId, VertexId>> pairs;
   pairs.reserve(cg.renames().size());
   cg.renames().for_each(
@@ -404,8 +455,14 @@ std::vector<std::uint8_t> serialize_checkpoint(CompGraph& cg) {
     flat.push_back(from);
     flat.push_back(into);
   }
-  s.put_vector(flat);
-  s.put_vector(cg.mst_edges());
+  s.put_id_vector(flat, wire);
+  s.put_id_vector(cg.mst_edges(), wire);
+  bytes_raw += 2 * (1 + sizeof(std::uint64_t)) +
+               flat.size() * sizeof(VertexId) +
+               cg.mst_edges().size() * sizeof(EdgeId);
+  if (comm.metrics_enabled()) {
+    obs::record_wire_bytes(comm.metrics(), "checkpoint", bytes_raw, s.size());
+  }
   return s.take();
 }
 
@@ -417,7 +474,7 @@ std::vector<VertexId> restore_checkpoint(CompGraph& cg,
   mst::ComponentBundle bundle = mst::deserialize_components(&d);
   // Rename knowledge first: adopted components' far endpoints may resolve
   // through chains only the dead rank had seen.
-  const auto flat = d.get_vector<VertexId>();
+  const auto flat = d.get_id_vector<VertexId>();
   for (std::size_t i = 0; i + 1 < flat.size(); i += 2) {
     cg.renames().add(flat[i], flat[i + 1]);
   }
@@ -427,7 +484,7 @@ std::vector<VertexId> restore_checkpoint(CompGraph& cg,
   integrate_bundle(cg, std::move(bundle));
   // The dead rank's committed forest edges move to the adopter — forest
   // edges live on the committing rank, crashed or not.
-  for (EdgeId e : d.get_vector<EdgeId>()) cg.commit_mst_edge(e);
+  for (EdgeId e : d.get_id_vector<EdgeId>()) cg.commit_mst_edge(e);
   return adopted;
 }
 
@@ -447,6 +504,10 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
   const device::GpuDevice* gpu = opts.use_gpu ? &gpu_dev : nullptr;
   const std::size_t threads =
       opts.threads != 0 ? opts.threads : default_thread_count();
+  // Every transport payload this engine builds uses one wire format;
+  // kDefault resolves through MND_WIRE (else compact). All ranks see the
+  // same options, so the framing is cluster-consistent by construction.
+  const sim::WireFormat wire = sim::resolve_wire(opts.wire);
   obs::Tracer* const tr = comm.tracer();
   validate::Report* vrep = nullptr;
   if (validate::enabled(opts.validate)) {
@@ -548,7 +609,7 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
   const GhostList ghosts = build_ghost_list(g, part, me);
   result.trace.ghost_edges = ghosts.total_ghost_edges();
   result.trace.boundary_vertices = ghosts.num_boundary_vertices();
-  exchange_boundary_vertices(comm, ghosts, opts.ghost_phase_entries);
+  exchange_boundary_vertices(comm, ghosts, opts.ghost_phase_entries, wire);
   if (vrep != nullptr) {
     // Ghost-list symmetry (collective): A's ghost endpoints owned by B
     // must mirror B's boundary set toward A.
@@ -634,7 +695,8 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
     //    quantized *after* the write: the level's in-flight work since the
     //    previous cut is what a real failure would lose, and the adopter
     //    recomputes it over the adopted partition.
-    comm.checkpoint_write(cut, serialize_checkpoint(cg));
+    comm.checkpoint_write(cut,
+                          serialize_checkpoint(comm, cg, wire, threads, cpu));
 
     // 2. Scheduled crash. At the final cut every not-yet-fired crash
     //    event triggers ("crash eventually" for cuts past the last level).
@@ -766,7 +828,7 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
       // multi-edge removal, §3.3).
       obs::Span mp_span(tr, "mergeParts", obs::SpanCat::Phase);
       mp_span.note("level", static_cast<std::uint64_t>(level));
-      sync_parents(comm, all_active, cg, part, rep);
+      sync_parents(comm, all_active, cg, part, rep, wire);
       reduce_all(comm, cg, cpu, threads);
       if (vrep != nullptr) {
         validate::check_components(cg, me, level, /*after_merge=*/true,
@@ -804,12 +866,41 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
           obs::Span ring_span(tr, "ringRound", obs::SpanCat::Ring);
           ring_span.note("round", static_cast<std::uint64_t>(rounds));
           ring_span.note("budget_bytes", static_cast<std::uint64_t>(budget));
-          auto segment = pick_segment(cg, budget);
+          Segment segment = pick_segment(cg, budget, wire);
+          std::uint64_t seg_raw =
+              mst::wire_header_bytes(segment.comps.size(),
+                                     sim::WireFormat::kRaw);
+          for (const Component& c : segment.comps) {
+            seg_raw += mst::wire_bytes(c);
+          }
+          const mst::PruneStats pruned =
+              mst::prune_for_wire(segment.comps, cg.renames(), threads);
+          if (pruned.edges_scanned > 0) {
+            comm.compute(reduction_seconds(cpu, pruned.edges_scanned,
+                                           segment.comps.size()),
+                         "merge");
+          }
           sim::Serializer s;
-          serialize_components(segment, &s);
+          serialize_components(segment.comps, &s, wire);
           auto outgoing = s.take();
+          // Budget accounting is exact: pruning only shrinks a payload,
+          // and a lone oversized component is the single allowed overrun
+          // (the pick always ships at least one component).
+          MND_CHECK_MSG(outgoing.size() <= segment.predicted_bytes,
+                        "ring segment exceeded its predicted "
+                            << segment.predicted_bytes << " bytes: "
+                            << outgoing.size());
+          MND_CHECK_MSG(segment.comps.size() <= 1 ||
+                            outgoing.size() <= budget,
+                        "ring segment exceeded its byte budget "
+                            << budget << ": " << outgoing.size());
           ring_span.note("sent_bytes",
                          static_cast<std::uint64_t>(outgoing.size()));
+          ring_span.note("raw_bytes", seg_raw);
+          if (comm.metrics_enabled()) {
+            obs::record_wire_bytes(comm.metrics(), "ring", seg_raw,
+                                   outgoing.size());
+          }
           auto incoming =
               comm.ring_shift(group, kTagSegment, std::move(outgoing));
           ring_span.note("received_bytes",
@@ -823,7 +914,7 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
           // Collaborative merging on the new set of components (CPU).
           (void)indcomp_on_devices(comm, cg, kernel, opts, cpu, nullptr,
                                    gpu_share, threads, level, vrep);
-          sync_parents(comm, group, cg, part, rep);
+          sync_parents(comm, group, cg, part, rep, wire);
           reduce_all(comm, cg, cpu, threads);
           if (vrep != nullptr) {
             validate::check_components(cg, me, level, /*after_merge=*/true,
@@ -839,9 +930,24 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
         if (me != leader) {
           std::vector<Component> all;
           for (VertexId id : cg.component_ids()) all.push_back(cg.release(id));
-          serialize_components(all, &s);
+          std::uint64_t gather_raw =
+              mst::wire_header_bytes(all.size(), sim::WireFormat::kRaw);
+          for (const Component& c : all) gather_raw += mst::wire_bytes(c);
+          const mst::PruneStats pruned =
+              mst::prune_for_wire(all, cg.renames(), threads);
+          if (pruned.edges_scanned > 0) {
+            comm.compute(reduction_seconds(cpu, pruned.edges_scanned,
+                                           all.size()),
+                         "merge");
+          }
+          serialize_components(all, &s, wire);
+          lm_span.note("sent_bytes", static_cast<std::uint64_t>(s.size()));
+          if (comm.metrics_enabled()) {
+            obs::record_wire_bytes(comm.metrics(), "gather", gather_raw,
+                                   s.size());
+          }
         } else {
-          mst::serialize_components({}, &s);
+          mst::serialize_components({}, &s, wire);
         }
         auto gathered =
             comm.group_gather(group, s.take(), leader, kTagLeaderGather);
@@ -926,7 +1032,12 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
   obs::Span collect_span(tr, "collectResults", obs::SpanCat::Comm);
   sim::Serializer s;
   std::vector<EdgeId> mine = cg.mst_edges();
-  s.put_vector(mine);
+  s.put_id_vector(mine, wire);
+  if (comm.metrics_enabled()) {
+    obs::record_wire_bytes(
+        comm.metrics(), "result",
+        1 + sizeof(std::uint64_t) + mine.size() * sizeof(EdgeId), s.size());
+  }
   // Fault-free: a world gather to rank 0. Under a FaultPlan, the gather
   // group is the surviving ranks and the root is the lowest one (crashed
   // ranks returned early and cannot participate).
@@ -947,7 +1058,7 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
   if (me == collect_root) {
     for (int i = 0; i < live_group.size(); ++i) {
       sim::Deserializer d(gathered[static_cast<std::size_t>(i)]);
-      auto edges = d.get_vector<EdgeId>();
+      auto edges = d.get_id_vector<EdgeId>();
       result.forest_edges.insert(result.forest_edges.end(), edges.begin(),
                                  edges.end());
     }
@@ -963,6 +1074,8 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
   if (comm.metrics_enabled()) {
     obs::MetricsRegistry& m = comm.metrics();
     m.set_gauge("hypar.gpu_share", gpu_share);
+    m.set_gauge("hypar.wire_compact",
+                wire == sim::WireFormat::kCompact ? 1.0 : 0.0);
     m.add_counter("hypar.ghost_edges", result.trace.ghost_edges);
     m.add_counter("hypar.boundary_vertices", result.trace.boundary_vertices);
     m.add_counter(

@@ -73,6 +73,14 @@ struct EngineOptions {
 
   std::size_t ghost_phase_entries = 8192;
 
+  /// Wire encoding for every transport payload (ring segments, gathers,
+  /// checkpoints, ghost/parent id exchanges): kCompact delta/varint-packs
+  /// payloads (DESIGN.md §5d), kRaw ships fixed-width fields. kDefault
+  /// resolves through MND_WIRE, else compact. The final forest is
+  /// byte-identical in both modes; only message bytes (and hence LogGP
+  /// virtual times) differ.
+  sim::WireFormat wire = sim::WireFormat::kDefault;
+
   /// Shared-memory threads for the per-rank hot paths (pass-1 scans, run
   /// compaction, multi-edge removal, partitioning). 0 resolves to
   /// util default_thread_count() (MND_THREADS, else hardware

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
 
@@ -53,10 +54,13 @@ GhostList build_ghost_list(const graph::Csr& g, const Partition1D& part,
 
 std::size_t exchange_boundary_vertices(sim::Communicator& comm,
                                        const GhostList& mine,
-                                       std::size_t phase_entries) {
+                                       std::size_t phase_entries,
+                                       sim::WireFormat fmt) {
   MND_CHECK(phase_entries > 0);
   const int p = comm.size();
   const int me = comm.rank();
+  std::uint64_t bytes_raw = 0;
+  std::uint64_t bytes_wire = 0;
 
   // Distinct boundary vertices per neighbor, ascending for determinism.
   std::vector<std::vector<graph::VertexId>> outgoing(
@@ -97,9 +101,13 @@ std::size_t exchange_boundary_vertices(sim::Communicator& comm,
     for (std::size_t at = 0; at < verts.size(); at += phase_entries) {
       const std::size_t take = std::min(phase_entries, verts.size() - at);
       sim::Serializer s;
-      std::vector<graph::VertexId> chunk(verts.begin() + at,
-                                         verts.begin() + at + take);
-      s.put_vector(chunk);
+      std::vector<graph::VertexId> chunk(
+          verts.begin() + static_cast<std::ptrdiff_t>(at),
+          verts.begin() + static_cast<std::ptrdiff_t>(at + take));
+      s.put_id_vector(chunk, fmt);
+      bytes_raw += 1 + sizeof(std::uint64_t) +
+                   chunk.size() * sizeof(graph::VertexId);
+      bytes_wire += s.size();
       comm.send(r, kBoundaryTag, s.take());
       ++chunks_sent;
     }
@@ -116,7 +124,7 @@ std::size_t exchange_boundary_vertices(sim::Communicator& comm,
     while (got < expect) {
       const auto payload = comm.recv(r, kBoundaryTag);
       sim::Deserializer d(payload);
-      const auto verts = d.get_vector<graph::VertexId>();
+      const auto verts = d.get_id_vector<graph::VertexId>();
       got += verts.size();
       learned += verts.size();
       ++chunks_received;
@@ -127,6 +135,9 @@ std::size_t exchange_boundary_vertices(sim::Communicator& comm,
   xchg_span.note("chunks_received",
                  static_cast<std::uint64_t>(chunks_received));
   xchg_span.note("entries_learned", static_cast<std::uint64_t>(learned));
+  if (comm.metrics_enabled()) {
+    obs::record_wire_bytes(comm.metrics(), "ghost", bytes_raw, bytes_wire);
+  }
   return learned;
 }
 

@@ -54,10 +54,13 @@ GhostList build_ghost_list(const graph::Csr& g, const Partition1D& part,
 /// "makeGhostInformation": ranks exchange their boundary-vertex lists with
 /// each neighbor so both sides can index each other's ghosts. Messages are
 /// chunked into phases of `phase_entries` vertices (the paper communicates
-/// boundary vertices "in multiple phases"). Returns the number of remote
-/// boundary vertices learned. Collective over all ranks.
-std::size_t exchange_boundary_vertices(sim::Communicator& comm,
-                                       const GhostList& mine,
-                                       std::size_t phase_entries = 8192);
+/// boundary vertices "in multiple phases"). Chunks are sorted ascending,
+/// so the compact wire framing delta/varint-packs them (`fmt` must be
+/// resolved). Returns the number of remote boundary vertices learned.
+/// Collective over all ranks.
+std::size_t exchange_boundary_vertices(
+    sim::Communicator& comm, const GhostList& mine,
+    std::size_t phase_entries = 8192,
+    sim::WireFormat fmt = sim::WireFormat::kRaw);
 
 }  // namespace mnd::hypar

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mnd::mst {
 
@@ -147,43 +148,153 @@ void CompGraph::recharge(std::size_t new_bytes) {
 
 // --- Serialization -----------------------------------------------------------
 
-void serialize_components(const std::vector<Component>& comps,
-                          sim::Serializer* s) {
-  s->put<std::uint64_t>(comps.size());
-  for (const auto& c : comps) {
-    s->put<VertexId>(c.id);
-    s->put<std::uint32_t>(c.vertex_count);
-    s->put_vector(c.absorbed);
-    // Entries before scan_head are known self edges; they never ship.
-    s->put<std::uint64_t>(c.edges.size() - c.scan_head);
-    for (std::size_t i = c.scan_head; i < c.edges.size(); ++i) {
-      const CEdge& e = c.edges[i];
-      s->put<VertexId>(e.to);
-      s->put<Weight>(e.w);
-      s->put<EdgeId>(e.orig);
-    }
+namespace {
+
+/// Live edges of `c` sorted ascending by `to` (ties by (w, orig)), the
+/// order the compact framing delta-encodes. Engine traffic is pruned
+/// first, so `to` values are unique there; the codec itself tolerates
+/// duplicates (zero deltas).
+std::vector<CEdge> edges_by_destination(const Component& c) {
+  std::vector<CEdge> live(c.edges.begin() +
+                              static_cast<std::ptrdiff_t>(c.scan_head),
+                          c.edges.end());
+  std::sort(live.begin(), live.end(), [](const CEdge& a, const CEdge& b) {
+    if (a.to != b.to) return a.to < b.to;
+    return graph::edge_less(a, b);
+  });
+  return live;
+}
+
+void serialize_component_raw(const Component& c, sim::Serializer* s) {
+  s->put<VertexId>(c.id);
+  s->put<std::uint32_t>(c.vertex_count);
+  s->put_vector(c.absorbed);
+  // Entries before scan_head are known self edges; they never ship.
+  s->put<std::uint64_t>(c.edges.size() - c.scan_head);
+  for (std::size_t i = c.scan_head; i < c.edges.size(); ++i) {
+    const CEdge& e = c.edges[i];
+    s->put<VertexId>(e.to);
+    s->put<Weight>(e.w);
+    s->put<EdgeId>(e.orig);
   }
+}
+
+void serialize_component_compact(const Component& c, sim::Serializer* s) {
+  s->put_varint(c.id);
+  s->put_varint(c.vertex_count);
+  // Absorbed ids keep their stored order (it is part of deterministic
+  // replay of checkpoints), so deltas may go backwards: zigzag them.
+  s->put_varint(c.absorbed.size());
+  std::int64_t prev = 0;
+  for (const VertexId a : c.absorbed) {
+    s->put_varint_signed(static_cast<std::int64_t>(a) - prev);
+    prev = static_cast<std::int64_t>(a);
+  }
+  const std::vector<CEdge> live = edges_by_destination(c);
+  s->put_varint(live.size());
+  VertexId prev_to = 0;
+  for (const CEdge& e : live) {
+    s->put_varint(e.to - prev_to);  // ascending: plain non-negative delta
+    prev_to = e.to;
+    s->put_varint(e.w);
+    s->put_varint(e.orig);
+  }
+}
+
+Component deserialize_component_raw(sim::Deserializer* d) {
+  Component c;
+  c.id = d->get<VertexId>();
+  c.vertex_count = d->get<std::uint32_t>();
+  c.absorbed = d->get_vector<VertexId>();
+  const auto edge_count = d->get<std::uint64_t>();
+  c.edges.reserve(edge_count);
+  for (std::uint64_t j = 0; j < edge_count; ++j) {
+    CEdge e;
+    e.to = d->get<VertexId>();
+    e.w = d->get<Weight>();
+    e.orig = d->get<EdgeId>();
+    c.edges.push_back(e);
+  }
+  return c;
+}
+
+Component deserialize_component_compact(sim::Deserializer* d) {
+  Component c;
+  c.id = static_cast<VertexId>(d->get_varint());
+  c.vertex_count = static_cast<std::uint32_t>(d->get_varint());
+  const std::uint64_t absorbed_count = d->get_varint();
+  MND_CHECK_MSG(absorbed_count <= d->remaining(), "absorbed list overrun");
+  c.absorbed.reserve(absorbed_count);
+  std::int64_t prev = 0;
+  for (std::uint64_t j = 0; j < absorbed_count; ++j) {
+    prev += d->get_varint_signed();
+    c.absorbed.push_back(static_cast<VertexId>(prev));
+  }
+  const std::uint64_t edge_count = d->get_varint();
+  MND_CHECK_MSG(edge_count <= d->remaining(), "edge list overrun");
+  c.edges.reserve(edge_count);
+  VertexId prev_to = 0;
+  for (std::uint64_t j = 0; j < edge_count; ++j) {
+    CEdge e;
+    e.to = prev_to + static_cast<VertexId>(d->get_varint());
+    prev_to = e.to;
+    e.w = static_cast<Weight>(d->get_varint());
+    e.orig = d->get_varint();
+    c.edges.push_back(e);
+  }
+  // The wire order is by destination; restore the (w, orig) edge-order
+  // invariant. The extra `to` tie-break keeps the sort deterministic even
+  // for unpruned bundles that still hold same-(w, orig) self-edge copies.
+  std::sort(c.edges.begin(), c.edges.end(), [](const CEdge& a,
+                                               const CEdge& b) {
+    if (graph::edge_less(a, b)) return true;
+    if (graph::edge_less(b, a)) return false;
+    return a.to < b.to;
+  });
+  return c;
+}
+
+}  // namespace
+
+void serialize_components(const std::vector<Component>& comps,
+                          sim::Serializer* s, sim::WireFormat fmt) {
+  MND_CHECK_MSG(fmt != sim::WireFormat::kDefault,
+                "wire format must be resolved before serialization");
+  // Reserve ahead: the raw size is cheap to compute exactly and bounds
+  // the compact size for all realistic id ranges.
+  std::size_t raw_total = wire_header_bytes(comps.size(), sim::WireFormat::kRaw);
+  for (const auto& c : comps) raw_total += wire_bytes(c);
+  s->reserve(raw_total);
+  if (fmt == sim::WireFormat::kRaw) {
+    s->put<std::uint8_t>(sim::kWireMagicRaw);
+    s->put<std::uint64_t>(comps.size());
+    for (const auto& c : comps) serialize_component_raw(c, s);
+    return;
+  }
+  s->put<std::uint8_t>(sim::kWireMagicCompact);
+  s->put_varint(comps.size());
+  for (const auto& c : comps) serialize_component_compact(c, s);
 }
 
 ComponentBundle deserialize_components(sim::Deserializer* d) {
   ComponentBundle out;
-  const auto comp_count = d->get<std::uint64_t>();
+  const auto magic = d->get<std::uint8_t>();
+  if (magic == sim::kWireMagicRaw) {
+    const auto comp_count = d->get<std::uint64_t>();
+    out.comps.reserve(comp_count);
+    for (std::uint64_t i = 0; i < comp_count; ++i) {
+      out.comps.push_back(deserialize_component_raw(d));
+    }
+    return out;
+  }
+  MND_CHECK_MSG(magic == sim::kWireMagicCompact,
+                "unknown component bundle framing byte "
+                    << static_cast<unsigned>(magic));
+  const std::uint64_t comp_count = d->get_varint();
+  MND_CHECK_MSG(comp_count <= d->remaining() + 1, "component bundle overrun");
   out.comps.reserve(comp_count);
   for (std::uint64_t i = 0; i < comp_count; ++i) {
-    Component c;
-    c.id = d->get<VertexId>();
-    c.vertex_count = d->get<std::uint32_t>();
-    c.absorbed = d->get_vector<VertexId>();
-    const auto edge_count = d->get<std::uint64_t>();
-    c.edges.reserve(edge_count);
-    for (std::uint64_t j = 0; j < edge_count; ++j) {
-      CEdge e;
-      e.to = d->get<VertexId>();
-      e.w = d->get<Weight>();
-      e.orig = d->get<EdgeId>();
-      c.edges.push_back(e);
-    }
-    out.comps.push_back(std::move(c));
+    out.comps.push_back(deserialize_component_compact(d));
   }
   return out;
 }
@@ -202,6 +313,129 @@ std::size_t wire_bytes(const Component& c) {
          c.absorbed.size() * sizeof(VertexId) +
          (c.edges.size() - c.scan_head) *
              (sizeof(VertexId) + sizeof(Weight) + sizeof(EdgeId));
+}
+
+std::size_t wire_bytes(const Component& c, sim::WireFormat fmt) {
+  MND_CHECK_MSG(fmt != sim::WireFormat::kDefault,
+                "wire format must be resolved before sizing");
+  if (fmt == sim::WireFormat::kRaw) return wire_bytes(c);
+  std::size_t total = sim::varint_size(c.id) +
+                      sim::varint_size(c.vertex_count) +
+                      sim::varint_size(c.absorbed.size());
+  std::int64_t prev = 0;
+  for (const VertexId a : c.absorbed) {
+    total += sim::varint_size(
+        sim::zigzag_encode(static_cast<std::int64_t>(a) - prev));
+    prev = static_cast<std::int64_t>(a);
+  }
+  const std::size_t live = c.edges.size() - c.scan_head;
+  total += sim::varint_size(live);
+  // Destination deltas need the codec's by-`to` order; sorting just the
+  // endpoint ids is cheaper than sorting whole CEdges for a size probe.
+  std::vector<VertexId> tos;
+  tos.reserve(live);
+  for (std::size_t i = c.scan_head; i < c.edges.size(); ++i) {
+    tos.push_back(c.edges[i].to);
+    total += sim::varint_size(c.edges[i].w) +
+             sim::varint_size(c.edges[i].orig);
+  }
+  std::sort(tos.begin(), tos.end());
+  VertexId prev_to = 0;
+  for (const VertexId to : tos) {
+    total += sim::varint_size(to - prev_to);
+    prev_to = to;
+  }
+  return total;
+}
+
+std::size_t wire_header_bytes(std::size_t comp_count, sim::WireFormat fmt) {
+  MND_CHECK_MSG(fmt != sim::WireFormat::kDefault,
+                "wire format must be resolved before sizing");
+  if (fmt == sim::WireFormat::kRaw) return 1 + sizeof(std::uint64_t);
+  return 1 + sim::varint_size(comp_count);
+}
+
+// --- Sender-side multi-edge pruning ----------------------------------------
+
+namespace {
+
+/// Below this many total live edges the pool dispatch costs more than the
+/// serial scan (mirrors local_boruvka's kParallelEdgeGrain).
+constexpr std::size_t kPruneParallelGrain = 4096;
+
+/// Serial per-component prune body. Mirrors clean_edges_readonly in
+/// local_boruvka.cpp: read-only rename lookups, (w, orig)-lightest edge
+/// kept per resolved destination, (w, orig) sort restored.
+std::size_t prune_component(Component& c, const RenameMap& renames) {
+  const VertexId self = renames.lookup(c.id);
+  const std::size_t live = c.edges.size() - c.scan_head;
+  mnd::FlatHashMap<VertexId, CEdge> best(live);
+  for (std::size_t i = c.scan_head; i < c.edges.size(); ++i) {
+    const CEdge& e = c.edges[i];
+    const VertexId target = renames.lookup(e.to);
+    if (target == self) continue;
+    CEdge resolved{target, e.w, e.orig};
+    CEdge& slot = best[target];
+    if (slot.orig == graph::kInvalidEdge || graph::edge_less(resolved, slot)) {
+      slot = resolved;
+    }
+  }
+  c.edges.clear();
+  c.edges.reserve(best.size());
+  best.for_each([&](const VertexId&, const CEdge& e) { c.edges.push_back(e); });
+  // Deterministic despite hash iteration order: (w, orig) keys are unique
+  // among survivors (parallel copies of one orig edge resolve to the same
+  // destination, so at most one survives).
+  std::sort(c.edges.begin(), c.edges.end(), graph::EdgeLess{});
+  c.scan_head = 0;
+  c.last_clean_size = c.edges.size();
+  return live;
+}
+
+bool prune_skippable(const Component& c) {
+  return c.scan_head == 0 && c.edges.size() == c.last_clean_size;
+}
+
+}  // namespace
+
+PruneStats prune_for_wire(std::vector<Component>& comps,
+                          const RenameMap& renames, std::size_t threads) {
+  PruneStats stats;
+  std::size_t before = 0;
+  std::vector<std::size_t> dirty;
+  for (std::size_t i = 0; i < comps.size(); ++i) {
+    if (prune_skippable(comps[i])) continue;
+    before += comps[i].edges.size() - comps[i].scan_head;
+    dirty.push_back(i);
+  }
+  stats.edges_scanned = before;
+  if (dirty.empty()) return stats;
+
+  if (threads > 1 && before >= kPruneParallelGrain && dirty.size() >= 2) {
+    // Component-parallel, chunks balanced by live-edge mass; rename
+    // lookups are read-only inside the region.
+    std::vector<std::size_t> weights(dirty.size());
+    for (std::size_t i = 0; i < dirty.size(); ++i) {
+      const Component& c = comps[dirty[i]];
+      weights[i] = c.edges.size() - c.scan_head;
+    }
+    const std::size_t parts = ThreadPool::chunk_count(dirty.size(), threads);
+    const auto bounds = balanced_chunk_bounds(weights, parts);
+    global_pool().parallel_chunks(
+        0, parts, parts, [&](std::size_t, std::size_t lo, std::size_t hi) {
+          for (std::size_t p = lo; p < hi; ++p) {
+            for (std::size_t i = bounds[p]; i < bounds[p + 1]; ++i) {
+              prune_component(comps[dirty[i]], renames);
+            }
+          }
+        });
+  } else {
+    for (const std::size_t i : dirty) prune_component(comps[i], renames);
+  }
+  std::size_t after = 0;
+  for (const std::size_t i : dirty) after += comps[i].edges.size();
+  stats.edges_removed = before - after;
+  return stats;
 }
 
 }  // namespace mnd::mst

@@ -175,12 +175,23 @@ class CompGraph {
 };
 
 // --- Serialization for shipping components between ranks -------------------
+//
+// Bundles are framed with the shared wire magic (sim::WireFormat): `raw`
+// ships fixed-width {VertexId, Weight, EdgeId} triples (the pre-codec
+// layout), `compact` delta-encodes per-component edges sorted by `to` and
+// packs every id/count/weight/orig as a LEB128 varint. Decoders dispatch
+// on the magic, so the two framings interoperate and unknown frames are
+// rejected. Full layout spec: DESIGN.md §5d.
 
 /// Packs components with their adjacency and absorbed-id lists. The
 /// absorbed lists carry the merge history, so ownership transfer keeps the
 /// rename-completeness INVARIANT without shipping whole rename maps.
+/// `fmt` must be resolved (not kDefault). Compact receivers re-sort the
+/// decoded adjacency, restoring the (w, orig) edge-order invariant, so
+/// both framings deliver identical Component content.
 void serialize_components(const std::vector<Component>& comps,
-                          sim::Serializer* s);
+                          sim::Serializer* s,
+                          sim::WireFormat fmt = sim::WireFormat::kRaw);
 
 struct ComponentBundle {
   std::vector<Component> comps;
@@ -188,10 +199,39 @@ struct ComponentBundle {
 
 ComponentBundle deserialize_components(sim::Deserializer* d);
 
-/// Byte footprint of shipping one component (used for segment budgeting).
+/// Exact encoded payload bytes of one component under `fmt`, excluding
+/// the per-bundle header (used for segment budgeting in encoded bytes).
+/// The one-argument overload is the raw size.
 std::size_t wire_bytes(const Component& c);
+std::size_t wire_bytes(const Component& c, sim::WireFormat fmt);
+
+/// Exact bundle header bytes (framing magic + component count) for a
+/// bundle of `comp_count` components under `fmt`.
+std::size_t wire_header_bytes(std::size_t comp_count, sim::WireFormat fmt);
 
 /// True when c.edges satisfies the (w, orig) sort invariant.
 bool edges_sorted(const Component& c);
+
+// --- Sender-side multi-edge pruning ----------------------------------------
+
+struct PruneStats {
+  std::size_t edges_scanned = 0;  // live edges of the components scanned
+  std::size_t edges_removed = 0;  // self + multi edges dropped
+};
+
+/// The paper's multi-edge removal hoisted to the sender (§3.3): before a
+/// segment, gather, or checkpoint payload is serialized, each component's
+/// live adjacency is reduced to the single (w, orig)-lightest edge per
+/// destination component, with far endpoints resolved through `renames`
+/// and self edges dropped. Keeps the strict total order's unique survivor
+/// per destination — exactly the edge the receiver's own reduction would
+/// keep — so the final forest is unchanged; only payload bytes shrink.
+/// Components whose adjacency is unchanged since their last clean pass
+/// (scan_head == 0 and edges.size() == last_clean_size) are skipped — the
+/// amortization the engine's reduce_all already maintains. Runs
+/// component-parallel on the shared pool when `threads` > 1; results are
+/// byte-identical for every thread count.
+PruneStats prune_for_wire(std::vector<Component>& comps,
+                          const RenameMap& renames, std::size_t threads = 1);
 
 }  // namespace mnd::mst

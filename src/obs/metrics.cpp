@@ -56,4 +56,12 @@ void MetricsRegistry::merge(const MetricsRegistry& other) {
   }
 }
 
+void record_wire_bytes(MetricsRegistry& m, const std::string& phase,
+                       std::uint64_t raw, std::uint64_t wire) {
+  m.add_counter("comm.bytes_raw", raw);
+  m.add_counter("comm.bytes_wire", wire);
+  m.add_counter("comm." + phase + ".bytes_raw", raw);
+  m.add_counter("comm." + phase + ".bytes_wire", wire);
+}
+
 }  // namespace mnd::obs

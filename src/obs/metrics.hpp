@@ -58,4 +58,14 @@ class MetricsRegistry {
   std::map<std::string, StatAccumulator> histograms_;
 };
 
+/// Records a transport payload's size under both accountings: `raw` is
+/// what the pre-codec fixed-width layout would have shipped, `wire` the
+/// bytes actually sent (post sender-side pruning + wire codec). Bumps the
+/// run-wide "comm.bytes_raw"/"comm.bytes_wire" counters plus the
+/// per-phase "comm.<phase>.bytes_raw"/"comm.<phase>.bytes_wire" pair, so
+/// the compression ratio is observable per phase (ring, gather,
+/// checkpoint, result, ghost, parents).
+void record_wire_bytes(MetricsRegistry& m, const std::string& phase,
+                       std::uint64_t raw, std::uint64_t wire);
+
 }  // namespace mnd::obs

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <type_traits>
@@ -17,6 +18,72 @@
 namespace mnd::sim {
 
 using Tag = std::uint32_t;
+
+// --- Wire framing ------------------------------------------------------------
+//
+// Transport payloads that carry id sequences or component bundles are
+// framed with a one-byte magic so `raw` (fixed-width, the pre-codec
+// layout) and `compact` (delta + LEB128 varint) encodings interoperate:
+// decoders dispatch on the magic and reject frames they do not recognize
+// instead of silently misparsing them. See DESIGN.md §5d.
+
+/// Encoding selector for framed payloads. kDefault resolves through
+/// MND_WIRE (else kCompact) at engine start; the serialization helpers
+/// themselves require a resolved value.
+enum class WireFormat : std::uint8_t { kDefault = 0, kRaw, kCompact };
+
+inline constexpr std::uint8_t kWireMagicRaw = 0xA7;
+inline constexpr std::uint8_t kWireMagicCompact = 0xC3;
+
+/// MND_WIRE=raw|compact; unset or empty means kCompact. Any other value
+/// is a configuration error and throws CheckFailure.
+inline WireFormat wire_format_from_env() {
+  const char* env = std::getenv("MND_WIRE");
+  if (env == nullptr || *env == '\0') return WireFormat::kCompact;
+  const std::string v(env);
+  if (v == "raw") return WireFormat::kRaw;
+  if (v == "compact") return WireFormat::kCompact;
+  MND_CHECK_MSG(false, "MND_WIRE must be 'raw' or 'compact', got '" << v
+                                                                    << "'");
+  return WireFormat::kCompact;  // unreachable
+}
+
+inline WireFormat resolve_wire(WireFormat f) {
+  return f == WireFormat::kDefault ? wire_format_from_env() : f;
+}
+
+inline const char* wire_name(WireFormat f) {
+  switch (f) {
+    case WireFormat::kRaw:
+      return "raw";
+    case WireFormat::kCompact:
+      return "compact";
+    default:
+      return "default";
+  }
+}
+
+/// Encoded size of v as a LEB128 varint (1..10 bytes).
+constexpr std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+/// Zigzag maps small-magnitude signed values to small unsigned ones, so
+/// deltas of nearly-sorted (or interleaved) id sequences stay short.
+constexpr std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+constexpr std::int64_t zigzag_decode(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
 
 struct Message {
   int src = -1;
@@ -61,6 +128,49 @@ class Serializer {
   void put_string(const std::string& s) {
     put<std::uint64_t>(s.size());
     bytes_.insert(bytes_.end(), s.begin(), s.end());
+  }
+
+  /// Pre-sizes the buffer for `additional` more bytes. Callers that know
+  /// payload sizes up front (the component codec, id-vector framing) call
+  /// this once instead of growing through repeated resize reallocations.
+  void reserve(std::size_t additional) {
+    bytes_.reserve(bytes_.size() + additional);
+  }
+
+  /// LEB128: 7 value bits per byte, high bit = continuation.
+  void put_varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      bytes_.push_back(static_cast<std::uint8_t>(v) | 0x80u);
+      v >>= 7;
+    }
+    bytes_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void put_varint_signed(std::int64_t v) { put_varint(zigzag_encode(v)); }
+
+  /// Frames an integral id sequence: one magic byte, then either the raw
+  /// fixed-width layout or varint count + zigzag-delta varints. The delta
+  /// chain preserves the exact input order (sorted inputs give tiny
+  /// deltas; unsorted ones stay correct, just less compact).
+  template <typename T>
+  void put_id_vector(const std::vector<T>& values, WireFormat fmt) {
+    static_assert(std::is_integral_v<T>);
+    MND_CHECK_MSG(fmt != WireFormat::kDefault,
+                  "wire format must be resolved before serialization");
+    if (fmt == WireFormat::kRaw) {
+      put<std::uint8_t>(kWireMagicRaw);
+      put_vector(values);
+      return;
+    }
+    put<std::uint8_t>(kWireMagicCompact);
+    put_varint(values.size());
+    reserve(values.size() * 2);  // sorted-delta common case
+    std::int64_t prev = 0;
+    for (const T v : values) {
+      const auto cur = static_cast<std::int64_t>(v);
+      put_varint_signed(cur - prev);
+      prev = cur;
+    }
   }
 
   std::vector<std::uint8_t> take() { return std::move(bytes_); }
@@ -108,6 +218,45 @@ class Deserializer {
     std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), count);
     pos_ += count;
     return s;
+  }
+
+  std::uint64_t get_varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      MND_CHECK_MSG(pos_ < bytes_.size(), "varint overrun at " << pos_);
+      const std::uint8_t b = bytes_[pos_++];
+      MND_CHECK_MSG(shift < 64, "varint wider than 64 bits");
+      v |= static_cast<std::uint64_t>(b & 0x7Fu) << shift;
+      if ((b & 0x80u) == 0) return v;
+      shift += 7;
+    }
+  }
+
+  std::int64_t get_varint_signed() { return zigzag_decode(get_varint()); }
+
+  /// Counterpart of Serializer::put_id_vector: dispatches on the framing
+  /// magic and rejects frames encoded by neither framing.
+  template <typename T>
+  std::vector<T> get_id_vector() {
+    static_assert(std::is_integral_v<T>);
+    const auto magic = get<std::uint8_t>();
+    if (magic == kWireMagicRaw) return get_vector<T>();
+    MND_CHECK_MSG(magic == kWireMagicCompact,
+                  "unknown wire framing byte 0x" << std::hex
+                                                 << unsigned{magic});
+    const std::uint64_t count = get_varint();
+    // Every compact entry takes at least one byte: a count past the
+    // remaining payload is a framing error, not an allocation request.
+    MND_CHECK_MSG(count <= remaining(), "id vector overrun");
+    std::vector<T> values;
+    values.reserve(count);
+    std::int64_t prev = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      prev += get_varint_signed();
+      values.push_back(static_cast<T>(prev));
+    }
+    return values;
   }
 
   bool exhausted() const { return pos_ == bytes_.size(); }

@@ -166,13 +166,48 @@ TEST(CompSerializationTest, RoundTrip) {
   EXPECT_TRUE(d.exhausted());
 }
 
+TEST(CompSerializationTest, CompactRoundTripRestoresStrictOrder) {
+  Component a = make_comp(3, {CEdge{9, 4, 7}, CEdge{11, 2, 8}});
+  a.vertex_count = 4;
+  a.absorbed = {6, 1, 2};  // stored order must survive, not get sorted
+  Component b = make_comp(12);
+  sim::Serializer s;
+  serialize_components({a, b}, &s, sim::WireFormat::kCompact);
+  const auto bytes = s.take();
+  sim::Deserializer d(bytes);
+  const ComponentBundle bundle = deserialize_components(&d);
+  ASSERT_EQ(bundle.comps.size(), 2u);
+  EXPECT_EQ(bundle.comps[0].id, 3u);
+  EXPECT_EQ(bundle.comps[0].vertex_count, 4u);
+  EXPECT_EQ(bundle.comps[0].absorbed, (std::vector<VertexId>{6, 1, 2}));
+  ASSERT_EQ(bundle.comps[0].edges.size(), 2u);
+  // Decoder re-sorts into the strict (w, orig) order: {11,2,8} first.
+  EXPECT_EQ(bundle.comps[0].edges[0].to, 11u);
+  EXPECT_EQ(bundle.comps[0].edges[0].orig, 8u);
+  EXPECT_EQ(bundle.comps[0].edges[1].to, 9u);
+  EXPECT_EQ(bundle.comps[1].id, 12u);
+  EXPECT_TRUE(d.exhausted());
+}
+
+TEST(CompSerializationTest, CrossFramingRejected) {
+  Component a = make_comp(3, {CEdge{9, 4, 7}});
+  sim::Serializer s;
+  serialize_components({a}, &s, sim::WireFormat::kCompact);
+  auto bytes = s.take();
+  bytes[0] = 0x55;  // neither framing magic
+  sim::Deserializer d(bytes);
+  EXPECT_THROW(deserialize_components(&d), mnd::CheckFailure);
+}
+
 TEST(CompSerializationTest, WireBytesMatchesSerializedSize) {
   Component a = make_comp(3, {CEdge{9, 4, 7}});
   a.absorbed = {1, 2};
-  sim::Serializer s;
-  serialize_components({a}, &s);
-  // Total = 8-byte count header + per-component wire bytes.
-  EXPECT_EQ(s.size(), sizeof(std::uint64_t) + wire_bytes(a));
+  for (const auto fmt : {sim::WireFormat::kRaw, sim::WireFormat::kCompact}) {
+    sim::Serializer s;
+    serialize_components({a}, &s, fmt);
+    // Total = framing header + per-component wire bytes, both exact.
+    EXPECT_EQ(s.size(), wire_header_bytes(1, fmt) + wire_bytes(a, fmt));
+  }
 }
 
 TEST(CompSerializationTest, EmptyBundle) {

@@ -223,6 +223,51 @@ TEST(FuzzDifferential, FaultInjectedRunsMatchFaultFreeAcrossSweep) {
   }
 }
 
+TEST(FuzzDifferential, WireModesProduceByteIdenticalForests) {
+  // Wire-codec slice: the compact framing + sender-side pruning must be
+  // invisible to the algorithm. A slice of the grid runs under
+  // --wire=raw and --wire=compact, crossed with thread counts and a
+  // lossy fault plan; every run must produce the exact same forest.
+  std::size_t slice = 0;
+  for (const FuzzConfig& c : sweep_grid()) {
+    if (slice++ % 11 != 0) continue;  // 14 configs
+    SCOPED_TRACE(describe(c));
+    const graph::EdgeList el = make_graph(c);
+    mst::MndMstOptions opts;
+    opts.num_nodes = c.ranks;
+    opts.validate = true;
+    opts.engine.use_gpu = c.gpu;
+    if (c.gpu) opts.engine.gpu_min_edges = 0;
+
+    opts.engine.wire = sim::WireFormat::kRaw;
+    const mst::MndMstReport raw = mst::run_mnd_mst(el, opts);
+    EXPECT_TRUE(raw.validation.ok());
+
+    opts.engine.wire = sim::WireFormat::kCompact;
+    const mst::MndMstReport compact = mst::run_mnd_mst(el, opts);
+    EXPECT_TRUE(compact.validation.ok());
+    EXPECT_EQ(compact.forest.edges, raw.forest.edges)
+        << "wire mode changed the forest";
+    // Virtual time may only improve: compact ships fewer bytes through
+    // the same LogGP model.
+    EXPECT_LE(compact.total_seconds, raw.total_seconds);
+
+    opts.threads = 4;
+    const mst::MndMstReport threaded = mst::run_mnd_mst(el, opts);
+    EXPECT_EQ(threaded.forest.edges, raw.forest.edges)
+        << "threads x compact wire changed the forest";
+    EXPECT_EQ(threaded.total_seconds, compact.total_seconds)
+        << "threads changed compact-wire virtual time";
+    opts.threads = 0;
+
+    opts.faults = sim::FaultPlan::parse("seed=31,drop=0.05,dup=0.05");
+    const mst::MndMstReport faulty = mst::run_mnd_mst(el, opts);
+    EXPECT_EQ(faulty.forest.edges, raw.forest.edges)
+        << "faults x compact wire changed the forest";
+    opts.faults = sim::FaultPlan{};
+  }
+}
+
 TEST(FuzzDifferential, ValidatorsCleanOnUnmutatedEngine) {
   // Control for the negative test: identical sweep, no fault injected.
   for (std::uint64_t seed : {21u, 22u, 23u, 24u}) {

@@ -1,0 +1,382 @@
+// Property tests for the compact wire codec (DESIGN.md §5d): LEB128
+// varints at the 7-bit boundaries, zigzag deltas, framed id vectors,
+// the dual-format component codec, cross-framing rejection, and
+// sender-side multi-edge pruning.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+#include "mst/comp_graph.hpp"
+#include "simcluster/message.hpp"
+#include "util/check.hpp"
+
+namespace mnd {
+namespace {
+
+using graph::EdgeId;
+using graph::VertexId;
+using graph::Weight;
+using mst::CEdge;
+using mst::Component;
+
+// ---- varint primitives -------------------------------------------------------
+
+TEST(VarintTest, BoundaryValuesRoundTrip) {
+  std::vector<std::uint64_t> values = {0, 1,
+                                       std::numeric_limits<std::uint64_t>::max()};
+  for (int k = 1; k <= 9; ++k) {
+    const std::uint64_t edge = 1ull << (7 * k);
+    values.push_back(edge - 1);  // last value that fits in k bytes
+    values.push_back(edge);      // first value needing k+1 bytes
+    values.push_back(edge + 1);
+  }
+  for (const std::uint64_t v : values) {
+    sim::Serializer s;
+    s.put_varint(v);
+    EXPECT_EQ(s.size(), sim::varint_size(v)) << "value " << v;
+    const auto bytes = s.take();
+    sim::Deserializer d(bytes);
+    EXPECT_EQ(d.get_varint(), v);
+    EXPECT_TRUE(d.exhausted());
+  }
+}
+
+TEST(VarintTest, BoundaryByteWidths) {
+  EXPECT_EQ(sim::varint_size(0x7F), 1u);
+  EXPECT_EQ(sim::varint_size(0x80), 2u);
+  EXPECT_EQ(sim::varint_size(0x3FFF), 2u);
+  EXPECT_EQ(sim::varint_size(0x4000), 3u);
+  EXPECT_EQ(sim::varint_size(std::numeric_limits<std::uint64_t>::max()), 10u);
+}
+
+TEST(VarintTest, SignedZigzagRoundTrip) {
+  const std::vector<std::int64_t> values = {
+      0,  1,  -1, 63, -64, 64, -65,
+      std::numeric_limits<std::int64_t>::max(),
+      std::numeric_limits<std::int64_t>::min()};
+  for (const std::int64_t v : values) {
+    EXPECT_EQ(sim::zigzag_decode(sim::zigzag_encode(v)), v) << "value " << v;
+    sim::Serializer s;
+    s.put_varint_signed(v);
+    const auto bytes = s.take();
+    sim::Deserializer d(bytes);
+    EXPECT_EQ(d.get_varint_signed(), v);
+  }
+  // Small magnitudes stay small on the wire (the point of zigzag).
+  EXPECT_EQ(sim::varint_size(sim::zigzag_encode(-1)), 1u);
+  EXPECT_EQ(sim::varint_size(sim::zigzag_encode(-64)), 1u);
+  EXPECT_EQ(sim::varint_size(sim::zigzag_encode(64)), 2u);
+}
+
+TEST(VarintTest, TruncatedVarintRejected) {
+  sim::Serializer s;
+  s.put_varint(1ull << 40);
+  auto bytes = s.take();
+  bytes.pop_back();  // drop the terminating byte
+  sim::Deserializer d(bytes);
+  EXPECT_THROW(d.get_varint(), CheckFailure);
+}
+
+// ---- framed id vectors -------------------------------------------------------
+
+TEST(IdVectorTest, RoundTripBothFormats) {
+  const std::vector<std::vector<VertexId>> cases = {
+      {},
+      {0},
+      {std::numeric_limits<VertexId>::max()},
+      {1, 2, 3, 1000, 1001, 4'000'000'000u},  // sorted, tiny + huge deltas
+      {9, 3, 7, 1, 4'000'000'000u, 2},        // unsorted: backward deltas
+  };
+  for (const auto fmt : {sim::WireFormat::kRaw, sim::WireFormat::kCompact}) {
+    for (const auto& input : cases) {
+      sim::Serializer s;
+      s.put_id_vector(input, fmt);
+      const auto bytes = s.take();
+      sim::Deserializer d(bytes);
+      EXPECT_EQ(d.get_id_vector<VertexId>(), input);
+      EXPECT_TRUE(d.exhausted());
+    }
+  }
+}
+
+TEST(IdVectorTest, RoundTrip64BitValues) {
+  const std::vector<EdgeId> input = {0, 1ull << 40,
+                                     std::numeric_limits<EdgeId>::max(), 7};
+  for (const auto fmt : {sim::WireFormat::kRaw, sim::WireFormat::kCompact}) {
+    sim::Serializer s;
+    s.put_id_vector(input, fmt);
+    const auto bytes = s.take();
+    sim::Deserializer d(bytes);
+    EXPECT_EQ(d.get_id_vector<EdgeId>(), input);
+    EXPECT_TRUE(d.exhausted());
+  }
+}
+
+TEST(IdVectorTest, CompactSmallerOnSortedIds) {
+  std::vector<VertexId> ids(4096);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = static_cast<VertexId>(3 * i + 100);
+  }
+  sim::Serializer raw, compact;
+  raw.put_id_vector(ids, sim::WireFormat::kRaw);
+  compact.put_id_vector(ids, sim::WireFormat::kCompact);
+  EXPECT_LT(compact.size() * 2, raw.size());
+}
+
+TEST(IdVectorTest, UnknownFramingRejected) {
+  sim::Serializer s;
+  s.put_id_vector(std::vector<VertexId>{1, 2, 3}, sim::WireFormat::kCompact);
+  auto bytes = s.take();
+  bytes[0] = 0x00;  // neither kWireMagicRaw nor kWireMagicCompact
+  sim::Deserializer d(bytes);
+  EXPECT_THROW(d.get_id_vector<VertexId>(), CheckFailure);
+}
+
+TEST(IdVectorTest, TruncatedFramesRejected) {
+  for (const auto fmt : {sim::WireFormat::kRaw, sim::WireFormat::kCompact}) {
+    sim::Serializer s;
+    s.put_id_vector(std::vector<VertexId>{5, 500, 50'000}, fmt);
+    auto bytes = s.take();
+    bytes.resize(bytes.size() - 2);
+    sim::Deserializer d(bytes);
+    EXPECT_THROW(d.get_id_vector<VertexId>(), CheckFailure);
+  }
+}
+
+TEST(IdVectorTest, OverlongCountRejected) {
+  // A compact frame whose count exceeds the remaining payload must be
+  // rejected as a framing error, not turned into a huge allocation.
+  sim::Serializer s;
+  s.put<std::uint8_t>(sim::kWireMagicCompact);
+  s.put_varint(1ull << 50);
+  const auto bytes = s.take();
+  sim::Deserializer d(bytes);
+  EXPECT_THROW(d.get_id_vector<VertexId>(), CheckFailure);
+}
+
+// ---- component codec ---------------------------------------------------------
+
+Component make_comp(VertexId id, std::vector<CEdge> edges = {}) {
+  Component c;
+  c.id = id;
+  c.edges = std::move(edges);
+  return c;
+}
+
+void expect_same_component(const Component& got, const Component& want) {
+  EXPECT_EQ(got.id, want.id);
+  EXPECT_EQ(got.vertex_count, want.vertex_count);
+  EXPECT_EQ(got.absorbed, want.absorbed);
+  ASSERT_EQ(got.edges.size(), want.edges.size() - want.scan_head);
+  for (std::size_t i = 0; i < got.edges.size(); ++i) {
+    const CEdge& w = want.edges[want.scan_head + i];
+    EXPECT_EQ(got.edges[i].to, w.to) << "edge " << i;
+    EXPECT_EQ(got.edges[i].w, w.w) << "edge " << i;
+    EXPECT_EQ(got.edges[i].orig, w.orig) << "edge " << i;
+  }
+}
+
+TEST(ComponentCodecTest, RoundTripEdgeCases) {
+  // Edges already in (w, orig) order so raw and compact decode to the
+  // same sequence (compact re-sorts into exactly this order).
+  Component big = make_comp(
+      4'294'967'290u,
+      {CEdge{4'000'000'000u, 1, 99}, CEdge{0, 2, 1ull << 60},
+       CEdge{4'294'967'293u, std::numeric_limits<Weight>::max(), 3}});
+  big.vertex_count = 1'000'000;
+  big.absorbed = {4'000'000'001u, 5, 4'000'000'000u};  // backward deltas
+  Component empty = make_comp(0);
+  empty.vertex_count = 1;
+  for (const auto fmt : {sim::WireFormat::kRaw, sim::WireFormat::kCompact}) {
+    sim::Serializer s;
+    mst::serialize_components({big, empty}, &s, fmt);
+    const auto bytes = s.take();
+    sim::Deserializer d(bytes);
+    const auto bundle = mst::deserialize_components(&d);
+    ASSERT_EQ(bundle.comps.size(), 2u);
+    expect_same_component(bundle.comps[0], big);
+    expect_same_component(bundle.comps[1], empty);
+    EXPECT_TRUE(d.exhausted());
+  }
+}
+
+TEST(ComponentCodecTest, ScanHeadPrefixNeverShips) {
+  Component c = make_comp(7, {CEdge{7, 1, 0},  // contracted self edge
+                              CEdge{9, 2, 1}, CEdge{11, 3, 2}});
+  c.scan_head = 1;
+  for (const auto fmt : {sim::WireFormat::kRaw, sim::WireFormat::kCompact}) {
+    sim::Serializer s;
+    mst::serialize_components({c}, &s, fmt);
+    EXPECT_EQ(s.size(),
+              mst::wire_header_bytes(1, fmt) + mst::wire_bytes(c, fmt));
+    const auto bytes = s.take();
+    sim::Deserializer d(bytes);
+    const auto bundle = mst::deserialize_components(&d);
+    ASSERT_EQ(bundle.comps.size(), 1u);
+    expect_same_component(bundle.comps[0], c);  // only the 2 live edges
+    EXPECT_EQ(bundle.comps[0].scan_head, 0u);
+  }
+}
+
+TEST(ComponentCodecTest, WireBytesExactForEdgeCases) {
+  std::vector<Component> cases;
+  cases.push_back(make_comp(0));
+  cases.push_back(make_comp(1, {CEdge{2, 1, 0}}));
+  Component big = make_comp(4'000'000'000u,
+                            {CEdge{4'294'967'293u, 1'000'000'000u, 1ull << 62},
+                             CEdge{1, 2, 3}});
+  big.absorbed = {10, 4'000'000'000u, 3};
+  cases.push_back(big);
+  for (const auto& c : cases) {
+    for (const auto fmt : {sim::WireFormat::kRaw, sim::WireFormat::kCompact}) {
+      sim::Serializer s;
+      mst::serialize_components({c}, &s, fmt);
+      EXPECT_EQ(s.size(),
+                mst::wire_header_bytes(1, fmt) + mst::wire_bytes(c, fmt))
+          << "comp " << c.id << " fmt " << sim::wire_name(fmt);
+    }
+  }
+}
+
+TEST(ComponentCodecTest, CompactBeatsRawOnRealisticAdjacency) {
+  // Modest ids and weights, sorted destinations: the shape engine traffic
+  // has after pruning. Compact should cut the payload well past the PR's
+  // 30% target on this shape.
+  Component c = make_comp(12'345);
+  c.vertex_count = 512;
+  for (VertexId v = 0; v < 400; ++v) {
+    c.absorbed.push_back(12'000 + v);
+    c.edges.push_back(CEdge{13'000 + 3 * v, 100 + v, 5'000 + v});
+  }
+  const std::size_t raw = mst::wire_bytes(c, sim::WireFormat::kRaw);
+  const std::size_t compact = mst::wire_bytes(c, sim::WireFormat::kCompact);
+  EXPECT_LT(compact * 10, raw * 7);
+}
+
+// ---- sender-side pruning -----------------------------------------------------
+
+TEST(PruneTest, DropsSelfEdgesAndKeepsLightestPerDestination) {
+  mst::RenameMap renames;
+  renames.add(7, 1);   // edges to 7 are self edges of component 1
+  renames.add(8, 9);   // edges to 8 land on component 9
+  Component c = make_comp(1, {CEdge{8, 3, 11}, CEdge{8, 5, 12},
+                              CEdge{7, 1, 13}, CEdge{9, 4, 14},
+                              CEdge{20, 6, 15}});
+  std::vector<Component> comps = {c};
+  const auto stats = mst::prune_for_wire(comps, renames);
+  EXPECT_EQ(stats.edges_scanned, 5u);
+  EXPECT_EQ(stats.edges_removed, 3u);  // self + two heavier multi-edges
+  ASSERT_EQ(comps[0].edges.size(), 2u);
+  EXPECT_EQ(comps[0].edges[0].to, 9u);  // resolved 8 -> 9, w=3 survivor
+  EXPECT_EQ(comps[0].edges[0].w, 3u);
+  EXPECT_EQ(comps[0].edges[0].orig, 11u);
+  EXPECT_EQ(comps[0].edges[1].to, 20u);
+  EXPECT_TRUE(mst::edges_sorted(comps[0]));
+}
+
+TEST(PruneTest, EqualWeightTieBrokenByOrigId) {
+  mst::RenameMap renames;
+  Component c = make_comp(1, {CEdge{5, 4, 20}, CEdge{5, 4, 7}});
+  std::vector<Component> comps = {c};
+  mst::prune_for_wire(comps, renames);
+  ASSERT_EQ(comps[0].edges.size(), 1u);
+  EXPECT_EQ(comps[0].edges[0].orig, 7u);  // (w, orig) order's survivor
+}
+
+TEST(PruneTest, CleanComponentsAreSkipped) {
+  mst::RenameMap renames;
+  renames.add(5, 1);
+  // This self edge WOULD be dropped by a scan, but the component claims
+  // to be clean (scan_head == 0, size == last_clean_size), so the prune
+  // must skip it untouched — the amortization contract.
+  Component c = make_comp(1, {CEdge{5, 3, 11}});
+  c.last_clean_size = 1;
+  std::vector<Component> comps = {c};
+  const auto stats = mst::prune_for_wire(comps, renames);
+  EXPECT_EQ(stats.edges_scanned, 0u);
+  EXPECT_EQ(stats.edges_removed, 0u);
+  EXPECT_EQ(comps[0].edges.size(), 1u);
+}
+
+TEST(PruneTest, MarksComponentsCleanAfterward) {
+  mst::RenameMap renames;
+  Component c = make_comp(1, {CEdge{5, 3, 11}, CEdge{6, 2, 12}});
+  std::vector<Component> comps = {c};
+  const auto first = mst::prune_for_wire(comps, renames);
+  EXPECT_EQ(first.edges_scanned, 2u);
+  const auto second = mst::prune_for_wire(comps, renames);
+  EXPECT_EQ(second.edges_scanned, 0u);  // second pass is free
+}
+
+TEST(PruneTest, ThreadCountDoesNotChangeResult) {
+  // Enough live edges to cross the parallel grain (4096) with many
+  // components, exercising the balanced-chunk parallel path.
+  mst::RenameMap renames;
+  for (VertexId v = 0; v < 64; ++v) renames.add(10'000 + v, v % 40);
+  auto build = [&]() {
+    std::vector<Component> comps;
+    std::uint64_t state = 0x9E3779B97F4A7C15ull;
+    auto next = [&state]() {
+      state ^= state << 13;
+      state ^= state >> 7;
+      state ^= state << 17;
+      return state;
+    };
+    for (VertexId id = 0; id < 16; ++id) {
+      Component c = make_comp(id);
+      for (std::size_t j = 0; j < 400; ++j) {
+        CEdge e;
+        e.to = static_cast<VertexId>(next() % 80 >= 40
+                                         ? next() % 40
+                                         : 10'000 + next() % 64);
+        e.w = static_cast<Weight>(1 + next() % 50);
+        e.orig = next() % 100'000;
+        c.edges.push_back(e);
+      }
+      std::sort(c.edges.begin(), c.edges.end(), graph::EdgeLess{});
+      comps.push_back(std::move(c));
+    }
+    return comps;
+  };
+  std::vector<Component> serial = build();
+  std::vector<Component> parallel = build();
+  const auto s1 = mst::prune_for_wire(serial, renames, 1);
+  const auto s4 = mst::prune_for_wire(parallel, renames, 4);
+  EXPECT_EQ(s1.edges_scanned, s4.edges_scanned);
+  EXPECT_EQ(s1.edges_removed, s4.edges_removed);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    expect_same_component(parallel[i], serial[i]);
+  }
+}
+
+// ---- wire-format resolution --------------------------------------------------
+
+TEST(WireFormatTest, EnvResolution) {
+  const char* saved = std::getenv("MND_WIRE");
+  const std::string restore = saved ? saved : "";
+  ::unsetenv("MND_WIRE");
+  EXPECT_EQ(sim::resolve_wire(sim::WireFormat::kDefault),
+            sim::WireFormat::kCompact);
+  EXPECT_EQ(sim::resolve_wire(sim::WireFormat::kRaw), sim::WireFormat::kRaw);
+  ::setenv("MND_WIRE", "raw", 1);
+  EXPECT_EQ(sim::resolve_wire(sim::WireFormat::kDefault),
+            sim::WireFormat::kRaw);
+  // An explicit option always wins over the environment.
+  EXPECT_EQ(sim::resolve_wire(sim::WireFormat::kCompact),
+            sim::WireFormat::kCompact);
+  ::setenv("MND_WIRE", "zstd", 1);
+  EXPECT_THROW(sim::wire_format_from_env(), CheckFailure);
+  if (saved) {
+    ::setenv("MND_WIRE", restore.c_str(), 1);
+  } else {
+    ::unsetenv("MND_WIRE");
+  }
+}
+
+}  // namespace
+}  // namespace mnd

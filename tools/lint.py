@@ -25,6 +25,15 @@ Checks clang-tidy can't express, tied to this repo's invariants:
    through util::ThreadPool so the deterministic chunk grid, the nested-
    call inlining, and the TSan CI coverage apply to it.
 
+6. Wire discipline: engine code in src/hypar and src/mst must not build
+   transport payloads with raw Serializer::put/put_vector/put_string/
+   put_varint calls — payloads go through the framed helpers
+   (Serializer::put_id_vector, mst::serialize_components in
+   src/mst/comp_graph.*) so every message carries the wire-format magic,
+   prunes before shipping, and lands in the bytes_raw/bytes_wire
+   accounting (DESIGN.md §5d). The BSP baseline is exempt by design: it
+   models the paper's Pregel+ comparison point, raw framing included.
+
 Exit status: 0 clean, 1 violations (printed one per line as
 path:line: [rule] message).
 """
@@ -88,6 +97,23 @@ THREAD_SPAWN_EXEMPT = (
     "src/util/thread_pool.cpp",
     # The rank threads ARE the simulated cluster, not intra-rank work.
     "src/simcluster/cluster.cpp",
+)
+
+# rule 6: raw Serializer writes in engine code. put_id_vector is the
+# sanctioned framed entry point; the negative lookahead skips it while
+# catching put<...>, put_vector, put_string, and put_varint*.
+WIRE_PATTERNS = [
+    (re.compile(r"(?:\.|->)put(?!_id_vector\b)(?:<|_vector\b|_string\b|"
+                r"_varint)"),
+     "raw Serializer write in engine code (frame payloads via "
+     "put_id_vector or mst::serialize_components so the wire magic and "
+     "bytes_raw/bytes_wire accounting apply; see DESIGN.md §5d)"),
+]
+WIRE_DIRS = ("hypar", "mst")
+WIRE_EXEMPT = (
+    # The serialization helpers themselves.
+    "src/mst/comp_graph.hpp",
+    "src/mst/comp_graph.cpp",
 )
 
 # rule 3: std symbol -> owning header, for src/obs only.
@@ -159,6 +185,8 @@ def lint_file(path: Path, violations: list[str]) -> None:
         rel.startswith(f"src/{d}/") for d in VIRTUAL_TIME_DIRS)
     stdout_exempt = any(rel.endswith(e) for e in STDOUT_EXEMPT)
     thread_exempt = rel in THREAD_SPAWN_EXEMPT
+    wire_scoped = (any(rel.startswith(f"src/{d}/") for d in WIRE_DIRS)
+                   and rel not in WIRE_EXEMPT)
 
     for idx, line in enumerate(lines, start=1):
         if in_virtual_time:
@@ -173,6 +201,10 @@ def lint_file(path: Path, violations: list[str]) -> None:
             for pat, msg in THREAD_SPAWN_PATTERNS:
                 if pat.search(line):
                     report(idx, "threading", msg)
+        if wire_scoped:
+            for pat, msg in WIRE_PATTERNS:
+                if pat.search(line):
+                    report(idx, "wire", msg)
 
     if path.suffix == ".hpp":
         for idx, line in enumerate(raw.splitlines(), start=1):
