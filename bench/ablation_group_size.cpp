@@ -23,6 +23,9 @@ int main() {
       auto opts = bench::amd_mnd(16);
       opts.engine.group_size = group_sizes[i];
       const auto r = mst::run_mnd_mst(el, opts);
+      bench::emit_metrics_json(
+          "ablation_group" + std::to_string(group_sizes[i]) + "_" + name,
+          r.run);
       row.push_back(TextTable::num(r.total_seconds, 4));
       columns[static_cast<std::size_t>(i)].push_back(r.total_seconds);
     }

@@ -23,6 +23,9 @@ int main() {
       opts.engine.thresholds.min_contraction_fraction =
           diminishing ? 0.02 : 0.0;
       const auto r = mst::run_mnd_mst(el, opts);
+      bench::emit_metrics_json(diminishing ? "ablation_indcomp_diminishing"
+                                           : "ablation_indcomp_exhaustive",
+                               r.run);
       table.add_row({diminishing ? "diminishing-benefit (default)"
                                  : "run to exhaustion",
                      TextTable::num(r.total_seconds, 4),
@@ -48,6 +51,8 @@ int main() {
       opts.engine.thresholds.min_group_reduction = c.min_reduction;
       opts.engine.thresholds.max_ring_rounds = c.max_rounds;
       const auto r = mst::run_mnd_mst(el, opts);
+      bench::emit_metrics_json(
+          "ablation_ring_rounds" + std::to_string(c.max_rounds), r.run);
       int rings = 0;
       for (const auto& t : r.traces) rings += t.ring_rounds;
       table.add_row({c.label, TextTable::num(r.total_seconds, 4),
@@ -77,6 +82,11 @@ int main() {
       opts.message_combining = c.combining;
       opts.partitioning = c.part;
       const auto r = bsp::run_bsp_msf(el, opts);
+      bench::emit_metrics_json(
+          std::string("ablation_bsp_") +
+              (c.combining ? "combining_" : "plain_") +
+              (c.part == bsp::BspPartitioning::Hash ? "hash" : "range"),
+          r.run);
       table.add_row({c.label, TextTable::num(r.total_seconds, 4),
                      TextTable::num(r.comm_seconds, 4),
                      TextTable::num(r.run.total_bytes_sent() / 1e6, 2)});

@@ -19,6 +19,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <thread>
 
 #include "bsp/msf.hpp"
 #include "graph/datasets.hpp"
@@ -26,6 +27,62 @@
 #include "obs/export.hpp"
 
 namespace mnd::bench {
+
+/// Shared BENCH_*.json writer: every bench binary that persists a results
+/// JSON goes through this so the preamble (schema_version + bench name +
+/// host metadata) is uniform and machine-diffable by tools/perf_report.py.
+/// Usage:
+///   BenchJson j(path, "wire_codec");
+///   j.key("gates") << "\"...\"";
+///   j.key("rows") << "[...]";        // caller formats the value
+///   j.close();                        // or let the destructor close
+/// Values are written by the caller onto the returned stream; key() takes
+/// care of separators. Wall-clock numbers land next to "host" metadata so
+/// the diff harness can pick noise-aware gates per field.
+class BenchJson {
+ public:
+  BenchJson(const std::string& path, const std::string& bench)
+      : out_(path), path_(path) {
+    if (!out_.good()) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return;
+    }
+    out_ << "{\n  \"schema_version\": 2,\n  \"bench\": \"" << bench
+         << "\",\n  \"host\": {\"cores\": "
+         << std::thread::hardware_concurrency() << ", \"build\": \""
+#ifdef NDEBUG
+         << "release"
+#else
+         << "debug"
+#endif
+         << "\"}";
+  }
+  ~BenchJson() { close(); }
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  bool good() const { return out_.good(); }
+
+  /// Starts the next top-level member and returns the stream positioned
+  /// after `"name": ` for the caller to write the value.
+  std::ostream& key(const std::string& name) {
+    out_ << ",\n  \"" << name << "\": ";
+    return out_;
+  }
+
+  void close() {
+    if (closed_ || !out_.is_open()) return;
+    closed_ = true;
+    out_ << "\n}\n";
+    out_.close();
+    std::printf("wrote %s\n", path_.c_str());
+  }
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+  bool closed_ = false;
+};
 
 inline constexpr double kDataScale = 4000.0;
 

@@ -19,11 +19,17 @@ int main() {
     double mnd_single = 0.0;
     for (int nodes : node_counts) {
       const auto mnd = mst::run_mnd_mst(el, bench::amd_mnd(nodes));
+      bench::emit_metrics_json("fig4_mnd_" + std::string(name) + "_" +
+                                   std::to_string(nodes),
+                               mnd.run);
       if (nodes == 1) mnd_single = mnd.total_seconds;
       // The paper could not run Pregel+ on arabic-2005 at 1 node (memory).
       std::string bsp_cell = "-";
       if (nodes > 1 || std::string(name) != "arabic-2005") {
         const auto bsp = bsp::run_bsp_msf(el, bench::amd_bsp(nodes));
+        bench::emit_metrics_json("fig4_bsp_" + std::string(name) + "_" +
+                                     std::to_string(nodes),
+                                 bsp.run);
         bsp_cell = TextTable::num(bsp.total_seconds, 4);
       }
       table.add_row({std::to_string(nodes), bsp_cell,

@@ -21,8 +21,10 @@ int main() {
     double t[4] = {0, 0, 0, 0};
     const int counts[4] = {1, 4, 8, 16};
     for (int i = 0; i < 4; ++i) {
-      t[i] = mst::run_mnd_mst(el, bench::cray_mnd(counts[i], false))
-                 .total_seconds;
+      const auto r = mst::run_mnd_mst(el, bench::cray_mnd(counts[i], false));
+      bench::emit_metrics_json(
+          "fig6_" + name + "_" + std::to_string(counts[i]), r.run);
+      t[i] = r.total_seconds;
     }
     table.add_row({name, TextTable::num(t[0], 4), TextTable::num(t[1], 4),
                    TextTable::num(t[2], 4), TextTable::num(t[3], 4),

@@ -22,6 +22,12 @@ int main() {
     for (int nodes : {1, 4, 8, 16}) {
       const auto cpu = mst::run_mnd_mst(el, bench::cray_mnd(nodes, false));
       const auto gpu = mst::run_mnd_mst(el, bench::cray_mnd(nodes, true));
+      bench::emit_metrics_json("fig8_cpu_" + std::string(name) + "_" +
+                                   std::to_string(nodes),
+                               cpu.run);
+      bench::emit_metrics_json("fig8_gpu_" + std::string(name) + "_" +
+                                   std::to_string(nodes),
+                               gpu.run);
       MND_CHECK_MSG(cpu.forest.total_weight == gpu.forest.total_weight,
                     "GPU run changed the forest on " << name);
       const double improv =

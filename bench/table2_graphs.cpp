@@ -2,8 +2,11 @@
 // synthetic stand-ins next to the paper's reported values for the
 // originals.
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <sstream>
+#include <string>
 
 #include "bench_common.hpp"
 #include "graph/csr.hpp"
@@ -24,6 +27,25 @@ int main() {
     const auto g = graph::Csr::from_edge_list(el);
     const auto deg = graph::degree_stats(g);
     const auto diam = graph::estimate_diameter(g);
+    // This bench has no engine run to dump metrics for; honoring
+    // MND_METRICS_OUT here means persisting the measured graph statistics
+    // (all deterministic, so perf_report.py --diff gates them strictly).
+    if (bench::metrics_requested()) {
+      const std::string path = std::string(std::getenv("MND_METRICS_OUT")) +
+                               "/table2_" + spec.name + ".json";
+      std::ofstream out(path);
+      if (out.good()) {
+        out << "{\"graph\": \"" << spec.name
+            << "\", \"vertices\": " << g.num_vertices()
+            << ", \"edges\": " << g.num_edges()
+            << ", \"diameter\": " << diam
+            << ", \"avg_degree\": " << deg.average
+            << ", \"max_degree\": " << deg.max << "}\n";
+      } else {
+        std::fprintf(stderr, "MND_METRICS_OUT: cannot write %s\n",
+                     path.c_str());
+      }
+    }
     std::ostringstream pv;
     pv << spec.paper_vertices_m << "M";
     std::ostringstream pe;

@@ -32,9 +32,11 @@
 #include <cstdint>
 #include <cstdio>
 #include <functional>
+#include <iomanip>
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "device/device.hpp"
 #include "graph/csr.hpp"
 #include "graph/edge_list.hpp"
@@ -301,55 +303,53 @@ struct KernelRow {
   std::vector<Measurement> cells;
 };
 
-void write_json(std::FILE* out, const std::vector<Input>& inputs,
+void write_json(bench::BenchJson& j, const std::vector<Input>& inputs,
                 const std::vector<KernelRow>& rows) {
-  std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"bench\": \"wallclock_hotpaths\",\n");
-  std::fprintf(out, "  \"host_cores\": %u,\n",
-               std::thread::hardware_concurrency());
-  std::fprintf(
-      out,
-      "  \"mode\": \"speedup = modeled makespan ratio vs threads=1: "
-      "parallel_chunks regions are timed per chunk and greedily scheduled "
-      "onto T virtual workers (host-independent; real wall-clock cannot "
-      "show parallel speedup when host_cores < threads)\",\n");
-  std::fprintf(out, "  \"thread_counts\": [1, 2, 4, 8],\n");
-  std::fprintf(out, "  \"inputs\": [\n");
-  for (std::size_t i = 0; i < inputs.size(); ++i) {
-    std::fprintf(out,
-                 "    {\"name\": \"%s\", \"generator\": "
-                 "\"rmat:%u,%llu,7 + randomize_weights(7, 1, 1e6)\", "
-                 "\"vertices\": %u, \"edges\": %zu}%s\n",
-                 inputs[i].name.c_str(), inputs[i].scale,
-                 8ull << inputs[i].scale, inputs[i].canonical.num_vertices(),
-                 inputs[i].canonical.num_edges(),
-                 i + 1 < inputs.size() ? "," : "");
-  }
-  std::fprintf(out, "  ],\n");
-  std::fprintf(out, "  \"results\": [\n");
-  for (std::size_t r = 0; r < rows.size(); ++r) {
-    const KernelRow& row = rows[r];
-    const double base_wall = row.cells.front().wallclock_seconds;
-    const double base_model = row.cells.front().modeled_seconds;
-    std::fprintf(out,
-                 "    {\"kernel\": \"%s\", \"input\": \"%s\", "
-                 "\"largest_input\": %s, \"measurements\": [\n",
-                 row.kernel.c_str(), row.input.c_str(),
-                 row.largest ? "true" : "false");
-    for (std::size_t c = 0; c < row.cells.size(); ++c) {
-      const Measurement& m = row.cells[c];
-      std::fprintf(out,
-                   "      {\"threads\": %zu, \"wallclock_seconds\": %.9f, "
-                   "\"modeled_seconds\": %.9f, \"speedup\": %.3f, "
-                   "\"speedup_wallclock\": %.3f}%s\n",
-                   m.threads, m.wallclock_seconds, m.modeled_seconds,
-                   base_model / m.modeled_seconds,
-                   base_wall / std::max(1e-12, m.wallclock_seconds),
-                   c + 1 < row.cells.size() ? "," : "");
+  j.key("host_cores") << std::thread::hardware_concurrency();
+  j.key("mode")
+      << "\"speedup = modeled makespan ratio vs threads=1: "
+         "parallel_chunks regions are timed per chunk and greedily scheduled "
+         "onto T virtual workers (host-independent; real wall-clock cannot "
+         "show parallel speedup when host_cores < threads)\"";
+  j.key("thread_counts") << "[1, 2, 4, 8]";
+  {
+    std::ostream& out = j.key("inputs");
+    out << "[\n";
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      out << "    {\"name\": \"" << inputs[i].name
+          << "\", \"generator\": \"rmat:" << inputs[i].scale << ','
+          << (8ull << inputs[i].scale)
+          << ",7 + randomize_weights(7, 1, 1e6)\", \"vertices\": "
+          << inputs[i].canonical.num_vertices()
+          << ", \"edges\": " << inputs[i].canonical.num_edges() << '}'
+          << (i + 1 < inputs.size() ? "," : "") << '\n';
     }
-    std::fprintf(out, "    ]}%s\n", r + 1 < rows.size() ? "," : "");
+    out << "  ]";
   }
-  std::fprintf(out, "  ]\n}\n");
+  {
+    std::ostream& out = j.key("results");
+    out << "[\n" << std::fixed;
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      const KernelRow& row = rows[r];
+      const double base_wall = row.cells.front().wallclock_seconds;
+      const double base_model = row.cells.front().modeled_seconds;
+      out << "    {\"kernel\": \"" << row.kernel << "\", \"input\": \""
+          << row.input << "\", \"largest_input\": "
+          << (row.largest ? "true" : "false") << ", \"measurements\": [\n";
+      for (std::size_t c = 0; c < row.cells.size(); ++c) {
+        const Measurement& m = row.cells[c];
+        out << "      {\"threads\": " << m.threads
+            << ", \"wallclock_seconds\": " << std::setprecision(9)
+            << m.wallclock_seconds << ", \"modeled_seconds\": "
+            << m.modeled_seconds << ", \"speedup\": " << std::setprecision(3)
+            << base_model / m.modeled_seconds << ", \"speedup_wallclock\": "
+            << base_wall / std::max(1e-12, m.wallclock_seconds) << '}'
+            << (c + 1 < row.cells.size() ? "," : "") << '\n';
+      }
+      out << "    ]}" << (r + 1 < rows.size() ? "," : "") << '\n';
+    }
+    out << "  ]" << std::defaultfloat << std::setprecision(6);
+  }
 }
 
 }  // namespace
@@ -384,13 +384,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::FILE* out = std::fopen(out_path.c_str(), "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
-    return 1;
-  }
-  write_json(out, inputs, rows);
-  std::fclose(out);
-  std::printf("wrote %s\n", out_path.c_str());
+  bench::BenchJson j(out_path, "wallclock_hotpaths");
+  if (!j.good()) return 1;
+  write_json(j, inputs, rows);
+  j.close();
   return 0;
 }

@@ -20,6 +20,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <iomanip>
 #include <string>
 #include <vector>
 
@@ -218,60 +219,60 @@ int main(int argc, char** argv) {
   }
 
   // --- JSON ------------------------------------------------------------------
-  std::FILE* out = std::fopen(out_path.c_str(), "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
-    return 1;
+  {
+    bench::BenchJson j(out_path, "wire_codec");
+    if (!j.good()) return 1;
+    j.key("gates")
+        << "\"forests identical across wire modes; compact <= raw in total "
+           "and merge virtual seconds; >= 30% byte reduction vs the "
+           "pre-codec fixed-width baseline\"";
+    {
+      std::ostream& out = j.key("codec_microbench");
+      out << std::fixed << std::setprecision(9);
+      out << "{\"components\": " << bundle.size()
+          << ", \"edges\": " << bundle_edges << ",\n";
+      out << "    \"raw\": {\"bytes\": " << raw_cell.bytes
+          << ", \"encode_seconds\": " << raw_cell.encode_seconds
+          << ", \"decode_seconds\": " << raw_cell.decode_seconds << "},\n";
+      out << "    \"compact\": {\"bytes\": " << compact_cell.bytes
+          << ", \"encode_seconds\": " << compact_cell.encode_seconds
+          << ", \"decode_seconds\": " << compact_cell.decode_seconds
+          << "},\n";
+      out << "    \"compact_vs_raw_bytes\": " << std::setprecision(4)
+          << codec_ratio << '}';
+    }
+    {
+      std::ostream& out = j.key("fig5_rows");
+      out << "[\n";
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Fig5Row& r = rows[i];
+        const double reduction =
+            r.bytes_baseline == 0
+                ? 0.0
+                : 1.0 - static_cast<double>(r.bytes_compact) /
+                            static_cast<double>(r.bytes_baseline);
+        out << std::setprecision(9);
+        out << "    {\"dataset\": \"" << r.dataset
+            << "\", \"nodes\": " << r.nodes << ",\n"
+            << "     \"total_seconds\": {\"raw\": " << r.raw_total
+            << ", \"compact\": " << r.compact_total << "},\n"
+            << "     \"merge_seconds\": {\"raw\": " << r.raw_merge
+            << ", \"compact\": " << r.compact_merge << "},\n"
+            << "     \"comm_seconds\": {\"raw\": " << r.raw_comm
+            << ", \"compact\": " << r.compact_comm << "},\n"
+            << "     \"exchanged_bytes\": {\"baseline_fixed_width\": "
+            << r.bytes_baseline << ", \"raw_mode\": " << r.bytes_raw_mode
+            << ", \"compact_mode\": " << r.bytes_compact << "},\n"
+            << "     \"byte_reduction_vs_baseline\": " << std::setprecision(4)
+            << reduction << ", \"forests_match\": "
+            << (r.forests_match ? "true" : "false") << '}'
+            << (i + 1 < rows.size() ? "," : "") << '\n';
+      }
+      out << "  ]";
+    }
+    j.key("gates_passed") << (ok ? "true" : "false");
+    j.close();
   }
-  std::fprintf(out, "{\n  \"bench\": \"wire_codec\",\n");
-  std::fprintf(out,
-               "  \"gates\": \"forests identical across wire modes; compact "
-               "<= raw in total and merge virtual seconds; >= 30%% byte "
-               "reduction vs the pre-codec fixed-width baseline\",\n");
-  std::fprintf(out,
-               "  \"codec_microbench\": {\"components\": %zu, \"edges\": "
-               "%zu,\n",
-               bundle.size(), bundle_edges);
-  std::fprintf(out,
-               "    \"raw\": {\"bytes\": %zu, \"encode_seconds\": %.9f, "
-               "\"decode_seconds\": %.9f},\n",
-               raw_cell.bytes, raw_cell.encode_seconds,
-               raw_cell.decode_seconds);
-  std::fprintf(out,
-               "    \"compact\": {\"bytes\": %zu, \"encode_seconds\": %.9f, "
-               "\"decode_seconds\": %.9f},\n",
-               compact_cell.bytes, compact_cell.encode_seconds,
-               compact_cell.decode_seconds);
-  std::fprintf(out, "    \"compact_vs_raw_bytes\": %.4f},\n", codec_ratio);
-  std::fprintf(out, "  \"fig5_rows\": [\n");
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Fig5Row& r = rows[i];
-    const double reduction =
-        r.bytes_baseline == 0
-            ? 0.0
-            : 1.0 - static_cast<double>(r.bytes_compact) /
-                        static_cast<double>(r.bytes_baseline);
-    std::fprintf(
-        out,
-        "    {\"dataset\": \"%s\", \"nodes\": %d,\n"
-        "     \"total_seconds\": {\"raw\": %.9f, \"compact\": %.9f},\n"
-        "     \"merge_seconds\": {\"raw\": %.9f, \"compact\": %.9f},\n"
-        "     \"comm_seconds\": {\"raw\": %.9f, \"compact\": %.9f},\n"
-        "     \"exchanged_bytes\": {\"baseline_fixed_width\": %llu, "
-        "\"raw_mode\": %llu, \"compact_mode\": %llu},\n"
-        "     \"byte_reduction_vs_baseline\": %.4f, "
-        "\"forests_match\": %s}%s\n",
-        r.dataset.c_str(), r.nodes, r.raw_total, r.compact_total,
-        r.raw_merge, r.compact_merge, r.raw_comm, r.compact_comm,
-        static_cast<unsigned long long>(r.bytes_baseline),
-        static_cast<unsigned long long>(r.bytes_raw_mode),
-        static_cast<unsigned long long>(r.bytes_compact), reduction,
-        r.forests_match ? "true" : "false", i + 1 < rows.size() ? "," : "");
-  }
-  std::fprintf(out, "  ],\n  \"gates_passed\": %s\n}\n",
-               ok ? "true" : "false");
-  std::fclose(out);
-  std::printf("wrote %s\n", out_path.c_str());
   if (!ok) {
     std::printf("wire_codec: GATES FAILED\n");
     return 1;

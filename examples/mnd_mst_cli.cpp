@@ -16,8 +16,16 @@
 //   --out FILE                        write the forest as "u v w" lines
 //   --trace-out FILE                  record per-rank spans and write a
 //                                     Chrome trace_event JSON (load in
-//                                     Perfetto / chrome://tracing)
+//                                     Perfetto / chrome://tracing), with
+//                                     sender->receiver flow arrows
 //   --metrics-out FILE                write per-rank + merged metrics JSON
+//   --profile-out FILE                write the critical-path profile JSON:
+//                                     the run's makespan attributed to
+//                                     compute / serialization / wire /
+//                                     stall / straggler-wait per merge
+//                                     level, plus imbalance stats and
+//                                     latency percentiles (render or diff
+//                                     with tools/perf_report.py)
 //   --validate                        run the phase-boundary invariant
 //                                     validators during the run and check
 //                                     the result against exact Kruskal
@@ -111,7 +119,8 @@ int usage() {
                "[--random-weights SEED]\n"
                "                   [--out FILE]\n"
                "                   [--trace-out FILE] [--metrics-out FILE] "
-               "[--validate]\n"
+               "[--profile-out FILE]\n"
+               "                   [--validate]\n"
                "                   [--wire raw|compact]\n"
                "                   [--faults SPEC]   (e.g. "
                "--faults seed=7,drop=0.01,crash=2@1)\n");
@@ -127,6 +136,7 @@ int main(int argc, char** argv) {
   std::string out_path;
   std::string trace_path;
   std::string metrics_path;
+  std::string profile_path;
   mst::MndMstOptions options;
   bool validate = false;
   bool randomize = false;
@@ -175,6 +185,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--metrics-out") {
       metrics_path = next();
       options.collect_metrics = true;
+    } else if (arg == "--profile-out") {
+      profile_path = next();
+      options.collect_traces = true;  // profiling rides the causality log
     } else if (arg == "--validate") {
       validate = true;
     } else if (arg == "--wire") {
@@ -227,10 +240,26 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
       return 1;
     }
-    obs::write_chrome_trace(out, report.run.rank_traces);
+    obs::write_chrome_trace(out, report.run.rank_traces,
+                            &report.run.rank_causality);
     std::printf("Chrome trace written to %s (open in Perfetto or "
                 "chrome://tracing)\n",
                 trace_path.c_str());
+  }
+  if (!profile_path.empty()) {
+    std::ofstream out(profile_path);
+    if (!out.good()) {
+      std::fprintf(stderr, "cannot write %s\n", profile_path.c_str());
+      return 1;
+    }
+    const obs::CriticalPath path =
+        obs::extract_critical_path(report.run.rank_causality);
+    obs::validate_critical_path(path, report.run.rank_causality);
+    obs::write_profile_json(out, report.run.rank_causality, path,
+                            &report.run.rank_metrics);
+    std::printf("critical-path profile written to %s (render with "
+                "tools/perf_report.py)\n",
+                profile_path.c_str());
   }
   if (!metrics_path.empty()) {
     std::ofstream out(metrics_path);

@@ -129,6 +129,9 @@ WorkerResult msf_worker(sim::Communicator& comm, const graph::Csr& g,
   WorkerResult result;
 
   for (int round = 0; round < opts.max_rounds; ++round) {
+    // BSP rounds play the role merge levels play in hypar: stamp them on
+    // the causality log so the critical-path report breaks down by round.
+    if (auto* log = comm.comm_log()) log->set_level(round);
     obs::Span round_span(comm.tracer(), "bsp:round", obs::SpanCat::Phase);
     round_span.note("round", static_cast<std::uint64_t>(round));
     // ---- Phase 0: lightest-edge candidates to component roots ----------
@@ -358,6 +361,7 @@ WorkerResult msf_worker(sim::Communicator& comm, const graph::Csr& g,
     }
   }
 
+  if (auto* log = comm.comm_log()) log->set_level(obs::kLevelPost);
   result.supersteps = worker.supersteps();
   if (comm.metrics_enabled()) {
     comm.metrics().add_counter("bsp.supersteps",

@@ -639,6 +639,7 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
   // Single node: Algorithm 1 still performs indComp within the node (the
   // CPU/GPU split), then hands the remainder to postProcess.
   if (p == 1) {
+    if (auto* log = comm.comm_log()) log->set_level(0);
     obs::Span ic_span(tr, "indComp", obs::SpanCat::Phase);
     ic_span.note("level", std::uint64_t{0});
     const auto stats =
@@ -794,6 +795,7 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
     if (in_active) {
       const int level = result.trace.levels_participated;
       ++result.trace.levels_participated;
+      if (auto* log = comm.comm_log()) log->set_level(level);
       LevelTrace lvl;
       // indComp with EXCPT_BORDER_VERTEX. The GPU serves the first-level
       // indComp — the bulk of the computation (§5.4: "we utilize the GPUs
@@ -803,6 +805,7 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
       // frozen at the device boundary.
       obs::Span ic_span(tr, "indComp", obs::SpanCat::Phase);
       ic_span.note("level", static_cast<std::uint64_t>(level));
+      const double ic_begin = comm.clock().now();
       auto stats = indcomp_on_devices(
           comm, cg, kernel, opts, cpu, first_level ? gpu : nullptr,
           gpu_share, threads, level, vrep);
@@ -817,6 +820,10 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
       ic_span.note("contractions",
                    static_cast<std::uint64_t>(stats.contractions));
       ic_span.finish();
+      if (comm.metrics_enabled()) {
+        comm.metrics().observe_latency("hypar.indcomp.seconds",
+                                       comm.clock().now() - ic_begin);
+      }
       if (first_level) {
         result.trace.components_after_level0 = cg.num_components();
         result.trace.frozen_after_level0 = stats.frozen_components;
@@ -828,6 +835,7 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
       // multi-edge removal, §3.3).
       obs::Span mp_span(tr, "mergeParts", obs::SpanCat::Phase);
       mp_span.note("level", static_cast<std::uint64_t>(level));
+      const double mp_begin = comm.clock().now();
       sync_parents(comm, all_active, cg, part, rep, wire);
       reduce_all(comm, cg, cpu, threads);
       if (vrep != nullptr) {
@@ -863,6 +871,7 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
               std::min<std::uint64_t>(min_avail / 2, data_slice));
 
           // Ring exchange: send one segment left, receive one from right.
+          const double ring_begin = comm.clock().now();
           obs::Span ring_span(tr, "ringRound", obs::SpanCat::Ring);
           ring_span.note("round", static_cast<std::uint64_t>(rounds));
           ring_span.note("budget_bytes", static_cast<std::uint64_t>(budget));
@@ -910,6 +919,12 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
           ++rounds;
           ++result.trace.ring_rounds;
           ++lvl.ring_rounds;
+          if (comm.metrics_enabled()) {
+            // Virtual segment-exchange latency (pick + prune + serialize +
+            // shift + integrate) per ring round.
+            comm.metrics().observe_latency("hypar.ring_round.seconds",
+                                           comm.clock().now() - ring_begin);
+          }
 
           // Collaborative merging on the new set of components (CPU).
           (void)indcomp_on_devices(comm, cg, kernel, opts, cpu, nullptr,
@@ -972,6 +987,10 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
       lvl.edges = cg.num_edges();
       result.trace.levels.push_back(lvl);
       mp_span.finish();
+      if (comm.metrics_enabled()) {
+        comm.metrics().observe_latency("hypar.merge.seconds",
+                                       comm.clock().now() - mp_begin);
+      }
     }
     // Non-leaders' data now lives at their group leader; update lineage
     // representatives before the next level's parent routing.
@@ -988,6 +1007,7 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
   // Final cut before postProcess: catches crash events scheduled at or
   // past the last level boundary, so "crash eventually" plans resolve
   // while at least one rank still holds every component.
+  if (auto* log = comm.comm_log()) log->set_level(obs::kLevelPost);
   if (fplan != nullptr && !run_cut(/*final_cut=*/true)) return result;
 
   // ---- postProcess (§4.1.4) ------------------------------------------------

@@ -1,0 +1,570 @@
+#include "obs/critpath.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+
+namespace mnd::obs {
+
+namespace {
+
+std::uint64_t stream_key(int peer, std::uint32_t tag) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(peer))
+          << 32) |
+         static_cast<std::uint64_t>(tag);
+}
+
+PathCategory category_of(CostKind kind) {
+  switch (kind) {
+    case CostKind::kCompute: return PathCategory::kLocalCompute;
+    case CostKind::kSerialize: return PathCategory::kSerialization;
+    // Checkpoint I/O is state serialization to the reliable store.
+    case CostKind::kCheckpoint: return PathCategory::kSerialization;
+    case CostKind::kStall: return PathCategory::kStallRetransmit;
+    // Blocked-on-a-peer time, whether the peer is slow or dead.
+    case CostKind::kWait: return PathCategory::kStragglerWait;
+    case CostKind::kDetect: return PathCategory::kStragglerWait;
+  }
+  return PathCategory::kLocalCompute;
+}
+
+}  // namespace
+
+const char* path_category_name(PathCategory c) {
+  switch (c) {
+    case PathCategory::kLocalCompute: return "local_compute";
+    case PathCategory::kSerialization: return "serialization";
+    case PathCategory::kWireTransit: return "wire_transit";
+    case PathCategory::kStallRetransmit: return "stall_retransmit";
+    case PathCategory::kStragglerWait: return "straggler_wait";
+  }
+  return "unknown";
+}
+
+double LevelAttribution::total() const {
+  double t = 0.0;
+  for (double v : by_category) t += v;
+  return t;
+}
+
+double CriticalPath::attributed_total() const {
+  double t = 0.0;
+  for (const PathSegment& s : segments) {
+    for (double v : s.by_category) t += v;
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// CommEventLog
+
+CommEventLog::CommEventLog(int rank) {
+  data_.rank = rank;
+  data_.phase_names.emplace_back();  // id 0 = ""
+}
+
+std::uint32_t CommEventLog::intern_phase(const std::string& name) {
+  auto [it, inserted] = phase_ids_.try_emplace(
+      name, static_cast<std::uint32_t>(data_.phase_names.size()));
+  if (inserted) data_.phase_names.push_back(name);
+  return it->second;
+}
+
+void CommEventLog::add_interval(double begin, double end, CostKind kind,
+                                std::uint32_t phase) {
+  if (!(end > begin)) return;  // zero-length movements carry no time
+  CostInterval iv;
+  iv.begin = begin;
+  iv.end = end;
+  iv.kind = kind;
+  iv.level = data_.level_hint;
+  iv.phase = phase;
+  data_.intervals.push_back(iv);
+}
+
+void CommEventLog::record_send(int dst, std::uint32_t tag, double vt_begin,
+                               double vt_end, double arrival,
+                               std::uint64_t bytes, double injected_delay) {
+  SendEvent ev;
+  ev.dst = dst;
+  ev.tag = tag;
+  ev.seq = send_seq_[stream_key(dst, tag)]++;
+  ev.op = next_op_++;
+  ev.vt_begin = vt_begin;
+  ev.vt_end = vt_end;
+  ev.arrival = arrival;
+  ev.injected_delay = injected_delay;
+  ev.bytes = bytes;
+  ev.level = data_.level_hint;
+  data_.sends.push_back(ev);
+}
+
+void CommEventLog::record_recv(int src, std::uint32_t tag,
+                               double vt_wait_begin, double vt_arrival,
+                               double vt_end, std::uint64_t bytes) {
+  RecvEvent ev;
+  ev.src = src;
+  ev.tag = tag;
+  ev.seq = recv_seq_[stream_key(src, tag)]++;
+  ev.op = next_op_++;
+  ev.vt_wait_begin = vt_wait_begin;
+  ev.vt_arrival = vt_arrival;
+  ev.vt_end = vt_end;
+  ev.bytes = bytes;
+  ev.level = data_.level_hint;
+  data_.recvs.push_back(ev);
+}
+
+RankCausality CommEventLog::snapshot(double finish) const {
+  RankCausality out = data_;
+  out.finish = finish;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Message stitching
+
+namespace {
+
+using SendKey = std::tuple<int, int, std::uint32_t, std::uint64_t>;
+
+std::map<SendKey, std::size_t> index_sends(const RankCausality& rank) {
+  std::map<SendKey, std::size_t> out;
+  for (std::size_t i = 0; i < rank.sends.size(); ++i) {
+    const SendEvent& s = rank.sends[i];
+    out.emplace(SendKey{rank.rank, s.dst, s.tag, s.seq}, i);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<MessageEdge> stitch_message_edges(
+    const std::vector<RankCausality>& ranks) {
+  std::map<SendKey, std::size_t> sends;
+  for (const RankCausality& r : ranks) {
+    auto idx = index_sends(r);
+    sends.insert(idx.begin(), idx.end());
+  }
+  std::vector<MessageEdge> edges;
+  for (const RankCausality& r : ranks) {
+    for (std::size_t i = 0; i < r.recvs.size(); ++i) {
+      const RecvEvent& rv = r.recvs[i];
+      const auto it =
+          sends.find(SendKey{rv.src, r.rank, rv.tag, rv.seq});
+      MND_CHECK_MSG(it != sends.end(),
+                    "unmatched receive: rank " << r.rank << " got (src "
+                        << rv.src << ", tag " << rv.tag << ", seq " << rv.seq
+                        << ") with no matching send event");
+      MessageEdge e;
+      e.src = rv.src;
+      e.dst = r.rank;
+      e.tag = rv.tag;
+      e.seq = rv.seq;
+      e.send_index = it->second;
+      e.recv_index = i;
+      edges.push_back(e);
+    }
+  }
+  return edges;
+}
+
+// ---------------------------------------------------------------------------
+// Critical-path extraction
+
+namespace {
+
+/// Indices of blocking receives per rank, ascending program order.
+std::vector<std::size_t> blocking_recvs(const RankCausality& rank) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < rank.recvs.size(); ++i) {
+    if (rank.recvs[i].blocking()) out.push_back(i);
+  }
+  return out;
+}
+
+/// Attributes the local window [a, b] on `rank` into `seg` by scanning the
+/// gap-free interval record. Also feeds the per-level and per-phase
+/// aggregates. Boundaries align with interval boundaries by construction
+/// (the validator enforces this exactly); the scan just clips defensively.
+void attribute_local(const RankCausality& rank, double a, double b,
+                     PathSegment* seg,
+                     std::map<std::int32_t, LevelAttribution>* by_level,
+                     std::map<std::string, double>* compute_by_phase) {
+  if (!(b > a)) return;
+  const auto& ivs = rank.intervals;
+  // First interval ending after a.
+  auto it = std::upper_bound(
+      ivs.begin(), ivs.end(), a,
+      [](double t, const CostInterval& iv) { return t < iv.end; });
+  std::int32_t last_level = seg->level;
+  for (; it != ivs.end() && it->begin < b; ++it) {
+    const double lo = std::max(it->begin, a);
+    const double hi = std::min(it->end, b);
+    if (!(hi > lo)) continue;
+    const double dt = hi - lo;
+    const PathCategory cat = category_of(it->kind);
+    seg->by_category[static_cast<int>(cat)] += dt;
+    last_level = it->level;
+    LevelAttribution& lvl = (*by_level)[it->level];
+    lvl.level = it->level;
+    lvl.by_category[static_cast<int>(cat)] += dt;
+    if (it->kind == CostKind::kCompute) {
+      (*compute_by_phase)[rank.phase_names[it->phase]] += dt;
+    }
+  }
+  seg->level = last_level;
+}
+
+ImbalanceStats imbalance_stats(const std::vector<RankCausality>& ranks) {
+  ImbalanceStats out;
+  if (ranks.empty()) return out;
+  double sum = 0.0;
+  out.min_finish = std::numeric_limits<double>::infinity();
+  for (const RankCausality& r : ranks) {
+    out.rank_finish.push_back(r.finish);
+    double wait = 0.0;
+    for (const CostInterval& iv : r.intervals) {
+      if (iv.kind == CostKind::kWait || iv.kind == CostKind::kDetect) {
+        wait += iv.end - iv.begin;
+      }
+    }
+    out.rank_wait_seconds.push_back(wait);
+    sum += r.finish;
+    out.min_finish = std::min(out.min_finish, r.finish);
+    if (r.finish > out.max_finish) {
+      out.max_finish = r.finish;
+      out.straggler_rank = r.rank;
+    }
+  }
+  out.mean_finish = sum / static_cast<double>(ranks.size());
+  out.imbalance_ratio =
+      out.mean_finish > 0.0 ? out.max_finish / out.mean_finish : 0.0;
+  return out;
+}
+
+}  // namespace
+
+CriticalPath extract_critical_path(const std::vector<RankCausality>& ranks) {
+  CriticalPath path;
+  path.imbalance = imbalance_stats(ranks);
+  if (ranks.empty()) return path;
+
+  int end_rank = 0;
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    MND_CHECK_MSG(ranks[r].rank == static_cast<int>(r),
+                  "causality logs must be indexed by rank");
+    if (ranks[r].finish > ranks[static_cast<std::size_t>(end_rank)].finish) {
+      end_rank = static_cast<int>(r);
+    }
+  }
+  path.makespan = ranks[static_cast<std::size_t>(end_rank)].finish;
+  path.end_rank = end_rank;
+
+  std::map<SendKey, std::size_t> sends;
+  std::vector<std::vector<std::size_t>> blocking;
+  blocking.reserve(ranks.size());
+  for (const RankCausality& r : ranks) {
+    auto idx = index_sends(r);
+    sends.insert(idx.begin(), idx.end());
+    blocking.push_back(blocking_recvs(r));
+  }
+
+  std::map<std::int32_t, LevelAttribution> by_level;
+
+  // Backward walk. `op_limit` restricts the next blocking receive to ones
+  // that happened before the send we hopped in through (program order, not
+  // just time — guards against zero-latency ties looping).
+  int cur_rank = end_rank;
+  double cur_time = path.makespan;
+  std::uint32_t op_limit = std::numeric_limits<std::uint32_t>::max();
+  std::vector<PathSegment> rev;
+  for (;;) {
+    const RankCausality& rc = ranks[static_cast<std::size_t>(cur_rank)];
+    const auto& blk = blocking[static_cast<std::size_t>(cur_rank)];
+    // Latest blocking receive with op < op_limit. Clock time is monotone
+    // in program order, so its arrival is <= cur_time automatically.
+    const RecvEvent* bound = nullptr;
+    auto it = std::lower_bound(
+        blk.begin(), blk.end(), op_limit,
+        [&](std::size_t i, std::uint32_t lim) { return rc.recvs[i].op < lim; });
+    if (it != blk.begin()) bound = &rc.recvs[*std::prev(it)];
+
+    PathSegment local;
+    local.rank = cur_rank;
+    local.from_rank = cur_rank;
+    local.wire = false;
+    local.vt_begin = bound != nullptr ? bound->vt_arrival : 0.0;
+    local.vt_end = cur_time;
+    local.level = bound != nullptr ? bound->level : kLevelSetup;
+    attribute_local(rc, local.vt_begin, local.vt_end, &local, &by_level,
+                    &path.compute_by_phase);
+    rev.push_back(local);
+    if (bound == nullptr) break;
+
+    const auto sit = sends.find(
+        SendKey{bound->src, cur_rank, bound->tag, bound->seq});
+    MND_CHECK_MSG(sit != sends.end(),
+                  "critical path hit an unmatched receive (src "
+                      << bound->src << ", tag " << bound->tag << ", seq "
+                      << bound->seq << " into rank " << cur_rank << ")");
+    const SendEvent& s =
+        ranks[static_cast<std::size_t>(bound->src)].sends[sit->second];
+
+    // Wire edge sender-side anchor. s.vt_end <= arrival for every shipped
+    // cost model (arrival - vt_end = L + bytes*(G - g) + delay with g == G);
+    // the min() keeps the walk monotone for exotic custom models.
+    const double anchor = std::min(s.vt_end, bound->vt_arrival);
+    PathSegment wire;
+    wire.rank = cur_rank;
+    wire.from_rank = bound->src;
+    wire.wire = true;
+    wire.vt_begin = anchor;
+    wire.vt_end = bound->vt_arrival;
+    wire.level = bound->level;
+    const double edge = wire.vt_end - wire.vt_begin;
+    const double delay = std::min(s.injected_delay, edge);
+    wire.by_category[static_cast<int>(PathCategory::kStallRetransmit)] +=
+        delay;
+    wire.by_category[static_cast<int>(PathCategory::kWireTransit)] +=
+        edge - delay;
+    LevelAttribution& lvl = by_level[wire.level];
+    lvl.level = wire.level;
+    lvl.by_category[static_cast<int>(PathCategory::kStallRetransmit)] +=
+        delay;
+    lvl.by_category[static_cast<int>(PathCategory::kWireTransit)] +=
+        edge - delay;
+    rev.push_back(wire);
+
+    cur_rank = bound->src;
+    cur_time = anchor;
+    op_limit = s.op;
+  }
+  std::reverse(rev.begin(), rev.end());
+  path.segments = std::move(rev);
+
+  for (const PathSegment& seg : path.segments) {
+    for (int c = 0; c < kNumPathCategories; ++c) {
+      path.by_category[c] += seg.by_category[c];
+    }
+  }
+  for (const auto& [lvl, attr] : by_level) {
+    (void)lvl;
+    path.by_level.push_back(attr);
+  }
+  return path;
+}
+
+// ---------------------------------------------------------------------------
+// Validation
+
+void validate_critical_path(const CriticalPath& path,
+                            const std::vector<RankCausality>& ranks) {
+  if (ranks.empty()) {
+    MND_CHECK_MSG(path.segments.empty() && path.makespan == 0.0,
+                  "empty run must yield an empty critical path");
+    return;
+  }
+  MND_CHECK_MSG(!path.segments.empty(), "critical path has no segments");
+  // Endpoints and contiguity are checked with exact double equality: every
+  // boundary is a copied clock snapshot, never arithmetic, so byte-equality
+  // is the invariant (DESIGN.md §5e).
+  MND_CHECK_MSG(path.segments.front().vt_begin == 0.0,
+                "critical path must start at virtual time 0, got "
+                    << path.segments.front().vt_begin);
+  MND_CHECK_MSG(path.segments.back().vt_end == path.makespan,
+                "critical path must end at the makespan "
+                    << path.makespan << ", got "
+                    << path.segments.back().vt_end);
+  for (std::size_t i = 0; i + 1 < path.segments.size(); ++i) {
+    MND_CHECK_MSG(
+        path.segments[i].vt_end == path.segments[i + 1].vt_begin,
+        "critical-path gap between segment " << i << " (ends "
+            << path.segments[i].vt_end << ") and segment " << i + 1
+            << " (begins " << path.segments[i + 1].vt_begin << ")");
+  }
+
+  for (std::size_t i = 0; i < path.segments.size(); ++i) {
+    const PathSegment& seg = path.segments[i];
+    if (seg.wire || !(seg.vt_end > seg.vt_begin)) continue;
+    MND_CHECK_MSG(seg.rank >= 0 &&
+                      static_cast<std::size_t>(seg.rank) < ranks.size(),
+                  "segment " << i << " names rank " << seg.rank
+                             << " outside the run");
+    const auto& ivs = ranks[static_cast<std::size_t>(seg.rank)].intervals;
+    // The interval record must tile [vt_begin, vt_end] exactly: a chain of
+    // byte-identical shared boundaries from vt_begin to vt_end.
+    auto it = std::lower_bound(
+        ivs.begin(), ivs.end(), seg.vt_begin,
+        [](const CostInterval& iv, double t) { return iv.begin < t; });
+    MND_CHECK_MSG(it != ivs.end() && it->begin == seg.vt_begin,
+                  "segment " << i << " on rank " << seg.rank << " begins at "
+                             << seg.vt_begin
+                             << ", which is not an interval boundary");
+    double at = seg.vt_begin;
+    while (at != seg.vt_end) {
+      MND_CHECK_MSG(it != ivs.end() && it->begin == at,
+                    "interval chain broke at " << at << " inside segment "
+                                               << i << " on rank "
+                                               << seg.rank);
+      MND_CHECK_MSG(it->end <= seg.vt_end,
+                    "interval overshoots segment " << i << " on rank "
+                        << seg.rank << ": [" << it->begin << ", " << it->end
+                        << ") vs segment end " << seg.vt_end);
+      at = it->end;
+      ++it;
+    }
+  }
+
+  // The top-level category rollup is the per-category sum over segments in
+  // segment order (same accumulation order as extract_critical_path), so it
+  // must match bit-for-bit — a drifted rollup means someone edited the
+  // summary without editing the segments it summarizes.
+  double rollup[kNumPathCategories] = {};
+  for (const PathSegment& seg : path.segments) {
+    for (int c = 0; c < kNumPathCategories; ++c) {
+      rollup[c] += seg.by_category[c];
+    }
+  }
+  for (int c = 0; c < kNumPathCategories; ++c) {
+    MND_CHECK_MSG(rollup[c] == path.by_category[c],
+                  "category rollup " << path_category_name(
+                      static_cast<PathCategory>(c))
+                      << " is " << path.by_category[c]
+                      << " but its segments sum to " << rollup[c]);
+  }
+
+  // The floating-point category sums agree with the makespan to within
+  // accumulated rounding of the (exact-boundary) telescoping differences.
+  const double total = path.attributed_total();
+  const double slack = 1e-9 * std::max(path.makespan, 1.0);
+  MND_CHECK_MSG(total >= path.makespan - slack &&
+                    total <= path.makespan + slack,
+                "attributed seconds " << total
+                                      << " diverge from the makespan "
+                                      << path.makespan);
+}
+
+// ---------------------------------------------------------------------------
+// Profile JSON
+
+namespace {
+
+void write_number(std::ostream& out, double v) {
+  out << std::setprecision(std::numeric_limits<double>::max_digits10) << v;
+}
+
+void write_categories(std::ostream& out, const double (&cats)[5]) {
+  for (int c = 0; c < kNumPathCategories; ++c) {
+    out << "\"" << path_category_name(static_cast<PathCategory>(c))
+        << "\":";
+    write_number(out, cats[c]);
+    if (c + 1 < kNumPathCategories) out << ',';
+  }
+}
+
+std::string level_label(std::int32_t level) {
+  if (level == kLevelSetup) return "setup";
+  if (level == kLevelPost) return "post";
+  return "level." + std::to_string(level);
+}
+
+}  // namespace
+
+void write_profile_json(std::ostream& out,
+                        const std::vector<RankCausality>& ranks,
+                        const CriticalPath& path,
+                        const std::vector<MetricsRegistry>* per_rank_metrics) {
+  out << "{\n\"schema_version\":1,\n\"kind\":\"mnd_profile\",\n\"ranks\":"
+      << ranks.size() << ",\n\"makespan_seconds\":";
+  write_number(out, path.makespan);
+  out << ",\n\"critical_path\":{\"end_rank\":" << path.end_rank
+      << ",\"attributed_seconds\":";
+  write_number(out, path.attributed_total());
+  out << ",\n  \"attribution\":{";
+  write_categories(out, path.by_category);
+  out << "},\n  \"by_level\":[";
+  for (std::size_t i = 0; i < path.by_level.size(); ++i) {
+    const LevelAttribution& lvl = path.by_level[i];
+    if (i > 0) out << ',';
+    out << "\n    {\"level\":\"" << level_label(lvl.level) << "\",";
+    write_categories(out, lvl.by_category);
+    out << ",\"total\":";
+    write_number(out, lvl.total());
+    out << '}';
+  }
+  out << "],\n  \"compute_by_phase\":{";
+  bool first = true;
+  for (const auto& [phase, seconds] : path.compute_by_phase) {
+    if (!first) out << ',';
+    first = false;
+    out << "\n    \"" << json_escape(phase) << "\":";
+    write_number(out, seconds);
+  }
+  out << "},\n  \"segments\":[";
+  for (std::size_t i = 0; i < path.segments.size(); ++i) {
+    const PathSegment& s = path.segments[i];
+    if (i > 0) out << ',';
+    out << "\n    {\"rank\":" << s.rank << ",\"from_rank\":" << s.from_rank
+        << ",\"wire\":" << (s.wire ? "true" : "false") << ",\"begin\":";
+    write_number(out, s.vt_begin);
+    out << ",\"end\":";
+    write_number(out, s.vt_end);
+    out << ",\"level\":\"" << level_label(s.level) << "\",";
+    write_categories(out, s.by_category);
+    out << '}';
+  }
+  out << "]},\n\"imbalance\":{\"straggler_rank\":"
+      << path.imbalance.straggler_rank << ",\"max_finish\":";
+  write_number(out, path.imbalance.max_finish);
+  out << ",\"mean_finish\":";
+  write_number(out, path.imbalance.mean_finish);
+  out << ",\"min_finish\":";
+  write_number(out, path.imbalance.min_finish);
+  out << ",\"imbalance_ratio\":";
+  write_number(out, path.imbalance.imbalance_ratio);
+  out << ",\n  \"per_rank\":[";
+  for (std::size_t r = 0; r < path.imbalance.rank_finish.size(); ++r) {
+    if (r > 0) out << ',';
+    out << "\n    {\"rank\":" << r << ",\"finish\":";
+    write_number(out, path.imbalance.rank_finish[r]);
+    out << ",\"wait_seconds\":";
+    write_number(out, path.imbalance.rank_wait_seconds[r]);
+    out << '}';
+  }
+  out << "]},\n\"latency_histograms\":{";
+  if (per_rank_metrics != nullptr) {
+    MetricsRegistry merged;
+    for (const MetricsRegistry& m : *per_rank_metrics) merged.merge(m);
+    first = true;
+    for (const auto& [name, hist] : merged.latencies()) {
+      if (!first) out << ',';
+      first = false;
+      out << "\n  \"" << json_escape(name) << "\":{\"count\":"
+          << hist.count() << ",\"p50\":";
+      write_number(out, hist.p50());
+      out << ",\"p95\":";
+      write_number(out, hist.p95());
+      out << ",\"p99\":";
+      write_number(out, hist.p99());
+      out << ",\"max\":";
+      write_number(out, hist.max());
+      out << '}';
+    }
+  }
+  out << "}\n}\n";
+}
+
+}  // namespace mnd::obs

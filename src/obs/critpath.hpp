@@ -1,0 +1,229 @@
+// Cross-rank critical-path profiling for the simulated cluster.
+//
+// The Communicator records, per rank, (a) a gap-free sequence of cost
+// intervals — every virtual-clock movement tagged with why the clock moved
+// (compute, serialization overhead, injected stall / retransmit backoff,
+// blocked wait, failure-detection timeout, checkpoint I/O) — and (b) the
+// causality events of every logical message: one SendEvent per send() call
+// and one RecvEvent per *accepted* delivery. Stream sequence numbers are
+// assigned here, per (peer, tag) stream, counting logical messages only:
+// retransmitted attempts collapse into their send's backoff intervals and
+// injected duplicates are dropped before reaching the log, so fault runs
+// stitch into the same happens-before DAG shape as fault-free ones.
+//
+// extract_critical_path() walks that DAG backward from the makespan: from
+// the last-finishing rank's finish time, find the latest blocking receive
+// (one that actually advanced the receiver's clock), emit the local segment
+// above it, hop across the message edge to the matching send on the sender,
+// and repeat. Segment and edge boundaries are *copied* clock values, never
+// arithmetic, so validate_critical_path() can check the invariant exactly:
+// consecutive boundaries are byte-identical doubles, the path starts at 0,
+// ends at the makespan, and every local segment is tiled exactly by the
+// recorder's cost intervals. Every virtual second of the makespan is thus
+// attributed to {local compute, serialization, wire transit,
+// stall/retransmit, straggler wait} per merge level, with no residue.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mnd::obs {
+
+class MetricsRegistry;
+
+/// Why a rank's virtual clock moved. Recorded by the Communicator.
+enum class CostKind : std::uint8_t {
+  kCompute,      // priced kernel / engine computation
+  kSerialize,    // LogGP send/recv occupancy: CPU serialization overhead
+  kWait,         // blocked on a not-yet-arrived message
+  kStall,        // injected straggler stall or retransmit backoff
+  kDetect,       // failure-detection timeout on a dead peer
+  kCheckpoint,   // checkpoint store write/read
+};
+
+/// One clock movement: [begin, end) with exact clock snapshots.
+struct CostInterval {
+  double begin = 0.0;
+  double end = 0.0;
+  CostKind kind = CostKind::kCompute;
+  std::int32_t level = 0;    // merge level (kLevelSetup before the loop)
+  std::uint32_t phase = 0;   // index into RankCausality::phase_names
+};
+
+/// One logical message leaving a rank (retransmit attempts are folded into
+/// the preceding stall intervals; a send records exactly one event).
+struct SendEvent {
+  std::int32_t dst = 0;
+  std::uint32_t tag = 0;
+  std::uint64_t seq = 0;     // per (dst, tag) stream, logical messages only
+  std::uint32_t op = 0;      // per-rank program-order position
+  double vt_begin = 0.0;     // clock at send() entry
+  double vt_end = 0.0;       // clock after the injection occupancy
+  double arrival = 0.0;      // message arrival time at dst (incl. delay)
+  double injected_delay = 0.0;  // fault-injected extra transit time
+  std::uint64_t bytes = 0;
+  std::int32_t level = 0;
+};
+
+/// One accepted delivery (duplicates and tombstones never reach the log).
+struct RecvEvent {
+  std::int32_t src = 0;
+  std::uint32_t tag = 0;
+  std::uint64_t seq = 0;     // per (src, tag) stream, accepted only
+  std::uint32_t op = 0;      // per-rank program-order position
+  double vt_wait_begin = 0.0;  // clock before joining the arrival time
+  double vt_arrival = 0.0;     // clock right after the join (== wait_begin
+                               // when the message was already there)
+  double vt_end = 0.0;         // clock after the drain occupancy
+  std::uint64_t bytes = 0;
+  std::int32_t level = 0;
+
+  bool blocking() const { return vt_arrival > vt_wait_begin; }
+};
+
+/// Everything one rank recorded for causality analysis.
+struct RankCausality {
+  int rank = 0;
+  double finish = 0.0;
+  std::vector<std::string> phase_names;  // index 0 is always ""
+  std::vector<CostInterval> intervals;   // gap-free, in clock order
+  std::vector<SendEvent> sends;
+  std::vector<RecvEvent> recvs;
+};
+
+/// Engine-set merge-level markers for interval/event stamping.
+inline constexpr std::int32_t kLevelSetup = -1;  // before the level loop
+inline constexpr std::int32_t kLevelPost = -2;   // postProcess / collect
+
+/// Per-rank recorder owned by the Communicator (null when profiling is
+/// off — the disabled fast path is one pointer test per site).
+class CommEventLog {
+ public:
+  explicit CommEventLog(int rank);
+
+  void set_level(std::int32_t level) { data_.level_hint = level; }
+  std::int32_t level() const { return data_.level_hint; }
+
+  /// Interns `name` and returns its phase id (0 is the empty name).
+  std::uint32_t intern_phase(const std::string& name);
+
+  /// Records one clock movement. Zero-length movements are skipped.
+  /// Intervals are NOT coalesced: every recorded boundary stays a clock
+  /// snapshot shared with its neighbour, which is what lets the validator
+  /// check segment tiling with exact double equality.
+  void add_interval(double begin, double end, CostKind kind,
+                    std::uint32_t phase = 0);
+
+  void record_send(int dst, std::uint32_t tag, double vt_begin, double vt_end,
+                   double arrival, std::uint64_t bytes, double injected_delay);
+  void record_recv(int src, std::uint32_t tag, double vt_wait_begin,
+                   double vt_arrival, double vt_end, std::uint64_t bytes);
+
+  /// Copies out the log with `finish` stamped as the rank's finish time.
+  RankCausality snapshot(double finish) const;
+
+ private:
+  struct Data : RankCausality {
+    std::int32_t level_hint = kLevelSetup;
+  };
+  Data data_;
+  std::uint32_t next_op_ = 0;
+  std::map<std::string, std::uint32_t> phase_ids_;
+  std::map<std::uint64_t, std::uint64_t> send_seq_;  // (peer<<32)|tag
+  std::map<std::uint64_t, std::uint64_t> recv_seq_;
+};
+
+/// Attribution categories for time on the critical path.
+enum class PathCategory : std::uint8_t {
+  kLocalCompute,
+  kSerialization,
+  kWireTransit,
+  kStallRetransmit,
+  kStragglerWait,
+};
+inline constexpr int kNumPathCategories = 5;
+const char* path_category_name(PathCategory c);
+
+/// A maximal same-rank (or same-edge) stretch of the critical path.
+struct PathSegment {
+  int rank = 0;              // receiver rank for wire edges
+  bool wire = false;         // message edge (sender -> receiver) vs local
+  int from_rank = 0;         // == rank unless wire
+  double vt_begin = 0.0;
+  double vt_end = 0.0;
+  std::int32_t level = 0;
+  /// Seconds by category within [vt_begin, vt_end]; sums to the segment.
+  double by_category[kNumPathCategories] = {0, 0, 0, 0, 0};
+};
+
+struct LevelAttribution {
+  std::int32_t level = 0;
+  double by_category[kNumPathCategories] = {0, 0, 0, 0, 0};
+  double total() const;
+};
+
+/// Straggler / rank-imbalance statistics over the whole run (not just the
+/// critical path).
+struct ImbalanceStats {
+  int straggler_rank = 0;       // argmax finish (lowest rank on ties)
+  double max_finish = 0.0;
+  double mean_finish = 0.0;
+  double min_finish = 0.0;
+  double imbalance_ratio = 0.0;  // max / mean finish (1.0 = balanced)
+  std::vector<double> rank_finish;
+  std::vector<double> rank_wait_seconds;  // blocked time per rank
+};
+
+struct CriticalPath {
+  double makespan = 0.0;
+  int end_rank = 0;
+  /// Forward time order; boundaries are exact copies of clock values.
+  std::vector<PathSegment> segments;
+  double by_category[kNumPathCategories] = {0, 0, 0, 0, 0};
+  std::vector<LevelAttribution> by_level;  // ascending level
+  /// Critical-path compute seconds per engine phase name.
+  std::map<std::string, double> compute_by_phase;
+  ImbalanceStats imbalance;
+
+  double attributed_total() const;
+};
+
+/// A stitched message edge: recv r on `dst` matches send s on `src`.
+struct MessageEdge {
+  int src = 0;
+  int dst = 0;
+  std::uint32_t tag = 0;
+  std::uint64_t seq = 0;
+  std::size_t send_index = 0;  // into ranks[src].sends
+  std::size_t recv_index = 0;  // into ranks[dst].recvs
+};
+
+/// Matches every RecvEvent to its SendEvent by (src, dst, tag, seq).
+/// Fails loudly (CheckFailure) if any receive has no matching send — that
+/// would mean dedup/retransmit stitching broke.
+std::vector<MessageEdge> stitch_message_edges(
+    const std::vector<RankCausality>& ranks);
+
+/// Extracts the critical path and attributes every virtual second on it.
+/// Handles empty input (zero ranks) and single-rank runs.
+CriticalPath extract_critical_path(const std::vector<RankCausality>& ranks);
+
+/// Enforces the invariant: segments are exactly contiguous (consecutive
+/// boundaries byte-identical), start at 0, end at the makespan, and each
+/// local segment is tiled exactly by its rank's recorded intervals.
+/// Throws CheckFailure on any violation.
+void validate_critical_path(const CriticalPath& path,
+                            const std::vector<RankCausality>& ranks);
+
+/// Writes the self-contained profile report JSON (--profile-out). All
+/// content is virtual-time only, so the bytes are identical across host
+/// thread counts. `per_rank_metrics` may be null.
+void write_profile_json(std::ostream& out,
+                        const std::vector<RankCausality>& ranks,
+                        const CriticalPath& path,
+                        const std::vector<MetricsRegistry>* per_rank_metrics);
+
+}  // namespace mnd::obs

@@ -46,7 +46,8 @@ void write_args(std::ostream& out, const SpanRecord& span) {
 }  // namespace
 
 void write_chrome_trace(std::ostream& out,
-                        const std::vector<RankTraceData>& ranks) {
+                        const std::vector<RankTraceData>& ranks,
+                        const std::vector<RankCausality>* causality) {
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   auto event = [&]() -> std::ostream& {
@@ -67,16 +68,43 @@ void write_chrome_trace(std::ostream& out,
               << json_escape(rank.track_names[t]) << "\"}}";
     }
     for (const SpanRecord& span : rank.spans) {
-      event() << "\"ph\":\"X\",\"name\":\"" << json_escape(span.name)
-              << "\",\"cat\":\"" << cat_name(span.cat)
-              << "\",\"pid\":" << rank.rank << ",\"tid\":" << span.track
-              << ",\"ts\":";
+      // Zero-duration spans (Tracer::instant markers) render as nothing
+      // when exported as ph:"X" with dur 0; emit a thread-scoped instant
+      // event instead.
+      const bool instant = !(span.vt_end > span.vt_begin);
+      event() << "\"ph\":\"" << (instant ? 'i' : 'X') << "\",\"name\":\""
+              << json_escape(span.name) << "\",\"cat\":\""
+              << cat_name(span.cat) << "\",\"pid\":" << rank.rank
+              << ",\"tid\":" << span.track << ",\"ts\":";
       write_number(out, span.vt_begin * 1e6);
-      out << ",\"dur\":";
-      write_number(out, span.vt_seconds() * 1e6);
+      if (instant) {
+        out << ",\"s\":\"t\"";
+      } else {
+        out << ",\"dur\":";
+        write_number(out, span.vt_seconds() * 1e6);
+      }
       out << ',';
       write_args(out, span);
       out << '}';
+    }
+  }
+  if (causality != nullptr) {
+    const std::vector<MessageEdge> edges = stitch_message_edges(*causality);
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      const MessageEdge& e = edges[i];
+      const SendEvent& s =
+          (*causality)[static_cast<std::size_t>(e.src)].sends[e.send_index];
+      const RecvEvent& r =
+          (*causality)[static_cast<std::size_t>(e.dst)].recvs[e.recv_index];
+      event() << "\"ph\":\"s\",\"name\":\"msg\",\"cat\":\"flow\",\"id\":" << i
+              << ",\"pid\":" << e.src << ",\"tid\":0,\"ts\":";
+      write_number(out, s.vt_end * 1e6);
+      out << ",\"args\":{\"tag\":" << e.tag << ",\"seq\":" << e.seq
+          << ",\"bytes\":" << s.bytes << "}}";
+      event() << "\"ph\":\"f\",\"bp\":\"e\",\"name\":\"msg\",\"cat\":\"flow\","
+                 "\"id\":" << i << ",\"pid\":" << e.dst << ",\"tid\":0,\"ts\":";
+      write_number(out, r.vt_arrival * 1e6);
+      out << ",\"args\":{}}";
     }
   }
   out << "\n]}\n";
@@ -122,6 +150,24 @@ void write_registry(std::ostream& out, const MetricsRegistry& reg) {
     write_number(out, acc.max());
     out << ",\"stddev\":";
     write_number(out, acc.stddev());
+    out << '}';
+  }
+  out << "},\n\"latency\":{";
+  first = true;
+  for (const auto& [name, hist] : reg.latencies()) {
+    if (!first) out << ',';
+    first = false;
+    out << "\n  \"" << json_escape(name) << "\":{\"count\":" << hist.count()
+        << ",\"sum\":";
+    write_number(out, hist.sum());
+    out << ",\"p50\":";
+    write_number(out, hist.p50());
+    out << ",\"p95\":";
+    write_number(out, hist.p95());
+    out << ",\"p99\":";
+    write_number(out, hist.p99());
+    out << ",\"max\":";
+    write_number(out, hist.max());
     out << '}';
   }
   out << "}}";

@@ -12,13 +12,21 @@
 #include <iosfwd>
 #include <vector>
 
+#include "obs/critpath.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace mnd::obs {
 
+/// `causality` may be null; when present, every stitched message edge is
+/// emitted as a Chrome flow-event pair (ph:"s" at the sender's injection
+/// end, ph:"f" with bp:"e" at the receiver's arrival) so Perfetto draws
+/// sender→receiver arrows across rank tracks. Zero-duration spans
+/// (Tracer::instant markers) export as ph:"i" instant events — a ph:"X"
+/// with dur 0 renders as nothing.
 void write_chrome_trace(std::ostream& out,
-                        const std::vector<RankTraceData>& ranks);
+                        const std::vector<RankTraceData>& ranks,
+                        const std::vector<RankCausality>* causality = nullptr);
 
 /// Counters sum, gauges max, histograms merge — the rank-0 reduction.
 MetricsRegistry merged_metrics(const std::vector<MetricsRegistry>& per_rank);

@@ -1,0 +1,81 @@
+#include "obs/histogram.hpp"
+
+#include <cmath>
+#include <cstdint>
+
+namespace mnd::obs {
+
+int LogHistogram::bucket_index(double value) {
+  if (!(value > 0.0)) return -1;  // zero, negatives, NaN -> underflow
+  int exp = 0;
+  // frexp: value = m * 2^exp with m in [0.5, 1), so floor(log2) = exp - 1.
+  (void)std::frexp(value, &exp);
+  const int i = (exp - 1) - kMinExp;
+  if (i < 0) return -1;
+  if (i >= kNumBuckets) return kNumBuckets;
+  return i;
+}
+
+double LogHistogram::bucket_lower(int i) {
+  return std::ldexp(1.0, kMinExp + i);
+}
+
+double LogHistogram::bucket_upper(int i) {
+  return std::ldexp(1.0, kMinExp + i + 1);
+}
+
+void LogHistogram::observe(double value) {
+  const int i = bucket_index(value);
+  if (i < 0) {
+    ++underflow_;
+  } else if (i >= kNumBuckets) {
+    ++overflow_;
+  } else {
+    ++buckets_[static_cast<std::size_t>(i)];
+  }
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  sum_ += value;
+  ++count_;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    buckets_[static_cast<std::size_t>(i)] +=
+        other.buckets_[static_cast<std::size_t>(i)];
+  }
+}
+
+double LogHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q <= 0.0) return min();
+  if (q >= 1.0) return max();
+  // 1-based rank of the sample the quantile falls on.
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  if (rank == 0) rank = 1;
+  if (rank > count_) rank = count_;
+  std::uint64_t cum = underflow_;
+  if (rank <= cum) return 0.0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const std::uint64_t c = buckets_[static_cast<std::size_t>(i)];
+    if (c == 0) continue;
+    if (rank <= cum + c) {
+      const double frac = static_cast<double>(rank - cum) /
+                          static_cast<double>(c);
+      const double lo = bucket_lower(i);
+      return lo + (bucket_upper(i) - lo) * frac;
+    }
+    cum += c;
+  }
+  return max();  // rank lands in the overflow bucket
+}
+
+}  // namespace mnd::obs

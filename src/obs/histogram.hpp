@@ -1,0 +1,72 @@
+// Fixed-layout log-bucket latency histogram.
+//
+// Buckets sit on power-of-two edges: bucket i covers [2^(kMinExp+i),
+// 2^(kMinExp+i+1)). Because the layout is FIXED — every histogram in every
+// rank uses the same 64 buckets — folding per-rank histograms is plain
+// element-wise count addition, and the fold is deterministic regardless of
+// merge order or host thread count. Quantiles (p50/p95/p99) interpolate
+// linearly inside the covering bucket from integer counts, so they are a
+// pure function of the folded counts.
+//
+// This complements util::StatAccumulator (moments): the accumulator gives
+// exact mean/stddev but cannot answer tail-latency questions; the log
+// buckets give percentiles with bounded (factor-of-two) resolution at any
+// scale from sub-nanosecond waits to multi-day makespans.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace mnd::obs {
+
+class LogHistogram {
+ public:
+  /// 2^-40 s ~ 0.9 ps: below any virtual-time quantum the cost models emit.
+  static constexpr int kMinExp = -40;
+  /// 2^24 s ~ 194 days: above any plausible virtual makespan.
+  static constexpr int kMaxExp = 24;
+  static constexpr int kNumBuckets = kMaxExp - kMinExp;  // 64
+
+  /// Bucket index covering `value`, or -1 (underflow: value < 2^kMinExp,
+  /// including zero and negatives) or kNumBuckets (overflow).
+  static int bucket_index(double value);
+  /// Inclusive lower edge 2^(kMinExp + i) of bucket i in [0, kNumBuckets).
+  static double bucket_lower(int i);
+  /// Exclusive upper edge 2^(kMinExp + i + 1).
+  static double bucket_upper(int i);
+
+  void observe(double value);
+  /// Element-wise count addition — the deterministic fold.
+  void merge(const LogHistogram& other);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t bucket_count(int i) const {
+    return buckets_[static_cast<std::size_t>(i)];
+  }
+
+  /// q in [0, 1]. Deterministic: walks cumulative counts to the bucket
+  /// holding the ceil(q * count)-th sample and interpolates linearly
+  /// between its power-of-two edges. Underflow samples resolve to 0.0;
+  /// overflow samples to the exact tracked max. Returns 0.0 when empty.
+  double quantile(double q) const;
+
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
+ private:
+  std::array<std::uint64_t, kNumBuckets> buckets_{};
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace mnd::obs

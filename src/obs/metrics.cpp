@@ -33,10 +33,20 @@ double MetricsRegistry::gauge(const std::string& name) const {
   return it == gauges_.end() ? 0.0 : it->second;
 }
 
+void MetricsRegistry::observe_latency(const std::string& name,
+                                      double seconds) {
+  latencies_[name].observe(seconds);
+}
+
 const StatAccumulator* MetricsRegistry::histogram(
     const std::string& name) const {
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
+}
+
+const LogHistogram* MetricsRegistry::latency(const std::string& name) const {
+  const auto it = latencies_.find(name);
+  return it == latencies_.end() ? nullptr : &it->second;
 }
 
 void MetricsRegistry::merge(const MetricsRegistry& other) {
@@ -53,6 +63,9 @@ void MetricsRegistry::merge(const MetricsRegistry& other) {
   }
   for (const auto& [name, acc] : other.histograms_) {
     histograms_[name].merge(acc);
+  }
+  for (const auto& [name, hist] : other.latencies_) {
+    latencies_[name].merge(hist);
   }
 }
 

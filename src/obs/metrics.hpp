@@ -18,6 +18,7 @@
 #include <map>
 #include <string>
 
+#include "obs/histogram.hpp"
 #include "util/stats.hpp"
 
 namespace mnd::obs {
@@ -27,6 +28,10 @@ class MetricsRegistry {
   void add_counter(const std::string& name, std::uint64_t delta);
   void set_gauge(const std::string& name, double value);
   void observe(const std::string& name, double sample);
+  /// Tail-latency metric: records into a fixed-layout LogHistogram so
+  /// per-rank folds are deterministic (see obs/histogram.hpp). Used for
+  /// "comm.rtt", ring-segment, and per-level phase latencies.
+  void observe_latency(const std::string& name, double seconds);
 
   /// 0 when the counter was never touched.
   std::uint64_t counter(const std::string& name) const;
@@ -35,9 +40,12 @@ class MetricsRegistry {
   double gauge(const std::string& name) const;
   /// nullptr when the histogram was never observed.
   const StatAccumulator* histogram(const std::string& name) const;
+  /// nullptr when the latency histogram was never observed.
+  const LogHistogram* latency(const std::string& name) const;
 
   bool empty() const {
-    return counters_.empty() && gauges_.empty() && histograms_.empty();
+    return counters_.empty() && gauges_.empty() && histograms_.empty() &&
+           latencies_.empty();
   }
 
   /// Rank-0 aggregation: counters sum, gauges max, histograms merge.
@@ -51,11 +59,15 @@ class MetricsRegistry {
   const std::map<std::string, StatAccumulator>& histograms() const {
     return histograms_;
   }
+  const std::map<std::string, LogHistogram>& latencies() const {
+    return latencies_;
+  }
 
  private:
   std::map<std::string, std::uint64_t> counters_;
   std::map<std::string, double> gauges_;
   std::map<std::string, StatAccumulator> histograms_;
+  std::map<std::string, LogHistogram> latencies_;
 };
 
 /// Records a transport payload's size under both accountings: `raw` is

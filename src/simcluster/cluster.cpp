@@ -269,6 +269,9 @@ RunReport Cluster::run(const std::function<void(Communicator&)>& fn) {
                     "rank " << r << " finished with unclosed trace spans");
       report.rank_traces.push_back(c.tracer()->snapshot());
     }
+    if (c.comm_log() != nullptr) {
+      report.rank_causality.push_back(c.comm_log()->snapshot(c.clock().now()));
+    }
     report.makespan = std::max(report.makespan, c.clock().now());
   }
   return report;

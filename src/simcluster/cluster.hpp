@@ -61,6 +61,9 @@ struct RunReport {
   std::vector<obs::MetricsRegistry> rank_metrics;
   /// Per-rank span traces; empty unless ClusterConfig::collect_traces.
   std::vector<obs::RankTraceData> rank_traces;
+  /// Per-rank causality logs (cost intervals + send/recv events) for the
+  /// critical-path profiler; empty unless ClusterConfig::collect_traces.
+  std::vector<obs::RankCausality> rank_causality;
 
   double total_comm_seconds() const;
   double max_comm_seconds() const;

@@ -37,6 +37,7 @@ void Communicator::enable_tracing() {
   if (tracer_ != nullptr) return;
   tracer_ = std::make_unique<obs::Tracer>(
       rank_, [clock = &clock_] { return clock->now(); });
+  events_ = std::make_unique<obs::CommEventLog>(rank_);
 }
 
 void Communicator::fold_stats_into_metrics() {
@@ -89,17 +90,29 @@ const NetModel& Communicator::net() const { return cluster_.net(); }
 
 void Communicator::compute(double seconds, const std::string& phase) {
   MND_CHECK_MSG(seconds >= 0.0, "negative compute charge for " << phase);
-  advance_clock(seconds);
+  advance_clock(seconds, obs::CostKind::kCompute,
+                events_ != nullptr ? events_->intern_phase(phase) : 0);
   phases_.add(phase, seconds);
 }
 
-void Communicator::advance_clock(double seconds) {
+double Communicator::advance_clock(double seconds, obs::CostKind kind,
+                                   std::uint32_t phase) {
+  const double begin = clock_.now();
   clock_.advance(seconds);
+  const double end = clock_.now();
+  if (events_ != nullptr) events_->add_interval(begin, end, kind, phase);
   if (next_stall_ < stalls_.size()) poll_stalls();
+  return end;
 }
 
 double Communicator::join_clock(double arrival_time) {
+  const double begin = clock_.now();
   const double wait = clock_.join(arrival_time);
+  if (events_ != nullptr && wait > 0.0) {
+    // clock_.now() here is the arrival time by exact assignment, so the
+    // interval end matches the RecvEvent's vt_arrival byte-for-byte.
+    events_->add_interval(begin, clock_.now(), obs::CostKind::kWait);
+  }
   if (next_stall_ < stalls_.size()) poll_stalls();
   return wait;
 }
@@ -110,7 +123,11 @@ void Communicator::poll_stalls() {
   while (next_stall_ < stalls_.size() &&
          stalls_[next_stall_].at_seconds <= clock_.now()) {
     const double duration = stalls_[next_stall_].duration_seconds;
+    const double begin = clock_.now();
     clock_.advance(duration);
+    if (events_ != nullptr) {
+      events_->add_interval(begin, clock_.now(), obs::CostKind::kStall);
+    }
     stats_.stall_seconds += duration;
     phases_.add("fault.stall", duration);
     ++next_stall_;
@@ -138,6 +155,8 @@ void Communicator::send(int dst, Tag tag, std::vector<std::uint8_t> payload) {
   msg.src = rank_;
   msg.tag = tag;
 
+  const double vt_send_begin = clock_.now();
+  double injected_delay = 0.0;
   bool duplicate = false;
   if (fault_ != nullptr && fault_->message_faults()) {
     const std::uint64_t seq = send_seq_[stream_key(dst, tag)]++;
@@ -152,7 +171,7 @@ void Communicator::send(int dst, Tag tag, std::vector<std::uint8_t> payload) {
            fault_->drops(rank_, dst, tag, seq, attempt)) {
       const double occupancy = net().send_occupancy(bytes);
       const double backoff = fault_->backoff_seconds(base, attempt);
-      advance_clock(occupancy + backoff);
+      advance_clock(occupancy + backoff, obs::CostKind::kStall);
       stats_.comm_seconds += occupancy + backoff;
       stats_.retransmissions += 1;
       stats_.retry_backoff_seconds += backoff;
@@ -161,7 +180,8 @@ void Communicator::send(int dst, Tag tag, std::vector<std::uint8_t> payload) {
     }
     msg.arrival_time = net().arrival(clock_.now(), bytes);
     if (fault_->delays(rank_, dst, tag, seq)) {
-      msg.arrival_time += fault_->delay_seconds;
+      injected_delay = fault_->delay_seconds;
+      msg.arrival_time += injected_delay;
     }
     duplicate = fault_->duplicates(rank_, dst, tag, seq);
   } else {
@@ -170,7 +190,12 @@ void Communicator::send(int dst, Tag tag, std::vector<std::uint8_t> payload) {
   msg.payload = std::move(payload);
 
   const double occupancy = net().send_occupancy(bytes);
-  advance_clock(occupancy);
+  const double vt_send_end =
+      advance_clock(occupancy, obs::CostKind::kSerialize);
+  if (events_ != nullptr) {
+    events_->record_send(dst, tag, vt_send_begin, vt_send_end,
+                         msg.arrival_time, bytes, injected_delay);
+  }
   stats_.comm_seconds += occupancy;
   stats_.messages_sent += 1;
   stats_.bytes_sent += bytes;
@@ -200,9 +225,11 @@ Message Communicator::take_deduped(int src, Tag tag) {
     if (fault_ != nullptr && fault_->message_faults()) {
       std::uint64_t& expected = recv_expected_[stream_key(src, tag)];
       if (msg.seq < expected) {
-        // Stale copy: pay the drain cost, discard, and keep waiting.
+        // Stale copy: pay the drain cost, discard, and keep waiting. The
+        // drained duplicate never reaches the causality log — stitching
+        // sees logical messages only — but its cost is a stall interval.
         const double drain = net().recv_occupancy();
-        advance_clock(drain);
+        advance_clock(drain, obs::CostKind::kStall);
         stats_.comm_seconds += drain;
         stats_.duplicates_dropped += 1;
         phases_.add("comm", drain);
@@ -220,9 +247,17 @@ std::vector<std::uint8_t> Communicator::recv(int src, Tag tag) {
                                         << tag
                                         << "): peer died; only recv_or_fail"
                                            " tolerates dead peers");
+  const double vt_wait_begin = clock_.now();
   const double wait = join_clock(msg.arrival_time);
+  // Exact boundary copies: a blocking join lands the clock on the arrival
+  // time by assignment; a non-blocking one leaves it at vt_wait_begin.
+  const double vt_arrival = wait > 0.0 ? msg.arrival_time : vt_wait_begin;
   const double drain = net().recv_occupancy();
-  advance_clock(drain);
+  const double vt_recv_end = advance_clock(drain, obs::CostKind::kSerialize);
+  if (events_ != nullptr) {
+    events_->record_recv(src, tag, vt_wait_begin, vt_arrival, vt_recv_end,
+                         msg.payload.size());
+  }
   stats_.comm_seconds += wait + drain;
   stats_.wait_seconds += wait;
   stats_.messages_received += 1;
@@ -242,16 +277,22 @@ std::optional<std::vector<std::uint8_t>> Communicator::recv_or_fail(int src,
     // Model a heartbeat timeout: concluding a peer is dead costs real
     // (virtual) time, so recovery shows up in the makespan.
     const double timeout = detect_seconds();
-    advance_clock(timeout);
+    advance_clock(timeout, obs::CostKind::kDetect);
     stats_.comm_seconds += timeout;
     stats_.tombstones += 1;
     stats_.failure_detect_seconds += timeout;
     phases_.add("comm", timeout);
     return std::nullopt;
   }
+  const double vt_wait_begin = clock_.now();
   const double wait = join_clock(msg.arrival_time);
+  const double vt_arrival = wait > 0.0 ? msg.arrival_time : vt_wait_begin;
   const double drain = net().recv_occupancy();
-  advance_clock(drain);
+  const double vt_recv_end = advance_clock(drain, obs::CostKind::kSerialize);
+  if (events_ != nullptr) {
+    events_->record_recv(src, tag, vt_wait_begin, vt_arrival, vt_recv_end,
+                         msg.payload.size());
+  }
   stats_.comm_seconds += wait + drain;
   stats_.wait_seconds += wait;
   stats_.messages_received += 1;
@@ -275,7 +316,7 @@ void Communicator::checkpoint_write(int cut, std::vector<std::uint8_t> blob) {
   const double cost =
       fault_->checkpoint_latency_seconds +
       static_cast<double>(blob.size()) * fault_->checkpoint_seconds_per_byte;
-  advance_clock(cost);
+  advance_clock(cost, obs::CostKind::kCheckpoint);
   stats_.checkpoint_bytes += blob.size();
   stats_.checkpoint_seconds += cost;
   phases_.add("checkpoint", cost);
@@ -291,7 +332,7 @@ std::vector<std::uint8_t> Communicator::checkpoint_read(int cut, int rank) {
   const double cost =
       fault_->checkpoint_latency_seconds +
       static_cast<double>(blob->size()) * fault_->checkpoint_seconds_per_byte;
-  advance_clock(cost);
+  advance_clock(cost, obs::CostKind::kCheckpoint);
   stats_.checkpoint_seconds += cost;
   phases_.add("checkpoint", cost);
   return std::move(*blob);
@@ -299,8 +340,15 @@ std::vector<std::uint8_t> Communicator::checkpoint_read(int cut, int rank) {
 
 std::vector<std::uint8_t> Communicator::exchange(
     int peer, Tag tag, std::vector<std::uint8_t> payload) {
+  const double begin = clock_.now();
   send(peer, tag, std::move(payload));
-  return recv(peer, tag);
+  std::vector<std::uint8_t> reply = recv(peer, tag);
+  if (metrics_enabled()) {
+    // Virtual round-trip latency of the paired exchange; feeds the p50/p95/
+    // p99 tail stats in the profile report.
+    metrics_.observe_latency("comm.rtt", clock_.now() - begin);
+  }
+  return reply;
 }
 
 // ---------------------------------------------------------------------------

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/critpath.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "simcluster/fault.hpp"
@@ -93,8 +94,13 @@ class Communicator {
   /// code instruments unconditionally through obs::Span, which tolerates
   /// the null (disabled) tracer.
   obs::Tracer* tracer() { return tracer_.get(); }
-  /// Creates this rank's tracer, bound to its virtual clock.
+  /// Creates this rank's tracer, bound to its virtual clock, plus the
+  /// causality event log behind the critical-path profiler.
   void enable_tracing();
+
+  /// Null unless tracing is enabled. Engine code stamps merge levels on it
+  /// (null-tolerantly); the cluster snapshots it into RunReport.
+  obs::CommEventLog* comm_log() { return events_.get(); }
 
   obs::MetricsRegistry& metrics() { return metrics_; }
   const obs::MetricsRegistry& metrics() const { return metrics_; }
@@ -208,7 +214,12 @@ class Communicator {
   // stall fires at whichever advance first crosses its at_seconds —
   // compute, comm, checkpoint, or backoff alike. Direct clock_ access
   // would let a stall slip past its scheduled time (or never fire).
-  void advance_clock(double seconds);
+  // They also record the movement as a cost interval when profiling is on,
+  // which keeps the causality log gap-free by construction. advance_clock
+  // returns the clock right after the charged movement, BEFORE any stall
+  // fired by the poll — the exact boundary causality events must carry.
+  double advance_clock(double seconds, obs::CostKind kind,
+                       std::uint32_t phase = 0);
   double join_clock(double arrival_time);
 
   Cluster& cluster_;
@@ -218,6 +229,7 @@ class Communicator {
   CommStats stats_;
   PhaseBreakdown phases_;
   std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<obs::CommEventLog> events_;
   obs::MetricsRegistry metrics_;
 
   // Fault-injection state (unused on the fault-free path).

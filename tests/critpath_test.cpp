@@ -1,0 +1,270 @@
+// Cross-rank critical-path profiler: DAG stitching (dedup/retransmit
+// aware), the exact tiling invariant (segment times sum to the virtual
+// makespan), byte-identical profiles across thread counts, and the
+// validator catching corrupted paths. Includes the 216-config fuzz slice
+// from the PR's acceptance criteria.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "mst/mnd_mst.hpp"
+#include "obs/critpath.hpp"
+#include "simcluster/fault.hpp"
+#include "util/check.hpp"
+
+namespace mnd {
+namespace {
+
+mst::MndMstReport profiled_run(int nodes, std::size_t threads = 1,
+                               const std::string& faults = "",
+                               sim::WireFormat wire = sim::WireFormat::kCompact,
+                               int group = 4, bool gpu = false,
+                               std::uint64_t seed = 42) {
+  const graph::EdgeList el = graph::rmat(9, 4096, seed);
+  mst::MndMstOptions opts;
+  opts.num_nodes = nodes;
+  opts.threads = threads;
+  opts.collect_traces = true;
+  opts.collect_metrics = true;
+  opts.engine.wire = wire;
+  opts.engine.group_size = group;
+  opts.engine.use_gpu = gpu;
+  if (!faults.empty()) opts.faults = sim::FaultPlan::parse(faults);
+  return mst::run_mnd_mst(el, opts);
+}
+
+std::string profile_json(const mst::MndMstReport& report) {
+  const obs::CriticalPath path =
+      obs::extract_critical_path(report.run.rank_causality);
+  obs::validate_critical_path(path, report.run.rank_causality);
+  std::ostringstream out;
+  obs::write_profile_json(out, report.run.rank_causality, path,
+                          &report.run.rank_metrics);
+  return out.str();
+}
+
+// ---- Edge cases ----------------------------------------------------------
+
+TEST(CritPathTest, EmptyTraceYieldsEmptyValidPath) {
+  const std::vector<obs::RankCausality> none;
+  const obs::CriticalPath path = obs::extract_critical_path(none);
+  EXPECT_EQ(path.makespan, 0.0);
+  EXPECT_TRUE(path.segments.empty());
+  EXPECT_NO_THROW(obs::validate_critical_path(path, none));
+  EXPECT_TRUE(obs::stitch_message_edges(none).empty());
+}
+
+TEST(CritPathTest, SingleRankPathIsAllLocalAndExact) {
+  const auto report = profiled_run(1);
+  const auto& ranks = report.run.rank_causality;
+  ASSERT_EQ(ranks.size(), 1u);
+  const obs::CriticalPath path = obs::extract_critical_path(ranks);
+  obs::validate_critical_path(path, ranks);
+
+  EXPECT_EQ(path.end_rank, 0);
+  EXPECT_GT(path.makespan, 0.0);
+  for (const obs::PathSegment& seg : path.segments) {
+    EXPECT_FALSE(seg.wire) << "single rank cannot have wire segments";
+  }
+  // No peers: nothing to wait on, nothing on the wire.
+  using obs::PathCategory;
+  EXPECT_EQ(path.by_category[static_cast<int>(PathCategory::kWireTransit)],
+            0.0);
+  EXPECT_EQ(
+      path.by_category[static_cast<int>(PathCategory::kStragglerWait)], 0.0);
+  EXPECT_EQ(path.imbalance.straggler_rank, 0);
+}
+
+// ---- The tentpole invariant ----------------------------------------------
+
+TEST(CritPathTest, SegmentsTileTheMakespanExactly) {
+  const auto report = profiled_run(8);
+  const auto& ranks = report.run.rank_causality;
+  const obs::CriticalPath path = obs::extract_critical_path(ranks);
+  obs::validate_critical_path(path, ranks);
+
+  ASSERT_FALSE(path.segments.empty());
+  // Boundaries are copied clock snapshots, so these hold as exact
+  // double equality, not approximately.
+  EXPECT_EQ(path.segments.front().vt_begin, 0.0);
+  EXPECT_EQ(path.segments.back().vt_end, path.makespan);
+  for (std::size_t i = 1; i < path.segments.size(); ++i) {
+    EXPECT_EQ(path.segments[i - 1].vt_end, path.segments[i].vt_begin)
+        << "gap/overlap between segments " << i - 1 << " and " << i;
+  }
+  EXPECT_DOUBLE_EQ(path.attributed_total(), path.makespan);
+}
+
+TEST(CritPathTest, LevelAttributionSumsToTheMakespan) {
+  const auto report = profiled_run(8);
+  const obs::CriticalPath path =
+      obs::extract_critical_path(report.run.rank_causality);
+  ASSERT_FALSE(path.by_level.empty());
+  double total = 0.0;
+  int prev_level = obs::kLevelPost - 1;
+  for (const obs::LevelAttribution& lv : path.by_level) {
+    EXPECT_GT(lv.level, prev_level) << "levels must be sorted ascending";
+    prev_level = lv.level;
+    total += lv.total();
+  }
+  EXPECT_NEAR(total, path.makespan, 1e-9 * std::max(1.0, path.makespan));
+}
+
+// ---- DAG stitching -------------------------------------------------------
+
+TEST(CritPathTest, MessageEdgesPairSendsAndRecvsByStreamSeq) {
+  const auto report = profiled_run(4);
+  const auto& ranks = report.run.rank_causality;
+  const auto edges = obs::stitch_message_edges(ranks);
+  ASSERT_FALSE(edges.empty());
+  for (const obs::MessageEdge& e : edges) {
+    const auto& s = ranks[static_cast<std::size_t>(e.src)].sends[e.send_index];
+    const auto& r = ranks[static_cast<std::size_t>(e.dst)].recvs[e.recv_index];
+    EXPECT_EQ(s.dst, e.dst);
+    EXPECT_EQ(r.src, e.src);
+    EXPECT_EQ(s.tag, e.tag);
+    EXPECT_EQ(r.tag, e.tag);
+    EXPECT_EQ(s.seq, e.seq);
+    EXPECT_EQ(r.seq, e.seq);
+    // Causality: a message arrives after its send completes.
+    EXPECT_GE(r.vt_arrival, s.vt_end);
+  }
+}
+
+TEST(CritPathTest, RetransmitsAndDuplicatesStitchCleanly) {
+  // Drops force retransmits; dups deliver the same logical message twice;
+  // delays reorder arrivals. Logical seq numbering must still pair every
+  // accepted delivery with exactly one send.
+  const auto report = profiled_run(
+      4, 1, "seed=7,drop=0.05,dup=0.08,delay=0.10:0.002,retry=0.001");
+  const auto& ranks = report.run.rank_causality;
+  EXPECT_NO_THROW({
+    const auto edges = obs::stitch_message_edges(ranks);
+    EXPECT_FALSE(edges.empty());
+  });
+  const obs::CriticalPath path = obs::extract_critical_path(ranks);
+  obs::validate_critical_path(path, ranks);
+  EXPECT_NEAR(path.attributed_total(), path.makespan,
+              1e-9 * std::max(1.0, path.makespan));
+}
+
+TEST(CritPathTest, CrashWithSurvivorsStillValidates) {
+  const auto report = profiled_run(4, 1, "seed=3,crash=2@1,detect=0.004");
+  const obs::CriticalPath path =
+      obs::extract_critical_path(report.run.rank_causality);
+  obs::validate_critical_path(path, report.run.rank_causality);
+  EXPECT_GT(path.makespan, 0.0);
+}
+
+// ---- Determinism ---------------------------------------------------------
+
+TEST(CritPathTest, ProfileJsonByteIdenticalAcrossThreadCounts) {
+  for (const char* faults :
+       {"", "seed=7,drop=0.05,dup=0.08,delay=0.10:0.002,retry=0.001"}) {
+    for (sim::WireFormat wire :
+         {sim::WireFormat::kRaw, sim::WireFormat::kCompact}) {
+      const std::string one = profile_json(profiled_run(4, 1, faults, wire));
+      const std::string eight =
+          profile_json(profiled_run(4, 8, faults, wire));
+      EXPECT_EQ(one, eight)
+          << "profile differs between --threads 1 and 8 (faults=\"" << faults
+          << "\", wire=" << (wire == sim::WireFormat::kRaw ? "raw" : "compact")
+          << ")";
+    }
+  }
+}
+
+// ---- Validator teeth -----------------------------------------------------
+
+TEST(CritPathTest, ValidatorFiresOnCorruptedPath) {
+  const auto report = profiled_run(4);
+  const auto& ranks = report.run.rank_causality;
+  obs::CriticalPath path = obs::extract_critical_path(ranks);
+  obs::validate_critical_path(path, ranks);  // sanity: valid as extracted
+
+  {
+    obs::CriticalPath bad = path;
+    bad.makespan += 1.0;
+    EXPECT_THROW(obs::validate_critical_path(bad, ranks), CheckFailure);
+  }
+  {
+    obs::CriticalPath bad = path;
+    ASSERT_FALSE(bad.segments.empty());
+    bad.segments.front().vt_begin += 1e-3;
+    EXPECT_THROW(obs::validate_critical_path(bad, ranks), CheckFailure);
+  }
+  {
+    obs::CriticalPath bad = path;
+    // Top-level rollup edited without touching the segments it summarizes.
+    bad.by_category[0] += 0.5;
+    EXPECT_THROW(obs::validate_critical_path(bad, ranks), CheckFailure);
+  }
+  {
+    obs::CriticalPath bad = path;
+    ASSERT_FALSE(bad.segments.empty());
+    // Keep the rollup consistent but break attributed-sum-equals-makespan.
+    bad.segments.front().by_category[0] += 0.5;
+    bad.by_category[0] += 0.5;
+    EXPECT_THROW(obs::validate_critical_path(bad, ranks), CheckFailure);
+  }
+}
+
+// ---- Fuzz slice ----------------------------------------------------------
+
+/// 216 configurations: 3 node counts x 2 group sizes x 2 wire modes x
+/// 2 device splits x 3 fault plans x 3 graph seeds. Every one must
+/// extract a critical path whose segments tile [0, makespan] exactly
+/// (validate_critical_path throws otherwise).
+TEST(CritPathTest, FuzzSliceInvariantHoldsEverywhere) {
+  const char* fault_plans[] = {
+      "",
+      "seed=5,drop=0.03,dup=0.04,delay=0.05:0.001,retry=0.001",
+      "seed=9,stall=1@0.002x0.004",
+  };
+  int configs = 0;
+  for (int nodes : {2, 4, 8}) {
+    for (int group : {2, 4}) {
+      for (sim::WireFormat wire :
+           {sim::WireFormat::kRaw, sim::WireFormat::kCompact}) {
+        for (bool gpu : {false, true}) {
+          for (const char* faults : fault_plans) {
+            for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+              const graph::EdgeList el = graph::rmat(7, 1024, seed);
+              mst::MndMstOptions opts;
+              opts.num_nodes = nodes;
+              opts.collect_traces = true;
+              opts.engine.group_size = group;
+              opts.engine.wire = wire;
+              opts.engine.use_gpu = gpu;
+              if (*faults != '\0') {
+                opts.faults = sim::FaultPlan::parse(faults);
+              }
+              const auto report = mst::run_mnd_mst(el, opts);
+              const auto& ranks = report.run.rank_causality;
+              ASSERT_EQ(ranks.size(), static_cast<std::size_t>(nodes));
+              const obs::CriticalPath path =
+                  obs::extract_critical_path(ranks);
+              ASSERT_NO_THROW(obs::validate_critical_path(path, ranks))
+                  << "nodes=" << nodes << " group=" << group << " wire="
+                  << (wire == sim::WireFormat::kRaw ? "raw" : "compact")
+                  << " gpu=" << gpu << " faults=\"" << faults
+                  << "\" seed=" << seed;
+              ASSERT_NEAR(path.attributed_total(), path.makespan,
+                          1e-9 * std::max(1.0, path.makespan));
+              ++configs;
+            }
+          }
+        }
+      }
+    }
+  }
+  EXPECT_EQ(configs, 216);
+}
+
+}  // namespace
+}  // namespace mnd

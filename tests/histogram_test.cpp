@@ -1,0 +1,170 @@
+// LogHistogram: fixed power-of-two bucket layout, underflow/overflow
+// handling, quantile interpolation, and the deterministic element-wise
+// fold that makes per-rank histograms mergeable in any order.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "obs/histogram.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mnd {
+namespace {
+
+using obs::LogHistogram;
+
+TEST(HistogramTest, BucketEdgesArePowersOfTwo) {
+  for (int i = 0; i < LogHistogram::kNumBuckets; ++i) {
+    EXPECT_DOUBLE_EQ(LogHistogram::bucket_lower(i),
+                     std::ldexp(1.0, LogHistogram::kMinExp + i));
+    EXPECT_DOUBLE_EQ(LogHistogram::bucket_upper(i),
+                     std::ldexp(1.0, LogHistogram::kMinExp + i + 1));
+  }
+  EXPECT_DOUBLE_EQ(LogHistogram::bucket_lower(0),
+                   std::ldexp(1.0, LogHistogram::kMinExp));
+  EXPECT_DOUBLE_EQ(
+      LogHistogram::bucket_upper(LogHistogram::kNumBuckets - 1),
+      std::ldexp(1.0, LogHistogram::kMaxExp));
+}
+
+TEST(HistogramTest, BucketIndexAtAndAroundEveryEdge) {
+  for (int i = 0; i < LogHistogram::kNumBuckets; ++i) {
+    const double lower = LogHistogram::bucket_lower(i);
+    // Inclusive lower edge: exactly 2^k lands in bucket i, not i-1.
+    EXPECT_EQ(LogHistogram::bucket_index(lower), i) << "edge 2^"
+        << (LogHistogram::kMinExp + i);
+    // Just below the edge belongs to the previous bucket (or underflow).
+    const double below = std::nextafter(lower, 0.0);
+    EXPECT_EQ(LogHistogram::bucket_index(below), i - 1);
+    // Midpoint stays inside the bucket.
+    EXPECT_EQ(LogHistogram::bucket_index(lower * 1.5), i);
+  }
+}
+
+TEST(HistogramTest, UnderflowAndOverflow) {
+  EXPECT_EQ(LogHistogram::bucket_index(0.0), -1);
+  EXPECT_EQ(LogHistogram::bucket_index(-1.0), -1);
+  EXPECT_EQ(
+      LogHistogram::bucket_index(
+          std::nextafter(std::ldexp(1.0, LogHistogram::kMinExp), 0.0)),
+      -1);
+  EXPECT_EQ(LogHistogram::bucket_index(std::ldexp(1.0, LogHistogram::kMaxExp)),
+            LogHistogram::kNumBuckets);
+
+  LogHistogram h;
+  h.observe(0.0);                                    // underflow
+  h.observe(std::ldexp(1.0, LogHistogram::kMinExp - 3));  // underflow
+  h.observe(std::ldexp(1.0, LogHistogram::kMaxExp + 2));  // overflow
+  h.observe(1.0);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.underflow(), 2u);
+  EXPECT_EQ(h.overflow(), 1u);
+  // Underflow samples resolve to 0.0; overflow to the tracked max.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0),
+                   std::ldexp(1.0, LogHistogram::kMaxExp + 2));
+}
+
+TEST(HistogramTest, QuantilesInterpolateInsideTheCoveringBucket) {
+  LogHistogram h;
+  for (int i = 0; i < 100; ++i) h.observe(1.5);  // bucket [1, 2)
+  // All mass in one bucket: every quantile interpolates inside [1, 2).
+  for (double q : {0.01, 0.5, 0.95, 0.99}) {
+    EXPECT_GE(h.quantile(q), 1.0);
+    EXPECT_LT(h.quantile(q), 2.0);
+  }
+  // p50 of {1 sample at ~1, 1 sample at ~1000} resolves within the low
+  // bucket (interpolation may land on its exclusive upper edge); the top
+  // quantile resolves within the high bucket [512, 1024).
+  LogHistogram two;
+  two.observe(1.1);
+  two.observe(1000.0);
+  EXPECT_LE(two.p50(), 2.0);
+  EXPECT_GE(two.quantile(1.0), 512.0);
+}
+
+TEST(HistogramTest, EmptyHistogramIsAllZero) {
+  const LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.p50(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+}
+
+/// The fold is element-wise count addition on a fixed layout, so any
+/// partition of the samples into any number of histograms, merged in any
+/// order, yields bit-identical counts and quantiles.
+TEST(HistogramTest, FoldIsDeterministicAcrossPartitionAndMergeOrder) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> dist(1e-9, 10.0);
+  std::vector<double> samples(1000);
+  for (double& s : samples) s = dist(rng);
+
+  LogHistogram serial;
+  for (double s : samples) serial.observe(s);
+
+  for (std::size_t parts : {2u, 3u, 8u}) {
+    std::vector<LogHistogram> shards(parts);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      shards[i % parts].observe(samples[i]);
+    }
+    // Merge in ascending and descending shard order; both must agree
+    // with the serial histogram exactly.
+    for (bool reverse : {false, true}) {
+      std::vector<LogHistogram> order = shards;
+      if (reverse) std::reverse(order.begin(), order.end());
+      LogHistogram folded;
+      for (const LogHistogram& s : order) folded.merge(s);
+      ASSERT_EQ(folded.count(), serial.count());
+      for (int b = 0; b < LogHistogram::kNumBuckets; ++b) {
+        ASSERT_EQ(folded.bucket_count(b), serial.bucket_count(b));
+      }
+      EXPECT_EQ(folded.underflow(), serial.underflow());
+      EXPECT_EQ(folded.overflow(), serial.overflow());
+      for (double q : {0.5, 0.95, 0.99}) {
+        // Bit-identical, not just close: quantiles are a pure function
+        // of the folded integer counts.
+        EXPECT_EQ(folded.quantile(q), serial.quantile(q));
+      }
+    }
+  }
+}
+
+/// Shards filled concurrently (one per pool thread) then folded must give
+/// the same result as serial observation — the per-rank histograms in the
+/// simulated cluster are exactly this pattern.
+TEST(HistogramTest, ConcurrentShardsFoldToSerialResult) {
+  std::vector<double> samples(4096);
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> dist(1e-12, 1e6);
+  for (double& s : samples) s = dist(rng);
+
+  LogHistogram serial;
+  for (double s : samples) serial.observe(s);
+
+  constexpr std::size_t kShards = 8;
+  std::vector<LogHistogram> shards(kShards);
+  ThreadPool pool(kShards);
+  pool.parallel_chunks(
+      0, kShards, kShards,
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t shard = begin; shard < end; ++shard) {
+          for (std::size_t i = shard; i < samples.size(); i += kShards) {
+            shards[shard].observe(samples[i]);
+          }
+        }
+      });
+  LogHistogram folded;
+  for (const LogHistogram& s : shards) folded.merge(s);
+  EXPECT_EQ(folded.count(), serial.count());
+  for (int b = 0; b < LogHistogram::kNumBuckets; ++b) {
+    EXPECT_EQ(folded.bucket_count(b), serial.bucket_count(b));
+  }
+  EXPECT_EQ(folded.p99(), serial.p99());
+}
+
+}  // namespace
+}  // namespace mnd

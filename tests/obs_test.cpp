@@ -2,6 +2,7 @@
 // parser, and exporter round trips.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <sstream>
 
 #include "bsp/msf.hpp"
@@ -271,12 +272,18 @@ TEST(ExportTest, ChromeTraceRoundTripsThroughParser) {
       if (name->string_value == "thread_name") has_meta[rank] = true;
       continue;
     }
+    // Zero-duration spans export as thread-scoped instants, not ph:"X"
+    // with dur 0 (which renders as nothing in trace viewers).
+    if (ph->string_value == "i") {
+      EXPECT_EQ(e.get("dur"), nullptr);
+      continue;
+    }
     ASSERT_EQ(ph->string_value, "X");
     const auto* ts = e.get("ts");
     const auto* dur = e.get("dur");
     ASSERT_NE(ts, nullptr);
     ASSERT_NE(dur, nullptr);
-    EXPECT_GE(dur->number_value, 0.0);
+    EXPECT_GT(dur->number_value, 0.0);
     if (name->string_value == "partGraph") has_part[rank] = true;
     if (name->string_value == "indComp") has_ind[rank] = true;
     if (name->string_value == "mergeParts") has_merge[rank] = true;
@@ -373,6 +380,135 @@ TEST(ExportTest, BspSuperstepsTracedAndCounted) {
     if (s.name == "superstep") saw_superstep = true;
   }
   EXPECT_TRUE(saw_superstep);
+}
+
+// ---- Chrome-trace edge cases (zero-duration spans, hostile names) --------
+
+obs::SpanRecord make_span(const std::string& name, double begin, double end) {
+  obs::SpanRecord s;
+  s.name = name;
+  s.vt_begin = begin;
+  s.vt_end = end;
+  return s;
+}
+
+TEST(ExportTest, ZeroDurationSpansExportAsInstantEvents) {
+  obs::RankTraceData rank;
+  rank.rank = 0;
+  rank.track_names = {"main"};
+  rank.spans.push_back(make_span("marker", 1.5, 1.5));  // zero duration
+  rank.spans.push_back(make_span("work", 1.5, 2.0));
+
+  std::ostringstream out;
+  obs::write_chrome_trace(out, {rank});
+  const auto doc = obs::parse_json(out.str());
+  const auto* events = doc.get("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  bool saw_instant = false, saw_duration = false;
+  for (const auto& e : events->elements) {
+    const auto* ph = e.get("ph");
+    const auto* name = e.get("name");
+    ASSERT_NE(ph, nullptr);
+    if (name != nullptr && name->string_value == "marker") {
+      saw_instant = true;
+      // ph:"X" with dur 0 renders as nothing; instants must use ph:"i"
+      // with an explicit thread scope and no dur field.
+      EXPECT_EQ(ph->string_value, "i");
+      const auto* scope = e.get("s");
+      ASSERT_NE(scope, nullptr);
+      EXPECT_EQ(scope->string_value, "t");
+      EXPECT_EQ(e.get("dur"), nullptr);
+    }
+    if (name != nullptr && name->string_value == "work") {
+      saw_duration = true;
+      EXPECT_EQ(ph->string_value, "X");
+      ASSERT_NE(e.get("dur"), nullptr);
+      EXPECT_DOUBLE_EQ(e.get("dur")->number_value, 0.5e6);
+    }
+  }
+  EXPECT_TRUE(saw_instant);
+  EXPECT_TRUE(saw_duration);
+}
+
+TEST(ExportTest, HostileSpanNamesRoundTripThroughParser) {
+  // Quotes, backslashes, control characters, and non-ASCII UTF-8 — all
+  // legal span names (datasets and fault plans end up in names/args).
+  const std::vector<std::string> names = {
+      "quote\"inside",
+      "back\\slash",
+      "tab\tnewline\nbell\x07",
+      "gr\xC3\xA4ph s\xC3\xA9gment",  // UTF-8: gräph ségment
+      "nul-adjacent\x01\x1f",
+  };
+  obs::RankTraceData rank;
+  rank.rank = 2;
+  rank.track_names = {"main", "weird\"track\n"};
+  double t = 0.0;
+  for (const auto& n : names) {
+    rank.spans.push_back(make_span(n, t, t + 1.0));
+    t += 1.0;
+  }
+
+  std::ostringstream out;
+  obs::write_chrome_trace(out, {rank});
+  // The document must parse, and every name must come back byte-exact.
+  const auto doc = obs::parse_json(out.str());
+  const auto* events = doc.get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  std::vector<std::string> parsed;
+  for (const auto& e : events->elements) {
+    const auto* ph = e.get("ph");
+    if (ph == nullptr || ph->string_value != "X") continue;
+    ASSERT_NE(e.get("name"), nullptr);
+    parsed.push_back(e.get("name")->string_value);
+  }
+  EXPECT_EQ(parsed, names);
+}
+
+TEST(ExportTest, FlowEventsLinkSendsToReceives) {
+  const graph::EdgeList el = graph::rmat(10, 8192, 42);
+  mst::MndMstOptions opts;
+  opts.num_nodes = 4;
+  opts.collect_traces = true;
+  const auto report = mst::run_mnd_mst(el, opts);
+  ASSERT_FALSE(report.run.rank_causality.empty());
+
+  std::ostringstream out;
+  obs::write_chrome_trace(out, report.run.rank_traces,
+                          &report.run.rank_causality);
+  const auto doc = obs::parse_json(out.str());
+  const auto* events = doc.get("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  // Every flow id must appear exactly once as ph:"s" and once as
+  // ph:"f" (with bp:"e"), and the finish must not precede the start.
+  std::map<double, double> start_ts, finish_ts;
+  for (const auto& e : events->elements) {
+    const auto* ph = e.get("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->string_value != "s" && ph->string_value != "f") continue;
+    const auto* id = e.get("id");
+    const auto* ts = e.get("ts");
+    ASSERT_NE(id, nullptr);
+    ASSERT_NE(ts, nullptr);
+    if (ph->string_value == "s") {
+      ASSERT_EQ(start_ts.count(id->number_value), 0u);
+      start_ts[id->number_value] = ts->number_value;
+    } else {
+      const auto* bp = e.get("bp");
+      ASSERT_NE(bp, nullptr);
+      EXPECT_EQ(bp->string_value, "e");
+      ASSERT_EQ(finish_ts.count(id->number_value), 0u);
+      finish_ts[id->number_value] = ts->number_value;
+    }
+  }
+  ASSERT_FALSE(start_ts.empty());
+  ASSERT_EQ(start_ts.size(), finish_ts.size());
+  for (const auto& [id, ts] : start_ts) {
+    ASSERT_EQ(finish_ts.count(id), 1u) << "flow id " << id;
+    EXPECT_GE(finish_ts[id], ts) << "flow id " << id;
+  }
 }
 
 }  // namespace

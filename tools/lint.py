@@ -34,6 +34,14 @@ Checks clang-tidy can't express, tied to this repo's invariants:
    accounting (DESIGN.md §5d). The BSP baseline is exempt by design: it
    models the paper's Pregel+ comparison point, raw framing included.
 
+7. Obs discipline: code in src/obs must not pick its own output
+   destination — no std::cout / std::cerr (rule 2 already bans those
+   repo-wide) and additionally no std::ofstream / std::fstream / fopen /
+   freopen. Exporters and the profiler take a caller-provided
+   std::ostream& so the CLI, benches, and tests own where bytes land and
+   can capture them; a hidden file write in the obs layer would bypass
+   every one of those capture points.
+
 Exit status: 0 clean, 1 violations (printed one per line as
 path:line: [rule] message).
 """
@@ -115,6 +123,16 @@ WIRE_EXEMPT = (
     "src/mst/comp_graph.hpp",
     "src/mst/comp_graph.cpp",
 )
+
+# rule 7: output destinations opened inside the obs layer.
+OBS_OUTPUT_PATTERNS = [
+    (re.compile(r"\bstd::[oi]?fstream\b"),
+     "obs code must not open files (take a caller-provided "
+     "std::ostream& instead)"),
+    (re.compile(r"(?<![\w:])f(?:re)?open\s*\("),
+     "obs code must not open files (take a caller-provided "
+     "std::ostream& instead)"),
+]
 
 # rule 3: std symbol -> owning header, for src/obs only.
 IWYU_SYMBOLS = {
@@ -205,6 +223,10 @@ def lint_file(path: Path, violations: list[str]) -> None:
             for pat, msg in WIRE_PATTERNS:
                 if pat.search(line):
                     report(idx, "wire", msg)
+        if rel.startswith("src/obs/"):
+            for pat, msg in OBS_OUTPUT_PATTERNS:
+                if pat.search(line):
+                    report(idx, "obs-discipline", msg)
 
     if path.suffix == ".hpp":
         for idx, line in enumerate(raw.splitlines(), start=1):

@@ -1,0 +1,628 @@
+#!/usr/bin/env python3
+"""Bottleneck reports and noise-aware perf-regression gating.
+
+Three subcommands, all stdlib-only:
+
+  render PROFILE.json [-o OUT.{md,html}]
+      Renders a critical-path profile JSON (written by mnd_mst_cli
+      --profile-out, schema kind "mnd_profile") into a self-contained
+      Markdown or HTML bottleneck report: makespan attribution by
+      category and merge level, straggler/imbalance stats, top compute
+      phases, and latency percentiles. Output format follows the -o
+      extension (.html -> HTML, else Markdown); default is Markdown on
+      stdout.
+
+  diff BASELINE.json CURRENT.json [--rel-tol R] [--noise-floor F]
+       [--skip-noisy]
+      Compares two JSON documents (profile JSONs or BENCH_*.json) leaf
+      by leaf and exits 1 on perf regression. Only numeric leaves
+      present in BOTH documents are compared, so schema additions never
+      trip the gate. Two classes of leaf, two gates:
+
+      * Deterministic (virtual-time / byte-count / modeled) leaves:
+        strict relative tolerance --rel-tol (default 0.02). Direction-
+        aware: for keys where bigger is better (speedup*, *reduction*,
+        improvement*) a DECREASE is a regression; for everything else
+        (seconds, bytes, rounds) an INCREASE is.
+
+      * Wall-clock leaves (key contains "wallclock", "wall", or is one
+        of encode_seconds / decode_seconds / host_cores /
+        speedup_wallclock / cores): gated by IQR outlier detection over
+        the per-leaf relative deltas. A uniformly slower machine shifts
+        every delta by the same factor and passes; a single kernel that
+        regressed stands out above Q3 + 1.5*IQR and fails (subject to
+        an absolute --noise-floor, default 0.05, so measurement jitter
+        on microsecond kernels cannot fire the gate).
+
+      The IQR fence assumes both documents came from the SAME host:
+      cross-host, per-input hardware differences (cache sizes, memory
+      bandwidth) skew individual leaves by integer factors that no
+      cohort fence absorbs. For cross-host diffs (CI vs a committed
+      baseline) pass --skip-noisy: wall-clock leaves are skipped
+      entirely and only the deterministic leaves are gated, strictly.
+
+  selftest
+      Runs the harness against synthetic documents: self-diff must
+      pass, a seeded +10% perturbation (deterministic or wall-clock)
+      must fail, and a uniform machine-speed shift must pass. Exits 1
+      on any misbehavior — CI runs this as a test.
+
+Exit status: render 0/2 (bad input), diff 0 clean / 1 regression,
+selftest 0 ok / 1 broken.
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import html
+import json
+import sys
+from typing import Any, Iterator
+
+# ---------------------------------------------------------------------------
+# Leaf walking and classification
+# ---------------------------------------------------------------------------
+
+# Final path keys (exact) measured in wall-clock time on the running host.
+# modeled_seconds and speedup belong here too: the modeled schedule is
+# host-independent in SHAPE, but its inputs are measured per-chunk
+# wall-clock durations, so the magnitudes move with the host.
+NOISY_EXACT = {
+    "encode_seconds",
+    "decode_seconds",
+    "host_cores",
+    "speedup_wallclock",
+    "cores",
+    "modeled_seconds",
+    "speedup",
+}
+# Substrings that mark a key as wall-clock.
+NOISY_SUBSTR = ("wallclock", "wall_")
+
+# Keys where bigger is better (a decrease is the regression direction).
+BIGGER_IS_BETTER = ("speedup", "reduction", "improvement")
+
+
+def walk_leaves(doc: Any, prefix: str = "") -> Iterator[tuple[str, Any]]:
+    """Yields (dotted.path, value) for every scalar leaf in doc."""
+    if isinstance(doc, dict):
+        for k, v in doc.items():
+            yield from walk_leaves(v, f"{prefix}.{k}" if prefix else k)
+    elif isinstance(doc, list):
+        for i, v in enumerate(doc):
+            yield from walk_leaves(v, f"{prefix}[{i}]")
+    else:
+        yield prefix, doc
+
+
+def leaf_key(path: str) -> str:
+    """Final key of a dotted path, with trailing [i] indices stripped."""
+    last = path.split(".")[-1]
+    while last.endswith("]") and "[" in last:
+        last = last[: last.rindex("[")]
+    return last
+
+
+def is_noisy(path: str) -> bool:
+    key = leaf_key(path)
+    if key in NOISY_EXACT:
+        return True
+    return any(s in key for s in NOISY_SUBSTR)
+
+
+def is_bigger_better(path: str) -> bool:
+    key = leaf_key(path)
+    return any(s in key for s in BIGGER_IS_BETTER)
+
+
+def numeric_leaves(doc: Any) -> dict[str, float]:
+    out = {}
+    for path, value in walk_leaves(doc):
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            out[path] = float(value)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# diff
+# ---------------------------------------------------------------------------
+
+
+def quartiles(values: list[float]) -> tuple[float, float]:
+    """(Q1, Q3) by linear interpolation; assumes non-empty input."""
+    xs = sorted(values)
+    n = len(xs)
+
+    def q(p: float) -> float:
+        if n == 1:
+            return xs[0]
+        pos = p * (n - 1)
+        lo = int(pos)
+        hi = min(lo + 1, n - 1)
+        return xs[lo] + (pos - lo) * (xs[hi] - xs[lo])
+
+    return q(0.25), q(0.75)
+
+
+class Regression:
+    def __init__(self, path: str, base: float, cur: float, why: str):
+        self.path = path
+        self.base = base
+        self.cur = cur
+        self.why = why
+
+    def __str__(self) -> str:
+        return (f"REGRESSION {self.path}: {self.base:.9g} -> {self.cur:.9g} "
+                f"({self.why})")
+
+
+def diff_docs(base: Any, cur: Any, rel_tol: float,
+              noise_floor: float,
+              skip_noisy: bool = False) -> tuple[list[Regression], int]:
+    """Returns (regressions, number of compared leaves)."""
+    base_leaves = numeric_leaves(base)
+    cur_leaves = numeric_leaves(cur)
+    common = sorted(set(base_leaves) & set(cur_leaves))
+
+    regressions: list[Regression] = []
+
+    # Relative delta in the "worse" direction: positive == worse.
+    def worse_delta(path: str, b: float, c: float) -> float:
+        denom = max(abs(b), 1e-12)
+        d = (c - b) / denom
+        return -d if is_bigger_better(path) else d
+
+    noisy = [p for p in common if is_noisy(p)]
+    exact = [p for p in common if not is_noisy(p)]
+
+    for path in exact:
+        b, c = base_leaves[path], cur_leaves[path]
+        d = worse_delta(path, b, c)
+        if d > rel_tol:
+            regressions.append(
+                Regression(path, b, c,
+                           f"deterministic leaf worse by {100 * d:.2f}% "
+                           f"(tolerance {100 * rel_tol:.2f}%)"))
+
+    if noisy and not skip_noisy:
+        deltas = {p: worse_delta(p, base_leaves[p], cur_leaves[p])
+                  for p in noisy}
+        q1, q3 = quartiles(list(deltas.values()))
+        iqr = q3 - q1
+        fence = q3 + 1.5 * iqr
+        for path, d in deltas.items():
+            # Outlier above the cohort AND above the absolute floor: a
+            # uniform machine-speed shift moves the whole cohort (and the
+            # fence) together, so it never fires; a single regressed
+            # kernel sits above both.
+            if d > fence and d > noise_floor:
+                regressions.append(
+                    Regression(path, base_leaves[path], cur_leaves[path],
+                               f"wall-clock outlier: worse by {100 * d:.1f}% "
+                               f"vs cohort fence {100 * fence:.1f}% "
+                               f"(floor {100 * noise_floor:.0f}%)"))
+
+    return regressions, len(common)
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    with open(args.baseline) as f:
+        base = json.load(f)
+    with open(args.current) as f:
+        cur = json.load(f)
+    regressions, compared = diff_docs(base, cur, args.rel_tol,
+                                      args.noise_floor, args.skip_noisy)
+    for r in regressions:
+        print(r)
+    if regressions:
+        print(f"perf_report diff: {len(regressions)} regression(s) across "
+              f"{compared} compared leaves "
+              f"({args.baseline} -> {args.current})")
+        return 1
+    print(f"perf_report diff: OK ({compared} compared leaves, "
+          f"{args.baseline} -> {args.current})")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# render
+# ---------------------------------------------------------------------------
+
+
+def fmt_s(v: float) -> str:
+    return f"{v:.6f}s"
+
+
+def pct(part: float, whole: float) -> str:
+    if whole <= 0:
+        return "-"
+    return f"{100.0 * part / whole:.1f}%"
+
+
+def build_report(doc: dict) -> dict:
+    """Normalizes a profile JSON into the table set the renderers share."""
+    if doc.get("kind") != "mnd_profile":
+        raise ValueError("not a profile JSON (expected kind == 'mnd_profile'; "
+                         "generate one with mnd_mst_cli --profile-out)")
+    cp = doc["critical_path"]
+    makespan = float(doc["makespan_seconds"])
+    attribution = cp["attribution"]
+
+    cat_rows = [(name, float(sec), pct(float(sec), makespan))
+                for name, sec in attribution.items()]
+    cat_rows.sort(key=lambda r: -r[1])
+
+    level_rows = []
+    for lv in cp.get("by_level", []):
+        cats = {k: float(v) for k, v in lv.items()
+                if k not in ("level", "total")}
+        dominant = max(cats, key=cats.get) if cats else "-"
+        level_rows.append((str(lv["level"]), float(lv["total"]),
+                           pct(float(lv["total"]), makespan), dominant))
+
+    phase_rows = sorted(
+        ((name, float(sec)) for name, sec in
+         cp.get("compute_by_phase", {}).items()),
+        key=lambda r: -r[1])[:10]
+
+    imb = doc.get("imbalance", {})
+    rank_rows = [(int(r["rank"]), float(r["finish"]),
+                  float(r["wait_seconds"]))
+                 for r in imb.get("per_rank", [])]
+
+    hist_rows = []
+    for name, h in sorted(doc.get("latency_histograms", {}).items()):
+        hist_rows.append((name, int(h["count"]), float(h["p50"]),
+                          float(h["p95"]), float(h["p99"]), float(h["max"])))
+
+    attributed = float(cp.get("attributed_seconds", sum(r[1] for r in
+                                                        cat_rows)))
+    return {
+        "ranks": int(doc.get("ranks", len(rank_rows))),
+        "makespan": makespan,
+        "attributed": attributed,
+        "end_rank": int(cp.get("end_rank", -1)),
+        "segments": len(cp.get("segments", [])),
+        "cat_rows": cat_rows,
+        "level_rows": level_rows,
+        "phase_rows": phase_rows,
+        "imbalance": imb,
+        "rank_rows": rank_rows,
+        "hist_rows": hist_rows,
+    }
+
+
+def bottleneck_line(rep: dict) -> str:
+    if not rep["cat_rows"]:
+        return "empty trace: nothing on the critical path."
+    name, sec, share = rep["cat_rows"][0]
+    return (f"bottleneck: **{name}** — {fmt_s(sec)} ({share} of the "
+            f"makespan) on the critical path ending at rank "
+            f"{rep['end_rank']}.")
+
+
+def md_table(headers: list[str], rows: list[list[str]]) -> str:
+    out = ["| " + " | ".join(headers) + " |",
+           "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        out.append("| " + " | ".join(row) + " |")
+    return "\n".join(out)
+
+
+def render_markdown(rep: dict) -> str:
+    parts = ["# MND-MST critical-path bottleneck report", ""]
+    parts.append(f"{rep['ranks']} rank(s), makespan {fmt_s(rep['makespan'])},"
+                 f" {rep['segments']} critical-path segment(s); attributed "
+                 f"{fmt_s(rep['attributed'])}.")
+    parts.append("")
+    parts.append(bottleneck_line(rep))
+    parts.append("")
+
+    parts.append("## Attribution by category")
+    parts.append("")
+    parts.append(md_table(
+        ["category", "seconds", "share"],
+        [[n, fmt_s(s), p] for n, s, p in rep["cat_rows"]]))
+    parts.append("")
+
+    if rep["level_rows"]:
+        parts.append("## Attribution by merge level")
+        parts.append("")
+        parts.append(md_table(
+            ["level", "seconds", "share", "dominant category"],
+            [[lv, fmt_s(s), p, dom]
+             for lv, s, p, dom in rep["level_rows"]]))
+        parts.append("")
+
+    if rep["phase_rows"]:
+        parts.append("## Top compute phases on the critical path")
+        parts.append("")
+        parts.append(md_table(
+            ["phase", "seconds"],
+            [[n, fmt_s(s)] for n, s in rep["phase_rows"]]))
+        parts.append("")
+
+    imb = rep["imbalance"]
+    if imb:
+        parts.append("## Rank imbalance")
+        parts.append("")
+        parts.append(
+            f"straggler: rank {imb.get('straggler_rank', '-')} "
+            f"(imbalance ratio {float(imb.get('imbalance_ratio', 1.0)):.3f}, "
+            f"max/mean finish "
+            f"{fmt_s(float(imb.get('max_finish', 0.0)))} / "
+            f"{fmt_s(float(imb.get('mean_finish', 0.0)))}).")
+        parts.append("")
+        if rep["rank_rows"]:
+            parts.append(md_table(
+                ["rank", "finish", "wait"],
+                [[str(r), fmt_s(f), fmt_s(w)]
+                 for r, f, w in rep["rank_rows"]]))
+            parts.append("")
+
+    if rep["hist_rows"]:
+        parts.append("## Latency percentiles (virtual seconds)")
+        parts.append("")
+        parts.append(md_table(
+            ["metric", "count", "p50", "p95", "p99", "max"],
+            [[n, str(c), f"{p50:.6f}", f"{p95:.6f}", f"{p99:.6f}",
+              f"{mx:.6f}"]
+             for n, c, p50, p95, p99, mx in rep["hist_rows"]]))
+        parts.append("")
+    return "\n".join(parts) + "\n"
+
+
+_HTML_CSS = """
+body { font-family: sans-serif; max-width: 60em; margin: 2em auto;
+       color: #222; }
+table { border-collapse: collapse; margin: 0.5em 0 1.5em; }
+th, td { border: 1px solid #bbb; padding: 0.3em 0.7em; text-align: left; }
+th { background: #eee; }
+.bar { background: #4a78c2; height: 0.8em; display: inline-block; }
+.note { color: #555; }
+"""
+
+
+def render_html(rep: dict) -> str:
+    def table(headers, rows):
+        h = "".join(f"<th>{html.escape(str(x))}</th>" for x in headers)
+        body = "".join(
+            "<tr>" + "".join(f"<td>{cell}</td>" for cell in row) + "</tr>"
+            for row in rows)
+        return f"<table><tr>{h}</tr>{body}</table>"
+
+    def bar(share: str) -> str:
+        width = share.rstrip("%")
+        try:
+            w = max(0.0, min(100.0, float(width)))
+        except ValueError:
+            w = 0.0
+        return (f'<span class="bar" style="width:{w * 3:.0f}px"></span> '
+                f"{html.escape(share)}")
+
+    out = ["<!doctype html><html><head><meta charset='utf-8'>",
+           "<title>MND-MST bottleneck report</title>",
+           f"<style>{_HTML_CSS}</style></head><body>",
+           "<h1>MND-MST critical-path bottleneck report</h1>",
+           f"<p>{rep['ranks']} rank(s), makespan "
+           f"{fmt_s(rep['makespan'])}, {rep['segments']} segment(s); "
+           f"attributed {fmt_s(rep['attributed'])}.</p>",
+           f"<p><b>{html.escape(bottleneck_line(rep)).replace('**', '')}"
+           "</b></p>",
+           "<h2>Attribution by category</h2>",
+           table(["category", "seconds", "share"],
+                 [[html.escape(n), fmt_s(s), bar(p)]
+                  for n, s, p in rep["cat_rows"]])]
+    if rep["level_rows"]:
+        out += ["<h2>Attribution by merge level</h2>",
+                table(["level", "seconds", "share", "dominant"],
+                      [[html.escape(lv), fmt_s(s), bar(p), html.escape(dom)]
+                       for lv, s, p, dom in rep["level_rows"]])]
+    if rep["phase_rows"]:
+        out += ["<h2>Top compute phases</h2>",
+                table(["phase", "seconds"],
+                      [[html.escape(n), fmt_s(s)]
+                       for n, s in rep["phase_rows"]])]
+    if rep["rank_rows"]:
+        imb = rep["imbalance"]
+        out += ["<h2>Rank imbalance</h2>",
+                f"<p class='note'>straggler rank "
+                f"{imb.get('straggler_rank', '-')}, ratio "
+                f"{float(imb.get('imbalance_ratio', 1.0)):.3f}</p>",
+                table(["rank", "finish", "wait"],
+                      [[r, fmt_s(f), fmt_s(w)]
+                       for r, f, w in rep["rank_rows"]])]
+    if rep["hist_rows"]:
+        out += ["<h2>Latency percentiles (virtual seconds)</h2>",
+                table(["metric", "count", "p50", "p95", "p99", "max"],
+                      [[html.escape(n), c, f"{p50:.6f}", f"{p95:.6f}",
+                        f"{p99:.6f}", f"{mx:.6f}"]
+                       for n, c, p50, p95, p99, mx in rep["hist_rows"]])]
+    out.append("</body></html>")
+    return "\n".join(out) + "\n"
+
+
+def cmd_render(args: argparse.Namespace) -> int:
+    with open(args.profile) as f:
+        doc = json.load(f)
+    try:
+        rep = build_report(doc)
+    except (ValueError, KeyError) as e:
+        print(f"perf_report render: {e}", file=sys.stderr)
+        return 2
+    as_html = bool(args.out) and args.out.endswith(".html")
+    text = render_html(rep) if as_html else render_markdown(rep)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(text)
+        print(f"wrote {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# selftest
+# ---------------------------------------------------------------------------
+
+
+def synthetic_bench() -> dict:
+    """A BENCH-shaped document with both leaf classes."""
+    rows = []
+    for i, kernel in enumerate(["select", "clean", "sort", "csr", "wire",
+                                "part"]):
+        rows.append({
+            "kernel": kernel,
+            "measurements": [
+                {"threads": t,
+                 "wallclock_seconds": 0.01 * (i + 1) * (9 - t) / 8.0,
+                 "modeled_seconds": 0.01 * (i + 1) / t,
+                 "speedup": float(t),
+                 "speedup_wallclock": 1.0 + 0.1 * t}
+                for t in (1, 2, 4, 8)],
+        })
+    return {
+        "schema_version": 2,
+        "bench": "synthetic",
+        "host": {"cores": 8},
+        "results": rows,
+        "virtual": {"total_seconds": 1.25, "merge_seconds": 0.5,
+                    "bytes": 123456, "byte_reduction_vs_baseline": 0.42},
+    }
+
+
+def scale_leaf(doc: Any, path_substr: str, factor: float,
+               only_first: bool = False) -> int:
+    """Multiplies matching numeric leaves in place; returns #changed."""
+    changed = 0
+
+    def rec(node: Any, prefix: str) -> None:
+        nonlocal changed
+        if isinstance(node, dict):
+            for k, v in node.items():
+                p = f"{prefix}.{k}" if prefix else k
+                if isinstance(v, (int, float)) and not isinstance(v, bool):
+                    if path_substr in p and not (only_first and changed):
+                        node[k] = v * factor
+                        changed += 1
+                else:
+                    rec(v, p)
+        elif isinstance(node, list):
+            for i, v in enumerate(node):
+                rec(v, f"{prefix}[{i}]")
+
+    rec(doc, "")
+    return changed
+
+
+def cmd_selftest(_args: argparse.Namespace) -> int:
+    base = synthetic_bench()
+    failures = []
+
+    def expect(name: str, doc: Any, want_regression: bool,
+               skip_noisy: bool = False) -> None:
+        regs, compared = diff_docs(base, doc, rel_tol=0.02, noise_floor=0.05,
+                                   skip_noisy=skip_noisy)
+        ok = bool(regs) == want_regression
+        status = "ok" if ok else "FAIL"
+        print(f"selftest [{status}] {name}: {len(regs)} regression(s), "
+              f"{compared} leaves compared")
+        if not ok:
+            failures.append(name)
+
+    # 1. Self-diff is clean.
+    expect("self-diff passes", copy.deepcopy(base), want_regression=False)
+
+    # 2. One wall-clock kernel +10% -> IQR outlier fires.
+    doc = copy.deepcopy(base)
+    assert scale_leaf(doc, "wallclock_seconds", 1.10, only_first=True) == 1
+    expect("+10% on one wall-clock leaf fails", doc, want_regression=True)
+
+    # 3. Uniform machine-speed shift passes: every measured seconds leaf
+    # scales together; speedup ratios cancel the shift and stay put.
+    doc = copy.deepcopy(base)
+    assert scale_leaf(doc, "wallclock_seconds", 1.25) > 1
+    assert scale_leaf(doc, "modeled_seconds", 1.25) > 1
+    expect("uniform +25% machine shift passes", doc, want_regression=False)
+
+    # 4. Deterministic virtual-time +10% -> strict gate fires.
+    doc = copy.deepcopy(base)
+    assert scale_leaf(doc, "virtual.total_seconds", 1.10) == 1
+    expect("+10% on a virtual-time leaf fails", doc, want_regression=True)
+
+    # 5. Bigger-is-better leaf: byte reduction dropping fails...
+    doc = copy.deepcopy(base)
+    assert scale_leaf(doc, "byte_reduction_vs_baseline", 0.80) == 1
+    expect("-20% byte reduction fails", doc, want_regression=True)
+
+    # 6. ...and improving (or virtual time shrinking) passes.
+    doc = copy.deepcopy(base)
+    scale_leaf(doc, "byte_reduction_vs_baseline", 1.20)
+    scale_leaf(doc, "virtual.total_seconds", 0.90)
+    expect("improvements pass", doc, want_regression=False)
+
+    # 7. Schema additions in the current doc are ignored.
+    doc = copy.deepcopy(base)
+    doc["brand_new_section"] = {"anything": 1e9}
+    expect("extra keys ignored", doc, want_regression=False)
+
+    # 8. --skip-noisy (cross-host mode): a wildly different wall-clock
+    # leaf is ignored, but the strict virtual-time gate still fires.
+    doc = copy.deepcopy(base)
+    assert scale_leaf(doc, "wallclock_seconds", 3.0, only_first=True) == 1
+    expect("skip-noisy ignores wall-clock leaves", doc,
+           want_regression=False, skip_noisy=True)
+    assert scale_leaf(doc, "virtual.total_seconds", 1.10) == 1
+    expect("skip-noisy still gates virtual time", doc,
+           want_regression=True, skip_noisy=True)
+
+    if failures:
+        print(f"selftest: {len(failures)} failure(s): {', '.join(failures)}")
+        return 1
+    print("selftest: OK")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    p = sub.add_parser("render", help="profile JSON -> Markdown/HTML report")
+    p.add_argument("profile")
+    p.add_argument("-o", "--out", default="",
+                   help="output file (.html for HTML; default stdout "
+                        "Markdown)")
+    p.set_defaults(fn=cmd_render)
+
+    p = sub.add_parser("diff", help="noise-aware regression gate")
+    p.add_argument("baseline")
+    p.add_argument("current")
+    p.add_argument("--rel-tol", type=float, default=0.02,
+                   help="relative tolerance for deterministic leaves "
+                        "(default 0.02)")
+    p.add_argument("--noise-floor", type=float, default=0.05,
+                   help="minimum relative delta before a wall-clock "
+                        "outlier can fail the gate (default 0.05)")
+    p.add_argument("--skip-noisy", action="store_true",
+                   help="gate only the deterministic virtual-time leaves; "
+                        "skip wall-clock leaves entirely (for cross-host "
+                        "diffs, where per-leaf wall-clock comparison is "
+                        "meaningless — the IQR fence assumes a same-host "
+                        "cohort)")
+    p.set_defaults(fn=cmd_diff)
+
+    p = sub.add_parser("selftest", help="verify the gates fire correctly")
+    p.set_defaults(fn=cmd_selftest)
+
+    args = ap.parse_args()
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
