@@ -1,13 +1,13 @@
 #include "bsp/msf.hpp"
 
 #include <algorithm>
-#include <mutex>
 #include <sstream>
 
 #include "bsp/engine.hpp"
 #include "graph/csr.hpp"
 #include "hypar/partition.hpp"
 #include "util/check.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mnd::bsp {
 namespace {
@@ -188,6 +188,15 @@ WorkerResult msf_worker(sim::Communicator& comm, const graph::Csr& g,
       local_combine.for_each([&](const VertexId&, const CandMsg& msg) {
         cand_out[static_cast<std::size_t>(owner_of(msg.comp))].push_back(msg);
       });
+      // The combine map iterates in hash order; canonicalize each
+      // destination bucket so exchanged payloads are bitwise deterministic.
+      for (auto& bucket : cand_out) {
+        std::sort(bucket.begin(), bucket.end(),
+                  [](const CandMsg& a, const CandMsg& b) {
+                    return a.comp != b.comp ? a.comp < b.comp
+                                            : a.orig < b.orig;
+                  });
+      }
     }
     {
       device::KernelWork w;
@@ -216,6 +225,15 @@ WorkerResult msf_worker(sim::Communicator& comm, const graph::Csr& g,
       ann_out[static_cast<std::size_t>(owner_of(ch.other))].push_back(
           AnnounceMsg{root, ch.other, ch.orig});
     });
+    // Same canonicalization: `choice` iterates in hash order and its order
+    // must not leak into the announce payloads.
+    for (auto& bucket : ann_out) {
+      std::sort(bucket.begin(), bucket.end(),
+                [](const AnnounceMsg& a, const AnnounceMsg& b) {
+                  return a.from != b.from ? a.from < b.from
+                                          : a.orig < b.orig;
+                });
+    }
     auto ann_in = worker.exchange(std::move(ann_out));
 
     // ---- Phase 2: mutual-pair resolution; build merge pointers ---------
@@ -386,10 +404,14 @@ BspMsfReport run_bsp_msf(const graph::EdgeList& input,
   config.collect_metrics = opts.collect_metrics;
 
   BspMsfReport report;
-  std::mutex result_mutex;
-  std::vector<EdgeId> forest;
-  int supersteps = 0;
-  int rounds = 0;
+  // Every worker thread folds into this on its way out; the annotations
+  // make a lock-free fold a -Wthread-safety error.
+  struct ResultGather {
+    mnd::Mutex mutex;
+    std::vector<EdgeId> forest MND_GUARDED_BY(mutex);
+    int supersteps MND_GUARDED_BY(mutex) = 0;
+    int rounds MND_GUARDED_BY(mutex) = 0;
+  } result;
   const bool validating = validate::enabled(opts.validate);
 
   report.run = sim::run_cluster(config, [&](sim::Communicator& comm) {
@@ -403,21 +425,26 @@ BspMsfReport run_bsp_msf(const graph::EdgeList& input,
     sim::Serializer s;
     s.put_vector(r.mst_edges);
     auto gathered = comm.gather(s.take(), 0, 0xB5FF);
-    std::lock_guard<std::mutex> lock(result_mutex);
-    supersteps = std::max(supersteps, r.supersteps);
-    rounds = std::max(rounds, r.rounds);
+    mnd::MutexLock lock(result.mutex);
+    result.supersteps = std::max(result.supersteps, r.supersteps);
+    result.rounds = std::max(result.rounds, r.rounds);
     report.validation.merge_from(local_report);
     if (comm.rank() == 0) {
       for (const auto& block : gathered) {
         sim::Deserializer d(block);
         auto edges = d.get_vector<EdgeId>();
-        forest.insert(forest.end(), edges.begin(), edges.end());
+        result.forest.insert(result.forest.end(), edges.begin(), edges.end());
       }
-      std::sort(forest.begin(), forest.end());
+      std::sort(result.forest.begin(), result.forest.end());
     }
   });
 
-  report.forest.edges = std::move(forest);
+  {
+    mnd::MutexLock lock(result.mutex);
+    report.forest.edges = std::move(result.forest);
+    report.supersteps = result.supersteps;
+    report.rounds = result.rounds;
+  }
   for (EdgeId id : report.forest.edges) {
     report.forest.total_weight += input.edge(id).w;
   }
@@ -426,8 +453,6 @@ BspMsfReport run_bsp_msf(const graph::EdgeList& input,
   if (validating) {
     validate::check_forest(input, report.forest.edges, &report.validation);
   }
-  report.supersteps = supersteps;
-  report.rounds = rounds;
   report.total_seconds = report.run.makespan;
   const auto phases = report.run.max_phases();
   report.comm_seconds = phases.get("comm");

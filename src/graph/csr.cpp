@@ -66,6 +66,14 @@ Csr Csr::from_edge_list(const EdgeList& el, std::size_t threads) {
   // Parallel build. Arc placement within an adjacency is racy-in-order but
   // the per-adjacency sort below is over a total order, so the final layout
   // is the same one the serial path produces.
+  //
+  // Concurrency contract (mutex-free by design, audited by
+  // tools/analyze.py's parallel-capture rule): every cross-chunk write in
+  // the lambdas below is either (a) a relaxed fetch_add on an atomic
+  // counter, (b) a store to a slot whose index came out of an atomic
+  // fetch_add (unique by construction), or (c) a store to a per-edge /
+  // per-vertex slot that exactly one chunk can reach. Determinism then
+  // comes from the sorts over total orders, not from scheduling.
   ThreadPool& pool = global_pool();
   const std::size_t m = el.num_edges();
   std::vector<std::atomic<std::size_t>> counts(

@@ -1,10 +1,10 @@
 #include "mst/mnd_mst.hpp"
 
 #include <algorithm>
-#include <mutex>
 
 #include "graph/csr.hpp"
 #include "util/check.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mnd::mst {
@@ -27,8 +27,12 @@ MndMstReport run_mnd_mst(const graph::EdgeList& input,
 
   MndMstReport report;
   report.traces.resize(static_cast<std::size_t>(opts.num_nodes));
-  std::vector<graph::EdgeId> forest_edges;
-  std::mutex result_mutex;
+  // Every rank thread folds into this on its way out; the annotation makes
+  // a lock-free write from the rank lambda a -Wthread-safety error.
+  struct ResultGather {
+    Mutex mutex;
+    std::vector<graph::EdgeId> forest_edges MND_GUARDED_BY(mutex);
+  } result;
 
   hypar::EngineOptions engine_opts = opts.engine;
   // Single node: no hierarchy; the engine handles p==1 by skipping levels,
@@ -42,15 +46,18 @@ MndMstReport run_mnd_mst(const graph::EdgeList& input,
     hypar::BoruvkaKernel kernel;
     hypar::EngineResult r =
         hypar::run_engine(comm, csr, kernel, engine_opts);
-    std::lock_guard<std::mutex> lock(result_mutex);
+    MutexLock lock(result.mutex);
     report.traces[static_cast<std::size_t>(comm.rank())] = r.trace;
     report.validation.merge_from(r.validation);
     // Exactly one rank per run holds the forest: rank 0 fault-free, the
     // lowest surviving rank under a FaultPlan with crashes.
-    if (r.holds_forest) forest_edges = std::move(r.forest_edges);
+    if (r.holds_forest) result.forest_edges = std::move(r.forest_edges);
   });
 
-  report.forest.edges = std::move(forest_edges);
+  {
+    MutexLock lock(result.mutex);
+    report.forest.edges = std::move(result.forest_edges);
+  }
   for (graph::EdgeId id : report.forest.edges) {
     report.forest.total_weight += input.edge(id).w;
   }

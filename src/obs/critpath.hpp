@@ -22,6 +22,11 @@
 // recorder's cost intervals. Every virtual second of the makespan is thus
 // attributed to {local compute, serialization, wire transit,
 // stall/retransmit, straggler wait} per merge level, with no residue.
+//
+// Concurrency contract: a CommEventLog is THREAD-CONFINED to its owning
+// rank thread; the cluster snapshots it only after joining the rank
+// threads. No mutex, hence no MND_GUARDED_BY — sharing one log across
+// threads inside a run is a bug (see DESIGN.md §5f).
 #pragma once
 
 #include <cstdint>

@@ -12,6 +12,14 @@
 // use plain struct counters (CommStats) and are folded into the registry
 // once per run. The registry's string lookups are for per-phase/per-level
 // granularity.
+//
+// Concurrency contract: a MetricsRegistry is THREAD-CONFINED to its owning
+// rank thread for the duration of a cluster run; cross-rank merge() happens
+// only after Cluster::run() joins the rank threads. That is why there is no
+// mutex here and no MND_GUARDED_BY annotations — there is no concurrent
+// access to guard. Code that would share one registry across threads inside
+// a run must instead shard per thread and merge in deterministic order
+// (tools/analyze.py's parallel-capture rule flags violations).
 #pragma once
 
 #include <cstdint>

@@ -1,9 +1,7 @@
 #include "simcluster/cluster.hpp"
 
 #include <algorithm>
-#include <condition_variable>
 #include <exception>
-#include <mutex>
 #include <thread>
 
 #include "util/check.hpp"
@@ -49,23 +47,23 @@ struct Cluster::Mailbox {
     bool operator==(const Key&) const = default;
   };
 
-  std::mutex mutex;
-  std::condition_variable arrived;
+  Mutex mutex;
+  CondVar arrived;
   // Flat store: the number of distinct (src, tag) pairs alive at once is
   // small (collectives reuse tags), so linear scan beats hashing here.
-  std::vector<std::pair<Key, std::deque<Message>>> queues;
-  bool poisoned = false;
+  std::vector<std::pair<Key, std::deque<Message>>> queues
+      MND_GUARDED_BY(mutex);
+  bool poisoned MND_GUARDED_BY(mutex) = false;
 
-  void put(Message msg) {
-    {
-      std::lock_guard<std::mutex> lock(mutex);
-      get_queue(Key{msg.src, msg.tag}).push_back(std::move(msg));
-    }
-    arrived.notify_all();
+  void put(Message msg) MND_EXCLUDES(mutex) {
+    MutexLock lock(mutex);
+    get_queue(Key{msg.src, msg.tag}).push_back(std::move(msg));
+    arrived.notify_all(mutex);
   }
 
-  Message take(int src, Tag tag, const std::atomic<bool>* src_dead) {
-    std::unique_lock<std::mutex> lock(mutex);
+  Message take(int src, Tag tag, const std::atomic<bool>* src_dead)
+      MND_EXCLUDES(mutex) {
+    MutexLock lock(mutex);
     const Key key{src, tag};
     for (;;) {
       if (poisoned) {
@@ -86,42 +84,42 @@ struct Cluster::Mailbox {
         tomb.tombstone = true;
         return tomb;
       }
-      arrived.wait(lock);
+      arrived.wait(mutex);
     }
   }
 
-  void poison() {
-    {
-      std::lock_guard<std::mutex> lock(mutex);
-      poisoned = true;
-    }
-    arrived.notify_all();
+  void poison() MND_EXCLUDES(mutex) {
+    MutexLock lock(mutex);
+    poisoned = true;
+    arrived.notify_all(mutex);
   }
 
-  void reset() {
-    std::lock_guard<std::mutex> lock(mutex);
+  void reset() MND_EXCLUDES(mutex) {
+    MutexLock lock(mutex);
     queues.clear();
     poisoned = false;
   }
 
-  /// Wakes blocked takers so they re-check dead flags. The empty critical
-  /// section is load-bearing: it orders the caller's flag store against any
-  /// taker's predicate check, so the store cannot slip between a taker
+  /// Wakes blocked takers so they re-check dead flags. Notifying *under*
+  /// the mutex is load-bearing: it orders the caller's flag store against
+  /// any taker's predicate check, so the store cannot slip between a taker
   /// seeing the flag false and entering arrived.wait (a lost wakeup that
   /// would hang recv_or_fail forever — the dead rank never sends again).
-  void notify() {
-    { std::lock_guard<std::mutex> lock(mutex); }
-    arrived.notify_all();
+  /// CondVar's notify_all REQUIRES the mutex, so the broken unlocked-notify
+  /// shape is unwritable under -Wthread-safety.
+  void notify() MND_EXCLUDES(mutex) {
+    MutexLock lock(mutex);
+    arrived.notify_all(mutex);
   }
 
  private:
-  std::deque<Message>* find_queue(const Key& key) {
+  std::deque<Message>* find_queue(const Key& key) MND_REQUIRES(mutex) {
     for (auto& [k, q] : queues) {
       if (k == key) return &q;
     }
     return nullptr;
   }
-  std::deque<Message>& get_queue(const Key& key) {
+  std::deque<Message>& get_queue(const Key& key) MND_REQUIRES(mutex) {
     if (auto* q = find_queue(key)) return *q;
     queues.emplace_back(key, std::deque<Message>{});
     return queues.back().second;
@@ -185,7 +183,7 @@ void Cluster::checkpoint_put(int cut, int rank,
                 "bad checkpoint key (" << cut << ", " << rank << ")");
   const std::uint64_t key = (static_cast<std::uint64_t>(cut) << 32) |
                             static_cast<std::uint32_t>(rank);
-  std::lock_guard<std::mutex> lock(checkpoint_mutex_);
+  MutexLock lock(checkpoint_mutex_);
   for (const auto& [k, unused] : checkpoints_) {
     MND_CHECK_MSG(k != key, "checkpoint (" << cut << ", " << rank
                                            << ") written twice");
@@ -197,7 +195,7 @@ std::optional<std::vector<std::uint8_t>> Cluster::checkpoint_get(
     int cut, int rank) const {
   const std::uint64_t key = (static_cast<std::uint64_t>(cut) << 32) |
                             static_cast<std::uint32_t>(rank);
-  std::lock_guard<std::mutex> lock(checkpoint_mutex_);
+  MutexLock lock(checkpoint_mutex_);
   for (const auto& [k, blob] : checkpoints_) {
     // Copied out under the lock: a rank that raced ahead to the next cut
     // (its merge group need not include this reader) can checkpoint_put
@@ -212,7 +210,7 @@ RunReport Cluster::run(const std::function<void(Communicator&)>& fn) {
   for (auto& mb : mailboxes_) mb->reset();
   for (auto& d : dead_) d->store(false, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> lock(checkpoint_mutex_);
+    MutexLock lock(checkpoint_mutex_);
     checkpoints_.clear();
   }
 
@@ -224,8 +222,10 @@ RunReport Cluster::run(const std::function<void(Communicator&)>& fn) {
     if (config_.collect_traces) comms.back()->enable_tracing();
   }
 
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
+  struct ErrorSlot {
+    Mutex mutex;
+    std::exception_ptr first MND_GUARDED_BY(mutex);
+  } error;
 
   auto body = [&](int r) {
     set_thread_log_rank(r);
@@ -233,8 +233,8 @@ RunReport Cluster::run(const std::function<void(Communicator&)>& fn) {
       fn(*comms[static_cast<std::size_t>(r)]);
     } catch (...) {
       {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        MutexLock lock(error.mutex);
+        if (!error.first) error.first = std::current_exception();
       }
       // Unblock every rank waiting in recv so the run can unwind.
       for (auto& mb : mailboxes_) mb->poison();
@@ -250,7 +250,12 @@ RunReport Cluster::run(const std::function<void(Communicator&)>& fn) {
   body(0);
   for (auto& t : threads) t.join();
 
-  if (first_error) std::rethrow_exception(first_error);
+  {
+    // Rank threads are joined: sole owner again, but the analysis (and
+    // TSan's happens-before view) are both satisfied by taking the lock.
+    MutexLock lock(error.mutex);
+    if (error.first) std::rethrow_exception(error.first);
+  }
 
   RunReport report;
   report.rank_finish_times.reserve(static_cast<std::size_t>(n));

@@ -7,17 +7,17 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 #include "simcluster/communicator.hpp"
 #include "simcluster/fault.hpp"
@@ -119,9 +119,12 @@ class Cluster {
   ClusterConfig config_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::unique_ptr<std::atomic<bool>>> dead_;
-  mutable std::mutex checkpoint_mutex_;
+  mutable Mutex checkpoint_mutex_;
+  // key = (cut << 32) | rank. Grows concurrently (a rank racing ahead to
+  // the next cut writes while an adopter reads), so every access — and
+  // every reference's lifetime — stays under checkpoint_mutex_.
   std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>>
-      checkpoints_;  // key = (cut << 32) | rank
+      checkpoints_ MND_GUARDED_BY(checkpoint_mutex_);
 };
 
 /// Convenience: build a cluster, run fn, return the report.

@@ -8,6 +8,8 @@
 #include <ctime>
 #include <string>
 
+#include "util/thread_annotations.hpp"
+
 namespace mnd {
 namespace {
 
@@ -33,8 +35,11 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 
-std::mutex& output_mutex() {
-  static std::mutex m;
+// Serializes whole lines onto stderr (the guarded "state" is the stream
+// itself, so there is no MND_GUARDED_BY field to hang this on — the
+// annotated Mutex still routes every sink write through one capability).
+Mutex& output_mutex() {
+  static Mutex m;
   return m;
 }
 
@@ -103,7 +108,7 @@ LogLine::LogLine(LogLevel level, const char* file, int line) : level_(level) {
 }
 
 LogLine::~LogLine() {
-  std::lock_guard<std::mutex> lock(output_mutex());
+  MutexLock lock(output_mutex());
   std::fprintf(stderr, "%s\n", stream_.str().c_str());
 }
 

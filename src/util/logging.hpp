@@ -11,7 +11,6 @@
 //   [12:34:56.789 DEBUG r3 engine.cpp:224] rank 3 devRound 0 ...
 #pragma once
 
-#include <mutex>
 #include <sstream>
 #include <string_view>
 

@@ -1,0 +1,145 @@
+// Clang Thread Safety Analysis annotations + annotated mutex wrappers.
+//
+// The macros expand to Clang's capability attributes when the compiler
+// supports them and to nothing otherwise, so annotated code compiles
+// unchanged under GCC while the dedicated -Wthread-safety CI build turns
+// lock-discipline violations into compile errors. The two invariant
+// classes this enforces are exactly the PR4 review's bug classes:
+//
+//   * lock-free access to guarded state (the checkpoint-store
+//     use-after-realloc): reading or writing a MND_GUARDED_BY field
+//     without holding its mutex is a compile error;
+//   * condition-variable notifies outside the guarding mutex (the
+//     Mailbox lost-wakeup): CondVar::notify_one/notify_all *take the
+//     mutex as a parameter* and MND_REQUIRES it, so the unlocked-notify
+//     pattern cannot be expressed.
+//
+// Annotation conventions (see DESIGN.md §5f for the full catalog):
+//   * every mutex-guarded field carries MND_GUARDED_BY(mutex_);
+//   * private helpers called with a lock held carry MND_REQUIRES(mutex_);
+//   * public entry points that take the lock themselves carry
+//     MND_EXCLUDES(mutex_) so re-entrant acquisition is a compile error;
+//   * shared state with no mutex must be std::atomic, per-chunk sharded
+//     (DESIGN.md §5b), or thread-confined — tools/analyze.py's
+//     parallel-capture rule audits that complement.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define MND_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef MND_THREAD_ANNOTATION
+#define MND_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex" names the capability
+/// kind in diagnostics).
+#define MND_CAPABILITY(x) MND_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define MND_SCOPED_CAPABILITY MND_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field is protected by the given mutex: every read/write requires it.
+#define MND_GUARDED_BY(x) MND_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field whose *pointee* is protected by the given mutex.
+#define MND_PT_GUARDED_BY(x) MND_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the mutex(es) to be held by the caller.
+#define MND_REQUIRES(...) \
+  MND_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function must be called with the mutex(es) NOT held (it acquires them).
+#define MND_EXCLUDES(...) MND_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the mutex(es) and returns with them held.
+#define MND_ACQUIRE(...) \
+  MND_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the mutex(es).
+#define MND_RELEASE(...) \
+  MND_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function returns a reference to the named capability.
+#define MND_RETURN_CAPABILITY(x) MND_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment justifying why the analysis cannot see the invariant.
+#define MND_NO_THREAD_SAFETY_ANALYSIS \
+  MND_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace mnd {
+
+/// std::mutex wrapper carrying the capability annotation. Lock it through
+/// MutexLock (scoped) in the common case; bare lock()/unlock() exist for
+/// the rare manual pattern and are themselves annotated.
+class MND_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MND_ACQUIRE() { impl_.lock(); }
+  void unlock() MND_RELEASE() { impl_.unlock(); }
+
+ private:
+  std::mutex impl_;
+};
+
+/// Scoped lock for Mutex (lock_guard equivalent, analysis-visible).
+class MND_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) MND_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() MND_RELEASE() { mutex_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable bound to Mutex. Both wait and notify take the
+/// guarding mutex explicitly and MND_REQUIRES it:
+///
+///   * wait(mutex) atomically releases it while parked and reacquires it
+///     before returning, so predicate re-checks stay guarded — use a
+///     `while (!predicate()) cv.wait(mutex);` loop at the call site (a
+///     predicate lambda would be analyzed as an unguarded function);
+///   * notify_one/notify_all REQUIRE the mutex so a flag store published
+///     by another thread cannot interleave between a waiter's predicate
+///     check and its park (the PR4 Mailbox lost-wakeup). Holding the lock
+///     across notify is the entire point: do not "optimize" it away.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Caller holds `mutex`; released while parked, reacquired on return.
+  /// The analysis treats the call as opaque (held before and after),
+  /// which matches the external contract exactly.
+  void wait(Mutex& mutex) MND_REQUIRES(mutex) { impl_.wait(mutex); }
+
+  void notify_one(Mutex& mutex) MND_REQUIRES(mutex) {
+    (void)mutex;
+    impl_.notify_one();
+  }
+
+  void notify_all(Mutex& mutex) MND_REQUIRES(mutex) {
+    (void)mutex;
+    impl_.notify_all();
+  }
+
+ private:
+  // condition_variable_any accepts any BasicLockable, which Mutex is; the
+  // wait path stays on the annotated lock()/unlock() methods.
+  std::condition_variable_any impl_;
+};
+
+}  // namespace mnd

@@ -29,25 +29,23 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
+    task_ready_.notify_all(mutex_);
   }
-  task_ready_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
 void ThreadPool::submit(std::function<void()> task) {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    tasks_.push(std::move(task));
-    ++in_flight_;
-  }
-  task_ready_.notify_one();
+  MutexLock lock(mutex_);
+  tasks_.push(std::move(task));
+  ++in_flight_;
+  task_ready_.notify_one(mutex_);
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  while (in_flight_ != 0) idle_.wait(mutex_);
 }
 
 void ThreadPool::worker_loop() {
@@ -55,16 +53,16 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      task_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && tasks_.empty()) task_ready_.wait(mutex_);
       if (stopping_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (--in_flight_ == 0) idle_.notify_all();
+      MutexLock lock(mutex_);
+      if (--in_flight_ == 0) idle_.notify_all(mutex_);
     }
   }
 }

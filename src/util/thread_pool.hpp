@@ -12,13 +12,13 @@
 // indexed by chunk id and merge it in chunk order.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace mnd {
 
@@ -86,13 +86,15 @@ class ThreadPool {
  private:
   void worker_loop();
 
+  // Written in the constructor, joined in the destructor, sized from any
+  // thread: thread-confined setup, then immutable — not guarded.
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable task_ready_;
-  std::condition_variable idle_;
-  std::size_t in_flight_ = 0;
-  bool stopping_ = false;
+  Mutex mutex_;
+  CondVar task_ready_;
+  CondVar idle_;
+  std::queue<std::function<void()>> tasks_ MND_GUARDED_BY(mutex_);
+  std::size_t in_flight_ MND_GUARDED_BY(mutex_) = 0;
+  bool stopping_ MND_GUARDED_BY(mutex_) = false;
 };
 
 /// Process-wide pool for code that has no natural owner for one. Sized by

@@ -1,0 +1,43 @@
+// Known-bad: hash-iteration order escaping into output — serialization,
+// communication, metrics folds, unsorted appends, float accumulation.
+#include <unordered_map>
+#include <vector>
+
+#include "util/flat_hash.hpp"
+
+namespace mnd::fixture {
+
+struct Serializer {
+  void put_u32(unsigned v);
+};
+struct Comm {
+  void send(int dst, int payload);
+};
+struct Metrics {
+  void counter(int key);
+};
+
+inline void escapes(mnd::FlatHashMap<int, int>& m, Serializer& s, Comm& comm,
+                    Metrics& reg, std::vector<int>& out) {
+  double total_w = 0;
+  m.for_each([&](int k, int v) {
+    s.put_u32(static_cast<unsigned>(v));  // EXPECT-mnd(rule-8)
+  });
+  m.for_each([&](int k, int v) {
+    out.push_back(v);  // EXPECT-mnd(rule-8)
+  });
+  m.for_each([&](int k, int v) {
+    total_w += v;  // EXPECT-mnd(nondet-iter)
+  });
+  (void)total_w;
+
+  std::unordered_map<int, int> pending;
+  for (const auto& kv : pending) {
+    comm.send(kv.first, kv.second);  // EXPECT-mnd(rule-8)
+  }
+  for (const auto& kv : pending) {
+    reg.counter(kv.first);  // EXPECT-mnd(rule-8)
+  }
+}
+
+}  // namespace mnd::fixture

@@ -1,0 +1,43 @@
+// Known-good twin: the commutative and sort-after shapes the real code
+// uses (comp_graph, ghost, engine) — none of these may fire.
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "util/flat_hash.hpp"
+
+namespace mnd::fixture {
+
+inline void disciplined(mnd::FlatHashMap<int, int>& m,
+                        std::vector<int>& out,
+                        std::vector<std::vector<int>>& buckets) {
+  // Append then canonicalize: the later sort makes the order irrelevant.
+  std::size_t count = 0;
+  m.for_each([&](int k, int v) {
+    out.push_back(v);
+    count += 1;  // integral sum: commutative, exact
+  });
+  std::sort(out.begin(), out.end());
+  (void)count;
+
+  // Unordered into unordered: layout-independent.
+  mnd::FlatHashSet<int> seen;
+  m.for_each([&](int k, int v) { seen.insert(v); });
+
+  // Appends canonicalized through a ranged-for alias, like the query
+  // buckets in hypar/engine.cpp.
+  m.for_each([&](int k, int v) {
+    buckets[static_cast<std::size_t>(v) % buckets.size()].push_back(v);
+  });
+  for (auto& b : buckets) {
+    std::sort(b.begin(), b.end());
+  }
+
+  // Body-local storage never leaks iteration order.
+  m.for_each([&](int k, int v) {
+    std::vector<int> tmp;
+    tmp.push_back(v);
+  });
+}
+
+}  // namespace mnd::fixture

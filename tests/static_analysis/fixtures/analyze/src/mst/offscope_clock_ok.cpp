@@ -1,0 +1,11 @@
+// Scope fixture: rule-1 only covers the virtual-time layers. Wall-clock
+// reads in src/mst (e.g. the profiler's real timers) are allowed.
+#include <chrono>
+
+namespace mnd::fixture {
+
+inline long real_timer() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace mnd::fixture

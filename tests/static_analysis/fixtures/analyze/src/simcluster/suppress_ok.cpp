@@ -1,0 +1,16 @@
+// Suppression fixture: justified wall-clock use stays clean under both
+// same-line and next-line NOLINT-mnd forms.
+#include <ctime>
+#include <random>
+
+namespace mnd::fixture {
+
+inline unsigned demo_seed() {
+  std::random_device rd;  // NOLINT-mnd(rule-1): fixture: demo seed source
+  return rd();
+}
+
+// NOLINTNEXTLINE-mnd(vtime-purity): fixture: name-based suppression form
+inline long demo_time() { return time(nullptr); }
+
+}  // namespace mnd::fixture

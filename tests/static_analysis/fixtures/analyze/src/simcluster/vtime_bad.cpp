@@ -1,0 +1,27 @@
+// Known-bad: wall-clock reads and unseeded randomness inside the
+// virtual-time layers (src/simcluster|hypar|bsp).
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace mnd::fixture {
+
+inline long bad_clocks() {
+  auto t0 = std::chrono::system_clock::now();       // EXPECT-mnd(rule-1)
+  auto t1 = std::chrono::steady_clock::now();       // EXPECT-mnd(rule-1)
+  auto t2 = std::chrono::high_resolution_clock::now();  // EXPECT-mnd(rule-1)
+  (void)t0;
+  (void)t1;
+  (void)t2;
+  return time(nullptr);                             // EXPECT-mnd(rule-1)
+}
+
+inline int bad_random() {
+  std::srand(7);                                    // EXPECT-mnd(rule-1)
+  std::random_device rd;                            // EXPECT-mnd(vtime-purity)
+  (void)rd;
+  return rand();                                    // EXPECT-mnd(rule-1)
+}
+
+}  // namespace mnd::fixture

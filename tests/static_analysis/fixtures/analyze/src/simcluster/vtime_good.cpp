@@ -1,0 +1,24 @@
+// Known-good twin: virtual clocks and seeded RNGs. `virtual_time` and a
+// member called `rand` must NOT trip the symbol-resolved rule — these are
+// exactly the shapes the old substring regex needed lookbehinds for.
+#include <random>
+
+namespace mnd::fixture {
+
+struct Comm {
+  long virtual_time() const { return 0; }
+};
+
+struct Rng {
+  explicit Rng(unsigned seed) : gen(seed) {}
+  unsigned rand() { return static_cast<unsigned>(gen()); }
+  std::mt19937 gen;
+};
+
+inline long good(const Comm& comm, unsigned seed) {
+  Rng rng(seed);          // seeded explicitly by the caller
+  long t = comm.virtual_time();
+  return t + rng.rand();  // member access, not the C library
+}
+
+}  // namespace mnd::fixture

@@ -1,0 +1,29 @@
+// Known-bad: a lock-order cycle built through an interprocedural edge
+// (alpha held while calling a function that takes beta) against a direct
+// beta->alpha nesting, plus a direct re-acquisition self-deadlock.
+#include <mutex>
+
+namespace mnd::fixture {
+
+inline std::mutex alpha_mu;
+inline std::mutex beta_mu;
+inline std::mutex gamma_mu;
+
+inline void locks_beta_inner() { std::lock_guard<std::mutex> b(beta_mu); }
+
+inline void alpha_then_calls_beta() {
+  std::lock_guard<std::mutex> a(alpha_mu);
+  locks_beta_inner();  // EXPECT-mnd(rule-9)
+}
+
+inline void beta_then_alpha() {
+  std::lock_guard<std::mutex> b(beta_mu);
+  std::lock_guard<std::mutex> a(alpha_mu);
+}
+
+inline void reacquire() {
+  std::lock_guard<std::mutex> g1(gamma_mu);
+  std::lock_guard<std::mutex> g2(gamma_mu);  // EXPECT-mnd(lock-order)
+}
+
+}  // namespace mnd::fixture

@@ -1,0 +1,25 @@
+// Known-good twin: consistent nesting order everywhere — the graph has
+// edges but no cycle. RAII scoping matters: the second function releases
+// its guard before taking the next mutex.
+#include <mutex>
+
+namespace mnd::fixture {
+
+inline std::mutex ordered_outer_mu;
+inline std::mutex ordered_inner_mu;
+
+inline void nest_consistently() {
+  std::lock_guard<std::mutex> a(ordered_outer_mu);
+  std::lock_guard<std::mutex> b(ordered_inner_mu);
+}
+
+inline void nest_consistently_again() {
+  {
+    std::lock_guard<std::mutex> a(ordered_outer_mu);
+    std::lock_guard<std::mutex> b(ordered_inner_mu);
+  }
+  // Released above: taking inner alone creates no reverse edge.
+  std::lock_guard<std::mutex> only(ordered_inner_mu);
+}
+
+}  // namespace mnd::fixture

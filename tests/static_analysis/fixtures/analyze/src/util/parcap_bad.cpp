@@ -1,0 +1,27 @@
+// Known-bad: parallel_chunks lambdas mutating by-reference captures with
+// no atomic, shard, or lock — cross-chunk data races.
+#include <cstddef>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace mnd::fixture {
+
+inline void racy(mnd::util::ThreadPool& pool, std::vector<int>& vals,
+                 std::vector<int>& out) {
+  std::size_t total = 0;
+  bool flag = false;
+  pool.parallel_chunks(
+      0, vals.size(), 4,
+      [&](std::size_t part, std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          total += static_cast<std::size_t>(vals[i]);  // EXPECT-mnd(rule-10)
+          out.push_back(static_cast<int>(i));  // EXPECT-mnd(rule-10)
+        }
+        flag = true;  // EXPECT-mnd(parallel-capture)
+      });
+  (void)total;
+  (void)flag;
+}
+
+}  // namespace mnd::fixture

@@ -1,0 +1,39 @@
+// Known-good twin: every sanctioned mutation shape from the real kernels
+// (csr.cpp, local_boruvka.cpp) — atomics, chunk-indexed slots, fetch_add
+// slots, per-chunk shards, lambda-locals, and lock-guarded merges.
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace mnd::fixture {
+
+inline void sharded(mnd::util::ThreadPool& pool, std::vector<int>& vals,
+                    std::vector<int>& out,
+                    std::vector<std::vector<int>>& shards) {
+  std::atomic<std::size_t> total{0};
+  std::atomic<std::size_t> cursor{0};
+  std::mutex mu;
+  std::vector<int> merged;
+  pool.parallel_chunks(
+      0, vals.size(), 4,
+      [&](std::size_t part, std::size_t lo, std::size_t hi) {
+        std::size_t local_sum = 0;  // lambda-local accumulator
+        auto& shard = shards[part];
+        for (std::size_t i = lo; i < hi; ++i) {
+          local_sum += static_cast<std::size_t>(vals[i]);
+          out[i] = vals[i];  // slot indexed by a chunk-local: unique
+          shard.push_back(vals[i]);  // per-chunk shard
+          out[cursor.fetch_add(1)] = vals[i];  // fetch_add slot: unique
+        }
+        total.fetch_add(local_sum);  // atomic fold
+        {
+          std::lock_guard<std::mutex> g(mu);
+          merged.push_back(static_cast<int>(part));  // guarded merge
+        }
+      });
+}
+
+}  // namespace mnd::fixture

@@ -1,0 +1,11 @@
+// Scope fixture: the BSP baseline is exempt from the wire rule by design
+// (it models the paper's baseline, not the framed MND transport).
+#include "util/serialize.hpp"
+
+namespace mnd::fixture {
+
+inline void baseline(mnd::Serializer& s) {
+  s.put<unsigned>(1);  // out of rule-6 scope: src/bsp
+}
+
+}  // namespace mnd::fixture

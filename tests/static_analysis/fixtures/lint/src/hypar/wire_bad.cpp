@@ -1,0 +1,14 @@
+// Known-bad: engine code building transport payloads with raw Serializer
+// writes instead of the framed helpers (DESIGN.md §5d).
+#include "util/serialize.hpp"
+
+namespace mnd::fixture {
+
+inline void leak(mnd::Serializer& s) {
+  s.put<unsigned>(7);            // EXPECT-mnd(rule-6)
+  s.put_vector(nullptr);         // EXPECT-mnd(wire)
+  s.put_string("oops");          // EXPECT-mnd(rule-6)
+  s.put_varint(99u);             // EXPECT-mnd(rule-6)
+}
+
+}  // namespace mnd::fixture

@@ -1,0 +1,11 @@
+// Known-good twin: payloads go through the framed entry point so the wire
+// magic and bytes accounting apply.
+#include "util/serialize.hpp"
+
+namespace mnd::fixture {
+
+inline void framed(mnd::Serializer& s, const std::vector<unsigned>& ids) {
+  s.put_id_vector(ids);  // sanctioned framed helper
+}
+
+}  // namespace mnd::fixture

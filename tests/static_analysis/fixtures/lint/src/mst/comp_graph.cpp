@@ -1,0 +1,12 @@
+// Exemption fixture: src/mst/comp_graph.cpp is where the framed wire
+// helpers live, so raw Serializer writes are allowed here.
+#include "util/serialize.hpp"
+
+namespace mnd::fixture {
+
+inline void frame(mnd::Serializer& s) {
+  s.put<unsigned>(0x4D4E4431u);  // exempt: this file defines the framing
+  s.put_varint(42u);
+}
+
+}  // namespace mnd::fixture

@@ -1,0 +1,14 @@
+// Known-bad: direct output from engine code bypasses the logging sink.
+#include <cstdio>
+#include <iostream>
+
+namespace mnd::fixture {
+
+inline void shout() {
+  std::cout << "direct stdout\n";  // EXPECT-mnd(rule-2)
+  std::cerr << "direct stderr\n";  // EXPECT-mnd(rule-2)
+  printf("printf output\n");       // EXPECT-mnd(logging)
+  puts("puts output");             // EXPECT-mnd(rule-2)
+}
+
+}  // namespace mnd::fixture

@@ -1,0 +1,8 @@
+// Known-good twin of log_bad.cpp: output through the sanctioned sink.
+#include "util/logging.hpp"
+
+namespace mnd::fixture {
+
+inline void speak(int rank) { MND_LOG(rank) << "through the sink"; }
+
+}  // namespace mnd::fixture

@@ -1,0 +1,6 @@
+// Known-bad: header whose first code line is not #pragma once.
+#include <vector>  // EXPECT-mnd(rule-4)
+
+namespace mnd::fixture {
+using Ids = std::vector<int>;
+}  // namespace mnd::fixture

@@ -1,0 +1,15 @@
+// Suppression fixture: justified NOLINT-mnd comments must keep this file
+// clean in both same-line and next-line forms.
+#include <iostream>
+#include <thread>
+
+namespace mnd::fixture {
+
+inline void pinned() {
+  std::thread probe([] {});  // NOLINT-mnd(rule-5): fixture: sanctioned probe
+  probe.join();
+  // NOLINTNEXTLINE-mnd(logging): fixture: direct output is intentional here
+  std::cout << "suppressed";
+}
+
+}  // namespace mnd::fixture

@@ -1,0 +1,14 @@
+// Known-bad: raw thread spawns outside the pool / rank launcher.
+#include <future>
+#include <thread>
+
+namespace mnd::fixture {
+
+inline void spawn() {
+  std::thread t([] {});             // EXPECT-mnd(rule-5)
+  t.join();
+  auto f = std::async([] {});       // EXPECT-mnd(threading)
+  f.wait();
+}
+
+}  // namespace mnd::fixture

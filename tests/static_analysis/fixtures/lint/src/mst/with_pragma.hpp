@@ -1,0 +1,8 @@
+// Known-good twin: the file comment may precede #pragma once.
+#pragma once
+
+#include <vector>
+
+namespace mnd::fixture {
+using Ids = std::vector<int>;
+}  // namespace mnd::fixture

@@ -1,0 +1,17 @@
+// Known-bad: obs code picking its own output destination. Exporters take
+// a caller-provided std::ostream& instead.
+#include <cstdio>
+#include <fstream>
+
+namespace mnd::fixture {
+
+inline void dump() {
+  std::ofstream out("metrics.csv");   // EXPECT-mnd(rule-7)
+  out << 1;
+  FILE* f = fopen("metrics.bin", "w");  // EXPECT-mnd(obs-discipline)
+  if (f) {
+    fclose(f);
+  }
+}
+
+}  // namespace mnd::fixture

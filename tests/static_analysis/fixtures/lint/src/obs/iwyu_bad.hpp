@@ -1,0 +1,11 @@
+// Known-bad: names std symbols without including their owning headers.
+#pragma once
+
+namespace mnd::fixture {
+
+struct Sample {
+  std::vector<int> xs;     // EXPECT-mnd(rule-3)
+  std::uint64_t stamp = 0;  // EXPECT-mnd(iwyu-obs)
+};
+
+}  // namespace mnd::fixture

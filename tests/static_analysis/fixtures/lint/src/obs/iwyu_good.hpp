@@ -1,0 +1,18 @@
+// Known-good twin: owning headers included directly; <iosfwd> is the
+// sanctioned provider for streams that are only referenced.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace mnd::fixture {
+
+struct Sample {
+  std::vector<int> xs;
+  std::uint64_t stamp = 0;
+};
+
+void render(const Sample& s, std::ostream& os);
+
+}  // namespace mnd::fixture

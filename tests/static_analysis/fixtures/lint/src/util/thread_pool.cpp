@@ -1,0 +1,12 @@
+// Exemption fixture: src/util/thread_pool.cpp is the sanctioned home of
+// raw std::thread — the pool implementation itself.
+#include <thread>
+
+namespace mnd::fixture {
+
+inline void worker() {
+  std::thread t([] {});  // exempt: the pool owns its workers
+  t.join();
+}
+
+}  // namespace mnd::fixture

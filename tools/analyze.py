@@ -1,0 +1,1001 @@
+#!/usr/bin/env python3
+"""AST-grounded static analyzer for the MND-MST codebase.
+
+Checks the invariants the text lint (tools/lint.py) cannot express. Both
+tools share tools/rulefw.py: per-rule IDs, `// NOLINT-mnd(rule-N)`
+suppressions, and per-rule summaries.
+
+Rules:
+
+  rule-1  vtime-purity      Code under src/simcluster, src/hypar, src/bsp
+                            must not read wall-clock time or use unseeded
+                            randomness. Symbol-resolved (identifier-exact,
+                            qualified-name aware) — `virtual_time(...)` no
+                            longer needs a regex lookbehind to survive.
+  rule-8  nondet-iter       Iterating an unordered container (std::
+                            unordered_*, FlatHashMap/Set, for_each
+                            callbacks) must not let iteration order escape:
+                            appends to outside containers that are never
+                            re-sorted, Serializer writes, sends, metrics
+                            records, and float accumulations inside the
+                            loop are all order-dependent output.
+                            Commutative escapes (integer sums, max/min,
+                            inserts into other unordered containers) and
+                            appends that are deterministically sorted
+                            later in the same scope are fine.
+  rule-9  lock-order        Whole-program lock-order graph: an edge A->B
+                            for every site that acquires B while holding A
+                            (RAII scoping honored, one level of
+                            interprocedural propagation to a fixpoint).
+                            Any cycle — including re-acquiring a
+                            non-recursive mutex — is a static deadlock.
+  rule-10 parallel-capture  Inside util::ThreadPool parallel_chunks /
+                            parallel_for lambdas, every mutation of
+                            by-reference captured state must be an atomic
+                            op, a per-chunk-sharded slot (index involves a
+                            lambda-local), a slot whose index came from an
+                            atomic fetch_add, or under a lock. Plain
+                            captured mutations are cross-chunk races.
+
+Frontends:
+
+  * token (always available): a structural C++ frontend built on
+    tools/rulefw.py's tokenizer — brace/paren matching, declaration type
+    table, member-chain resolution. Self-contained; this is what the
+    fixture selftests pin down.
+  * libclang (used when the `clang.cindex` Python bindings can load): a
+    compile_commands.json-driven pass that resolves referenced symbols to
+    fully qualified names for rule-1 and refines the variable type table
+    (canonical types for unordered/atomic/mutex classification) for the
+    structural rules. Findings degrade gracefully to the token frontend
+    when libclang is absent — the container image used for local growth
+    has no clang, while CI installs it.
+
+Usage:
+  tools/analyze.py [-p BUILD_DIR] [--root DIR] [--frontend auto|token|
+                   libclang] [--lock-graph] [--selftest]
+
+-p names the CMake build dir holding compile_commands.json (used to
+enumerate translation units and, under libclang, their exact flags).
+Without it, every .cpp/.hpp under <root>/src is scanned by the token
+frontend. Exit status: 0 clean, 1 violations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shlex
+import sys
+from collections import defaultdict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import rulefw
+from rulefw import FileContext, Report, Rule, Token
+
+REPO = rulefw.REPO
+
+RULE_VTIME = Rule("rule-1", "vtime-purity",
+                  "no wall-clock/unseeded randomness in virtual-time code")
+RULE_NONDET = Rule("rule-8", "nondet-iter",
+                   "unordered-iteration order must not escape into output")
+RULE_LOCKORDER = Rule("rule-9", "lock-order",
+                      "lock-order graph must be acyclic (static deadlock)")
+RULE_PARCAP = Rule("rule-10", "parallel-capture",
+                   "parallel lambdas mutate only sharded/atomic/locked state")
+
+RULES = [RULE_VTIME, RULE_NONDET, RULE_LOCKORDER, RULE_PARCAP]
+
+VTIME_DIRS = ("src/simcluster/", "src/hypar/", "src/bsp/")
+
+CONTROL_KEYWORDS = {"if", "for", "while", "switch", "catch", "return",
+                    "sizeof", "alignof", "else", "do", "new", "delete",
+                    "throw", "case", "static_assert", "decltype"}
+
+HASH_TYPE_IDS = {"unordered_map", "unordered_set", "unordered_multimap",
+                 "unordered_multiset", "FlatHashMap", "FlatHashSet",
+                 "flat_hash_map", "flat_hash_set"}
+ATOMIC_TYPE_IDS = {"atomic", "atomic_bool", "atomic_int", "atomic_flag"}
+MUTEX_TYPE_IDS = {"mutex", "Mutex", "recursive_mutex", "shared_mutex",
+                  "timed_mutex"}
+FLOAT_TYPE_IDS = {"float", "double"}
+
+ATOMIC_METHODS = {"store", "exchange", "fetch_add", "fetch_sub", "fetch_or",
+                  "fetch_and", "fetch_xor", "compare_exchange_weak",
+                  "compare_exchange_strong"}
+MUTATING_METHODS = {"push_back", "emplace_back", "insert", "emplace",
+                    "insert_or_assign", "clear", "resize", "assign", "pop",
+                    "pop_back", "pop_front", "push", "erase", "merge_from",
+                    "merge"}
+APPEND_METHODS = {"push_back", "emplace_back", "insert", "emplace",
+                  "insert_or_assign"}
+SERIALIZE_IDS = {"Serializer", "serialize_components"}
+SEND_METHODS = {"send", "deliver", "gather", "all_gather", "group_gather",
+                "group_all_gather", "ring_shift", "broadcast", "exchange",
+                "checkpoint_write", "checkpoint_put"}
+METRIC_METHODS = {"counter", "gauge", "add_sample", "record_wire_bytes"}
+LOCK_RAII = {"MutexLock", "lock_guard", "unique_lock", "scoped_lock"}
+PARALLEL_ENTRY = {"parallel_chunks", "parallel_for", "parallel_for_chunks"}
+
+BANNED_CLOCK_IDS = {
+    "system_clock": "wall-clock read in virtual-time code (use the "
+                    "Communicator's virtual clock)",
+    "steady_clock": "real-time clock in virtual-time code (use the "
+                    "Communicator's virtual clock)",
+    "high_resolution_clock": "real-time clock in virtual-time code",
+    "gettimeofday": "gettimeofday in virtual-time code",
+    "clock_gettime": "clock_gettime in virtual-time code",
+    "random_device": "nondeterministic seed source (pass seeds explicitly)",
+}
+# Fully qualified names for the libclang symbol resolver (rule-1).
+BANNED_QUALIFIED = {
+    "std::chrono::system_clock", "std::chrono::steady_clock",
+    "std::chrono::high_resolution_clock", "std::system_clock",
+    "std::steady_clock", "std::high_resolution_clock",
+    "gettimeofday", "clock_gettime", "std::random_device", "random_device",
+    "std::rand", "rand", "std::srand", "srand", "std::random", "random",
+    "std::time", "time",
+}
+
+
+# --- structural token model -------------------------------------------------
+
+@dataclass
+class Structure:
+    """Precomputed structural facts for one file's token stream."""
+    ctx: FileContext
+    tokens: list[Token]
+    depth: list[int] = field(default_factory=list)        # curly depth
+    match: dict[int, int] = field(default_factory=dict)   # open -> close
+    types: dict[str, str] = field(default_factory=dict)   # var -> category
+
+    def __post_init__(self) -> None:
+        stack: dict[str, list[int]] = {"{": [], "(": [], "[": []}
+        closer = {"}": "{", ")": "(", "]": "["}
+        d = 0
+        for i, t in enumerate(self.tokens):
+            if t.text == "{":
+                d += 1
+            self.depth.append(d)
+            if t.text in stack:
+                stack[t.text].append(i)
+            elif t.text in closer:
+                opens = stack[closer[t.text]]
+                if opens:
+                    self.match[opens.pop()] = i
+            if t.text == "}":
+                d = max(0, d - 1)
+        self._scan_declarations()
+
+    # Declaration scan: records variable -> coarse category. One flat map
+    # per file — good enough for classification, and collisions between
+    # categories are rare inside one file.
+    def _scan_declarations(self) -> None:
+        toks = self.tokens
+        i = 0
+        while i < len(toks):
+            t = toks[i]
+            if t.kind == "id":
+                cat = self._type_category(t.text)
+                if cat is not None:
+                    j = i + 1
+                    j = self._skip_template_args(j)
+                    while j < len(toks) and toks[j].text in ("&", "*",
+                                                            "const"):
+                        j += 1
+                    if (j < len(toks) and toks[j].kind == "id"
+                            and toks[j].text not in CONTROL_KEYWORDS):
+                        after = toks[j + 1].text if j + 1 < len(toks) else ""
+                        if after in (";", "=", "(", "{", ",", ")", ":"):
+                            self.types.setdefault(toks[j].text, cat)
+                        i = j
+            i += 1
+
+    @staticmethod
+    def _type_category(name: str) -> str | None:
+        if name in HASH_TYPE_IDS:
+            return "hash"
+        if name in ATOMIC_TYPE_IDS:
+            return "atomic"
+        if name in MUTEX_TYPE_IDS:
+            return "mutex"
+        if name in FLOAT_TYPE_IDS:
+            return "float"
+        return None
+
+    def _skip_template_args(self, j: int) -> int:
+        toks = self.tokens
+        if j < len(toks) and toks[j].text == "<":
+            depth = 0
+            while j < len(toks):
+                if toks[j].text == "<":
+                    depth += 1
+                elif toks[j].text == ">":
+                    depth -= 1
+                    if depth == 0:
+                        return j + 1
+                elif toks[j].text == ">>":
+                    depth -= 2
+                    if depth <= 0:
+                        return j + 1
+                elif toks[j].text in (";", "{"):
+                    return j  # not template args after all
+                j += 1
+        return j
+
+    def category(self, name: str) -> str | None:
+        return self.types.get(name)
+
+    # Walks a member chain ending at tokens[end] (an id), back through
+    # `.`/`->`/`::` links and `[...]`/`(...)` groups. Returns (base index,
+    # normalized chain string like "c.edges.push_back").
+    def chain_at(self, end: int) -> tuple[int, str]:
+        toks = self.tokens
+        parts = [toks[end].text]
+        i = end - 1
+        rev_open = {v: k for k, v in self.match.items()}
+        while i >= 0:
+            t = toks[i].text
+            if t in (".", "->", "::"):
+                i -= 1
+                continue
+            if t in (")", "]"):
+                i = rev_open.get(i, i)
+                i -= 1
+                continue
+            if toks[i].kind == "id":
+                prev = toks[i - 1].text if i > 0 else ""
+                parts.append(toks[i].text)
+                if prev in (".", "->", "::"):
+                    i -= 1
+                    continue
+                return i, ".".join(reversed(parts))
+            break
+        return end, ".".join(reversed(parts))
+
+    def enclosing_block_end(self, idx: int) -> int:
+        """Token index just past the closing `}` of the block around idx."""
+        d = self.depth[idx]
+        for j in range(idx, len(self.tokens)):
+            if self.tokens[j].text == "}" and self.depth[j] <= d - 1 + 1:
+                # depth recorded at the `}` itself is the inner depth; a
+                # close that brings us below idx's depth ends the block.
+                if self.depth[j] <= d:
+                    return j + 1
+        return len(self.tokens)
+
+
+def build_structure(ctx: FileContext) -> Structure:
+    return Structure(ctx=ctx, tokens=ctx.tokens)
+
+
+# --- rule-1: virtual-time purity (token frontend) ---------------------------
+
+def check_vtime_tokens(st: Structure, report: Report) -> None:
+    if not st.ctx.rel.startswith(VTIME_DIRS):
+        return
+    toks = st.tokens
+    for i, t in enumerate(toks):
+        if t.kind != "id":
+            continue
+        nxt = toks[i + 1].text if i + 1 < len(toks) else ""
+        prev = toks[i - 1].text if i > 0 else ""
+        prev2 = toks[i - 2].text if i > 1 else ""
+        if t.text in BANNED_CLOCK_IDS:
+            report.add(st.ctx, t.line, RULE_VTIME, BANNED_CLOCK_IDS[t.text])
+            continue
+        # Member access (rng.rand) and non-std qualification are fine; a
+        # bare or std:: qualified call is the C library. An identifier
+        # right before means this is a declaration (`unsigned rand()`),
+        # not a call — `return rand()` stays caught (keyword before).
+        member = prev in (".", "->") or (prev == "::" and prev2 != "std")
+        decl = (i > 0 and toks[i - 1].kind == "id"
+                and prev not in CONTROL_KEYWORDS)
+        if member or decl or nxt != "(":
+            continue
+        if t.text in ("rand", "srand"):
+            report.add(st.ctx, t.line, RULE_VTIME,
+                       f"{t.text}() is unseeded C randomness (use a seeded "
+                       "std::mt19937)")
+        elif t.text == "random" and i + 2 < len(toks) \
+                and toks[i + 2].text == ")":
+            report.add(st.ctx, t.line, RULE_VTIME,
+                       "random() is unseeded C randomness (use a seeded "
+                       "std::mt19937)")
+        elif t.text == "time" and i + 2 < len(toks) \
+                and toks[i + 2].text in ("NULL", "nullptr", "0", "&"):
+            report.add(st.ctx, t.line, RULE_VTIME,
+                       "time() read in virtual-time code")
+
+
+# --- rule-8: nondeterministic iteration -------------------------------------
+
+@dataclass
+class IterationSite:
+    line: int
+    body: tuple[int, int]      # token span [begin, end) of the loop body
+    after: tuple[int, int]     # span to search for canonicalizing sorts
+
+
+def _lambda_body(st: Structure, call_open: int) -> tuple[int, int] | None:
+    """Span of the first lambda body inside call parens at call_open."""
+    close = st.match.get(call_open)
+    if close is None:
+        return None
+    for j in range(call_open + 1, close):
+        if st.tokens[j].text == "[":
+            intro_close = st.match.get(j)
+            if intro_close is None:
+                return None
+            k = intro_close + 1
+            if k < close and st.tokens[k].text == "(":
+                k = st.match.get(k, k) + 1
+            if k < close and st.tokens[k].text == "{":
+                body_close = st.match.get(k)
+                if body_close is not None:
+                    return (k + 1, body_close)
+            return None
+    return (call_open + 1, close)  # non-lambda callback: scan the args
+
+
+def find_iteration_sites(st: Structure) -> list[IterationSite]:
+    sites: list[IterationSite] = []
+    toks = st.tokens
+    for i, t in enumerate(toks):
+        nxt = toks[i + 1].text if i + 1 < len(toks) else ""
+        if t.kind != "id":
+            continue
+        # X.for_each(...): every for_each receiver in this codebase is an
+        # unordered container (FlatHashMap/Set, RenameMap) unless typed
+        # otherwise.
+        if t.text in ("for_each", "map_for_each") and nxt == "(" and i > 0 \
+                and toks[i - 1].text in (".", "->"):
+            body = _lambda_body(st, i + 1)
+            if body:
+                end = st.match.get(i + 1)
+                after_end = st.enclosing_block_end(i)
+                sites.append(IterationSite(t.line, body,
+                                           (end + 1, after_end)))
+        # for (decl : expr) over a declared unordered container.
+        elif t.text == "for" and nxt == "(":
+            close = st.match.get(i + 1)
+            if close is None:
+                continue
+            colon = next((j for j in range(i + 2, close)
+                          if toks[j].text == ":"), None)
+            if colon is None:
+                continue
+            range_ids = [x for x in range(colon + 1, close)
+                         if toks[x].kind == "id"]
+            if not range_ids:
+                continue
+            base = toks[range_ids[0]].text
+            if st.category(base) != "hash":
+                continue
+            if close + 1 < len(toks) and toks[close + 1].text == "{":
+                body_close = st.match.get(close + 1)
+                if body_close is None:
+                    continue
+                body = (close + 2, body_close)
+                after_end = st.enclosing_block_end(i)
+                sites.append(IterationSite(t.line, body,
+                                           (body_close + 1, after_end)))
+    return sites
+
+
+def _locals_in(st: Structure, span: tuple[int, int]) -> set[str]:
+    """Names declared inside a token span (heuristic: `Type name =/;/:`)."""
+    toks = st.tokens
+    out: set[str] = set()
+    for j in range(span[0], span[1]):
+        t = toks[j]
+        if t.kind != "id" or t.text in CONTROL_KEYWORDS:
+            continue
+        prev = toks[j - 1] if j > 0 else None
+        nxt = toks[j + 1].text if j + 1 < len(toks) else ""
+        prev_ok = prev is not None and (
+            prev.kind == "id" or prev.text in ("&", "*", ">"))
+        if prev_ok and nxt in ("=", ";", ":", ","):
+            out.add(t.text)
+    return out
+
+
+def _aliases_in(st: Structure, span: tuple[int, int]) -> dict[str, str]:
+    """Ranged-for aliases in a span: for (auto& q : queries) -> {q: queries}."""
+    toks = st.tokens
+    out: dict[str, str] = {}
+    for j in range(span[0], span[1]):
+        if toks[j].text == "for" and j + 1 < len(toks) \
+                and toks[j + 1].text == "(":
+            close = st.match.get(j + 1)
+            if close is None:
+                continue
+            colon = next((x for x in range(j + 2, close)
+                          if toks[x].text == ":"), None)
+            if colon is None:
+                continue
+            alias_ids = [x for x in range(j + 2, colon)
+                         if toks[x].kind == "id"
+                         and toks[x].text not in ("auto", "const")]
+            range_ids = [x for x in range(colon + 1, close)
+                         if toks[x].kind == "id"]
+            if alias_ids and range_ids:
+                out[toks[alias_ids[-1]].text] = toks[range_ids[0]].text
+    return out
+
+
+def _sorted_after(st: Structure, target_base: str,
+                  after: tuple[int, int]) -> bool:
+    toks = st.tokens
+    aliases = _aliases_in(st, after)
+    for j in range(after[0], after[1]):
+        if toks[j].kind == "id" \
+                and toks[j].text in ("sort", "stable_sort",
+                                     "parallel_sort") \
+                and j + 1 < len(toks) and toks[j + 1].text == "(":
+            close = st.match.get(j + 1)
+            if close is None:
+                continue
+            for x in range(j + 2, close):
+                if toks[x].kind == "id":
+                    base = aliases.get(toks[x].text, toks[x].text)
+                    if base == target_base:
+                        return True
+    return False
+
+
+def check_nondet_iter(st: Structure, report: Report) -> None:
+    toks = st.tokens
+    for site in find_iteration_sites(st):
+        locals_ = _locals_in(st, site.body)
+        lo, hi = site.body
+        for j in range(lo, hi):
+            t = toks[j]
+            if t.kind != "id":
+                continue
+            nxt = toks[j + 1].text if j + 1 < len(toks) else ""
+            prev = toks[j - 1].text if j > 0 else ""
+            if t.text in SERIALIZE_IDS:
+                report.add(st.ctx, t.line, RULE_NONDET,
+                           "serialization inside unordered iteration — "
+                           "wire bytes would depend on hash layout")
+                continue
+            if nxt != "(":
+                # float accumulation: base += ... where base is float.
+                if nxt in ("+=", "-=") and st.category(t.text) == "float" \
+                        and t.text not in locals_:
+                    report.add(st.ctx, t.line, RULE_NONDET,
+                               f"float accumulation into '{t.text}' inside "
+                               "unordered iteration — rounding depends on "
+                               "hash order (accumulate into sorted storage "
+                               "first)")
+                continue
+            if prev in (".", "->") and t.text.startswith("put"):
+                report.add(st.ctx, t.line, RULE_NONDET,
+                           f"Serializer::{t.text} inside unordered "
+                           "iteration — wire bytes would depend on hash "
+                           "layout")
+                continue
+            if prev in (".", "->") and t.text in METRIC_METHODS:
+                report.add(st.ctx, t.line, RULE_NONDET,
+                           f"metrics fold ({t.text}) inside unordered "
+                           "iteration — fold order escapes into metrics")
+                continue
+            if prev in (".", "->") and t.text in SEND_METHODS:
+                report.add(st.ctx, t.line, RULE_NONDET,
+                           f"communication ({t.text}) inside unordered "
+                           "iteration — message order depends on hash "
+                           "layout")
+                continue
+            if prev in (".", "->") and t.text in APPEND_METHODS:
+                base_idx, chain = st.chain_at(j)
+                base = toks[base_idx].text
+                if base in locals_:
+                    continue
+                if st.category(base) in ("hash", "atomic"):
+                    continue  # unordered->unordered or atomic: commutative
+                if _sorted_after(st, base, site.after):
+                    continue
+                member = chain.rsplit(".", 1)[0]
+                report.add(
+                    st.ctx, t.line, RULE_NONDET,
+                    f"append to '{member}' inside unordered iteration with "
+                    "no later sort in this scope — iteration order escapes "
+                    "(sort the result or iterate sorted keys)")
+
+
+# --- rule-9: lock-order graph -----------------------------------------------
+
+@dataclass
+class LockFacts:
+    # (held_mutex, acquired_mutex, path, line, note)
+    edges: list[tuple[str, str, str, int, str]]
+    # function name -> set of mutexes acquired directly in its body
+    acquires: dict[str, set[str]]
+    # function name -> list of (callee, path, line, held_at_call)
+    calls: dict[str, list[tuple[str, str, int, frozenset]]]
+
+
+def _normalize_mutex(st: Structure, open_paren: int) -> str | None:
+    close = st.match.get(open_paren)
+    if close is None:
+        return None
+    parts = []
+    for j in range(open_paren + 1, close):
+        t = st.tokens[j]
+        if t.kind == "id" and t.text != "this":
+            parts.append(t.text)
+    return ".".join(parts) if parts else None
+
+
+def _function_spans(st: Structure) -> list[tuple[str, int, int]]:
+    """(name, body_begin, body_end) for function-ish definitions."""
+    toks = st.tokens
+    out = []
+    for i, t in enumerate(toks):
+        if t.text != "(" or i == 0:
+            continue
+        name_tok = toks[i - 1]
+        if name_tok.kind != "id" or name_tok.text in CONTROL_KEYWORDS:
+            continue
+        close = st.match.get(i)
+        if close is None:
+            continue
+        j = close + 1
+        # Skip specifiers/initializers up to `{` on the same statement.
+        hops = 0
+        while j < len(toks) and toks[j].text not in ("{", ";") and hops < 24:
+            j += 1
+            hops += 1
+        if j < len(toks) and toks[j].text == "{":
+            body_close = st.match.get(j)
+            if body_close is not None:
+                out.append((name_tok.text, j + 1, body_close))
+    return out
+
+
+def collect_lock_facts(st: Structure, facts: LockFacts) -> None:
+    # The wrapper header defines MutexLock itself (constructor signatures,
+    # deleted copy ops) — those are declarations, not acquisitions.
+    if st.ctx.rel.endswith("util/thread_annotations.hpp"):
+        return
+    toks = st.tokens
+    spans = _function_spans(st)
+
+    def enclosing_function(idx: int) -> str | None:
+        best = None
+        for name, lo, hi in spans:
+            if lo <= idx < hi:
+                best = name  # innermost (lambdas fold into the enclosing fn)
+        return best
+
+    # Forward scan with a stack of (mutex, release_depth).
+    held: list[tuple[str, int]] = []
+    for i, t in enumerate(toks):
+        while held and st.depth[i] < held[-1][1]:
+            held.pop()
+        if t.kind != "id":
+            continue
+        nxt = toks[i + 1].text if i + 1 < len(toks) else ""
+        if t.text in LOCK_RAII:
+            j = i + 1
+            j = st._skip_template_args(j)
+            if j < len(toks) and toks[j].kind == "id":  # guard variable name
+                j += 1
+            if j < len(toks) and toks[j].text == "(":
+                mutex = _normalize_mutex(st, j)
+                if mutex:
+                    fn = enclosing_function(i)
+                    for held_mutex, _ in held:
+                        facts.edges.append(
+                            (held_mutex, mutex, st.ctx.rel, t.line,
+                             f"{held_mutex} held while acquiring {mutex}"))
+                    held.append((mutex, st.depth[i]))
+                    if fn:
+                        facts.acquires.setdefault(fn, set()).add(mutex)
+            continue
+        # Call sites (potential interprocedural acquisitions).
+        if nxt == "(" and t.text not in CONTROL_KEYWORDS:
+            fn = enclosing_function(i)
+            if fn and fn != t.text:
+                facts.calls.setdefault(fn, []).append(
+                    (t.text, st.ctx.rel, t.line,
+                     frozenset(m for m, _ in held)))
+
+
+def check_lock_order(structures: list[Structure], report: Report,
+                     dump_graph: bool = False) -> None:
+    facts = LockFacts(edges=[], acquires={}, calls={})
+    for st in structures:
+        collect_lock_facts(st, facts)
+
+    # Effective acquired set per function: fixpoint over the call graph.
+    effective: dict[str, set[str]] = {f: set(s)
+                                      for f, s in facts.acquires.items()}
+    changed = True
+    while changed:
+        changed = False
+        for fn, callsites in facts.calls.items():
+            acc = effective.setdefault(fn, set())
+            for callee, _, _, _ in callsites:
+                extra = effective.get(callee)
+                if extra and not extra <= acc:
+                    acc |= extra
+                    changed = True
+
+    edges = {(a, b): (path, line, note)
+             for a, b, path, line, note in facts.edges}
+    for fn, callsites in facts.calls.items():
+        for callee, path, line, held in callsites:
+            for acquired in effective.get(callee, ()):
+                for held_mutex in held:
+                    if held_mutex != acquired:
+                        edges.setdefault(
+                            (held_mutex, acquired),
+                            (path, line,
+                             f"{held_mutex} held while calling {callee}() "
+                             f"which acquires {acquired}"))
+    # Self-edges (direct re-acquisition of a non-recursive mutex).
+    for a, b, path, line, note in facts.edges:
+        if a == b:
+            ctx = next(s.ctx for s in structures if s.ctx.rel == path)
+            report.add(ctx, line, RULE_LOCKORDER,
+                       f"mutex '{a}' re-acquired while already held "
+                       "(non-recursive: guaranteed self-deadlock)")
+
+    if dump_graph:
+        print("lock-order graph (A -> B = B acquired while A held):")
+        for (a, b), (path, line, _) in sorted(edges.items()):
+            print(f"  {a} -> {b}   [{path}:{line}]")
+        if not edges:
+            print("  (no nested acquisitions anywhere)")
+
+    # Cycle detection over the edge set.
+    graph: dict[str, set[str]] = defaultdict(set)
+    for (a, b) in edges:
+        if a != b:
+            graph[a].add(b)
+
+    def find_cycle() -> list[str] | None:
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {n: WHITE for n in
+                 set(graph) | {m for s in graph.values() for m in s}}
+        parent: dict[str, str] = {}
+
+        def dfs(u: str) -> list[str] | None:
+            color[u] = GRAY
+            for v in sorted(graph.get(u, ())):
+                if color[v] == GRAY:
+                    cycle = [v, u]
+                    w = u
+                    while w != v:
+                        w = parent[w]
+                        cycle.append(w)
+                    return list(reversed(cycle))
+                if color[v] == WHITE:
+                    parent[v] = u
+                    found = dfs(v)
+                    if found:
+                        return found
+            color[u] = BLACK
+            return None
+
+        for node in sorted(color):
+            if color[node] == WHITE:
+                found = dfs(node)
+                if found:
+                    return found
+        return None
+
+    cycle = find_cycle()
+    if cycle:
+        pairs = list(zip(cycle, cycle[1:]))
+        detail = " -> ".join(cycle)
+        path, line, note = edges[pairs[0]]
+        ctx = next(s.ctx for s in structures if s.ctx.rel == path)
+        report.add(ctx, line, RULE_LOCKORDER,
+                   f"lock-order cycle: {detail} ({note}; acquire these "
+                   "mutexes in one global order)")
+
+
+# --- rule-10: parallel-capture audit ----------------------------------------
+
+def _span_has_lock(st: Structure, lo: int, idx: int) -> bool:
+    """A LOCK_RAII acquisition between lo and idx still in scope at idx."""
+    toks = st.tokens
+    for j in range(lo, idx):
+        if toks[j].kind == "id" and toks[j].text in LOCK_RAII:
+            # In scope if the block it was declared in still encloses idx.
+            if st.depth[j] <= st.depth[idx]:
+                return True
+    return False
+
+
+def check_parallel_capture(st: Structure, report: Report) -> None:
+    toks = st.tokens
+    for i, t in enumerate(toks):
+        if t.kind != "id" or t.text not in PARALLEL_ENTRY:
+            continue
+        if i + 1 >= len(toks) or toks[i + 1].text != "(":
+            continue
+        body = _lambda_body(st, i + 1)
+        if body is None:
+            continue
+        lo, hi = body
+        locals_ = _locals_in(st, body)
+        # Lambda parameters count as chunk-locals.
+        intro = next((j for j in range(i + 2, lo)
+                      if toks[j].text == "["), None)
+        if intro is not None:
+            pclose = st.match.get(intro)
+            if pclose is not None and pclose + 1 < lo \
+                    and toks[pclose + 1].text == "(":
+                pend = st.match.get(pclose + 1)
+                for j in range(pclose + 2, pend or pclose + 2):
+                    if toks[j].kind == "id" and \
+                            toks[j].text not in CONTROL_KEYWORDS and \
+                            (j + 1 <= (pend or 0)) and \
+                            toks[j + 1].text in (",", ")"):
+                        locals_.add(toks[j].text)
+
+        def subscript_is_sharded(start: int, end_tok: int) -> bool:
+            for x in range(start, end_tok):
+                tok = toks[x]
+                if tok.kind == "id" and (tok.text in locals_
+                                         or tok.text == "fetch_add"):
+                    return True
+            return False
+
+        ASSIGN_OPS = ("=", "+=", "-=", "*=", "/=", "%=", "|=", "&=", "^=",
+                      "<<=", ">>=")
+        for j in range(lo, hi):
+            t2 = toks[j]
+            if t2.kind != "id" or t2.text in CONTROL_KEYWORDS:
+                continue
+            nxt = toks[j + 1].text if j + 1 < len(toks) else ""
+            prev_tok = toks[j - 1] if j > 0 else None
+            prev = prev_tok.text if prev_tok else ""
+            member = prev in (".", "->")
+            # The write site: where the assignment operator (if any) sits.
+            # For `x = ...` it's right after the id; for `arr[i] = ...`
+            # it's after the matching `]`.
+            op_idx = j + 1
+            if nxt == "[":
+                close = st.match.get(j + 1)
+                if close is not None:
+                    op_idx = close + 1
+            op = toks[op_idx].text if op_idx < len(toks) else ""
+
+            target = None
+            kind = None
+            if member and nxt == "(":
+                if t2.text in ATOMIC_METHODS:
+                    continue  # atomic op: fine by definition
+                if t2.text in MUTATING_METHODS:
+                    target, kind = j, f"{t2.text}()"
+            elif op in ASSIGN_OPS or op in ("++", "--") \
+                    or prev in ("++", "--"):
+                if not member:
+                    if prev_tok is not None and (
+                            prev_tok.kind == "id"
+                            or prev in ("&", "*", ">", "::")):
+                        continue  # declaration (`Type name = ...`) or
+                        #           qualified name — not a captured write
+                target, kind = j, (op if op in ASSIGN_OPS + ("++", "--")
+                                   else prev)
+            if target is None:
+                continue
+            if member:
+                base_idx, chain = st.chain_at(target)
+            else:
+                base_idx, chain = j, t2.text
+            base = toks[base_idx].text
+            if base in locals_ or base == "this":
+                continue
+            if st.category(base) == "atomic":
+                continue
+            # Subscripted writes: sharded if any index in the write chain
+            # involves a lambda-local or an atomic fetch_add.
+            sub_open = next((x for x in range(base_idx, op_idx)
+                             if toks[x].text == "["), None)
+            if sub_open is not None:
+                sub_close = st.match.get(sub_open, op_idx)
+                if subscript_is_sharded(sub_open + 1, sub_close):
+                    continue
+            if _span_has_lock(st, lo, j):
+                continue
+            label = chain.rsplit(".", 1)[0] if kind.endswith(")") else chain
+            report.add(
+                st.ctx, t2.line, RULE_PARCAP,
+                f"'{label}' mutated ({kind}) inside a {toks[i].text} "
+                "lambda without an atomic, a per-chunk shard, or a lock — "
+                "cross-chunk data race")
+
+
+# --- libclang frontend (optional refinement) --------------------------------
+
+def try_load_libclang():
+    try:
+        from clang import cindex  # type: ignore
+    except ImportError:
+        return None
+    try:
+        cindex.Index.create()
+        return cindex
+    except Exception:  # library missing / version mismatch
+        return None
+
+
+def libclang_refine(cindex, comp_db: list[dict], root: Path,
+                    type_tables: dict[str, dict[str, str]],
+                    vtime_hits: dict[str, list[tuple[int, str]]]) -> set[str]:
+    """Parses TUs; fills canonical-type tables and rule-1 symbol hits.
+
+    Returns the set of rel paths that parsed successfully (their token-
+    frontend rule-1 findings are replaced by the symbol-resolved ones).
+    """
+    index = cindex.Index.create()
+    parsed: set[str] = set()
+    for entry in comp_db:
+        path = Path(entry["directory"]) / entry["file"] \
+            if not Path(entry["file"]).is_absolute() else Path(entry["file"])
+        try:
+            rel = path.resolve().relative_to(root).as_posix()
+        except ValueError:
+            continue
+        args = [a for a in shlex.split(entry["command"])
+                if a not in ("-c", "-o")][1:]
+        # Drop the source filename and the -o target.
+        args = [a for a in args if not a.endswith((".cpp", ".o"))]
+        try:
+            tu = index.parse(str(path), args=args)
+        except Exception:
+            continue
+        if any(d.severity >= cindex.Diagnostic.Error
+               for d in tu.diagnostics):
+            continue
+        parsed.add(rel)
+
+        def qualified(cursor) -> str:
+            parts = []
+            c = cursor
+            while c is not None and c.kind != cindex.CursorKind \
+                    .TRANSLATION_UNIT:
+                if c.spelling:
+                    parts.append(c.spelling)
+                c = c.semantic_parent
+            return "::".join(reversed(parts))
+
+        for cursor in tu.cursor.walk_preorder():
+            loc = cursor.location
+            if loc.file is None:
+                continue
+            try:
+                crel = Path(loc.file.name).resolve() \
+                    .relative_to(root).as_posix()
+            except ValueError:
+                continue
+            if not crel.startswith("src/"):
+                continue
+            if cursor.kind in (cindex.CursorKind.VAR_DECL,
+                               cindex.CursorKind.FIELD_DECL,
+                               cindex.CursorKind.PARM_DECL):
+                canon = cursor.type.get_canonical().spelling
+                cat = None
+                if "unordered_" in canon or "FlatHash" in canon:
+                    cat = "hash"
+                elif "atomic" in canon:
+                    cat = "atomic"
+                elif "mutex" in canon or "Mutex" in canon:
+                    cat = "mutex"
+                elif canon in ("float", "double"):
+                    cat = "float"
+                if cat:
+                    type_tables.setdefault(crel, {}) \
+                        .setdefault(cursor.spelling, cat)
+            elif cursor.kind in (cindex.CursorKind.DECL_REF_EXPR,
+                                 cindex.CursorKind.TYPE_REF):
+                ref = cursor.referenced
+                if ref is None:
+                    continue
+                qual = qualified(ref)
+                if qual in BANNED_QUALIFIED and crel.startswith(VTIME_DIRS):
+                    parsed.add(crel)
+                    vtime_hits.setdefault(crel, []).append(
+                        (loc.line, f"{qual} resolved in virtual-time code"))
+    return parsed
+
+
+# --- driver -----------------------------------------------------------------
+
+def load_compile_commands(build_dir: Path) -> list[dict]:
+    cc = build_dir / "compile_commands.json"
+    if not cc.is_file():
+        raise SystemExit(f"analyze: {cc} not found — configure the build "
+                         "first (cmake -B build -S .)")
+    return json.loads(cc.read_text(encoding="utf-8"))
+
+
+def analyze_tree(root: Path, build_dir: Path | None,
+                 frontend: str, dump_lock_graph: bool = False,
+                 report: Report | None = None) -> tuple[Report, int]:
+    files = rulefw.gather_sources(root)
+    if report is None:
+        report = Report(RULES)
+    if not files:
+        print("analyze: no sources found under src/", file=sys.stderr)
+        return report, 0
+
+    type_tables: dict[str, dict[str, str]] = {}
+    vtime_hits: dict[str, list[tuple[int, str]]] = {}
+    resolved: set[str] = set()
+    cindex = None if frontend == "token" else try_load_libclang()
+    if frontend == "libclang" and cindex is None:
+        raise SystemExit("analyze: --frontend=libclang requested but the "
+                         "clang.cindex bindings are unavailable")
+    if cindex is not None and build_dir is not None:
+        comp_db = load_compile_commands(build_dir)
+        resolved = libclang_refine(cindex, comp_db, root, type_tables,
+                                   vtime_hits)
+        print(f"analyze: libclang frontend resolved {len(resolved)} "
+              f"file(s); token frontend covers the rest")
+
+    structures: list[Structure] = []
+    for path in files:
+        ctx = rulefw.load_file(path, root)
+        st = build_structure(ctx)
+        # libclang canonical types override the heuristic table.
+        for name, cat in type_tables.get(ctx.rel, {}).items():
+            st.types[name] = cat
+        structures.append(st)
+
+    for st in structures:
+        if st.ctx.rel in resolved and st.ctx.rel in vtime_hits:
+            for line, msg in vtime_hits[st.ctx.rel]:
+                report.add(st.ctx, line, RULE_VTIME, msg)
+        elif st.ctx.rel not in resolved:
+            check_vtime_tokens(st, report)
+        check_nondet_iter(st, report)
+        check_parallel_capture(st, report)
+    check_lock_order(structures, report, dump_graph=dump_lock_graph)
+    return report, len(files)
+
+
+def selftest() -> int:
+    from selftest_common import run_fixture_selftest
+    fixtures = REPO / "tests" / "static_analysis" / "fixtures"
+
+    def collect(subtree: Path) -> Report:
+        # Token frontend only: the fixtures have no compile_commands and
+        # must behave identically with and without clang installed.
+        report, _ = analyze_tree(subtree, None, "token")
+        return report
+
+    return run_fixture_selftest("analyze", fixtures, RULES, collect)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("-p", "--build-dir", type=Path, default=None,
+                    help="CMake build dir holding compile_commands.json")
+    ap.add_argument("--root", type=Path, default=REPO,
+                    help="tree to scan (default: the repo)")
+    ap.add_argument("--frontend", choices=("auto", "token", "libclang"),
+                    default="auto")
+    ap.add_argument("--lock-graph", action="store_true",
+                    help="print the extracted lock-order graph")
+    ap.add_argument("--selftest", action="store_true",
+                    help="run the fixture-corpus selftest instead")
+    args = ap.parse_args()
+    if args.selftest:
+        return selftest()
+    report, nfiles = analyze_tree(args.root.resolve(), args.build_dir,
+                                  args.frontend,
+                                  dump_lock_graph=args.lock_graph)
+    return report.print_and_exit_code("analyze", nfiles)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

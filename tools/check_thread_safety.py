@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Teeth test for the Clang thread-safety annotation layer.
+
+Compiles two probe TUs against src/util/thread_annotations.hpp with
+`clang++ -Wthread-safety -Werror=thread-safety`:
+
+  * the GOOD probe uses the Mutex/MutexLock/CondVar wrappers exactly the
+    way src/simcluster/cluster.cpp does (guarded fields touched under a
+    scoped lock, notify under the mutex) and must COMPILE;
+  * the BAD probe re-introduces the two bugs the annotations exist to
+    make unwritable — touching a MND_GUARDED_BY field without the lock,
+    and the PR4 lost-wakeup shape (CondVar::notify_all outside the
+    mutex) — and must FAIL to compile with thread-safety diagnostics.
+
+This is what gives the annotations teeth beyond "they expand to no-ops
+under GCC": if someone weakens the macros (or detaches notify_all from
+MND_REQUIRES), the bad probe starts compiling and this script exits 1.
+
+Exit codes: 0 pass, 1 fail, 77 skipped (no clang, e.g. the local growth
+container — CI installs clang and runs this for real). 77 is wired as
+SKIP_RETURN_CODE in ctest.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SKIP = 77
+
+GOOD_PROBE = """
+#include "util/thread_annotations.hpp"
+#include <queue>
+
+struct Box {
+  mnd::Mutex mutex;
+  mnd::CondVar arrived;
+  std::queue<int> items MND_GUARDED_BY(mutex);
+
+  void put(int v) MND_EXCLUDES(mutex) {
+    mnd::MutexLock lock(mutex);
+    items.push(v);
+    arrived.notify_all(mutex);  // notify *under* the mutex: no lost wakeup
+  }
+  int take() MND_EXCLUDES(mutex) {
+    mnd::MutexLock lock(mutex);
+    while (items.empty()) arrived.wait(mutex);
+    int v = items.front();
+    items.pop();
+    return v;
+  }
+};
+int main() { Box b; b.put(1); return b.take() - 1; }
+"""
+
+# Each bad snippet must be rejected on its own (separate TUs so one
+# diagnostic cannot mask the other).
+BAD_UNGUARDED = """
+#include "util/thread_annotations.hpp"
+#include <queue>
+
+struct Box {
+  mnd::Mutex mutex;
+  std::queue<int> items MND_GUARDED_BY(mutex);
+  void put(int v) { items.push(v); }  // guarded field, no lock held
+};
+int main() { Box b; b.put(1); return 0; }
+"""
+
+BAD_NAKED_NOTIFY = """
+#include "util/thread_annotations.hpp"
+#include <queue>
+
+struct Box {
+  mnd::Mutex mutex;
+  mnd::CondVar arrived;
+  std::queue<int> items MND_GUARDED_BY(mutex);
+  void put(int v) MND_EXCLUDES(mutex) {
+    {
+      mnd::MutexLock lock(mutex);
+      items.push(v);
+    }
+    // The PR4 lost-wakeup bug: notify after dropping the mutex. The
+    // REQUIRES(mutex) on notify_all makes this shape unwritable.
+    arrived.notify_all(mutex);
+  }
+};
+int main() { Box b; b.put(1); return 0; }
+"""
+
+
+def find_clang() -> str | None:
+    for name in ("clang++", "clang++-18", "clang++-17", "clang++-16",
+                 "clang++-15", "clang++-14"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def compile_probe(clang: str, workdir: Path, name: str, source: str,
+                  expect_ok: bool) -> bool:
+    tu = workdir / f"{name}.cpp"
+    tu.write_text(source, encoding="utf-8")
+    cmd = [clang, "-std=c++20", "-fsyntax-only", "-Wthread-safety",
+           "-Werror=thread-safety", f"-I{REPO / 'src'}", str(tu)]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    ok = proc.returncode == 0
+    if ok == expect_ok:
+        verdict = "compiles" if ok else "rejected"
+        print(f"PASS  {name}: {verdict} (as expected)")
+        return True
+    if expect_ok:
+        print(f"FAIL  {name}: must compile under -Wthread-safety but was "
+              f"rejected:\n{proc.stderr}")
+    else:
+        print(f"FAIL  {name}: must be rejected by -Wthread-safety but "
+              "compiled — the annotations have lost their teeth "
+              "(weakened macros or a detached MND_REQUIRES?)")
+    return False
+
+
+def main() -> int:
+    clang = find_clang()
+    if clang is None:
+        print("check_thread_safety: no clang++ on PATH — skipping "
+              "(CI runs this with clang installed)")
+        return SKIP
+    probe = subprocess.run(
+        [clang, "-x", "c++", "-std=c++20", "-fsyntax-only",
+         "-Wthread-safety", "-"], input="int main(){}", text=True,
+        capture_output=True)
+    if probe.returncode != 0:
+        print(f"check_thread_safety: {clang} cannot front a "
+              "-Wthread-safety build — skipping")
+        return SKIP
+
+    print(f"check_thread_safety: using {clang}")
+    with tempfile.TemporaryDirectory(prefix="mnd-tsa-") as tmp:
+        workdir = Path(tmp)
+        results = [
+            compile_probe(clang, workdir, "good_guarded_box", GOOD_PROBE,
+                          expect_ok=True),
+            compile_probe(clang, workdir, "bad_unguarded_field",
+                          BAD_UNGUARDED, expect_ok=False),
+            compile_probe(clang, workdir, "bad_naked_notify",
+                          BAD_NAKED_NOTIFY, expect_ok=False),
+        ]
+    if all(results):
+        print("check_thread_safety: OK (good probe compiles, both bad "
+              "probes rejected)")
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,49 +1,44 @@
 #!/usr/bin/env python3
-"""Custom lint for the MND-MST codebase.
+"""Custom text-level lint for the MND-MST codebase.
 
-Checks clang-tidy can't express, tied to this repo's invariants:
+Built on tools/rulefw.py (shared with tools/analyze.py): per-rule IDs,
+`// NOLINT-mnd(rule-N)` suppressions, and a per-rule violation summary.
 
-1. Virtual-time purity: code under src/simcluster, src/hypar, src/bsp
-   must not read wall-clock time (std::chrono::system_clock, time(),
-   gettimeofday, clock_gettime, steady_clock outside the sanctioned
-   timer) or use unseeded C randomness (rand(), srand(), random()).
-   The simulated cluster's determinism and virtual-time accounting both
-   break silently if real time leaks in.
+Rules (text-level; the AST-grounded rules live in tools/analyze.py):
 
-2. Logging discipline: no std::cout / std::cerr / printf-family output
-   anywhere in src/ except src/util/logging.* — everything else goes
-   through MND_LOG so ranks don't interleave and tests can capture it.
+  rule-2 logging         No std::cout / std::cerr / printf-family output
+                         anywhere in src/ except src/util/logging.* —
+                         everything else goes through MND_LOG so ranks
+                         don't interleave and tests can capture it.
+  rule-3 iwyu-obs        Include-what-you-use (lite) for the obs layer:
+                         files in src/obs that name common std symbols
+                         must include the owning header directly.
+  rule-4 pragma-once     Every header in src/ starts its code with
+                         #pragma once.
+  rule-5 threading       No raw thread spawns (std::thread, std::jthread,
+                         pthread_create, std::async) outside
+                         src/util/thread_pool.* and the simulated
+                         cluster's rank launcher. All intra-rank
+                         parallelism goes through util::ThreadPool.
+  rule-6 wire            Engine code in src/hypar and src/mst must not
+                         build transport payloads with raw Serializer
+                         writes — payloads go through the framed helpers
+                         so every message carries the wire-format magic
+                         and lands in the bytes accounting (DESIGN.md
+                         §5d). The BSP baseline is exempt by design.
+  rule-7 obs-discipline  Code in src/obs must not pick its own output
+                         destination (no file opens) — exporters take a
+                         caller-provided std::ostream&.
 
-3. Include-what-you-use (lite) for the obs layer: files in src/obs that
-   name common std symbols must include the owning header directly.
+rule-1 (virtual-time purity) graduated from a regex here to the
+symbol-resolved check in tools/analyze.py, which understands identifier
+boundaries and qualified names instead of substrings.
 
-4. Every header in src/ starts its code with #pragma once.
+Exit status: 0 clean, 1 violations (one per line as
+path:line: [rule-N|name] message, then the per-rule summary).
 
-5. Threading discipline: no raw thread spawns (std::thread, std::jthread,
-   pthread_create, std::async) outside src/util/thread_pool.* and the
-   simulated cluster's rank launcher. All intra-rank parallelism must go
-   through util::ThreadPool so the deterministic chunk grid, the nested-
-   call inlining, and the TSan CI coverage apply to it.
-
-6. Wire discipline: engine code in src/hypar and src/mst must not build
-   transport payloads with raw Serializer::put/put_vector/put_string/
-   put_varint calls — payloads go through the framed helpers
-   (Serializer::put_id_vector, mst::serialize_components in
-   src/mst/comp_graph.*) so every message carries the wire-format magic,
-   prunes before shipping, and lands in the bytes_raw/bytes_wire
-   accounting (DESIGN.md §5d). The BSP baseline is exempt by design: it
-   models the paper's Pregel+ comparison point, raw framing included.
-
-7. Obs discipline: code in src/obs must not pick its own output
-   destination — no std::cout / std::cerr (rule 2 already bans those
-   repo-wide) and additionally no std::ofstream / std::fstream / fopen /
-   freopen. Exporters and the profiler take a caller-provided
-   std::ostream& so the CLI, benches, and tests own where bytes land and
-   can capture them; a hidden file write in the obs layer would bypass
-   every one of those capture points.
-
-Exit status: 0 clean, 1 violations (printed one per line as
-path:line: [rule] message).
+--selftest runs the rules over tests/static_analysis/fixtures and checks
+every `// EXPECT-mnd(rule)` marker fires and every good fixture is clean.
 """
 
 from __future__ import annotations
@@ -52,34 +47,29 @@ import re
 import sys
 from pathlib import Path
 
-REPO = Path(__file__).resolve().parent.parent
-SRC = REPO / "src"
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import rulefw
+from rulefw import FileContext, Report, Rule
 
-VIRTUAL_TIME_DIRS = ("simcluster", "hypar", "bsp")
+REPO = rulefw.REPO
 
-# rule 1: (regex, message). Matched against comment-stripped lines.
-WALL_CLOCK_PATTERNS = [
-    (re.compile(r"\bsystem_clock\b"),
-     "wall-clock read in virtual-time code (use the Communicator's "
-     "virtual clock)"),
-    (re.compile(r"\bsteady_clock\b"),
-     "real-time clock in virtual-time code (use the Communicator's "
-     "virtual clock)"),
-    (re.compile(r"\bhigh_resolution_clock\b"),
-     "real-time clock in virtual-time code"),
-    (re.compile(r"(?<![\w:])time\s*\(\s*(?:NULL|nullptr|0|&)"),
-     "time() read in virtual-time code"),
-    (re.compile(r"\bgettimeofday\s*\("), "gettimeofday in virtual-time code"),
-    (re.compile(r"\bclock_gettime\s*\("), "clock_gettime in virtual-time code"),
-    (re.compile(r"(?<![\w:.])s?rand\s*\("),
-     "unseeded C randomness (use a seeded std::mt19937)"),
-    (re.compile(r"(?<![\w:.])random\s*\(\s*\)"),
-     "unseeded C randomness (use a seeded std::mt19937)"),
-    (re.compile(r"\brandom_device\b"),
-     "nondeterministic seed source (pass seeds explicitly)"),
-]
+RULE_LOGGING = Rule("rule-2", "logging",
+                    "all output through MND_LOG / util/logging")
+RULE_IWYU = Rule("rule-3", "iwyu-obs",
+                 "obs files include what they use")
+RULE_PRAGMA = Rule("rule-4", "pragma-once",
+                   "headers open with #pragma once")
+RULE_THREADING = Rule("rule-5", "threading",
+                      "parallelism through util::ThreadPool only")
+RULE_WIRE = Rule("rule-6", "wire",
+                 "engine payloads use framed wire helpers")
+RULE_OBS = Rule("rule-7", "obs-discipline",
+                "obs layer never opens its own outputs")
 
-# rule 2
+RULES = [RULE_LOGGING, RULE_IWYU, RULE_PRAGMA, RULE_THREADING, RULE_WIRE,
+         RULE_OBS]
+
+# rule-2
 STDOUT_PATTERNS = [
     (re.compile(r"\bstd::cout\b"), "std::cout bypasses src/util/logging"),
     (re.compile(r"\bstd::cerr\b"), "std::cerr bypasses src/util/logging"),
@@ -89,7 +79,7 @@ STDOUT_PATTERNS = [
 ]
 STDOUT_EXEMPT = ("util/logging.hpp", "util/logging.cpp")
 
-# rule 5: raw thread spawns. \b keeps std::this_thread from matching.
+# rule-5: raw thread spawns. \b keeps std::this_thread from matching.
 THREAD_SPAWN_PATTERNS = [
     (re.compile(r"\bstd::thread\b"),
      "raw std::thread (route parallelism through util::ThreadPool)"),
@@ -107,7 +97,7 @@ THREAD_SPAWN_EXEMPT = (
     "src/simcluster/cluster.cpp",
 )
 
-# rule 6: raw Serializer writes in engine code. put_id_vector is the
+# rule-6: raw Serializer writes in engine code. put_id_vector is the
 # sanctioned framed entry point; the negative lookahead skips it while
 # catching put<...>, put_vector, put_string, and put_varint*.
 WIRE_PATTERNS = [
@@ -124,7 +114,7 @@ WIRE_EXEMPT = (
     "src/mst/comp_graph.cpp",
 )
 
-# rule 7: output destinations opened inside the obs layer.
+# rule-7: output destinations opened inside the obs layer.
 OBS_OUTPUT_PATTERNS = [
     (re.compile(r"\bstd::[oi]?fstream\b"),
      "obs code must not open files (take a caller-provided "
@@ -134,7 +124,7 @@ OBS_OUTPUT_PATTERNS = [
      "std::ostream& instead)"),
 ]
 
-# rule 3: std symbol -> owning header, for src/obs only.
+# rule-3: std symbol -> owning header, for src/obs only.
 IWYU_SYMBOLS = {
     "std::string": "<string>",
     "std::vector": "<vector>",
@@ -158,118 +148,86 @@ IWYU_PROVIDERS = {
 }
 
 
-def strip_comments_and_strings(text: str) -> str:
-    """Blanks comments and string/char literals, preserving line structure."""
-    out = []
-    i, n = 0, len(text)
-    while i < n:
-        ch = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if ch == "/" and nxt == "/":
-            j = text.find("\n", i)
-            i = n if j == -1 else j
-        elif ch == "/" and nxt == "*":
-            j = text.find("*/", i + 2)
-            end = n if j == -1 else j + 2
-            out.append("\n" * text.count("\n", i, end))
-            i = end
-        elif ch in "\"'":
-            quote = ch
-            j = i + 1
-            while j < n:
-                if text[j] == "\\":
-                    j += 2
-                    continue
-                if text[j] == quote:
-                    break
-                j += 1
-            i = min(j + 1, n)
-        else:
-            out.append(ch)
-            i += 1
-    return "".join(out)
-
-
-def lint_file(path: Path, violations: list[str]) -> None:
-    rel = path.relative_to(REPO).as_posix()
-    raw = path.read_text(encoding="utf-8")
-    code = strip_comments_and_strings(raw)
-    lines = code.splitlines()
-
-    def report(lineno: int, rule: str, msg: str) -> None:
-        violations.append(f"{rel}:{lineno}: [{rule}] {msg}")
-
-    in_virtual_time = any(
-        rel.startswith(f"src/{d}/") for d in VIRTUAL_TIME_DIRS)
+def lint_file(ctx: FileContext, report: Report) -> None:
+    rel = ctx.rel
     stdout_exempt = any(rel.endswith(e) for e in STDOUT_EXEMPT)
     thread_exempt = rel in THREAD_SPAWN_EXEMPT
     wire_scoped = (any(rel.startswith(f"src/{d}/") for d in WIRE_DIRS)
                    and rel not in WIRE_EXEMPT)
 
-    for idx, line in enumerate(lines, start=1):
-        if in_virtual_time:
-            for pat, msg in WALL_CLOCK_PATTERNS:
-                if pat.search(line):
-                    report(idx, "virtual-time", msg)
+    for idx, line in enumerate(ctx.lines, start=1):
         if not stdout_exempt:
             for pat, msg in STDOUT_PATTERNS:
                 if pat.search(line):
-                    report(idx, "logging", msg)
+                    report.add(ctx, idx, RULE_LOGGING, msg)
         if not thread_exempt:
             for pat, msg in THREAD_SPAWN_PATTERNS:
                 if pat.search(line):
-                    report(idx, "threading", msg)
+                    report.add(ctx, idx, RULE_THREADING, msg)
         if wire_scoped:
             for pat, msg in WIRE_PATTERNS:
                 if pat.search(line):
-                    report(idx, "wire", msg)
+                    report.add(ctx, idx, RULE_WIRE, msg)
         if rel.startswith("src/obs/"):
             for pat, msg in OBS_OUTPUT_PATTERNS:
                 if pat.search(line):
-                    report(idx, "obs-discipline", msg)
+                    report.add(ctx, idx, RULE_OBS, msg)
 
-    if path.suffix == ".hpp":
-        for idx, line in enumerate(raw.splitlines(), start=1):
+    if rel.endswith(".hpp"):
+        for idx, line in enumerate(ctx.raw.splitlines(), start=1):
             stripped = line.strip()
             if not stripped or stripped.startswith("//"):
                 continue
             if stripped != "#pragma once":
-                report(idx, "pragma-once",
-                       "header must open with #pragma once (after the "
-                       "file comment)")
+                report.add(ctx, idx, RULE_PRAGMA,
+                           "header must open with #pragma once (after the "
+                           "file comment)")
             break
 
     if rel.startswith("src/obs/"):
-        includes = set(re.findall(r'#include\s+(<[^>]+>|"[^"]+")', raw))
+        includes = set(
+            re.findall(r'#include\s+(<[^>]+>|"[^"]+")', ctx.raw))
         for symbol, header in IWYU_SYMBOLS.items():
-            if not re.search(re.escape(symbol) + r"\b", code):
+            if not re.search(re.escape(symbol) + r"\b", ctx.code):
                 continue
             providers = IWYU_PROVIDERS.get(header, {header})
             if includes & providers:
                 continue
-            lineno = next((i for i, l in enumerate(code.splitlines(), 1)
+            lineno = next((i for i, l in enumerate(ctx.lines, 1)
                            if symbol in l), 1)
-            report(lineno, "iwyu",
-                   f"uses {symbol} but does not include {header}")
+            report.add(ctx, lineno, RULE_IWYU,
+                       f"uses {symbol} but does not include {header}")
 
 
-def main() -> int:
-    violations: list[str] = []
-    files = sorted(
-        p for p in SRC.rglob("*")
-        if p.suffix in (".hpp", ".cpp") and p.is_file())
+def run(root: Path) -> int:
+    files = rulefw.gather_sources(root)
     if not files:
         print("lint: no sources found under src/", file=sys.stderr)
         return 1
+    report = Report(RULES)
     for path in files:
-        lint_file(path, violations)
-    for v in violations:
-        print(v)
-    if violations:
-        print(f"lint: {len(violations)} violation(s) in {len(files)} files")
-        return 1
-    print(f"lint: OK ({len(files)} files)")
-    return 0
+        lint_file(rulefw.load_file(path, root), report)
+    return report.print_and_exit_code("lint", len(files))
+
+
+def selftest() -> int:
+    from selftest_common import run_fixture_selftest  # tools/ sibling
+    fixtures = REPO / "tests" / "static_analysis" / "fixtures"
+
+    def collect(root: Path):
+        report = Report(RULES)
+        files = rulefw.gather_sources(root)
+        for path in files:
+            lint_file(rulefw.load_file(path, root), report)
+        return report
+
+    return run_fixture_selftest("lint", fixtures, RULES, collect)
+
+
+def main() -> int:
+    if "--selftest" in sys.argv[1:]:
+        return selftest()
+    return run(REPO)
 
 
 if __name__ == "__main__":

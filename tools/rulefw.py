@@ -1,0 +1,246 @@
+#!/usr/bin/env python3
+"""Shared rule framework for the MND-MST static-analysis tools.
+
+tools/lint.py (text-level rules) and tools/analyze.py (AST-grounded rules)
+both build on this module, so rule IDs, suppression comments, and report
+formats are uniform across the two tools.
+
+Rule identity
+-------------
+Every rule has a stable numeric ID ("rule-5") and a mnemonic name
+("threading"). Reports print both; suppressions accept either.
+
+Suppressions
+------------
+A violation is suppressed by a comment on the same line, or by a
+NOLINTNEXTLINE-style comment on the line above:
+
+    do_risky_thing();  // NOLINT-mnd(rule-5): justification here
+    // NOLINTNEXTLINE-mnd(threading): justification here
+    do_risky_thing();
+
+The rule list is comma-separated; a bare `NOLINT-mnd` (no parens) or
+`NOLINT-mnd(*)` suppresses every rule on that line. Suppressions are
+counted and shown in the per-rule summary so silent drift is visible.
+
+Reports
+-------
+print_report() emits one `path:line: [rule-N|name] message` line per
+violation plus a per-rule summary table (violations, suppressed count),
+and returns the process exit code (0 clean, 1 violations).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+_NOLINT_RE = re.compile(
+    r"NOLINT(?P<next>NEXTLINE)?-mnd(?:\((?P<rules>[^)]*)\))?")
+
+
+@dataclass(frozen=True)
+class Violation:
+    path: str      # repo-relative posix path
+    line: int      # 1-based
+    rule: "Rule"
+    message: str
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}: "
+                f"[{self.rule.rule_id}|{self.rule.name}] {self.message}")
+
+
+@dataclass(frozen=True)
+class Rule:
+    rule_id: str   # "rule-N"
+    name: str      # mnemonic, e.g. "threading"
+    summary: str   # one-line description for the report header
+
+    def matches(self, label: str) -> bool:
+        label = label.strip()
+        return label in ("*", self.rule_id, self.name)
+
+
+# --- source preprocessing ---------------------------------------------------
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments and string/char literals, preserving line structure."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            j = text.find("\n", i)
+            i = n if j == -1 else j
+        elif ch == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            end = n if j == -1 else j + 2
+            out.append("\n" * text.count("\n", i, end))
+            i = end
+        elif ch in "\"'":
+            quote = ch
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote:
+                    break
+                j += 1
+            i = min(j + 1, n)
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+@dataclass
+class Token:
+    text: str
+    line: int
+    kind: str  # "id" | "num" | "punct"
+
+
+_ID_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_NUM_RE = re.compile(r"(?:0[xX][0-9a-fA-F']+|[0-9][0-9a-fA-F.eEpPxXuUlL']*)")
+# Longest-match-first multi-char operators the rules care about.
+_PUNCT3 = ("<<=", ">>=", "...", "->*")
+_PUNCT2 = ("::", "->", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+           "++", "--", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>")
+
+
+def tokenize(code: str) -> list[Token]:
+    """Tokenizes comment/string-stripped C++ into id/num/punct tokens.
+
+    Deliberately lossy (no keywords vs identifiers distinction, no
+    preprocessor awareness beyond treating `#` as punctuation): the
+    structural rules in analyze.py only need identifier chains, brace
+    nesting, and call shapes.
+    """
+    tokens: list[Token] = []
+    line = 1
+    i, n = 0, len(code)
+    while i < n:
+        ch = code[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch.isspace():
+            i += 1
+            continue
+        m = _ID_RE.match(code, i)
+        if m:
+            tokens.append(Token(m.group(), line, "id"))
+            i = m.end()
+            continue
+        if ch.isdigit():
+            m = _NUM_RE.match(code, i)
+            tokens.append(Token(m.group(), line, "num"))
+            i = m.end()
+            continue
+        for group in (_PUNCT3, _PUNCT2):
+            op = next((p for p in group if code.startswith(p, i)), None)
+            if op:
+                tokens.append(Token(op, line, "punct"))
+                i += len(op)
+                break
+        else:
+            tokens.append(Token(ch, line, "punct"))
+            i += 1
+    return tokens
+
+
+# --- per-file context -------------------------------------------------------
+
+@dataclass
+class FileContext:
+    rel: str                    # posix path relative to the scan root
+    raw: str
+    code: str = field(init=False)
+    lines: list[str] = field(init=False)
+    # line -> set of suppression labels active on that line
+    suppressions: dict[int, set[str]] = field(init=False)
+    _tokens: list[Token] | None = field(default=None, init=False)
+
+    def __post_init__(self) -> None:
+        self.code = strip_comments_and_strings(self.raw)
+        self.lines = self.code.splitlines()
+        self.suppressions = _collect_suppressions(self.raw)
+
+    @property
+    def tokens(self) -> list[Token]:
+        if self._tokens is None:
+            self._tokens = tokenize(self.code)
+        return self._tokens
+
+    def suppressed(self, line: int, rule: Rule) -> bool:
+        labels = self.suppressions.get(line, ())
+        return any(label in ("", "*") or rule.matches(label)
+                   for label in labels)
+
+
+def _collect_suppressions(raw: str) -> dict[int, set[str]]:
+    out: dict[int, set[str]] = {}
+    for lineno, text in enumerate(raw.splitlines(), start=1):
+        for m in _NOLINT_RE.finditer(text):
+            target = lineno + 1 if m.group("next") else lineno
+            rules = m.group("rules")
+            labels = ({r.strip() for r in rules.split(",")} if rules
+                      else {"*"})
+            out.setdefault(target, set()).update(labels)
+    return out
+
+
+def load_file(path: Path, root: Path) -> FileContext:
+    return FileContext(rel=path.relative_to(root).as_posix(),
+                       raw=path.read_text(encoding="utf-8"))
+
+
+def gather_sources(root: Path, subdir: str = "src",
+                   exts: tuple[str, ...] = (".hpp", ".cpp")) -> list[Path]:
+    base = root / subdir
+    return sorted(p for p in base.rglob("*")
+                  if p.suffix in exts and p.is_file())
+
+
+# --- reporting --------------------------------------------------------------
+
+class Report:
+    """Accumulates violations, applies suppressions, prints the summary."""
+
+    def __init__(self, rules: list[Rule]) -> None:
+        self.rules = rules
+        self.violations: list[Violation] = []
+        self.suppressed: dict[str, int] = {r.rule_id: 0 for r in rules}
+
+    def add(self, ctx: FileContext, line: int, rule: Rule,
+            message: str) -> None:
+        if ctx.suppressed(line, rule):
+            self.suppressed[rule.rule_id] += 1
+            return
+        self.violations.append(Violation(ctx.rel, line, rule, message))
+
+    def print_and_exit_code(self, tool: str, files_scanned: int) -> int:
+        for v in sorted(self.violations, key=lambda v: (v.path, v.line)):
+            print(v.render())
+        print(f"{tool}: per-rule summary "
+              f"({files_scanned} files scanned)")
+        for rule in self.rules:
+            count = sum(1 for v in self.violations if v.rule is rule)
+            sup = self.suppressed[rule.rule_id]
+            marker = "FAIL" if count else "ok"
+            print(f"  {rule.rule_id:<8} {rule.name:<18} {marker:>4} "
+                  f"{count:>3} violation(s)  {sup:>3} suppressed "
+                  f"- {rule.summary}")
+        total = len(self.violations)
+        if total:
+            print(f"{tool}: {total} violation(s)")
+            return 1
+        print(f"{tool}: OK")
+        return 0

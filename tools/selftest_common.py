@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Fixture-corpus selftest shared by tools/lint.py and tools/analyze.py.
+
+The corpus lives under tests/static_analysis/fixtures/<tool>/src/... —
+mini source trees laid out the way the real rules scope themselves (the
+wire rule only fires under src/hypar + src/mst, the obs rules under
+src/obs, and so on).
+
+Contract (exact, both directions — this is what gives each rule teeth):
+
+  * every line carrying an `// EXPECT-mnd(rule)` marker must produce a
+    violation of that rule at that line (a known-bad pattern the rule
+    must keep catching), and
+  * every produced violation must be matched by a marker (known-good
+    twins and suppression fixtures must stay clean).
+
+So a rule that stops firing fails the selftest, and a rule that starts
+overfiring fails it too.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Callable
+
+import rulefw
+
+_EXPECT_RE = re.compile(r"EXPECT-mnd\(([^)]+)\)")
+
+
+def collect_expectations(subtree: Path, rules) -> set[tuple[str, int, str]]:
+    expected: set[tuple[str, int, str]] = set()
+    known = {label for r in rules for label in (r.rule_id, r.name)}
+    for path in rulefw.gather_sources(subtree):
+        rel = path.relative_to(subtree).as_posix()
+        for lineno, text in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1):
+            for m in _EXPECT_RE.finditer(text):
+                for label in m.group(1).split(","):
+                    label = label.strip()
+                    if label not in known:
+                        raise SystemExit(
+                            f"selftest: {rel}:{lineno}: unknown rule "
+                            f"label {label!r} in EXPECT-mnd")
+                    expected.add((rel, lineno, label))
+    return expected
+
+
+def run_fixture_selftest(
+        tool: str, fixtures_root: Path, rules,
+        collect: Callable[[Path], "rulefw.Report"]) -> int:
+    subtree = fixtures_root / tool
+    if not (subtree / "src").is_dir():
+        print(f"{tool} selftest: missing fixture tree {subtree}/src")
+        return 1
+
+    report = collect(subtree)
+    expected = collect_expectations(subtree, rules)
+    actual = {(v.path, v.line, v.rule) for v in report.violations}
+
+    failures: list[str] = []
+    matched_violations: set[tuple[str, int, object]] = set()
+    for rel, line, label in sorted(expected):
+        hits = [key for key in actual
+                if key[0] == rel and key[1] == line and key[2].matches(label)]
+        if hits:
+            matched_violations.update(hits)
+        else:
+            failures.append(
+                f"MISSED  {rel}:{line}: expected a {label} violation "
+                f"(the known-bad fixture no longer fires)")
+    for key in sorted(actual - matched_violations,
+                      key=lambda k: (k[0], k[1])):
+        rel, line, rule = key
+        failures.append(
+            f"EXTRA   {rel}:{line}: unexpected {rule.rule_id}|{rule.name} "
+            f"violation (rule overfires on a known-good fixture)")
+
+    for f in failures:
+        print(f)
+    checked = len(expected)
+    if failures:
+        print(f"{tool} selftest: FAIL "
+              f"({len(failures)} problem(s), {checked} expectation(s))")
+        return 1
+    print(f"{tool} selftest: OK ({checked} known-bad expectation(s) fired, "
+          f"no overfiring)")
+    return 0
