@@ -1,0 +1,225 @@
+// PR 8 filter-Boruvka bench: KKT-style F-lightness filtering upstream of
+// the exchange, plus the metrics-driven adaptive merge schedule.
+//
+// Fig5-style rows — road_usa / arabic-2005 / it-2004 at 4/8/16 nodes,
+// filter off vs on under --wire=raw and --wire=compact. Reports virtual
+// times, exchanged component-edge counts (comm.ring.edges +
+// comm.gather.edges), wire bytes, and an informative filter+adaptive
+// total. A separate check reruns one filtered config at 1 and 4 host
+// threads and compares forests and virtual times byte-for-byte.
+//
+// Gates (exit 1 on violation) mirror the PR's acceptance criteria:
+//  * forests byte-identical across filter on/off, both wire modes, and
+//    host thread counts, on every row;
+//  * on the dense (web-family) rows: filter reduces exchanged
+//    component-edges by >= 25% and total virtual makespan is never worse
+//    than filter-off.
+// road_usa rows are informative: a near-tree graph samples almost all of
+// its edges into the sample MSF, so nothing is F-heavy and the filter
+// pass is pure (small) overhead — the adaptive schedule, not the filter,
+// is the lever there.
+//
+// Usage: filter_boruvka [output.json]   (default: BENCH_pr8.json)
+#include <cstdint>
+#include <cstdio>
+#include <iomanip>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "mst/mnd_mst.hpp"
+
+namespace {
+
+using namespace mnd;
+
+struct DatasetRow {
+  const char* name;
+  bool dense;  // gated: web-family stand-ins where the exchange dominates
+};
+
+struct FilterRow {
+  std::string dataset;
+  bool dense = false;
+  int nodes = 0;
+  std::string wire;
+  double off_total = 0.0, on_total = 0.0;
+  double off_comm = 0.0, on_comm = 0.0;
+  double adaptive_total = 0.0;  // filter + adaptive schedule (informative)
+  std::uint64_t off_edges = 0, on_edges = 0;  // exchanged component-edges
+  std::uint64_t off_bytes = 0, on_bytes = 0;  // comm.bytes_wire
+  double survival = 0.0;
+  bool forests_match = false;
+};
+
+std::uint64_t exchanged_edges(const obs::MetricsRegistry& m) {
+  return m.counter("comm.ring.edges") + m.counter("comm.gather.edges");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_pr8.json";
+  bool ok = true;
+
+  constexpr DatasetRow kDatasets[] = {
+      {"road_usa", false}, {"arabic-2005", true}, {"it-2004", true}};
+
+  std::vector<FilterRow> rows;
+  for (const DatasetRow& ds : kDatasets) {
+    const auto el = bench::load_dataset(ds.name);
+    for (int nodes : {4, 8, 16}) {
+      for (const sim::WireFormat wire :
+           {sim::WireFormat::kRaw, sim::WireFormat::kCompact}) {
+        FilterRow row;
+        row.dataset = ds.name;
+        row.dense = ds.dense;
+        row.nodes = nodes;
+        row.wire = wire == sim::WireFormat::kRaw ? "raw" : "compact";
+
+        auto opts = bench::amd_mnd(nodes);
+        opts.collect_metrics = true;
+        opts.engine.wire = wire;
+        opts.engine.filter.mode = mst::FilterMode::kOff;
+        const auto off = mst::run_mnd_mst(el, opts);
+        opts.engine.filter.mode = mst::FilterMode::kOn;
+        const auto on = mst::run_mnd_mst(el, opts);
+        bench::emit_metrics_json("filter_on_" + std::string(ds.name) + "_" +
+                                     std::to_string(nodes) + "_" + row.wire,
+                                 on.run);
+        opts.engine.schedule = hypar::ScheduleMode::kAdaptive;
+        const auto adaptive = mst::run_mnd_mst(el, opts);
+        opts.engine.schedule = hypar::ScheduleMode::kFixed;
+
+        const auto off_m = off.run.merged_metrics();
+        const auto on_m = on.run.merged_metrics();
+        row.off_total = off.total_seconds;
+        row.on_total = on.total_seconds;
+        row.off_comm = off.comm_seconds;
+        row.on_comm = on.comm_seconds;
+        row.adaptive_total = adaptive.total_seconds;
+        row.off_edges = exchanged_edges(off_m);
+        row.on_edges = exchanged_edges(on_m);
+        row.off_bytes = off_m.counter("comm.bytes_wire");
+        row.on_bytes = on_m.counter("comm.bytes_wire");
+        row.survival = on_m.gauge("boruvka.filter.survival_rate");
+        row.forests_match = on.forest.edges == off.forest.edges &&
+                            adaptive.forest.edges == off.forest.edges;
+
+        const double reduction =
+            row.off_edges == 0
+                ? 0.0
+                : 1.0 - static_cast<double>(row.on_edges) /
+                            static_cast<double>(row.off_edges);
+        std::printf(
+            "%-12s n=%-2d %-7s  total off %.4fs on %.4fs adaptive %.4fs | "
+            "edges %llu -> %llu (-%.1f%%)\n",
+            ds.name, nodes, row.wire.c_str(), row.off_total, row.on_total,
+            row.adaptive_total,
+            static_cast<unsigned long long>(row.off_edges),
+            static_cast<unsigned long long>(row.on_edges), 100.0 * reduction);
+
+        if (!row.forests_match) {
+          std::printf("GATE FAILED: %s n=%d wire=%s forests differ across "
+                      "filter/schedule modes\n",
+                      ds.name, nodes, row.wire.c_str());
+          ok = false;
+        }
+        if (ds.dense && reduction < 0.25) {
+          std::printf("GATE FAILED: %s n=%d wire=%s exchanged-edge "
+                      "reduction %.1f%% < 25%%\n",
+                      ds.name, nodes, row.wire.c_str(), 100.0 * reduction);
+          ok = false;
+        }
+        if (ds.dense && row.on_total > row.off_total * (1.0 + 1e-9)) {
+          std::printf("GATE FAILED: %s n=%d wire=%s filter-on total %.6fs > "
+                      "filter-off %.6fs\n",
+                      ds.name, nodes, row.wire.c_str(), row.on_total,
+                      row.off_total);
+          ok = false;
+        }
+        rows.push_back(row);
+      }
+    }
+  }
+
+  // --- thread-count byte-identity under the filter ---------------------------
+  bool threads_identical = true;
+  double t1_total = 0.0;
+  {
+    const auto el = bench::load_dataset("arabic-2005");
+    auto opts = bench::amd_mnd(8);
+    opts.engine.wire = sim::WireFormat::kCompact;
+    opts.engine.filter.mode = mst::FilterMode::kOn;
+    opts.engine.schedule = hypar::ScheduleMode::kAdaptive;
+    opts.threads = 1;
+    const auto t1 = mst::run_mnd_mst(el, opts);
+    opts.threads = 4;
+    const auto t4 = mst::run_mnd_mst(el, opts);
+    t1_total = t1.total_seconds;
+    threads_identical = t1.forest.edges == t4.forest.edges &&
+                        t1.total_seconds == t4.total_seconds;
+    if (!threads_identical) {
+      std::printf("GATE FAILED: filtered run differs between 1 and 4 host "
+                  "threads (totals %.9fs vs %.9fs)\n",
+                  t1.total_seconds, t4.total_seconds);
+      ok = false;
+    }
+  }
+
+  // --- JSON ------------------------------------------------------------------
+  {
+    bench::BenchJson j(out_path, "filter_boruvka");
+    if (!j.good()) return 1;
+    j.key("gates")
+        << "\"forests identical across filter on/off x wire x threads; on "
+           "dense rows filter cuts exchanged component-edges >= 25% and "
+           "never worsens total virtual makespan\"";
+    {
+      std::ostream& out = j.key("fig5_rows");
+      out << "[\n";
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        const FilterRow& r = rows[i];
+        const double reduction =
+            r.off_edges == 0 ? 0.0
+                             : 1.0 - static_cast<double>(r.on_edges) /
+                                         static_cast<double>(r.off_edges);
+        out << std::setprecision(9);
+        out << "    {\"dataset\": \"" << r.dataset << "\", \"nodes\": "
+            << r.nodes << ", \"wire\": \"" << r.wire << "\", \"gated\": "
+            << (r.dense ? "true" : "false") << ",\n"
+            << "     \"total_seconds\": {\"filter_off\": " << r.off_total
+            << ", \"filter_on\": " << r.on_total
+            << ", \"filter_on_adaptive\": " << r.adaptive_total << "},\n"
+            << "     \"comm_seconds\": {\"filter_off\": " << r.off_comm
+            << ", \"filter_on\": " << r.on_comm << "},\n"
+            << "     \"exchanged_component_edges\": {\"filter_off\": "
+            << r.off_edges << ", \"filter_on\": " << r.on_edges << "},\n"
+            << "     \"wire_bytes\": {\"filter_off\": " << r.off_bytes
+            << ", \"filter_on\": " << r.on_bytes << "},\n"
+            << "     \"edge_reduction\": " << std::setprecision(4) << reduction
+            << ", \"survival_rate\": " << r.survival
+            << ", \"forests_match\": " << (r.forests_match ? "true" : "false")
+            << '}' << (i + 1 < rows.size() ? "," : "") << '\n';
+      }
+      out << "  ]";
+    }
+    {
+      std::ostream& out = j.key("threads_check");
+      out << std::setprecision(9);
+      out << "{\"dataset\": \"arabic-2005\", \"nodes\": 8, \"wire\": "
+             "\"compact\", \"schedule\": \"adaptive\", \"threads\": [1, 4], "
+             "\"total_seconds\": "
+          << t1_total << ", \"identical\": "
+          << (threads_identical ? "true" : "false") << '}';
+    }
+    j.key("gates_passed") << (ok ? "true" : "false");
+    j.close();
+  }
+  if (!ok) {
+    std::printf("filter_boruvka: GATES FAILED\n");
+    return 1;
+  }
+  std::printf("filter_boruvka: all gates passed\n");
+  return 0;
+}

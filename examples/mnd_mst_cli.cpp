@@ -35,6 +35,20 @@
 //                                     compact). compact delta/varint-packs
 //                                     payloads (DESIGN.md §5d); the forest
 //                                     is byte-identical in both modes
+//   --filter on|off|RATE              per-rank KKT-style F-lightness filter
+//                                     upstream of every exchange (default:
+//                                     MND_FILTER, else off). RATE in (0,1]
+//                                     enables it with that sample rate
+//                                     (plain "on" samples at 0.25); the
+//                                     forest is byte-identical either way
+//                                     (DESIGN.md §5g)
+//   --schedule fixed|adaptive         merge schedule (default: MND_SCHEDULE,
+//                                     else fixed). fixed uses --group and
+//                                     the paper's convergence constants at
+//                                     every level; adaptive re-decides the
+//                                     group fan-in and ring-round cap per
+//                                     level from collective virtual-time
+//                                     metrics, deterministically
 //   --faults SPEC                     seeded fault-injection plan for the
 //                                     simulated cluster (MND_FAULTS also
 //                                     sets it). SPEC is comma-separated:
@@ -52,6 +66,7 @@
 // Example:
 //   ./mnd_mst_cli rmat:14,131072,1 --nodes 8 --gpu --trace-out trace.json
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -122,6 +137,8 @@ int usage() {
                "[--profile-out FILE]\n"
                "                   [--validate]\n"
                "                   [--wire raw|compact]\n"
+               "                   [--filter on|off|RATE] "
+               "[--schedule fixed|adaptive]\n"
                "                   [--faults SPEC]   (e.g. "
                "--faults seed=7,drop=0.01,crash=2@1)\n");
   return 2;
@@ -198,6 +215,37 @@ int main(int argc, char** argv) {
         options.engine.wire = sim::WireFormat::kCompact;
       } else {
         std::fprintf(stderr, "--wire must be raw or compact, got %s\n",
+                     mode.c_str());
+        return usage();
+      }
+    } else if (arg == "--filter") {
+      const std::string mode = next();
+      if (mode == "off") {
+        options.engine.filter.mode = mst::FilterMode::kOff;
+      } else if (mode == "on") {
+        options.engine.filter.mode = mst::FilterMode::kOn;
+      } else {
+        char* end = nullptr;
+        const double rate = std::strtod(mode.c_str(), &end);
+        if (end == mode.c_str() || *end != '\0' || rate <= 0.0 ||
+            rate > 1.0) {
+          std::fprintf(stderr,
+                       "--filter must be on, off, or a rate in (0,1], "
+                       "got %s\n",
+                       mode.c_str());
+          return usage();
+        }
+        options.engine.filter.mode = mst::FilterMode::kOn;
+        options.engine.filter.sample_rate = rate;
+      }
+    } else if (arg == "--schedule") {
+      const std::string mode = next();
+      if (mode == "fixed") {
+        options.engine.schedule = hypar::ScheduleMode::kFixed;
+      } else if (mode == "adaptive") {
+        options.engine.schedule = hypar::ScheduleMode::kAdaptive;
+      } else {
+        std::fprintf(stderr, "--schedule must be fixed or adaptive, got %s\n",
                      mode.c_str());
         return usage();
       }

@@ -25,12 +25,23 @@ struct KernelWork {
   std::size_t edges_scanned = 0;    // adjacency volume touched
   std::size_t atomic_updates = 0;   // global atomic ops issued
   std::size_t max_degree = 0;       // largest adjacency in the worklist
+  /// Sequentially streamed bytes (compaction passes, table fills): DRAM
+  /// bandwidth-bound, ~50x cheaper per element than the random-access
+  /// `edges_scanned` lane. Charging streams at the miss-per-edge rate
+  /// would mis-price kernels that are mostly linear passes.
+  std::size_t stream_bytes = 0;
+  /// Random accesses into a structure that fits the last-level cache
+  /// (binary-lifting table walks, verdict-set probes): an LLC hit, not a
+  /// DRAM miss.
+  std::size_t cache_hops = 0;
 
   KernelWork& operator+=(const KernelWork& other) {
     active_vertices += other.active_vertices;
     edges_scanned += other.edges_scanned;
     atomic_updates += other.atomic_updates;
     max_degree = std::max(max_degree, other.max_degree);
+    stream_bytes += other.stream_bytes;
+    cache_hops += other.cache_hops;
     return *this;
   }
 };
@@ -50,13 +61,17 @@ struct CpuModel {
   double seconds_per_edge = 200.0e-9;   // single-thread scan cost
   double seconds_per_vertex = 400.0e-9; // worklist pop + min tracking
   double seconds_per_atomic = 600.0e-9;
+  double seconds_per_stream_byte = 0.17e-9;  // ~6 GB/s sustained stream
+  double seconds_per_cache_hop = 25.0e-9;    // LLC hit latency
   double parallel_efficiency = 0.80;    // memory-bound scaling loss
 
   double kernel_seconds(const KernelWork& w) const {
     const double serial =
         static_cast<double>(w.edges_scanned) * seconds_per_edge +
         static_cast<double>(w.active_vertices) * seconds_per_vertex +
-        static_cast<double>(w.atomic_updates) * seconds_per_atomic;
+        static_cast<double>(w.atomic_updates) * seconds_per_atomic +
+        static_cast<double>(w.stream_bytes) * seconds_per_stream_byte +
+        static_cast<double>(w.cache_hops) * seconds_per_cache_hop;
     const double speedup =
         1.0 + (static_cast<double>(threads) - 1.0) * parallel_efficiency;
     return serial / speedup;
@@ -76,6 +91,8 @@ struct CpuModel {
     m.seconds_per_edge = 300.0e-9;
     m.seconds_per_vertex = 600.0e-9;
     m.seconds_per_atomic = 600.0e-9;
+    m.seconds_per_stream_byte = 0.20e-9;  // framework copy overhead
+    m.seconds_per_cache_hop = 30.0e-9;
     m.parallel_efficiency = 0.75;
     return m;
   }
@@ -85,6 +102,8 @@ struct CpuModel {
     m.seconds_per_edge = 140.0e-9;
     m.seconds_per_vertex = 280.0e-9;
     m.seconds_per_atomic = 400.0e-9;
+    m.seconds_per_stream_byte = 0.10e-9;  // ~10 GB/s sustained stream
+    m.seconds_per_cache_hop = 15.0e-9;
     m.parallel_efficiency = 0.75;
     return m;
   }
@@ -101,6 +120,8 @@ struct GpuModel {
   double seconds_per_edge = 12.0e-9;   // saturated edge-scan throughput
   double seconds_per_vertex = 24.0e-9;
   double seconds_per_atomic = 18.0e-9; // with batched/hierarchical atomics
+  double seconds_per_stream_byte = 0.006e-9;  // ~180 GB/s effective GDDR5
+  double seconds_per_cache_hop = 8.0e-9;      // L2/texture-cache hit
   double atomic_collision_factor = 8.0;  // penalty without batching
   /// Work size at which the device reaches half of peak throughput; small
   /// worklists underutilize the 2880 cores.
@@ -128,7 +149,9 @@ struct GpuModel {
     if (!batched_atomics) atomic_cost *= atomic_collision_factor;
     const double base =
         edge_cost + atomic_cost +
-        static_cast<double>(w.active_vertices) * seconds_per_vertex;
+        static_cast<double>(w.active_vertices) * seconds_per_vertex +
+        static_cast<double>(w.stream_bytes) * seconds_per_stream_byte +
+        static_cast<double>(w.cache_hops) * seconds_per_cache_hop;
     const double items = static_cast<double>(w.active_vertices) +
                          static_cast<double>(w.edges_scanned);
     const double occ = std::max(occupancy(items), 1e-3);

@@ -1,0 +1,41 @@
+// Deterministic, stateless edge sampling for filter-Boruvka (KKT-style
+// sample/filter; cf. Sanders & Schimek, arXiv 2302.12199).
+//
+// The Bernoulli draw for an edge depends only on (seed, original edge id):
+// the edge is in the sample when mix64(seed ^ spread(orig)) falls below a
+// fixed threshold. Statelessness is the property everything downstream
+// leans on — every rank and every thread reaches the same verdict for the
+// same edge with no shared RNG stream and no iteration-order dependence,
+// so the sample (and hence the F-lightness filter built on it) is
+// byte-identical across thread counts and agrees on both owners of a cut
+// edge.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/types.hpp"
+#include "util/rng.hpp"
+
+namespace mnd::graph {
+
+/// Inclusion threshold for probability `p`, clamped to [0, 1]. Resolution
+/// is 32 bits of probability, widened to the full 64-bit hash range (keeps
+/// the p >= 1.0 case exact without overflowing the cast).
+inline std::uint64_t sample_threshold(double p) {
+  if (p <= 0.0) return 0;
+  if (p >= 1.0) return ~std::uint64_t{0};
+  const auto hi = static_cast<std::uint64_t>(p * 4294967296.0);  // p * 2^32
+  if (hi >= (std::uint64_t{1} << 32)) return ~std::uint64_t{0};
+  return hi << 32;
+}
+
+/// True when edge `orig` belongs to the seeded sample. The golden-ratio
+/// multiply spreads consecutive edge ids across the hash domain before
+/// mixing, so dense id ranges do not correlate.
+inline bool edge_sampled(std::uint64_t seed, EdgeId orig,
+                         std::uint64_t threshold) {
+  return mix64(seed ^ (static_cast<std::uint64_t>(orig) *
+                       0x9E3779B97F4A7C15ull)) < threshold;
+}
+
+}  // namespace mnd::graph

@@ -30,6 +30,11 @@ enum : sim::Tag {
   kTagParentQuery = 0x9006,
   kTagParentReply = 0x9007,
   kTagHeartbeat = 0x9008,
+  kTagSchedule = 0x9009,
+  kTagSchedEdges = 0x900A,
+  kTagSchedComps = 0x900B,
+  kTagSchedWire = 0x900C,
+  kTagSchedWait = 0x900D,
 };
 
 /// Virtual cost of a pure reduction pass (self/multi-edge removal) on the
@@ -63,13 +68,17 @@ void reduce_all(sim::Communicator& comm, CompGraph& cg,
 /// within their group subtree (ring exchange) or up to leaders, so that
 /// representative holds the id's merge history (or the freshest view of
 /// it; resolution then completes over subsequent syncs, like the paper's
-/// multi-phase exchanges). Collective over `scope`.
-void sync_parents(sim::Communicator& comm, const sim::Group& scope,
-                  CompGraph& cg, const Partition1D& part,
-                  const std::vector<int>& rep, sim::WireFormat wire) {
+/// multi-phase exchanges). Collective over `scope`. Returns the wire
+/// bytes this rank shipped, always (not metrics-gated): the adaptive
+/// schedule feeds on it, and its inputs must not depend on whether
+/// metrics collection is enabled.
+std::uint64_t sync_parents(sim::Communicator& comm, const sim::Group& scope,
+                           CompGraph& cg, const Partition1D& part,
+                           const std::vector<int>& rep,
+                           sim::WireFormat wire) {
   const int me = comm.rank();
   const int g = scope.size();
-  if (g <= 1) return;
+  if (g <= 1) return 0;
   std::uint64_t bytes_raw = 0;
   std::uint64_t bytes_wire = 0;
   const auto framed_raw_bytes = [](std::size_t n, std::size_t elem) {
@@ -160,6 +169,7 @@ void sync_parents(sim::Communicator& comm, const sim::Group& scope,
   if (comm.metrics_enabled()) {
     obs::record_wire_bytes(comm.metrics(), "parents", bytes_raw, bytes_wire);
   }
+  return bytes_wire;
 }
 
 /// Runs one indComp invocation across the rank's devices (§3.2, §3.5).
@@ -488,6 +498,64 @@ std::vector<VertexId> restore_checkpoint(CompGraph& cg,
   return adopted;
 }
 
+/// One level's merge-schedule decision (hypar/schedule.hpp).
+///
+/// Fixed mode is pure and local on every rank — zero messages, so default
+/// runs stay byte-identical to the pre-schedule engine. Adaptive mode
+/// collects the inputs with allreduces over the active set (identical
+/// results everywhere, so decide() agrees without a protocol) and the
+/// lowest active rank ships the encoded decision to each live non-active
+/// rank, which must mirror the group bookkeeping (group_containing /
+/// leaders_of / rep updates) the level ends with. Crashes are fail-stop
+/// at cut boundaries, so active.front() cannot die between deciding and
+/// sending within a level.
+ScheduleDecision decide_level_schedule(
+    sim::Communicator& comm, const sim::Group& all_active,
+    const std::vector<int>& active, const std::vector<bool>& live,
+    bool in_active, const ScheduleController& scheduler, const CompGraph& cg,
+    int level, std::uint64_t prev_total_edges, std::uint64_t prev_wire_bytes,
+    std::uint64_t prev_wait_micros, sim::WireFormat wire) {
+  if (scheduler.mode() != ScheduleMode::kAdaptive) {
+    ScheduleInputs in;
+    in.active_ranks = static_cast<int>(active.size());
+    return scheduler.decide(in);
+  }
+  if (in_active) {
+    ScheduleInputs in;
+    in.level = level;
+    in.active_ranks = static_cast<int>(active.size());
+    in.total_edges = comm.group_allreduce_sum(
+        all_active, static_cast<std::uint64_t>(cg.num_edges()),
+        kTagSchedEdges);
+    in.total_components = comm.group_allreduce_sum(
+        all_active, static_cast<std::uint64_t>(cg.num_components()),
+        kTagSchedComps);
+    in.prev_total_edges = prev_total_edges;
+    in.prev_wire_bytes =
+        comm.group_allreduce_sum(all_active, prev_wire_bytes, kTagSchedWire);
+    in.prev_wait_micros =
+        comm.group_allreduce_sum(all_active, prev_wait_micros, kTagSchedWait);
+    const ScheduleDecision dec = scheduler.decide(in);
+    if (comm.rank() == active.front()) {
+      sim::Serializer s;
+      dec.encode(&s, wire);
+      const auto blob = s.take();
+      for (int r = 0; r < static_cast<int>(live.size()); ++r) {
+        if (!live[static_cast<std::size_t>(r)]) continue;
+        if (std::find(active.begin(), active.end(), r) != active.end()) {
+          continue;
+        }
+        comm.send(r, kTagSchedule, blob);
+      }
+    }
+    return dec;
+  }
+  // Live non-active rank: consume the decision stream.
+  const auto payload = comm.recv(active.front(), kTagSchedule);
+  sim::Deserializer d(payload);
+  return ScheduleDecision::decode(&d);
+}
+
 }  // namespace
 
 EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
@@ -508,6 +576,14 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
   // kDefault resolves through MND_WIRE (else compact). All ranks see the
   // same options, so the framing is cluster-consistent by construction.
   const sim::WireFormat wire = sim::resolve_wire(opts.wire);
+  // Filter + schedule modes resolve through their env knobs once, before
+  // any work: all ranks see identical options and environment, so both
+  // resolutions are cluster-consistent by construction.
+  const mst::FilterConfig fcfg = mst::resolve_filter(opts.filter);
+  const bool filtered = fcfg.mode == mst::FilterMode::kOn;
+  const ScheduleMode sched_mode = resolve_schedule(opts.schedule);
+  const ScheduleController scheduler(sched_mode, opts.group_size,
+                                     opts.thresholds);
   obs::Tracer* const tr = comm.tracer();
   validate::Report* vrep = nullptr;
   if (validate::enabled(opts.validate)) {
@@ -604,6 +680,42 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
   part_span.note("gpu_share", gpu_share);
   part_span.finish();
 
+  // ---- filterEdges (filter-Boruvka, DESIGN.md §5g) ------------------------
+  // KKT-style F-lightness filter over the freshly partitioned adjacency:
+  // edges provably outside the MST (cycle property against a sampled local
+  // MSF) are dropped here, upstream of the ghost exchange and every
+  // serialization, so they are never shipped. The surviving graph yields a
+  // byte-identical forest (the filter only removes non-MST edges and the
+  // strict (w, orig) order makes the MST unique).
+  if (fcfg.mode == mst::FilterMode::kOn) {
+    obs::Span f_span(tr, "filterEdges", obs::SpanCat::Phase);
+    mst::FilterOptions fo;
+    fo.sample_rate = fcfg.sample_rate;
+    fo.seed = fcfg.seed;
+    fo.threads = threads;
+    const mst::FilterStats fs = mst::filter_f_heavy(cg, fo);
+    const double f_seconds = cpu.kernel_seconds(fs.work);
+    comm.compute(f_seconds, "filter", obs::CostKind::kFilter);
+    f_span.note("scanned_edges",
+                static_cast<std::uint64_t>(fs.edges_scanned));
+    f_span.note("sampled_edges",
+                static_cast<std::uint64_t>(fs.sampled_edges));
+    f_span.note("msf_edges", static_cast<std::uint64_t>(fs.msf_edges));
+    f_span.note("dropped_edges",
+                static_cast<std::uint64_t>(fs.edges_dropped));
+    f_span.finish();
+    if (comm.metrics_enabled()) {
+      obs::MetricsRegistry& m = comm.metrics();
+      m.add_counter("boruvka.filter.scanned_edges", fs.edges_scanned);
+      m.add_counter("boruvka.filter.sampled_edges", fs.sampled_edges);
+      m.add_counter("boruvka.filter.msf_edges", fs.msf_edges);
+      m.add_counter("boruvka.filter.dropped_edges", fs.edges_dropped);
+      m.set_gauge("boruvka.filter.survival_rate", fs.survival_rate());
+      m.observe("boruvka.filter.survival", fs.survival_rate());
+      m.observe_latency("boruvka.filter.seconds", f_seconds);
+    }
+  }
+
   // ---- makeGhostInformation (§3.1) ---------------------------------------
   obs::Span ghost_span(tr, "makeGhost", obs::SpanCat::Phase);
   const GhostList ghosts = build_ghost_list(g, part, me);
@@ -646,7 +758,8 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
         indcomp_on_devices(comm, cg, kernel, opts, cpu, gpu, gpu_share,
                            threads, /*level=*/0, vrep);
     if (vrep != nullptr) {
-      validate::check_components(cg, me, 0, /*after_merge=*/false, vrep);
+      validate::check_components(cg, me, 0, /*after_merge=*/false, vrep,
+                                 filtered);
     }
     result.trace.components_after_level0 = cg.num_components();
     result.trace.frozen_after_level0 = stats.frozen_components;
@@ -659,7 +772,8 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
     mp_span.note("level", std::uint64_t{0});
     reduce_all(comm, cg, cpu, threads);
     if (vrep != nullptr) {
-      validate::check_components(cg, me, 0, /*after_merge=*/true, vrep);
+      validate::check_components(cg, me, 0, /*after_merge=*/true, vrep,
+                                 filtered);
     }
     mp_span.finish();
     LevelTrace lvl;
@@ -678,6 +792,15 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
   std::vector<int> rep(static_cast<std::size_t>(p));
   for (int r = 0; r < p; ++r) rep[static_cast<std::size_t>(r)] = r;
   bool first_level = true;
+
+  // Adaptive-schedule inputs carried level to level. All are virtual-time
+  // quantities (wire bytes shipped, blocked-wait virtual seconds), never
+  // wall clock and never metrics-gated, so the decision stream is
+  // deterministic and replays exactly (DESIGN.md §5g).
+  std::uint64_t prev_total_edges = 0;
+  std::uint64_t prev_wire_bytes = 0;
+  std::uint64_t cur_wire_bytes = 0;
+  double prev_wait_mark = comm.stats().wait_seconds;
 
   // live[r]: ranks every survivor believes alive. Heartbeat outcomes are
   // deterministic (a rank either sent before its fail-stop point or it
@@ -792,6 +915,15 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
     if (active.size() <= 1) break;  // recovery shrank the active set
     const sim::Group all_active{active};
     const bool in_active = all_active.contains(me);
+    // Roll the per-level schedule inputs: the decision below sees what the
+    // *previous* level shipped and waited, never the current one.
+    prev_wire_bytes = cur_wire_bytes;
+    cur_wire_bytes = 0;
+    const double wait_now = comm.stats().wait_seconds;
+    const std::uint64_t prev_wait_micros =
+        static_cast<std::uint64_t>((wait_now - prev_wait_mark) * 1e6);
+    prev_wait_mark = wait_now;
+    ScheduleDecision dec;
     if (in_active) {
       const int level = result.trace.levels_participated;
       ++result.trace.levels_participated;
@@ -811,7 +943,7 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
           gpu_share, threads, level, vrep);
       if (vrep != nullptr) {
         validate::check_components(cg, me, level, /*after_merge=*/false,
-                                   vrep);
+                                   vrep, filtered);
       }
       lvl.components = cg.num_components();
       lvl.frozen = stats.frozen_components;
@@ -836,18 +968,29 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
       obs::Span mp_span(tr, "mergeParts", obs::SpanCat::Phase);
       mp_span.note("level", static_cast<std::uint64_t>(level));
       const double mp_begin = comm.clock().now();
-      sync_parents(comm, all_active, cg, part, rep, wire);
+      cur_wire_bytes += sync_parents(comm, all_active, cg, part, rep, wire);
       reduce_all(comm, cg, cpu, threads);
       if (vrep != nullptr) {
         validate::check_components(cg, me, level, /*after_merge=*/true,
-                                   vrep);
+                                   vrep, filtered);
       }
 
+      // Per-level merge-schedule decision (fixed: the paper's constants,
+      // locally; adaptive: collective inputs over the active set).
+      dec = decide_level_schedule(comm, all_active, active, live, in_active,
+                                  scheduler, cg, level, prev_total_edges,
+                                  prev_wire_bytes, prev_wait_micros, wire);
+      lvl.group_size = dec.group_size;
+      lvl.max_ring_rounds = dec.thresholds.max_ring_rounds;
+      mp_span.note("group_size", static_cast<std::uint64_t>(dec.group_size));
+      mp_span.note("ring_cap", static_cast<std::uint64_t>(
+                                   dec.thresholds.max_ring_rounds));
+
       // Hierarchical group merge (§3.4).
-      const sim::Group group = group_containing(active, opts.group_size, me);
+      const sim::Group group = group_containing(active, dec.group_size, me);
       MND_CHECK(group.size() >= 1);
       if (group.size() > 1) {
-        MergeConvergence conv(opts.thresholds);
+        MergeConvergence conv(dec.thresholds);
         int rounds = 0;
         for (;;) {
           const std::uint64_t group_edges = comm.group_allreduce_sum(
@@ -906,9 +1049,17 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
           ring_span.note("sent_bytes",
                          static_cast<std::uint64_t>(outgoing.size()));
           ring_span.note("raw_bytes", seg_raw);
+          cur_wire_bytes += outgoing.size();
           if (comm.metrics_enabled()) {
             obs::record_wire_bytes(comm.metrics(), "ring", seg_raw,
                                    outgoing.size());
+            // Exchanged component-edges: what the F-lightness filter is
+            // paid to shrink (BENCH_pr8 gates on this).
+            std::uint64_t seg_edges = 0;
+            for (const Component& c : segment.comps) {
+              seg_edges += c.edges.size();
+            }
+            comm.metrics().add_counter("comm.ring.edges", seg_edges);
           }
           auto incoming =
               comm.ring_shift(group, kTagSegment, std::move(outgoing));
@@ -929,11 +1080,11 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
           // Collaborative merging on the new set of components (CPU).
           (void)indcomp_on_devices(comm, cg, kernel, opts, cpu, nullptr,
                                    gpu_share, threads, level, vrep);
-          sync_parents(comm, group, cg, part, rep, wire);
+          cur_wire_bytes += sync_parents(comm, group, cg, part, rep, wire);
           reduce_all(comm, cg, cpu, threads);
           if (vrep != nullptr) {
             validate::check_components(cg, me, level, /*after_merge=*/true,
-                                       vrep);
+                                       vrep, filtered);
           }
         }
 
@@ -957,9 +1108,13 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
           }
           serialize_components(all, &s, wire);
           lm_span.note("sent_bytes", static_cast<std::uint64_t>(s.size()));
+          cur_wire_bytes += s.size();
           if (comm.metrics_enabled()) {
             obs::record_wire_bytes(comm.metrics(), "gather", gather_raw,
                                    s.size());
+            std::uint64_t gather_edges = 0;
+            for (const Component& c : all) gather_edges += c.edges.size();
+            comm.metrics().add_counter("comm.gather.edges", gather_edges);
           }
         } else {
           mst::serialize_components({}, &s, wire);
@@ -979,7 +1134,7 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
           reduce_all(comm, cg, cpu, threads);
           if (vrep != nullptr) {
             validate::check_components(cg, me, level, /*after_merge=*/true,
-                                       vrep);
+                                       vrep, filtered);
           }
         }
         lm_span.finish();
@@ -991,16 +1146,29 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
         comm.metrics().observe_latency("hypar.merge.seconds",
                                        comm.clock().now() - mp_begin);
       }
+    } else {
+      // Live non-active rank: fixed mode re-derives the decision locally
+      // (pure, zero messages); adaptive mode consumes the decision the
+      // lowest active rank shipped. Either way this rank mirrors the
+      // group bookkeeping below with the same group size.
+      dec = decide_level_schedule(comm, all_active, active, live, in_active,
+                                  scheduler, cg, /*level=*/0,
+                                  prev_total_edges, prev_wire_bytes,
+                                  prev_wait_micros, wire);
     }
+    // The decision echoes the level's collective edge total so every rank
+    // (including spares later adopted into the active set) carries the
+    // next level's prev_total_edges.
+    prev_total_edges = dec.total_edges;
     // Non-leaders' data now lives at their group leader; update lineage
     // representatives before the next level's parent routing.
     for (int r = 0; r < p; ++r) {
       const int cur = rep[static_cast<std::size_t>(r)];
       const sim::Group g_of =
-          group_containing(active, opts.group_size, cur);
+          group_containing(active, dec.group_size, cur);
       if (g_of.size() >= 1) rep[static_cast<std::size_t>(r)] = g_of.members.front();
     }
-    active = leaders_of(active, opts.group_size);
+    active = leaders_of(active, dec.group_size);
     first_level = false;
   }
 
@@ -1096,6 +1264,10 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
     m.set_gauge("hypar.gpu_share", gpu_share);
     m.set_gauge("hypar.wire_compact",
                 wire == sim::WireFormat::kCompact ? 1.0 : 0.0);
+    m.set_gauge("boruvka.filter.enabled",
+                fcfg.mode == mst::FilterMode::kOn ? 1.0 : 0.0);
+    m.set_gauge("boruvka.schedule.adaptive",
+                sched_mode == ScheduleMode::kAdaptive ? 1.0 : 0.0);
     m.add_counter("hypar.ghost_edges", result.trace.ghost_edges);
     m.add_counter("hypar.boundary_vertices", result.trace.boundary_vertices);
     m.add_counter(
@@ -1112,6 +1284,18 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
       m.set_gauge(prefix + "edges", static_cast<double>(lvl.edges));
       m.observe("hypar.components_per_level",
                 static_cast<double>(lvl.components));
+      if (lvl.group_size > 0) {
+        // Per-level schedule decisions (fixed mode records the clamped
+        // paper constants; adaptive mode records what decide() picked).
+        m.set_gauge("boruvka.schedule.level." + std::to_string(k) +
+                        ".group_size",
+                    static_cast<double>(lvl.group_size));
+        m.set_gauge("boruvka.schedule.level." + std::to_string(k) +
+                        ".ring_cap",
+                    static_cast<double>(lvl.max_ring_rounds));
+        m.observe("boruvka.schedule.group_size",
+                  static_cast<double>(lvl.group_size));
+      }
     }
   }
   return result;

@@ -26,7 +26,9 @@
 #include "graph/csr.hpp"
 #include "hypar/partition.hpp"
 #include "hypar/runtime.hpp"
+#include "hypar/schedule.hpp"
 #include "mst/comp_graph.hpp"
+#include "mst/filter.hpp"
 #include "mst/local_boruvka.hpp"
 #include "simcluster/communicator.hpp"
 #include "validate/invariants.hpp"
@@ -97,6 +99,21 @@ struct EngineOptions {
   /// Test-only fault injection forwarded to the kernel so validator
   /// negative tests can prove the checks fire. Leave at kNone.
   mst::BoruvkaOptions::Fault fault = mst::BoruvkaOptions::Fault::kNone;
+
+  /// Filter-Boruvka: per-rank KKT-style F-lightness filter run once after
+  /// partGraph, upstream of ghost exchange and every serialization. Drops
+  /// edges provably outside the MST (cycle property over a sampled local
+  /// MSF) so they are never shipped. mode kDefault resolves through
+  /// MND_FILTER (unset: off). The final forest is byte-identical with the
+  /// filter on or off (DESIGN.md §5g).
+  mst::FilterConfig filter;
+
+  /// Merge-schedule mode: kFixed uses group_size/thresholds verbatim every
+  /// level (the paper's constants); kAdaptive re-decides the group fan-in
+  /// and convergence knobs per level from collective virtual-time metrics
+  /// (hypar/schedule.hpp). kDefault resolves through MND_SCHEDULE (unset:
+  /// fixed).
+  ScheduleMode schedule = ScheduleMode::kDefault;
 };
 
 /// Per-level convergence snapshot: how the hierarchical merge shrinks this
@@ -106,6 +123,8 @@ struct LevelTrace {
   std::size_t frozen = 0;      // frozen by the level's first indComp
   std::size_t edges = 0;       // resident edges after the level
   int ring_rounds = 0;         // ring exchanges this rank ran at the level
+  int group_size = 0;          // schedule decision the level ran with
+  int max_ring_rounds = 0;     // ring-round cap the level ran with
 };
 
 /// Per-rank diagnostics filled during the run.

@@ -1,0 +1,119 @@
+#include "hypar/schedule.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace mnd::hypar {
+
+ScheduleMode resolve_schedule(ScheduleMode m) {
+  if (m != ScheduleMode::kDefault) return m;
+  const char* env = std::getenv("MND_SCHEDULE");
+  const std::string v = env == nullptr ? "" : env;
+  if (v.empty() || v == "fixed") return ScheduleMode::kFixed;
+  if (v == "adaptive") return ScheduleMode::kAdaptive;
+  MND_CHECK_MSG(false, "MND_SCHEDULE must be 'fixed' or 'adaptive', got '"
+                           << v << "'");
+  return ScheduleMode::kFixed;
+}
+
+namespace {
+
+constexpr std::uint64_t kPpm = 1'000'000;
+
+std::uint64_t to_ppm(double v) {
+  return static_cast<std::uint64_t>(v * static_cast<double>(kPpm) + 0.5);
+}
+
+}  // namespace
+
+// Fractional thresholds travel as parts-per-million. The rounding is
+// harmless: non-active ranks consume only group_size and total_edges (the
+// thresholds are re-decided from fresh collectives on every rank that is
+// active when they matter), so the lossy fields never feed a decision.
+void ScheduleDecision::encode(sim::Serializer* s,
+                              sim::WireFormat wire) const {
+  const std::vector<std::uint64_t> fields = {
+      static_cast<std::uint64_t>(group_size),
+      static_cast<std::uint64_t>(thresholds.max_ring_rounds),
+      thresholds.group_merge_edge_threshold,
+      to_ppm(thresholds.min_group_reduction),
+      to_ppm(thresholds.min_contraction_fraction),
+      thresholds.recursion_edge_threshold,
+      thresholds.auto_stop_on_time_trend ? 1u : 0u,
+      total_edges,
+  };
+  s->put_id_vector(fields, wire);
+}
+
+ScheduleDecision ScheduleDecision::decode(sim::Deserializer* d) {
+  const auto fields = d->get_id_vector<std::uint64_t>();
+  MND_CHECK_MSG(fields.size() == 8, "malformed schedule decision payload");
+  ScheduleDecision out;
+  out.group_size = static_cast<int>(fields[0]);
+  out.thresholds.max_ring_rounds = static_cast<int>(fields[1]);
+  out.thresholds.group_merge_edge_threshold = fields[2];
+  out.thresholds.min_group_reduction =
+      static_cast<double>(fields[3]) / static_cast<double>(kPpm);
+  out.thresholds.min_contraction_fraction =
+      static_cast<double>(fields[4]) / static_cast<double>(kPpm);
+  out.thresholds.recursion_edge_threshold = fields[5];
+  out.thresholds.auto_stop_on_time_trend = fields[6] != 0;
+  out.total_edges = fields[7];
+  return out;
+}
+
+ScheduleDecision ScheduleController::decide(const ScheduleInputs& in) const {
+  ScheduleDecision d;
+  d.thresholds = base_;
+  d.total_edges = in.total_edges;
+  const int active = std::max(in.active_ranks, 2);
+  d.group_size = std::clamp(base_group_size_, 2, active);
+  if (mode_ != ScheduleMode::kAdaptive) return d;
+
+  const std::uint64_t per_rank =
+      in.total_edges / static_cast<std::uint64_t>(active);
+
+  // Rule 1 — ring->leader convergence switch: once the per-rank residue
+  // is already under the group-merge threshold, ring rounds cannot shrink
+  // it meaningfully; collapse the whole hierarchy in one level (every
+  // active rank into a single group) and skip straight to the leader
+  // gather.
+  if (per_rank <= base_.group_merge_edge_threshold) {
+    d.group_size = active;
+    d.thresholds.max_ring_rounds = 0;
+    return d;
+  }
+
+  // Rule 2 — diminishing-benefit cutoff: the previous level shrank the
+  // global edge count by less than the convergence criterion, so the
+  // per-level fixed costs (parent sync, ring setup) now dominate the
+  // shrink they buy. Widen the fan-in to burn fewer levels and cap the
+  // collaborative rounds at one.
+  if (in.prev_total_edges > 0) {
+    const double shrink =
+        1.0 - static_cast<double>(in.total_edges) /
+                  static_cast<double>(in.prev_total_edges);
+    if (shrink < base_.min_group_reduction) {
+      d.group_size = std::min(active, base_group_size_ * 2);
+      d.thresholds.max_ring_rounds =
+          std::min(base_.max_ring_rounds, 1);
+    }
+  }
+
+  // Rule 3 — straggler-bound levels: the previous level spent more
+  // blocked-wait time than its wire bytes can explain (bytes priced at
+  // the ~1 ns/byte scale of the modelled interconnect), i.e. its
+  // critical path was wait, not transit or compute. Extra ring rounds
+  // mostly resynchronize the same straggler, so cap them.
+  if (d.thresholds.max_ring_rounds > 1 &&
+      in.prev_wait_micros * 1000 > in.prev_wire_bytes) {
+    d.thresholds.max_ring_rounds = 1;
+  }
+  return d;
+}
+
+}  // namespace mnd::hypar

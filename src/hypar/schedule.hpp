@@ -1,0 +1,80 @@
+// Metrics-driven adaptive merge schedule (replaces the paper's fixed
+// constants: group size hardcoded to 4, one global ring->leader
+// convergence threshold, one diminishing-benefit cutoff).
+//
+// Per merge level the controller picks the group size and the convergence
+// knobs from observed, deterministic virtual-time inputs: surviving-edge
+// and component counts summed over the active ranks, the wire bytes the
+// previous level actually moved, and the blocked-wait share of the
+// previous level. Every input comes out of group collectives over the
+// active set, so all active ranks hold identical inputs and decide()
+// (a pure function) yields identical decisions — no agreement protocol.
+// The lowest active rank then ships the encoded decision to each live
+// non-active rank, which needs it to mirror the group bookkeeping
+// (leaders_of / group_containing / rep updates) every rank executes.
+//
+// Determinism contract (DESIGN.md §5g): inputs are virtual-time only
+// (never wall clock), never gated on metrics collection, and the decision
+// stream is a pure function of them — so runs replay exactly, profiles
+// are byte-identical across host thread counts, and fault replays with
+// the same plan take identical schedules.
+#pragma once
+
+#include <cstdint>
+
+#include "hypar/runtime.hpp"
+#include "simcluster/message.hpp"
+
+namespace mnd::hypar {
+
+/// kDefault resolves through MND_SCHEDULE (unset: fixed).
+enum class ScheduleMode { kDefault, kFixed, kAdaptive };
+
+/// Resolves kDefault through MND_SCHEDULE=fixed|adaptive. Unset or empty
+/// means fixed (the paper's constants). Any other value fails loudly.
+ScheduleMode resolve_schedule(ScheduleMode m);
+
+/// Collective observations driving one level's decision. All fields are
+/// identical on every active rank (allreduce results), in virtual time.
+struct ScheduleInputs {
+  int level = 0;
+  int active_ranks = 0;
+  std::uint64_t total_edges = 0;       // sum of resident edges, active set
+  std::uint64_t total_components = 0;  // sum of resident components
+  std::uint64_t prev_total_edges = 0;  // total_edges at the previous level
+  std::uint64_t prev_wire_bytes = 0;   // bytes the previous level shipped
+  std::uint64_t prev_wait_micros = 0;  // blocked-wait virtual time, summed
+};
+
+/// One level's schedule: the group fan-in plus the convergence knobs the
+/// level's MergeConvergence detector runs with.
+struct ScheduleDecision {
+  int group_size = 4;
+  RuntimeThresholds thresholds;
+  /// Echo of ScheduleInputs::total_edges, carried so non-active ranks
+  /// (which see only the decision stream) can supply prev_total_edges if
+  /// they are adopted into the active set after a crash.
+  std::uint64_t total_edges = 0;
+
+  void encode(sim::Serializer* s, sim::WireFormat wire) const;
+  static ScheduleDecision decode(sim::Deserializer* d);
+};
+
+/// Pure decision function; stateless so replay needs no controller state.
+class ScheduleController {
+ public:
+  ScheduleController(ScheduleMode mode, int base_group_size,
+                     const RuntimeThresholds& base)
+      : mode_(mode), base_group_size_(base_group_size), base_(base) {}
+
+  ScheduleMode mode() const { return mode_; }
+
+  ScheduleDecision decide(const ScheduleInputs& in) const;
+
+ private:
+  ScheduleMode mode_;
+  int base_group_size_;
+  RuntimeThresholds base_;
+};
+
+}  // namespace mnd::hypar

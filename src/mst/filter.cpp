@@ -1,0 +1,403 @@
+#include "mst/filter.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "graph/reference_mst.hpp"
+#include "graph/sampling.hpp"
+#include "util/check.hpp"
+#include "util/flat_hash.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mnd::mst {
+namespace {
+
+using graph::EdgeId;
+using graph::VertexId;
+using graph::Weight;
+
+/// One distinct sampled edge, endpoints as stored in the adjacency.
+struct SampleEdge {
+  VertexId u = 0;
+  VertexId v = 0;
+  Weight w = 0;
+  EdgeId orig = 0;
+};
+
+/// The rooted sample forest with binary-lifting tables for path-max
+/// queries. Vertex ids are dense indices into the sorted endpoint set.
+struct SampleForest {
+  std::vector<VertexId> verts;  // sorted original endpoint ids
+  std::vector<std::uint32_t> root;   // tree id (dense root index)
+  std::vector<std::uint32_t> depth;
+  int log2_depth = 0;  // lifting levels; tables are (log2_depth+1) rows
+  // Row-major [k * n + v]: 2^k-th ancestor and the (w, orig) maximum on
+  // the 2^k-edge path toward it. Ancestors past the root self-loop.
+  std::vector<std::uint32_t> up;
+  std::vector<Weight> max_w;
+  std::vector<EdgeId> max_orig;
+
+  std::size_t size() const { return verts.size(); }
+
+  /// Dense index of an original id, or n when the id is not an endpoint
+  /// of any sampled edge (then no sample path exists and the edge is
+  /// trivially F-light).
+  std::size_t dense(VertexId id) const {
+    const auto it = std::lower_bound(verts.begin(), verts.end(), id);
+    if (it == verts.end() || *it != id) return verts.size();
+    return static_cast<std::size_t>(it - verts.begin());
+  }
+};
+
+/// Strict (w, orig) order: the repo-wide total order on edges.
+bool lighter(Weight aw, EdgeId ao, Weight bw, EdgeId bo) {
+  return aw != bw ? aw < bw : ao < bo;
+}
+
+/// Builds F = MSF of the sample via exact Kruskal (reference machinery),
+/// then roots every tree and fills the lifting tables. `sample` must be
+/// sorted ascending by orig so the rebuilt EdgeList's dense ids preserve
+/// the (w, orig) tie-break. `in_msf[i]` is set when sample[i] is an F
+/// edge — Kruskal's accept/reject verdict IS the F-lightness verdict for
+/// sampled edges, so they never need a path-max query.
+SampleForest build_sample_forest(const std::vector<SampleEdge>& sample,
+                                 std::vector<std::uint8_t>* in_msf,
+                                 FilterStats* st) {
+  SampleForest f;
+  f.verts.reserve(sample.size() * 2);
+  for (const SampleEdge& e : sample) {
+    f.verts.push_back(e.u);
+    f.verts.push_back(e.v);
+  }
+  std::sort(f.verts.begin(), f.verts.end());
+  f.verts.erase(std::unique(f.verts.begin(), f.verts.end()), f.verts.end());
+  const std::size_t n = f.size();
+  if (n == 0) return f;
+
+  graph::EdgeList el(static_cast<VertexId>(n));
+  for (const SampleEdge& e : sample) {
+    el.add_edge(static_cast<VertexId>(f.dense(e.u)),
+                static_cast<VertexId>(f.dense(e.v)), e.w);
+  }
+  const graph::MstResult msf = graph::kruskal_mst(el);
+  st->msf_edges = msf.edges.size();
+  st->work.atomic_updates += sample.size();  // union-find finds/unions
+  st->work.edges_scanned += sample.size();   // kruskal's sorted scan
+  in_msf->assign(sample.size(), 0);
+  for (EdgeId id : msf.edges) {
+    (*in_msf)[static_cast<std::size_t>(id)] = 1;
+  }
+
+  // Forest adjacency (dense ids).
+  struct FArc {
+    std::uint32_t to;
+    Weight w;
+    EdgeId orig;
+  };
+  std::vector<std::vector<FArc>> adj(n);
+  for (EdgeId id : msf.edges) {
+    const auto& e = el.edge(id);
+    const EdgeId orig = sample[static_cast<std::size_t>(id)].orig;
+    adj[e.u].push_back(FArc{e.v, e.w, orig});
+    adj[e.v].push_back(FArc{e.u, e.w, orig});
+  }
+
+  // Root each tree at its lowest dense id (deterministic), BFS order.
+  f.root.assign(n, ~std::uint32_t{0});
+  f.depth.assign(n, 0);
+  std::vector<std::uint32_t> parent(n);
+  std::vector<Weight> pw(n, 0);
+  std::vector<EdgeId> porig(n, 0);
+  std::vector<std::uint32_t> queue;
+  queue.reserve(n);
+  std::uint32_t max_depth = 0;
+  for (std::uint32_t r = 0; r < n; ++r) {
+    if (f.root[r] != ~std::uint32_t{0}) continue;
+    f.root[r] = r;
+    parent[r] = r;
+    queue.clear();
+    queue.push_back(r);
+    for (std::size_t at = 0; at < queue.size(); ++at) {
+      const std::uint32_t v = queue[at];
+      for (const FArc& a : adj[v]) {
+        if (f.root[a.to] != ~std::uint32_t{0}) continue;
+        f.root[a.to] = r;
+        parent[a.to] = v;
+        pw[a.to] = a.w;
+        porig[a.to] = a.orig;
+        f.depth[a.to] = f.depth[v] + 1;
+        max_depth = std::max(max_depth, f.depth[a.to]);
+        queue.push_back(a.to);
+      }
+    }
+  }
+
+  f.log2_depth = 0;
+  while ((std::uint32_t{1} << (f.log2_depth + 1)) <= max_depth) {
+    ++f.log2_depth;
+  }
+  const std::size_t rows = static_cast<std::size_t>(f.log2_depth) + 1;
+  f.up.resize(rows * n);
+  f.max_w.resize(rows * n);
+  f.max_orig.resize(rows * n);
+  for (std::size_t v = 0; v < n; ++v) {
+    f.up[v] = parent[v];
+    f.max_w[v] = pw[v];
+    f.max_orig[v] = porig[v];
+  }
+  for (std::size_t k = 1; k < rows; ++k) {
+    const std::size_t row = k * n;
+    const std::size_t prev = row - n;
+    for (std::size_t v = 0; v < n; ++v) {
+      const std::uint32_t mid = f.up[prev + v];
+      f.up[row + v] = f.up[prev + mid];
+      if (lighter(f.max_w[prev + v], f.max_orig[prev + v],
+                  f.max_w[prev + mid], f.max_orig[prev + mid])) {
+        f.max_w[row + v] = f.max_w[prev + mid];
+        f.max_orig[row + v] = f.max_orig[prev + mid];
+      } else {
+        f.max_w[row + v] = f.max_w[prev + v];
+        f.max_orig[row + v] = f.max_orig[prev + v];
+      }
+    }
+  }
+  // BFS rooting is a random walk over the forest adjacency; the lifting
+  // table fill streams (up, max_w, max_orig) row by row.
+  st->work.edges_scanned += n;
+  st->work.stream_bytes +=
+      rows * n *
+      (sizeof(std::uint32_t) + sizeof(Weight) + sizeof(EdgeId));
+  return f;
+}
+
+/// (w, orig) maximum on the sample-forest path between dense vertices a
+/// and b (same tree, a != b). Counts lifting hops into `steps`.
+void path_max(const SampleForest& f, std::uint32_t a, std::uint32_t b,
+              Weight* out_w, EdgeId* out_orig, std::size_t* steps) {
+  const std::size_t n = f.size();
+  Weight best_w = 0;
+  EdgeId best_orig = 0;
+  bool have = false;
+  const auto fold = [&](std::size_t row, std::uint32_t v) {
+    if (!have || lighter(best_w, best_orig, f.max_w[row + v],
+                         f.max_orig[row + v])) {
+      best_w = f.max_w[row + v];
+      best_orig = f.max_orig[row + v];
+      have = true;
+    }
+  };
+  if (f.depth[a] < f.depth[b]) std::swap(a, b);
+  std::uint32_t diff = f.depth[a] - f.depth[b];
+  for (int k = 0; diff != 0; ++k, diff >>= 1) {
+    if (diff & 1u) {
+      fold(static_cast<std::size_t>(k) * n, a);
+      a = f.up[static_cast<std::size_t>(k) * n + a];
+      ++*steps;
+    }
+  }
+  if (a != b) {
+    for (int k = f.log2_depth; k >= 0; --k) {
+      const std::size_t row = static_cast<std::size_t>(k) * n;
+      if (f.up[row + a] != f.up[row + b]) {
+        fold(row, a);
+        fold(row, b);
+        a = f.up[row + a];
+        b = f.up[row + b];
+        *steps += 2;
+      }
+    }
+    fold(0, a);
+    fold(0, b);
+    *steps += 2;
+  }
+  *out_w = best_w;
+  *out_orig = best_orig;
+}
+
+}  // namespace
+
+FilterConfig resolve_filter(const FilterConfig& c) {
+  FilterConfig out = c;
+  if (out.mode != FilterMode::kDefault) {
+    MND_CHECK_MSG(out.mode == FilterMode::kOff ||
+                      (out.sample_rate > 0.0 && out.sample_rate <= 1.0),
+                  "filter sample rate must be in (0, 1], got "
+                      << out.sample_rate);
+    return out;
+  }
+  const char* env = std::getenv("MND_FILTER");
+  const std::string v = env == nullptr ? "" : env;
+  if (v.empty() || v == "off") {
+    out.mode = FilterMode::kOff;
+    return out;
+  }
+  if (v == "on") {
+    out.mode = FilterMode::kOn;
+    return out;
+  }
+  char* end = nullptr;
+  const double rate = std::strtod(v.c_str(), &end);
+  MND_CHECK_MSG(end != nullptr && *end == '\0' && rate > 0.0 && rate <= 1.0,
+                "MND_FILTER must be 'on', 'off', or a sample rate in "
+                "(0, 1], got '"
+                    << v << "'");
+  out.mode = FilterMode::kOn;
+  out.sample_rate = rate;
+  return out;
+}
+
+FilterStats filter_f_heavy(CompGraph& cg, const FilterOptions& opts) {
+  MND_CHECK_MSG(opts.sample_rate > 0.0 && opts.sample_rate <= 1.0,
+                "filter sample rate must be in (0, 1], got "
+                    << opts.sample_rate);
+  FilterStats st;
+  const std::uint64_t thr = graph::sample_threshold(opts.sample_rate);
+  const std::vector<VertexId> ids = cg.component_ids();
+  const std::size_t threads = opts.threads == 0 ? 1 : opts.threads;
+
+  // Pass 1 (one streaming scan): draw the sample AND collect each
+  // distinct non-sampled edge exactly once. A locally-mirrored edge (both
+  // endpoints owned) appears in two adjacencies; the copy with the
+  // smaller component id represents it. A ghost edge (far endpoint not
+  // owned) has one local copy, which always represents it. Sampled edges
+  // are excluded here — Kruskal's verdict on the sample decides them
+  // without a path-max query.
+  std::vector<SampleEdge> sample;
+  std::vector<SampleEdge> uniq;
+  std::size_t entries = 0;
+  for (VertexId id : ids) {
+    const Component& c = *cg.find(id);
+    MND_CHECK_MSG(c.scan_head == 0,
+                  "filter_f_heavy expects freshly built components");
+    entries += c.edges.size();
+    for (const CEdge& e : c.edges) {
+      if (graph::edge_sampled(opts.seed, e.orig, thr)) {
+        sample.push_back(SampleEdge{c.id, e.to, e.w, e.orig});
+      } else if (e.to > c.id || cg.find(e.to) == nullptr) {
+        uniq.push_back(SampleEdge{c.id, e.to, e.w, e.orig});
+      }
+    }
+  }
+  // Sequential adjacency stream + one ownership probe per entry.
+  st.work.stream_bytes += entries * sizeof(CEdge);
+  st.work.cache_hops += entries;
+  std::sort(sample.begin(), sample.end(),
+            [](const SampleEdge& a, const SampleEdge& b) {
+              return a.orig < b.orig;
+            });
+  sample.erase(std::unique(sample.begin(), sample.end(),
+                           [](const SampleEdge& a, const SampleEdge& b) {
+                             return a.orig == b.orig;
+                           }),
+               sample.end());
+  st.sampled_edges = sample.size();
+  st.work.edges_scanned += 2 * sample.size();  // sort + dedup passes
+
+  std::vector<std::uint8_t> in_msf;
+  const SampleForest forest = build_sample_forest(sample, &in_msf, &st);
+
+  // Pass 2 (chunked on the thread pool): per distinct non-sampled edge,
+  // one path-max query. The verdict array is indexed by position, so any
+  // chunking produces identical contents. An edge in F is its own sample
+  // path (path-max == the edge itself) and sorts not-lighter, so the
+  // strict comparison keeps it.
+  struct ChunkStats {
+    std::size_t dropped = 0;
+    std::size_t lift_steps = 0;
+  };
+  const std::size_t qparts = mnd::ThreadPool::chunk_count(uniq.size(), threads);
+  std::vector<std::uint8_t> drop(uniq.size(), 0);
+  std::vector<ChunkStats> per_qchunk(qparts == 0 ? 1 : qparts);
+  const auto judge_range = [&](std::size_t part, std::size_t lo,
+                               std::size_t hi) {
+    ChunkStats* cs = &per_qchunk[part];
+    for (std::size_t i = lo; i < hi; ++i) {
+      const SampleEdge& e = uniq[i];
+      const std::size_t du = forest.dense(e.u);
+      if (du == forest.size()) continue;
+      const std::size_t dv = forest.dense(e.v);
+      if (dv == forest.size() || dv == du) continue;
+      if (forest.root[du] != forest.root[dv]) continue;
+      Weight pmax_w = 0;
+      EdgeId pmax_orig = 0;
+      path_max(forest, static_cast<std::uint32_t>(du),
+               static_cast<std::uint32_t>(dv), &pmax_w, &pmax_orig,
+               &cs->lift_steps);
+      if (lighter(pmax_w, pmax_orig, e.w, e.orig)) {
+        drop[i] = 1;
+        ++cs->dropped;
+      }
+    }
+  };
+  if (qparts > 1) {
+    mnd::global_pool().parallel_chunks(0, uniq.size(), qparts, judge_range);
+  } else if (!uniq.empty()) {
+    judge_range(0, 0, uniq.size());
+  }
+  for (const ChunkStats& cs : per_qchunk) st.lift_steps += cs.lift_steps;
+  // Each lifting hop reads three LLC-resident table rows.
+  st.work.cache_hops += 3 * st.lift_steps;
+
+  // The dropped set: F-heavy distinct edges plus sampled edges Kruskal
+  // rejected (a lighter sample path already connected their endpoints).
+  mnd::FlatHashSet<EdgeId> dropped(uniq.size() / 4 + 16);
+  for (std::size_t i = 0; i < uniq.size(); ++i) {
+    if (drop[i] != 0) dropped.insert(uniq[i].orig);
+  }
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    if (in_msf[i] == 0) dropped.insert(sample[i].orig);
+  }
+  st.work.cache_hops += dropped.size();
+
+  // Pass 3 (chunked by component weight): compact every adjacency,
+  // removing both copies of each dropped edge via one set probe per
+  // entry.
+  struct CompactStats {
+    std::size_t scanned = 0;
+    std::size_t removed = 0;
+  };
+  std::vector<std::size_t> weights(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    weights[i] = cg.find(ids[i])->edges.size() + 1;
+  }
+  const std::size_t parts = mnd::ThreadPool::chunk_count(ids.size(), threads);
+  const auto bounds = mnd::balanced_chunk_bounds(weights, parts);
+  std::vector<CompactStats> per_chunk(parts);
+  const auto compact_component = [&](Component& c, CompactStats* cs) {
+    cs->scanned += c.edges.size();
+    c.edges.erase(std::remove_if(c.edges.begin(), c.edges.end(),
+                                 [&](const CEdge& e) {
+                                   if (!dropped.contains(e.orig)) return false;
+                                   ++cs->removed;
+                                   return true;
+                                 }),
+                  c.edges.end());
+  };
+  if (parts > 1) {
+    mnd::global_pool().parallel_chunks(
+        0, parts, parts, [&](std::size_t, std::size_t lo, std::size_t hi) {
+          for (std::size_t part = lo; part < hi; ++part) {
+            for (std::size_t i = bounds[part]; i < bounds[part + 1]; ++i) {
+              compact_component(*cg.find(ids[i]), &per_chunk[part]);
+            }
+          }
+        });
+  } else {
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      compact_component(*cg.find(ids[i]), &per_chunk[0]);
+    }
+  }
+  for (const CompactStats& cs : per_chunk) {
+    st.edges_scanned += cs.scanned;  // == the pass-1 entry count
+    st.edges_dropped += cs.removed;
+  }
+  // Compaction streams each adjacency once with one set probe per entry.
+  st.work.stream_bytes += entries * sizeof(CEdge);
+  st.work.cache_hops += entries;
+  cg.refresh_accounting();
+  return st;
+}
+
+}  // namespace mnd::mst

@@ -1,0 +1,87 @@
+// Filter-Boruvka: KKT-style F-lightness filtering of a rank's component
+// graph, upstream of every exchange.
+//
+// Per rank: draw a deterministic seeded sample of the local adjacency,
+// compute the minimum spanning forest F of the sample (exact Kruskal over
+// the compressed sample endpoints — reference_mst machinery), then drop
+// every local edge that is F-heavy: an edge e = (u, v) whose endpoints are
+// connected in F by a path whose (w, orig)-maximum edge is lighter than e
+// closes a cycle on which e is the strict maximum, so by the cycle
+// property e cannot be in the MST and never needs to reach indComp,
+// prune_for_wire, serialization, or the ring.
+//
+// Why the engine's forest is byte-identical with the filter on (DESIGN.md
+// §5g): under the strict (w, orig) total order the MST is unique, and the
+// lightest edge across any cut is an MST edge — F-light by definition, so
+// the filter keeps it. Every engine decision (pass-1 lightest incident
+// edge, border freezing, contraction, commit order) depends only on
+// cut-lightest edges, hence is identical on the filtered graph.
+//
+// Path maxima are answered by binary lifting over the rooted sample
+// forest; the per-edge query pass is chunked on the shared thread pool and
+// the verdict for an edge is a pure function of (seed, rate, sample), so
+// the surviving adjacency is byte-identical at any thread count. The
+// counted KernelWork is priced by the caller as virtual compute.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "device/cost_model.hpp"
+#include "mst/comp_graph.hpp"
+
+namespace mnd::mst {
+
+/// Whether the engine runs the F-lightness filter before the level loop.
+/// kDefault resolves through MND_FILTER (unset: off).
+enum class FilterMode { kDefault, kOff, kOn };
+
+struct FilterConfig {
+  FilterMode mode = FilterMode::kDefault;
+  /// Bernoulli inclusion probability of the edge sample. Higher rates make
+  /// the sample forest lighter (more edges dropped) at a higher sampling +
+  /// forest-build cost; the KKT expectation for the surviving edge count
+  /// is n/rate plus the sample forest itself.
+  double sample_rate = 0.25;
+  /// Seed of the stateless per-edge draw. Identical on every rank so cut
+  /// edges get one global verdict.
+  std::uint64_t seed = 0x8F17E2B07C55AA1Dull;
+};
+
+/// Resolves kDefault through MND_FILTER: "on", "off", or a sample rate in
+/// (0, 1] such as "0.5" (implies on). Unset or empty means off. Any other
+/// value fails loudly. An explicit mode wins over the environment.
+FilterConfig resolve_filter(const FilterConfig& c);
+
+struct FilterStats {
+  std::size_t edges_scanned = 0;  // adjacency entries examined (one pass)
+  std::size_t sampled_edges = 0;  // distinct edges drawn into the sample
+  std::size_t msf_edges = 0;      // edges of the sample forest F
+  std::size_t edges_dropped = 0;  // F-heavy adjacency entries removed
+  std::size_t lift_steps = 0;     // binary-lifting hops across all queries
+  /// Counted work of the whole filter invocation (sampling scan, forest
+  /// build, lifting tables, query pass) for virtual-time pricing.
+  device::KernelWork work;
+
+  double survival_rate() const {
+    return edges_scanned == 0
+               ? 1.0
+               : 1.0 - static_cast<double>(edges_dropped) /
+                           static_cast<double>(edges_scanned);
+  }
+};
+
+struct FilterOptions {
+  double sample_rate = 0.25;
+  std::uint64_t seed = 0x8F17E2B07C55AA1Dull;
+  /// Threads for the query/removal pass; any value yields byte-identical
+  /// surviving adjacencies and identical FilterStats.
+  std::size_t threads = 1;
+};
+
+/// Filters every owned component's adjacency in place and refreshes the
+/// graph's byte accounting. Components must be freshly built (scan_head
+/// 0): the filter runs once, before the first indComp. Deterministic.
+FilterStats filter_f_heavy(CompGraph& cg, const FilterOptions& opts);
+
+}  // namespace mnd::mst

@@ -36,6 +36,7 @@ PathCategory category_of(CostKind kind) {
     // Blocked-on-a-peer time, whether the peer is slow or dead.
     case CostKind::kWait: return PathCategory::kStragglerWait;
     case CostKind::kDetect: return PathCategory::kStragglerWait;
+    case CostKind::kFilter: return PathCategory::kFilterCompute;
   }
   return PathCategory::kLocalCompute;
 }
@@ -49,6 +50,7 @@ const char* path_category_name(PathCategory c) {
     case PathCategory::kWireTransit: return "wire_transit";
     case PathCategory::kStallRetransmit: return "stall_retransmit";
     case PathCategory::kStragglerWait: return "straggler_wait";
+    case PathCategory::kFilterCompute: return "filter_compute";
   }
   return "unknown";
 }
@@ -221,7 +223,7 @@ void attribute_local(const RankCausality& rank, double a, double b,
     LevelAttribution& lvl = (*by_level)[it->level];
     lvl.level = it->level;
     lvl.by_category[static_cast<int>(cat)] += dt;
-    if (it->kind == CostKind::kCompute) {
+    if (it->kind == CostKind::kCompute || it->kind == CostKind::kFilter) {
       (*compute_by_phase)[rank.phase_names[it->phase]] += dt;
     }
   }
@@ -466,7 +468,8 @@ void write_number(std::ostream& out, double v) {
   out << std::setprecision(std::numeric_limits<double>::max_digits10) << v;
 }
 
-void write_categories(std::ostream& out, const double (&cats)[5]) {
+void write_categories(std::ostream& out,
+                      const double (&cats)[kNumPathCategories]) {
   for (int c = 0; c < kNumPathCategories; ++c) {
     out << "\"" << path_category_name(static_cast<PathCategory>(c))
         << "\":";
@@ -544,7 +547,37 @@ void write_profile_json(std::ostream& out,
     write_number(out, path.imbalance.rank_wait_seconds[r]);
     out << '}';
   }
-  out << "]},\n\"latency_histograms\":{";
+  // Filter / adaptive-schedule observability (boruvka.*): merged counters
+  // and gauges so tools/perf_report.py can render survival rates and
+  // per-level schedule decisions next to the attribution tables. Merged
+  // metrics are deterministic, so the profile stays byte-identical across
+  // host thread counts.
+  out << "]},\n\"boruvka_metrics\":{";
+  if (per_rank_metrics != nullptr) {
+    MetricsRegistry merged;
+    for (const MetricsRegistry& m : *per_rank_metrics) merged.merge(m);
+    out << "\"counters\":{";
+    first = true;
+    for (const auto& [name, value] : merged.counters()) {
+      if (name.rfind("boruvka.", 0) != 0) continue;
+      if (!first) out << ',';
+      first = false;
+      out << "\n  \"" << json_escape(name) << "\":" << value;
+    }
+    out << "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, value] : merged.gauges()) {
+      if (name.rfind("boruvka.", 0) != 0) continue;
+      if (!first) out << ',';
+      first = false;
+      out << "\n  \"" << json_escape(name) << "\":";
+      write_number(out, value);
+    }
+    out << "}";
+  } else {
+    out << "\"counters\":{},\"gauges\":{}";
+  }
+  out << "},\n\"latency_histograms\":{";
   if (per_rank_metrics != nullptr) {
     MetricsRegistry merged;
     for (const MetricsRegistry& m : *per_rank_metrics) merged.merge(m);

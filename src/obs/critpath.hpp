@@ -47,6 +47,7 @@ enum class CostKind : std::uint8_t {
   kStall,        // injected straggler stall or retransmit backoff
   kDetect,       // failure-detection timeout on a dead peer
   kCheckpoint,   // checkpoint store write/read
+  kFilter,       // F-lightness sample/filter pass (filter-Boruvka)
 };
 
 /// One clock movement: [begin, end) with exact clock snapshots.
@@ -148,8 +149,9 @@ enum class PathCategory : std::uint8_t {
   kWireTransit,
   kStallRetransmit,
   kStragglerWait,
+  kFilterCompute,  // time in the upstream F-lightness filter
 };
-inline constexpr int kNumPathCategories = 5;
+inline constexpr int kNumPathCategories = 6;
 const char* path_category_name(PathCategory c);
 
 /// A maximal same-rank (or same-edge) stretch of the critical path.
@@ -161,12 +163,12 @@ struct PathSegment {
   double vt_end = 0.0;
   std::int32_t level = 0;
   /// Seconds by category within [vt_begin, vt_end]; sums to the segment.
-  double by_category[kNumPathCategories] = {0, 0, 0, 0, 0};
+  double by_category[kNumPathCategories] = {};
 };
 
 struct LevelAttribution {
   std::int32_t level = 0;
-  double by_category[kNumPathCategories] = {0, 0, 0, 0, 0};
+  double by_category[kNumPathCategories] = {};
   double total() const;
 };
 
@@ -187,7 +189,7 @@ struct CriticalPath {
   int end_rank = 0;
   /// Forward time order; boundaries are exact copies of clock values.
   std::vector<PathSegment> segments;
-  double by_category[kNumPathCategories] = {0, 0, 0, 0, 0};
+  double by_category[kNumPathCategories] = {};
   std::vector<LevelAttribution> by_level;  // ascending level
   /// Critical-path compute seconds per engine phase name.
   std::map<std::string, double> compute_by_phase;

@@ -88,9 +88,10 @@ bool Communicator::metrics_enabled() const {
 
 const NetModel& Communicator::net() const { return cluster_.net(); }
 
-void Communicator::compute(double seconds, const std::string& phase) {
+void Communicator::compute(double seconds, const std::string& phase,
+                           obs::CostKind kind) {
   MND_CHECK_MSG(seconds >= 0.0, "negative compute charge for " << phase);
-  advance_clock(seconds, obs::CostKind::kCompute,
+  advance_clock(seconds, kind,
                 events_ != nullptr ? events_->intern_phase(phase) : 0);
   phases_.add(phase, seconds);
 }

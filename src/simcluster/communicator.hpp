@@ -114,8 +114,11 @@ class Communicator {
   void fold_stats_into_metrics();
 
   /// Advances this rank's clock by `seconds` of computation, attributed to
-  /// `phase` in the breakdown.
-  void compute(double seconds, const std::string& phase);
+  /// `phase` in the breakdown. `kind` selects the critical-path cost bucket
+  /// (kCompute for ordinary kernels; kFilter for the upstream F-lightness
+  /// pass so profiles can separate filter time from level compute).
+  void compute(double seconds, const std::string& phase,
+               obs::CostKind kind = obs::CostKind::kCompute);
 
   // --- Point-to-point ----------------------------------------------------
 

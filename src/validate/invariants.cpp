@@ -64,7 +64,7 @@ bool enabled(bool option_flag) {
 }
 
 void check_components(mst::CompGraph& cg, int rank, int level,
-                      bool after_merge, Report* report) {
+                      bool after_merge, Report* report, bool filtered) {
   report->count_check(after_merge ? "merge_uniqueness"
                                   : "component_structure");
   std::size_t suppressed = 0;
@@ -123,7 +123,17 @@ void check_components(mst::CompGraph& cg, int rank, int level,
         continue;
       }
       const mst::Component* far = cg.find(target);
-      if (far == nullptr || target < id) continue;  // remote, or checked once
+      if (far == nullptr) continue;  // remote far side
+      if (filtered) {
+        // Rank-local sample forests drop different copies of shared edges,
+        // so only the component's overall lightest live edge — the
+        // cut-lightest, an MST edge kept by every rank's filter and the
+        // lightest (c, far) pair edge on both sides — is guaranteed
+        // mirrored (see header). Later edges may legitimately differ.
+        if (i != c.scan_head) continue;
+      } else if (target < id) {
+        continue;  // symmetric pair, checked from the smaller id
+      }
       bool mirrored = false;
       for (std::size_t j = far->scan_head; j < far->edges.size(); ++j) {
         const mst::CEdge& back = far->edges[j];

@@ -98,9 +98,16 @@ bool enabled(bool option_flag);
 /// post-mergeParts guarantees are added: no self edges, at most one edge
 /// per resolved far component, and — when the far component is owned
 /// locally — both sides kept the same lightest (w, orig) edge.
+/// With `filtered` (F-lightness filtering active, DESIGN.md §5g) the
+/// per-target mirror check weakens to the component's overall lightest
+/// live edge only: rank-local sample forests may legitimately drop
+/// different copies of a shared edge, but the cut-lightest edge is an MST
+/// edge under the strict (w, orig) order, is F-light under every sample
+/// forest, and therefore must survive — and lead — on both sides.
 /// `cg` is non-const only because resolution path-compresses.
 void check_components(mst::CompGraph& cg, int rank, int level,
-                      bool after_merge, Report* report);
+                      bool after_merge, Report* report,
+                      bool filtered = false);
 
 /// EXCPT_BORDER_VERTEX justification: each component frozen by an indComp
 /// invocation must have a lightest live edge whose far endpoint is not

@@ -268,6 +268,83 @@ TEST(FuzzDifferential, WireModesProduceByteIdenticalForests) {
   }
 }
 
+TEST(FuzzDifferential, FilterAndScheduleProduceByteIdenticalForests) {
+  // Filter-Boruvka x adaptive-schedule slice (DESIGN.md §5g): the
+  // F-lightness filter drops only provably-non-MST edges and the
+  // adaptive schedule only regroups the merge hierarchy, so every
+  // combination — crossed with both wire modes, thread counts, and a
+  // lossy fault plan — must produce the exact forest the stock engine
+  // does, and pass the live validators.
+  std::size_t slice = 0;
+  for (const FuzzConfig& c : sweep_grid()) {
+    if (slice++ % 11 != 3) continue;  // 14 configs, offset from wire slice
+    SCOPED_TRACE(describe(c));
+    const graph::EdgeList el = make_graph(c);
+    mst::MndMstOptions opts;
+    opts.num_nodes = c.ranks;
+    opts.validate = true;
+    opts.engine.use_gpu = c.gpu;
+    if (c.gpu) opts.engine.gpu_min_edges = 0;
+    opts.engine.filter.mode = mst::FilterMode::kOff;
+    opts.engine.schedule = hypar::ScheduleMode::kFixed;
+    const mst::MndMstReport base = mst::run_mnd_mst(el, opts);
+    EXPECT_TRUE(base.validation.ok());
+
+    // Filter on, at two sample rates (including the tie-heavy graphs
+    // where many sampled edges share a weight).
+    opts.engine.filter.mode = mst::FilterMode::kOn;
+    for (double rate : {0.25, 0.75}) {
+      opts.engine.filter.sample_rate = rate;
+      const mst::MndMstReport filtered = mst::run_mnd_mst(el, opts);
+      EXPECT_TRUE(filtered.validation.ok());
+      EXPECT_EQ(filtered.forest.edges, base.forest.edges)
+          << "filter (rate " << rate << ") changed the forest";
+    }
+    opts.engine.filter.sample_rate = 0.25;
+
+    // Adaptive schedule, with and without the filter, across wire modes.
+    opts.engine.schedule = hypar::ScheduleMode::kAdaptive;
+    for (const bool filter_on : {false, true}) {
+      opts.engine.filter.mode =
+          filter_on ? mst::FilterMode::kOn : mst::FilterMode::kOff;
+      for (const sim::WireFormat wire :
+           {sim::WireFormat::kRaw, sim::WireFormat::kCompact}) {
+        opts.engine.wire = wire;
+        const mst::MndMstReport run = mst::run_mnd_mst(el, opts);
+        EXPECT_TRUE(run.validation.ok());
+        EXPECT_EQ(run.forest.edges, base.forest.edges)
+            << "adaptive schedule x filter=" << filter_on
+            << " changed the forest";
+      }
+    }
+
+    // Thread counts must not change the virtual-time results either
+    // (the filter's chunked pass and the schedule's decisions are both
+    // thread-count independent).
+    opts.engine.filter.mode = mst::FilterMode::kOn;
+    opts.engine.wire = sim::WireFormat::kCompact;
+    opts.threads = 1;
+    const mst::MndMstReport t1 = mst::run_mnd_mst(el, opts);
+    opts.threads = 4;
+    const mst::MndMstReport t4 = mst::run_mnd_mst(el, opts);
+    EXPECT_EQ(t1.forest.edges, base.forest.edges);
+    EXPECT_EQ(t4.forest.edges, t1.forest.edges)
+        << "threads x filter x adaptive changed the forest";
+    EXPECT_EQ(t4.total_seconds, t1.total_seconds)
+        << "threads changed filter x adaptive virtual time";
+    opts.threads = 0;
+
+    // A lossy fault plan on top of the full stack: retransmits and
+    // duplicates must not perturb the filtered forest.
+    opts.faults = sim::FaultPlan::parse("seed=47,drop=0.05,dup=0.05");
+    const mst::MndMstReport faulty = mst::run_mnd_mst(el, opts);
+    EXPECT_EQ(faulty.forest.edges, base.forest.edges)
+        << "faults x filter x adaptive changed the forest";
+    opts.faults = sim::FaultPlan{};
+    opts.engine.wire = sim::WireFormat::kDefault;
+  }
+}
+
 TEST(FuzzDifferential, ValidatorsCleanOnUnmutatedEngine) {
   // Control for the negative test: identical sweep, no fault injected.
   for (std::uint64_t seed : {21u, 22u, 23u, 24u}) {

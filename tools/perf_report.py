@@ -57,6 +57,7 @@ import argparse
 import copy
 import html
 import json
+import re
 import sys
 from typing import Any, Iterator
 
@@ -278,6 +279,40 @@ def build_report(doc: dict) -> dict:
         hist_rows.append((name, int(h["count"]), float(h["p50"]),
                           float(h["p95"]), float(h["p99"]), float(h["max"])))
 
+    # Filter-Boruvka + adaptive-schedule observability (boruvka_metrics,
+    # written by write_profile_json when any rank recorded them).
+    bm = doc.get("boruvka_metrics", {})
+    bm_counters = bm.get("counters", {})
+    bm_gauges = bm.get("gauges", {})
+    filter_rows = []
+    if bm_gauges.get("boruvka.filter.enabled", 0.0):
+        scanned = int(bm_counters.get("boruvka.filter.scanned_edges", 0))
+        dropped = int(bm_counters.get("boruvka.filter.dropped_edges", 0))
+        filter_rows = [
+            ("scanned edges", str(scanned)),
+            ("sampled edges",
+             str(int(bm_counters.get("boruvka.filter.sampled_edges", 0)))),
+            ("sample-MSF edges",
+             str(int(bm_counters.get("boruvka.filter.msf_edges", 0)))),
+            ("dropped edges",
+             f"{dropped} ({pct(dropped, scanned)})" if scanned else "0"),
+            ("survival rate",
+             f"{float(bm_gauges.get('boruvka.filter.survival_rate', 1.0)):.4f}"),
+        ]
+    schedule_rows = []
+    sched_levels = {}
+    for name, value in bm_gauges.items():
+        m = re.match(r"boruvka\.schedule\.level\.(\d+)\.(group_size|ring_cap)",
+                     name)
+        if m:
+            sched_levels.setdefault(int(m.group(1)), {})[m.group(2)] = value
+    for lv in sorted(sched_levels):
+        row = sched_levels[lv]
+        schedule_rows.append((str(lv),
+                              str(int(row.get("group_size", 0))),
+                              str(int(row.get("ring_cap", 0)))))
+    schedule_adaptive = bool(bm_gauges.get("boruvka.schedule.adaptive", 0.0))
+
     attributed = float(cp.get("attributed_seconds", sum(r[1] for r in
                                                         cat_rows)))
     return {
@@ -292,6 +327,9 @@ def build_report(doc: dict) -> dict:
         "imbalance": imb,
         "rank_rows": rank_rows,
         "hist_rows": hist_rows,
+        "filter_rows": filter_rows,
+        "schedule_rows": schedule_rows,
+        "schedule_adaptive": schedule_adaptive,
     }
 
 
@@ -362,6 +400,23 @@ def render_markdown(rep: dict) -> str:
                 [[str(r), fmt_s(f), fmt_s(w)]
                  for r, f, w in rep["rank_rows"]]))
             parts.append("")
+
+    if rep["filter_rows"]:
+        parts.append("## F-lightness filter (filter-Boruvka)")
+        parts.append("")
+        parts.append(md_table(
+            ["quantity", "value"],
+            [[n, v] for n, v in rep["filter_rows"]]))
+        parts.append("")
+
+    if rep["schedule_rows"]:
+        mode = "adaptive" if rep["schedule_adaptive"] else "fixed"
+        parts.append(f"## Merge schedule ({mode})")
+        parts.append("")
+        parts.append(md_table(
+            ["level", "group size", "ring-round cap"],
+            [list(r) for r in rep["schedule_rows"]]))
+        parts.append("")
 
     if rep["hist_rows"]:
         parts.append("## Latency percentiles (virtual seconds)")
@@ -435,6 +490,17 @@ def render_html(rep: dict) -> str:
                 table(["rank", "finish", "wait"],
                       [[r, fmt_s(f), fmt_s(w)]
                        for r, f, w in rep["rank_rows"]])]
+    if rep["filter_rows"]:
+        out += ["<h2>F-lightness filter (filter-Boruvka)</h2>",
+                table(["quantity", "value"],
+                      [[html.escape(n), html.escape(v)]
+                       for n, v in rep["filter_rows"]])]
+    if rep["schedule_rows"]:
+        mode = "adaptive" if rep["schedule_adaptive"] else "fixed"
+        out += [f"<h2>Merge schedule ({html.escape(mode)})</h2>",
+                table(["level", "group size", "ring-round cap"],
+                      [[html.escape(c) for c in r]
+                       for r in rep["schedule_rows"]])]
     if rep["hist_rows"]:
         out += ["<h2>Latency percentiles (virtual seconds)</h2>",
                 table(["metric", "count", "p50", "p95", "p99", "max"],
