@@ -1,8 +1,29 @@
 // Command-line driver: run MND-MST on a graph file.
 //
 //   mnd_mst_cli <graph-file|rmat:SCALE,EDGES,SEED> [options]
+//   mnd_mst_cli graph <info|convert> ...          graph-file tooling
 //
-//   --format text|dimacs|mtx|binary   input format (default: by extension)
+// The `graph` subcommand works with graph files without running MST
+// (docs/GRAPH_FORMAT.md describes the .mndg binary format byte by byte):
+//
+//   graph info <file.mndg>            print header + chunk-index summary
+//   graph convert <in> <out>          convert between formats; the output
+//                                     format follows <out>'s extension
+//                                     (.mndg binary chunked, .mtx, .gr
+//                                     dimacs, else text). Reads any input
+//                                     load() understands, including
+//                                     rmat: specs — so this is also how a
+//                                     graph is *saved* to .mndg — and
+//                                     .mndg itself, which *loads* one back
+//                                     out to an editable text form.
+//     --format F                      input format override (as below)
+//     --chunk-edges N                 edges per .mndg chunk (default 2^20)
+//     --random-weights SEED           re-draw weights before writing
+//
+// Run options:
+//
+//   --format text|dimacs|mtx|binary|mndg  input format (default: by
+//                                     extension; .mndg streams, see below)
 //   --nodes N                         simulated nodes (default 4)
 //   --group G                         hierarchical-merge group size (4)
 //   --threads N                       shared-memory threads per rank for
@@ -58,6 +79,23 @@
 //                                     detect=SECONDS. The forest is
 //                                     unchanged for any plan that leaves
 //                                     one surviving rank.
+//   --stream                          stream a .mndg input chunk by chunk
+//                                     into per-rank CSR shards instead of
+//                                     materializing the global edge list
+//                                     (docs/INGESTION.md). The forest
+//                                     edge-id set is identical to the
+//                                     materialized run. Requires a .mndg
+//                                     input; --out needs the edge list and
+//                                     is rejected
+//   --mem-budget BYTES                with --stream: peak ingest bytes any
+//                                     one rank may reach; exceeding it
+//                                     fails the load (0 = unlimited)
+//   --partition degree|hash           vertex-to-rank assignment (default:
+//                                     MND_PARTITION, else degree). hash
+//                                     scatters hub vertices through the
+//                                     reversible bucket permutation before
+//                                     the contiguous cut; the forest
+//                                     edge-id set is identical either way
 //
 // Options accept both "--flag VALUE" and "--flag=VALUE". The pseudo-path
 // "rmat:SCALE,EDGES,SEED" generates a 2^SCALE-vertex R-MAT graph instead of
@@ -65,6 +103,7 @@
 //
 // Example:
 //   ./mnd_mst_cli rmat:14,131072,1 --nodes 8 --gpu --trace-out trace.json
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -74,6 +113,7 @@
 
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "graph/mndg.hpp"
 #include "graph/reference_mst.hpp"
 #include "mst/mnd_mst.hpp"
 #include "obs/export.hpp"
@@ -111,24 +151,121 @@ graph::EdgeList load(const std::string& path, std::string format) {
       format = "dimacs";
     } else if (ext == ".bin" || ext == ".mnd") {
       format = "binary";
+    } else if (ext == ".mndg") {
+      format = "mndg";
     } else {
       format = "text";
     }
   }
   if (format == "mtx") return graph::read_matrix_market_file(path);
   if (format == "binary") return graph::read_binary_file(path);
-  if (format == "dimacs") {
-    std::ifstream in(path);
-    MND_CHECK_MSG(in.good(), "cannot open " << path);
-    return graph::read_dimacs(in);
-  }
+  if (format == "mndg") return graph::read_mndg_file(path);
+  if (format == "dimacs") return graph::read_dimacs_file(path);
   return graph::read_edge_list_text_file(path);
+}
+
+/// `mnd_mst_cli graph ...`: graph-file tooling that never runs MST.
+int graph_tool_usage() {
+  std::fprintf(stderr,
+               "usage: mnd_mst_cli graph info <file.mndg>\n"
+               "       mnd_mst_cli graph convert <in> <out> "
+               "[--format F] [--chunk-edges N]\n"
+               "                                 [--random-weights SEED]\n"
+               "output format follows <out>'s extension: .mndg chunked "
+               "binary, .mtx, .gr\n"
+               "dimacs, else whitespace text (docs/GRAPH_FORMAT.md)\n");
+  return 2;
+}
+
+int graph_tool(const std::vector<std::string>& args) {
+  if (args.empty()) return graph_tool_usage();
+  const std::string& cmd = args[0];
+
+  if (cmd == "info") {
+    if (args.size() != 2) return graph_tool_usage();
+    auto in = graph::open_graph_input(args[1]);
+    const graph::MndgHeader h = graph::read_mndg_header(*in);
+    std::uint64_t payload = 0;
+    std::uint64_t max_chunk = 0;
+    for (const graph::MndgChunkInfo& c : h.chunks) {
+      payload += c.byte_size;
+      max_chunk = std::max(max_chunk, c.byte_size);
+    }
+    std::printf("%s: mndg v%u, %u vertices, %llu edges\n", args[1].c_str(),
+                h.version, h.num_vertices,
+                static_cast<unsigned long long>(h.num_edges));
+    std::printf("  %zu chunk(s), %llu payload bytes, largest chunk %llu "
+                "bytes\n",
+                h.chunks.size(), static_cast<unsigned long long>(payload),
+                static_cast<unsigned long long>(max_chunk));
+    if (h.num_edges > 0) {
+      std::printf("  %.2f bytes/edge encoded (vs %zu raw)\n",
+                  static_cast<double>(payload) /
+                      static_cast<double>(h.num_edges),
+                  sizeof(graph::WeightedEdge));
+    }
+    return 0;
+  }
+
+  if (cmd == "convert") {
+    if (args.size() < 3) return graph_tool_usage();
+    const std::string& in_path = args[1];
+    const std::string& out_path = args[2];
+    std::string format;
+    std::size_t chunk_edges = 0;  // 0: write_mndg_file default
+    bool randomize = false;
+    std::uint64_t weight_seed = 0;
+    for (std::size_t i = 3; i < args.size(); ++i) {
+      const std::string& arg = args[i];
+      auto next = [&]() -> const char* {
+        if (i + 1 >= args.size()) {
+          std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+          std::exit(graph_tool_usage());
+        }
+        return args[++i].c_str();
+      };
+      if (arg == "--format") {
+        format = next();
+      } else if (arg == "--chunk-edges") {
+        chunk_edges = static_cast<std::size_t>(std::atoll(next()));
+      } else if (arg == "--random-weights") {
+        randomize = true;
+        weight_seed = static_cast<std::uint64_t>(std::atoll(next()));
+      } else {
+        std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+        return graph_tool_usage();
+      }
+    }
+    graph::EdgeList el = load(in_path, format);
+    if (randomize) el.randomize_weights(weight_seed, 1, 1'000'000);
+    const auto dot = out_path.rfind('.');
+    const std::string ext =
+        dot == std::string::npos ? "" : out_path.substr(dot);
+    if (ext == ".mndg") {
+      graph::write_mndg_file(el, out_path, chunk_edges);
+    } else {
+      auto out = graph::open_graph_output(out_path);
+      if (ext == ".mtx") {
+        graph::write_matrix_market(el, *out);
+      } else if (ext == ".gr" || ext == ".dimacs") {
+        graph::write_dimacs(el, *out);
+      } else {
+        graph::write_edge_list_text(el, *out);
+      }
+    }
+    std::printf("wrote %s: %u vertices, %zu edges\n", out_path.c_str(),
+                el.num_vertices(), el.num_edges());
+    return 0;
+  }
+
+  std::fprintf(stderr, "unknown graph subcommand: %s\n", cmd.c_str());
+  return graph_tool_usage();
 }
 
 int usage() {
   std::fprintf(stderr,
                "usage: mnd_mst_cli <graph-file|rmat:SCALE,EDGES,SEED>\n"
-               "                   [--format text|dimacs|mtx|binary] "
+               "                   [--format text|dimacs|mtx|binary|mndg] "
                "[--nodes N]\n"
                "                   [--group G] [--threads N] [--gpu] "
                "[--random-weights SEED]\n"
@@ -140,7 +277,13 @@ int usage() {
                "                   [--filter on|off|RATE] "
                "[--schedule fixed|adaptive]\n"
                "                   [--faults SPEC]   (e.g. "
-               "--faults seed=7,drop=0.01,crash=2@1)\n");
+               "--faults seed=7,drop=0.01,crash=2@1)\n"
+               "                   [--stream] [--mem-budget BYTES] "
+               "[--partition degree|hash]\n"
+               "       mnd_mst_cli graph <info|convert> ...   "
+               "(graph-file tooling;\n"
+               "                   convert takes [--format F] "
+               "[--chunk-edges N] [--random-weights SEED])\n");
   return 2;
 }
 
@@ -149,6 +292,14 @@ int usage() {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string path = argv[1];
+  if (path == "graph") {
+    try {
+      return graph_tool(std::vector<std::string>(argv + 2, argv + argc));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "graph tool failed: %s\n", e.what());
+      return 1;
+    }
+  }
   std::string format;
   std::string out_path;
   std::string trace_path;
@@ -157,6 +308,7 @@ int main(int argc, char** argv) {
   mst::MndMstOptions options;
   bool validate = false;
   bool randomize = false;
+  bool stream = false;
   std::uint64_t weight_seed = 0;
 
   // Split "--flag=VALUE" into "--flag" "VALUE" so both styles work.
@@ -251,6 +403,21 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--faults") {
       options.faults = sim::FaultPlan::parse(next());
+    } else if (arg == "--stream") {
+      stream = true;
+    } else if (arg == "--mem-budget") {
+      options.mem_budget = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--partition") {
+      const std::string mode = next();
+      if (mode == "degree") {
+        options.partition = hypar::PartitionScheme::kDegree;
+      } else if (mode == "hash") {
+        options.partition = hypar::PartitionScheme::kHash;
+      } else {
+        std::fprintf(stderr, "--partition must be degree or hash, got %s\n",
+                     mode.c_str());
+        return usage();
+      }
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return usage();
@@ -260,18 +427,50 @@ int main(int argc, char** argv) {
   options.validate = validate;
   if (!options.faults.active()) options.faults = sim::FaultPlan::from_env();
 
-  graph::EdgeList el;
-  try {
-    el = load(path, format);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "failed to load %s: %s\n", path.c_str(), e.what());
-    return 1;
+  if (stream && (randomize || !out_path.empty())) {
+    std::fprintf(stderr, "--stream never materializes the edge list; "
+                         "--random-weights and --out need it (convert the "
+                         "graph instead: mnd_mst_cli graph convert)\n");
+    return usage();
   }
-  if (randomize) el.randomize_weights(weight_seed, 1, 1'000'000);
-  std::printf("loaded %s: %u vertices, %zu edges\n", path.c_str(),
-              el.num_vertices(), el.num_edges());
 
-  const auto report = mst::run_mnd_mst(el, options);
+  graph::EdgeList el;
+  mst::MndMstReport report;
+  if (stream) {
+    try {
+      auto in = graph::open_graph_input(path);
+      report = mst::run_mnd_mst_streamed(*in, options);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "streamed run on %s failed: %s\n", path.c_str(),
+                   e.what());
+      return 1;
+    }
+    std::printf("streamed %s (%s partition): %llu payload bytes in %llu "
+                "chunk(s)\n",
+                path.c_str(),
+                hypar::partition_scheme_name(report.ingest.scheme),
+                static_cast<unsigned long long>(report.ingest.file_bytes),
+                static_cast<unsigned long long>(report.ingest.file_chunks));
+    std::printf("ingest: peak %zu bytes/rank (shared %zu) | balance "
+                "arcs %.3f vertices %.3f | %.6fs virtual read\n",
+                report.ingest.peak_rank_bytes,
+                report.ingest.shared_peak_bytes,
+                report.ingest.balance.arc_imbalance,
+                report.ingest.balance.vertex_imbalance,
+                report.ingest.read_seconds);
+  } else {
+    try {
+      el = load(path, format);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "failed to load %s: %s\n", path.c_str(),
+                   e.what());
+      return 1;
+    }
+    if (randomize) el.randomize_weights(weight_seed, 1, 1'000'000);
+    std::printf("loaded %s: %u vertices, %zu edges\n", path.c_str(),
+                el.num_vertices(), el.num_edges());
+    report = mst::run_mnd_mst(el, options);
+  }
   std::printf("forest: %zu edges, weight %llu, %zu component(s)\n",
               report.forest.edges.size(),
               static_cast<unsigned long long>(report.forest.total_weight),
@@ -327,14 +526,22 @@ int main(int argc, char** argv) {
       }
       return 1;
     }
-    const auto v = graph::validate_spanning_forest(el, report.forest.edges);
-    if (!v.ok) {
-      std::printf("VALIDATION FAILED: %s\n", v.error.c_str());
-      return 1;
+    if (stream) {
+      // The exact-Kruskal cross-check needs the materialized edge list.
+      std::printf("validated: %zu invariant check(s) passed (streamed run: "
+                  "exact-Kruskal cross-check skipped)\n",
+                  report.validation.checks_run());
+    } else {
+      const auto v =
+          graph::validate_spanning_forest(el, report.forest.edges);
+      if (!v.ok) {
+        std::printf("VALIDATION FAILED: %s\n", v.error.c_str());
+        return 1;
+      }
+      std::printf("validated: %zu invariant check(s) passed, forest "
+                  "matches exact Kruskal\n",
+                  report.validation.checks_run());
     }
-    std::printf("validated: %zu invariant check(s) passed, forest matches "
-                "exact Kruskal\n",
-                report.validation.checks_run());
   }
   if (!out_path.empty()) {
     std::ofstream out(out_path);

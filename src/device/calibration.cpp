@@ -21,12 +21,22 @@ KernelWork boruvka_pass_work(std::size_t vertices, std::size_t edges,
   return w;
 }
 
-CalibrationResult calibrate_split(const graph::Csr& g, const CpuDevice& cpu,
-                                  const GpuDevice& gpu,
-                                  const CalibrationOptions& opts) {
+namespace {
+
+/// Shared calibration core: samples vertices uniformly from [lo, hi) and
+/// prices induced subgraphs through `adjacency`. The memory-bound inputs
+/// are passed separately so the shard path can use global counts while
+/// sampling only owned rows.
+template <typename AdjFn>
+CalibrationResult calibrate_core(graph::VertexId lo, graph::VertexId hi,
+                                 std::size_t mem_arcs,
+                                 graph::VertexId mem_vertices,
+                                 AdjFn&& adjacency, const CpuDevice& cpu,
+                                 const GpuDevice& gpu,
+                                 const CalibrationOptions& opts) {
   MND_CHECK(opts.num_subgraphs >= 1);
   MND_CHECK(opts.vertex_fraction > 0.0 && opts.vertex_fraction <= 1.0);
-  const graph::VertexId n = g.num_vertices();
+  const graph::VertexId n = hi - lo;
   CalibrationResult out;
   if (n == 0) {
     out.gpu_share = 0.0;
@@ -43,13 +53,13 @@ CalibrationResult calibrate_split(const graph::Csr& g, const CpuDevice& cpu,
     // Random induced subgraph: sample vertices, count the edges among them.
     FlatHashSet<graph::VertexId> chosen(sample_size);
     while (chosen.size() < sample_size) {
-      chosen.insert(static_cast<graph::VertexId>(rng.next_below(n)));
+      chosen.insert(lo + static_cast<graph::VertexId>(rng.next_below(n)));
     }
     std::size_t sub_edges = 0;
     std::size_t sub_max_degree = 0;
     chosen.for_each([&](graph::VertexId v) {
       std::size_t deg = 0;
-      for (const auto& arc : g.adjacency(v)) {
+      for (const auto& arc : adjacency(v)) {
         if (chosen.contains(arc.to)) {
           ++deg;
           if (v < arc.to) ++sub_edges;
@@ -92,8 +102,8 @@ CalibrationResult calibrate_split(const graph::Csr& g, const CpuDevice& cpu,
   // fit in device memory with slack for worklists.
   if (gpu.memory_bytes() != kUnlimitedMemory) {
     const double graph_bytes =
-        static_cast<double>(g.num_arcs()) * 16.0 +
-        static_cast<double>(n) * 8.0;
+        static_cast<double>(mem_arcs) * 16.0 +
+        static_cast<double>(mem_vertices) * 8.0;
     const double budget = static_cast<double>(gpu.memory_bytes()) * 0.8;
     if (graph_bytes > 0.0) {
       out.gpu_share = std::min(out.gpu_share, budget / graph_bytes);
@@ -101,6 +111,27 @@ CalibrationResult calibrate_split(const graph::Csr& g, const CpuDevice& cpu,
   }
   out.gpu_share = std::clamp(out.gpu_share, 0.0, 0.95);
   return out;
+}
+
+}  // namespace
+
+CalibrationResult calibrate_split(const graph::Csr& g, const CpuDevice& cpu,
+                                  const GpuDevice& gpu,
+                                  const CalibrationOptions& opts) {
+  return calibrate_core(
+      0, g.num_vertices(), g.num_arcs(), g.num_vertices(),
+      [&g](graph::VertexId v) { return g.adjacency(v); }, cpu, gpu, opts);
+}
+
+CalibrationResult calibrate_split(const graph::CsrShard& shard,
+                                  std::size_t global_arcs,
+                                  graph::VertexId global_vertices,
+                                  const CpuDevice& cpu, const GpuDevice& gpu,
+                                  const CalibrationOptions& opts) {
+  return calibrate_core(
+      shard.lo(), shard.hi(), global_arcs, global_vertices,
+      [&shard](graph::VertexId v) { return shard.adjacency(v); }, cpu, gpu,
+      opts);
 }
 
 }  // namespace mnd::device

@@ -11,6 +11,7 @@
 
 #include "device/device.hpp"
 #include "graph/csr.hpp"
+#include "graph/csr_shard.hpp"
 
 namespace mnd::device {
 
@@ -35,6 +36,16 @@ struct CalibrationResult {
 /// capped so the GPU partition (CSR bytes) fits in device memory.
 CalibrationResult calibrate_split(const graph::Csr& g, const CpuDevice& cpu,
                                   const GpuDevice& gpu,
+                                  const CalibrationOptions& opts = {});
+
+/// Streamed-loading variant: the rank holds only its own CSR shard, so
+/// subgraphs are sampled from the owned rows (the arcs the node's devices
+/// will actually split). The GPU memory bound still uses the global
+/// counts, passed in from the loader's header.
+CalibrationResult calibrate_split(const graph::CsrShard& shard,
+                                  std::size_t global_arcs,
+                                  graph::VertexId global_vertices,
+                                  const CpuDevice& cpu, const GpuDevice& gpu,
                                   const CalibrationOptions& opts = {});
 
 /// Prices one data-driven Boruvka-style pass over an induced subgraph with

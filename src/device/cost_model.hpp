@@ -16,6 +16,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 
 namespace mnd::device {
 
@@ -169,6 +170,32 @@ struct GpuModel {
     GpuModel m = *this;
     m.launch_overhead /= data_scale;
     m.saturation_items /= data_scale;
+    return m;
+  }
+};
+
+/// Storage ingest lane for streamed graph loading (the paper's Gemini-style
+/// chunked parallel read). Sequential chunk reads run at NVMe-class
+/// bandwidth; each chunk additionally pays a fixed issue/seek cost, and
+/// decode work is priced separately through CpuModel::stream_bytes. Used
+/// by run_mnd_mst_streamed to report ingest virtual time alongside the
+/// solve phases.
+struct IoModel {
+  double seconds_per_byte = 1.0 / 2.0e9;  // ~2 GB/s sustained sequential
+  double per_chunk_seconds = 50.0e-6;     // request issue + seek
+
+  double read_seconds(std::uint64_t bytes, std::uint64_t chunks) const {
+    return static_cast<double>(bytes) * seconds_per_byte +
+           static_cast<double>(chunks) * per_chunk_seconds;
+  }
+
+  static IoModel datacenter_nvme() { return IoModel{}; }
+  /// 2012-era cluster node storage (the paper's AMD cluster): spinning or
+  /// early-SATA-SSD local disks.
+  static IoModel sata_hdd() {
+    IoModel m;
+    m.seconds_per_byte = 1.0 / 150.0e6;
+    m.per_chunk_seconds = 8.0e-3;
     return m;
   }
 };

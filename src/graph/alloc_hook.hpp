@@ -1,0 +1,135 @@
+// Allocation accounting for graph ingestion.
+//
+// The ingestion layer's contract — "streamed loading never materializes
+// the global edge list" — is only testable if every buffer the loaders
+// allocate is charged somewhere. IngestAccounting is that somewhere: the
+// loaders charge each vector they grow (shared structures once, per-rank
+// structures against the owning rank), the tracker folds shared + own
+// into an *effective* per-rank footprint, and an optional budget turns
+// "fits in memory" into an enforced invariant (exceeding it throws, the
+// same discipline as sim::MemTracker inside the cluster). BENCH_pr9.json
+// gates on the peaks reported here.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace mnd::graph {
+
+/// Byte accounting for one load. Bucket -1 ("shared") models structures
+/// every rank holds a copy of after the collective degree exchange (the
+/// offsets array, the in-flight chunk buffer); buckets [0, ranks) model
+/// structures only the owner rank holds (its CSR shard). The effective
+/// footprint of rank r is shared + own(r), and the budget — when set —
+/// bounds that sum at every charge.
+class IngestAccounting {
+ public:
+  static constexpr int kShared = -1;
+
+  explicit IngestAccounting(int ranks, std::size_t per_rank_budget = 0)
+      : budget_(per_rank_budget),
+        used_(static_cast<std::size_t>(ranks), 0),
+        peak_(static_cast<std::size_t>(ranks), 0) {
+    MND_CHECK(ranks >= 1);
+  }
+
+  int ranks() const { return static_cast<int>(used_.size()); }
+  std::size_t budget() const { return budget_; }
+
+  void charge(int rank, std::size_t bytes) {
+    if (rank == kShared) {
+      shared_used_ += bytes;
+      shared_peak_ = std::max(shared_peak_, shared_used_);
+      for (std::size_t r = 0; r < used_.size(); ++r) {
+        note_peak(r);
+        check_budget(static_cast<int>(r));
+      }
+      return;
+    }
+    auto& u = used_[checked(rank)];
+    u += bytes;
+    note_peak(static_cast<std::size_t>(rank));
+    check_budget(rank);
+  }
+
+  void release(int rank, std::size_t bytes) {
+    if (rank == kShared) {
+      MND_CHECK_MSG(bytes <= shared_used_,
+                    "releasing more shared ingest bytes than charged");
+      shared_used_ -= bytes;
+      return;
+    }
+    auto& u = used_[checked(rank)];
+    MND_CHECK_MSG(bytes <= u, "releasing more ingest bytes than rank "
+                                  << rank << " charged");
+    u -= bytes;
+  }
+
+  std::size_t shared_used() const { return shared_used_; }
+  std::size_t shared_peak() const { return shared_peak_; }
+  std::size_t used(int rank) const { return used_[checked(rank)]; }
+
+  /// Peak *effective* bytes of `rank`: its own structures plus the shared
+  /// ones, tracked at every charge (not a post-hoc sum of two peaks).
+  std::size_t peak(int rank) const { return peak_[checked(rank)]; }
+
+  /// Largest effective per-rank peak — the number a real node's RAM must
+  /// cover, and the number --mem-budget bounds.
+  std::size_t max_peak() const {
+    std::size_t m = 0;
+    for (const std::size_t p : peak_) m = std::max(m, p);
+    return m;
+  }
+
+ private:
+  std::size_t checked(int rank) const {
+    MND_CHECK_MSG(rank >= 0 && rank < ranks(),
+                  "ingest accounting rank " << rank << " out of range");
+    return static_cast<std::size_t>(rank);
+  }
+
+  void note_peak(std::size_t r) {
+    peak_[r] = std::max(peak_[r], shared_used_ + used_[r]);
+  }
+
+  void check_budget(int rank) {
+    if (budget_ == 0) return;
+    const std::size_t eff = shared_used_ + used_[static_cast<std::size_t>(rank)];
+    MND_CHECK_MSG(eff <= budget_,
+                  "ingest memory budget exceeded on rank "
+                      << rank << ": " << eff << " of " << budget_
+                      << " bytes (raise --mem-budget or shrink the input)");
+  }
+
+  std::size_t budget_ = 0;  // 0 = unlimited
+  std::size_t shared_used_ = 0;
+  std::size_t shared_peak_ = 0;
+  std::vector<std::size_t> used_;
+  std::vector<std::size_t> peak_;
+};
+
+/// RAII charge against one bucket of an IngestAccounting; releases on
+/// scope exit. Null accounting is a no-op so un-instrumented loads don't
+/// pay for the bookkeeping.
+class ScopedIngestCharge {
+ public:
+  ScopedIngestCharge(IngestAccounting* acct, int rank, std::size_t bytes)
+      : acct_(acct), rank_(rank), bytes_(bytes) {
+    if (acct_ != nullptr) acct_->charge(rank_, bytes_);
+  }
+  ~ScopedIngestCharge() {
+    if (acct_ != nullptr) acct_->release(rank_, bytes_);
+  }
+  ScopedIngestCharge(const ScopedIngestCharge&) = delete;
+  ScopedIngestCharge& operator=(const ScopedIngestCharge&) = delete;
+
+ private:
+  IngestAccounting* acct_;
+  int rank_;
+  std::size_t bytes_;
+};
+
+}  // namespace mnd::graph

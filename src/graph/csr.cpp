@@ -9,11 +9,7 @@
 namespace mnd::graph {
 namespace {
 
-bool arc_order(const Csr::Arc& a, const Csr::Arc& b) {
-  if (a.to != b.to) return a.to < b.to;
-  if (a.w != b.w) return a.w < b.w;
-  return a.id < b.id;
-}
+constexpr auto arc_order = Csr::arc_less;
 
 }  // namespace
 

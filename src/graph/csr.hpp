@@ -56,6 +56,15 @@ class Csr {
   /// O(1): the builder records one canonical arc position per edge id.
   WeightedEdge edge(EdgeId id) const;
 
+  /// THE adjacency order: (to, w, id). Every CSR-shaped structure (this
+  /// class, the streamed CsrShard) sorts each adjacency with it so layouts
+  /// agree bit-for-bit regardless of how the arcs arrived.
+  static bool arc_less(const Arc& a, const Arc& b) {
+    if (a.to != b.to) return a.to < b.to;
+    if (a.w != b.w) return a.w < b.w;
+    return a.id < b.id;
+  }
+
  private:
   std::vector<std::size_t> offsets_;  // size V+1
   std::vector<Arc> arcs_;             // size 2E

@@ -1,0 +1,118 @@
+// Per-rank CSR shard: the adjacency rows one rank owns, and nothing else.
+//
+// The streamed loader builds one of these per rank directly from edge
+// chunks — the global edge list and global arc array never exist. For any
+// owned vertex, adjacency()/degree() return exactly what the global
+// Csr would: same arcs, same (to, w, id) order, same edge ids. That
+// equivalence (asserted in tests) is what lets the engine run off shards
+// and still produce forests byte-identical to materialized runs.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+#include "util/check.hpp"
+
+namespace mnd::graph {
+
+class CsrShard {
+ public:
+  CsrShard() = default;
+
+  /// Exact-size construction for rows [lo, hi) from the global offsets
+  /// array (size V+1, self-loop-free arc counts — the same array
+  /// Csr::from_edge_list builds). No growth reallocations happen after
+  /// this, so a single up-front accounting charge covers the fill.
+  CsrShard(VertexId lo, VertexId hi,
+           std::span<const std::size_t> global_offsets)
+      : lo_(lo), hi_(hi) {
+    MND_CHECK_MSG(lo <= hi && hi < global_offsets.size(),
+                  "shard rows [" << lo << ", " << hi << ") outside offsets");
+    const std::size_t base = global_offsets[lo];
+    offsets_.resize(static_cast<std::size_t>(hi - lo) + 1);
+    for (std::size_t i = 0; i < offsets_.size(); ++i) {
+      offsets_[i] = global_offsets[lo + i] - base;
+    }
+    arcs_.resize(offsets_.back());
+    cursor_.assign(offsets_.begin(), offsets_.end() - 1);
+  }
+
+  VertexId lo() const { return lo_; }
+  VertexId hi() const { return hi_; }
+  bool owns(VertexId v) const { return v >= lo_ && v < hi_; }
+  std::size_t num_rows() const { return hi_ - lo_; }
+  std::size_t num_arcs() const { return arcs_.size(); }
+
+  /// Appends one arc to owned row `v` (global id). Order of place() calls
+  /// is irrelevant: finalize() sorts every row into the canonical order.
+  void place(VertexId v, Csr::Arc a) {
+    MND_DCHECK(owns(v));
+    MND_DCHECK(!finalized_);
+    std::size_t& cur = cursor_[v - lo_];
+    MND_CHECK_MSG(cur < offsets_[v - lo_ + 1],
+                  "shard row " << v << " overfilled: degree histogram and "
+                               << "arc routing disagree");
+    arcs_[cur++] = a;
+  }
+
+  /// Verifies every slot was filled, sorts each adjacency by
+  /// Csr::arc_less, and drops the fill cursor.
+  void finalize() {
+    MND_CHECK(!finalized_);
+    for (std::size_t r = 0; r < cursor_.size(); ++r) {
+      MND_CHECK_MSG(cursor_[r] == offsets_[r + 1],
+                    "shard row " << (lo_ + r) << " underfilled ("
+                                 << (cursor_[r] - offsets_[r]) << " of "
+                                 << (offsets_[r + 1] - offsets_[r])
+                                 << " arcs)");
+    }
+    for (std::size_t r = 0; r + 1 < offsets_.size(); ++r) {
+      std::sort(arcs_.begin() + static_cast<std::ptrdiff_t>(offsets_[r]),
+                arcs_.begin() + static_cast<std::ptrdiff_t>(offsets_[r + 1]),
+                Csr::arc_less);
+    }
+    cursor_.clear();
+    cursor_.shrink_to_fit();
+    finalized_ = true;
+  }
+
+  std::span<const Csr::Arc> adjacency(VertexId v) const {
+    MND_DCHECK(owns(v) && finalized_);
+    const std::size_t r = v - lo_;
+    return std::span<const Csr::Arc>(arcs_.data() + offsets_[r],
+                                     arcs_.data() + offsets_[r + 1]);
+  }
+
+  std::size_t degree(VertexId v) const {
+    MND_DCHECK(owns(v));
+    const std::size_t r = v - lo_;
+    return offsets_[r + 1] - offsets_[r];
+  }
+
+  /// Resident bytes of the finalized shard (offsets + arcs), for the
+  /// ingestion accounting hook.
+  std::size_t resident_bytes() const {
+    return offsets_.size() * sizeof(std::size_t) +
+           arcs_.size() * sizeof(Csr::Arc);
+  }
+
+  /// Extra bytes alive only during the fill (the per-row cursor).
+  std::size_t fill_bytes() const {
+    return cursor_.size() * sizeof(std::size_t);
+  }
+
+ private:
+  VertexId lo_ = 0;
+  VertexId hi_ = 0;
+  std::vector<std::size_t> offsets_;  // rebased to offsets_[0] == 0
+  std::vector<Csr::Arc> arcs_;
+  std::vector<std::size_t> cursor_;   // next free slot per row; empty after
+                                      // finalize()
+  bool finalized_ = false;
+};
+
+}  // namespace mnd::graph

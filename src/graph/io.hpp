@@ -1,16 +1,34 @@
-// Graph file IO: whitespace text edge lists, DIMACS .gr, and a fast binary
-// format. Used by the examples so downstream users can feed real data.
+// Graph file IO: whitespace text edge lists, DIMACS .gr, Matrix Market,
+// the legacy fixed-width binary format, and the chunked .mndg format
+// (graph/mndg.hpp). Used by the examples so downstream users can feed
+// real data.
+//
+// This file is the single place in src/ that opens graph files
+// (tools/lint.py rule-8): everything else takes streams or goes through
+// open_graph_input/open_graph_output, so path handling, binary-mode
+// discipline, and open-failure errors cannot drift per call site.
 #pragma once
 
 #include <iosfwd>
+#include <memory>
 #include <string>
 
 #include "graph/edge_list.hpp"
 
 namespace mnd::graph {
 
+/// Opens `path` for binary reading/writing; throws CheckFailure (with the
+/// path) on failure. The sanctioned way to get a graph file stream
+/// outside this translation unit.
+std::unique_ptr<std::istream> open_graph_input(const std::string& path);
+std::unique_ptr<std::ostream> open_graph_output(const std::string& path);
+
 /// Text format: one edge per line, "u v w" (w optional, default 1);
-/// '#' or 'c' starts a comment line.
+/// '#' or 'c' starts a comment line. Any other content — non-numeric
+/// tokens, a missing endpoint, trailing garbage after the weight — is a
+/// hard parse error naming the line, matching the wire codec's
+/// reject-on-truncation discipline (a half-read graph must never
+/// silently become a smaller graph).
 EdgeList read_edge_list_text(std::istream& in);
 EdgeList read_edge_list_text_file(const std::string& path);
 void write_edge_list_text(const EdgeList& el, std::ostream& out);
@@ -19,6 +37,7 @@ void write_edge_list_text(const EdgeList& el, std::ostream& out);
 /// (1-indexed). Arcs are treated as undirected; duplicate (u,v)/(v,u) pairs
 /// collapse to the lighter edge.
 EdgeList read_dimacs(std::istream& in);
+EdgeList read_dimacs_file(const std::string& path);
 void write_dimacs(const EdgeList& el, std::ostream& out);
 
 /// Matrix Market coordinate format (.mtx) — the format the University of
@@ -31,10 +50,18 @@ EdgeList read_matrix_market(std::istream& in);
 EdgeList read_matrix_market_file(const std::string& path);
 void write_matrix_market(const EdgeList& el, std::ostream& out);
 
-/// Binary format: magic, counts, then packed (u,v,w) triples.
+/// Legacy binary format: magic, counts, then packed (u,v,w) triples.
+/// Superseded by .mndg (chunked, checksummed, ~4x smaller); kept so old
+/// .bin files remain loadable.
 void write_binary(const EdgeList& el, std::ostream& out);
 EdgeList read_binary(std::istream& in);
 void write_binary_file(const EdgeList& el, const std::string& path);
 EdgeList read_binary_file(const std::string& path);
+
+/// Chunked binary format (graph/mndg.hpp; spec in docs/GRAPH_FORMAT.md).
+/// `chunk_edges == 0` means kMndgDefaultChunkEdges.
+void write_mndg_file(const EdgeList& el, const std::string& path,
+                     std::size_t chunk_edges = 0);
+EdgeList read_mndg_file(const std::string& path);
 
 }  // namespace mnd::graph

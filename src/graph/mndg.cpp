@@ -1,0 +1,251 @@
+#include "graph/mndg.hpp"
+
+#include <algorithm>
+#include <array>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+#include "simcluster/message.hpp"
+#include "util/check.hpp"
+
+namespace mnd::graph {
+namespace {
+
+// Distinct from the legacy fixed-width magic ("MNDGRF01"): the PNG-style
+// tail bytes catch text-mode/newline mangling of a binary file early.
+constexpr std::array<char, 8> kMndgMagic = {'M', 'N', 'D', 'G',
+                                            '\x89', '\r', '\n', '\x1a'};
+
+// Fixed-width header fields after the magic: u16 version, u16 weight kind,
+// u32 vertices, u64 edges, u64 chunk count.
+constexpr std::size_t kFixedHeaderBytes = 2 + 2 + 4 + 8 + 8;
+constexpr std::size_t kChunkIndexBytes = 8 + 8 + 8;
+
+// Per-edge encoded size bounds: three varints of 1..10 bytes each. Used to
+// reject corrupt chunk indexes before trusting them for allocations.
+constexpr std::uint64_t kMinBytesPerEdge = 3;
+constexpr std::uint64_t kMaxBytesPerEdge = 30;
+
+/// Delta-encodes one run of edges: zigzag(u - prev_u), zigzag(v - u),
+/// varint(w). prev_u resets per chunk so chunks decode independently.
+void encode_chunk(std::span<const WeightedEdge> edges, sim::Serializer& s) {
+  s.reserve(edges.size() * 4);  // sorted common case: ~1+1+2 bytes
+  std::int64_t prev_u = 0;
+  for (const WeightedEdge& e : edges) {
+    const auto u = static_cast<std::int64_t>(e.u);
+    const auto v = static_cast<std::int64_t>(e.v);
+    s.put_varint_signed(u - prev_u);
+    s.put_varint_signed(v - u);
+    s.put_varint(e.w);
+    prev_u = u;
+  }
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const std::uint8_t b : bytes) {
+    h = (h ^ std::uint64_t{b}) * 1099511628211ULL;
+  }
+  return h;
+}
+
+void write_mndg(const EdgeList& el, std::ostream& out,
+                std::size_t chunk_edges) {
+  MND_CHECK_MSG(chunk_edges >= 1, "mndg chunks need >= 1 edge");
+  const std::span<const WeightedEdge> edges(el.edges());
+
+  // Pass 1: encode each chunk into a scratch buffer to learn its size and
+  // checksum, then discard. The writer stays O(chunk) like the reader;
+  // encoding is deterministic, so pass 2 reproduces the same bytes.
+  std::vector<MndgChunkInfo> index;
+  for (std::size_t at = 0; at < edges.size(); at += chunk_edges) {
+    const std::size_t count = std::min(chunk_edges, edges.size() - at);
+    sim::Serializer s;
+    encode_chunk(edges.subspan(at, count), s);
+    const std::vector<std::uint8_t> bytes = s.take();
+    index.push_back({count, bytes.size(), fnv1a64(bytes)});
+  }
+
+  out.write(kMndgMagic.data(), kMndgMagic.size());
+  {
+    sim::Serializer h;
+    h.put<std::uint16_t>(kMndgVersion);
+    h.put<std::uint16_t>(kMndgWeightU32);
+    h.put<std::uint32_t>(el.num_vertices());
+    h.put<std::uint64_t>(el.num_edges());
+    h.put<std::uint64_t>(index.size());
+    for (const MndgChunkInfo& c : index) {
+      h.put<std::uint64_t>(c.edge_count);
+      h.put<std::uint64_t>(c.byte_size);
+      h.put<std::uint64_t>(c.checksum);
+    }
+    const std::vector<std::uint8_t> bytes = h.take();
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+
+  // Pass 2: re-encode and emit the payloads.
+  for (std::size_t at = 0, chunk = 0; at < edges.size();
+       at += chunk_edges, ++chunk) {
+    const std::size_t count = std::min(chunk_edges, edges.size() - at);
+    sim::Serializer s;
+    encode_chunk(edges.subspan(at, count), s);
+    const std::vector<std::uint8_t> bytes = s.take();
+    MND_CHECK_MSG(bytes.size() == index[chunk].byte_size,
+                  "mndg encoder not deterministic across passes");
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+  MND_CHECK_MSG(out.good(), "mndg write failed (disk full or closed sink?)");
+}
+
+MndgHeader read_mndg_header(std::istream& in) {
+  std::array<char, 8> magic{};
+  in.read(magic.data(), magic.size());
+  MND_CHECK_MSG(in.good() && magic == kMndgMagic,
+                "not a .mndg file: bad or truncated magic");
+
+  std::vector<std::uint8_t> fixed(kFixedHeaderBytes);
+  in.read(reinterpret_cast<char*>(fixed.data()),
+          static_cast<std::streamsize>(fixed.size()));
+  MND_CHECK_MSG(in.good(), "truncated .mndg header");
+
+  MndgHeader h;
+  std::uint64_t chunk_count = 0;
+  {
+    sim::Deserializer d(fixed);
+    h.version = d.get<std::uint16_t>();
+    MND_CHECK_MSG(h.version == kMndgVersion,
+                  ".mndg version " << h.version << " not supported (reader "
+                                   << "understands version " << kMndgVersion
+                                   << ")");
+    h.weight_kind = d.get<std::uint16_t>();
+    MND_CHECK_MSG(h.weight_kind == kMndgWeightU32,
+                  ".mndg weight kind " << h.weight_kind
+                                       << " not supported (expected "
+                                       << kMndgWeightU32 << " = uint32)");
+    h.num_vertices = d.get<std::uint32_t>();
+    h.num_edges = d.get<std::uint64_t>();
+    chunk_count = d.get<std::uint64_t>();
+  }
+  MND_CHECK_MSG(chunk_count <= h.num_edges || (chunk_count == 0),
+                ".mndg chunk index larger than edge count");
+  MND_CHECK_MSG((h.num_edges == 0) == (chunk_count == 0),
+                ".mndg edge/chunk counts disagree");
+
+  std::vector<std::uint8_t> index(chunk_count * kChunkIndexBytes);
+  in.read(reinterpret_cast<char*>(index.data()),
+          static_cast<std::streamsize>(index.size()));
+  MND_CHECK_MSG(chunk_count == 0 || in.good(),
+                "truncated .mndg chunk index");
+  sim::Deserializer d(index);
+  h.chunks.reserve(chunk_count);
+  std::uint64_t edge_sum = 0;
+  for (std::uint64_t i = 0; i < chunk_count; ++i) {
+    MndgChunkInfo c;
+    c.edge_count = d.get<std::uint64_t>();
+    c.byte_size = d.get<std::uint64_t>();
+    c.checksum = d.get<std::uint64_t>();
+    MND_CHECK_MSG(c.edge_count >= 1, ".mndg chunk " << i << " is empty");
+    MND_CHECK_MSG(c.byte_size >= c.edge_count * kMinBytesPerEdge &&
+                      c.byte_size <= c.edge_count * kMaxBytesPerEdge,
+                  ".mndg chunk " << i << " byte size " << c.byte_size
+                                 << " impossible for " << c.edge_count
+                                 << " edges");
+    edge_sum += c.edge_count;
+    h.chunks.push_back(c);
+  }
+  MND_CHECK_MSG(edge_sum == h.num_edges,
+                ".mndg chunk index sums to " << edge_sum << " edges, header "
+                                             << "says " << h.num_edges);
+  return h;
+}
+
+MndgChunkCursor::MndgChunkCursor(std::istream& in, IngestAccounting* acct)
+    : in_(in), header_(read_mndg_header(in)), acct_(acct) {
+  std::size_t max_bytes = 0;
+  std::size_t max_edges = 0;
+  for (const MndgChunkInfo& c : header_.chunks) {
+    max_bytes = std::max(max_bytes, static_cast<std::size_t>(c.byte_size));
+    max_edges = std::max(max_edges, static_cast<std::size_t>(c.edge_count));
+  }
+  raw_.reserve(max_bytes);
+  decoded_.reserve(max_edges);
+  if (acct_ != nullptr) {
+    charged_bytes_ = max_bytes + max_edges * sizeof(WeightedEdge);
+    acct_->charge(IngestAccounting::kShared, charged_bytes_);
+  }
+}
+
+MndgChunkCursor::~MndgChunkCursor() {
+  if (acct_ != nullptr) {
+    acct_->release(IngestAccounting::kShared, charged_bytes_);
+  }
+}
+
+bool MndgChunkCursor::next() {
+  if (chunk_ >= header_.chunks.size()) {
+    if (chunk_ == header_.chunks.size()) {
+      // All chunks consumed: the stream must end exactly here. A file with
+      // bytes after the last indexed chunk was truncated-and-glued or has
+      // a lying index — reject it like the wire codec rejects trailing
+      // bytes.
+      const auto c = in_.peek();
+      MND_CHECK_MSG(c == std::istream::traits_type::eof(),
+                    "trailing bytes after the last .mndg chunk");
+      ++chunk_;  // run the EOF check only once
+    }
+    return false;
+  }
+
+  const MndgChunkInfo& info = header_.chunks[chunk_];
+  raw_.resize(static_cast<std::size_t>(info.byte_size));
+  in_.read(reinterpret_cast<char*>(raw_.data()),
+           static_cast<std::streamsize>(raw_.size()));
+  MND_CHECK_MSG(in_.good(),
+                "truncated .mndg chunk " << chunk_ << " (wanted "
+                                         << info.byte_size << " bytes)");
+  MND_CHECK_MSG(fnv1a64(raw_) == info.checksum,
+                ".mndg chunk " << chunk_ << " checksum mismatch");
+
+  decoded_.clear();
+  sim::Deserializer d(raw_);
+  std::int64_t prev_u = 0;
+  const auto n = static_cast<std::int64_t>(header_.num_vertices);
+  for (std::uint64_t i = 0; i < info.edge_count; ++i) {
+    const std::int64_t u = prev_u + d.get_varint_signed();
+    const std::int64_t v = u + d.get_varint_signed();
+    const std::uint64_t w = d.get_varint();
+    MND_CHECK_MSG(u >= 0 && u < n && v >= 0 && v < n,
+                  ".mndg chunk " << chunk_ << " edge " << i
+                                 << " endpoint out of range");
+    MND_CHECK_MSG(w <= std::numeric_limits<Weight>::max(),
+                  ".mndg chunk " << chunk_ << " edge " << i
+                                 << " weight overflows uint32");
+    decoded_.push_back({static_cast<VertexId>(u), static_cast<VertexId>(v),
+                        static_cast<Weight>(w), next_edge_id_ + i});
+    prev_u = u;
+  }
+  MND_CHECK_MSG(d.exhausted(), ".mndg chunk " << chunk_
+                                              << " has trailing bytes");
+  next_edge_id_ += info.edge_count;
+  ++chunk_;
+  return true;
+}
+
+EdgeList read_mndg(std::istream& in) {
+  MndgChunkCursor cursor(in);
+  EdgeList el(cursor.header().num_vertices);
+  while (cursor.next()) {
+    for (const WeightedEdge& e : cursor.edges()) {
+      const EdgeId id = el.add_edge(e.u, e.v, e.w);
+      MND_CHECK(id == e.id);
+    }
+  }
+  return el;
+}
+
+}  // namespace mnd::graph

@@ -1,0 +1,107 @@
+// .mndg — the versioned binary graph format (docs/GRAPH_FORMAT.md).
+//
+// Layout: 8-byte magic, fixed-width little-endian header (version, weight
+// kind, vertex/edge counts), a chunk index ({edge count, byte size, FNV-1a
+// checksum} per chunk), then the chunk payloads. Each chunk encodes its
+// edges with the PR5 wire primitives — zigzag-delta varints for endpoints,
+// plain varints for weights — so sorted edge lists compress to a few bytes
+// per edge while arbitrary order stays correct. Edge ids are implicit file
+// order, which is what makes a saved graph reproduce the exact (w, id)
+// tie-breaking of the run that would have loaded the original input.
+//
+// Decoders follow the wire-codec discipline: unknown magic, version, or
+// weight kind, truncation, checksum mismatch, in-chunk trailing bytes, and
+// trailing bytes after the last chunk are all hard CheckFailure errors —
+// never a silently shortened graph.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "graph/alloc_hook.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/types.hpp"
+
+namespace mnd::graph {
+
+inline constexpr std::uint16_t kMndgVersion = 1;
+/// Weight-kind codes. Only uint32 weights exist today; the field is in the
+/// header so a future float/64-bit variant bumps the code instead of
+/// silently reinterpreting bytes.
+inline constexpr std::uint16_t kMndgWeightU32 = 1;
+/// Default edges per chunk: ~1M edges keeps the in-flight decode buffer in
+/// the tens of MB while leaving enough chunks to stream billion-edge files.
+inline constexpr std::size_t kMndgDefaultChunkEdges = std::size_t{1} << 20;
+
+struct MndgChunkInfo {
+  std::uint64_t edge_count = 0;
+  std::uint64_t byte_size = 0;
+  std::uint64_t checksum = 0;  // FNV-1a 64 over the encoded chunk bytes
+};
+
+struct MndgHeader {
+  std::uint16_t version = kMndgVersion;
+  std::uint16_t weight_kind = kMndgWeightU32;
+  VertexId num_vertices = 0;
+  std::uint64_t num_edges = 0;
+  std::vector<MndgChunkInfo> chunks;
+};
+
+/// FNV-1a 64-bit over a byte span (the chunk checksum function).
+std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes);
+
+/// Writes `el` as a version-1 .mndg stream, `chunk_edges` edges per chunk.
+void write_mndg(const EdgeList& el, std::ostream& out,
+                std::size_t chunk_edges = kMndgDefaultChunkEdges);
+
+/// Reads and validates magic + header + chunk index, leaving `in`
+/// positioned at the first chunk payload. Rejects unknown versions and
+/// weight kinds, truncated headers, and indexes whose chunk sums disagree
+/// with the header counts.
+MndgHeader read_mndg_header(std::istream& in);
+
+/// Streaming chunk reader: holds ONE encoded + one decoded chunk in memory
+/// at a time, never the whole edge list. Decoded edges carry their global
+/// EdgeId (file order), so chunk consumers can route edges to owner ranks
+/// while preserving the ids a materialized load would assign.
+///
+/// When `acct` is non-null the cursor charges its two buffers (sized for
+/// the largest chunk) against the shared bucket for the cursor's lifetime.
+class MndgChunkCursor {
+ public:
+  explicit MndgChunkCursor(std::istream& in,
+                           IngestAccounting* acct = nullptr);
+  ~MndgChunkCursor();
+  MndgChunkCursor(const MndgChunkCursor&) = delete;
+  MndgChunkCursor& operator=(const MndgChunkCursor&) = delete;
+
+  const MndgHeader& header() const { return header_; }
+
+  /// Loads and decodes the next chunk; returns false once all chunks are
+  /// consumed (at which point the stream must be exactly at EOF — trailing
+  /// bytes are a hard error). Throws CheckFailure on truncation, checksum
+  /// mismatch, trailing bytes inside a chunk, or out-of-range endpoints.
+  bool next();
+
+  /// Edges of the chunk loaded by the last successful next().
+  std::span<const WeightedEdge> edges() const { return decoded_; }
+  /// Index of that chunk in header().chunks.
+  std::size_t chunk_index() const { return chunk_ - 1; }
+
+ private:
+  std::istream& in_;
+  MndgHeader header_;
+  std::size_t chunk_ = 0;      // next chunk to load
+  EdgeId next_edge_id_ = 0;    // global id of the next decoded edge
+  std::vector<std::uint8_t> raw_;
+  std::vector<WeightedEdge> decoded_;
+  IngestAccounting* acct_ = nullptr;
+  std::size_t charged_bytes_ = 0;
+};
+
+/// Fully materializes a .mndg stream (cursor under the hood).
+EdgeList read_mndg(std::istream& in);
+
+}  // namespace mnd::graph

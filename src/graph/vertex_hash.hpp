@@ -1,0 +1,77 @@
+// LA3-style reversible vertex hashing (ROADMAP item 2, SNIPPETS.md 3).
+//
+// Contiguous 1-D partitioning keeps a real-world graph's natural ordering
+// locality, but on hub-skewed inputs (R-MAT, web crawls ordered by
+// crawl-time) it concentrates the high-degree vertices in one rank's
+// range: the degree-balanced cut then gives that rank a tiny vertex range
+// (all hubs) and the tail ranks huge sparse ranges. BucketHasher permutes
+// the id space so consecutive original ids land in different buckets —
+// hubs spread uniformly across ranks — while staying *reversible*, so the
+// original ids are recoverable without storing a V-sized map.
+#pragma once
+
+#include "graph/edge_list.hpp"
+#include "graph/types.hpp"
+#include "util/check.hpp"
+
+namespace mnd::graph {
+
+/// Reversible bucket permutation over [0, n): id v maps to bucket
+/// (v mod buckets) at row (v div buckets), laid out bucket-major. The
+/// trailing n mod buckets ids (and everything when n < buckets) map to
+/// themselves so the permutation stays a bijection on exactly [0, n).
+///
+/// hash(unhash(x)) == unhash(hash(x)) == x for every x in [0, n).
+class BucketHasher {
+ public:
+  /// Identity hasher (degree-partition runs use this).
+  BucketHasher() = default;
+
+  BucketHasher(VertexId n, int buckets) : n_(n) {
+    MND_CHECK_MSG(buckets >= 1, "hasher needs >= 1 bucket");
+    buckets_ = static_cast<VertexId>(buckets);
+    height_ = buckets_ == 0 ? 0 : n_ / buckets_;
+    max_range_ = height_ * buckets_;
+  }
+
+  bool identity() const { return height_ == 0 || buckets_ <= 1; }
+  VertexId domain() const { return n_; }
+  VertexId buckets() const { return buckets_; }
+
+  VertexId hash(VertexId v) const {
+    MND_CHECK_MSG(v < n_, "hash of vertex " << v << " outside domain " << n_);
+    if (v >= max_range_ || identity()) return v;
+    const VertexId col = v % buckets_;
+    const VertexId row = v / buckets_;
+    return col * height_ + row;
+  }
+
+  VertexId unhash(VertexId v) const {
+    MND_CHECK_MSG(v < n_,
+                  "unhash of vertex " << v << " outside domain " << n_);
+    if (v >= max_range_ || identity()) return v;
+    const VertexId col = v / height_;
+    const VertexId row = v % height_;
+    return row * buckets_ + col;
+  }
+
+ private:
+  VertexId n_ = 0;
+  VertexId buckets_ = 1;
+  VertexId height_ = 0;    // rows per bucket; 0 => identity
+  VertexId max_range_ = 0; // ids >= this map to themselves
+};
+
+/// Rewrites every edge's endpoints through `h`, preserving edge order (and
+/// therefore edge ids), weights, and the vertex count. Used by the
+/// materialized hash-partition path; the streamed loader hashes on the fly
+/// instead.
+inline EdgeList relabel_by_hash(const EdgeList& el, const BucketHasher& h) {
+  EdgeList out(el.num_vertices());
+  for (const WeightedEdge& e : el.edges()) {
+    out.add_edge(h.hash(e.u), h.hash(e.v), e.w);
+  }
+  return out;
+}
+
+}  // namespace mnd::graph

@@ -556,10 +556,50 @@ ScheduleDecision decide_level_schedule(
   return ScheduleDecision::decode(&d);
 }
 
-}  // namespace
+// The engine's entire read surface over the input graph: partitioning,
+// CPU/GPU calibration, owned-row adjacency/degree, and ghost discovery.
+// One adapter over "global CSR" and "streamed shard" keeps a single
+// pipeline body — everything downstream works on the component graph and
+// never touches the input again, which is exactly why streamed loading
+// can drop the global CSR.
+struct GraphAccess {
+  const graph::Csr* csr = nullptr;
+  const StreamedShard* stream = nullptr;
 
-EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
-                        Kernel& kernel, const EngineOptions& opts) {
+  Partition1D make_partition(int p, std::size_t threads) const {
+    if (csr != nullptr) return partition_by_degree(*csr, p, threads);
+    MND_CHECK_MSG(stream->part->parts() == p,
+                  "streamed load partitioned for " << stream->part->parts()
+                                                   << " ranks, cluster has "
+                                                   << p);
+    return *stream->part;
+  }
+
+  std::span<const graph::Csr::Arc> adjacency(graph::VertexId v) const {
+    return csr != nullptr ? csr->adjacency(v) : stream->shard->adjacency(v);
+  }
+
+  std::size_t degree(graph::VertexId v) const {
+    return csr != nullptr ? csr->degree(v) : stream->shard->degree(v);
+  }
+
+  device::CalibrationResult calibrate(const device::CpuDevice& cpu,
+                                      const device::GpuDevice& gpu,
+                                      const device::CalibrationOptions& o)
+      const {
+    if (csr != nullptr) return device::calibrate_split(*csr, cpu, gpu, o);
+    return device::calibrate_split(*stream->shard, stream->total_arcs,
+                                   stream->num_vertices, cpu, gpu, o);
+  }
+
+  GhostList ghosts(const Partition1D& part, int me) const {
+    if (csr != nullptr) return build_ghost_list(*csr, part, me);
+    return build_ghost_list(*stream->shard, part, me);
+  }
+};
+
+EngineResult run_engine_impl(sim::Communicator& comm, const GraphAccess& g,
+                             Kernel& kernel, const EngineOptions& opts) {
   MND_CHECK(opts.group_size >= 2);
   MND_CHECK_MSG(opts.excp != ExcpCond::BorderEdge,
                 "EXCPT_BORDER_EDGE is provided by the API but the MST "
@@ -609,10 +649,10 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
 
   // ---- partGraph (§3.1, §4.3.1) -------------------------------------------
   obs::Span part_span(tr, "partGraph", obs::SpanCat::Phase);
-  const Partition1D part = partition_by_degree(g, p, threads);
+  const Partition1D part = g.make_partition(p, threads);
   double gpu_share = 0.0;
   if (gpu != nullptr) {
-    const auto calib = device::calibrate_split(g, cpu, *gpu, opts.calibration);
+    const auto calib = g.calibrate(cpu, *gpu, opts.calibration);
     gpu_share = calib.gpu_share;
     // The calibration subgraphs are independent, so the ranks sample them
     // in parallel and agree on the averaged ratio.
@@ -718,7 +758,7 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
 
   // ---- makeGhostInformation (§3.1) ---------------------------------------
   obs::Span ghost_span(tr, "makeGhost", obs::SpanCat::Phase);
-  const GhostList ghosts = build_ghost_list(g, part, me);
+  const GhostList ghosts = g.ghosts(part, me);
   result.trace.ghost_edges = ghosts.total_ghost_edges();
   result.trace.boundary_vertices = ghosts.num_boundary_vertices();
   exchange_boundary_vertices(comm, ghosts, opts.ghost_phase_entries, wire);
@@ -1299,6 +1339,24 @@ EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
     }
   }
   return result;
+}
+
+}  // namespace
+
+EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
+                        Kernel& kernel, const EngineOptions& opts) {
+  GraphAccess access;
+  access.csr = &g;
+  return run_engine_impl(comm, access, kernel, opts);
+}
+
+EngineResult run_engine(sim::Communicator& comm, const StreamedShard& in,
+                        Kernel& kernel, const EngineOptions& opts) {
+  MND_CHECK_MSG(in.shard != nullptr && in.part != nullptr,
+                "StreamedShard must carry a shard and its partition");
+  GraphAccess access;
+  access.stream = &in;
+  return run_engine_impl(comm, access, kernel, opts);
 }
 
 }  // namespace mnd::hypar

@@ -24,6 +24,7 @@
 #include "device/calibration.hpp"
 #include "device/device.hpp"
 #include "graph/csr.hpp"
+#include "graph/csr_shard.hpp"
 #include "hypar/partition.hpp"
 #include "hypar/runtime.hpp"
 #include "hypar/schedule.hpp"
@@ -162,6 +163,25 @@ struct EngineResult {
 /// Runs the full pipeline on the calling rank. `g` is the logical input
 /// graph (every rank reads only its own partition's rows, Gemini-style).
 EngineResult run_engine(sim::Communicator& comm, const graph::Csr& g,
+                        Kernel& kernel, const EngineOptions& opts);
+
+/// Streamed-ingestion input (hypar/stream_load.hpp): the calling rank's
+/// CSR shard plus the partition the loader cut. The global CSR never
+/// existed; partGraph adopts `part` instead of re-partitioning (the
+/// loader used the same partition_by_offsets core, so the bounds are the
+/// ones a materialized run would compute).
+struct StreamedShard {
+  const graph::CsrShard* shard = nullptr;
+  const Partition1D* part = nullptr;
+  /// Global totals from the format header (traces + GPU memory bound).
+  std::size_t total_arcs = 0;
+  graph::VertexId num_vertices = 0;
+};
+
+/// Runs the full pipeline off a streamed per-rank shard. Produces the
+/// same forest edge-id set as the materialized overload on the same
+/// input and partition — byte-identical when the partitions match.
+EngineResult run_engine(sim::Communicator& comm, const StreamedShard& in,
                         Kernel& kernel, const EngineOptions& opts);
 
 /// The Boruvka MST kernel (the paper's primary application).

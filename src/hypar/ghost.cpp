@@ -37,19 +37,40 @@ std::size_t GhostList::num_boundary_vertices() const {
   return boundary.size();
 }
 
-GhostList build_ghost_list(const graph::Csr& g, const Partition1D& part,
-                           int rank) {
+namespace {
+
+template <typename AdjFn>
+GhostList build_ghost_list_core(AdjFn&& adjacency, const Partition1D& part,
+                                int rank) {
   GhostList out;
   const graph::VertexId lo = part.begin(rank);
   const graph::VertexId hi = part.end(rank);
   for (graph::VertexId v = lo; v < hi; ++v) {
-    for (const auto& arc : g.adjacency(v)) {
+    for (const auto& arc : adjacency(v)) {
       if (arc.to >= lo && arc.to < hi) continue;
       const int owner = part.owner(arc.to);
       out.add(owner, GhostEdge{v, arc.to, arc.w, arc.id});
     }
   }
   return out;
+}
+
+}  // namespace
+
+GhostList build_ghost_list(const graph::Csr& g, const Partition1D& part,
+                           int rank) {
+  return build_ghost_list_core(
+      [&g](graph::VertexId v) { return g.adjacency(v); }, part, rank);
+}
+
+GhostList build_ghost_list(const graph::CsrShard& shard,
+                           const Partition1D& part, int rank) {
+  MND_CHECK_MSG(shard.lo() == part.begin(rank) &&
+                    shard.hi() == part.end(rank),
+                "shard rows do not match rank " << rank << "'s partition");
+  return build_ghost_list_core(
+      [&shard](graph::VertexId v) { return shard.adjacency(v); }, part,
+      rank);
 }
 
 std::size_t exchange_boundary_vertices(sim::Communicator& comm,

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "graph/csr.hpp"
+#include "graph/csr_shard.hpp"
 #include "hypar/partition.hpp"
 #include "simcluster/communicator.hpp"
 #include "util/flat_hash.hpp"
@@ -50,6 +51,12 @@ class GhostList {
 /// Scans the rank's CSR rows and builds its ghostList.
 GhostList build_ghost_list(const graph::Csr& g, const Partition1D& part,
                            int rank);
+
+/// Streamed-loading variant over the rank's CsrShard. The shard's rows
+/// must be exactly [part.begin(rank), part.end(rank)); the resulting list
+/// is identical to the global-CSR one because shard adjacencies are.
+GhostList build_ghost_list(const graph::CsrShard& shard,
+                           const Partition1D& part, int rank);
 
 /// "makeGhostInformation": ranks exchange their boundary-vertex lists with
 /// each neighbor so both sides can index each other's ghosts. Messages are

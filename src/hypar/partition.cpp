@@ -1,11 +1,36 @@
 #include "hypar/partition.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <string>
 
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mnd::hypar {
+
+PartitionScheme resolve_partition_scheme(PartitionScheme s) {
+  if (s != PartitionScheme::kDefault) return s;
+  const char* env = std::getenv("MND_PARTITION");
+  if (env == nullptr || *env == '\0') return PartitionScheme::kDegree;
+  const std::string v(env);
+  if (v == "degree") return PartitionScheme::kDegree;
+  if (v == "hash") return PartitionScheme::kHash;
+  MND_CHECK_MSG(false, "MND_PARTITION must be 'degree' or 'hash', got '"
+                           << v << "'");
+  return PartitionScheme::kDegree;  // unreachable
+}
+
+const char* partition_scheme_name(PartitionScheme s) {
+  switch (s) {
+    case PartitionScheme::kDegree:
+      return "degree";
+    case PartitionScheme::kHash:
+      return "hash";
+    default:
+      return "default";
+  }
+}
 
 Partition1D::Partition1D(std::vector<graph::VertexId> bounds)
     : bounds_(std::move(bounds)) {
@@ -31,9 +56,15 @@ int Partition1D::owner(graph::VertexId v) const {
 
 Partition1D partition_by_degree(const graph::Csr& g, int parts,
                                 std::size_t threads) {
+  return partition_by_offsets(g.offsets(), parts, threads);
+}
+
+Partition1D partition_by_offsets(std::span<const std::size_t> offsets,
+                                 int parts, std::size_t threads) {
   MND_CHECK(parts >= 1);
-  const graph::VertexId n = g.num_vertices();
-  const std::size_t total_arcs = g.num_arcs();
+  MND_CHECK_MSG(!offsets.empty(), "offsets array must have size V+1");
+  const auto n = static_cast<graph::VertexId>(offsets.size() - 1);
+  const std::size_t total_arcs = offsets.back();
   std::vector<graph::VertexId> bounds;
   bounds.reserve(static_cast<std::size_t>(parts) + 1);
   bounds.push_back(0);
@@ -51,8 +82,8 @@ Partition1D partition_by_degree(const graph::Csr& g, int parts,
   const auto find_crossing = [&](int p) {
     const std::size_t target = total_arcs * static_cast<std::size_t>(p) /
                                static_cast<std::size_t>(parts);
-    const auto first = g.offsets().begin() + 1;
-    const auto it = std::lower_bound(first, g.offsets().end(), target);
+    const auto first = offsets.begin() + 1;
+    const auto it = std::lower_bound(first, offsets.end(), target);
     return static_cast<graph::VertexId>(it - first);
   };
   if (threads <= 1) {
@@ -77,8 +108,8 @@ Partition1D partition_by_degree(const graph::Csr& g, int parts,
     // that keeps balance better.
     graph::VertexId cut = v;
     if (cut < n) {
-      const std::size_t before = g.offsets()[cut];
-      const std::size_t after = g.offsets()[cut + 1];
+      const std::size_t before = offsets[cut];
+      const std::size_t after = offsets[cut + 1];
       if (after - target < target - before) cut = v + 1;
     }
     cut = std::max(cut, bounds.back());
@@ -86,6 +117,31 @@ Partition1D partition_by_degree(const graph::Csr& g, int parts,
   }
   bounds.push_back(n);
   return Partition1D(std::move(bounds));
+}
+
+PartitionBalance measure_balance(const Partition1D& part,
+                                 std::span<const std::size_t> offsets) {
+  PartitionBalance out;
+  const int p = part.parts();
+  if (p <= 0 || offsets.empty()) return out;
+  const auto n = static_cast<double>(offsets.size() - 1);
+  const auto total_arcs = static_cast<double>(offsets.back());
+  double max_arcs = 0.0;
+  double max_vertices = 0.0;
+  for (int r = 0; r < p; ++r) {
+    const graph::VertexId lo = part.begin(r);
+    const graph::VertexId hi = part.end(r);
+    max_vertices = std::max(max_vertices, static_cast<double>(hi - lo));
+    max_arcs = std::max(max_arcs,
+                        static_cast<double>(offsets[hi] - offsets[lo]));
+  }
+  if (total_arcs > 0.0) {
+    out.arc_imbalance = max_arcs / (total_arcs / p);
+  }
+  if (n > 0.0) {
+    out.vertex_imbalance = max_vertices / (n / p);
+  }
+  return out;
 }
 
 graph::VertexId split_range_by_share(const graph::Csr& g,

@@ -7,12 +7,28 @@
 // and GPU devices according to the calibrated performance ratio.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "graph/csr.hpp"
 #include "graph/types.hpp"
 
 namespace mnd::hypar {
+
+/// Vertex-space layout ahead of the 1-D cut. kDegree keeps the input's
+/// natural vertex order (the paper's locality-preserving scheme); kHash
+/// relabels ids through the LA3-style reversible BucketHasher
+/// (graph/vertex_hash.hpp) before cutting, spreading hub-skewed orderings
+/// (R-MAT, crawl-ordered webs) across ranks. kDefault resolves through
+/// MND_PARTITION. Either way the cut itself is degree-balanced and the
+/// forest edge-id set is identical — (w, id) tie-breaking makes the MST
+/// unique, and relabeling preserves edge ids.
+enum class PartitionScheme { kDefault = 0, kDegree, kHash };
+
+/// MND_PARTITION=degree|hash; unset or empty means kDegree. Any other
+/// value is a configuration error and throws CheckFailure.
+PartitionScheme resolve_partition_scheme(PartitionScheme s);
+const char* partition_scheme_name(PartitionScheme s);
 
 class Partition1D {
  public:
@@ -37,6 +53,25 @@ class Partition1D {
 /// bounds are identical for every thread count.
 Partition1D partition_by_degree(const graph::Csr& g, int parts,
                                 std::size_t threads = 1);
+
+/// The cut itself, over a bare CSR offsets array (size V+1, cumulative
+/// self-loop-free arc counts). partition_by_degree delegates here, and the
+/// streamed loader calls it with the offsets built from its pass-1 degree
+/// histogram — one shared core guarantees streamed and materialized runs
+/// cut at identical bounds.
+Partition1D partition_by_offsets(std::span<const std::size_t> offsets,
+                                 int parts, std::size_t threads = 1);
+
+/// How uneven a cut came out: max-over-ranks divided by the per-rank mean,
+/// so 1.0 is perfect balance. Arc balance is what the cut optimizes;
+/// vertex balance is what hub-skew destroys under kDegree (one rank ends
+/// up with a sliver of hot vertices) and what kHash restores.
+struct PartitionBalance {
+  double arc_imbalance = 1.0;
+  double vertex_imbalance = 1.0;
+};
+PartitionBalance measure_balance(const Partition1D& part,
+                                 std::span<const std::size_t> offsets);
 
 /// Splits one rank's contiguous range into a CPU range and a GPU range so
 /// that the GPU side holds ~gpu_share of the range's arcs. Returns the

@@ -1,0 +1,132 @@
+#include "hypar/stream_load.hpp"
+
+#include <algorithm>
+#include <istream>
+
+#include "graph/mndg.hpp"
+#include "util/check.hpp"
+
+namespace mnd::hypar {
+
+StreamedGraph stream_load_mndg(std::istream& in,
+                               const StreamLoadOptions& opts) {
+  MND_CHECK(opts.ranks >= 1);
+  StreamedGraph sg;
+  sg.scheme = resolve_partition_scheme(opts.scheme);
+
+  graph::IngestAccounting acct(opts.ranks, opts.mem_budget);
+  const std::istream::pos_type start = in.tellg();
+
+  // ---- pass 1: degree histogram over hashed ids --------------------------
+  // Self loops are skipped exactly as Csr::from_edge_list skips them, so
+  // the offsets array — and therefore the partition cut — matches a
+  // materialized build of the same input bit-for-bit.
+  std::vector<std::size_t> offsets;
+  {
+    graph::MndgChunkCursor cursor(in, &acct);
+    const graph::MndgHeader& h = cursor.header();
+    sg.num_vertices = h.num_vertices;
+    sg.num_edges = h.num_edges;
+    sg.file_chunks = h.chunks.size();
+    for (const graph::MndgChunkInfo& c : h.chunks) {
+      sg.file_bytes += c.byte_size;
+    }
+    sg.hasher = sg.scheme == PartitionScheme::kHash
+                    ? graph::BucketHasher(h.num_vertices, opts.ranks)
+                    : graph::BucketHasher(h.num_vertices, 1);
+
+    acct.charge(graph::IngestAccounting::kShared,
+                (static_cast<std::size_t>(sg.num_vertices) + 1) *
+                    sizeof(std::size_t));
+    offsets.assign(static_cast<std::size_t>(sg.num_vertices) + 1, 0);
+    while (cursor.next()) {
+      for (const graph::WeightedEdge& e : cursor.edges()) {
+        if (e.u == e.v) continue;
+        ++offsets[sg.hasher.hash(e.u) + 1];
+        ++offsets[sg.hasher.hash(e.v) + 1];
+      }
+    }
+    for (std::size_t v = 1; v < offsets.size(); ++v) {
+      offsets[v] += offsets[v - 1];
+    }
+    sg.num_arcs = offsets.back();
+  }
+  // The chunk cursor released its buffers; the cut happens on the bare
+  // offsets array through the same core the materialized path uses.
+  sg.part = partition_by_offsets(offsets, opts.ranks, opts.threads);
+  sg.balance = measure_balance(sg.part, offsets);
+
+  // ---- pass 2: route arcs into exactly-sized per-rank shards -------------
+  in.clear();
+  in.seekg(start);
+  MND_CHECK_MSG(in.good(), "streamed load needs a seekable input (rewind "
+                           "between passes failed)");
+
+  sg.shards.reserve(static_cast<std::size_t>(opts.ranks));
+  for (int r = 0; r < opts.ranks; ++r) {
+    const graph::VertexId lo = sg.part.begin(r);
+    const graph::VertexId hi = sg.part.end(r);
+    const std::size_t rows = hi - lo;
+    const std::size_t row_arcs = offsets[hi] - offsets[lo];
+    // Charge before allocating so a budget violation fires before the
+    // memory exists.
+    acct.charge(r, (rows + 1 + rows) * sizeof(std::size_t) +
+                       row_arcs * sizeof(graph::Csr::Arc));
+    sg.shards.emplace_back(lo, hi, offsets);
+  }
+  {
+    graph::MndgChunkCursor cursor(in, &acct);
+    while (cursor.next()) {
+      for (const graph::WeightedEdge& e : cursor.edges()) {
+        if (e.u == e.v) continue;
+        const graph::VertexId u = sg.hasher.hash(e.u);
+        const graph::VertexId v = sg.hasher.hash(e.v);
+        sg.shards[static_cast<std::size_t>(sg.part.owner(u))].place(
+            u, graph::Csr::Arc{v, e.w, e.id});
+        sg.shards[static_cast<std::size_t>(sg.part.owner(v))].place(
+            v, graph::Csr::Arc{u, e.w, e.id});
+      }
+    }
+  }
+  for (int r = 0; r < opts.ranks; ++r) {
+    auto& shard = sg.shards[static_cast<std::size_t>(r)];
+    const std::size_t fill = shard.fill_bytes();
+    shard.finalize();
+    acct.release(r, fill);
+  }
+
+  sg.peak_rank_bytes = acct.max_peak();
+  sg.shared_peak_bytes = acct.shared_peak();
+  return sg;
+}
+
+std::vector<graph::WeightedEdge> collect_edges(const StreamedGraph& sg,
+                                               std::vector<graph::EdgeId> ids) {
+  std::sort(ids.begin(), ids.end());
+  MND_CHECK_MSG(std::adjacent_find(ids.begin(), ids.end()) == ids.end(),
+                "collect_edges wants distinct edge ids");
+  std::vector<graph::WeightedEdge> out;
+  out.reserve(ids.size());
+  for (const graph::CsrShard& shard : sg.shards) {
+    for (graph::VertexId v = shard.lo(); v < shard.hi(); ++v) {
+      for (const graph::Csr::Arc& arc : shard.adjacency(v)) {
+        // One canonical direction per edge; shards hold no self loops.
+        if (v > arc.to) continue;
+        if (!std::binary_search(ids.begin(), ids.end(), arc.id)) continue;
+        out.push_back(graph::WeightedEdge{sg.hasher.unhash(v),
+                                          sg.hasher.unhash(arc.to), arc.w,
+                                          arc.id});
+      }
+    }
+  }
+  MND_CHECK_MSG(out.size() == ids.size(),
+                "collect_edges found " << out.size() << " of " << ids.size()
+                                       << " requested edges");
+  std::sort(out.begin(), out.end(),
+            [](const graph::WeightedEdge& a, const graph::WeightedEdge& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+}  // namespace mnd::hypar

@@ -1,0 +1,73 @@
+// Gemini-style streamed graph ingestion (paper §partitioning; ROADMAP
+// item 2; operator guide in docs/INGESTION.md).
+//
+// Two passes over a .mndg stream, one decoded chunk resident at a time:
+//   pass 1  degree histogram (self loops skipped exactly as
+//           Csr::from_edge_list skips them) -> global offsets array ->
+//           partition_by_offsets, the same cut core the materialized path
+//           uses, so the bounds are identical;
+//   pass 2  every decoded edge is routed to the owner rank(s) of its
+//           endpoints and placed into that rank's CsrShard, pre-sized
+//           exactly from the offsets; per-rank adjacencies are then sorted
+//           into the canonical (to, w, id) order.
+// The global edge list and global arc array are never materialized; the
+// IngestAccounting hook (graph/alloc_hook.hpp) charges every buffer so a
+// per-rank --mem-budget is enforceable and the peaks are testable.
+//
+// With PartitionScheme::kHash, endpoints are relabeled through the
+// reversible BucketHasher on the fly (graph/vertex_hash.hpp); edge ids are
+// untouched, so forests remain comparable across schemes.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "graph/alloc_hook.hpp"
+#include "graph/csr_shard.hpp"
+#include "graph/types.hpp"
+#include "graph/vertex_hash.hpp"
+#include "hypar/partition.hpp"
+
+namespace mnd::hypar {
+
+struct StreamLoadOptions {
+  int ranks = 1;
+  PartitionScheme scheme = PartitionScheme::kDefault;
+  /// Peak effective bytes (shared + own) any one rank may reach during the
+  /// load; exceeding it throws CheckFailure. 0 = unlimited.
+  std::size_t mem_budget = 0;
+  /// Threads for the partition cut (bounds are thread-count invariant).
+  std::size_t threads = 1;
+};
+
+/// The loaded state: everything the engine needs, nothing it doesn't.
+struct StreamedGraph {
+  graph::VertexId num_vertices = 0;
+  std::uint64_t num_edges = 0;   // file edges, self loops included
+  std::size_t num_arcs = 0;      // 2 x non-self-loop edges
+  std::uint64_t file_bytes = 0;  // encoded payload bytes (I/O pricing)
+  std::uint64_t file_chunks = 0;
+  PartitionScheme scheme = PartitionScheme::kDegree;
+  graph::BucketHasher hasher;  // identity under kDegree
+  Partition1D part;
+  std::vector<graph::CsrShard> shards;  // one per rank, finalized
+  PartitionBalance balance;
+  /// Accounting snapshot at the end of the load; peaks cover the whole
+  /// load including transient buffers.
+  std::size_t peak_rank_bytes = 0;      // max over ranks of shared + own
+  std::size_t shared_peak_bytes = 0;
+};
+
+/// Streams a .mndg graph into per-rank CSR shards. `in` must be seekable
+/// (the loader rewinds between passes). Throws CheckFailure on any format
+/// error and on mem-budget violation.
+StreamedGraph stream_load_mndg(std::istream& in,
+                               const StreamLoadOptions& opts);
+
+/// Recovers full (u, v, w, id) records for `ids` (e.g. a forest) by
+/// scanning the shards once; endpoints are mapped back through the
+/// hasher to original vertex ids. Result is sorted by edge id.
+std::vector<graph::WeightedEdge> collect_edges(
+    const StreamedGraph& sg, std::vector<graph::EdgeId> ids);
+
+}  // namespace mnd::hypar

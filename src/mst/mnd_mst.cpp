@@ -1,8 +1,10 @@
 #include "mst/mnd_mst.hpp"
 
 #include <algorithm>
+#include <istream>
 
 #include "graph/csr.hpp"
+#include "graph/vertex_hash.hpp"
 #include "util/check.hpp"
 #include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
@@ -14,8 +16,20 @@ MndMstReport run_mnd_mst(const graph::EdgeList& input,
   MND_CHECK(opts.num_nodes >= 1);
   const std::size_t threads =
       opts.threads != 0 ? opts.threads : opts.engine.threads;
+  const hypar::PartitionScheme scheme =
+      hypar::resolve_partition_scheme(opts.partition);
+  // kHash: relabel through the reversible hasher, then cut contiguously —
+  // the same semantics the streamed loader applies on the fly. Edge ids
+  // survive the relabel, so forest ids and weights read off `input`.
+  const graph::EdgeList* graph_in = &input;
+  graph::EdgeList hashed;
+  if (scheme == hypar::PartitionScheme::kHash) {
+    hashed = graph::relabel_by_hash(
+        input, graph::BucketHasher(input.num_vertices(), opts.num_nodes));
+    graph_in = &hashed;
+  }
   const graph::Csr csr = graph::Csr::from_edge_list(
-      input, threads != 0 ? threads : default_thread_count());
+      *graph_in, threads != 0 ? threads : default_thread_count());
 
   sim::ClusterConfig config;
   config.num_ranks = opts.num_nodes;
@@ -68,6 +82,87 @@ MndMstReport run_mnd_mst(const graph::EdgeList& input,
   if (validating) {
     validate::check_forest(input, report.forest.edges, &report.validation);
   }
+
+  report.total_seconds = report.run.makespan;
+  const auto phases = report.run.max_phases();
+  report.comm_seconds = phases.get("comm");
+  report.indcomp_seconds = phases.get("indComp");
+  report.merge_seconds = phases.get("merge");
+  report.postprocess_seconds = phases.get("postProcess");
+  return report;
+}
+
+MndMstReport run_mnd_mst_streamed(std::istream& in,
+                                  const MndMstOptions& opts) {
+  MND_CHECK(opts.num_nodes >= 1);
+  const std::size_t threads =
+      opts.threads != 0 ? opts.threads : opts.engine.threads;
+
+  hypar::StreamLoadOptions sopts;
+  sopts.ranks = opts.num_nodes;
+  sopts.scheme = opts.partition;
+  sopts.mem_budget = opts.mem_budget;
+  sopts.threads = threads != 0 ? threads : default_thread_count();
+  const hypar::StreamedGraph sg = hypar::stream_load_mndg(in, sopts);
+
+  sim::ClusterConfig config;
+  config.num_ranks = opts.num_nodes;
+  config.net = opts.net;
+  config.rank_memory_bytes = opts.node_memory_bytes;
+  config.collect_traces = opts.collect_traces;
+  config.collect_metrics = opts.collect_metrics;
+  config.faults = opts.faults;
+
+  MndMstReport report;
+  report.ingest.file_bytes = sg.file_bytes;
+  report.ingest.file_chunks = sg.file_chunks;
+  report.ingest.peak_rank_bytes = sg.peak_rank_bytes;
+  report.ingest.shared_peak_bytes = sg.shared_peak_bytes;
+  report.ingest.scheme = sg.scheme;
+  report.ingest.balance = sg.balance;
+  // Every rank streams the whole file on each of the loader's two passes.
+  report.ingest.read_seconds =
+      opts.io_model.read_seconds(2 * sg.file_bytes, 2 * sg.file_chunks);
+
+  report.traces.resize(static_cast<std::size_t>(opts.num_nodes));
+  struct ResultGather {
+    Mutex mutex;
+    std::vector<graph::EdgeId> forest_edges MND_GUARDED_BY(mutex);
+  } result;
+
+  hypar::EngineOptions engine_opts = opts.engine;
+  engine_opts.group_size = std::max(2, engine_opts.group_size);
+  const bool validating =
+      validate::enabled(opts.validate || opts.engine.validate);
+  engine_opts.validate = validating;
+  if (threads != 0) engine_opts.threads = threads;
+
+  report.run = sim::run_cluster(config, [&](sim::Communicator& comm) {
+    hypar::BoruvkaKernel kernel;
+    hypar::StreamedShard input;
+    input.shard = &sg.shards[static_cast<std::size_t>(comm.rank())];
+    input.part = &sg.part;
+    input.total_arcs = sg.num_arcs;
+    input.num_vertices = sg.num_vertices;
+    hypar::EngineResult r =
+        hypar::run_engine(comm, input, kernel, engine_opts);
+    MutexLock lock(result.mutex);
+    report.traces[static_cast<std::size_t>(comm.rank())] = r.trace;
+    report.validation.merge_from(r.validation);
+    if (r.holds_forest) result.forest_edges = std::move(r.forest_edges);
+  });
+
+  {
+    MutexLock lock(result.mutex);
+    report.forest.edges = std::move(result.forest_edges);
+  }
+  // The edge list never existed; forest weights come back off the shards.
+  for (const graph::WeightedEdge& e :
+       hypar::collect_edges(sg, report.forest.edges)) {
+    report.forest.total_weight += e.w;
+  }
+  report.forest.num_components =
+      sg.num_vertices - report.forest.edges.size();
 
   report.total_seconds = report.run.makespan;
   const auto phases = report.run.max_phases();

@@ -7,11 +7,14 @@
 // evaluation uses.
 #pragma once
 
+#include <iosfwd>
 #include <vector>
 
+#include "device/cost_model.hpp"
 #include "graph/edge_list.hpp"
 #include "graph/reference_mst.hpp"
 #include "hypar/engine.hpp"
+#include "hypar/stream_load.hpp"
 #include "simcluster/cluster.hpp"
 
 namespace mnd::mst {
@@ -45,6 +48,30 @@ struct MndMstOptions {
   /// to the fault-free run for any plan that leaves one surviving rank;
   /// only virtual times and fault.* counters change.
   sim::FaultPlan faults;
+  /// Vertex-to-rank assignment scheme (CLI --partition / env
+  /// MND_PARTITION; kDefault resolves through the env, unset: degree).
+  /// kHash relabels vertices through the reversible BucketHasher before
+  /// the contiguous cut (LA3-style hub scattering). Edge ids are
+  /// untouched, so the forest edge-id set is identical across schemes.
+  hypar::PartitionScheme partition = hypar::PartitionScheme::kDefault;
+  /// Streamed path only: peak effective bytes any one rank may reach
+  /// during ingest (CLI --mem-budget); exceeding throws. 0 = unlimited.
+  std::size_t mem_budget = 0;
+  /// Streamed path only: storage model pricing ingest virtual time.
+  device::IoModel io_model = device::IoModel::sata_hdd();
+};
+
+/// Ingest measurements for the streamed path (zeros when materialized).
+struct IngestStats {
+  std::uint64_t file_bytes = 0;   // encoded .mndg payload bytes
+  std::uint64_t file_chunks = 0;
+  std::size_t peak_rank_bytes = 0;    // max over ranks, shared + own
+  std::size_t shared_peak_bytes = 0;  // buffers every rank holds
+  hypar::PartitionScheme scheme = hypar::PartitionScheme::kDegree;
+  hypar::PartitionBalance balance;
+  /// IoModel-priced virtual seconds for the two chunked read passes
+  /// (every rank streams the whole file, Gemini-style).
+  double read_seconds = 0.0;
 };
 
 struct MndMstReport {
@@ -59,6 +86,8 @@ struct MndMstReport {
 
   sim::RunReport run;  // full per-rank detail
   std::vector<hypar::RankTrace> traces;
+  /// Filled by run_mnd_mst_streamed; zeros on the materialized path.
+  IngestStats ingest;
   /// Merged validator outcomes across all ranks plus the final forest
   /// checks; empty (ok) unless validation was enabled.
   validate::Report validation;
@@ -74,5 +103,16 @@ struct MndMstReport {
 /// fixed input and options.
 MndMstReport run_mnd_mst(const graph::EdgeList& input,
                          const MndMstOptions& opts);
+
+/// Streamed-ingestion entry point: `in` is a seekable .mndg stream
+/// (docs/GRAPH_FORMAT.md). The global edge list is never materialized —
+/// per-rank CSR shards are built chunk by chunk under opts.mem_budget —
+/// and the engine runs off the shards. Produces the same forest edge-id
+/// set as run_mnd_mst on the equivalent edge list; forest weights are
+/// recovered from the shards. Final whole-forest validation needs the
+/// edge list and is skipped here; the per-phase validators still run
+/// when validation is enabled.
+MndMstReport run_mnd_mst_streamed(std::istream& in,
+                                  const MndMstOptions& opts);
 
 }  // namespace mnd::mst

@@ -11,7 +11,9 @@
 //                            frozen-component accounting
 // Plus a negative test: an engine mutant that skips the
 // EXCPT_BORDER_VERTEX freeze must be caught by the cut-property validator.
+#include <algorithm>
 #include <cstdint>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -19,6 +21,7 @@
 
 #include "bsp/msf.hpp"
 #include "graph/generators.hpp"
+#include "graph/mndg.hpp"
 #include "graph/reference_mst.hpp"
 #include "mst/mnd_mst.hpp"
 #include "simcluster/fault.hpp"
@@ -342,6 +345,63 @@ TEST(FuzzDifferential, FilterAndScheduleProduceByteIdenticalForests) {
         << "faults x filter x adaptive changed the forest";
     opts.faults = sim::FaultPlan{};
     opts.engine.wire = sim::WireFormat::kDefault;
+  }
+}
+
+TEST(FuzzDifferential, StreamedIngestionProducesIdenticalForests) {
+  // Streamed-ingestion slice (docs/INGESTION.md): loading through the
+  // chunked .mndg path into per-rank CSR shards — crossed with both
+  // partition schemes, wire modes, and thread counts — must produce the
+  // same forest edge-id set as the materialized run, with the same total
+  // weight. Edge ids are insertion-order on both paths and the (w, id)
+  // order makes the MSF unique, so sorted id vectors compare equal.
+  std::size_t slice = 0;
+  for (const FuzzConfig& c : sweep_grid()) {
+    if (slice++ % 11 != 7) continue;  // 14 configs, offset from others
+    SCOPED_TRACE(describe(c));
+    const graph::EdgeList el = make_graph(c);
+    std::stringstream bytes(std::ios::in | std::ios::out |
+                            std::ios::binary);
+    graph::write_mndg(el, bytes, /*chunk_edges=*/128);
+
+    mst::MndMstOptions opts;
+    opts.num_nodes = c.ranks;
+    opts.validate = true;
+    opts.engine.use_gpu = c.gpu;
+    if (c.gpu) opts.engine.gpu_min_edges = 0;
+
+    for (const auto scheme : {hypar::PartitionScheme::kDegree,
+                              hypar::PartitionScheme::kHash}) {
+      opts.partition = scheme;
+      const mst::MndMstReport mat = mst::run_mnd_mst(el, opts);
+      EXPECT_TRUE(mat.validation.ok());
+      std::vector<graph::EdgeId> want = mat.forest.edges;
+      std::sort(want.begin(), want.end());
+
+      for (const sim::WireFormat wire :
+           {sim::WireFormat::kRaw, sim::WireFormat::kCompact}) {
+        opts.engine.wire = wire;
+        for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+          opts.threads = threads;
+          bytes.clear();
+          bytes.seekg(0);
+          const mst::MndMstReport streamed =
+              mst::run_mnd_mst_streamed(bytes, opts);
+          EXPECT_TRUE(streamed.validation.ok());
+          std::vector<graph::EdgeId> got = streamed.forest.edges;
+          std::sort(got.begin(), got.end());
+          EXPECT_EQ(got, want)
+              << "streamed forest diverged (scheme "
+              << hypar::partition_scheme_name(scheme) << ", wire "
+              << (wire == sim::WireFormat::kRaw ? "raw" : "compact")
+              << ", threads " << threads << ")";
+          EXPECT_EQ(streamed.forest.total_weight, mat.forest.total_weight);
+        }
+      }
+      opts.threads = 0;
+      opts.engine.wire = sim::WireFormat::kDefault;
+    }
+    opts.partition = hypar::PartitionScheme::kDefault;
   }
 }
 

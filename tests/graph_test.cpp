@@ -283,6 +283,42 @@ TEST(IoTest, TextCommentsAndDefaults) {
   EXPECT_EQ(el.edge(1).w, 9u);
 }
 
+TEST(IoTest, TextRejectsGarbageLine) {
+  std::stringstream ss("0 1 5\nnot an edge\n");
+  EXPECT_THROW(read_edge_list_text(ss), CheckFailure);
+}
+
+TEST(IoTest, TextRejectsTrailingTokens) {
+  std::stringstream ss("0 1 5 99\n");
+  EXPECT_THROW(read_edge_list_text(ss), CheckFailure);
+}
+
+TEST(IoTest, TextRejectsMissingEndpoint) {
+  std::stringstream ss("0 1 5\n7\n");
+  EXPECT_THROW(read_edge_list_text(ss), CheckFailure);
+}
+
+TEST(IoTest, TextRejectsOutOfRangeValues) {
+  std::stringstream ss("0 99999999999 1\n");
+  EXPECT_THROW(read_edge_list_text(ss), CheckFailure);
+}
+
+TEST(IoTest, TextErrorNamesTheLine) {
+  std::stringstream ss("# header\n0 1 5\nbroken !\n");
+  try {
+    read_edge_list_text(ss);
+    FAIL() << "garbage accepted";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(IoTest, TextAcceptsBlankAndWhitespaceLines) {
+  std::stringstream ss("\n   \n0 1 5\n\t\n");
+  EXPECT_EQ(read_edge_list_text(ss).num_edges(), 1u);
+}
+
 TEST(IoTest, DimacsRoundTrip) {
   EdgeList el(5);
   el.add_edge(0, 1, 10);

@@ -1,0 +1,205 @@
+// Unit tests for the .mndg chunked binary graph format
+// (src/graph/mndg.hpp, byte-level spec in docs/GRAPH_FORMAT.md): round
+// trips, header/chunk validation, corruption rejection, and the
+// ingest-accounting hook on the chunk cursor.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "graph/alloc_hook.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/mndg.hpp"
+#include "util/check.hpp"
+
+namespace mnd::graph {
+namespace {
+
+std::string encode(const EdgeList& el, std::size_t chunk_edges = 0) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_mndg(el, ss,
+             chunk_edges == 0 ? kMndgDefaultChunkEdges : chunk_edges);
+  return ss.str();
+}
+
+EdgeList decode(const std::string& bytes) {
+  std::stringstream ss(bytes,
+                       std::ios::in | std::ios::out | std::ios::binary);
+  return read_mndg(ss);
+}
+
+// ---- round trips ------------------------------------------------------------
+
+TEST(MndgTest, RoundTripEmptyGraph) {
+  const EdgeList back = decode(encode(EdgeList{}));
+  EXPECT_EQ(back.num_vertices(), 0u);
+  EXPECT_EQ(back.num_edges(), 0u);
+}
+
+TEST(MndgTest, RoundTripVerticesWithoutEdges) {
+  const EdgeList back = decode(encode(EdgeList{17}));
+  EXPECT_EQ(back.num_vertices(), 17u);
+  EXPECT_EQ(back.num_edges(), 0u);
+}
+
+TEST(MndgTest, RoundTripSingleEdge) {
+  EdgeList el(4);
+  el.add_edge(1, 3, 42);
+  const EdgeList back = decode(encode(el));
+  EXPECT_EQ(back.num_vertices(), 4u);
+  EXPECT_EQ(back.edges(), el.edges());
+}
+
+TEST(MndgTest, RoundTripMaxVertexId) {
+  // Near the top of the u32 id space; deltas are signed 64-bit inside the
+  // codec, so nothing overflows. The edge list stores edges only — no
+  // V-sized buffer is ever allocated on this path.
+  EdgeList el;
+  const VertexId big = 4'294'967'293u;
+  el.add_edge(big, 0, 1);
+  el.add_edge(big - 1, big, 999'999);
+  const EdgeList back = decode(encode(el));
+  EXPECT_EQ(back.num_vertices(), el.num_vertices());
+  EXPECT_EQ(back.edges(), el.edges());
+}
+
+TEST(MndgTest, RoundTripPreservesSelfLoopsParallelEdgesAndIds) {
+  EdgeList el(6);
+  el.add_edge(2, 2, 5);   // self loop survives the container format
+  el.add_edge(0, 1, 7);
+  el.add_edge(1, 0, 7);   // parallel edge, distinct id
+  el.add_edge(5, 3, 1);   // negative delta in u
+  const EdgeList back = decode(encode(el));
+  ASSERT_EQ(back.num_edges(), 4u);
+  EXPECT_EQ(back.edges(), el.edges());
+  for (std::size_t i = 0; i < back.num_edges(); ++i) {
+    EXPECT_EQ(back.edge(i).id, i);
+  }
+}
+
+TEST(MndgTest, RoundTripMultiChunk) {
+  const EdgeList el = rmat(10, 5000, 3);
+  const std::string bytes = encode(el, 512);
+  std::stringstream ss(bytes, std::ios::in | std::ios::binary);
+  const MndgHeader h = read_mndg_header(ss);
+  EXPECT_EQ(h.chunks.size(), (5000u + 511u) / 512u);
+  EXPECT_EQ(decode(bytes).edges(), el.edges());
+}
+
+TEST(MndgTest, WriterIsDeterministic) {
+  const EdgeList el = erdos_renyi(100, 400, 9);
+  EXPECT_EQ(encode(el, 128), encode(el, 128));
+}
+
+TEST(MndgTest, FileRoundTrip) {
+  const EdgeList el = rmat(8, 600, 11);
+  const std::string path = testing::TempDir() + "/mndg_round_trip.mndg";
+  write_mndg_file(el, path);
+  EXPECT_EQ(read_mndg_file(path).edges(), el.edges());
+}
+
+// ---- corruption and version rejection ---------------------------------------
+
+class MndgCorruptionTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    EdgeList el(64);
+    for (VertexId v = 0; v + 1 < 64; ++v) el.add_edge(v, v + 1, v + 1);
+    bytes_ = encode(el, 16);  // several chunks
+  }
+  std::string bytes_;
+};
+
+TEST_F(MndgCorruptionTest, RejectsBadMagic) {
+  bytes_[0] = 'X';
+  EXPECT_THROW(decode(bytes_), CheckFailure);
+}
+
+TEST_F(MndgCorruptionTest, RejectsTextModeMangledMagic) {
+  // The PNG-style \r\n in the magic tail: a CRLF->LF translating copy
+  // must be caught at the header, not by a checksum 100 MB later.
+  bytes_.erase(5, 1);  // drop the \r
+  EXPECT_THROW(decode(bytes_), CheckFailure);
+}
+
+TEST_F(MndgCorruptionTest, RejectsUnknownVersion) {
+  bytes_[8] = 0x02;  // version little-endian low byte, offset 8
+  EXPECT_THROW(decode(bytes_), CheckFailure);
+}
+
+TEST_F(MndgCorruptionTest, RejectsUnknownWeightKind) {
+  bytes_[10] = 0x07;  // weight-kind low byte, offset 10
+  EXPECT_THROW(decode(bytes_), CheckFailure);
+}
+
+TEST_F(MndgCorruptionTest, RejectsTruncation) {
+  // Every prefix must fail loudly — header, chunk index, or payload.
+  for (const std::size_t keep :
+       {std::size_t{4}, std::size_t{12}, std::size_t{40},
+        bytes_.size() / 2, bytes_.size() - 1}) {
+    EXPECT_THROW(decode(bytes_.substr(0, keep)), CheckFailure)
+        << "prefix of " << keep << " bytes decoded";
+  }
+}
+
+TEST_F(MndgCorruptionTest, RejectsTrailingGarbage) {
+  EXPECT_THROW(decode(bytes_ + "x"), CheckFailure);
+}
+
+TEST_F(MndgCorruptionTest, RejectsPayloadBitFlip) {
+  bytes_[bytes_.size() - 2] ^= 0x40;  // inside the last chunk's payload
+  EXPECT_THROW(decode(bytes_), CheckFailure);
+}
+
+TEST_F(MndgCorruptionTest, RejectsInflatedChunkIndex) {
+  // Blow up the first chunk's edge_count (u64 at offset 32): the
+  // bytes-per-edge sanity bound must reject it before any allocation.
+  bytes_[32 + 4] = 0x7f;
+  EXPECT_THROW(decode(bytes_), CheckFailure);
+}
+
+// ---- chunk cursor + ingest accounting ---------------------------------------
+
+TEST(MndgCursorTest, StreamsChunksWithGlobalEdgeIds) {
+  const EdgeList el = erdos_renyi(80, 300, 5);
+  const std::string bytes = encode(el, 64);
+  std::stringstream ss(bytes, std::ios::in | std::ios::binary);
+  MndgChunkCursor cursor(ss);
+  std::size_t seen = 0;
+  while (cursor.next()) {
+    for (const WeightedEdge& e : cursor.edges()) {
+      EXPECT_EQ(e.id, seen);
+      EXPECT_EQ(el.edge(seen), e);
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, el.num_edges());
+}
+
+TEST(MndgCursorTest, ChargesAndReleasesSharedBuffers) {
+  const EdgeList el = erdos_renyi(80, 300, 5);
+  const std::string bytes = encode(el, 64);
+  IngestAccounting acct(2);
+  {
+    std::stringstream ss(bytes, std::ios::in | std::ios::binary);
+    MndgChunkCursor cursor(ss, &acct);
+    EXPECT_GT(acct.shared_used(), 0u);
+    while (cursor.next()) {
+    }
+  }
+  EXPECT_EQ(acct.shared_used(), 0u);    // destructor released
+  EXPECT_GT(acct.shared_peak(), 0u);    // peak survives
+}
+
+TEST(MndgCursorTest, BudgetViolationThrowsBeforeDecoding) {
+  const EdgeList el = erdos_renyi(80, 300, 5);
+  const std::string bytes = encode(el, 64);
+  IngestAccounting acct(2, /*per_rank_budget=*/16);
+  std::stringstream ss(bytes, std::ios::in | std::ios::binary);
+  EXPECT_THROW(MndgChunkCursor(ss, &acct), CheckFailure);
+}
+
+}  // namespace
+}  // namespace mnd::graph

@@ -1,0 +1,20 @@
+// Known-good twin for rule-8: src/graph/io.cpp is the single sanctioned
+// ingestion point, so raw file opens here are exempt. No EXPECT markers
+// — the selftest fails if rule-8 overfires on this path.
+#include <cstdio>
+#include <fstream>
+
+namespace mnd::fixture {
+
+inline int open_graph_bytes() {
+  std::ifstream in("graph.mndg", std::ios::binary);
+  int v = 0;
+  in >> v;
+  FILE* f = fopen("graph.bin", "rb");
+  if (f) {
+    fclose(f);
+  }
+  return v;
+}
+
+}  // namespace mnd::fixture

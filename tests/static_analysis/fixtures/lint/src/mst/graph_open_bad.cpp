@@ -1,0 +1,26 @@
+// Known-bad: engine code opening graph bytes directly instead of going
+// through the graph/io.hpp helpers (rule-8 / graph-io). Raw opens skip
+// the .mndg hardening (magic/version/checksum checks) and the ingest
+// accounting, so they are banned everywhere in src/ except
+// src/graph/io.cpp.
+#include <cstdio>
+#include <fstream>
+
+namespace mnd::fixture {
+
+inline int load_sneakily() {
+  std::ifstream in("graph.mndg", std::ios::binary);  // EXPECT-mnd(rule-8)
+  int v = 0;
+  in >> v;
+  std::fstream rw("graph.tmp");  // EXPECT-mnd(graph-io)
+  FILE* f = fopen("graph.bin", "rb");  // EXPECT-mnd(rule-8)
+  if (f) {
+    f = freopen("graph2.bin", "rb", f);  // EXPECT-mnd(rule-8)
+  }
+  if (f) {
+    fclose(f);
+  }
+  return v;
+}
+
+}  // namespace mnd::fixture

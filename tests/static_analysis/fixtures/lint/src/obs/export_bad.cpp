@@ -6,9 +6,9 @@
 namespace mnd::fixture {
 
 inline void dump() {
-  std::ofstream out("metrics.csv");   // EXPECT-mnd(rule-7)
+  std::ofstream out("metrics.csv");   // EXPECT-mnd(rule-7,rule-8)
   out << 1;
-  FILE* f = fopen("metrics.bin", "w");  // EXPECT-mnd(obs-discipline)
+  FILE* f = fopen("metrics.bin", "w");  // EXPECT-mnd(obs-discipline,graph-io)
   if (f) {
     fclose(f);
   }

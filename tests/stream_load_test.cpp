@@ -1,0 +1,279 @@
+// Tests for streamed per-rank CSR ingestion (src/hypar/stream_load.hpp),
+// the reversible BucketHasher (src/graph/vertex_hash.hpp), the CsrShard
+// container, and the streamed run_mnd_mst_streamed entry point: the
+// streamed pipeline must reproduce the materialized pipeline exactly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/mndg.hpp"
+#include "graph/vertex_hash.hpp"
+#include "hypar/partition.hpp"
+#include "hypar/stream_load.hpp"
+#include "mst/mnd_mst.hpp"
+#include "util/check.hpp"
+
+namespace mnd {
+namespace {
+
+std::string encode(const graph::EdgeList& el, std::size_t chunk_edges) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  graph::write_mndg(el, ss, chunk_edges);
+  return ss.str();
+}
+
+hypar::StreamedGraph stream(const std::string& bytes,
+                            const hypar::StreamLoadOptions& opts) {
+  std::stringstream ss(bytes,
+                       std::ios::in | std::ios::out | std::ios::binary);
+  return hypar::stream_load_mndg(ss, opts);
+}
+
+// ---- BucketHasher -----------------------------------------------------------
+
+TEST(BucketHasherTest, IsReversiblePermutation) {
+  for (const graph::VertexId n : {0u, 1u, 5u, 16u, 17u, 100u, 101u}) {
+    for (const int buckets : {1, 2, 3, 7, 16, 200}) {
+      const graph::BucketHasher h(n, buckets);
+      std::vector<bool> hit(n, false);
+      for (graph::VertexId v = 0; v < n; ++v) {
+        const graph::VertexId x = h.hash(v);
+        ASSERT_LT(x, n) << "n=" << n << " buckets=" << buckets;
+        ASSERT_FALSE(hit[x]) << "collision at " << x;
+        hit[x] = true;
+        ASSERT_EQ(h.unhash(x), v);
+        ASSERT_EQ(h.hash(h.unhash(v)), v);
+      }
+    }
+  }
+}
+
+TEST(BucketHasherTest, SpreadsConsecutiveIdsAcrossBuckets) {
+  const graph::BucketHasher h(100, 4);
+  // Consecutive original ids land 25 apart: one per rank-range of 25.
+  for (graph::VertexId v = 0; v + 1 < 96; ++v) {
+    EXPECT_NE(h.hash(v) / 25, h.hash(v + 1) / 25);
+  }
+}
+
+TEST(BucketHasherTest, OutOfDomainThrows) {
+  const graph::BucketHasher h(10, 2);
+  EXPECT_THROW(h.hash(10), CheckFailure);
+  EXPECT_THROW(h.unhash(10), CheckFailure);
+}
+
+TEST(BucketHasherTest, RelabelPreservesEdgeIdsAndWeights) {
+  const graph::EdgeList el = graph::rmat(8, 400, 3);
+  const graph::BucketHasher h(el.num_vertices(), 4);
+  const graph::EdgeList out = graph::relabel_by_hash(el, h);
+  ASSERT_EQ(out.num_edges(), el.num_edges());
+  EXPECT_EQ(out.num_vertices(), el.num_vertices());
+  for (std::size_t i = 0; i < el.num_edges(); ++i) {
+    EXPECT_EQ(out.edge(i).id, el.edge(i).id);
+    EXPECT_EQ(out.edge(i).w, el.edge(i).w);
+    EXPECT_EQ(h.unhash(out.edge(i).u), el.edge(i).u);
+    EXPECT_EQ(h.unhash(out.edge(i).v), el.edge(i).v);
+  }
+}
+
+// ---- streamed shards vs materialized CSR ------------------------------------
+
+void expect_shards_match_csr(const hypar::StreamedGraph& sg,
+                             const graph::Csr& csr) {
+  const hypar::Partition1D ref =
+      hypar::partition_by_degree(csr, static_cast<int>(sg.shards.size()));
+  ASSERT_EQ(sg.part.bounds(), ref.bounds())
+      << "streamed cut differs from the materialized cut";
+  std::size_t arcs = 0;
+  for (const graph::CsrShard& shard : sg.shards) {
+    for (graph::VertexId v = shard.lo(); v < shard.hi(); ++v) {
+      const auto got = shard.adjacency(v);
+      const auto want = csr.adjacency(v);
+      ASSERT_EQ(got.size(), want.size()) << "vertex " << v;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].to, want[i].to) << "vertex " << v;
+        EXPECT_EQ(got[i].w, want[i].w) << "vertex " << v;
+        EXPECT_EQ(got[i].id, want[i].id) << "vertex " << v;
+      }
+      arcs += got.size();
+    }
+  }
+  EXPECT_EQ(arcs, sg.num_arcs);
+  EXPECT_EQ(arcs, csr.num_arcs());
+}
+
+TEST(StreamLoadTest, DegreeShardsMatchGlobalCsr) {
+  graph::EdgeList el = graph::erdos_renyi(200, 800, 7);
+  el.add_edge(5, 5, 3);  // self loop: dropped by both paths
+  const graph::Csr csr = graph::Csr::from_edge_list(el);
+
+  hypar::StreamLoadOptions opts;
+  opts.ranks = 4;
+  opts.scheme = hypar::PartitionScheme::kDegree;
+  const hypar::StreamedGraph sg = stream(encode(el, 128), opts);
+
+  EXPECT_EQ(sg.num_vertices, el.num_vertices());
+  EXPECT_EQ(sg.num_edges, el.num_edges());
+  expect_shards_match_csr(sg, csr);
+}
+
+TEST(StreamLoadTest, HashShardsMatchRelabeledCsr) {
+  const graph::EdgeList el = graph::rmat(9, 2000, 13);
+  hypar::StreamLoadOptions opts;
+  opts.ranks = 4;
+  opts.scheme = hypar::PartitionScheme::kHash;
+  const hypar::StreamedGraph sg = stream(encode(el, 256), opts);
+
+  // The hashed stream must equal a materialized build of the relabeled
+  // list — same cut, same adjacency, same ids.
+  const graph::EdgeList relabeled = graph::relabel_by_hash(
+      el, graph::BucketHasher(el.num_vertices(), opts.ranks));
+  expect_shards_match_csr(sg, graph::Csr::from_edge_list(relabeled));
+}
+
+TEST(StreamLoadTest, ChunkSizeDoesNotChangeTheResult) {
+  const graph::EdgeList el = graph::erdos_renyi(150, 600, 21);
+  hypar::StreamLoadOptions opts;
+  opts.ranks = 3;
+  const hypar::StreamedGraph a = stream(encode(el, 64), opts);
+  const hypar::StreamedGraph b = stream(encode(el, 4096), opts);
+  ASSERT_EQ(a.part.bounds(), b.part.bounds());
+  EXPECT_EQ(a.num_arcs, b.num_arcs);
+  EXPECT_GT(a.file_chunks, b.file_chunks);
+}
+
+TEST(StreamLoadTest, TracksPeaksAndBalance) {
+  const graph::EdgeList el = graph::erdos_renyi(200, 800, 7);
+  hypar::StreamLoadOptions opts;
+  opts.ranks = 4;
+  const hypar::StreamedGraph sg = stream(encode(el, 128), opts);
+  EXPECT_GT(sg.peak_rank_bytes, 0u);
+  EXPECT_GE(sg.peak_rank_bytes, sg.shared_peak_bytes);
+  EXPECT_GT(sg.file_bytes, 0u);
+  EXPECT_GE(sg.balance.arc_imbalance, 1.0);
+  EXPECT_GE(sg.balance.vertex_imbalance, 1.0);
+}
+
+TEST(StreamLoadTest, MemBudgetViolationThrows) {
+  const graph::EdgeList el = graph::erdos_renyi(200, 800, 7);
+  hypar::StreamLoadOptions opts;
+  opts.ranks = 4;
+  opts.mem_budget = 512;  // far below one chunk buffer
+  EXPECT_THROW(stream(encode(el, 128), opts), CheckFailure);
+}
+
+TEST(StreamLoadTest, GenerousBudgetAdmitsTheLoad) {
+  const graph::EdgeList el = graph::erdos_renyi(200, 800, 7);
+  hypar::StreamLoadOptions opts;
+  opts.ranks = 4;
+  opts.mem_budget = 64u << 20;
+  const hypar::StreamedGraph sg = stream(encode(el, 128), opts);
+  EXPECT_LE(sg.peak_rank_bytes, opts.mem_budget);
+}
+
+TEST(StreamLoadTest, CollectEdgesRecoversOriginalEndpoints) {
+  const graph::EdgeList el = graph::rmat(8, 500, 31);
+  for (const auto scheme :
+       {hypar::PartitionScheme::kDegree, hypar::PartitionScheme::kHash}) {
+    hypar::StreamLoadOptions opts;
+    opts.ranks = 4;
+    opts.scheme = scheme;
+    const hypar::StreamedGraph sg = stream(encode(el, 128), opts);
+
+    std::vector<graph::EdgeId> ids;
+    for (graph::EdgeId id = 0; id < el.num_edges(); id += 7) {
+      if (el.edge(id).u != el.edge(id).v) ids.push_back(id);
+    }
+    const auto got = hypar::collect_edges(sg, ids);
+    ASSERT_EQ(got.size(), ids.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      const graph::WeightedEdge& want = el.edge(ids[i]);
+      EXPECT_EQ(got[i].id, want.id);
+      EXPECT_EQ(got[i].w, want.w);
+      const bool same_pair =
+          (got[i].u == want.u && got[i].v == want.v) ||
+          (got[i].u == want.v && got[i].v == want.u);
+      EXPECT_TRUE(same_pair) << "edge " << want.id;
+    }
+  }
+}
+
+// ---- hub skew: what kHash is for --------------------------------------------
+
+TEST(StreamLoadTest, HashPartitionRestoresVertexBalanceOnHubSkew) {
+  // Four hub vertices at the front of the id space hold nearly all the
+  // degree. The contiguous degree cut gives each hub rank a sliver of
+  // vertices; the bucket permutation spreads one hub per rank.
+  graph::EdgeList el(1000);
+  for (graph::VertexId hub = 0; hub < 4; ++hub) {
+    for (graph::VertexId i = 0; i < 200; ++i) {
+      el.add_edge(hub, 4 + ((hub * 200 + i * 7) % 996),
+                  static_cast<graph::Weight>(1 + hub + i));
+    }
+  }
+  const std::string bytes = encode(el, 256);
+
+  hypar::StreamLoadOptions degree;
+  degree.ranks = 4;
+  degree.scheme = hypar::PartitionScheme::kDegree;
+  hypar::StreamLoadOptions hash = degree;
+  hash.scheme = hypar::PartitionScheme::kHash;
+
+  const double degree_imb = stream(bytes, degree).balance.vertex_imbalance;
+  const double hash_imb = stream(bytes, hash).balance.vertex_imbalance;
+  EXPECT_GT(degree_imb, 1.8);  // some rank holds a hub sliver
+  EXPECT_LT(hash_imb, 1.5);
+  EXPECT_LT(hash_imb, degree_imb);
+}
+
+// ---- end to end: streamed == materialized -----------------------------------
+
+TEST(StreamLoadTest, StreamedForestMatchesMaterialized) {
+  const graph::EdgeList el = graph::rmat(10, 4000, 17);
+  const std::string bytes = encode(el, 512);
+
+  for (const auto scheme :
+       {hypar::PartitionScheme::kDegree, hypar::PartitionScheme::kHash}) {
+    mst::MndMstOptions opts;
+    opts.num_nodes = 4;
+    opts.partition = scheme;
+
+    const mst::MndMstReport mat = mst::run_mnd_mst(el, opts);
+    std::stringstream ss(bytes, std::ios::in | std::ios::binary);
+    const mst::MndMstReport str = mst::run_mnd_mst_streamed(ss, opts);
+
+    std::vector<graph::EdgeId> a = mat.forest.edges;
+    std::vector<graph::EdgeId> b = str.forest.edges;
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << hypar::partition_scheme_name(scheme);
+    EXPECT_EQ(str.forest.total_weight, mat.forest.total_weight);
+    EXPECT_EQ(str.forest.num_components, mat.forest.num_components);
+    EXPECT_GT(str.ingest.file_bytes, 0u);
+    EXPECT_GT(str.ingest.read_seconds, 0.0);
+  }
+}
+
+TEST(StreamLoadTest, ForestIdSetInvariantAcrossSchemes) {
+  // (w, id) tie-breaking makes the MSF unique, so the *edge-id set* must
+  // not depend on the partition scheme at all.
+  const graph::EdgeList el = graph::rmat(9, 3000, 23);
+  mst::MndMstOptions opts;
+  opts.num_nodes = 4;
+
+  opts.partition = hypar::PartitionScheme::kDegree;
+  std::vector<graph::EdgeId> a = mst::run_mnd_mst(el, opts).forest.edges;
+  opts.partition = hypar::PartitionScheme::kHash;
+  std::vector<graph::EdgeId> b = mst::run_mnd_mst(el, opts).forest.edges;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace mnd

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Documentation consistency checks for the MND-MST repo.
 
-Two checks, both hermetic (no build needed):
+Three checks, all hermetic (no build needed):
 
 1. Markdown links: every relative link target in the repo's *.md files
    must exist on disk. External (http/https/mailto) links and pure
@@ -12,6 +12,11 @@ Two checks, both hermetic (no build needed):
    text, and the flags documented in README.md's configuration table
    must all be the same set. Catches stale help text and undocumented
    flags without running the binary.
+
+3. Environment-variable surface: every MND_* variable read via
+   std::getenv under src/ or bench/ must have a row in README.md's
+   environment-variable table, and vice versa. Catches knobs added to
+   the code but never documented (and rows for knobs that were removed).
 
 Exit status: 0 clean, 1 violations (printed one per line as
 path:line: [rule] message).
@@ -116,18 +121,62 @@ def check_cli_flags(errors: list[str]) -> None:
                       "but the CLI does not accept it")
 
 
+ENV_SOURCE_DIRS = ("src", "bench")
+GETENV = re.compile(r'std::getenv\("(MND_[A-Z_]+)"\)')
+ENV_ROW = re.compile(r"\|\s*`(MND_[A-Z_]+)`\s*\|")
+
+
+def source_env_vars() -> set[str]:
+    """MND_* vars read via std::getenv under src/ and bench/."""
+    vars_: set[str] = set()
+    for dirname in ENV_SOURCE_DIRS:
+        for path in (REPO / dirname).rglob("*"):
+            if path.suffix not in (".cpp", ".hpp"):
+                continue
+            vars_.update(GETENV.findall(path.read_text(encoding="utf-8")))
+    return vars_
+
+
+def readme_env_vars(text: str) -> set[str]:
+    """MND_* vars in the first column of README's environment table."""
+    return {m.group(1) for line in text.splitlines()
+            if (m := ENV_ROW.match(line))}
+
+
+def check_env_vars(errors: list[str]) -> None:
+    readme = README.read_text(encoding="utf-8")
+    in_code = source_env_vars()
+    in_table = readme_env_vars(readme)
+    readme_rel = README.relative_to(REPO)
+    if not in_code:
+        errors.append("src:1: [env-vars] found no std::getenv(\"MND_*\") "
+                      "reads (scan changed shape?)")
+        return
+    if not in_table:
+        errors.append(f"{readme_rel}:1: [env-vars] found no env-var table "
+                      "(expected rows like \"| `MND_THREADS` | ... |\")")
+        return
+    for var in sorted(in_code - in_table):
+        errors.append(f"{readme_rel}:1: [env-vars] {var} is read by the "
+                      "code but missing from README's environment table")
+    for var in sorted(in_table - in_code):
+        errors.append(f"{readme_rel}:1: [env-vars] README documents {var} "
+                      "but nothing under src/ or bench/ reads it")
+
+
 def main() -> int:
     errors: list[str] = []
     check_markdown_links(errors)
     check_cli_flags(errors)
+    check_env_vars(errors)
     for error in errors:
         print(error)
     if errors:
         print(f"check_docs: {len(errors)} violation(s)", file=sys.stderr)
         return 1
     n_md = len(markdown_files())
-    print(f"check_docs: OK ({n_md} markdown files, CLI flag surface "
-          "consistent)")
+    print(f"check_docs: OK ({n_md} markdown files, CLI flag and env-var "
+          "surfaces consistent)")
     return 0
 
 

@@ -29,6 +29,14 @@ Rules (text-level; the AST-grounded rules live in tools/analyze.py):
   rule-7 obs-discipline  Code in src/obs must not pick its own output
                          destination (no file opens) — exporters take a
                          caller-provided std::ostream&.
+  rule-8 graph-io        src/graph/io.cpp is the single point where graph
+                         bytes enter or leave the process: no raw
+                         std::ifstream / std::ofstream / fopen anywhere
+                         else in src/. Everything routes through the
+                         io.hpp open helpers (which return plain stream
+                         handles), so format hardening, the .mndg
+                         decoders, and the ingest accounting can't be
+                         bypassed (docs/GRAPH_FORMAT.md).
 
 rule-1 (virtual-time purity) graduated from a regex here to the
 symbol-resolved check in tools/analyze.py, which understands identifier
@@ -65,9 +73,11 @@ RULE_WIRE = Rule("rule-6", "wire",
                  "engine payloads use framed wire helpers")
 RULE_OBS = Rule("rule-7", "obs-discipline",
                 "obs layer never opens its own outputs")
+RULE_GRAPH_IO = Rule("rule-8", "graph-io",
+                     "graph bytes enter/leave only via src/graph/io.cpp")
 
 RULES = [RULE_LOGGING, RULE_IWYU, RULE_PRAGMA, RULE_THREADING, RULE_WIRE,
-         RULE_OBS]
+         RULE_OBS, RULE_GRAPH_IO]
 
 # rule-2
 STDOUT_PATTERNS = [
@@ -124,6 +134,20 @@ OBS_OUTPUT_PATTERNS = [
      "std::ostream& instead)"),
 ]
 
+# rule-8: raw file opens anywhere in src/ outside the single sanctioned
+# ingestion point. Same patterns as rule-7 but repo-wide: graph bytes
+# must enter and leave through src/graph/io.cpp so the format hardening
+# (magic/version/checksum checks) and ingest accounting always apply.
+GRAPH_IO_PATTERNS = [
+    (re.compile(r"\bstd::[oi]?fstream\b"),
+     "raw fstream outside src/graph/io.cpp (open graph bytes via the "
+     "graph/io.hpp helpers; see docs/GRAPH_FORMAT.md)"),
+    (re.compile(r"(?<![\w:])f(?:re)?open\s*\("),
+     "raw fopen outside src/graph/io.cpp (open graph bytes via the "
+     "graph/io.hpp helpers; see docs/GRAPH_FORMAT.md)"),
+]
+GRAPH_IO_EXEMPT = ("src/graph/io.cpp",)
+
 # rule-3: std symbol -> owning header, for src/obs only.
 IWYU_SYMBOLS = {
     "std::string": "<string>",
@@ -172,6 +196,10 @@ def lint_file(ctx: FileContext, report: Report) -> None:
             for pat, msg in OBS_OUTPUT_PATTERNS:
                 if pat.search(line):
                     report.add(ctx, idx, RULE_OBS, msg)
+        if rel not in GRAPH_IO_EXEMPT:
+            for pat, msg in GRAPH_IO_PATTERNS:
+                if pat.search(line):
+                    report.add(ctx, idx, RULE_GRAPH_IO, msg)
 
     if rel.endswith(".hpp"):
         for idx, line in enumerate(ctx.raw.splitlines(), start=1):
