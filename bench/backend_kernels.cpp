@@ -1,0 +1,512 @@
+// Gated kernel-engineering bench for the PR10 backend layer.
+//
+// Rows (all wall-clock, this host):
+//   * sort_canonicalize — LSD radix sort vs std::sort on the canonicalize
+//     key (packed endpoints, w, id); the it-2004 stand-in row is the gate.
+//   * sort_soa_vs_aos   — the SoA radix (keys gathered once, payload moved
+//     once) vs the AoS variant (full-struct scatter every pass).
+//   * merge_scan_vs_copy — detail::merge_shards prefix-sum compaction
+//     (kScan) vs the legacy serial map-merge + copy-out (kCopy).
+//   * backend_overhead  — hot kernels invoked through the real backend vs
+//     called directly (the PR3 code path, which is exactly what the sim
+//     backend executes); the real backend adds one steady_clock read.
+//   * identity          — run_mnd_mst under --backend sim and real on the
+//     same input.
+//
+// Self-gates (any failure exits 1):
+//   1. radix >= 1.3x std::sort on the it-2004 canonicalization row.
+//   2. Real-backend kernel wall-clock never regresses the directly-called
+//      baseline beyond the same-host noise fence max(Q3 + 1.5*IQR,
+//      median * 1.05) over the baseline samples — the tools/perf_report.py
+//      fence applied within one run (cross-host absolute wall-clock is
+//      meaningless, which is why CI diffs BENCH_pr10.json --skip-noisy).
+//   3. The sim and real forests are byte-identical.
+//
+// Every sort/merge variant's output is checksummed against the baseline's,
+// so the bench doubles as a differential test at bench scale.
+//
+// Usage: backend_kernels [output.json]   (default: BENCH_pr10.json)
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <iomanip>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "device/backend.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/generators.hpp"
+#include "graph/radix_sort.hpp"
+#include "mst/comp_graph.hpp"
+#include "mst/local_boruvka.hpp"
+#include "util/check.hpp"
+#include "util/flat_hash.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace mnd;
+using Clock = std::chrono::steady_clock;
+
+constexpr int kSortReps = 5;
+constexpr int kFenceSamples = 9;
+constexpr double kRadixGateSpeedup = 1.3;
+constexpr std::size_t kPoolThreads = 4;
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  return h ^ (v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2));
+}
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// The canonicalize radix key (graph/edge_list.cpp): packed endpoints,
+/// weight, id — the strict total order behind duplicate-edge dedup.
+std::array<std::uint64_t, 3> canonical_key(const graph::WeightedEdge& e) {
+  return {(std::uint64_t{e.u} << 32) | e.v, e.w, e.id};
+}
+
+std::uint64_t checksum_edges(const std::vector<graph::WeightedEdge>& v) {
+  std::uint64_t h = v.size();
+  for (const auto& e : v) {
+    h = mix(h, e.u);
+    h = mix(h, e.v);
+    h = mix(h, e.w);
+    h = mix(h, e.id);
+  }
+  return h;
+}
+
+/// Min-of-reps wall clock of fn(copy-of-input); asserts every rep's output
+/// checksum equals `want` (0 = establish from the first rep).
+template <typename Fn>
+std::pair<double, std::uint64_t> time_sort(
+    const std::vector<graph::WeightedEdge>& input, std::uint64_t want,
+    Fn&& fn) {
+  double best = 1e300;
+  for (int rep = 0; rep < kSortReps; ++rep) {
+    std::vector<graph::WeightedEdge> v = input;  // setup copy, untimed
+    const auto t0 = Clock::now();
+    fn(v);
+    best = std::min(best, seconds_since(t0));
+    const std::uint64_t sum = checksum_edges(v);
+    if (want == 0) {
+      want = sum;
+    } else {
+      MND_CHECK_MSG(sum == want, "sort variant output differs");
+    }
+  }
+  return {best, want};
+}
+
+struct SortRow {
+  std::string input;
+  std::size_t edges = 0;
+  bool gate = false;
+  double std_wallclock = 0.0;
+  double radix_wallclock = 0.0;
+  double radix_pool_wallclock = 0.0;
+  double radix_aos_wallclock = 0.0;
+};
+
+SortRow measure_sort_row(const std::string& name,
+                         const graph::EdgeList& el, bool gate) {
+  std::vector<graph::WeightedEdge> input(el.edges().begin(),
+                                         el.edges().end());
+  SortRow row;
+  row.input = name;
+  row.edges = input.size();
+  row.gate = gate;
+  std::uint64_t want = 0;
+  std::tie(row.std_wallclock, want) =
+      time_sort(input, 0, [](std::vector<graph::WeightedEdge>& v) {
+        std::sort(v.begin(), v.end(),
+                  [](const graph::WeightedEdge& a,
+                     const graph::WeightedEdge& b) {
+                    return canonical_key(a) < canonical_key(b);
+                  });
+      });
+  row.radix_wallclock =
+      time_sort(input, want, [](std::vector<graph::WeightedEdge>& v) {
+        graph::radix_sort<3>(v, canonical_key);
+      }).first;
+  row.radix_pool_wallclock =
+      time_sort(input, want, [](std::vector<graph::WeightedEdge>& v) {
+        graph::radix_sort<3>(global_pool(), kPoolThreads, v, canonical_key);
+      }).first;
+  row.radix_aos_wallclock =
+      time_sort(input, want, [](std::vector<graph::WeightedEdge>& v) {
+        graph::radix_sort_aos<3>(v, canonical_key);
+      }).first;
+  std::printf("sort %-10s %8zu edges  std %.4fs  radix %.4fs  "
+              "pool%zu %.4fs  aos %.4fs\n",
+              row.input.c_str(), row.edges, row.std_wallclock,
+              row.radix_wallclock, kPoolThreads, row.radix_pool_wallclock,
+              row.radix_aos_wallclock);
+  return row;
+}
+
+// ---- merge_shards: scan vs copy ------------------------------------------
+
+std::uint64_t checksum_cedges(std::vector<mst::CEdge> v) {
+  std::sort(v.begin(), v.end(), [](const mst::CEdge& a, const mst::CEdge& b) {
+    return std::tie(a.w, a.orig, a.to) < std::tie(b.w, b.orig, b.to);
+  });
+  std::uint64_t h = v.size();
+  for (const auto& e : v) {
+    h = mix(h, e.to);
+    h = mix(h, e.w);
+    h = mix(h, e.orig);
+  }
+  return h;
+}
+
+/// Shard fill shaped like clean_edges_parallel's: per-chunk lightest-entry
+/// maps over a heavy-tailed target distribution.
+std::vector<FlatHashMap<graph::VertexId, mst::CEdge>> build_shards(
+    std::size_t nshards, std::size_t inserts_per_shard) {
+  std::uint64_t state = 42;
+  auto next = [&state] {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d4a9b9c59e5e64ULL;
+    return z ^ (z >> 31);
+  };
+  std::vector<FlatHashMap<graph::VertexId, mst::CEdge>> shards(nshards);
+  graph::EdgeId orig = 0;
+  for (auto& shard : shards) {
+    for (std::size_t i = 0; i < inserts_per_shard; ++i) {
+      const std::uint64_t r = next();
+      // Top bit picks a hot target set (heavy overlap across shards).
+      const auto target = static_cast<graph::VertexId>(
+          (r & 1) != 0 ? r % 512 : r % 65536);
+      const mst::CEdge e{target, static_cast<graph::Weight>((r >> 17) % 1000000),
+                         orig++};
+      const mst::CEdge* cur = shard.find(target);
+      if (cur == nullptr ||
+          std::tie(e.w, e.orig) < std::tie(cur->w, cur->orig)) {
+        shard.insert_or_assign(target, e);
+      }
+    }
+  }
+  return shards;
+}
+
+struct MergeRow {
+  std::size_t shards = 0;
+  std::size_t survivors = 0;
+  double copy_wallclock = 0.0;
+  double scan_wallclock = 0.0;
+};
+
+MergeRow measure_merge_row() {
+  const auto base = build_shards(8, 200000);
+  MergeRow row;
+  row.shards = base.size();
+  row.copy_wallclock = 1e300;
+  row.scan_wallclock = 1e300;
+  std::uint64_t want = 0;
+  for (int rep = 0; rep < kSortReps; ++rep) {
+    auto shards = base;  // setup copy, untimed
+    auto t0 = Clock::now();
+    std::vector<mst::CEdge> copied =
+        mst::detail::merge_shards(shards, 1, mst::detail::PackMode::kCopy);
+    row.copy_wallclock = std::min(row.copy_wallclock, seconds_since(t0));
+
+    shards = base;
+    t0 = Clock::now();
+    std::vector<mst::CEdge> scanned = mst::detail::merge_shards(
+        shards, kPoolThreads, mst::detail::PackMode::kScan);
+    row.scan_wallclock = std::min(row.scan_wallclock, seconds_since(t0));
+
+    MND_CHECK_MSG(scanned.size() == copied.size(),
+                  "merge_shards survivor counts differ across modes");
+    const std::size_t nsurvivors = copied.size();
+    const std::uint64_t sum = checksum_cedges(std::move(scanned));
+    MND_CHECK_MSG(sum == checksum_cedges(std::move(copied)),
+                  "merge_shards survivor sets differ across modes");
+    if (rep == 0) {
+      want = sum;
+      row.survivors = nsurvivors;
+    } else {
+      MND_CHECK_MSG(sum == want, "merge_shards nondeterministic across reps");
+    }
+  }
+  std::printf("merge %zu shards -> %zu survivors  copy %.4fs  scan %.4fs\n",
+              row.shards, row.survivors, row.copy_wallclock,
+              row.scan_wallclock);
+  return row;
+}
+
+// ---- real-backend overhead fence -----------------------------------------
+
+double median_of(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  const std::size_t n = xs.size();
+  return n % 2 == 1 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+/// (Q1, Q3) by linear interpolation — mirrors tools/perf_report.py.
+std::pair<double, double> quartiles_of(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  const auto q = [&xs](double p) {
+    if (xs.size() == 1) return xs[0];
+    const double pos = p * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    return xs[lo] + (pos - static_cast<double>(lo)) * (xs[hi] - xs[lo]);
+  };
+  return {q(0.25), q(0.75)};
+}
+
+struct OverheadRow {
+  std::string kernel;
+  double baseline_median_wallclock = 0.0;
+  double baseline_fence_wallclock = 0.0;
+  double real_median_wallclock = 0.0;
+  bool gate_passed = false;
+};
+
+/// Samples `fn` directly (the PR3 code path the sim backend executes) and
+/// through the real backend; gates the real median against the same-host
+/// noise fence over the baseline samples.
+template <typename Fn>
+OverheadRow measure_overhead(const std::string& kernel, Fn&& fn) {
+  OverheadRow row;
+  row.kernel = kernel;
+  std::vector<double> baseline, real;
+  for (int i = 0; i < kFenceSamples; ++i) {
+    const auto t0 = Clock::now();
+    fn();
+    baseline.push_back(seconds_since(t0));
+  }
+  const auto backend = device::make_backend("real");
+  for (int i = 0; i < kFenceSamples; ++i) {
+    const auto t0 = Clock::now();
+    backend->invoke([&fn] {
+      fn();
+      return 0.0;  // priced time is irrelevant here
+    });
+    real.push_back(seconds_since(t0));
+  }
+  row.baseline_median_wallclock = median_of(baseline);
+  const auto [q1, q3] = quartiles_of(baseline);
+  row.baseline_fence_wallclock =
+      std::max(q3 + 1.5 * (q3 - q1), row.baseline_median_wallclock * 1.05);
+  row.real_median_wallclock = median_of(real);
+  row.gate_passed = row.real_median_wallclock <= row.baseline_fence_wallclock;
+  std::printf("overhead %-18s baseline %.4fs (fence %.4fs)  real %.4fs  %s\n",
+              kernel.c_str(), row.baseline_median_wallclock,
+              row.baseline_fence_wallclock, row.real_median_wallclock,
+              row.gate_passed ? "ok" : "REGRESSED");
+  return row;
+}
+
+/// The merge phase's clean_all input: vertices contracted into ~512 groups
+/// with stale endpoints, so multi-edge removal has its real job to do.
+mst::CompGraph build_grouped(const graph::EdgeList& el) {
+  const graph::Csr g = graph::Csr::from_edge_list(el, 1);
+  const graph::VertexId n = g.num_vertices();
+  const graph::VertexId group = std::max<graph::VertexId>(1, n / 512);
+  mst::CompGraph cg;
+  for (graph::VertexId rep = 0; rep < n; rep += group) {
+    mst::Component c;
+    c.id = rep;
+    const graph::VertexId end = std::min<graph::VertexId>(n, rep + group);
+    for (graph::VertexId v = rep; v < end; ++v) {
+      for (const auto& arc : g.adjacency(v)) {
+        c.edges.push_back(mst::CEdge{arc.to, arc.w, arc.id});
+      }
+    }
+    std::sort(c.edges.begin(), c.edges.end(), graph::EdgeLess{});
+    c.vertex_count = end - rep;
+    cg.adopt(std::move(c));
+    for (graph::VertexId v = rep + 1; v < end; ++v) {
+      cg.renames().add(v, rep);
+    }
+  }
+  return cg;
+}
+
+// ---- sim/real end-to-end identity ----------------------------------------
+
+struct IdentityRow {
+  std::size_t forest_edges = 0;
+  std::uint64_t forest_weight = 0;
+  double virtual_seconds = 0.0;       // identical across backends (gated)
+  double real_measured_wallclock = 0.0;
+  std::uint64_t real_invocations = 0;
+  bool identical = false;
+};
+
+IdentityRow measure_identity(const graph::EdgeList& el) {
+  mst::MndMstOptions opts;
+  opts.num_nodes = 4;
+  opts.threads = kPoolThreads;
+  opts.engine.backend = device::BackendKind::kSim;
+  const mst::MndMstReport sim_report = mst::run_mnd_mst(el, opts);
+  opts.engine.backend = device::BackendKind::kReal;
+  const mst::MndMstReport real_report = mst::run_mnd_mst(el, opts);
+
+  IdentityRow row;
+  row.forest_edges = sim_report.forest.edges.size();
+  row.forest_weight = sim_report.forest.total_weight;
+  row.virtual_seconds = sim_report.total_seconds;
+  for (const hypar::RankTrace& t : real_report.traces) {
+    row.real_invocations += t.backend_invocations;
+    row.real_measured_wallclock += t.backend_measured_seconds;
+  }
+  row.identical =
+      real_report.forest.edges == sim_report.forest.edges &&
+      real_report.forest.total_weight == sim_report.forest.total_weight &&
+      real_report.total_seconds == sim_report.total_seconds;
+  std::printf("identity: %zu forest edges, weight %llu, %s (real measured "
+              "%.4fs over %llu invocations)\n",
+              row.forest_edges,
+              static_cast<unsigned long long>(row.forest_weight),
+              row.identical ? "sim == real" : "SIM != REAL",
+              row.real_measured_wallclock,
+              static_cast<unsigned long long>(row.real_invocations));
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_pr10.json";
+
+  const graph::EdgeList it2004 = bench::load_dataset("it-2004");
+  graph::EdgeList rmat16 = graph::rmat(16, 8ull << 16, 7);
+  rmat16.randomize_weights(7, 1, 1'000'000);
+
+  std::vector<SortRow> sort_rows;
+  sort_rows.push_back(measure_sort_row("it-2004", it2004, /*gate=*/true));
+  sort_rows.push_back(measure_sort_row("rmat16", rmat16, /*gate=*/false));
+
+  const MergeRow merge_row = measure_merge_row();
+
+  graph::EdgeList canon = it2004;
+  canon.canonicalize(true, 1);
+  mst::CompGraph grouped = build_grouped(canon);
+  std::vector<OverheadRow> overhead_rows;
+  overhead_rows.push_back(measure_overhead("canonicalize", [&it2004] {
+    graph::EdgeList el = it2004;
+    el.canonicalize(true, kPoolThreads);
+  }));
+  overhead_rows.push_back(measure_overhead("multi_edge_removal", [&grouped] {
+    mst::CompGraph cg = grouped;
+    mst::clean_all(cg, kPoolThreads);
+  }));
+
+  const IdentityRow identity = measure_identity(it2004);
+
+  // ---- gates ----
+  bool ok = true;
+  for (const SortRow& row : sort_rows) {
+    if (!row.gate) continue;
+    const double speedup =
+        row.std_wallclock / std::max(1e-12, row.radix_wallclock);
+    if (speedup < kRadixGateSpeedup) {
+      std::fprintf(stderr,
+                   "GATE FAILED: radix %.2fx std::sort on %s (need >= "
+                   "%.2fx)\n",
+                   speedup, row.input.c_str(), kRadixGateSpeedup);
+      ok = false;
+    }
+  }
+  for (const OverheadRow& row : overhead_rows) {
+    if (!row.gate_passed) {
+      std::fprintf(stderr,
+                   "GATE FAILED: real backend %s median %.6fs above the "
+                   "baseline noise fence %.6fs\n",
+                   row.kernel.c_str(), row.real_median_wallclock,
+                   row.baseline_fence_wallclock);
+      ok = false;
+    }
+  }
+  if (!identity.identical) {
+    std::fprintf(stderr, "GATE FAILED: sim and real forests differ\n");
+    ok = false;
+  }
+
+  bench::BenchJson j(out_path, "backend_kernels");
+  if (!j.good()) return 1;
+  j.key("gates")
+      << "\"radix >= " << kRadixGateSpeedup
+      << "x std::sort on the it-2004 canonicalization row; real-backend "
+         "kernel wall-clock within max(Q3 + 1.5*IQR, median*1.05) of the "
+         "directly-called baseline samples (same-host perf_report fence); "
+         "sim/real forest identity. CI diffs this file --skip-noisy: "
+         "wall-clock leaves are host-local, the gates self-enforce.\"";
+  {
+    std::ostream& out = j.key("sort_rows");
+    out << "[\n" << std::fixed;
+    for (std::size_t i = 0; i < sort_rows.size(); ++i) {
+      const SortRow& r = sort_rows[i];
+      out << "    {\"input\": \"" << r.input << "\", \"edges\": " << r.edges
+          << ", \"gated\": " << (r.gate ? "true" : "false")
+          << ", \"gate_min_speedup\": " << std::setprecision(2)
+          << kRadixGateSpeedup << ",\n      \"std_sort_wallclock_seconds\": "
+          << std::setprecision(9) << r.std_wallclock
+          << ", \"radix_wallclock_seconds\": " << r.radix_wallclock
+          << ",\n      \"radix_pool" << kPoolThreads
+          << "_wallclock_seconds\": " << r.radix_pool_wallclock
+          << ", \"radix_aos_wallclock_seconds\": " << r.radix_aos_wallclock
+          << ",\n      \"radix_vs_std_speedup_wallclock\": "
+          << std::setprecision(3)
+          << r.std_wallclock / std::max(1e-12, r.radix_wallclock)
+          << ", \"soa_vs_aos_speedup_wallclock\": "
+          << r.radix_aos_wallclock / std::max(1e-12, r.radix_wallclock)
+          << '}' << (i + 1 < sort_rows.size() ? "," : "") << '\n';
+    }
+    out << "  ]" << std::defaultfloat << std::setprecision(6);
+  }
+  {
+    std::ostream& out = j.key("merge_row");
+    out << std::fixed << "{\"shards\": " << merge_row.shards
+        << ", \"survivors\": " << merge_row.survivors
+        << ", \"copy_wallclock_seconds\": " << std::setprecision(9)
+        << merge_row.copy_wallclock << ", \"scan_wallclock_seconds\": "
+        << merge_row.scan_wallclock
+        << ", \"scan_vs_copy_speedup_wallclock\": " << std::setprecision(3)
+        << merge_row.copy_wallclock / std::max(1e-12, merge_row.scan_wallclock)
+        << '}' << std::defaultfloat << std::setprecision(6);
+  }
+  {
+    std::ostream& out = j.key("backend_overhead_rows");
+    out << "[\n" << std::fixed;
+    for (std::size_t i = 0; i < overhead_rows.size(); ++i) {
+      const OverheadRow& r = overhead_rows[i];
+      out << "    {\"kernel\": \"" << r.kernel
+          << "\", \"baseline_median_wallclock_seconds\": "
+          << std::setprecision(9) << r.baseline_median_wallclock
+          << ", \"baseline_fence_wallclock_seconds\": "
+          << r.baseline_fence_wallclock
+          << ",\n      \"real_median_wallclock_seconds\": "
+          << r.real_median_wallclock << ", \"gate_passed\": "
+          << (r.gate_passed ? "true" : "false") << '}'
+          << (i + 1 < overhead_rows.size() ? "," : "") << '\n';
+    }
+    out << "  ]" << std::defaultfloat << std::setprecision(6);
+  }
+  {
+    std::ostream& out = j.key("identity");
+    out << std::fixed << "{\"input\": \"it-2004\", \"forest_edges\": "
+        << identity.forest_edges << ", \"forest_weight\": "
+        << identity.forest_weight << ",\n    \"virtual_seconds\": "
+        << std::setprecision(9) << identity.virtual_seconds
+        << ", \"real_measured_wallclock_seconds\": "
+        << identity.real_measured_wallclock
+        << ", \"real_backend_invocations\": " << identity.real_invocations
+        << ", \"identical\": " << (identity.identical ? "true" : "false")
+        << '}' << std::defaultfloat << std::setprecision(6);
+  }
+  j.close();
+  return ok ? 0 : 1;
+}

@@ -70,6 +70,14 @@
 //                                     group fan-in and ring-round cap per
 //                                     level from collective virtual-time
 //                                     metrics, deterministically
+//   --backend sim|real                compute backend for the kernel
+//                                     invocations (default: MND_BACKEND,
+//                                     else sim). sim charges priced virtual
+//                                     time only; real runs the identical
+//                                     kernels on the thread pool and also
+//                                     reports measured wall-clock. The
+//                                     forest and all virtual times are
+//                                     identical across backends
 //   --faults SPEC                     seeded fault-injection plan for the
 //                                     simulated cluster (MND_FAULTS also
 //                                     sets it). SPEC is comma-separated:
@@ -276,6 +284,7 @@ int usage() {
                "                   [--wire raw|compact]\n"
                "                   [--filter on|off|RATE] "
                "[--schedule fixed|adaptive]\n"
+               "                   [--backend sim|real]\n"
                "                   [--faults SPEC]   (e.g. "
                "--faults seed=7,drop=0.01,crash=2@1)\n"
                "                   [--stream] [--mem-budget BYTES] "
@@ -401,6 +410,17 @@ int main(int argc, char** argv) {
                      mode.c_str());
         return usage();
       }
+    } else if (arg == "--backend") {
+      const std::string mode = next();
+      if (mode == "sim") {
+        options.engine.backend = device::BackendKind::kSim;
+      } else if (mode == "real") {
+        options.engine.backend = device::BackendKind::kReal;
+      } else {
+        std::fprintf(stderr, "--backend must be sim or real, got %s\n",
+                     mode.c_str());
+        return usage();
+      }
     } else if (arg == "--faults") {
       options.faults = sim::FaultPlan::parse(next());
     } else if (arg == "--stream") {
@@ -480,6 +500,20 @@ int main(int argc, char** argv) {
               report.total_seconds, report.comm_seconds,
               report.indcomp_seconds, report.merge_seconds,
               report.postprocess_seconds);
+  if (device::resolve_backend(options.engine.backend) ==
+      device::BackendKind::kReal) {
+    std::uint64_t invocations = 0;
+    double priced = 0.0, measured = 0.0;
+    for (const hypar::RankTrace& t : report.traces) {
+      invocations += t.backend_invocations;
+      priced += t.backend_priced_seconds;
+      measured += t.backend_measured_seconds;
+    }
+    std::printf("real backend: %llu kernel invocation(s) | measured "
+                "%.6fs wall-clock | priced %.6fs virtual\n",
+                static_cast<unsigned long long>(invocations), measured,
+                priced);
+  }
 
   if (!trace_path.empty()) {
     std::ofstream out(trace_path);

@@ -1,0 +1,135 @@
+#include "device/backend.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace mnd::device {
+namespace {
+
+class SimBackend final : public ComputeBackend {
+ public:
+  BackendKind kind() const override { return BackendKind::kSim; }
+  std::string name() const override { return "sim"; }
+  InvocationReport invoke(const std::function<double()>& body) override {
+    // No host clock is read anywhere on this path: the sim backend's
+    // output is a pure function of the input, which keeps default runs
+    // byte-identical to the pre-backend engine.
+    InvocationReport r;
+    r.priced_seconds = body();
+    record(r);
+    return r;
+  }
+};
+
+class RealBackend final : public ComputeBackend {
+ public:
+  BackendKind kind() const override { return BackendKind::kReal; }
+  std::string name() const override { return "real"; }
+  InvocationReport invoke(const std::function<double()>& body) override {
+    using Clock = std::chrono::steady_clock;
+    InvocationReport r;
+    const Clock::time_point t0 = Clock::now();
+    r.priced_seconds = body();
+    r.measured_seconds = std::chrono::duration<double>(Clock::now() - t0)
+                             .count();
+    record(r);
+    return r;
+  }
+};
+
+struct Registry {
+  Mutex mutex;
+  std::vector<std::pair<std::string, BackendFactory>> entries
+      MND_GUARDED_BY(mutex);
+
+  Registry() {
+    entries.emplace_back("sim",
+                         [] { return std::make_unique<SimBackend>(); });
+    entries.emplace_back("real",
+                         [] { return std::make_unique<RealBackend>(); });
+  }
+};
+
+Registry& registry() {
+  static Registry r;  // thread-safe magic-static init
+  return r;
+}
+
+}  // namespace
+
+BackendKind backend_from_env() {
+  const char* env = std::getenv("MND_BACKEND");
+  if (env == nullptr || *env == '\0') return BackendKind::kSim;
+  const std::string v(env);
+  if (v == "sim") return BackendKind::kSim;
+  if (v == "real") return BackendKind::kReal;
+  MND_CHECK_MSG(false,
+                "MND_BACKEND must be 'sim' or 'real', got '" << v << "'");
+  return BackendKind::kSim;  // unreachable
+}
+
+const char* backend_name(BackendKind k) {
+  switch (k) {
+    case BackendKind::kSim:
+      return "sim";
+    case BackendKind::kReal:
+      return "real";
+    case BackendKind::kDefault:
+      break;
+  }
+  return "default";
+}
+
+void register_backend(const std::string& name, BackendFactory factory) {
+  MND_CHECK_MSG(!name.empty(), "backend name must be non-empty");
+  MND_CHECK_MSG(factory != nullptr,
+                "backend '" << name << "' needs a factory");
+  Registry& r = registry();
+  MutexLock lock(r.mutex);
+  for (auto& [n, f] : r.entries) {
+    if (n == name) {
+      f = std::move(factory);
+      return;
+    }
+  }
+  r.entries.emplace_back(name, std::move(factory));
+}
+
+std::vector<std::string> backend_names() {
+  Registry& r = registry();
+  MutexLock lock(r.mutex);
+  std::vector<std::string> names;
+  names.reserve(r.entries.size());
+  for (const auto& [n, f] : r.entries) names.push_back(n);
+  return names;
+}
+
+std::unique_ptr<ComputeBackend> make_backend(const std::string& name) {
+  BackendFactory factory;
+  {
+    Registry& r = registry();
+    MutexLock lock(r.mutex);
+    for (const auto& [n, f] : r.entries) {
+      if (n == name) {
+        factory = f;
+        break;
+      }
+    }
+  }
+  MND_CHECK_MSG(factory != nullptr, "unknown compute backend '" << name
+                                                                << "'");
+  auto backend = factory();
+  MND_CHECK_MSG(backend != nullptr,
+                "backend factory '" << name << "' returned null");
+  return backend;
+}
+
+std::unique_ptr<ComputeBackend> make_backend(BackendKind kind) {
+  return make_backend(std::string(backend_name(resolve_backend(kind))));
+}
+
+}  // namespace mnd::device

@@ -1,0 +1,109 @@
+// Pluggable compute-backend layer behind the indComp kernels.
+//
+// Two builtin backends share one seam (ROADMAP item 3):
+//
+//   * "sim"  — the priced-sim backend (default). Kernels execute on the
+//     host exactly as before and only their *priced* virtual seconds are
+//     charged to the rank clock; nothing is measured, so runs stay
+//     byte-identical to the pre-backend engine (forests, traces, metrics).
+//   * "real" — the real shared-memory backend. The very same kernels run
+//     on the PR3 thread pool, but each invocation is additionally timed
+//     with a monotonic wall clock, and the engine reports the measured
+//     seconds alongside the priced virtual time (metrics + RankTrace).
+//
+// The interface is deliberately type-erased: the device library sits
+// *below* mnd_mstcore, so a backend cannot name BoruvkaStats or CompGraph.
+// The engine hands invoke() a closure that runs the kernel and returns its
+// priced virtual seconds; the backend decides whether to wrap it in a
+// timer. Both backends therefore execute identical code with identical
+// KernelWork charging — the sim/real forest byte-identity that
+// tests/backend_test.cpp asserts falls out by construction.
+//
+// Backends are constructed through a name -> factory registry seeded with
+// the builtins; register_backend() lets future device targets (a CUDA
+// stream executor, a remote offload proxy) plug in without touching the
+// engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mnd::device {
+
+/// Backend selector carried by EngineOptions::backend. kDefault resolves
+/// through MND_BACKEND (else sim) at engine start, mirroring the
+/// WireFormat / FilterMode knobs: all ranks see identical options and
+/// environment, so the resolution is cluster-consistent by construction.
+enum class BackendKind : std::uint8_t { kDefault = 0, kSim, kReal };
+
+/// MND_BACKEND=sim|real; unset or empty means kSim. Any other value is a
+/// configuration error and throws CheckFailure.
+BackendKind backend_from_env();
+
+inline BackendKind resolve_backend(BackendKind k) {
+  return k == BackendKind::kDefault ? backend_from_env() : k;
+}
+
+const char* backend_name(BackendKind k);
+
+/// What one invoke() call observed. priced_seconds is the cost-model
+/// virtual time the kernel body computed (identical across backends);
+/// measured_seconds is the wall clock the backend saw around the body —
+/// always 0 under the sim backend, which never reads a host clock.
+struct InvocationReport {
+  double priced_seconds = 0.0;
+  double measured_seconds = 0.0;
+};
+
+/// Running totals across a backend's lifetime (one engine rank).
+struct BackendTelemetry {
+  std::uint64_t invocations = 0;
+  double priced_seconds = 0.0;
+  double measured_seconds = 0.0;
+};
+
+class ComputeBackend {
+ public:
+  virtual ~ComputeBackend() = default;
+
+  virtual BackendKind kind() const = 0;
+  virtual std::string name() const = 0;
+
+  /// Runs one kernel invocation. `body` executes the kernel on the host
+  /// (both builtin backends run the same code on the thread pool) and
+  /// returns its priced virtual seconds. Exceptions from the body
+  /// propagate; nothing is recorded for a throwing invocation.
+  virtual InvocationReport invoke(const std::function<double()>& body) = 0;
+
+  const BackendTelemetry& telemetry() const { return telemetry_; }
+
+ protected:
+  void record(const InvocationReport& r) {
+    ++telemetry_.invocations;
+    telemetry_.priced_seconds += r.priced_seconds;
+    telemetry_.measured_seconds += r.measured_seconds;
+  }
+
+ private:
+  BackendTelemetry telemetry_;
+};
+
+using BackendFactory = std::function<std::unique_ptr<ComputeBackend>()>;
+
+/// Registers (or replaces) a named backend factory. The registry is
+/// seeded with the builtin "sim" and "real" backends at first use.
+void register_backend(const std::string& name, BackendFactory factory);
+
+/// Registered backend names, registration order (builtins first).
+std::vector<std::string> backend_names();
+
+/// Instantiates a backend by registry name; unknown names throw.
+std::unique_ptr<ComputeBackend> make_backend(const std::string& name);
+
+/// Instantiates a builtin backend; kDefault resolves via MND_BACKEND.
+std::unique_ptr<ComputeBackend> make_backend(BackendKind kind);
+
+}  // namespace mnd::device

@@ -21,6 +21,15 @@ KernelWork boruvka_pass_work(std::size_t vertices, std::size_t edges,
   return w;
 }
 
+KernelWork calibration_workload() {
+  return boruvka_pass_work(std::size_t{1} << 20, std::size_t{8} << 20, 64);
+}
+
+double peak_edges_per_second(const Device& d) {
+  const KernelWork big = calibration_workload();
+  return static_cast<double>(big.edges_scanned) / d.kernel_seconds(big);
+}
+
 namespace {
 
 /// Shared calibration core: samples vertices uniformly from [lo, hi) and

@@ -53,4 +53,17 @@ CalibrationResult calibrate_split(const graph::CsrShard& shard,
 KernelWork boruvka_pass_work(std::size_t vertices, std::size_t edges,
                              std::size_t max_degree);
 
+/// The saturated throughput-seed workload: one boruvka_pass_work entry
+/// sized far past either device's parallel knee (2^20 vertices, 8M edges =
+/// 16M scanned arcs, max degree 64). Every consumer of "how fast is this
+/// device" prices exactly this table entry — the calibrate_split ratio
+/// path and Device::peak_edges_per_second share boruvka_pass_work as their
+/// single work table, so a backend added through the registry cannot skew
+/// partition ratios by introducing a second notion of device speed.
+KernelWork calibration_workload();
+
+/// Edges scanned per virtual second by `d` on calibration_workload(); the
+/// one definition behind CpuDevice/GpuDevice::peak_edges_per_second.
+double peak_edges_per_second(const Device& d);
+
 }  // namespace mnd::device

@@ -1,24 +1,19 @@
 #include "device/device.hpp"
 
-namespace mnd::device {
-namespace {
+#include "device/calibration.hpp"
 
-/// Measures asymptotic throughput by pricing a large synthetic workload.
-double throughput_of(const Device& d) {
-  KernelWork big;
-  big.active_vertices = 1u << 20;
-  big.edges_scanned = 16u << 20;
-  big.atomic_updates = 1u << 18;
-  big.max_degree = 64;
-  const double t = d.kernel_seconds(big);
-  return static_cast<double>(big.edges_scanned) / t;
+namespace mnd::device {
+
+// Both overrides price the shared calibration workload (one table entry,
+// calibration.cpp) instead of carrying private synthetic workloads — the
+// partition-ratio seeds and these throughput numbers can never disagree.
+double CpuDevice::peak_edges_per_second() const {
+  return device::peak_edges_per_second(*this);
 }
 
-}  // namespace
-
-double CpuDevice::peak_edges_per_second() const { return throughput_of(*this); }
-
-double GpuDevice::peak_edges_per_second() const { return throughput_of(*this); }
+double GpuDevice::peak_edges_per_second() const {
+  return device::peak_edges_per_second(*this);
+}
 
 InvocationTrace GpuDevice::priced_invocation(double kernel_seconds,
                                              std::size_t bytes_in,

@@ -1,9 +1,10 @@
 #include "graph/edge_list.hpp"
 
 #include <algorithm>
+#include <array>
 
+#include "graph/radix_sort.hpp"
 #include "util/check.hpp"
-#include "util/parallel_sort.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -30,14 +31,14 @@ void EdgeList::canonicalize(bool drop_parallel, std::size_t threads) {
     kept.push_back(canon);
   }
   if (drop_parallel) {
-    // Total order: ties within (u, v) fall through to edge_less, which
-    // breaks on the unique id — so serial and chunked sorts agree exactly.
-    parallel_sort(global_pool(), threads, kept,
-                  [](const WeightedEdge& a, const WeightedEdge& b) {
-                    if (a.u != b.u) return a.u < b.u;
-                    if (a.v != b.v) return a.v < b.v;
-                    return edge_less(a, b);
-                  });
+    // Total order (u, v, w, id): ties within (u, v) fall through to
+    // edge_less, which breaks on the unique id — the radix key encodes
+    // exactly that order, so the result is the unique sorted permutation
+    // for every thread count.
+    radix_sort<3>(global_pool(), threads, kept, [](const WeightedEdge& e) {
+      return std::array<std::uint64_t, 3>{
+          (std::uint64_t{e.u} << 32) | e.v, e.w, e.id};
+    });
     kept.erase(std::unique(kept.begin(), kept.end(),
                            [](const WeightedEdge& a, const WeightedEdge& b) {
                              return a.u == b.u && a.v == b.v;

@@ -164,6 +164,37 @@ MndgHeader read_mndg_header(std::istream& in) {
   return h;
 }
 
+void decode_mndg_chunk(const MndgHeader& header, std::size_t chunk_index,
+                       const std::vector<std::uint8_t>& raw,
+                       EdgeId first_edge_id, std::vector<WeightedEdge>& out) {
+  const MndgChunkInfo& info = header.chunks[chunk_index];
+  MND_CHECK_MSG(raw.size() == info.byte_size,
+                ".mndg chunk " << chunk_index << " payload is " << raw.size()
+                               << " bytes, index says " << info.byte_size);
+  MND_CHECK_MSG(fnv1a64(raw) == info.checksum,
+                ".mndg chunk " << chunk_index << " checksum mismatch");
+  out.clear();
+  sim::Deserializer d(raw);
+  std::int64_t prev_u = 0;
+  const auto n = static_cast<std::int64_t>(header.num_vertices);
+  for (std::uint64_t i = 0; i < info.edge_count; ++i) {
+    const std::int64_t u = prev_u + d.get_varint_signed();
+    const std::int64_t v = u + d.get_varint_signed();
+    const std::uint64_t w = d.get_varint();
+    MND_CHECK_MSG(u >= 0 && u < n && v >= 0 && v < n,
+                  ".mndg chunk " << chunk_index << " edge " << i
+                                 << " endpoint out of range");
+    MND_CHECK_MSG(w <= std::numeric_limits<Weight>::max(),
+                  ".mndg chunk " << chunk_index << " edge " << i
+                                 << " weight overflows uint32");
+    out.push_back({static_cast<VertexId>(u), static_cast<VertexId>(v),
+                   static_cast<Weight>(w), first_edge_id + i});
+    prev_u = u;
+  }
+  MND_CHECK_MSG(d.exhausted(), ".mndg chunk " << chunk_index
+                                              << " has trailing bytes");
+}
+
 MndgChunkCursor::MndgChunkCursor(std::istream& in, IngestAccounting* acct)
     : in_(in), header_(read_mndg_header(in)), acct_(acct) {
   std::size_t max_bytes = 0;
@@ -208,29 +239,7 @@ bool MndgChunkCursor::next() {
   MND_CHECK_MSG(in_.good(),
                 "truncated .mndg chunk " << chunk_ << " (wanted "
                                          << info.byte_size << " bytes)");
-  MND_CHECK_MSG(fnv1a64(raw_) == info.checksum,
-                ".mndg chunk " << chunk_ << " checksum mismatch");
-
-  decoded_.clear();
-  sim::Deserializer d(raw_);
-  std::int64_t prev_u = 0;
-  const auto n = static_cast<std::int64_t>(header_.num_vertices);
-  for (std::uint64_t i = 0; i < info.edge_count; ++i) {
-    const std::int64_t u = prev_u + d.get_varint_signed();
-    const std::int64_t v = u + d.get_varint_signed();
-    const std::uint64_t w = d.get_varint();
-    MND_CHECK_MSG(u >= 0 && u < n && v >= 0 && v < n,
-                  ".mndg chunk " << chunk_ << " edge " << i
-                                 << " endpoint out of range");
-    MND_CHECK_MSG(w <= std::numeric_limits<Weight>::max(),
-                  ".mndg chunk " << chunk_ << " edge " << i
-                                 << " weight overflows uint32");
-    decoded_.push_back({static_cast<VertexId>(u), static_cast<VertexId>(v),
-                        static_cast<Weight>(w), next_edge_id_ + i});
-    prev_u = u;
-  }
-  MND_CHECK_MSG(d.exhausted(), ".mndg chunk " << chunk_
-                                              << " has trailing bytes");
+  decode_mndg_chunk(header_, chunk_, raw_, next_edge_id_, decoded_);
   next_edge_id_ += info.edge_count;
   ++chunk_;
   return true;

@@ -62,6 +62,17 @@ void write_mndg(const EdgeList& el, std::ostream& out,
 /// with the header counts.
 MndgHeader read_mndg_header(std::istream& in);
 
+/// Decodes one encoded chunk payload into `out` (cleared first). Pure
+/// function of its arguments — chunks delta-reset independently, so
+/// distinct chunks decode safely in parallel (the batched pass-2 path of
+/// hypar::stream_load_mndg). Verifies the chunk checksum, the per-edge
+/// endpoint/weight range checks, and the in-chunk trailing-bytes
+/// invariant, all as hard CheckFailure errors; decoded edges carry ids
+/// first_edge_id + position.
+void decode_mndg_chunk(const MndgHeader& header, std::size_t chunk_index,
+                       const std::vector<std::uint8_t>& raw,
+                       EdgeId first_edge_id, std::vector<WeightedEdge>& out);
+
 /// Streaming chunk reader: holds ONE encoded + one decoded chunk in memory
 /// at a time, never the whole edge list. Decoded edges carry their global
 /// EdgeId (file order), so chunk consumers can route edges to owner ranks

@@ -1,0 +1,505 @@
+// Work-efficient LSD radix sort for edge records (DESIGN.md §5i).
+//
+// Every edge ordering in this codebase is a strict TOTAL order (ties break
+// on a unique edge id), so any correct sort produces the one sorted
+// permutation — which is what lets these routines replace the comparison
+// sorts byte-for-byte. The caller expresses its order as a fixed-width
+// key: KeyFn maps an element to std::array<uint64_t, K> with the MOST
+// significant word first, and the sort is ascending lexicographic over
+// that array.
+//
+// The hot variant spends one read-only pre-scan learning the key's actual
+// shape, then sorts only the bits that can change a comparison:
+//
+//   * Bit-run compression — the pre-scan OR-folds every word against a
+//     reference element. Bits that are constant across the input
+//     (zero-extended 32-bit fields, narrow weights, dense id ranges)
+//     never influence a comparison, so only the varying bit-runs are
+//     packed, most significant first, into as few u64 words as they
+//     need. A canonicalize key (2x14-bit endpoints + 20-bit weight)
+//     collapses from 3 words to 48 bits.
+//   * Monotone-suffix elision — the pre-scan also checks, per key suffix,
+//     whether it is already non-decreasing in input order. A stable LSD
+//     sort of the words before such a suffix leaves ties in input order,
+//     which IS the suffix order, so those words are skipped entirely —
+//     canonicalize's trailing id word (file order) costs nothing. When
+//     the whole key is non-decreasing the input is already sorted and the
+//     sort returns without moving a byte.
+//   * Embedded-index bucket hybrid (serial, packed key <= 64 bits after
+//     reserving index room) — one counting scatter by the top ~14 packed
+//     bits, with each element reduced to a single u64 of
+//     (remaining key bits << index bits) | original index. Inside a
+//     bucket a plain u64 ascending sort IS the stable order (the index
+//     field breaks key ties by input position), so small buckets finish
+//     with an inline insertion sort and skewed hub buckets with
+//     std::sort — one data-movement pass instead of one per digit, and
+//     every compare is a single machine word. The payload structs move
+//     once, in a final gather.
+//   * LSD fallback (wide keys / chunk-parallel) — each packed word is
+//     split into the fewest passes of <= 12-bit digits (4096 destination
+//     streams stay cache-resident through the scatter) over 16-byte
+//     (key word, index) records. In the serial path each scatter also
+//     accumulates the next pass's histogram (digit counts are
+//     permutation-invariant), so no pass re-reads the data just to
+//     count.
+//
+// The parallel variant shards each pass over the pool's fixed
+// (n, threads) chunk grid: per-chunk histograms, one (digit-major,
+// chunk-minor) exclusive scan, then each chunk scatters its own elements
+// in order to precomputed disjoint offsets — stable, and byte-identical
+// to the serial path at any thread count.
+//
+// This header is the repository's edge-sort module: direct std::sort on
+// edge arrays in src/mst/ + src/graph/ hot paths is rejected by
+// tools/lint.py rule-11 outside this file.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace mnd::graph {
+
+/// Below this many elements the bucket bookkeeping costs more than a
+/// comparison sort: fall back to std::sort over the same keys (identical
+/// output — the key order is strict and total at every call site).
+inline constexpr std::size_t kRadixSortCutoff = 2048;
+
+namespace radix_detail {
+
+/// Digit width ceiling: 1 << 12 destination streams (256 KiB of active
+/// cache lines) stay L2-resident through a scatter; 16-bit digits measure
+/// ~1.6x slower per pass at graph scale.
+inline constexpr int kMaxDigitBits = 12;
+inline constexpr std::size_t kMaxBuckets = std::size_t{1} << kMaxDigitBits;
+
+/// 8-bit digits for the AoS comparison variant (bench baseline).
+inline constexpr int kDigitBits = 8;
+inline constexpr std::size_t kBuckets = std::size_t{1} << kDigitBits;
+inline constexpr std::uint64_t kDigitMask = kBuckets - 1;
+
+/// One sortable record: the current packed key word plus the element's
+/// original position. 16 bytes — the scatter touches one destination
+/// cache line per element instead of two parallel arrays' worth.
+struct Rec {
+  std::uint64_t k;
+  std::uint32_t i;
+};
+
+/// Runs fn(part) for part in [0, parts), on the pool when one is supplied
+/// and the work is split, serially otherwise. The chunk grid the callers
+/// index with is a function of (n, threads) only, mirroring
+/// parallel_sort's determinism contract.
+template <typename Fn>
+void for_parts(ThreadPool* pool, std::size_t threads, std::size_t parts,
+               Fn&& fn) {
+  if (pool != nullptr && threads > 1 && parts > 1) {
+    pool->parallel_chunks(0, parts, parts,
+                          [&](std::size_t, std::size_t lo, std::size_t hi) {
+                            for (std::size_t p = lo; p < hi; ++p) fn(p);
+                          });
+  } else {
+    for (std::size_t p = 0; p < parts; ++p) fn(p);
+  }
+}
+
+inline std::uint64_t low_mask(int bits) {
+  return bits >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << bits) - 1;
+}
+
+/// A maximal run of varying bits within one key word.
+struct BitRun {
+  std::size_t word;
+  int shift;
+  int bits;
+};
+
+/// One digit pass over a packed word.
+struct DigitPass {
+  int shift;
+  std::uint64_t mask;
+  std::size_t buckets;
+};
+
+/// Splits `bits` into the fewest <= kMaxDigitBits digits, least
+/// significant first (LSD order).
+inline std::vector<DigitPass> plan_digits(int bits) {
+  const int passes = (bits + kMaxDigitBits - 1) / kMaxDigitBits;
+  const int width = (bits + passes - 1) / passes;
+  std::vector<DigitPass> plan;
+  plan.reserve(static_cast<std::size_t>(passes));
+  for (int d = 0; d < passes; ++d) {
+    const int shift = d * width;
+    const int dbits = std::min(width, bits - shift);
+    plan.push_back({shift, low_mask(dbits), std::size_t{1} << dbits});
+  }
+  return plan;
+}
+
+template <std::size_t K, typename T, typename KeyFn>
+void radix_sort_impl(ThreadPool* pool, std::size_t threads,
+                     std::vector<T>& v, KeyFn&& key) {
+  static_assert(K >= 1);
+  const std::size_t n = v.size();
+  if (n < kRadixSortCutoff || n > 0xFFFFFFFFull) {
+    // Tiny inputs (and the unreachable >4G guard for the 32-bit index
+    // columns): the comparison fallback over the same keys.
+    std::sort(v.begin(), v.end(),
+              [&key](const T& a, const T& b) { return key(a) < key(b); });
+    return;
+  }
+  const std::size_t parts = ThreadPool::chunk_count(n, threads);
+  std::vector<std::size_t> bounds(parts + 1);
+  for (std::size_t p = 0; p <= parts; ++p) bounds[p] = p * n / parts;
+
+  // ---- read-only pre-scan -----------------------------------------------
+  // Per-word difference masks against a reference element (which bits
+  // actually vary), and per-suffix monotonicity (nd[j] == "the key suffix
+  // starting at word j is non-decreasing in input order", checked within
+  // chunks here and across chunk seams below).
+  const std::array<std::uint64_t, K> ref = key(v[0]);
+  std::vector<std::uint64_t> chunk_diff(parts * K, 0);
+  std::vector<std::uint8_t> chunk_nd(parts * K, 1);
+  for_parts(pool, threads, parts, [&](std::size_t p) {
+    std::array<std::uint64_t, K> diff{};
+    unsigned ndm = (1u << K) - 1;  // bit w set: suffix w non-decreasing
+    std::array<std::uint64_t, K> prev = key(v[bounds[p]]);
+    for (std::size_t w = 0; w < K; ++w) diff[w] |= prev[w] ^ ref[w];
+    for (std::size_t i = bounds[p] + 1; i < bounds[p + 1]; ++i) {
+      const std::array<std::uint64_t, K> k = key(v[i]);
+      // Branchless lexicographic "k[w..] < prev[w..]", built LSW-first:
+      // random weights make a branchy compare chain mispredict.
+      unsigned less = 0;
+      for (std::size_t w = K; w-- > 0;) {
+        diff[w] |= k[w] ^ ref[w];
+        less = static_cast<unsigned>(k[w] < prev[w]) |
+               (static_cast<unsigned>(k[w] == prev[w]) & less);
+        ndm &= ~(less << w);
+      }
+      prev = k;
+    }
+    for (std::size_t w = 0; w < K; ++w) {
+      chunk_diff[p * K + w] = diff[w];
+      chunk_nd[p * K + w] = (ndm >> w) & 1u;
+    }
+  });
+  std::array<std::uint64_t, K> diff{};
+  std::array<bool, K> nd;
+  nd.fill(true);
+  for (std::size_t p = 0; p < parts; ++p) {
+    for (std::size_t w = 0; w < K; ++w) {
+      diff[w] |= chunk_diff[p * K + w];
+      nd[w] = nd[w] && chunk_nd[p * K + w] != 0;
+    }
+  }
+  for (std::size_t p = 1; p < parts; ++p) {  // chunk-seam pairs
+    const std::array<std::uint64_t, K> a = key(v[bounds[p] - 1]);
+    const std::array<std::uint64_t, K> b = key(v[bounds[p]]);
+    int cmp = 0;
+    for (std::size_t w = K; w-- > 0;) {
+      cmp = b[w] < a[w] ? -1 : (b[w] > a[w] ? 1 : cmp);
+      if (cmp < 0) nd[w] = false;
+    }
+  }
+  if (nd[0]) return;  // whole key non-decreasing: already sorted
+
+  // Words that still need sorting: [0, eff). Stable passes over them
+  // leave ties in input order, which is exactly the skipped suffix's
+  // order.
+  std::size_t eff = K;
+  for (std::size_t j = 1; j < K; ++j) {
+    if (nd[j]) {
+      eff = j;
+      break;
+    }
+  }
+
+  // ---- bit-run layout ----------------------------------------------------
+  // The varying bit-runs of the effective words, most significant first.
+  // Constant bits never influence a comparison, so packing only these
+  // preserves the lexicographic order while shrinking the key. Real edge
+  // keys have a handful of contiguous runs; a pathological mask merely
+  // costs more (still correct) packing work.
+  std::vector<BitRun> runs;
+  std::size_t total_bits = 0;
+  for (std::size_t w = 0; w < eff; ++w) {
+    std::uint64_t m = diff[w];
+    while (m != 0) {
+      const int hi = 63 - std::countl_zero(m);
+      int lo = hi;
+      while (lo > 0 && ((m >> (lo - 1)) & 1) != 0) --lo;
+      runs.push_back({w, lo, hi - lo + 1});
+      total_bits += static_cast<std::size_t>(hi - lo + 1);
+      m &= lo == 0 ? 0 : low_mask(lo);
+    }
+  }
+  const std::size_t words = (total_bits + 63) / 64;  // >= 1: nd[0] false
+
+  // ---- serial fast path: embedded-index bucket hybrid --------------------
+  // When the remaining key bits plus an input-position field fit one u64,
+  // each element collapses to z = (rest_key << idxbits) | index after a
+  // counting scatter by the top T packed bits. Ascending u64 order of z
+  // inside a bucket is exactly the stable key order (index breaks ties by
+  // input position, which is the elided suffix's order), so buckets
+  // finish with an inline insertion sort (small) or std::sort (skewed
+  // hubs) and the payload moves once, in the final gather.
+  const int bits = static_cast<int>(total_bits);
+  const int idxbits = static_cast<int>(std::bit_width(n - 1));
+  if (parts == 1 && bits <= 64) {
+    const int t_needed = bits + idxbits > 64 ? bits + idxbits - 64 : 0;
+    const int top = std::min({std::max(t_needed, std::min(bits, 14)), 16,
+                              bits});
+    if (bits - top + idxbits <= 64) {
+      const int rest = bits - top;
+      const std::uint64_t rmask = low_mask(rest);
+      std::unique_ptr<std::uint64_t[]> pk(new std::uint64_t[n]);
+      const std::size_t buckets = std::size_t{1} << top;
+      std::vector<std::uint32_t> off(buckets, 0);
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::array<std::uint64_t, K> k = key(v[i]);
+        std::uint64_t acc = 0;
+        for (const BitRun& r : runs) {
+          // A 64-bit run can only be the whole (sole) key word here.
+          acc = r.bits >= 64
+                    ? k[r.word]
+                    : (acc << r.bits) |
+                          ((k[r.word] >> r.shift) & low_mask(r.bits));
+        }
+        pk[i] = acc;
+        ++off[acc >> rest];
+      }
+      std::vector<std::uint32_t> starts(buckets + 1);
+      std::uint64_t sum = 0;
+      for (std::size_t b = 0; b < buckets; ++b) {
+        starts[b] = static_cast<std::uint32_t>(sum);
+        sum += off[b];
+        off[b] = starts[b];
+      }
+      starts[buckets] = static_cast<std::uint32_t>(sum);
+      std::unique_ptr<std::uint64_t[]> z(new std::uint64_t[n]);
+      for (std::size_t i = 0; i < n; ++i) {
+        z[off[pk[i] >> rest]++] = ((pk[i] & rmask) << idxbits) | i;
+      }
+      for (std::size_t b = 0; b < buckets; ++b) {
+        const std::size_t lo = starts[b], hi = starts[b + 1];
+        if (hi - lo > 32) {
+          std::sort(z.get() + lo, z.get() + hi);
+        } else if (hi - lo > 1) {
+          for (std::size_t j = lo + 1; j < hi; ++j) {
+            const std::uint64_t x = z[j];
+            std::size_t q = j;
+            for (; q > lo && z[q - 1] > x; --q) z[q] = z[q - 1];
+            z[q] = x;
+          }
+        }
+      }
+      const std::uint64_t imask = low_mask(idxbits);
+      std::vector<T> out(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = v[static_cast<std::size_t>(z[i] & imask)];
+      }
+      v = std::move(out);
+      return;
+    }
+  }
+
+  // ---- pack --------------------------------------------------------------
+  // Each element's varying bits land contiguously in a `words`-u64 big
+  // integer (q = 0 most significant, matching the key convention), filled
+  // least-significant-run first. Raw arrays skip the zero-fill a vector
+  // would pay on tens of MB.
+  std::unique_ptr<std::uint64_t[]> pk(new std::uint64_t[n * words]);
+  for_parts(pool, threads, parts, [&](std::size_t p) {
+    for (std::size_t i = bounds[p]; i < bounds[p + 1]; ++i) {
+      const std::array<std::uint64_t, K> k = key(v[i]);
+      std::uint64_t* out = pk.get() + i * words;
+      for (std::size_t q = 0; q < words; ++q) out[q] = 0;
+      std::size_t q = words - 1;
+      int filled = 0;
+      for (std::size_t t = runs.size(); t-- > 0;) {
+        const BitRun& r = runs[t];
+        const std::uint64_t val = (k[r.word] >> r.shift) & low_mask(r.bits);
+        out[q] |= val << filled;
+        if (filled + r.bits >= 64) {
+          const int spill = filled + r.bits - 64;
+          // spill > 0 implies filled > 0 (runs are <= 64 bits), so the
+          // straddle shift below is well defined.
+          if (spill > 0) out[q - 1] |= val >> (64 - filled);
+          --q;
+          filled = spill;
+        } else {
+          filled += r.bits;
+        }
+      }
+    }
+  });
+
+  // ---- LSD digit passes --------------------------------------------------
+  // Packed words least significant first; within a word, the fewest
+  // <= kMaxDigitBits digits. Records carry (key word, original index); the
+  // final scatter emits payload structs directly.
+  std::unique_ptr<Rec[]> rec(new Rec[n]);
+  std::unique_ptr<Rec[]> rec2(new Rec[n]);
+  std::vector<std::uint32_t> counts(parts * kMaxBuckets);
+  std::vector<std::uint32_t> counts_next(parts * kMaxBuckets);
+  std::vector<T> result(n);
+  const bool serial = !(pool != nullptr && threads > 1 && parts > 1);
+  for (std::size_t q = words; q-- > 0;) {
+    const int word_bits = static_cast<int>(
+        q == 0 ? total_bits - 64 * (words - 1) : 64);
+    const std::vector<DigitPass> plan = plan_digits(word_bits);
+    // Refresh the key word through the current permutation (input order
+    // for the first processed word) and fuse in the first digit's
+    // per-chunk histogram — the refresh does not permute, so chunk
+    // attribution is exact.
+    const DigitPass& first = plan.front();
+    std::fill(counts.begin(), counts.begin() + parts * first.buckets, 0);
+    const bool initial = q + 1 == words;
+    for_parts(pool, threads, parts, [&](std::size_t p) {
+      std::uint32_t* c = counts.data() + p * first.buckets;
+      for (std::size_t i = bounds[p]; i < bounds[p + 1]; ++i) {
+        const std::uint32_t orig =
+            initial ? static_cast<std::uint32_t>(i) : rec[i].i;
+        const std::uint64_t kw = pk[std::size_t{orig} * words + q];
+        rec[i] = {kw, orig};
+        ++c[kw & first.mask];  // first digit shift is always 0
+      }
+    });
+    for (std::size_t d = 0; d < plan.size(); ++d) {
+      const DigitPass& pass = plan[d];
+      // Exclusive offsets, digit-major then chunk-minor: chunk p's run of
+      // digit b lands after every lower digit and after chunks < p of the
+      // same digit, so the scatter is stable for any chunk count.
+      std::uint64_t sum = 0;
+      for (std::size_t b = 0; b < pass.buckets; ++b) {
+        for (std::size_t p = 0; p < parts; ++p) {
+          const std::uint32_t c = counts[p * pass.buckets + b];
+          counts[p * pass.buckets + b] = static_cast<std::uint32_t>(sum);
+          sum += c;
+        }
+      }
+      const bool last = q == 0 && d + 1 == plan.size();
+      const bool have_next = d + 1 < plan.size();
+      const DigitPass* next = have_next ? &plan[d + 1] : nullptr;
+      if (serial) {
+        // Fused scatter: place each record and count the next digit in
+        // the same read (digit histograms are permutation-invariant).
+        if (have_next) {
+          std::fill(counts_next.begin(),
+                    counts_next.begin() + next->buckets, 0);
+        }
+        std::uint32_t* off = counts.data();
+        std::uint32_t* cn = counts_next.data();
+        for (std::size_t i = 0; i < n; ++i) {
+          const Rec r = rec[i];
+          const std::uint32_t pos = off[(r.k >> pass.shift) & pass.mask]++;
+          if (last) {
+            result[pos] = v[r.i];
+          } else {
+            rec2[pos] = r;
+          }
+          if (have_next) ++cn[(r.k >> next->shift) & next->mask];
+        }
+        if (have_next) counts.swap(counts_next);
+      } else {
+        for_parts(pool, threads, parts, [&](std::size_t p) {
+          std::uint32_t* off = counts.data() + p * pass.buckets;
+          for (std::size_t i = bounds[p]; i < bounds[p + 1]; ++i) {
+            const Rec r = rec[i];
+            const std::uint32_t pos = off[(r.k >> pass.shift) & pass.mask]++;
+            if (last) {
+              result[pos] = v[r.i];
+            } else {
+              rec2[pos] = r;
+            }
+          }
+        });
+        if (have_next) {
+          // The next pass iterates the post-scatter layout, so its
+          // per-chunk histogram must be taken after the swap.
+          std::fill(counts.begin(), counts.begin() + parts * next->buckets,
+                    0);
+          for_parts(pool, threads, parts, [&](std::size_t p) {
+            std::uint32_t* c = counts.data() + p * next->buckets;
+            for (std::size_t i = bounds[p]; i < bounds[p + 1]; ++i) {
+              ++c[(rec2[i].k >> next->shift) & next->mask];
+            }
+          });
+        }
+      }
+      if (!last) std::swap(rec, rec2);
+    }
+  }
+  v = std::move(result);
+}
+
+}  // namespace radix_detail
+
+/// Serial LSD radix sort of `v` ascending by key(element), a
+/// std::array<uint64_t, K> with the most significant word FIRST. The key
+/// order must be strict and total (unique keys); the result is then the
+/// unique sorted permutation — byte-identical to any comparison sort over
+/// the same order. Safe to call from inside a parallel region.
+template <std::size_t K, typename T, typename KeyFn>
+void radix_sort(std::vector<T>& v, KeyFn&& key) {
+  radix_detail::radix_sort_impl<K>(nullptr, 1, v, key);
+}
+
+/// Chunk-parallel LSD radix sort: per-chunk digit histograms, one
+/// (digit-major, chunk-minor) exclusive scan, per-chunk in-order stable
+/// scatter. Byte-identical to the serial overload for every thread count.
+template <std::size_t K, typename T, typename KeyFn>
+void radix_sort(ThreadPool& pool, std::size_t threads, std::vector<T>& v,
+                KeyFn&& key) {
+  radix_detail::radix_sort_impl<K>(&pool, threads, v, key);
+}
+
+/// AoS comparison variant: scatters whole payload structs on every 8-bit
+/// digit pass and recomputes the key per element per pass (no bit
+/// compression, no suffix elision, no separated key columns). Identical
+/// output to radix_sort; it exists for the SoA-vs-AoS row of
+/// bench/backend_kernels.cpp — production call sites use radix_sort.
+template <std::size_t K, typename T, typename KeyFn>
+void radix_sort_aos(std::vector<T>& v, KeyFn&& key) {
+  using radix_detail::kBuckets;
+  using radix_detail::kDigitBits;
+  using radix_detail::kDigitMask;
+  const std::size_t n = v.size();
+  if (n < kRadixSortCutoff) {
+    std::sort(v.begin(), v.end(),
+              [&key](const T& a, const T& b) { return key(a) < key(b); });
+    return;
+  }
+  std::vector<T> buf(n);
+  std::vector<std::uint32_t> counts(kBuckets);
+  for (std::size_t word = K; word-- > 0;) {
+    const std::uint64_t ref = key(v[0])[word];
+    std::uint64_t diff = 0;
+    for (const T& e : v) diff |= key(e)[word] ^ ref;
+    if (diff == 0) continue;
+    for (int d = 0; d < 64 / kDigitBits; ++d) {
+      const int shift = d * kDigitBits;
+      if (((diff >> shift) & kDigitMask) == 0) continue;
+      std::fill(counts.begin(), counts.end(), 0);
+      for (const T& e : v) ++counts[(key(e)[word] >> shift) & kDigitMask];
+      std::uint64_t sum = 0;
+      for (std::size_t b = 0; b < kBuckets; ++b) {
+        const std::uint32_t c = counts[b];
+        counts[b] = static_cast<std::uint32_t>(sum);
+        sum += c;
+      }
+      for (const T& e : v) {
+        buf[counts[(key(e)[word] >> shift) & kDigitMask]++] = e;
+      }
+      v.swap(buf);
+    }
+  }
+}
+
+}  // namespace mnd::graph

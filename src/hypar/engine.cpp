@@ -186,6 +186,7 @@ std::uint64_t sync_parents(sim::Communicator& comm, const sim::Group& scope,
 mst::BoruvkaStats indcomp_on_devices(sim::Communicator& comm, CompGraph& cg,
                                      Kernel& kernel,
                                      const EngineOptions& opts,
+                                     device::ComputeBackend& backend,
                                      const device::CpuDevice& cpu,
                                      const device::GpuDevice* gpu,
                                      double gpu_share, std::size_t threads,
@@ -201,7 +202,14 @@ mst::BoruvkaStats indcomp_on_devices(sim::Communicator& comm, CompGraph& cg,
 
   if (gpu == nullptr || gpu_share <= 0.0 || cg.num_components() < 4 ||
       cg.num_edges() < opts.gpu_min_edges) {
-    mst::BoruvkaStats stats = kernel.indComp(cg, nullptr, bopts);
+    // The backend seam: the kernel body runs identically under every
+    // backend and returns its priced virtual seconds; only whether a wall
+    // clock wraps it differs (device/backend.hpp).
+    mst::BoruvkaStats stats;
+    backend.invoke([&]() -> double {
+      stats = kernel.indComp(cg, nullptr, bopts);
+      return stats.priced_seconds(cpu);
+    });
     if (comm.metrics_enabled()) {
       comm.metrics().add_counter("boruvka.compactions", stats.compactions);
     }
@@ -262,8 +270,19 @@ mst::BoruvkaStats indcomp_on_devices(sim::Communicator& comm, CompGraph& cg,
 
     mst::BoruvkaOptions gpu_opts = bopts;
     gpu_opts.trend_device = gpu;
-    const mst::BoruvkaStats cpu_stats = kernel.indComp(cg, on_cpu, bopts);
-    const mst::BoruvkaStats gpu_stats = kernel.indComp(cg, on_gpu, gpu_opts);
+    // Both device partitions execute on the host through the backend seam
+    // (the GPU is a cost model); under the real backend each invocation's
+    // wall clock lands in the backend telemetry.
+    mst::BoruvkaStats cpu_stats;
+    backend.invoke([&]() -> double {
+      cpu_stats = kernel.indComp(cg, on_cpu, bopts);
+      return cpu_stats.priced_seconds(cpu);
+    });
+    mst::BoruvkaStats gpu_stats;
+    backend.invoke([&]() -> double {
+      gpu_stats = kernel.indComp(cg, on_gpu, gpu_opts);
+      return gpu_stats.priced_seconds(*gpu);
+    });
     if (vrep != nullptr) {
       // The device boundary acts as a border: frozen components must be
       // justified by a far endpoint on the other device or another rank.
@@ -624,6 +643,13 @@ EngineResult run_engine_impl(sim::Communicator& comm, const GraphAccess& g,
   const ScheduleMode sched_mode = resolve_schedule(opts.schedule);
   const ScheduleController scheduler(sched_mode, opts.group_size,
                                      opts.thresholds);
+  // Compute backend for every kernel invocation this rank runs. One
+  // instance per rank: invoke() mutates telemetry and rank bodies run on
+  // separate cluster threads.
+  const device::BackendKind backend_kind =
+      device::resolve_backend(opts.backend);
+  const std::unique_ptr<device::ComputeBackend> backend =
+      device::make_backend(backend_kind);
   obs::Tracer* const tr = comm.tracer();
   validate::Report* vrep = nullptr;
   if (validate::enabled(opts.validate)) {
@@ -795,8 +821,8 @@ EngineResult run_engine_impl(sim::Communicator& comm, const GraphAccess& g,
     obs::Span ic_span(tr, "indComp", obs::SpanCat::Phase);
     ic_span.note("level", std::uint64_t{0});
     const auto stats =
-        indcomp_on_devices(comm, cg, kernel, opts, cpu, gpu, gpu_share,
-                           threads, /*level=*/0, vrep);
+        indcomp_on_devices(comm, cg, kernel, opts, *backend, cpu, gpu,
+                           gpu_share, threads, /*level=*/0, vrep);
     if (vrep != nullptr) {
       validate::check_components(cg, me, 0, /*after_merge=*/false, vrep,
                                  filtered);
@@ -979,8 +1005,8 @@ EngineResult run_engine_impl(sim::Communicator& comm, const GraphAccess& g,
       ic_span.note("level", static_cast<std::uint64_t>(level));
       const double ic_begin = comm.clock().now();
       auto stats = indcomp_on_devices(
-          comm, cg, kernel, opts, cpu, first_level ? gpu : nullptr,
-          gpu_share, threads, level, vrep);
+          comm, cg, kernel, opts, *backend, cpu,
+          first_level ? gpu : nullptr, gpu_share, threads, level, vrep);
       if (vrep != nullptr) {
         validate::check_components(cg, me, level, /*after_merge=*/false,
                                    vrep, filtered);
@@ -1118,8 +1144,8 @@ EngineResult run_engine_impl(sim::Communicator& comm, const GraphAccess& g,
           }
 
           // Collaborative merging on the new set of components (CPU).
-          (void)indcomp_on_devices(comm, cg, kernel, opts, cpu, nullptr,
-                                   gpu_share, threads, level, vrep);
+          (void)indcomp_on_devices(comm, cg, kernel, opts, *backend, cpu,
+                                   nullptr, gpu_share, threads, level, vrep);
           cur_wire_bytes += sync_parents(comm, group, cg, part, rep, wire);
           reduce_all(comm, cg, cpu, threads);
           if (vrep != nullptr) {
@@ -1169,8 +1195,8 @@ EngineResult run_engine_impl(sim::Communicator& comm, const GraphAccess& g,
           }
           // Leader runs independent computations on the merged set (§3.4),
           // then reduces (CPU; merged data has already shrunk).
-          (void)indcomp_on_devices(comm, cg, kernel, opts, cpu, nullptr,
-                                   gpu_share, threads, level, vrep);
+          (void)indcomp_on_devices(comm, cg, kernel, opts, *backend, cpu,
+                                   nullptr, gpu_share, threads, level, vrep);
           reduce_all(comm, cg, cpu, threads);
           if (vrep != nullptr) {
             validate::check_components(cg, me, level, /*after_merge=*/true,
@@ -1224,7 +1250,11 @@ EngineResult run_engine_impl(sim::Communicator& comm, const GraphAccess& g,
     mst::BoruvkaOptions final_opts;  // run to completion: no thresholds
     final_opts.threads = threads;
     final_opts.max_runs = opts.max_runs;
-    const auto stats = kernel.indComp(cg, nullptr, final_opts);
+    mst::BoruvkaStats stats;
+    backend->invoke([&]() -> double {
+      stats = kernel.indComp(cg, nullptr, final_opts);
+      return stats.priced_seconds(cpu);
+    });
     if (comm.metrics_enabled()) {
       comm.metrics().add_counter("boruvka.compactions", stats.compactions);
     }
@@ -1297,6 +1327,10 @@ EngineResult run_engine_impl(sim::Communicator& comm, const GraphAccess& g,
                     static_cast<std::uint64_t>(result.forest_edges.size()));
   collect_span.finish();
   result.trace.peak_memory_bytes = comm.memory().peak();
+  const device::BackendTelemetry& btel = backend->telemetry();
+  result.trace.backend_invocations = btel.invocations;
+  result.trace.backend_priced_seconds = btel.priced_seconds;
+  result.trace.backend_measured_seconds = btel.measured_seconds;
 
   // Coarse per-run metrics: one registry write per name, once per run.
   if (comm.metrics_enabled()) {
@@ -1308,6 +1342,15 @@ EngineResult run_engine_impl(sim::Communicator& comm, const GraphAccess& g,
                 fcfg.mode == mst::FilterMode::kOn ? 1.0 : 0.0);
     m.set_gauge("boruvka.schedule.adaptive",
                 sched_mode == ScheduleMode::kAdaptive ? 1.0 : 0.0);
+    // Backend telemetry is emitted only under the real backend: the sim
+    // backend's metrics output must stay byte-identical to the
+    // pre-backend engine (existing goldens and tests depend on it).
+    if (backend_kind == device::BackendKind::kReal) {
+      m.set_gauge("hypar.backend.real", 1.0);
+      m.add_counter("hypar.backend.invocations", btel.invocations);
+      m.set_gauge("hypar.backend.priced_seconds", btel.priced_seconds);
+      m.set_gauge("hypar.backend.measured_seconds", btel.measured_seconds);
+    }
     m.add_counter("hypar.ghost_edges", result.trace.ghost_edges);
     m.add_counter("hypar.boundary_vertices", result.trace.boundary_vertices);
     m.add_counter(

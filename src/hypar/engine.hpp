@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "device/backend.hpp"
 #include "device/calibration.hpp"
 #include "device/device.hpp"
 #include "graph/csr.hpp"
@@ -115,6 +116,16 @@ struct EngineOptions {
   /// (hypar/schedule.hpp). kDefault resolves through MND_SCHEDULE (unset:
   /// fixed).
   ScheduleMode schedule = ScheduleMode::kDefault;
+
+  /// Compute backend for the indComp/postProcess kernel invocations
+  /// (device/backend.hpp): kSim charges priced virtual time only (the
+  /// default — runs are byte-identical to the pre-backend engine); kReal
+  /// runs the identical kernels on the thread pool and additionally
+  /// reports measured wall-clock per invocation (RankTrace +
+  /// hypar.backend.* metrics). kDefault resolves through MND_BACKEND
+  /// (unset: sim). The forest and all priced virtual times are identical
+  /// across backends.
+  device::BackendKind backend = device::BackendKind::kDefault;
 };
 
 /// Per-level convergence snapshot: how the hierarchical merge shrinks this
@@ -138,6 +149,13 @@ struct RankTrace {
   int ring_rounds = 0;
   double gpu_share = 0.0;
   std::size_t peak_memory_bytes = 0;
+  /// Real-backend telemetry: kernel invocations this rank ran through the
+  /// compute backend, their summed priced virtual seconds, and the summed
+  /// measured wall-clock. measured stays 0.0 under the sim backend (it
+  /// never reads a host clock).
+  std::uint64_t backend_invocations = 0;
+  double backend_priced_seconds = 0.0;
+  double backend_measured_seconds = 0.0;
   /// One entry per level this rank participated in (levels[0] mirrors the
   /// *_after_level0 scalars).
   std::vector<LevelTrace> levels;

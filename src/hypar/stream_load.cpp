@@ -1,12 +1,96 @@
 #include "hypar/stream_load.hpp"
 
 #include <algorithm>
+#include <exception>
 #include <istream>
 
 #include "graph/mndg.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mnd::hypar {
+
+namespace {
+
+/// Pass-2 body, batched: reads raw bytes for up to `threads` chunks
+/// serially, decodes the batch in parallel (chunks delta-reset
+/// independently — graph::decode_mndg_chunk is pure), then places arcs
+/// serially in chunk order. Placement order matches the serial cursor
+/// exactly, so the shards are byte-identical at any thread count. Used
+/// only with an unlimited mem budget: the batch holds `threads` chunks in
+/// flight where the cursor holds one, and the budget contract is sized
+/// for the cursor's footprint.
+void route_arcs_batched(std::istream& in, StreamedGraph& sg,
+                        graph::IngestAccounting& acct, std::size_t threads) {
+  const graph::MndgHeader h = graph::read_mndg_header(in);
+  const std::size_t nchunks = h.chunks.size();
+  const std::size_t batch_cap = std::min(threads, std::max<std::size_t>(
+                                                      1, nchunks));
+  std::vector<std::vector<std::uint8_t>> raws(batch_cap);
+  std::vector<std::vector<graph::WeightedEdge>> decoded(batch_cap);
+  std::vector<graph::EdgeId> first_ids(batch_cap);
+  std::vector<std::exception_ptr> errors(batch_cap);
+  graph::EdgeId next_id = 0;
+  for (std::size_t chunk = 0; chunk < nchunks;) {
+    const std::size_t batch = std::min(batch_cap, nchunks - chunk);
+    std::size_t batch_bytes = 0;
+    for (std::size_t b = 0; b < batch; ++b) {
+      const graph::MndgChunkInfo& info = h.chunks[chunk + b];
+      batch_bytes += static_cast<std::size_t>(info.byte_size) +
+                     static_cast<std::size_t>(info.edge_count) *
+                         sizeof(graph::WeightedEdge);
+    }
+    acct.charge(graph::IngestAccounting::kShared, batch_bytes);
+    for (std::size_t b = 0; b < batch; ++b) {
+      const graph::MndgChunkInfo& info = h.chunks[chunk + b];
+      raws[b].resize(static_cast<std::size_t>(info.byte_size));
+      in.read(reinterpret_cast<char*>(raws[b].data()),
+              static_cast<std::streamsize>(raws[b].size()));
+      MND_CHECK_MSG(in.good(), "truncated .mndg chunk "
+                                   << chunk + b << " (wanted "
+                                   << info.byte_size << " bytes)");
+      first_ids[b] = next_id;
+      next_id += info.edge_count;
+      errors[b] = nullptr;
+    }
+    // Pool tasks must not throw (escaping exceptions terminate); capture
+    // and rethrow the lowest-index failure — the chunk the serial cursor
+    // would have failed on first.
+    global_pool().parallel_chunks(
+        0, batch, threads, [&](std::size_t, std::size_t lo, std::size_t hi) {
+          for (std::size_t b = lo; b < hi; ++b) {
+            try {
+              graph::decode_mndg_chunk(h, chunk + b, raws[b], first_ids[b],
+                                       decoded[b]);
+            } catch (...) {
+              errors[b] = std::current_exception();
+            }
+          }
+        });
+    for (std::size_t b = 0; b < batch; ++b) {
+      if (errors[b] != nullptr) std::rethrow_exception(errors[b]);
+    }
+    for (std::size_t b = 0; b < batch; ++b) {
+      for (const graph::WeightedEdge& e : decoded[b]) {
+        if (e.u == e.v) continue;
+        const graph::VertexId u = sg.hasher.hash(e.u);
+        const graph::VertexId v = sg.hasher.hash(e.v);
+        sg.shards[static_cast<std::size_t>(sg.part.owner(u))].place(
+            u, graph::Csr::Arc{v, e.w, e.id});
+        sg.shards[static_cast<std::size_t>(sg.part.owner(v))].place(
+            v, graph::Csr::Arc{u, e.w, e.id});
+      }
+    }
+    acct.release(graph::IngestAccounting::kShared, batch_bytes);
+    chunk += batch;
+  }
+  // Mirror the cursor's end-of-stream discipline: bytes after the last
+  // indexed chunk are a hard error, never silently ignored.
+  MND_CHECK_MSG(in.peek() == std::istream::traits_type::eof(),
+                "trailing bytes after the last .mndg chunk");
+}
+
+}  // namespace
 
 StreamedGraph stream_load_mndg(std::istream& in,
                                const StreamLoadOptions& opts) {
@@ -74,7 +158,9 @@ StreamedGraph stream_load_mndg(std::istream& in,
                        row_arcs * sizeof(graph::Csr::Arc));
     sg.shards.emplace_back(lo, hi, offsets);
   }
-  {
+  if (opts.threads > 1 && opts.mem_budget == 0 && sg.file_chunks > 1) {
+    route_arcs_batched(in, sg, acct, opts.threads);
+  } else {
     graph::MndgChunkCursor cursor(in, &acct);
     while (cursor.next()) {
       for (const graph::WeightedEdge& e : cursor.edges()) {

@@ -9,7 +9,10 @@
 //   pass 2  every decoded edge is routed to the owner rank(s) of its
 //           endpoints and placed into that rank's CsrShard, pre-sized
 //           exactly from the offsets; per-rank adjacencies are then sorted
-//           into the canonical (to, w, id) order.
+//           into the canonical (to, w, id) order. With threads > 1 and no
+//           mem budget, chunks decode in parallel batches (each chunk is
+//           independently decodable); placement stays serial in chunk
+//           order, so the shards are byte-identical at any thread count.
 // The global edge list and global arc array are never materialized; the
 // IngestAccounting hook (graph/alloc_hook.hpp) charges every buffer so a
 // per-rank --mem-budget is enforceable and the peaks are testable.

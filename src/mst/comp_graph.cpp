@@ -1,7 +1,9 @@
 #include "mst/comp_graph.hpp"
 
 #include <algorithm>
+#include <array>
 
+#include "graph/radix_sort.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -158,9 +160,9 @@ std::vector<CEdge> edges_by_destination(const Component& c) {
   std::vector<CEdge> live(c.edges.begin() +
                               static_cast<std::ptrdiff_t>(c.scan_head),
                           c.edges.end());
-  std::sort(live.begin(), live.end(), [](const CEdge& a, const CEdge& b) {
-    if (a.to != b.to) return a.to < b.to;
-    return graph::edge_less(a, b);
+  // (to, w, orig): the radix key for "by destination, ties by edge_less".
+  graph::radix_sort<3>(live, [](const CEdge& e) {
+    return std::array<std::uint64_t, 3>{e.to, e.w, e.orig};
   });
   return live;
 }
@@ -245,11 +247,8 @@ Component deserialize_component_compact(sim::Deserializer* d) {
   // The wire order is by destination; restore the (w, orig) edge-order
   // invariant. The extra `to` tie-break keeps the sort deterministic even
   // for unpruned bundles that still hold same-(w, orig) self-edge copies.
-  std::sort(c.edges.begin(), c.edges.end(), [](const CEdge& a,
-                                               const CEdge& b) {
-    if (graph::edge_less(a, b)) return true;
-    if (graph::edge_less(b, a)) return false;
-    return a.to < b.to;
+  graph::radix_sort<3>(c.edges, [](const CEdge& e) {
+    return std::array<std::uint64_t, 3>{e.w, e.orig, e.to};
   });
   return c;
 }
@@ -385,8 +384,11 @@ std::size_t prune_component(Component& c, const RenameMap& renames) {
   best.for_each([&](const VertexId&, const CEdge& e) { c.edges.push_back(e); });
   // Deterministic despite hash iteration order: (w, orig) keys are unique
   // among survivors (parallel copies of one orig edge resolve to the same
-  // destination, so at most one survives).
-  std::sort(c.edges.begin(), c.edges.end(), graph::EdgeLess{});
+  // destination, so at most one survives). Serial radix: this body runs
+  // inside prune_for_wire's parallel region.
+  graph::radix_sort<2>(c.edges, [](const CEdge& e) {
+    return std::array<std::uint64_t, 2>{e.w, e.orig};
+  });
   c.scan_head = 0;
   c.last_clean_size = c.edges.size();
   return live;

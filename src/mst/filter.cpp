@@ -283,7 +283,9 @@ FilterStats filter_f_heavy(CompGraph& cg, const FilterOptions& opts) {
   // Sequential adjacency stream + one ownership probe per entry.
   st.work.stream_bytes += entries * sizeof(CEdge);
   st.work.cache_hops += entries;
-  std::sort(sample.begin(), sample.end(),
+  // Tiny per-round sample (~p*m edges) ordered by the unique orig id for
+  // dedup, not by the edge total order the radix module owns.
+  std::sort(sample.begin(), sample.end(),  // NOLINT-mnd(rule-11)
             [](const SampleEdge& a, const SampleEdge& b) {
               return a.orig < b.orig;
             });

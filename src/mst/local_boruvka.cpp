@@ -1,11 +1,12 @@
 #include "mst/local_boruvka.hpp"
 
 #include <algorithm>
+#include <array>
 #include <utility>
 
+#include "graph/radix_sort.hpp"
 #include "util/check.hpp"
 #include "util/flat_hash.hpp"
-#include "util/parallel_sort.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mnd::mst {
@@ -14,6 +15,11 @@ namespace {
 
 bool lighter_edge(const CEdge& a, const CEdge& b) {
   return graph::edge_less(a, b);
+}
+
+/// The (w, orig) radix key: the repository's strict total edge order.
+std::array<std::uint64_t, 2> edge_key(const CEdge& e) {
+  return {e.w, e.orig};
 }
 
 /// Below this many edges the per-chunk shard maps cost more than the scan.
@@ -26,11 +32,88 @@ void keep_lighter(CEdge& slot, const CEdge& e) {
   if (slot.orig == graph::kInvalidEdge || lighter_edge(e, slot)) slot = e;
 }
 
+}  // namespace
+
+namespace detail {
+
+std::vector<CEdge> merge_shards(
+    std::vector<mnd::FlatHashMap<VertexId, CEdge>>& shards,
+    std::size_t threads, PackMode mode) {
+  const std::size_t nshards = shards.size();
+  if (mode == PackMode::kCopy) {
+    // Legacy: one serial merge map sized for the worst case, then a copy.
+    std::size_t distinct = 0;
+    for (const auto& shard : shards) distinct += shard.size();
+    mnd::FlatHashMap<VertexId, CEdge> best(distinct);
+    for (auto& shard : shards) {
+      shard.for_each([&](const VertexId& target, const CEdge& e) {
+        keep_lighter(best[target], e);
+      });
+    }
+    std::vector<CEdge> merged;
+    merged.reserve(best.size());
+    best.for_each([&](const VertexId&, const CEdge& e) {
+      // NOLINTNEXTLINE-mnd(rule-8): callers restore the (w, orig) sort.
+      merged.push_back(e);
+    });
+    return merged;
+  }
+  // Phase A: parallel survivor probe. A shard entry survives iff no other
+  // shard holds a lighter entry for the same target; (w, orig) is strict
+  // and total, so the minimum is unique (identical duplicate records tie-
+  // break to the lowest shard index). Exactly one copy per target
+  // survives, across all shards.
+  std::vector<std::vector<CEdge>> survivors(nshards);
+  global_pool().parallel_chunks(
+      0, nshards, threads,
+      [&](std::size_t, std::size_t lo, std::size_t hi) {
+        for (std::size_t p = lo; p < hi; ++p) {
+          auto& mine = survivors[p];
+          mine.reserve(shards[p].size());
+          shards[p].for_each([&](const VertexId& target, const CEdge& e) {
+            for (std::size_t q = 0; q < nshards; ++q) {
+              if (q == p) continue;
+              const CEdge* other = shards[q].find(target);
+              if (other == nullptr) continue;
+              if (lighter_edge(*other, e) ||
+                  (q < p && !lighter_edge(e, *other))) {
+                return;  // a lighter (or earlier equal) copy wins
+              }
+            }
+            // The pack order never shows: callers restore the (w, orig)
+            // sort over the packed vector.
+            // NOLINTNEXTLINE-mnd(rule-8)
+            mine.push_back(e);
+          });
+        }
+      });
+  // Phase B: exclusive prefix scan of the survivor counts.
+  std::vector<std::size_t> offsets(nshards + 1, 0);
+  for (std::size_t p = 0; p < nshards; ++p) {
+    offsets[p + 1] = offsets[p] + survivors[p].size();
+  }
+  // Phase C: parallel pack at the scanned offsets (disjoint writes).
+  std::vector<CEdge> merged(offsets[nshards]);
+  global_pool().parallel_chunks(
+      0, nshards, threads,
+      [&](std::size_t, std::size_t lo, std::size_t hi) {
+        for (std::size_t p = lo; p < hi; ++p) {
+          std::copy(
+              survivors[p].begin(), survivors[p].end(),
+              merged.begin() + static_cast<std::ptrdiff_t>(offsets[p]));
+        }
+      });
+  return merged;
+}
+
+}  // namespace detail
+
+namespace {
+
 /// Shared body of the threaded multi-edge removal: resolves `edges`
 /// chunk-parallel into per-chunk shard maps (read-only rename lookups),
-/// merges the shards in chunk order — the min over (w, orig) is
-/// order-independent, so any merge order yields the same map — and
-/// rebuilds `edges` sorted by the (w, orig) total order.
+/// scan-packs the shard survivors into one flat vector, and rebuilds
+/// `edges` sorted by the (w, orig) total order with the parallel radix.
 std::size_t clean_edges_parallel(std::vector<CEdge>& edges, VertexId self,
                                  const RenameMap& renames,
                                  std::size_t threads) {
@@ -53,19 +136,8 @@ std::size_t clean_edges_parallel(std::vector<CEdge>& edges, VertexId self,
           keep_lighter(shard[target], CEdge{target, e.w, e.orig});
         }
       });
-  std::size_t distinct = 0;
-  for (const auto& shard : shards) distinct += shard.size();
-  mnd::FlatHashMap<VertexId, CEdge> best(distinct);
-  for (auto& shard : shards) {
-    shard.for_each(
-        [&](const VertexId& target, const CEdge& e) {
-          keep_lighter(best[target], e);
-        });
-  }
-  edges.clear();
-  edges.reserve(best.size());
-  best.for_each([&](const VertexId&, const CEdge& e) { edges.push_back(e); });
-  parallel_sort(pool, threads, edges, graph::EdgeLess{});
+  edges = detail::merge_shards(shards, threads, detail::PackMode::kScan);
+  graph::radix_sort<2>(pool, threads, edges, edge_key);
   return scanned;
 }
 
@@ -83,7 +155,8 @@ std::size_t clean_edges_readonly(std::vector<CEdge>& edges, VertexId self,
   edges.clear();
   edges.reserve(best.size());
   best.for_each([&](const VertexId&, const CEdge& e) { edges.push_back(e); });
-  std::sort(edges.begin(), edges.end(), graph::EdgeLess{});
+  // Serial radix: this body runs inside clean_all's parallel region.
+  graph::radix_sort<2>(edges, edge_key);
   return scanned;
 }
 
@@ -127,7 +200,7 @@ std::size_t clean_adjacency(CompGraph& cg, Component& c,
   best.for_each([&](const VertexId&, const CEdge& e) { c.edges.push_back(e); });
   // Restore the (w, orig) sort invariant; deterministic regardless of
   // hash iteration order because the keys (w, orig) are unique.
-  std::sort(c.edges.begin(), c.edges.end(), graph::EdgeLess{});
+  graph::radix_sort<2>(c.edges, edge_key);
   c.scan_head = 0;
   c.last_clean_size = c.edges.size();
   return scanned;
@@ -396,8 +469,8 @@ class InvocationState {
 
   /// Merges all runs into one sorted run with multi-edge removal. With
   /// threads, each run resolves into its own shard map concurrently, the
-  /// shards merge in run order (min is order-independent), and the merged
-  /// vector sorts with the chunked parallel sort — same output, charged
+  /// shard survivors scan-pack into one flat vector (merge_shards), and
+  /// the result sorts with the parallel radix — same output, charged
   /// identically.
   void compact(VertexId id, RunSet& rs, device::KernelWork* work) {
     if (rs.runs.size() <= 1 && rs.runs.size() == rs.heads.size() &&
@@ -429,7 +502,7 @@ class InvocationState {
     merged.reserve(best.size());
     best.for_each(
         [&](const VertexId&, const CEdge& e) { merged.push_back(e); });
-    std::sort(merged.begin(), merged.end(), lighter_edge);
+    graph::radix_sort<2>(merged, edge_key);
     work->atomic_updates += merged.size();
     rs.runs.clear();
     rs.heads.clear();
@@ -461,19 +534,9 @@ class InvocationState {
           }
         });
     for (std::size_t s : chunk_scanned) work->edges_scanned += s;
-    std::size_t distinct = 0;
-    for (const auto& shard : shards) distinct += shard.size();
-    mnd::FlatHashMap<VertexId, CEdge> best(distinct);
-    for (auto& shard : shards) {
-      shard.for_each([&](const VertexId& target, const CEdge& e) {
-        keep_lighter(best[target], e);
-      });
-    }
-    std::vector<CEdge> merged;
-    merged.reserve(best.size());
-    best.for_each(
-        [&](const VertexId&, const CEdge& e) { merged.push_back(e); });
-    parallel_sort(global_pool(), threads_, merged, lighter_edge);
+    std::vector<CEdge> merged =
+        detail::merge_shards(shards, threads_, detail::PackMode::kScan);
+    graph::radix_sort<2>(global_pool(), threads_, merged, edge_key);
     work->atomic_updates += merged.size();
     rs.runs.clear();
     rs.heads.clear();

@@ -18,6 +18,7 @@
 
 #include "device/device.hpp"
 #include "mst/comp_graph.hpp"
+#include "util/flat_hash.hpp"
 
 namespace mnd::mst {
 
@@ -112,5 +113,32 @@ std::vector<CEdge> min_edges_per_component(const CompGraph& cg,
                                            const std::vector<VertexId>& ids,
                                            std::size_t threads = 1,
                                            device::KernelWork* work = nullptr);
+
+namespace detail {
+
+/// How the parallel clean/compact paths turn their per-chunk dedup shards
+/// into one flat survivor vector (DESIGN.md §5i).
+enum class PackMode {
+  /// Prefix-sum compaction: a parallel survivor probe across the shards,
+  /// an exclusive scan of per-shard survivor counts, and a parallel pack
+  /// at the scanned offsets. The production path.
+  kScan,
+  /// Legacy path: serial merge of every shard into one hash map, then a
+  /// copy out. Kept callable as the bench baseline and for the
+  /// equivalence test in tests/backend_test.cpp.
+  kCopy,
+};
+
+/// Merges per-chunk shard maps (resolved target -> its lightest CEdge in
+/// that chunk) into the unsorted survivor vector: the globally lightest
+/// entry per target, exactly once. Both modes return the same multiset —
+/// callers restore the (w, orig) sort afterwards, so the packed order
+/// never shows. Survivor count == number of distinct targets, which keeps
+/// the callers' KernelWork charges identical across modes.
+std::vector<CEdge> merge_shards(
+    std::vector<mnd::FlatHashMap<VertexId, CEdge>>& shards,
+    std::size_t threads, PackMode mode);
+
+}  // namespace detail
 
 }  // namespace mnd::mst

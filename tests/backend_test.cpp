@@ -1,0 +1,438 @@
+// The PR10 backend layer: MND_BACKEND resolution, the backend registry,
+// sim/real telemetry semantics, sim-vs-real forest byte-identity across a
+// fuzz slice of engine configs, the radix-sort differential against
+// std::sort on adversarial keys, and kScan-vs-kCopy shard-merge
+// equivalence.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "device/backend.hpp"
+#include "graph/generators.hpp"
+#include "graph/radix_sort.hpp"
+#include "graph/types.hpp"
+#include "mst/comp_graph.hpp"
+#include "mst/local_boruvka.hpp"
+#include "mst/mnd_mst.hpp"
+#include "util/check.hpp"
+#include "util/flat_hash.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mnd {
+namespace {
+
+using graph::EdgeId;
+using graph::VertexId;
+using graph::Weight;
+using graph::WeightedEdge;
+
+/// Sets (or unsets, for value == nullptr) an environment variable for the
+/// enclosing scope and restores the previous state on destruction.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_ = old != nullptr;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_ = false;
+};
+
+// ---- MND_BACKEND resolution ----------------------------------------------
+
+TEST(BackendEnvTest, UnsetMeansSim) {
+  ScopedEnv env("MND_BACKEND", nullptr);
+  EXPECT_EQ(device::backend_from_env(), device::BackendKind::kSim);
+}
+
+TEST(BackendEnvTest, EmptyMeansSim) {
+  ScopedEnv env("MND_BACKEND", "");
+  EXPECT_EQ(device::backend_from_env(), device::BackendKind::kSim);
+}
+
+TEST(BackendEnvTest, NamedKinds) {
+  {
+    ScopedEnv env("MND_BACKEND", "sim");
+    EXPECT_EQ(device::backend_from_env(), device::BackendKind::kSim);
+  }
+  {
+    ScopedEnv env("MND_BACKEND", "real");
+    EXPECT_EQ(device::backend_from_env(), device::BackendKind::kReal);
+  }
+}
+
+TEST(BackendEnvTest, InvalidValueThrows) {
+  ScopedEnv env("MND_BACKEND", "cuda");
+  EXPECT_THROW(device::backend_from_env(), CheckFailure);
+}
+
+TEST(BackendEnvTest, ResolvePassesExplicitKindsThrough) {
+  // An explicit kind wins over whatever the environment says.
+  ScopedEnv env("MND_BACKEND", "real");
+  EXPECT_EQ(device::resolve_backend(device::BackendKind::kSim),
+            device::BackendKind::kSim);
+  EXPECT_EQ(device::resolve_backend(device::BackendKind::kReal),
+            device::BackendKind::kReal);
+  EXPECT_EQ(device::resolve_backend(device::BackendKind::kDefault),
+            device::BackendKind::kReal);
+}
+
+// ---- registry ------------------------------------------------------------
+
+TEST(BackendRegistryTest, BuiltinsAreSeededFirst) {
+  const std::vector<std::string> names = device::backend_names();
+  ASSERT_GE(names.size(), 2u);
+  EXPECT_EQ(names[0], "sim");
+  EXPECT_EQ(names[1], "real");
+}
+
+TEST(BackendRegistryTest, MakeByNameAndKind) {
+  EXPECT_EQ(device::make_backend("sim")->kind(), device::BackendKind::kSim);
+  EXPECT_EQ(device::make_backend("real")->kind(), device::BackendKind::kReal);
+  EXPECT_EQ(device::make_backend(device::BackendKind::kSim)->name(), "sim");
+  EXPECT_EQ(device::make_backend(device::BackendKind::kReal)->name(), "real");
+}
+
+TEST(BackendRegistryTest, DefaultKindResolvesThroughEnv) {
+  ScopedEnv env("MND_BACKEND", "real");
+  EXPECT_EQ(device::make_backend(device::BackendKind::kDefault)->kind(),
+            device::BackendKind::kReal);
+}
+
+TEST(BackendRegistryTest, UnknownNameThrows) {
+  EXPECT_THROW(device::make_backend("no-such-backend"), CheckFailure);
+}
+
+TEST(BackendRegistryTest, CustomBackendIsReachable) {
+  /// A registered factory is constructible by name and appears in
+  /// backend_names() exactly once even when re-registered.
+  class Probe : public device::ComputeBackend {
+   public:
+    device::BackendKind kind() const override {
+      return device::BackendKind::kSim;
+    }
+    std::string name() const override { return "probe"; }
+    device::InvocationReport invoke(
+        const std::function<double()>& body) override {
+      device::InvocationReport r;
+      r.priced_seconds = body();
+      record(r);
+      return r;
+    }
+  };
+  device::register_backend("probe",
+                           [] { return std::make_unique<Probe>(); });
+  device::register_backend("probe",
+                           [] { return std::make_unique<Probe>(); });
+  EXPECT_EQ(device::make_backend("probe")->name(), "probe");
+  const std::vector<std::string> names = device::backend_names();
+  EXPECT_EQ(std::count(names.begin(), names.end(), "probe"), 1);
+}
+
+// ---- telemetry semantics -------------------------------------------------
+
+TEST(BackendTelemetryTest, SimNeverReadsAClock) {
+  const auto backend = device::make_backend("sim");
+  const device::InvocationReport r = backend->invoke([] { return 0.25; });
+  EXPECT_DOUBLE_EQ(r.priced_seconds, 0.25);
+  EXPECT_DOUBLE_EQ(r.measured_seconds, 0.0);
+  backend->invoke([] { return 0.5; });
+  EXPECT_EQ(backend->telemetry().invocations, 2u);
+  EXPECT_DOUBLE_EQ(backend->telemetry().priced_seconds, 0.75);
+  EXPECT_DOUBLE_EQ(backend->telemetry().measured_seconds, 0.0);
+}
+
+TEST(BackendTelemetryTest, RealMeasuresWallClock) {
+  const auto backend = device::make_backend("real");
+  // Burn a little real work so steady_clock has something to see; the
+  // assertion is only measured >= 0 (a zero-resolution clock tick is
+  // legal), never a specific duration.
+  const device::InvocationReport r = backend->invoke([] {
+    volatile std::uint64_t sink = 0;
+    for (std::uint64_t i = 0; i < 100000; ++i) sink = sink + i;
+    return 0.125;
+  });
+  EXPECT_DOUBLE_EQ(r.priced_seconds, 0.125);
+  EXPECT_GE(r.measured_seconds, 0.0);
+  EXPECT_EQ(backend->telemetry().invocations, 1u);
+  EXPECT_DOUBLE_EQ(backend->telemetry().priced_seconds, 0.125);
+  EXPECT_GE(backend->telemetry().measured_seconds, 0.0);
+}
+
+TEST(BackendTelemetryTest, ThrowingBodyRecordsNothing) {
+  const auto backend = device::make_backend("real");
+  EXPECT_THROW(
+      backend->invoke([]() -> double { throw std::runtime_error("boom"); }),
+      std::runtime_error);
+  EXPECT_EQ(backend->telemetry().invocations, 0u);
+}
+
+// ---- sim/real forest byte-identity ---------------------------------------
+
+mst::MndMstReport run_with_backend(const graph::EdgeList& el,
+                                   device::BackendKind backend,
+                                   std::size_t threads, sim::WireFormat wire,
+                                   mst::FilterMode filter) {
+  mst::MndMstOptions opts;
+  opts.num_nodes = 4;
+  opts.threads = threads;
+  opts.engine.backend = backend;
+  opts.engine.wire = wire;
+  opts.engine.filter.mode = filter;
+  return mst::run_mnd_mst(el, opts);
+}
+
+TEST(BackendIdentityTest, RealMatchesSimAcrossConfigs) {
+  const graph::EdgeList el = graph::rmat(10, 5000, 21);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    for (const sim::WireFormat wire :
+         {sim::WireFormat::kRaw, sim::WireFormat::kCompact}) {
+      for (const mst::FilterMode filter :
+           {mst::FilterMode::kOff, mst::FilterMode::kOn}) {
+        SCOPED_TRACE(::testing::Message()
+                     << "threads=" << threads << " wire=" << int(wire)
+                     << " filter=" << int(filter));
+        const auto sim_report = run_with_backend(
+            el, device::BackendKind::kSim, threads, wire, filter);
+        const auto real_report = run_with_backend(
+            el, device::BackendKind::kReal, threads, wire, filter);
+
+        // The forest and every priced virtual time must be bit-identical:
+        // the backend seam only decides whether a wall clock wraps the
+        // kernel body, never what the body computes or charges.
+        EXPECT_EQ(real_report.forest.edges, sim_report.forest.edges);
+        EXPECT_EQ(real_report.forest.total_weight,
+                  sim_report.forest.total_weight);
+        EXPECT_EQ(real_report.total_seconds, sim_report.total_seconds);
+        EXPECT_EQ(real_report.comm_seconds, sim_report.comm_seconds);
+        EXPECT_EQ(real_report.indcomp_seconds, sim_report.indcomp_seconds);
+        EXPECT_EQ(real_report.merge_seconds, sim_report.merge_seconds);
+        EXPECT_EQ(real_report.postprocess_seconds,
+                  sim_report.postprocess_seconds);
+
+        // Backend trace fields: both backends count invocations and priced
+        // seconds identically; only the real backend measures.
+        ASSERT_EQ(real_report.traces.size(), sim_report.traces.size());
+        std::uint64_t real_invocations = 0;
+        for (std::size_t r = 0; r < real_report.traces.size(); ++r) {
+          const hypar::RankTrace& st = sim_report.traces[r];
+          const hypar::RankTrace& rt = real_report.traces[r];
+          EXPECT_EQ(rt.backend_invocations, st.backend_invocations);
+          EXPECT_EQ(rt.backend_priced_seconds, st.backend_priced_seconds);
+          EXPECT_DOUBLE_EQ(st.backend_measured_seconds, 0.0);
+          EXPECT_GE(rt.backend_measured_seconds, 0.0);
+          real_invocations += rt.backend_invocations;
+        }
+        EXPECT_GT(real_invocations, 0u);
+      }
+    }
+  }
+}
+
+// ---- radix-sort differential against std::sort ---------------------------
+
+/// The canonicalize key: (packed endpoints, weight, id).
+std::array<std::uint64_t, 3> canonical_key(const WeightedEdge& e) {
+  return {(std::uint64_t{e.u} << 32) | e.v, e.w, e.id};
+}
+
+bool canonical_less(const WeightedEdge& a, const WeightedEdge& b) {
+  return canonical_key(a) < canonical_key(b);
+}
+
+/// Deterministic splitmix64 for adversarial inputs — no std::random.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d4a9b9c59e5e64ULL;
+  return z ^ (z >> 31);
+}
+
+std::vector<WeightedEdge> random_edges(std::size_t n, std::uint64_t seed,
+                                       Weight max_w) {
+  std::vector<WeightedEdge> edges;
+  edges.reserve(n);
+  std::uint64_t state = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t r = splitmix64(state);
+    edges.push_back({static_cast<VertexId>(r & 0x3FF),
+                     static_cast<VertexId>((r >> 10) & 0x3FF),
+                     max_w == 0 ? 0 : static_cast<Weight>((r >> 20) % max_w),
+                     static_cast<EdgeId>(i)});
+  }
+  return edges;
+}
+
+/// Runs every radix variant on `input` and expects each to match the
+/// comparator sort exactly.
+void expect_radix_matches(std::vector<WeightedEdge> input) {
+  std::vector<WeightedEdge> want = input;
+  std::sort(want.begin(), want.end(), canonical_less);
+
+  std::vector<WeightedEdge> serial = input;
+  graph::radix_sort<3>(serial, canonical_key);
+  EXPECT_EQ(serial, want);
+
+  std::vector<WeightedEdge> pooled = input;
+  graph::radix_sort<3>(global_pool(), 4, pooled, canonical_key);
+  EXPECT_EQ(pooled, want);
+
+  std::vector<WeightedEdge> aos = input;
+  graph::radix_sort_aos<3>(aos, canonical_key);
+  EXPECT_EQ(aos, want);
+}
+
+TEST(RadixSortTest, Empty) { expect_radix_matches({}); }
+
+TEST(RadixSortTest, SingleEdge) {
+  expect_radix_matches({{3, 7, 42, 0}});
+}
+
+TEST(RadixSortTest, AllWeightsEqualTieBreakById) {
+  // Identical (u, v, w) everywhere: only the id digit decides, and it is
+  // already the reverse of the wanted order.
+  std::vector<WeightedEdge> edges;
+  for (std::size_t i = 0; i < 3000; ++i) {
+    edges.push_back({1, 2, 5, static_cast<EdgeId>(3000 - i)});
+  }
+  expect_radix_matches(std::move(edges));
+}
+
+TEST(RadixSortTest, MaxWeightEdges) {
+  // Saturated 32-bit weights exercise the high digits of the zero-extended
+  // weight word (and the OR-fold skip on the constant upper half).
+  std::vector<WeightedEdge> edges =
+      random_edges(2500, 99, std::numeric_limits<Weight>::max());
+  for (std::size_t i = 0; i < edges.size(); i += 3) {
+    edges[i].w = std::numeric_limits<Weight>::max();
+  }
+  expect_radix_matches(std::move(edges));
+}
+
+TEST(RadixSortTest, BelowCutoffFallsBackCorrectly) {
+  // n < kRadixSortCutoff takes the std::sort fallback; it must agree too.
+  expect_radix_matches(random_edges(100, 5, 1000));
+}
+
+TEST(RadixSortTest, LargeRandom) {
+  expect_radix_matches(random_edges(5000, 7, 1000000));
+}
+
+TEST(RadixSortTest, CEdgeOrderMatchesComparator) {
+  // The (w, orig) key used by the clean/compact call sites.
+  std::uint64_t state = 11;
+  std::vector<mst::CEdge> edges;
+  for (std::size_t i = 0; i < 4000; ++i) {
+    const std::uint64_t r = splitmix64(state);
+    edges.push_back({static_cast<VertexId>(r & 0xFF),
+                     static_cast<Weight>((r >> 8) % 64),  // dense ties
+                     static_cast<EdgeId>(r % 2048)});
+  }
+  std::vector<mst::CEdge> want = edges;
+  std::sort(want.begin(), want.end(),
+            [](const mst::CEdge& a, const mst::CEdge& b) {
+              return std::tie(a.w, a.orig) < std::tie(b.w, b.orig);
+            });
+  graph::radix_sort<2>(edges, [](const mst::CEdge& e) {
+    return std::array<std::uint64_t, 2>{e.w, e.orig};
+  });
+  ASSERT_EQ(edges.size(), want.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    EXPECT_EQ(edges[i].w, want[i].w) << "at " << i;
+    EXPECT_EQ(edges[i].orig, want[i].orig) << "at " << i;
+  }
+}
+
+// ---- merge_shards: kScan vs kCopy equivalence ----------------------------
+
+std::vector<mst::CEdge> sorted_by_edge_order(std::vector<mst::CEdge> v) {
+  // (w, orig, to): production keys are unique in (w, orig) because orig is
+  // a real edge id, but this test generates colliding (w, orig) pairs on
+  // distinct targets, so the comparison needs the full record to be a
+  // total order.
+  std::sort(v.begin(), v.end(), [](const mst::CEdge& a, const mst::CEdge& b) {
+    return std::tie(a.w, a.orig, a.to) < std::tie(b.w, b.orig, b.to);
+  });
+  return v;
+}
+
+TEST(MergeShardsTest, ScanMatchesCopy) {
+  // Overlapping targets across shards, including byte-identical duplicate
+  // records (the tie the survivor probe must break to exactly one shard).
+  std::uint64_t state = 3;
+  std::vector<FlatHashMap<VertexId, mst::CEdge>> build(6);
+  for (std::size_t s = 0; s < build.size(); ++s) {
+    for (std::size_t i = 0; i < 400; ++i) {
+      const std::uint64_t r = splitmix64(state);
+      const auto target = static_cast<VertexId>(r % 64);  // heavy overlap
+      const mst::CEdge e{target, static_cast<Weight>((r >> 8) % 32),
+                         static_cast<EdgeId>((r >> 16) % 512)};
+      const mst::CEdge* cur = build[s].find(target);
+      if (cur == nullptr || std::tie(e.w, e.orig) <
+                                std::tie(cur->w, cur->orig)) {
+        build[s].insert_or_assign(target, e);
+      }
+    }
+  }
+  // Plant an exact duplicate of one shard-0 entry into shard 3 so the
+  // lowest-shard tie-break is exercised, not just distinct weights.
+  bool planted = false;
+  build[0].for_each([&](VertexId target, const mst::CEdge& e) {
+    if (planted) return;
+    build[3].insert_or_assign(target, e);
+    planted = true;
+  });
+  ASSERT_TRUE(planted);
+
+  std::vector<FlatHashMap<VertexId, mst::CEdge>> for_scan = build;
+  std::vector<FlatHashMap<VertexId, mst::CEdge>> for_copy = build;
+  const std::vector<mst::CEdge> scanned = sorted_by_edge_order(
+      mst::detail::merge_shards(for_scan, 4, mst::detail::PackMode::kScan));
+  const std::vector<mst::CEdge> copied = sorted_by_edge_order(
+      mst::detail::merge_shards(for_copy, 1, mst::detail::PackMode::kCopy));
+
+  ASSERT_EQ(scanned.size(), copied.size());
+  for (std::size_t i = 0; i < scanned.size(); ++i) {
+    EXPECT_EQ(scanned[i].to, copied[i].to) << "at " << i;
+    EXPECT_EQ(scanned[i].w, copied[i].w) << "at " << i;
+    EXPECT_EQ(scanned[i].orig, copied[i].orig) << "at " << i;
+  }
+
+  // Exactly one survivor per distinct target.
+  std::vector<VertexId> targets;
+  targets.reserve(scanned.size());
+  for (const mst::CEdge& e : scanned) targets.push_back(e.to);
+  std::sort(targets.begin(), targets.end());
+  EXPECT_EQ(std::adjacent_find(targets.begin(), targets.end()),
+            targets.end());
+}
+
+}  // namespace
+}  // namespace mnd

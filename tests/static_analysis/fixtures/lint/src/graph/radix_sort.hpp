@@ -1,0 +1,20 @@
+#pragma once
+// Known-good twin for rule-11: src/graph/radix_sort.hpp IS the edge-sort
+// module, so its internal std::sort fallbacks (sub-cutoff arrays, per-
+// bucket tails) are exempt. No EXPECT markers — the selftest fails if
+// rule-11 overfires on this path.
+#include <algorithm>
+#include <vector>
+
+namespace mnd::fixture {
+
+struct WeightedEdge { unsigned from, to, w; };
+
+inline void small_fallback(std::vector<WeightedEdge>& es) {
+  std::sort(es.begin(), es.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) {
+              return a.w < b.w;
+            });
+}
+
+}  // namespace mnd::fixture

@@ -1,0 +1,31 @@
+// Known-bad: direct comparison sorts over edge records in MST code must
+// route through graph::radix_sort (rule-11). Covers the same-line form,
+// the comparator-on-the-next-line form, stable_sort, and .edges members.
+#include <algorithm>
+#include <vector>
+
+namespace mnd::fixture {
+
+struct WeightedEdge { unsigned from, to, w; };
+struct CEdge { unsigned to, w, orig; };
+struct Forest { std::vector<unsigned> edges; };
+
+inline bool edge_less(const WeightedEdge& a, const WeightedEdge& b) {
+  return a.w < b.w;
+}
+
+inline void sort_edges(std::vector<WeightedEdge>& es,
+                       std::vector<CEdge>& ces, Forest& f) {
+  std::sort(es.begin(), es.end(), edge_less);  // EXPECT-mnd(rule-11)
+  std::sort(ces.begin(), ces.end(),  // EXPECT-mnd(rule-11)
+            [](const CEdge& a, const CEdge& b) {
+              return a.w < b.w;
+            });
+  std::stable_sort(es.begin(), es.end(),  // EXPECT-mnd(edge-sort)
+                   [](const WeightedEdge& a, const WeightedEdge& b) {
+                     return a.to < b.to;
+                   });
+  std::sort(f.edges.begin(), f.edges.end());  // EXPECT-mnd(rule-11)
+}
+
+}  // namespace mnd::fixture

@@ -1,0 +1,27 @@
+// Known-good twin for rule-11: sorts of vertex-id and arc vectors are
+// not edge sorts and must stay clean, and a justified NOLINT-mnd keeps a
+// deliberate edge sort quiet. No unmarked line here may fire.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace mnd::fixture {
+
+struct SampleEdge { unsigned to, w, orig; };
+struct Arc { unsigned to, w; };
+
+inline bool arc_less(const Arc& a, const Arc& b) { return a.to < b.to; }
+
+inline void sort_non_edges(std::vector<std::uint32_t>& verts,
+                           std::vector<Arc>& arcs,
+                           std::vector<SampleEdge>& sample) {
+  std::sort(verts.begin(), verts.end());
+  std::stable_sort(arcs.begin(), arcs.end(), arc_less);
+  // Ordered by the unique orig id for dedup, not the edge total order.
+  std::sort(sample.begin(), sample.end(),  // NOLINT-mnd(rule-11)
+            [](const SampleEdge& a, const SampleEdge& b) {
+              return a.orig < b.orig;
+            });
+}
+
+}  // namespace mnd::fixture

@@ -432,13 +432,23 @@ def _sorted_after(st: Structure, target_base: str,
     aliases = _aliases_in(st, after)
     for j in range(after[0], after[1]):
         if toks[j].kind == "id" \
-                and toks[j].text in ("sort", "stable_sort",
-                                     "parallel_sort") \
-                and j + 1 < len(toks) and toks[j + 1].text == "(":
-            close = st.match.get(j + 1)
+                and toks[j].text in ("sort", "stable_sort", "parallel_sort",
+                                     "radix_sort", "radix_sort_aos"):
+            # Skip an explicit template argument list (radix_sort<K>(...)):
+            # the args are simple literals, so scan a short window for ">".
+            k = j + 1
+            if k < len(toks) and toks[k].text == "<":
+                for step in range(8):
+                    k += 1
+                    if k >= len(toks) or toks[k].text == ">":
+                        break
+                k += 1
+            if k >= len(toks) or toks[k].text != "(":
+                continue
+            close = st.match.get(k)
             if close is None:
                 continue
-            for x in range(j + 2, close):
+            for x in range(k + 1, close):
                 if toks[x].kind == "id":
                     base = aliases.get(toks[x].text, toks[x].text)
                     if base == target_base:

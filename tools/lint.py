@@ -37,6 +37,17 @@ Rules (text-level; the AST-grounded rules live in tools/analyze.py):
                          handles), so format hardening, the .mndg
                          decoders, and the ingest accounting can't be
                          bypassed (docs/GRAPH_FORMAT.md).
+  rule-11 edge-sort      No direct std::sort / std::stable_sort over edge
+                         records in src/mst + src/graph outside the
+                         edge-sort module (src/graph/radix_sort.hpp).
+                         Edge orderings are strict total orders, so they
+                         route through graph::radix_sort, which keeps the
+                         sorted bytes identical at any thread count and
+                         is the path the gated kernel bench measures
+                         (DESIGN.md §5i). src/graph/reference_mst.cpp is
+                         exempt: the oracles are comparison-based on
+                         purpose, as an independent check on the radix
+                         path.
 
 rule-1 (virtual-time purity) graduated from a regex here to the
 symbol-resolved check in tools/analyze.py, which understands identifier
@@ -75,9 +86,11 @@ RULE_OBS = Rule("rule-7", "obs-discipline",
                 "obs layer never opens its own outputs")
 RULE_GRAPH_IO = Rule("rule-8", "graph-io",
                      "graph bytes enter/leave only via src/graph/io.cpp")
+RULE_EDGE_SORT = Rule("rule-11", "edge-sort",
+                      "edge records sort via graph::radix_sort only")
 
 RULES = [RULE_LOGGING, RULE_IWYU, RULE_PRAGMA, RULE_THREADING, RULE_WIRE,
-         RULE_OBS, RULE_GRAPH_IO]
+         RULE_OBS, RULE_GRAPH_IO, RULE_EDGE_SORT]
 
 # rule-2
 STDOUT_PATTERNS = [
@@ -148,6 +161,32 @@ GRAPH_IO_PATTERNS = [
 ]
 GRAPH_IO_EXEMPT = ("src/graph/io.cpp",)
 
+# rule-11: direct comparison sorts over edge records in the MST/graph hot
+# paths. Edge orderings here are strict total orders (canonical (from, to,
+# w) and merge (w, orig, to)), so they belong to graph::radix_sort — the
+# work-efficient module whose output is byte-identical at any thread count
+# and which the gated kernel bench (bench/backend_kernels.cpp) measures. A
+# std::sort call is an edge sort when the call line or its next two lines
+# (comparator lambdas usually start there) name an edge-record type.
+# Sorts of vertex-id / arc vectors carry none of these tokens and pass.
+EDGE_SORT_CALL = re.compile(r"\bstd::(?:stable_)?sort\s*\(")
+EDGE_SORT_TOKENS = re.compile(
+    r"\b(?:WeightedEdge|CEdge|SampleEdge|EdgeId|edge_less|EdgeLess)\b"
+    r"|\.edges\b")
+EDGE_SORT_MSG = ("direct std::sort over edge records (route through "
+                 "graph::radix_sort — src/graph/radix_sort.hpp — so the "
+                 "order stays byte-identical at any thread count; "
+                 "DESIGN.md §5i)")
+EDGE_SORT_WINDOW = 3  # call line + two continuation lines
+EDGE_SORT_DIRS = ("mst", "graph")
+EDGE_SORT_EXEMPT = (
+    # The edge-sort module itself.
+    "src/graph/radix_sort.hpp",
+    # Comparison-based oracles, kept independent of the radix path on
+    # purpose so the differential tests check two distinct sorters.
+    "src/graph/reference_mst.cpp",
+)
+
 # rule-3: std symbol -> owning header, for src/obs only.
 IWYU_SYMBOLS = {
     "std::string": "<string>",
@@ -178,6 +217,9 @@ def lint_file(ctx: FileContext, report: Report) -> None:
     thread_exempt = rel in THREAD_SPAWN_EXEMPT
     wire_scoped = (any(rel.startswith(f"src/{d}/") for d in WIRE_DIRS)
                    and rel not in WIRE_EXEMPT)
+    edge_sort_scoped = (
+        any(rel.startswith(f"src/{d}/") for d in EDGE_SORT_DIRS)
+        and rel not in EDGE_SORT_EXEMPT)
 
     for idx, line in enumerate(ctx.lines, start=1):
         if not stdout_exempt:
@@ -200,6 +242,10 @@ def lint_file(ctx: FileContext, report: Report) -> None:
             for pat, msg in GRAPH_IO_PATTERNS:
                 if pat.search(line):
                     report.add(ctx, idx, RULE_GRAPH_IO, msg)
+        if edge_sort_scoped and EDGE_SORT_CALL.search(line):
+            window = " ".join(ctx.lines[idx - 1:idx - 1 + EDGE_SORT_WINDOW])
+            if EDGE_SORT_TOKENS.search(window):
+                report.add(ctx, idx, RULE_EDGE_SORT, EDGE_SORT_MSG)
 
     if rel.endswith(".hpp"):
         for idx, line in enumerate(ctx.raw.splitlines(), start=1):
